@@ -1,0 +1,150 @@
+//! Wideband amplifiers.
+
+use crate::block::AnalogBlock;
+
+/// A wideband amplifier modelled as a gain stage with an optional single-pole
+/// bandwidth limit and supply-rail saturation.
+///
+/// The paper proposes generating basis noise bits by amplifying a resistor's
+/// thermal noise with a wideband amplifier; this block models that stage. With
+/// `bandwidth_fraction = 1.0` (default) the amplifier is ideal and memoryless.
+///
+/// ```
+/// use nbl_analog::{AnalogBlock, WidebandAmplifier};
+/// let mut amp = WidebandAmplifier::new(20.0);
+/// assert_eq!(amp.process(&[0.05]), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WidebandAmplifier {
+    gain: f64,
+    /// Normalized bandwidth in (0, 1]: 1.0 = ideal wideband, smaller values
+    /// low-pass the output with a single pole at that fraction of Nyquist.
+    bandwidth_fraction: f64,
+    saturation: Option<f64>,
+    state: f64,
+}
+
+impl WidebandAmplifier {
+    /// Creates an ideal amplifier with the given voltage gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not finite.
+    pub fn new(gain: f64) -> Self {
+        assert!(gain.is_finite(), "gain must be finite");
+        WidebandAmplifier {
+            gain,
+            bandwidth_fraction: 1.0,
+            saturation: None,
+            state: 0.0,
+        }
+    }
+
+    /// Limits the amplifier's bandwidth to a fraction of the simulation
+    /// Nyquist rate via a single-pole IIR response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn with_bandwidth_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "bandwidth fraction must be in (0, 1]"
+        );
+        self.bandwidth_fraction = fraction;
+        self
+    }
+
+    /// Clips the output to ±`limit` (supply rails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is not strictly positive.
+    pub fn with_saturation(mut self, limit: f64) -> Self {
+        assert!(limit > 0.0, "saturation limit must be positive");
+        self.saturation = Some(limit);
+        self
+    }
+
+    /// The amplifier's voltage gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl AnalogBlock for WidebandAmplifier {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert_eq!(inputs.len(), 1, "amplifier takes exactly one input");
+        let amplified = self.gain * inputs[0];
+        let mut out = if self.bandwidth_fraction >= 1.0 {
+            amplified
+        } else {
+            // Single-pole low-pass: y[k] = y[k-1] + α (x[k] − y[k-1])
+            self.state += self.bandwidth_fraction * (amplified - self.state);
+            self.state
+        };
+        if let Some(limit) = self.saturation {
+            out = out.clamp(-limit, limit);
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.state = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "wideband_amplifier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_gain() {
+        let mut amp = WidebandAmplifier::new(-3.0);
+        assert_eq!(amp.process(&[2.0]), -6.0);
+        assert_eq!(amp.gain(), -3.0);
+        assert_eq!(amp.num_inputs(), 1);
+    }
+
+    #[test]
+    fn saturation_clips() {
+        let mut amp = WidebandAmplifier::new(100.0).with_saturation(1.0);
+        assert_eq!(amp.process(&[1.0]), 1.0);
+        assert_eq!(amp.process(&[-1.0]), -1.0);
+    }
+
+    #[test]
+    fn band_limited_amplifier_settles_to_dc_gain() {
+        let mut amp = WidebandAmplifier::new(2.0).with_bandwidth_fraction(0.2);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            last = amp.process(&[1.0]);
+        }
+        assert!((last - 2.0).abs() < 1e-6);
+        amp.reset();
+        assert!(amp.process(&[1.0]) < 2.0);
+    }
+
+    #[test]
+    fn band_limited_response_is_monotone_for_step() {
+        let mut amp = WidebandAmplifier::new(1.0).with_bandwidth_fraction(0.5);
+        let y1 = amp.process(&[1.0]);
+        let y2 = amp.process(&[1.0]);
+        let y3 = amp.process(&[1.0]);
+        assert!(y1 < y2 && y2 < y3 && y3 < 1.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bandwidth_rejected() {
+        let _ = WidebandAmplifier::new(1.0).with_bandwidth_fraction(0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! The [`AnalogBlock`] trait shared by every simulated component.
+
+use std::fmt;
+
+/// A discrete-time analog block.
+///
+/// Each call to [`AnalogBlock::process`] corresponds to one simulation time
+/// step: the block reads its instantaneous input values and produces its
+/// instantaneous output value. Stateful blocks (filters, correlators,
+/// oscillators) update their internal state as a side effect.
+pub trait AnalogBlock: fmt::Debug {
+    /// Number of input ports the block expects.
+    fn num_inputs(&self) -> usize;
+
+    /// Processes one time step.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `inputs.len() != self.num_inputs()`.
+    fn process(&mut self, inputs: &[f64]) -> f64;
+
+    /// Resets internal state to the initial condition.
+    fn reset(&mut self);
+
+    /// Short human-readable component name (for netlist dumps).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Passthrough;
+
+    impl AnalogBlock for Passthrough {
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn process(&mut self, inputs: &[f64]) -> f64 {
+            inputs[0]
+        }
+        fn reset(&mut self) {}
+        fn name(&self) -> &'static str {
+            "passthrough"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut block: Box<dyn AnalogBlock> = Box::new(Passthrough);
+        assert_eq!(block.num_inputs(), 1);
+        assert_eq!(block.process(&[3.5]), 3.5);
+        assert_eq!(block.name(), "passthrough");
+        block.reset();
+    }
+}

@@ -1,0 +1,100 @@
+//! The on-chip correlator block (multiply and integrate).
+
+use crate::block::AnalogBlock;
+
+/// A correlator block: accumulates the running average of its single input.
+///
+/// Together with a [`crate::Multiplier`] in front of it, this realizes the
+/// "multiply and average" operation that reads out ⟨S_N⟩ in the hardware
+/// engine the paper sketches. The block reports the running mean of all
+/// samples processed since the last reset.
+///
+/// ```
+/// use nbl_analog::{AnalogBlock, CorrelatorBlock};
+/// let mut c = CorrelatorBlock::new();
+/// c.process(&[1.0]);
+/// c.process(&[3.0]);
+/// assert_eq!(c.output(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CorrelatorBlock {
+    sum: f64,
+    count: u64,
+}
+
+impl CorrelatorBlock {
+    /// Creates an empty correlator.
+    pub fn new() -> Self {
+        CorrelatorBlock::default()
+    }
+
+    /// The running mean of all integrated samples (0 before any sample).
+    pub fn output(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples integrated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl AnalogBlock for CorrelatorBlock {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert_eq!(inputs.len(), 1, "correlator takes exactly one input");
+        self.sum += inputs[0];
+        self.count += 1;
+        self.output()
+    }
+
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.count = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "correlator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean() {
+        let mut c = CorrelatorBlock::new();
+        assert_eq!(c.output(), 0.0);
+        for i in 1..=10 {
+            c.process(&[i as f64]);
+        }
+        assert_eq!(c.output(), 5.5);
+        assert_eq!(c.count(), 10);
+    }
+
+    #[test]
+    fn reset_clears_accumulator() {
+        let mut c = CorrelatorBlock::new();
+        c.process(&[4.0]);
+        c.reset();
+        assert_eq!(c.output(), 0.0);
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn zero_mean_input_averages_to_zero() {
+        let mut c = CorrelatorBlock::new();
+        for i in 0..1000 {
+            c.process(&[if i % 2 == 0 { 1.0 } else { -1.0 }]);
+        }
+        assert!(c.output().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! Low-pass filters.
+
+use crate::block::AnalogBlock;
+
+/// A first-order (single-pole) low-pass filter, optionally cascaded to a
+/// higher order.
+///
+/// In the NBL-SAT engine the low-pass filter extracts the DC component of the
+/// product waveform S_N = τ_N · Σ_N: its steady-state output approaches the
+/// running mean that Algorithm 1 thresholds. The paper also notes that a
+/// sinusoid-based engine with tight carrier spacing needs high-order filters;
+/// the `order` parameter models that cascade.
+///
+/// ```
+/// use nbl_analog::{AnalogBlock, LowPassFilter};
+/// let mut lp = LowPassFilter::new(0.1);
+/// let mut y = 0.0;
+/// for _ in 0..200 { y = lp.process(&[1.0]); }
+/// assert!((y - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowPassFilter {
+    alpha: f64,
+    states: Vec<f64>,
+}
+
+impl LowPassFilter {
+    /// Creates a first-order filter with smoothing coefficient `alpha` in
+    /// `(0, 1]` (larger = wider bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        Self::with_order(alpha, 1)
+    }
+
+    /// Creates a cascade of `order` identical single-pole sections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]` or `order == 0`.
+    pub fn with_order(alpha: f64, order: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(order > 0, "filter order must be at least 1");
+        LowPassFilter {
+            alpha,
+            states: vec![0.0; order],
+        }
+    }
+
+    /// Creates a filter whose -3 dB cutoff sits at `cutoff_fraction` of the
+    /// sampling rate (approximation `alpha = 2π f / (2π f + 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff_fraction` is not in `(0, 0.5]`.
+    pub fn from_cutoff(cutoff_fraction: f64, order: usize) -> Self {
+        assert!(
+            cutoff_fraction > 0.0 && cutoff_fraction <= 0.5,
+            "cutoff must be in (0, 0.5] of the sample rate"
+        );
+        let omega = std::f64::consts::TAU * cutoff_fraction;
+        Self::with_order(omega / (omega + 1.0), order)
+    }
+
+    /// The filter order (number of cascaded poles).
+    pub fn order(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The per-section smoothing coefficient.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The current output without advancing time.
+    pub fn output(&self) -> f64 {
+        *self.states.last().expect("order >= 1")
+    }
+}
+
+impl AnalogBlock for LowPassFilter {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert_eq!(inputs.len(), 1, "filter takes exactly one input");
+        let mut x = inputs[0];
+        for state in &mut self.states {
+            *state += self.alpha * (x - *state);
+            x = *state;
+        }
+        x
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.states {
+            *s = 0.0;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "low_pass_filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_response_settles_to_input() {
+        for order in [1, 2, 4] {
+            let mut lp = LowPassFilter::with_order(0.2, order);
+            let mut y = 0.0;
+            for _ in 0..500 {
+                y = lp.process(&[0.7]);
+            }
+            assert!((y - 0.7).abs() < 1e-6, "order {order}");
+        }
+    }
+
+    #[test]
+    fn higher_order_attenuates_ripple_more() {
+        // Feed a zero-mean square wave; the higher-order filter should show a
+        // smaller peak-to-peak output ripple once settled.
+        let ripple = |order: usize| {
+            let mut lp = LowPassFilter::with_order(0.1, order);
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for i in 0..2000 {
+                let x = if (i / 5) % 2 == 0 { 1.0 } else { -1.0 };
+                let y = lp.process(&[x]);
+                if i > 1000 {
+                    min = min.min(y);
+                    max = max.max(y);
+                }
+            }
+            max - min
+        };
+        assert!(ripple(3) < ripple(1));
+    }
+
+    #[test]
+    fn dc_extraction_approximates_mean() {
+        // A signal with DC offset 0.25 plus alternating ±1 ripple.
+        let mut lp = LowPassFilter::with_order(0.05, 2);
+        let mut y = 0.0;
+        for i in 0..5000 {
+            let x = 0.25 + if i % 2 == 0 { 1.0 } else { -1.0 };
+            y = lp.process(&[x]);
+        }
+        assert!((y - 0.25).abs() < 0.05);
+        assert!((lp.output() - y).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cutoff_constructor() {
+        let lp = LowPassFilter::from_cutoff(0.05, 2);
+        assert_eq!(lp.order(), 2);
+        assert!(lp.alpha() > 0.0 && lp.alpha() < 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut lp = LowPassFilter::new(0.5);
+        lp.process(&[10.0]);
+        assert!(lp.output() > 0.0);
+        lp.reset();
+        assert_eq!(lp.output(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_alpha_rejected() {
+        let _ = LowPassFilter::new(1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_order_rejected() {
+        let _ = LowPassFilter::with_order(0.5, 0);
+    }
+}

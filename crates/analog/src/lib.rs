@@ -1,0 +1,49 @@
+//! Discrete-time simulation of the analog blocks an NBL-SAT engine would be
+//! built from.
+//!
+//! Section V of the NBL-SAT paper argues that a hardware engine needs only
+//! widely available components: wideband amplifiers (to amplify a resistor's
+//! thermal noise into basis carriers), analog adders, analog multipliers,
+//! low-pass filters and a correlator. This crate models each of those blocks
+//! as an ideal (or optionally non-ideal) discrete-time transfer function and
+//! lets them be composed into a netlist, so that the NBL-SAT datapath can be
+//! simulated at the block level rather than only at the mathematical level.
+//!
+//! # Example: a multiply-and-average correlator datapath
+//!
+//! ```
+//! use nbl_analog::{AnalogBlock, Multiplier, CorrelatorBlock};
+//!
+//! let mut mult = Multiplier::new();
+//! let mut corr = CorrelatorBlock::new();
+//! for _ in 0..100 {
+//!     let product = mult.process(&[0.5, 0.5]);
+//!     corr.process(&[product]);
+//! }
+//! assert!((corr.output() - 0.25).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod amplifier;
+pub mod block;
+pub mod correlator;
+pub mod filter;
+pub mod multiplier;
+pub mod netlist;
+pub mod noise_source;
+pub mod nonideal;
+pub mod summer;
+pub mod thermal;
+
+pub use amplifier::WidebandAmplifier;
+pub use block::AnalogBlock;
+pub use correlator::CorrelatorBlock;
+pub use filter::LowPassFilter;
+pub use multiplier::Multiplier;
+pub use netlist::{BlockId, Netlist, NetlistError};
+pub use noise_source::NoiseSourceBlock;
+pub use nonideal::{NonIdealBlock, Nonideality, Quantizer};
+pub use summer::Summer;
+pub use thermal::{Oscillator, ThermalNoiseSource, BOLTZMANN_J_PER_K};

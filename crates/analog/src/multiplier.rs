@@ -1,0 +1,130 @@
+//! Analog multipliers.
+
+use crate::block::AnalogBlock;
+
+/// An analog multiplier (Gilbert-cell style four-quadrant multiplier in a real
+/// implementation), with an optional scale factor and saturation limit.
+///
+/// Multipliers implement the conjunctions of the NBL construction: products of
+/// basis sources inside minterms, and the clause-by-clause product Σ_N · τ_N.
+///
+/// ```
+/// use nbl_analog::{AnalogBlock, Multiplier};
+/// let mut m = Multiplier::new();
+/// assert_eq!(m.process(&[-0.5, 0.5]), -0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Multiplier {
+    num_inputs: usize,
+    scale: f64,
+    saturation: Option<f64>,
+}
+
+impl Multiplier {
+    /// Creates an ideal two-input multiplier.
+    pub fn new() -> Self {
+        Multiplier {
+            num_inputs: 2,
+            scale: 1.0,
+            saturation: None,
+        }
+    }
+
+    /// Creates an ideal multiplier with `num_inputs` inputs (a product chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs < 2`.
+    pub fn with_inputs(num_inputs: usize) -> Self {
+        assert!(num_inputs >= 2, "multiplier needs at least two inputs");
+        Multiplier {
+            num_inputs,
+            scale: 1.0,
+            saturation: None,
+        }
+    }
+
+    /// Applies a gain factor to the product (real multipliers have a 1/V
+    /// scale constant).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Clips the output to ±`limit`, modelling supply-rail saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is not strictly positive.
+    pub fn with_saturation(mut self, limit: f64) -> Self {
+        assert!(limit > 0.0, "saturation limit must be positive");
+        self.saturation = Some(limit);
+        self
+    }
+}
+
+impl Default for Multiplier {
+    fn default() -> Self {
+        Multiplier::new()
+    }
+}
+
+impl AnalogBlock for Multiplier {
+    fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert_eq!(inputs.len(), self.num_inputs, "input count mismatch");
+        let mut out = self.scale * inputs.iter().product::<f64>();
+        if let Some(limit) = self.saturation {
+            out = out.clamp(-limit, limit);
+        }
+        out
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "multiplier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_input_product() {
+        let mut m = Multiplier::new();
+        assert_eq!(m.process(&[3.0, -2.0]), -6.0);
+        assert_eq!(m.num_inputs(), 2);
+    }
+
+    #[test]
+    fn chain_product() {
+        let mut m = Multiplier::with_inputs(4);
+        assert_eq!(m.process(&[1.0, 2.0, 3.0, 0.5]), 3.0);
+    }
+
+    #[test]
+    fn scale_and_saturation() {
+        let mut m = Multiplier::new().with_scale(10.0).with_saturation(5.0);
+        assert_eq!(m.process(&[1.0, 1.0]), 5.0);
+        assert_eq!(m.process(&[-1.0, 1.0]), -5.0);
+        assert!((m.process(&[0.1, 0.1]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_input_rejected() {
+        let _ = Multiplier::with_inputs(1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        let mut m = Multiplier::new();
+        let _ = m.process(&[1.0, 2.0, 3.0]);
+    }
+}

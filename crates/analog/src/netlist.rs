@@ -1,0 +1,365 @@
+//! Block-level netlists: composition of analog blocks into a datapath.
+
+use crate::block::AnalogBlock;
+use std::fmt;
+
+/// Identifier of a block inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(usize);
+
+impl BlockId {
+    /// The block's index inside its netlist.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors raised when building or simulating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A referenced block does not exist.
+    UnknownBlock(usize),
+    /// A connection targeted an input port beyond the block's arity.
+    PortOutOfRange {
+        /// The target block index.
+        block: usize,
+        /// The requested port.
+        port: usize,
+        /// The block's number of input ports.
+        arity: usize,
+    },
+    /// An input port received two driving connections.
+    PortAlreadyDriven {
+        /// The target block index.
+        block: usize,
+        /// The port that is already driven.
+        port: usize,
+    },
+    /// Some input port was left unconnected when simulation started.
+    UnconnectedPort {
+        /// The block with a floating input.
+        block: usize,
+        /// The floating port.
+        port: usize,
+    },
+    /// The connection graph contains a combinational cycle.
+    CombinationalCycle,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownBlock(b) => write!(f, "unknown block index {b}"),
+            NetlistError::PortOutOfRange { block, port, arity } => write!(
+                f,
+                "port {port} out of range for block {block} with {arity} inputs"
+            ),
+            NetlistError::PortAlreadyDriven { block, port } => {
+                write!(f, "input port {port} of block {block} is already driven")
+            }
+            NetlistError::UnconnectedPort { block, port } => {
+                write!(f, "input port {port} of block {block} is unconnected")
+            }
+            NetlistError::CombinationalCycle => {
+                write!(f, "netlist contains a combinational cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A directed acyclic netlist of analog blocks evaluated once per time step.
+///
+/// ```
+/// use nbl_analog::{Netlist, NoiseSourceBlock, Multiplier, CorrelatorBlock};
+/// use nbl_noise::CarrierKind;
+///
+/// let mut net = Netlist::new();
+/// let a = net.add_block(Box::new(NoiseSourceBlock::new(CarrierKind::Uniform, 1)));
+/// let b = net.add_block(Box::new(NoiseSourceBlock::new(CarrierKind::Uniform, 2)));
+/// let mult = net.add_block(Box::new(Multiplier::new()));
+/// let corr = net.add_block(Box::new(CorrelatorBlock::new()));
+/// net.connect(a, mult, 0)?;
+/// net.connect(b, mult, 1)?;
+/// net.connect(mult, corr, 0)?;
+/// for _ in 0..1000 { net.step()?; }
+/// // Independent noise sources correlate to ~zero.
+/// assert!(net.output(corr)?.abs() < 0.05);
+/// # Ok::<(), nbl_analog::NetlistError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Netlist {
+    blocks: Vec<Box<dyn AnalogBlock>>,
+    /// For each block, the driver of each input port: `drivers[block][port]`.
+    drivers: Vec<Vec<Option<BlockId>>>,
+    /// Last output value of each block.
+    outputs: Vec<f64>,
+    /// Cached topological evaluation order (invalidated on edits).
+    order: Option<Vec<usize>>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a block and returns its identifier.
+    pub fn add_block(&mut self, block: Box<dyn AnalogBlock>) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        self.drivers.push(vec![None; block.num_inputs()]);
+        self.outputs.push(0.0);
+        self.blocks.push(block);
+        self.order = None;
+        id
+    }
+
+    /// Connects the output of `from` to input port `port` of `to`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either block is unknown, the port is out of range, or the
+    /// port already has a driver.
+    pub fn connect(&mut self, from: BlockId, to: BlockId, port: usize) -> Result<(), NetlistError> {
+        if from.0 >= self.blocks.len() {
+            return Err(NetlistError::UnknownBlock(from.0));
+        }
+        if to.0 >= self.blocks.len() {
+            return Err(NetlistError::UnknownBlock(to.0));
+        }
+        let arity = self.blocks[to.0].num_inputs();
+        if port >= arity {
+            return Err(NetlistError::PortOutOfRange {
+                block: to.0,
+                port,
+                arity,
+            });
+        }
+        if self.drivers[to.0][port].is_some() {
+            return Err(NetlistError::PortAlreadyDriven { block: to.0, port });
+        }
+        self.drivers[to.0][port] = Some(from);
+        self.order = None;
+        Ok(())
+    }
+
+    /// Number of blocks in the netlist.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns the most recent output value of a block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the block is unknown.
+    pub fn output(&self, id: BlockId) -> Result<f64, NetlistError> {
+        self.outputs
+            .get(id.0)
+            .copied()
+            .ok_or(NetlistError::UnknownBlock(id.0))
+    }
+
+    fn compute_order(&self) -> Result<Vec<usize>, NetlistError> {
+        // Check all ports are driven, then Kahn's algorithm.
+        for (b, ports) in self.drivers.iter().enumerate() {
+            for (p, d) in ports.iter().enumerate() {
+                if d.is_none() {
+                    return Err(NetlistError::UnconnectedPort { block: b, port: p });
+                }
+            }
+        }
+        let n = self.blocks.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (b, ports) in self.drivers.iter().enumerate() {
+            for d in ports.iter().flatten() {
+                indegree[b] += 1;
+                dependents[d.0].push(b);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(b) = queue.pop() {
+            order.push(b);
+            for &dep in &dependents[b] {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    queue.push(dep);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(NetlistError::CombinationalCycle);
+        }
+        Ok(order)
+    }
+
+    /// Advances the whole netlist by one time step.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an input port is unconnected or the graph has a cycle.
+    pub fn step(&mut self) -> Result<(), NetlistError> {
+        if self.order.is_none() {
+            self.order = Some(self.compute_order()?);
+        }
+        let order = self.order.clone().expect("order computed above");
+        let mut inputs = Vec::new();
+        for b in order {
+            inputs.clear();
+            for d in &self.drivers[b] {
+                inputs.push(self.outputs[d.expect("validated").0]);
+            }
+            self.outputs[b] = self.blocks[b].process(&inputs);
+        }
+        Ok(())
+    }
+
+    /// Runs `steps` time steps and returns the final output of `probe`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Netlist::step`] or [`Netlist::output`].
+    pub fn run(&mut self, steps: u64, probe: BlockId) -> Result<f64, NetlistError> {
+        for _ in 0..steps {
+            self.step()?;
+        }
+        self.output(probe)
+    }
+
+    /// Resets every block and clears the recorded outputs.
+    pub fn reset(&mut self) {
+        for b in &mut self.blocks {
+            b.reset();
+        }
+        for o in &mut self.outputs {
+            *o = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlator::CorrelatorBlock;
+    use crate::multiplier::Multiplier;
+    use crate::noise_source::NoiseSourceBlock;
+    use crate::summer::Summer;
+    use nbl_noise::CarrierKind;
+
+    fn noise(seed: u64) -> Box<dyn AnalogBlock> {
+        Box::new(NoiseSourceBlock::new(CarrierKind::Uniform, seed))
+    }
+
+    #[test]
+    fn self_correlation_is_positive_cross_is_zero() {
+        // ⟨N1·N1⟩ ≈ 1/12, ⟨N1·N2⟩ ≈ 0: the fundamental NBL readout distinction.
+        let mut net = Netlist::new();
+        let n1 = net.add_block(noise(1));
+        let n2 = net.add_block(noise(2));
+        let self_mult = net.add_block(Box::new(Multiplier::new()));
+        let cross_mult = net.add_block(Box::new(Multiplier::new()));
+        let self_corr = net.add_block(Box::new(CorrelatorBlock::new()));
+        let cross_corr = net.add_block(Box::new(CorrelatorBlock::new()));
+        net.connect(n1, self_mult, 0).unwrap();
+        net.connect(n1, self_mult, 1).unwrap();
+        net.connect(n1, cross_mult, 0).unwrap();
+        net.connect(n2, cross_mult, 1).unwrap();
+        net.connect(self_mult, self_corr, 0).unwrap();
+        net.connect(cross_mult, cross_corr, 0).unwrap();
+        for _ in 0..30_000 {
+            net.step().unwrap();
+        }
+        let self_mean = net.output(self_corr).unwrap();
+        let cross_mean = net.output(cross_corr).unwrap();
+        assert!((self_mean - 1.0 / 12.0).abs() < 0.01, "{self_mean}");
+        assert!(cross_mean.abs() < 0.01, "{cross_mean}");
+    }
+
+    #[test]
+    fn superposition_datapath() {
+        // (N1 + N2) · N1 should correlate to ⟨N1²⟩ ≈ 1/12.
+        let mut net = Netlist::new();
+        let n1 = net.add_block(noise(10));
+        let n2 = net.add_block(noise(20));
+        let sum = net.add_block(Box::new(Summer::new(2)));
+        let mult = net.add_block(Box::new(Multiplier::new()));
+        let corr = net.add_block(Box::new(CorrelatorBlock::new()));
+        net.connect(n1, sum, 0).unwrap();
+        net.connect(n2, sum, 1).unwrap();
+        net.connect(sum, mult, 0).unwrap();
+        net.connect(n1, mult, 1).unwrap();
+        net.connect(mult, corr, 0).unwrap();
+        let mean = net.run(30_000, corr).unwrap();
+        assert!((mean - 1.0 / 12.0).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn error_unknown_block_and_port() {
+        let mut net = Netlist::new();
+        let a = net.add_block(noise(1));
+        let m = net.add_block(Box::new(Multiplier::new()));
+        assert_eq!(
+            net.connect(BlockId(99), m, 0),
+            Err(NetlistError::UnknownBlock(99))
+        );
+        assert!(matches!(
+            net.connect(a, m, 5),
+            Err(NetlistError::PortOutOfRange { .. })
+        ));
+        net.connect(a, m, 0).unwrap();
+        assert!(matches!(
+            net.connect(a, m, 0),
+            Err(NetlistError::PortAlreadyDriven { .. })
+        ));
+        assert!(matches!(
+            net.output(BlockId(42)),
+            Err(NetlistError::UnknownBlock(42))
+        ));
+    }
+
+    #[test]
+    fn unconnected_port_detected() {
+        let mut net = Netlist::new();
+        let _a = net.add_block(noise(1));
+        let _m = net.add_block(Box::new(Multiplier::new()));
+        assert!(matches!(
+            net.step(),
+            Err(NetlistError::UnconnectedPort { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut net = Netlist::new();
+        let m1 = net.add_block(Box::new(Multiplier::new()));
+        let m2 = net.add_block(Box::new(Multiplier::new()));
+        net.connect(m1, m2, 0).unwrap();
+        net.connect(m1, m2, 1).unwrap();
+        net.connect(m2, m1, 0).unwrap();
+        net.connect(m2, m1, 1).unwrap();
+        assert_eq!(net.step(), Err(NetlistError::CombinationalCycle));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut net = Netlist::new();
+        let n1 = net.add_block(noise(5));
+        let corr = net.add_block(Box::new(CorrelatorBlock::new()));
+        net.connect(n1, corr, 0).unwrap();
+        let first = net.run(100, corr).unwrap();
+        net.reset();
+        let second = net.run(100, corr).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(net.num_blocks(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NetlistError::UnconnectedPort { block: 1, port: 0 };
+        assert!(e.to_string().contains("unconnected"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Noise source blocks bridging the carrier substrate into a netlist.
+
+use crate::block::AnalogBlock;
+use nbl_noise::{CarrierBank, CarrierKind};
+
+/// A zero-input analog block that emits one basis carrier of a
+/// [`CarrierBank`].
+///
+/// In a physical engine this is "a wideband amplifier amplifying a resistor's
+/// thermal noise" (or an on-chip oscillator in the SBL variant); in the
+/// simulation it adapts the `nbl-noise` carrier banks to the
+/// [`AnalogBlock`] interface so noise sources can appear in a [`crate::Netlist`].
+///
+/// Because a carrier bank produces all of its sources simultaneously, the
+/// block owns a private single-source bank; independent blocks get independent
+/// seeds.
+#[derive(Debug)]
+pub struct NoiseSourceBlock {
+    bank: Box<dyn CarrierBank>,
+    buffer: [f64; 1],
+}
+
+impl NoiseSourceBlock {
+    /// Creates a noise source of the given carrier family and seed.
+    pub fn new(kind: CarrierKind, seed: u64) -> Self {
+        NoiseSourceBlock {
+            bank: kind.bank(1, seed),
+            buffer: [0.0],
+        }
+    }
+
+    /// The carrier family this source emits.
+    pub fn family(&self) -> &'static str {
+        self.bank.family()
+    }
+}
+
+impl AnalogBlock for NoiseSourceBlock {
+    fn num_inputs(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert!(inputs.is_empty(), "noise source takes no inputs");
+        self.bank.next_sample(&mut self.buffer);
+        self.buffer[0]
+    }
+
+    fn reset(&mut self) {
+        self.bank.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "noise_source"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_noise::RunningStats;
+
+    #[test]
+    fn emits_zero_mean_noise() {
+        let mut src = NoiseSourceBlock::new(CarrierKind::Uniform, 7);
+        let mut stats = RunningStats::new();
+        for _ in 0..20_000 {
+            stats.push(src.process(&[]));
+        }
+        assert!(stats.mean().abs() < 0.01);
+        assert_eq!(src.family(), "uniform");
+        assert_eq!(src.num_inputs(), 0);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = NoiseSourceBlock::new(CarrierKind::Uniform, 1);
+        let mut b = NoiseSourceBlock::new(CarrierKind::Uniform, 2);
+        let sa: Vec<f64> = (0..8).map(|_| a.process(&[])).collect();
+        let sb: Vec<f64> = (0..8).map(|_| b.process(&[])).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn reset_replays_stream() {
+        let mut src = NoiseSourceBlock::new(CarrierKind::Rtw, 5);
+        let first: Vec<f64> = (0..16).map(|_| src.process(&[])).collect();
+        src.reset();
+        let second: Vec<f64> = (0..16).map(|_| src.process(&[])).collect();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,306 @@
+//! Analog non-idealities: offsets, gain errors, soft saturation, quantization.
+//!
+//! Section V of the NBL-SAT paper proposes building the SAT engine from
+//! wideband amplifiers, analog adders/multipliers and low-pass filters. Real
+//! versions of those blocks are not ideal: they add DC offsets, have gain
+//! mismatch, compress near the supply rails and — when the correlator output
+//! is digitized — quantize. Because Algorithm 1 reads the verdict off a *DC
+//! offset*, these non-idealities attack exactly the quantity the scheme
+//! measures; this module provides parameterized imperfection models so the
+//! benchmark harness can quantify how much imperfection the readout tolerates
+//! (the non-ideality ablation experiment).
+//!
+//! [`Nonideality`] is a reusable imperfection description and
+//! [`NonIdealBlock`] wraps *any* [`AnalogBlock`] with it, so an ideal datapath
+//! can be degraded block-by-block without rebuilding it.
+
+use crate::block::AnalogBlock;
+use std::fmt;
+
+/// A parameterized description of an analog block's imperfections, applied to
+/// the block's output in this order: gain error → offset → soft saturation →
+/// quantization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nonideality {
+    /// Multiplicative gain error (1.0 = ideal, 1.05 = +5 % gain).
+    pub gain: f64,
+    /// Additive DC offset at the output.
+    pub offset: f64,
+    /// Soft (tanh) saturation level; `None` disables compression.
+    pub saturation: Option<f64>,
+    /// Uniform quantizer resolution in bits together with its full-scale
+    /// range ±`full_scale`; `None` disables quantization.
+    pub quantizer: Option<(u32, f64)>,
+}
+
+impl Nonideality {
+    /// The ideal (pass-through) setting.
+    pub fn ideal() -> Self {
+        Nonideality {
+            gain: 1.0,
+            offset: 0.0,
+            saturation: None,
+            quantizer: None,
+        }
+    }
+
+    /// Sets the multiplicative gain error.
+    pub fn with_gain(mut self, gain: f64) -> Self {
+        self.gain = gain;
+        self
+    }
+
+    /// Sets the additive output offset.
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Enables soft saturation: the output is compressed through
+    /// `level · tanh(x / level)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not strictly positive.
+    pub fn with_saturation(mut self, level: f64) -> Self {
+        assert!(level > 0.0, "saturation level must be positive");
+        self.saturation = Some(level);
+        self
+    }
+
+    /// Enables an ideal mid-tread uniform quantizer with `bits` bits over the
+    /// range ±`full_scale` (values outside the range clip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 32, or `full_scale` is not
+    /// strictly positive.
+    pub fn with_quantizer(mut self, bits: u32, full_scale: f64) -> Self {
+        assert!((1..=32).contains(&bits), "quantizer bits must be in 1..=32");
+        assert!(full_scale > 0.0, "quantizer full scale must be positive");
+        self.quantizer = Some((bits, full_scale));
+        self
+    }
+
+    /// Returns `true` if every imperfection is disabled.
+    pub fn is_ideal(&self) -> bool {
+        self == &Nonideality::ideal()
+    }
+
+    /// Applies the imperfection chain to one output sample.
+    pub fn apply(&self, value: f64) -> f64 {
+        let mut out = value * self.gain + self.offset;
+        if let Some(level) = self.saturation {
+            out = level * (out / level).tanh();
+        }
+        if let Some((bits, full_scale)) = self.quantizer {
+            let levels = (1u64 << bits) as f64;
+            let step = 2.0 * full_scale / levels;
+            let clipped = out.clamp(-full_scale, full_scale);
+            out = (clipped / step).round() * step;
+        }
+        out
+    }
+}
+
+impl Default for Nonideality {
+    fn default() -> Self {
+        Nonideality::ideal()
+    }
+}
+
+impl fmt::Display for Nonideality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gain={} offset={}", self.gain, self.offset)?;
+        if let Some(level) = self.saturation {
+            write!(f, " sat=±{level}")?;
+        }
+        if let Some((bits, full_scale)) = self.quantizer {
+            write!(f, " quant={bits}b@±{full_scale}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Wraps any [`AnalogBlock`] and degrades its output with a [`Nonideality`].
+///
+/// ```
+/// use nbl_analog::{AnalogBlock, Multiplier, NonIdealBlock, Nonideality};
+///
+/// let imperfect = Nonideality::ideal().with_gain(1.1).with_offset(0.02);
+/// let mut multiplier = NonIdealBlock::new(Multiplier::new(), imperfect);
+/// let out = multiplier.process(&[0.5, 0.5]);
+/// assert!((out - (0.25 * 1.1 + 0.02)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonIdealBlock<B> {
+    inner: B,
+    nonideality: Nonideality,
+}
+
+impl<B: AnalogBlock> NonIdealBlock<B> {
+    /// Wraps `inner` with the given imperfection description.
+    pub fn new(inner: B, nonideality: Nonideality) -> Self {
+        NonIdealBlock { inner, nonideality }
+    }
+
+    /// The imperfection description.
+    pub fn nonideality(&self) -> Nonideality {
+        self.nonideality
+    }
+
+    /// Read access to the wrapped block.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps the inner block.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: AnalogBlock> AnalogBlock for NonIdealBlock<B> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        self.nonideality.apply(self.inner.process(inputs))
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "non-ideal"
+    }
+}
+
+/// A standalone ideal analog-to-digital quantizer block (single input).
+///
+/// Useful as the last stage of the correlator datapath when modelling a
+/// digitized readout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    nonideality: Nonideality,
+}
+
+impl Quantizer {
+    /// Creates a `bits`-bit quantizer over the range ±`full_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Nonideality::with_quantizer`].
+    pub fn new(bits: u32, full_scale: f64) -> Self {
+        Quantizer {
+            nonideality: Nonideality::ideal().with_quantizer(bits, full_scale),
+        }
+    }
+
+    /// The quantization step size.
+    pub fn step(&self) -> f64 {
+        let (bits, full_scale) = self.nonideality.quantizer.expect("always configured");
+        2.0 * full_scale / (1u64 << bits) as f64
+    }
+}
+
+impl AnalogBlock for Quantizer {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert_eq!(inputs.len(), 1, "quantizer takes one input");
+        self.nonideality.apply(inputs[0])
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "quantizer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::Multiplier;
+    use crate::summer::Summer;
+
+    #[test]
+    fn ideal_setting_is_a_passthrough() {
+        let ideal = Nonideality::ideal();
+        assert!(ideal.is_ideal());
+        for x in [-1.0, -0.25, 0.0, 0.3, 2.0] {
+            assert_eq!(ideal.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn gain_and_offset_compose_linearly() {
+        let imperfection = Nonideality::ideal().with_gain(0.9).with_offset(-0.05);
+        assert!((imperfection.apply(1.0) - 0.85).abs() < 1e-12);
+        assert!((imperfection.apply(0.0) + 0.05).abs() < 1e-12);
+        assert!(!imperfection.is_ideal());
+        assert!(imperfection.to_string().contains("gain=0.9"));
+    }
+
+    #[test]
+    fn saturation_compresses_large_signals_only() {
+        let imperfection = Nonideality::ideal().with_saturation(1.0);
+        // Small signals pass nearly unchanged, large ones clip towards ±1.
+        assert!((imperfection.apply(0.01) - 0.01).abs() < 1e-4);
+        assert!(imperfection.apply(10.0) < 1.0);
+        assert!(imperfection.apply(10.0) > 0.99);
+        assert!(imperfection.apply(-10.0) > -1.0);
+    }
+
+    #[test]
+    fn quantizer_rounds_to_grid_and_clips() {
+        let quantizer = Nonideality::ideal().with_quantizer(3, 1.0); // step 0.25
+        assert!((quantizer.apply(0.13) - 0.25).abs() < 1e-12);
+        assert!((quantizer.apply(0.12) - 0.0).abs() < 1e-12);
+        assert!((quantizer.apply(5.0) - 1.0).abs() < 1e-12);
+        assert!((quantizer.apply(-5.0) + 1.0).abs() < 1e-12);
+        let block = Quantizer::new(3, 1.0);
+        assert!((block.step() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapped_block_applies_imperfections_after_inner_processing() {
+        let imperfection = Nonideality::ideal().with_gain(2.0).with_offset(0.1);
+        let mut block = NonIdealBlock::new(Multiplier::new(), imperfection);
+        assert_eq!(block.num_inputs(), 2);
+        let out = block.process(&[0.5, -0.5]);
+        assert!((out - (-0.25 * 2.0 + 0.1)).abs() < 1e-12);
+        assert_eq!(block.nonideality(), imperfection);
+        block.reset();
+        let _inner: Multiplier = block.into_inner();
+    }
+
+    #[test]
+    fn wrapping_a_summer_preserves_arity() {
+        let mut block = NonIdealBlock::new(
+            Summer::new(3),
+            Nonideality::ideal().with_offset(0.5),
+        );
+        assert_eq!(block.num_inputs(), 3);
+        assert!((block.process(&[0.1, 0.2, 0.3]) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantizer_block_validates_input_arity() {
+        let mut quantizer = Quantizer::new(8, 2.0);
+        assert_eq!(quantizer.num_inputs(), 1);
+        let out = quantizer.process(&[0.4999]);
+        assert!((out - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=32")]
+    fn zero_bit_quantizer_rejected() {
+        let _ = Nonideality::ideal().with_quantizer(0, 1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Analog adders (summing junctions).
+
+use crate::block::AnalogBlock;
+
+/// An ideal analog summing junction with a configurable number of inputs and
+/// optional per-input gains.
+///
+/// The NBL construction uses adders to build the additive superpositions
+/// `(N_xi + N_x̄i)` of Eq. (1) and the per-clause superpositions of Σ_N.
+///
+/// ```
+/// use nbl_analog::{AnalogBlock, Summer};
+/// let mut s = Summer::new(3);
+/// assert_eq!(s.process(&[1.0, 2.0, 3.0]), 6.0);
+/// let mut weighted = Summer::with_gains(vec![1.0, -1.0]);
+/// assert_eq!(weighted.process(&[5.0, 2.0]), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summer {
+    gains: Vec<f64>,
+}
+
+impl Summer {
+    /// Creates an ideal summer with `num_inputs` unity-gain inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs == 0`.
+    pub fn new(num_inputs: usize) -> Self {
+        assert!(num_inputs > 0, "summer needs at least one input");
+        Summer {
+            gains: vec![1.0; num_inputs],
+        }
+    }
+
+    /// Creates a summer with explicit per-input gains (e.g. `-1.0` to model a
+    /// subtracting input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gains` is empty.
+    pub fn with_gains(gains: Vec<f64>) -> Self {
+        assert!(!gains.is_empty(), "summer needs at least one input");
+        Summer { gains }
+    }
+
+    /// The per-input gains.
+    pub fn gains(&self) -> &[f64] {
+        &self.gains
+    }
+}
+
+impl AnalogBlock for Summer {
+    fn num_inputs(&self) -> usize {
+        self.gains.len()
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert_eq!(inputs.len(), self.gains.len(), "input count mismatch");
+        inputs
+            .iter()
+            .zip(&self.gains)
+            .map(|(x, g)| x * g)
+            .sum()
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "summer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_gain_sum() {
+        let mut s = Summer::new(2);
+        assert_eq!(s.process(&[0.25, -0.75]), -0.5);
+        assert_eq!(s.num_inputs(), 2);
+        assert_eq!(s.name(), "summer");
+    }
+
+    #[test]
+    fn weighted_sum() {
+        let mut s = Summer::with_gains(vec![2.0, 0.5, -1.0]);
+        assert_eq!(s.process(&[1.0, 4.0, 3.0]), 1.0);
+        assert_eq!(s.gains(), &[2.0, 0.5, -1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_inputs_rejected() {
+        let _ = Summer::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        let mut s = Summer::new(2);
+        let _ = s.process(&[1.0]);
+    }
+}

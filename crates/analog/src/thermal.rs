@@ -1,0 +1,253 @@
+//! Physically parameterized noise and oscillator sources.
+//!
+//! §V of the paper proposes two concrete carrier generators: wideband
+//! amplifiers boosting a resistor's thermal (Johnson–Nyquist) noise, and
+//! on-chip sinusoidal oscillators (standing-wave resonant oscillators in the
+//! cited work). These blocks model those generators with physical parameters
+//! so that experiments can reason about realistic carrier amplitudes.
+
+use crate::block::AnalogBlock;
+use nbl_noise::{RandomSource, Xoshiro256StarStar};
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN_J_PER_K: f64 = 1.380_649e-23;
+
+/// A resistor's thermal noise followed by a wideband amplifier.
+///
+/// The RMS open-circuit noise voltage of a resistor over bandwidth `B` is
+/// `sqrt(4 k_B T R B)`; the block emits zero-mean Gaussian samples with that
+/// RMS, multiplied by the amplifier gain.
+///
+/// ```
+/// use nbl_analog::{AnalogBlock, ThermalNoiseSource};
+/// // 1 kΩ at 300 K over 1 GHz (≈ 0.13 mV RMS), amplified by 60 dB (×1000).
+/// let mut src = ThermalNoiseSource::new(1e3, 300.0, 1e9, 1e3, 7);
+/// let v = src.process(&[]);
+/// assert!(v.abs() < 1.5);
+/// assert!(src.rms_output_volts() > 0.05 && src.rms_output_volts() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalNoiseSource {
+    rng: Xoshiro256StarStar,
+    seed: u64,
+    rms_output: f64,
+    resistance_ohms: f64,
+    temperature_kelvin: f64,
+    bandwidth_hz: f64,
+    gain: f64,
+}
+
+impl ThermalNoiseSource {
+    /// Creates a thermal noise source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance, temperature, bandwidth or gain is not
+    /// strictly positive and finite.
+    pub fn new(
+        resistance_ohms: f64,
+        temperature_kelvin: f64,
+        bandwidth_hz: f64,
+        gain: f64,
+        seed: u64,
+    ) -> Self {
+        for (name, v) in [
+            ("resistance", resistance_ohms),
+            ("temperature", temperature_kelvin),
+            ("bandwidth", bandwidth_hz),
+            ("gain", gain),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite");
+        }
+        let rms_input =
+            (4.0 * BOLTZMANN_J_PER_K * temperature_kelvin * resistance_ohms * bandwidth_hz).sqrt();
+        ThermalNoiseSource {
+            rng: Xoshiro256StarStar::new(seed),
+            seed,
+            rms_output: rms_input * gain,
+            resistance_ohms,
+            temperature_kelvin,
+            bandwidth_hz,
+            gain,
+        }
+    }
+
+    /// RMS noise voltage at the resistor terminals (before amplification).
+    pub fn rms_input_volts(&self) -> f64 {
+        self.rms_output / self.gain
+    }
+
+    /// RMS output voltage after amplification.
+    pub fn rms_output_volts(&self) -> f64 {
+        self.rms_output
+    }
+
+    /// The modelled resistance in ohms.
+    pub fn resistance_ohms(&self) -> f64 {
+        self.resistance_ohms
+    }
+
+    /// The modelled temperature in kelvin.
+    pub fn temperature_kelvin(&self) -> f64 {
+        self.temperature_kelvin
+    }
+
+    /// The modelled noise bandwidth in hertz.
+    pub fn bandwidth_hz(&self) -> f64 {
+        self.bandwidth_hz
+    }
+}
+
+impl AnalogBlock for ThermalNoiseSource {
+    fn num_inputs(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert!(inputs.is_empty(), "thermal noise source takes no inputs");
+        self.rng.next_gaussian() * self.rms_output
+    }
+
+    fn reset(&mut self) {
+        self.rng = Xoshiro256StarStar::new(self.seed);
+    }
+
+    fn name(&self) -> &'static str {
+        "thermal_noise_source"
+    }
+}
+
+/// An on-chip sinusoidal oscillator with a programmable frequency, amplitude
+/// and phase (the carrier generator of the sinusoid-based-logic variant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Oscillator {
+    amplitude: f64,
+    /// Frequency as a fraction of the simulation sample rate.
+    normalized_frequency: f64,
+    phase_radians: f64,
+    step: u64,
+}
+
+impl Oscillator {
+    /// Creates an oscillator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude is not positive or the normalized frequency is
+    /// outside `(0, 0.5]` (Nyquist).
+    pub fn new(amplitude: f64, normalized_frequency: f64, phase_radians: f64) -> Self {
+        assert!(amplitude > 0.0, "amplitude must be positive");
+        assert!(
+            normalized_frequency > 0.0 && normalized_frequency <= 0.5,
+            "normalized frequency must be in (0, 0.5]"
+        );
+        Oscillator {
+            amplitude,
+            normalized_frequency,
+            phase_radians,
+            step: 0,
+        }
+    }
+
+    /// The oscillator frequency as a fraction of the sample rate.
+    pub fn normalized_frequency(&self) -> f64 {
+        self.normalized_frequency
+    }
+}
+
+impl AnalogBlock for Oscillator {
+    fn num_inputs(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, inputs: &[f64]) -> f64 {
+        assert!(inputs.is_empty(), "oscillator takes no inputs");
+        let value = self.amplitude
+            * (std::f64::consts::TAU * self.normalized_frequency * self.step as f64
+                + self.phase_radians)
+                .cos();
+        self.step += 1;
+        value
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "oscillator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbl_noise::RunningStats;
+
+    #[test]
+    fn johnson_noise_rms_matches_formula() {
+        // 1 kΩ at 300 K over 1 Hz: ~4.07 nV RMS.
+        let src = ThermalNoiseSource::new(1e3, 300.0, 1.0, 1.0, 0);
+        assert!((src.rms_input_volts() - 4.07e-9).abs() < 0.1e-9);
+        assert_eq!(src.resistance_ohms(), 1e3);
+        assert_eq!(src.temperature_kelvin(), 300.0);
+        assert_eq!(src.bandwidth_hz(), 1.0);
+    }
+
+    #[test]
+    fn empirical_rms_matches_declared_rms() {
+        let mut src = ThermalNoiseSource::new(50.0, 300.0, 1e9, 1e4, 3);
+        let mut stats = RunningStats::new();
+        for _ in 0..50_000 {
+            stats.push(src.process(&[]));
+        }
+        assert!(stats.mean().abs() < 0.02 * src.rms_output_volts());
+        assert!(
+            (stats.std_dev() - src.rms_output_volts()).abs() < 0.05 * src.rms_output_volts()
+        );
+        src.reset();
+        let first = src.process(&[]);
+        src.reset();
+        assert_eq!(src.process(&[]), first);
+    }
+
+    #[test]
+    fn hotter_or_larger_resistors_are_noisier() {
+        let base = ThermalNoiseSource::new(1e3, 300.0, 1e6, 1.0, 0);
+        let hot = ThermalNoiseSource::new(1e3, 600.0, 1e6, 1.0, 0);
+        let big = ThermalNoiseSource::new(4e3, 300.0, 1e6, 1.0, 0);
+        assert!(hot.rms_input_volts() > base.rms_input_volts());
+        assert!((big.rms_input_volts() / base.rms_input_volts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillator_period_and_orthogonality() {
+        let mut osc1 = Oscillator::new(1.0, 0.05, 0.0);
+        let mut osc2 = Oscillator::new(1.0, 0.10, 0.3);
+        let mut cross = RunningStats::new();
+        let mut power = RunningStats::new();
+        for _ in 0..10_000 {
+            let a = osc1.process(&[]);
+            let b = osc2.process(&[]);
+            cross.push(a * b);
+            power.push(a * a);
+        }
+        assert!(cross.mean().abs() < 1e-3);
+        assert!((power.mean() - 0.5).abs() < 1e-3);
+        assert_eq!(osc1.normalized_frequency(), 0.05);
+        osc1.reset();
+        assert_eq!(osc1.process(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nyquist_violation_rejected() {
+        let _ = Oscillator::new(1.0, 0.75, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_resistance_rejected() {
+        let _ = ThermalNoiseSource::new(0.0, 300.0, 1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion bench for E4 (Algorithm 2): cost of extracting a satisfying
+//! assignment as the variable count grows (the paper's bound is n checks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnf::generators::{random_ksat, RandomKSatConfig};
+use nbl_sat_core::{AssignmentExtractor, NblSatInstance, SymbolicEngine};
+
+fn extraction_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_extraction");
+    group.sample_size(20);
+    for &n in &[4usize, 6, 8, 10, 12] {
+        // Under-constrained instances stay satisfiable with overwhelming probability.
+        let formula = (0..)
+            .map(|s| random_ksat(&RandomKSatConfig::from_ratio(n, 2.0, 3).with_seed(s)).unwrap())
+            .find(|f| f.count_satisfying_assignments() > 0)
+            .unwrap();
+        let instance = NblSatInstance::new(&formula).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, instance| {
+            b.iter(|| {
+                AssignmentExtractor::new(SymbolicEngine::new())
+                    .extract(instance)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, extraction_by_size);
+criterion_main!(benches);

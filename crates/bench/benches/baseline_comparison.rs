@@ -1,0 +1,38 @@
+//! Criterion bench for E6: the NBL-guided hybrid solver against the classical
+//! baselines (DPLL, CDCL, WalkSAT) on random 3-SAT and structured instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cnf::generators::{self, RandomKSatConfig};
+use nbl_sat_core::HybridSolver;
+use sat_solvers::{CdclSolver, DpllSolver, Solver, WalkSat};
+
+fn solvers_on_random_3sat(c: &mut Criterion) {
+    let formula =
+        generators::random_ksat(&RandomKSatConfig::from_ratio(10, 4.0, 3).with_seed(17)).unwrap();
+    let mut group = c.benchmark_group("baseline_random3sat_n10");
+    // The NBL-guided solver issues thousands of exact coprocessor checks per
+    // solve; a reduced sample count keeps the whole suite fast.
+    group.sample_size(10);
+    group.bench_function("hybrid_nbl_guided", |b| {
+        b.iter(|| HybridSolver::with_ideal_coprocessor().solve(&formula).unwrap())
+    });
+    group.bench_function("dpll", |b| b.iter(|| DpllSolver::new().solve(&formula)));
+    group.bench_function("cdcl", |b| b.iter(|| CdclSolver::new().solve(&formula)));
+    group.bench_function("walksat", |b| b.iter(|| WalkSat::new().solve(&formula)));
+    group.finish();
+}
+
+fn solvers_on_pigeonhole(c: &mut Criterion) {
+    let formula = generators::pigeonhole(4, 3);
+    let mut group = c.benchmark_group("baseline_pigeonhole_4_3");
+    group.sample_size(10);
+    group.bench_function("hybrid_nbl_guided", |b| {
+        b.iter(|| HybridSolver::with_ideal_coprocessor().solve(&formula).unwrap())
+    });
+    group.bench_function("dpll", |b| b.iter(|| DpllSolver::new().solve(&formula)));
+    group.bench_function("cdcl", |b| b.iter(|| CdclSolver::new().solve(&formula)));
+    group.finish();
+}
+
+criterion_group!(benches, solvers_on_random_3sat, solvers_on_pigeonhole);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for E7: per-sample cost of each carrier family, and of the
+//! full sampled SAT check under each family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbl_noise::CarrierKind;
+use nbl_sat_core::{EngineConfig, NblEngine, NblSatInstance, SampledEngine};
+
+fn carrier_sample_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("carrier_sample_generation");
+    for kind in CarrierKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut bank = kind.bank(16, 3);
+            let mut buf = [0.0f64; 16];
+            b.iter(|| {
+                bank.next_sample(&mut buf);
+                buf[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sampled_check_by_carrier(c: &mut Criterion) {
+    let instance = NblSatInstance::new(&cnf::generators::example6_sat()).unwrap();
+    let mut group = c.benchmark_group("sampled_check_by_carrier");
+    group.sample_size(30);
+    for kind in CarrierKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                SampledEngine::new(
+                    EngineConfig::new()
+                        .with_carrier(kind)
+                        .with_seed(9)
+                        .with_max_samples(10_000)
+                        .with_check_interval(10_000),
+                )
+                .estimate(&instance, &instance.empty_bindings())
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, carrier_sample_generation, sampled_check_by_carrier);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion bench for E10: the circuit-derived SAT pipeline — Tseitin
+//! encoding, equivalence-checking miters, SAT-based ATPG instance generation
+//! and bit-parallel fault simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbl_circuit::{
+    atpg_check, equivalence_check, fault_list, fault_simulate, library, Simulator, StuckAtFault,
+    TseitinEncoder,
+};
+use sat_solvers::{CdclSolver, Solver};
+
+fn tseitin_encoding(c: &mut Criterion) {
+    let adder = library::ripple_carry_adder(8);
+    let multiplier = library::array_multiplier(4);
+    let mut group = c.benchmark_group("tseitin_encode");
+    group.bench_function("rca8", |b| {
+        b.iter(|| TseitinEncoder::new().encode(&adder).unwrap())
+    });
+    group.bench_function("mul4", |b| {
+        b.iter(|| TseitinEncoder::new().encode(&multiplier).unwrap())
+    });
+    group.finish();
+}
+
+fn equivalence_checking(c: &mut Criterion) {
+    let golden = library::ripple_carry_adder(4);
+    let buggy = library::buggy_ripple_carry_adder(4, 2);
+    let identical = library::ripple_carry_adder(4);
+    let mut group = c.benchmark_group("equivalence_check_cdcl");
+    group.sample_size(20);
+    group.bench_function("rca4_vs_buggy_sat", |b| {
+        b.iter(|| {
+            let check = equivalence_check(&golden, &buggy).unwrap();
+            CdclSolver::new().solve(check.formula())
+        })
+    });
+    group.bench_function("rca4_vs_rca4_unsat", |b| {
+        b.iter(|| {
+            let check = equivalence_check(&golden, &identical).unwrap();
+            CdclSolver::new().solve(check.formula())
+        })
+    });
+    group.finish();
+}
+
+fn atpg_instance_generation(c: &mut Criterion) {
+    let circuit = library::greater_than_comparator(4);
+    let fault = StuckAtFault::stuck_at_0(circuit.find("gt").unwrap());
+    let mut group = c.benchmark_group("atpg");
+    group.sample_size(20);
+    group.bench_function("encode_and_solve_gt4_output_sa0", |b| {
+        b.iter(|| {
+            let check = atpg_check(&circuit, fault).unwrap();
+            CdclSolver::new().solve(check.formula())
+        })
+    });
+    group.finish();
+}
+
+fn fault_simulation(c: &mut Criterion) {
+    let circuit = library::ripple_carry_adder(4);
+    let faults = fault_list(&circuit);
+    let n = circuit.num_inputs();
+    let patterns: Vec<Vec<bool>> = (0..64u64)
+        .map(|p| (0..n).map(|i| p.wrapping_mul(0x9E37).wrapping_add(17) >> i & 1 == 1).collect())
+        .collect();
+    let mut group = c.benchmark_group("fault_simulation_rca4");
+    group.bench_function("64_patterns_full_fault_list", |b| {
+        b.iter(|| fault_simulate(&circuit, &faults, &patterns).unwrap())
+    });
+    group.finish();
+}
+
+fn bit_parallel_simulation(c: &mut Criterion) {
+    let circuit = library::array_multiplier(4);
+    let sim = Simulator::new(&circuit).unwrap();
+    let words: Vec<u64> = (0..circuit.num_inputs() as u64)
+        .map(|i| 0xA5A5_5A5A_F0F0_0F0Fu64.rotate_left(i as u32))
+        .collect();
+    let scalar_inputs: Vec<bool> = (0..circuit.num_inputs()).map(|i| i % 2 == 0).collect();
+    let mut group = c.benchmark_group("simulation_mul4");
+    group.bench_function("scalar_pattern", |b| b.iter(|| sim.run(&scalar_inputs).unwrap()));
+    group.bench_function("word_64_patterns", |b| b.iter(|| sim.run_words(&words).unwrap()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    tseitin_encoding,
+    equivalence_checking,
+    atpg_instance_generation,
+    fault_simulation,
+    bit_parallel_simulation
+);
+criterion_main!(benches);

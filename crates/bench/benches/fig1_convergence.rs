@@ -1,0 +1,46 @@
+//! Criterion bench for E1 (Figure 1): cost of producing the S_N running-mean
+//! trace for the paper's §IV instances at increasing sample budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbl_sat_core::{EngineConfig, NblSatInstance, SampledEngine};
+
+fn fig1_trace(c: &mut Criterion) {
+    let sat = NblSatInstance::new(&cnf::generators::section4_sat_instance()).unwrap();
+    let unsat = NblSatInstance::new(&cnf::generators::section4_unsat_instance()).unwrap();
+    let mut group = c.benchmark_group("fig1_convergence");
+    group.sample_size(20);
+    for &samples in &[1_000u64, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("sat_trace", samples),
+            &samples,
+            |b, &samples| {
+                b.iter(|| {
+                    let mut engine = SampledEngine::new(
+                        EngineConfig::new().with_seed(1).with_max_samples(samples),
+                    );
+                    engine
+                        .trace_logspaced(&sat, &sat.empty_bindings(), "S_SAT", 3)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unsat_trace", samples),
+            &samples,
+            |b, &samples| {
+                b.iter(|| {
+                    let mut engine = SampledEngine::new(
+                        EngineConfig::new().with_seed(1).with_max_samples(samples),
+                    );
+                    engine
+                        .trace_logspaced(&unsat, &unsat.empty_bindings(), "S_UNSAT", 3)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1_trace);
+criterion_main!(benches);

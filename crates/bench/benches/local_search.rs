@@ -1,0 +1,39 @@
+//! Criterion bench for E11: stochastic local search (WalkSAT, GSAT,
+//! Schöning) against the complete baselines on satisfiable random 3-SAT, plus
+//! the polynomial 2-SAT solver on 2-CNF.
+
+use cnf::generators::{self, RandomKSatConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sat_solvers::{CdclSolver, Gsat, Portfolio, Schoening, Solver, TwoSatSolver, WalkSat};
+
+fn local_search_on_easy_3sat(c: &mut Criterion) {
+    // Below the phase transition (m/n = 3), satisfiable with high probability
+    // and easy for local search.
+    let formula =
+        generators::random_ksat(&RandomKSatConfig::from_ratio(20, 3.0, 3).with_seed(11)).unwrap();
+    let mut group = c.benchmark_group("local_search_random3sat_n20_r3");
+    group.sample_size(20);
+    group.bench_function("walksat", |b| b.iter(|| WalkSat::new().solve(&formula)));
+    group.bench_function("gsat", |b| b.iter(|| Gsat::new().solve(&formula)));
+    group.bench_function("schoening", |b| b.iter(|| Schoening::new().solve(&formula)));
+    group.bench_function("cdcl", |b| b.iter(|| CdclSolver::new().solve(&formula)));
+    group.bench_function("portfolio", |b| b.iter(|| Portfolio::new().solve(&formula)));
+    group.finish();
+}
+
+fn two_sat_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_sat_implication_graph");
+    for n in [50usize, 200, 800] {
+        let formula = generators::random_ksat(
+            &RandomKSatConfig::new(n, 2 * n, 2).with_seed(n as u64),
+        )
+        .unwrap();
+        group.bench_function(format!("n{n}_m{}", 2 * n), |b| {
+            b.iter(|| TwoSatSolver::new().solve(&formula))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, local_search_on_easy_3sat, two_sat_scaling);
+criterion_main!(benches);

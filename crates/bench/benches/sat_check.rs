@@ -1,0 +1,51 @@
+//! Criterion bench for E3/E8: the single-operation SAT check under each
+//! engine (exact counting, algebraic expansion, Monte-Carlo sampling) on the
+//! paper's worked examples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbl_sat_core::{
+    AlgebraicEngine, EngineConfig, NblEngine, NblSatInstance, SampledEngine, SymbolicEngine,
+};
+
+fn engines_on_worked_examples(c: &mut Criterion) {
+    let cases = [
+        ("example6_sat", cnf::generators::example6_sat()),
+        ("example7_unsat", cnf::generators::example7_unsat()),
+        ("section4_sat", cnf::generators::section4_sat_instance()),
+        ("section4_unsat", cnf::generators::section4_unsat_instance()),
+    ];
+    let mut group = c.benchmark_group("sat_check");
+    for (name, formula) in cases {
+        let instance = NblSatInstance::new(&formula).unwrap();
+        group.bench_function(format!("symbolic/{name}"), |b| {
+            b.iter(|| {
+                SymbolicEngine::new()
+                    .estimate(&instance, &instance.empty_bindings())
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("algebraic/{name}"), |b| {
+            b.iter(|| {
+                AlgebraicEngine::new()
+                    .estimate(&instance, &instance.empty_bindings())
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("sampled_20k/{name}"), |b| {
+            b.iter(|| {
+                SampledEngine::new(
+                    EngineConfig::new()
+                        .with_seed(5)
+                        .with_max_samples(20_000)
+                        .with_check_interval(20_000),
+                )
+                .estimate(&instance, &instance.empty_bindings())
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines_on_worked_examples);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for E2 (§III.F): cost of a fixed-budget sampled mean
+//! estimate as the instance size (n·m) grows — the denominator of the SNR
+//! trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnf::generators::{random_ksat, RandomKSatConfig};
+use nbl_sat_core::{EngineConfig, NblEngine, NblSatInstance, SampledEngine};
+
+fn sampled_estimate_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snr_scaling_sampled_estimate");
+    group.sample_size(30);
+    for &(n, m) in &[(2usize, 4usize), (3, 6), (4, 8), (6, 12), (8, 16)] {
+        let formula = random_ksat(&RandomKSatConfig::new(n, m, 3.min(n)).with_seed(7)).unwrap();
+        let instance = NblSatInstance::new(&formula).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &instance,
+            |b, instance| {
+                b.iter(|| {
+                    let mut engine = SampledEngine::new(
+                        EngineConfig::new()
+                            .with_seed(3)
+                            .with_max_samples(5_000)
+                            .with_check_interval(5_000),
+                    );
+                    engine
+                        .estimate(instance, &instance.empty_bindings())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sampled_estimate_by_size);
+criterion_main!(benches);

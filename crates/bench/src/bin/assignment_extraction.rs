@@ -1,0 +1,13 @@
+//! E4 / Algorithm 2: satisfying-assignment extraction cost across random
+//! satisfiable 3-SAT instances.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin assignment_extraction
+//! ```
+
+fn main() {
+    let instances = nbl_bench::env_u64("NBL_EXTRACTION_INSTANCES", 20) as u32;
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    let (_, report) = nbl_bench::assignment_extraction(instances, seed);
+    print!("{report}");
+}

@@ -1,0 +1,14 @@
+//! E10: circuit-derived SAT workloads — stuck-at ATPG with fault dropping and
+//! combinational equivalence checking over the `nbl-circuit` library.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin atpg_coverage
+//! ```
+
+fn main() {
+    let crosschecks = nbl_bench::env_u64("NBL_ATPG_CROSSCHECKS", 3) as usize;
+    let (_rows, atpg_report) = nbl_bench::atpg_coverage(crosschecks);
+    print!("{atpg_report}");
+    println!();
+    print!("{}", nbl_bench::equivalence_workload());
+}

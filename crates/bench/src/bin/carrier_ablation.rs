@@ -1,0 +1,13 @@
+//! E7 / §V realizations: the same SAT check under uniform, Gaussian, random
+//! telegraph wave and sinusoidal carriers.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin carrier_ablation
+//! ```
+
+fn main() {
+    let samples = nbl_bench::env_u64("NBL_SAMPLES", 500_000);
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    let (_, report) = nbl_bench::carrier_ablation(samples, seed);
+    print!("{report}");
+}

@@ -1,0 +1,11 @@
+//! E8 / §III.F: the O(2^{nm}) product-term count and the software engine's
+//! per-sample cost across instance sizes.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin cost_scaling
+//! ```
+
+fn main() {
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    print!("{}", nbl_bench::cost_scaling(seed));
+}

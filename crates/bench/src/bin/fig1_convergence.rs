@@ -1,0 +1,14 @@
+//! E1 / Figure 1: running mean of S_N vs. number of noise samples for the
+//! paper's S_SAT and S_UNSAT instances.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin fig1_convergence
+//! NBL_FIG1_SAMPLES=100000000 cargo run -p nbl-bench --release --bin fig1_convergence
+//! ```
+
+fn main() {
+    let max_samples = nbl_bench::env_u64("NBL_FIG1_SAMPLES", 1_000_000);
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    let (_, _, report) = nbl_bench::fig1_convergence(max_samples, seed);
+    print!("{report}");
+}

@@ -1,0 +1,12 @@
+//! E6 / §V: NBL-guided branching (hybrid CPU + coprocessor) vs. unguided DPLL
+//! and CDCL.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin hybrid_guidance
+//! ```
+
+fn main() {
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    let (_, report) = nbl_bench::hybrid_guidance(seed);
+    print!("{report}");
+}

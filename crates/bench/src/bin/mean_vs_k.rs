@@ -1,0 +1,11 @@
+//! E5 / §III.C: the exact S_N mean is proportional to the (weighted) number of
+//! satisfying minterms K.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin mean_vs_k
+//! ```
+
+fn main() {
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    print!("{}", nbl_bench::mean_vs_k(seed));
+}

@@ -1,0 +1,14 @@
+//! E9: how much analog imperfection (gain error, offset, saturation,
+//! quantization) the block-level NBL-SAT readout tolerates before the
+//! SAT/UNSAT discrimination breaks.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin nonideality_ablation
+//! ```
+
+fn main() {
+    let steps = nbl_bench::env_u64("NBL_SAMPLES", 300_000);
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    let (_rows, report) = nbl_bench::nonideality_ablation(steps, seed);
+    print!("{report}");
+}

@@ -1,0 +1,18 @@
+//! E2 / §III.F: predicted vs. measured SNR across instance sizes and sample
+//! budgets.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin snr_scaling
+//! ```
+
+fn main() {
+    let trials = nbl_bench::env_u64("NBL_SNR_TRIALS", 8) as u32;
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    let samples: Vec<u64> = vec![
+        nbl_bench::env_u64("NBL_SNR_SAMPLES_LO", 10_000),
+        nbl_bench::env_u64("NBL_SNR_SAMPLES_MID", 100_000),
+        nbl_bench::env_u64("NBL_SNR_SAMPLES_HI", 1_000_000),
+    ];
+    let (_, report) = nbl_bench::snr_scaling(&samples, trials, seed);
+    print!("{report}");
+}

@@ -1,0 +1,12 @@
+//! E11: every baseline solver (complete, incomplete, polynomial special case,
+//! portfolio) on a representative workload matrix.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin solver_comparison
+//! ```
+
+fn main() {
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    let (_rows, report) = nbl_bench::solver_comparison(seed);
+    print!("{report}");
+}

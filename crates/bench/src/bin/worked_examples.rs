@@ -1,0 +1,12 @@
+//! E3: the paper's worked Examples 6 & 7 and the §IV instances, checked with
+//! the exact and the sampled engine.
+//!
+//! ```text
+//! cargo run -p nbl-bench --release --bin worked_examples
+//! ```
+
+fn main() {
+    let samples = nbl_bench::env_u64("NBL_SAMPLES", 500_000);
+    let seed = nbl_bench::env_u64("NBL_SEED", 2012);
+    print!("{}", nbl_bench::worked_examples(samples, seed));
+}

@@ -1,0 +1,538 @@
+//! Extended experiments: E9 (analog non-ideality ablation), E10 (circuit
+//! ATPG / equivalence workloads) and E11 (baseline solver comparison).
+//!
+//! These go beyond the paper's own evaluation section but directly probe the
+//! claims its §I and §V make: that the engine can be built from imperfect
+//! analog parts (E9), that SAT derived from EDA problems — equivalence
+//! checking and test generation — is the motivating workload (E10), and that
+//! the classical solver landscape is the baseline NBL-SAT positions itself
+//! against (E11).
+
+use cnf::generators::{self, RandomKSatConfig};
+use cnf::CnfFormula;
+use nbl_analog::{
+    CorrelatorBlock, Multiplier, Netlist, NoiseSourceBlock, NonIdealBlock, Nonideality, Summer,
+};
+use nbl_circuit::{
+    atpg_check, equivalence_check, fault_list, fault_simulate, library, Circuit, StuckAtFault,
+    TseitinEncoder,
+};
+use nbl_noise::CarrierKind;
+use nbl_sat_core::{NblSatInstance, SatChecker, SymbolicEngine, Verdict};
+use sat_solvers::{
+    CdclSolver, DpllSolver, Gsat, Portfolio, Schoening, SolveResult, Solver, TwoSatSolver,
+    WalkSat,
+};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// E9 — analog non-ideality ablation
+// ---------------------------------------------------------------------------
+
+/// One row of the E9 sweep.
+#[derive(Debug, Clone)]
+pub struct NonidealityRow {
+    /// Human-readable description of the imperfection setting.
+    pub label: String,
+    /// Measured ⟨S_N⟩ for the satisfiable mini-instance.
+    pub sat_mean: f64,
+    /// Measured ⟨S_N⟩ for the unsatisfiable mini-instance.
+    pub unsat_mean: f64,
+    /// Whether both verdicts (SAT positive, UNSAT below threshold) are correct.
+    pub verdicts_correct: bool,
+}
+
+/// Builds the block-level readout of the n = 1, m = 2 mini-instance
+/// ((x1)(x1) when `satisfiable`, (x1)(¬x1) otherwise) with the S_N product
+/// stage and correlator degraded by `imperfection`, and returns ⟨S_N⟩.
+fn degraded_block_level_mean(
+    satisfiable: bool,
+    imperfection: Nonideality,
+    steps: u64,
+    seed: u64,
+) -> f64 {
+    let mut net = Netlist::new();
+    let p1 = net.add_block(Box::new(NoiseSourceBlock::new(CarrierKind::Uniform, seed)));
+    let m1 = net.add_block(Box::new(NoiseSourceBlock::new(
+        CarrierKind::Uniform,
+        seed + 1,
+    )));
+    let p2 = net.add_block(Box::new(NoiseSourceBlock::new(
+        CarrierKind::Uniform,
+        seed + 2,
+    )));
+    let m2 = net.add_block(Box::new(NoiseSourceBlock::new(
+        CarrierKind::Uniform,
+        seed + 3,
+    )));
+
+    // τ_N = N¹_x N²_x + N¹_x̄ N²_x̄ — the minterm multipliers are also degraded.
+    let tau_pos = net.add_block(Box::new(NonIdealBlock::new(Multiplier::new(), imperfection)));
+    let tau_neg = net.add_block(Box::new(NonIdealBlock::new(Multiplier::new(), imperfection)));
+    let tau = net.add_block(Box::new(Summer::new(2)));
+    net.connect(p1, tau_pos, 0).expect("valid netlist");
+    net.connect(p2, tau_pos, 1).expect("valid netlist");
+    net.connect(m1, tau_neg, 0).expect("valid netlist");
+    net.connect(m2, tau_neg, 1).expect("valid netlist");
+    net.connect(tau_pos, tau, 0).expect("valid netlist");
+    net.connect(tau_neg, tau, 1).expect("valid netlist");
+
+    // Σ_N = N¹_x · N²_x  (SAT)   or   N¹_x · N²_x̄  (UNSAT).
+    let sigma = net.add_block(Box::new(NonIdealBlock::new(Multiplier::new(), imperfection)));
+    net.connect(p1, sigma, 0).expect("valid netlist");
+    net.connect(if satisfiable { p2 } else { m2 }, sigma, 1)
+        .expect("valid netlist");
+
+    let s_n = net.add_block(Box::new(NonIdealBlock::new(Multiplier::new(), imperfection)));
+    let readout = net.add_block(Box::new(CorrelatorBlock::new()));
+    net.connect(tau, s_n, 0).expect("valid netlist");
+    net.connect(sigma, s_n, 1).expect("valid netlist");
+    net.connect(s_n, readout, 0).expect("valid netlist");
+    net.run(steps, readout).expect("netlist runs")
+}
+
+/// E9: sweeps analog imperfection severity through the block-level NBL-SAT
+/// readout and reports when the SAT/UNSAT discrimination breaks down.
+pub fn nonideality_ablation(steps: u64, seed: u64) -> (Vec<NonidealityRow>, String) {
+    let settings: Vec<(String, Nonideality)> = vec![
+        ("ideal".to_string(), Nonideality::ideal()),
+        (
+            "gain +10%".to_string(),
+            Nonideality::ideal().with_gain(1.1),
+        ),
+        (
+            "gain -20%".to_string(),
+            Nonideality::ideal().with_gain(0.8),
+        ),
+        (
+            "offset 1e-3".to_string(),
+            Nonideality::ideal().with_offset(1e-3),
+        ),
+        (
+            "offset 5e-3".to_string(),
+            Nonideality::ideal().with_offset(5e-3),
+        ),
+        (
+            "offset 2e-2".to_string(),
+            Nonideality::ideal().with_offset(2e-2),
+        ),
+        (
+            "soft sat ±0.5".to_string(),
+            Nonideality::ideal().with_saturation(0.5),
+        ),
+        (
+            "soft sat ±0.05".to_string(),
+            Nonideality::ideal().with_saturation(0.05),
+        ),
+        (
+            "8-bit ADC".to_string(),
+            Nonideality::ideal().with_quantizer(8, 0.5),
+        ),
+        (
+            "4-bit ADC".to_string(),
+            Nonideality::ideal().with_quantizer(4, 0.5),
+        ),
+        (
+            "offset 1e-3 + 8-bit ADC".to_string(),
+            Nonideality::ideal().with_offset(1e-3).with_quantizer(8, 0.5),
+        ),
+    ];
+    // Ideal expected SAT mean for the mini-instance is (1/12)² ≈ 6.94e-3; the
+    // decision threshold sits halfway between that and zero.
+    let ideal_sat_mean = (1.0f64 / 12.0).powi(2);
+    let threshold = 0.5 * ideal_sat_mean;
+
+    let mut rows = Vec::with_capacity(settings.len());
+    let mut report = String::new();
+    writeln!(
+        report,
+        "E9 — analog non-ideality ablation (block-level readout, {steps} samples, seed {seed})"
+    )
+    .expect("write to string");
+    writeln!(
+        report,
+        "{:<26} {:>14} {:>14}  verdicts",
+        "imperfection", "SAT mean", "UNSAT mean"
+    )
+    .expect("write to string");
+    for (label, imperfection) in settings {
+        let sat_mean = degraded_block_level_mean(true, imperfection, steps, seed);
+        let unsat_mean = degraded_block_level_mean(false, imperfection, steps, seed + 100);
+        let verdicts_correct = sat_mean > threshold && unsat_mean < threshold;
+        writeln!(
+            report,
+            "{label:<26} {sat_mean:>14.6} {unsat_mean:>14.6}  {}",
+            if verdicts_correct { "ok" } else { "BROKEN" }
+        )
+        .expect("write to string");
+        rows.push(NonidealityRow {
+            label,
+            sat_mean,
+            unsat_mean,
+            verdicts_correct,
+        });
+    }
+    (rows, report)
+}
+
+// ---------------------------------------------------------------------------
+// E10 — circuit workloads: ATPG and equivalence checking
+// ---------------------------------------------------------------------------
+
+/// One row of the E10 ATPG experiment.
+#[derive(Debug, Clone)]
+pub struct AtpgRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Total single stuck-at faults.
+    pub faults: usize,
+    /// Faults detected by the final test set (equals faults − untestable).
+    pub testable: usize,
+    /// Faults proven untestable (redundant logic).
+    pub untestable: usize,
+    /// Number of test patterns in the final (fault-dropped) test set.
+    pub patterns: usize,
+    /// Fault coverage achieved by the final test set.
+    pub coverage: f64,
+    /// Whether the NBL-SAT symbolic checker agreed with CDCL on the sampled
+    /// ATPG instances it was asked to cross-check.
+    pub nbl_agrees: bool,
+}
+
+/// Runs SAT-based ATPG with fault dropping on one circuit.
+fn atpg_on_circuit(name: &str, circuit: &Circuit, nbl_crosscheck_limit: usize) -> AtpgRow {
+    let faults = fault_list(circuit);
+    let mut patterns: Vec<Vec<bool>> = Vec::new();
+    let mut untestable: Vec<StuckAtFault> = Vec::new();
+    let mut remaining: Vec<StuckAtFault> = faults.clone();
+    let mut nbl_agrees = true;
+    let mut crosschecked = 0usize;
+
+    while let Some(&fault) = remaining.first() {
+        let check = atpg_check(circuit, fault).expect("fault injection succeeds");
+        let mut cdcl = CdclSolver::new();
+        let result = cdcl.solve(check.formula());
+        // Cross-check the CNF verdict with the NBL-SAT symbolic engine on the
+        // first few instances small enough for its 2^n enumeration.
+        if crosschecked < nbl_crosscheck_limit && check.formula().num_vars() <= 18 {
+            let instance = NblSatInstance::new(check.formula()).expect("valid CNF");
+            let mut checker = SatChecker::new(SymbolicEngine::new());
+            let verdict = checker.check(&instance).expect("symbolic check succeeds");
+            if (verdict == Verdict::Satisfiable) != result.is_sat() {
+                nbl_agrees = false;
+            }
+            crosschecked += 1;
+        }
+        match result {
+            SolveResult::Satisfiable(model) => {
+                let pattern: Vec<bool> = check
+                    .counterexample(&model)
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect();
+                patterns.push(pattern);
+                // Fault dropping: remove every remaining fault the new test
+                // set already detects.
+                let report = fault_simulate(circuit, &remaining, &patterns)
+                    .expect("fault simulation succeeds");
+                remaining = report.undetected;
+            }
+            SolveResult::Unsatisfiable => {
+                untestable.push(fault);
+                remaining.retain(|f| *f != fault);
+            }
+            SolveResult::Unknown => unreachable!("CDCL is complete"),
+        }
+    }
+
+    let detectable: Vec<StuckAtFault> = faults
+        .iter()
+        .copied()
+        .filter(|f| !untestable.contains(f))
+        .collect();
+    let final_report =
+        fault_simulate(circuit, &detectable, &patterns).expect("fault simulation succeeds");
+    AtpgRow {
+        circuit: name.to_string(),
+        faults: faults.len(),
+        testable: detectable.len(),
+        untestable: untestable.len(),
+        patterns: patterns.len(),
+        coverage: final_report.coverage(),
+        nbl_agrees,
+    }
+}
+
+/// E10a: SAT-based ATPG (test pattern generation) over the circuit library.
+pub fn atpg_coverage(nbl_crosscheck_limit: usize) -> (Vec<AtpgRow>, String) {
+    let circuits: Vec<(&str, Circuit)> = vec![
+        ("maj3", library::majority3()),
+        ("parity4", library::parity_tree(4)),
+        ("rca2", library::ripple_carry_adder(2)),
+        ("gt3", library::greater_than_comparator(3)),
+        ("mux4", library::multiplexer(2)),
+    ];
+    let mut rows = Vec::new();
+    let mut report = String::new();
+    writeln!(report, "E10a — SAT-based ATPG with fault dropping").expect("write to string");
+    writeln!(
+        report,
+        "{:<10} {:>7} {:>9} {:>11} {:>9} {:>10}  NBL agrees",
+        "circuit", "faults", "testable", "untestable", "patterns", "coverage"
+    )
+    .expect("write to string");
+    for (name, circuit) in &circuits {
+        let row = atpg_on_circuit(name, circuit, nbl_crosscheck_limit);
+        writeln!(
+            report,
+            "{:<10} {:>7} {:>9} {:>11} {:>9} {:>9.1}%  {}",
+            row.circuit,
+            row.faults,
+            row.testable,
+            row.untestable,
+            row.patterns,
+            100.0 * row.coverage,
+            row.nbl_agrees
+        )
+        .expect("write to string");
+        rows.push(row);
+    }
+    (rows, report)
+}
+
+/// E10b: combinational equivalence checking of golden vs. buggy adders.
+pub fn equivalence_workload() -> String {
+    let mut report = String::new();
+    writeln!(report, "E10b — equivalence checking (miter CNF, CDCL back end)")
+        .expect("write to string");
+    writeln!(
+        report,
+        "{:<28} {:>7} {:>9} {:>10}  result",
+        "pair", "vars", "clauses", "decisions"
+    )
+    .expect("write to string");
+    let cases: Vec<(String, Circuit, Circuit)> = vec![
+        (
+            "rca4 vs rca4".to_string(),
+            library::ripple_carry_adder(4),
+            library::ripple_carry_adder(4),
+        ),
+        (
+            "rca4 vs buggy(stage1)".to_string(),
+            library::ripple_carry_adder(4),
+            library::buggy_ripple_carry_adder(4, 1),
+        ),
+        (
+            "rca4 vs buggy(stage3)".to_string(),
+            library::ripple_carry_adder(4),
+            library::buggy_ripple_carry_adder(4, 3),
+        ),
+        (
+            "parity8 vs parity8".to_string(),
+            library::parity_tree(8),
+            library::parity_tree(8),
+        ),
+    ];
+    for (label, golden, revised) in cases {
+        let check = equivalence_check(&golden, &revised).expect("same interface");
+        let mut cdcl = CdclSolver::new();
+        let result = cdcl.solve(check.formula());
+        let verdict = match result {
+            SolveResult::Satisfiable(ref model) => {
+                let cex: Vec<String> = check
+                    .counterexample(model)
+                    .into_iter()
+                    .filter(|(_, v)| *v)
+                    .map(|(name, _)| name)
+                    .collect();
+                format!("NOT equivalent (counterexample sets {})", cex.join(","))
+            }
+            SolveResult::Unsatisfiable => "equivalent".to_string(),
+            SolveResult::Unknown => "unknown".to_string(),
+        };
+        writeln!(
+            report,
+            "{:<28} {:>7} {:>9} {:>10}  {verdict}",
+            label,
+            check.formula().num_vars(),
+            check.formula().num_clauses(),
+            cdcl.stats().decisions
+        )
+        .expect("write to string");
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// E11 — baseline solver comparison
+// ---------------------------------------------------------------------------
+
+/// One row of the E11 comparison (one solver on one instance).
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Workload name.
+    pub instance: String,
+    /// Solver name.
+    pub solver: String,
+    /// Verdict string (`SAT`, `UNSAT`, `unknown`).
+    pub verdict: String,
+    /// Decisions (complete solvers) or flips (local search).
+    pub effort: u64,
+}
+
+fn comparison_workloads(seed: u64) -> Vec<(String, CnfFormula)> {
+    let mut workloads = Vec::new();
+    for ratio in [3.0f64, 4.3, 5.0] {
+        let n = 12usize;
+        let m = (ratio * n as f64).round() as usize;
+        let formula = generators::random_ksat(&RandomKSatConfig::new(n, m, 3).with_seed(seed))
+            .expect("valid generator config");
+        workloads.push((format!("random 3-SAT n={n} m/n={ratio}"), formula));
+    }
+    workloads.push(("pigeonhole 4->3".to_string(), generators::pigeonhole(4, 3)));
+    workloads.push(("parity chain n=6".to_string(), generators::parity_chain(6, false)));
+    workloads.push((
+        "random 2-SAT n=15".to_string(),
+        generators::random_ksat(&RandomKSatConfig::new(15, 30, 2).with_seed(seed + 7))
+            .expect("valid generator config"),
+    ));
+    workloads
+}
+
+/// E11: every baseline solver on a representative workload matrix.
+pub fn solver_comparison(seed: u64) -> (Vec<ComparisonRow>, String) {
+    let workloads = comparison_workloads(seed);
+    let mut rows = Vec::new();
+    let mut report = String::new();
+    writeln!(report, "E11 — baseline solver comparison (seed {seed})").expect("write to string");
+    writeln!(
+        report,
+        "{:<24} {:<11} {:>8} {:>10}",
+        "instance", "solver", "verdict", "effort"
+    )
+    .expect("write to string");
+    for (name, formula) in &workloads {
+        let mut solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(DpllSolver::new()),
+            Box::new(CdclSolver::new()),
+            Box::new(TwoSatSolver::new()),
+            Box::new(WalkSat::new()),
+            Box::new(Gsat::new()),
+            Box::new(Schoening::new()),
+            Box::new(Portfolio::new()),
+        ];
+        for solver in &mut solvers {
+            let result = solver.solve(formula);
+            let verdict = match result {
+                SolveResult::Satisfiable(ref model) => {
+                    assert!(formula.evaluate(model), "model must verify");
+                    "SAT".to_string()
+                }
+                SolveResult::Unsatisfiable => "UNSAT".to_string(),
+                SolveResult::Unknown => "unknown".to_string(),
+            };
+            let stats = solver.stats();
+            let effort = if stats.decisions > 0 {
+                stats.decisions
+            } else {
+                stats.flips
+            };
+            writeln!(
+                report,
+                "{:<24} {:<11} {:>8} {:>10}",
+                name,
+                solver.name(),
+                verdict,
+                effort
+            )
+            .expect("write to string");
+            rows.push(ComparisonRow {
+                instance: name.clone(),
+                solver: solver.name().to_string(),
+                verdict,
+                effort,
+            });
+        }
+    }
+    (rows, report)
+}
+
+/// Encodes one circuit satisfiability query (used by the Criterion benches):
+/// "can output `output_index` of `circuit` be driven to 1?".
+pub fn circuit_output_query(circuit: &Circuit, output_index: usize) -> CnfFormula {
+    let mut encoding = TseitinEncoder::new().encode(circuit).expect("acyclic circuit");
+    encoding.assert_output(output_index, true);
+    encoding.into_formula()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonideality_ideal_row_is_correct_and_extreme_rows_break() {
+        let (rows, report) = nonideality_ablation(60_000, 9);
+        assert_eq!(rows[0].label, "ideal");
+        assert!(rows[0].verdicts_correct, "{report}");
+        // The harshest saturation setting crushes the DC component.
+        let harsh = rows
+            .iter()
+            .find(|r| r.label.contains("±0.05"))
+            .expect("setting present");
+        assert!(harsh.sat_mean < rows[0].sat_mean);
+        assert!(report.contains("E9"));
+    }
+
+    #[test]
+    fn atpg_reaches_full_coverage_on_small_circuits() {
+        let (rows, report) = atpg_coverage(1);
+        for row in &rows {
+            assert!(row.nbl_agrees, "{report}");
+            assert!(
+                (row.coverage - 1.0).abs() < 1e-9,
+                "coverage of detectable faults must be 100% for {}: {report}",
+                row.circuit
+            );
+            assert_eq!(row.faults, row.testable + row.untestable);
+        }
+    }
+
+    #[test]
+    fn equivalence_workload_flags_the_buggy_adders() {
+        let report = equivalence_workload();
+        assert!(report.contains("rca4 vs rca4"));
+        assert!(report.contains("NOT equivalent"));
+        assert!(report.contains(" equivalent"));
+    }
+
+    #[test]
+    fn solver_comparison_is_internally_consistent() {
+        let (rows, _report) = solver_comparison(2012);
+        // Complete solvers must agree pairwise on every instance.
+        for instance in rows.iter().map(|r| r.instance.clone()).collect::<std::collections::BTreeSet<_>>() {
+            let verdicts: Vec<&ComparisonRow> = rows
+                .iter()
+                .filter(|r| r.instance == instance && (r.solver == "dpll" || r.solver == "cdcl" || r.solver == "portfolio"))
+                .collect();
+            let first = &verdicts[0].verdict;
+            assert!(
+                verdicts.iter().all(|r| &r.verdict == first),
+                "complete solvers disagree on {instance}"
+            );
+            // Incomplete solvers never claim UNSAT.
+            for row in rows.iter().filter(|r| r.instance == instance) {
+                if ["walksat", "gsat", "schoening"].contains(&row.solver.as_str()) {
+                    assert_ne!(row.verdict, "UNSAT");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_output_query_is_satisfiable_for_parity() {
+        let parity = library::parity_tree(4);
+        let formula = circuit_output_query(&parity, 0);
+        let mut cdcl = CdclSolver::new();
+        assert!(cdcl.solve(&formula).is_sat());
+    }
+}

@@ -1,0 +1,366 @@
+//! Reader and writer for the ISCAS-style `.bench` netlist format.
+//!
+//! The `.bench` format is the de-facto interchange format for the ISCAS-85
+//! combinational benchmark circuits:
+//!
+//! ```text
+//! # a 2-input AND with registered name
+//! INPUT(a)
+//! INPUT(b)
+//! OUTPUT(y)
+//! y = AND(a, b)
+//! ```
+//!
+//! This module supports the combinational subset (no `DFF`), every
+//! [`GateKind`](crate::GateKind) name plus the common aliases `BUFF` and
+//! `INV`, and — as a documented extension — the tokens `CONST0`/`CONST1` for
+//! constant drivers so that every [`Circuit`] in this crate round-trips.
+
+use crate::error::{CircuitError, Result};
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Parses a `.bench` netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ParseBench`] for malformed lines,
+/// [`CircuitError::DuplicateSignal`] / [`CircuitError::UnknownSignal`] for
+/// inconsistent signal usage, and [`CircuitError::CombinationalLoop`] if the
+/// parsed netlist is cyclic.
+///
+/// ```
+/// use nbl_circuit::{parse_bench, Simulator};
+///
+/// let text = "
+/// INPUT(a)
+/// INPUT(b)
+/// INPUT(c)
+/// OUTPUT(maj)
+/// ab = AND(a, b)
+/// ac = AND(a, c)
+/// bc = AND(b, c)
+/// maj = OR(ab, ac, bc)
+/// ";
+/// let circuit = parse_bench(text)?;
+/// let sim = Simulator::new(&circuit)?;
+/// assert_eq!(sim.run(&[true, true, false])?, vec![true]);
+/// # Ok::<(), nbl_circuit::CircuitError>(())
+/// ```
+pub fn parse_bench(text: &str) -> Result<Circuit> {
+    #[derive(Debug)]
+    struct GateDef {
+        line: usize,
+        lhs: String,
+        kind_token: String,
+        args: Vec<String>,
+    }
+
+    let mut inputs: Vec<(usize, String)> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut gates: Vec<GateDef> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            inputs.push((line_no, parse_single_name(rest, line_no)?));
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            outputs.push((line_no, parse_single_name(rest, line_no)?));
+        } else if let Some(eq_pos) = line.find('=') {
+            let lhs = line[..eq_pos].trim();
+            let rhs = line[eq_pos + 1..].trim();
+            if lhs.is_empty() {
+                return Err(CircuitError::ParseBench {
+                    line: line_no,
+                    message: "missing signal name before `=`".to_string(),
+                });
+            }
+            let open = rhs.find('(');
+            let close = rhs.rfind(')');
+            let (kind_token, args): (String, Vec<String>) = match (open, close) {
+                (Some(o), Some(c)) if o < c => {
+                    let kind = rhs[..o].trim().to_string();
+                    let args = rhs[o + 1..c]
+                        .split(',')
+                        .map(|a| a.trim().to_string())
+                        .filter(|a| !a.is_empty())
+                        .collect();
+                    (kind, args)
+                }
+                _ => {
+                    // Allow argument-free tokens (the CONST0/CONST1 extension).
+                    (rhs.trim().to_string(), Vec::new())
+                }
+            };
+            gates.push(GateDef {
+                line: line_no,
+                lhs: lhs.to_string(),
+                kind_token,
+                args,
+            });
+        } else {
+            return Err(CircuitError::ParseBench {
+                line: line_no,
+                message: format!("unrecognised statement `{line}`"),
+            });
+        }
+    }
+
+    let mut circuit = Circuit::new("bench");
+    for (line_no, name) in &inputs {
+        circuit.add_input(name.clone()).map_err(|e| match e {
+            CircuitError::DuplicateSignal(s) => CircuitError::ParseBench {
+                line: *line_no,
+                message: format!("input `{s}` declared twice"),
+            },
+            other => other,
+        })?;
+    }
+    // Declare every gate output first so forward references resolve.
+    for def in &gates {
+        if circuit.find(&def.lhs).is_some() {
+            return Err(CircuitError::ParseBench {
+                line: def.line,
+                message: format!("signal `{}` is defined more than once", def.lhs),
+            });
+        }
+        circuit.declare_signal(def.lhs.clone())?;
+    }
+    // Wire the gates up.
+    for def in &gates {
+        let lhs = circuit.require(&def.lhs)?;
+        let upper = def.kind_token.to_ascii_uppercase();
+        if upper == "CONST0" || upper == "CONST1" {
+            if !def.args.is_empty() {
+                return Err(CircuitError::ParseBench {
+                    line: def.line,
+                    message: format!("{upper} takes no arguments"),
+                });
+            }
+            circuit.set_constant_driver(lhs, upper == "CONST1")?;
+            continue;
+        }
+        let kind: GateKind = def.kind_token.parse().map_err(|_| CircuitError::ParseBench {
+            line: def.line,
+            message: format!("unknown gate kind `{}`", def.kind_token),
+        })?;
+        let fanin: Vec<NodeId> = def
+            .args
+            .iter()
+            .map(|arg| {
+                circuit.find(arg).ok_or_else(|| CircuitError::ParseBench {
+                    line: def.line,
+                    message: format!("unknown signal `{arg}`"),
+                })
+            })
+            .collect::<Result<_>>()?;
+        circuit
+            .set_driver(lhs, kind, &fanin)
+            .map_err(|e| match e {
+                CircuitError::InvalidFanin { kind, got, expected } => CircuitError::ParseBench {
+                    line: def.line,
+                    message: format!("{kind} gate cannot take {got} inputs (expected {expected})"),
+                },
+                other => other,
+            })?;
+    }
+    for (line_no, name) in &outputs {
+        let id = circuit.find(name).ok_or(CircuitError::ParseBench {
+            line: *line_no,
+            message: format!("output `{name}` is never defined"),
+        })?;
+        circuit.mark_output(id).map_err(|e| match e {
+            CircuitError::DuplicateOutput(s) => CircuitError::ParseBench {
+                line: *line_no,
+                message: format!("output `{s}` declared twice"),
+            },
+            other => other,
+        })?;
+    }
+    // Reject cyclic netlists eagerly so downstream users get a parse-time error.
+    circuit.topological_order()?;
+    Ok(circuit)
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if !upper.starts_with(keyword) {
+        return None;
+    }
+    let rest = line[keyword.len()..].trim_start();
+    // Only treat this as a directive when it is followed by `(...)`; this keeps
+    // signal names that merely start with INPUT/OUTPUT usable on the left-hand
+    // side of gate definitions.
+    if rest.starts_with('(') || rest.is_empty() {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
+fn parse_single_name(rest: &str, line: usize) -> Result<String> {
+    let rest = rest.trim();
+    if let Some(inner) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
+        let name = inner.trim();
+        if name.is_empty() || name.contains(|c: char| c.is_whitespace() || c == ',') {
+            return Err(CircuitError::ParseBench {
+                line,
+                message: format!("malformed signal name `{inner}`"),
+            });
+        }
+        Ok(name.to_string())
+    } else {
+        Err(CircuitError::ParseBench {
+            line,
+            message: "expected `(signal)` after directive".to_string(),
+        })
+    }
+}
+
+/// Writes a circuit in `.bench` format.
+///
+/// Constant drivers use the `CONST0`/`CONST1` extension tokens; everything
+/// else is standard ISCAS `.bench` output that [`parse_bench`] (and other
+/// tools) read back.
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    let stats = circuit.stats();
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} gates\n",
+        stats.inputs, stats.outputs, stats.gates
+    ));
+    let name_of: HashMap<NodeId, &str> = circuit.iter().map(|(id, n)| (id, n.name())).collect();
+    for &input in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", name_of[&input]));
+    }
+    for &output in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", name_of[&output]));
+    }
+    for (id, node) in circuit.iter() {
+        match node.kind() {
+            NodeKind::Input => {}
+            NodeKind::Constant(v) => {
+                out.push_str(&format!("{} = CONST{}\n", name_of[&id], v as u8));
+            }
+            NodeKind::Gate(kind) => {
+                let args: Vec<&str> = node.fanin().iter().map(|f| name_of[f]).collect();
+                out.push_str(&format!(
+                    "{} = {}({})\n",
+                    name_of[&id],
+                    kind.name(),
+                    args.join(", ")
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::sim::exhaustive_counterexample;
+
+    #[test]
+    fn parses_simple_netlist() {
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn forward_references_are_supported() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = BUF(a)\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.num_gates(), 2);
+        let sim = crate::Simulator::new(&c).unwrap();
+        assert_eq!(sim.run(&[true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# header comment\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = BUF(a)\n\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.num_inputs(), 1);
+    }
+
+    #[test]
+    fn library_circuits_round_trip() {
+        for (name, circuit) in library::standard_suite() {
+            let text = write_bench(&circuit);
+            let reparsed = parse_bench(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                exhaustive_counterexample(&circuit, &reparsed).unwrap(),
+                None,
+                "{name} must round-trip functionally"
+            );
+        }
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let mut c = Circuit::new("with_const");
+        let a = c.add_input("a").unwrap();
+        let one = c.add_constant("one", true).unwrap();
+        let y = c.add_gate("y", GateKind::And, &[a, one]).unwrap();
+        c.mark_output(y).unwrap();
+        let text = write_bench(&c);
+        assert!(text.contains("one = CONST1"));
+        let reparsed = parse_bench(&text).unwrap();
+        assert_eq!(exhaustive_counterexample(&c, &reparsed).unwrap(), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("INPUT a\n", 1),
+            ("INPUT(a)\nfoo bar\n", 2),
+            ("INPUT(a)\ny = MAJ(a, a)\n", 2),
+            ("INPUT(a)\ny = NOT(b)\n", 2),
+            ("INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n", 2),
+            ("INPUT(a)\nINPUT(a)\n", 2),
+            ("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n", 3),
+            ("INPUT(a)\ny = CONST1(a)\n", 2),
+            ("INPUT(a)\ny = NOT(a, a)\n", 2),
+        ];
+        for (text, expected_line) in cases {
+            match parse_bench(text) {
+                Err(CircuitError::ParseBench { line, .. }) => {
+                    assert_eq!(line, expected_line, "wrong line for {text:?}")
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n";
+        assert!(matches!(
+            parse_bench(text).unwrap_err(),
+            CircuitError::CombinationalLoop(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_output_is_rejected() {
+        let text = "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = BUF(a)\n";
+        assert!(matches!(
+            parse_bench(text).unwrap_err(),
+            CircuitError::ParseBench { line: 3, .. }
+        ));
+    }
+}

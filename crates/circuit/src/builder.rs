@@ -1,0 +1,325 @@
+//! Ergonomic circuit construction.
+
+use crate::error::Result;
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, NodeId};
+
+/// A fluent builder that constructs a [`Circuit`] while generating names for
+/// intermediate signals automatically.
+///
+/// The builder is a thin convenience layer: every method maps to one or a few
+/// [`Circuit`] primitives. Handles returned by the builder are plain
+/// [`NodeId`]s, so builder-made and hand-made nodes mix freely.
+///
+/// ```
+/// use nbl_circuit::{CircuitBuilder, Simulator};
+///
+/// let mut b = CircuitBuilder::new("mux");
+/// let sel = b.input("sel")?;
+/// let d0 = b.input("d0")?;
+/// let d1 = b.input("d1")?;
+/// let out = b.mux(sel, d1, d0)?;      // sel ? d1 : d0
+/// b.output("out", out)?;
+/// let circuit = b.finish();
+///
+/// let sim = Simulator::new(&circuit)?;
+/// assert_eq!(sim.run(&[false, false, true])?, vec![false]); // sel=0 -> d0
+/// assert_eq!(sim.run(&[true, false, true])?, vec![true]);   // sel=1 -> d1
+/// # Ok::<(), nbl_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+    next_tmp: usize,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            circuit: Circuit::new(name),
+            next_tmp: 0,
+        }
+    }
+
+    /// Wraps an existing circuit so more logic can be appended to it.
+    pub fn from_circuit(circuit: Circuit) -> Self {
+        CircuitBuilder {
+            circuit,
+            next_tmp: 0,
+        }
+    }
+
+    fn tmp_name(&mut self, stem: &str) -> String {
+        loop {
+            let name = format!("_{stem}{}", self.next_tmp);
+            self.next_tmp += 1;
+            if self.circuit.find(&name).is_none() {
+                return name;
+            }
+        }
+    }
+
+    /// Adds a named primary input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::CircuitError::DuplicateSignal`].
+    pub fn input(&mut self, name: impl Into<String>) -> Result<NodeId> {
+        self.circuit.add_input(name)
+    }
+
+    /// Adds a bus of `width` primary inputs named `stem0`, `stem1`, ...
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::CircuitError::DuplicateSignal`].
+    pub fn input_bus(&mut self, stem: &str, width: usize) -> Result<Vec<NodeId>> {
+        (0..width).map(|i| self.input(format!("{stem}{i}"))).collect()
+    }
+
+    /// Adds a constant driver with an auto-generated name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::CircuitError::DuplicateSignal`].
+    pub fn constant(&mut self, value: bool) -> Result<NodeId> {
+        let name = self.tmp_name(if value { "one" } else { "zero" });
+        self.circuit.add_constant(name, value)
+    }
+
+    /// Adds a gate with an auto-generated name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fan-in validation errors from [`Circuit::add_gate`].
+    pub fn gate(&mut self, kind: GateKind, fanin: &[NodeId]) -> Result<NodeId> {
+        let name = self.tmp_name(&kind.name().to_ascii_lowercase());
+        self.circuit.add_gate(name, kind, fanin)
+    }
+
+    /// Adds a gate driving an explicitly named signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    pub fn named_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanin: &[NodeId],
+    ) -> Result<NodeId> {
+        self.circuit.add_gate(name, kind, fanin)
+    }
+
+    /// Two-input AND.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        self.gate(GateKind::And, &[a, b])
+    }
+
+    /// Two-input OR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        self.gate(GateKind::Or, &[a, b])
+    }
+
+    /// Two-input XOR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        self.gate(GateKind::Xor, &[a, b])
+    }
+
+    /// Inverter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    pub fn not(&mut self, a: NodeId) -> Result<NodeId> {
+        self.gate(GateKind::Not, &[a])
+    }
+
+    /// 2-to-1 multiplexer: `sel ? hi : lo`, built from AND/OR/NOT gates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    pub fn mux(&mut self, sel: NodeId, hi: NodeId, lo: NodeId) -> Result<NodeId> {
+        let nsel = self.not(sel)?;
+        let take_hi = self.and2(sel, hi)?;
+        let take_lo = self.and2(nsel, lo)?;
+        self.or2(take_hi, take_lo)
+    }
+
+    /// Half adder: returns `(sum, carry)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    pub fn half_adder(&mut self, a: NodeId, b: NodeId) -> Result<(NodeId, NodeId)> {
+        Ok((self.xor2(a, b)?, self.and2(a, b)?))
+    }
+
+    /// Full adder: returns `(sum, carry_out)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    pub fn full_adder(&mut self, a: NodeId, b: NodeId, cin: NodeId) -> Result<(NodeId, NodeId)> {
+        let (s1, c1) = self.half_adder(a, b)?;
+        let (sum, c2) = self.half_adder(s1, cin)?;
+        let cout = self.or2(c1, c2)?;
+        Ok((sum, cout))
+    }
+
+    /// Balanced reduction of a list of signals with the given associative gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signals` is empty.
+    pub fn reduce(&mut self, kind: GateKind, signals: &[NodeId]) -> Result<NodeId> {
+        assert!(!signals.is_empty(), "cannot reduce an empty signal list");
+        let mut layer = signals.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate(kind, pair)?);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        Ok(layer[0])
+    }
+
+    /// Exposes a node as a primary output under the given name.
+    ///
+    /// If the node already carries the requested name the node itself is
+    /// marked; otherwise a buffer with the output name is inserted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Circuit::add_gate`] and [`Circuit::mark_output`].
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) -> Result<NodeId> {
+        let name = name.into();
+        let out = if self
+            .circuit
+            .node(node)
+            .map(|n| n.name() == name)
+            .unwrap_or(false)
+        {
+            node
+        } else {
+            self.circuit.add_gate(name, GateKind::Buf, &[node])?
+        };
+        self.circuit.mark_output(out)?;
+        Ok(out)
+    }
+
+    /// Read-only access to the circuit under construction.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Finishes construction and returns the circuit.
+    pub fn finish(self) -> Circuit {
+        self.circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{truth_table, Simulator};
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut b = CircuitBuilder::new("fa");
+        let a = b.input("a").unwrap();
+        let bb = b.input("b").unwrap();
+        let cin = b.input("cin").unwrap();
+        let (sum, cout) = b.full_adder(a, bb, cin).unwrap();
+        b.output("sum", sum).unwrap();
+        b.output("cout", cout).unwrap();
+        let circuit = b.finish();
+        let sim = Simulator::new(&circuit).unwrap();
+        for pattern in 0..8u32 {
+            let bits = [pattern & 1 == 1, pattern & 2 == 2, pattern & 4 == 4];
+            let total = bits.iter().filter(|&&x| x).count();
+            let out = sim.run(&bits).unwrap();
+            assert_eq!(out[0], total % 2 == 1, "sum for {bits:?}");
+            assert_eq!(out[1], total >= 2, "carry for {bits:?}");
+        }
+    }
+
+    #[test]
+    fn mux_selects_correct_branch() {
+        let mut b = CircuitBuilder::new("mux");
+        let sel = b.input("sel").unwrap();
+        let d0 = b.input("d0").unwrap();
+        let d1 = b.input("d1").unwrap();
+        let out = b.mux(sel, d1, d0).unwrap();
+        b.output("out", out).unwrap();
+        let circuit = b.finish();
+        let table = truth_table(&circuit).unwrap();
+        for row in table {
+            let sel = row.pattern & 1 == 1;
+            let d0 = row.pattern & 2 == 2;
+            let d1 = row.pattern & 4 == 4;
+            assert_eq!(row.outputs[0], if sel { d1 } else { d0 });
+        }
+    }
+
+    #[test]
+    fn reduce_builds_balanced_tree() {
+        let mut b = CircuitBuilder::new("tree");
+        let bus = b.input_bus("x", 5).unwrap();
+        let all = b.reduce(GateKind::And, &bus).unwrap();
+        b.output("all", all).unwrap();
+        let circuit = b.finish();
+        let sim = Simulator::new(&circuit).unwrap();
+        assert_eq!(sim.run(&[true; 5]).unwrap(), vec![true]);
+        assert_eq!(sim.run(&[true, true, false, true, true]).unwrap(), vec![false]);
+        // A balanced reduction of 5 leaves uses 4 binary gates and depth 3.
+        assert_eq!(circuit.num_gates(), 4 + 1); // + output buffer
+        assert!(circuit.stats().depth <= 4);
+    }
+
+    #[test]
+    fn output_reuses_existing_name() {
+        let mut b = CircuitBuilder::new("named");
+        let a = b.input("a").unwrap();
+        let g = b.named_gate("y", GateKind::Not, &[a]).unwrap();
+        let out = b.output("y", g).unwrap();
+        assert_eq!(out, g, "no buffer inserted when names already match");
+        let circuit = b.finish();
+        assert_eq!(circuit.num_gates(), 1);
+    }
+
+    #[test]
+    fn constants_and_tmp_names_do_not_collide() {
+        let mut b = CircuitBuilder::new("consts");
+        let one = b.constant(true).unwrap();
+        let zero = b.constant(false).unwrap();
+        let or = b.or2(one, zero).unwrap();
+        b.output("out", or).unwrap();
+        let circuit = b.finish();
+        let sim = Simulator::new(&circuit).unwrap();
+        assert_eq!(sim.run(&[]).unwrap(), vec![true]);
+    }
+}

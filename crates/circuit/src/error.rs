@@ -1,0 +1,152 @@
+//! Error type for circuit construction, parsing and encoding.
+
+use std::fmt;
+
+/// Errors produced by the `nbl-circuit` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A signal name was declared more than once.
+    DuplicateSignal(String),
+    /// A referenced signal name does not exist in the circuit.
+    UnknownSignal(String),
+    /// A referenced node id does not exist in the circuit.
+    UnknownNode(usize),
+    /// A gate was given a fan-in count its kind does not support.
+    InvalidFanin {
+        /// The gate kind in question.
+        kind: &'static str,
+        /// The fan-in count that was supplied.
+        got: usize,
+        /// Human-readable description of the supported fan-in counts.
+        expected: &'static str,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalLoop(String),
+    /// An output name was marked more than once.
+    DuplicateOutput(String),
+    /// The circuit has no primary outputs where at least one is required.
+    NoOutputs,
+    /// Two circuits could not be combined because their interfaces differ.
+    InterfaceMismatch(String),
+    /// The number of supplied input values does not match the circuit.
+    InputCountMismatch {
+        /// Number of primary inputs the circuit has.
+        expected: usize,
+        /// Number of values supplied by the caller.
+        got: usize,
+    },
+    /// The circuit has too many primary inputs for an exhaustive operation.
+    TooManyInputs {
+        /// Number of primary inputs the circuit has.
+        inputs: usize,
+        /// Largest supported number of inputs for the requested operation.
+        limit: usize,
+    },
+    /// A `.bench` netlist failed to parse.
+    ParseBench {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DuplicateSignal(name) => {
+                write!(f, "signal `{name}` is declared more than once")
+            }
+            CircuitError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
+            CircuitError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            CircuitError::InvalidFanin {
+                kind,
+                got,
+                expected,
+            } => write!(f, "{kind} gate cannot take {got} inputs (expected {expected})"),
+            CircuitError::CombinationalLoop(name) => {
+                write!(f, "combinational loop through signal `{name}`")
+            }
+            CircuitError::DuplicateOutput(name) => {
+                write!(f, "output `{name}` is declared more than once")
+            }
+            CircuitError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            CircuitError::InterfaceMismatch(msg) => write!(f, "interface mismatch: {msg}"),
+            CircuitError::InputCountMismatch { expected, got } => write!(
+                f,
+                "circuit has {expected} primary inputs but {got} values were supplied"
+            ),
+            CircuitError::TooManyInputs { inputs, limit } => write!(
+                f,
+                "circuit has {inputs} primary inputs, more than the supported limit of {limit}"
+            ),
+            CircuitError::ParseBench { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CircuitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CircuitError, &str)> = vec![
+            (CircuitError::DuplicateSignal("a".into()), "a"),
+            (CircuitError::UnknownSignal("b".into()), "b"),
+            (CircuitError::UnknownNode(7), "7"),
+            (
+                CircuitError::InvalidFanin {
+                    kind: "NOT",
+                    got: 2,
+                    expected: "exactly 1",
+                },
+                "NOT",
+            ),
+            (CircuitError::CombinationalLoop("loop".into()), "loop"),
+            (CircuitError::DuplicateOutput("o".into()), "o"),
+            (CircuitError::NoOutputs, "no primary outputs"),
+            (CircuitError::InterfaceMismatch("x vs y".into()), "x vs y"),
+            (
+                CircuitError::InputCountMismatch {
+                    expected: 3,
+                    got: 2,
+                },
+                "3",
+            ),
+            (
+                CircuitError::TooManyInputs {
+                    inputs: 80,
+                    limit: 24,
+                },
+                "80",
+            ),
+            (
+                CircuitError::ParseBench {
+                    line: 4,
+                    message: "bad token".into(),
+                },
+                "line 4",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<CircuitError>();
+    }
+}

@@ -1,0 +1,348 @@
+//! Stuck-at fault modelling, fault simulation and ATPG encoding.
+//!
+//! Circuit testing — generating input patterns that distinguish a fabricated
+//! die with a manufacturing defect from the intended design — is the third SAT
+//! application the paper's introduction motivates. Under the single stuck-at
+//! fault model a defect pins one signal line to a constant 0 or 1; a *test* for
+//! the fault is an input pattern on which the good and faulty circuits produce
+//! different outputs. Finding such a pattern is exactly a miter SAT problem,
+//! so any engine in this workspace (CDCL, DPLL, or the NBL-SAT checker) can
+//! serve as the ATPG back end.
+
+use crate::error::Result;
+use crate::miter::{equivalence_check, EquivalenceCheck};
+use crate::netlist::{Circuit, NodeId};
+use crate::sim::Simulator;
+use std::fmt;
+
+/// A single stuck-at fault on the output line of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StuckAtFault {
+    /// The node whose output line is faulty.
+    pub node: NodeId,
+    /// The value the line is stuck at (`false` = stuck-at-0, `true` = stuck-at-1).
+    pub stuck_at: bool,
+}
+
+impl StuckAtFault {
+    /// Creates a stuck-at-0 fault on the given node.
+    pub fn stuck_at_0(node: NodeId) -> Self {
+        StuckAtFault {
+            node,
+            stuck_at: false,
+        }
+    }
+
+    /// Creates a stuck-at-1 fault on the given node.
+    pub fn stuck_at_1(node: NodeId) -> Self {
+        StuckAtFault {
+            node,
+            stuck_at: true,
+        }
+    }
+
+    /// Human-readable description of the fault within the given circuit.
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let name = circuit
+            .node(self.node)
+            .map(|n| n.name().to_string())
+            .unwrap_or_else(|| self.node.to_string());
+        format!("{name} s-a-{}", self.stuck_at as u8)
+    }
+}
+
+impl fmt::Display for StuckAtFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s-a-{}", self.node, self.stuck_at as u8)
+    }
+}
+
+/// Enumerates the full single stuck-at fault list of a circuit: two faults
+/// (stuck-at-0, stuck-at-1) per node, excluding the miter-irrelevant faults on
+/// constant drivers.
+pub fn fault_list(circuit: &Circuit) -> Vec<StuckAtFault> {
+    let mut faults = Vec::with_capacity(2 * circuit.num_nodes());
+    for (id, node) in circuit.iter() {
+        if matches!(node.kind(), crate::netlist::NodeKind::Constant(_)) {
+            continue;
+        }
+        faults.push(StuckAtFault::stuck_at_0(id));
+        faults.push(StuckAtFault::stuck_at_1(id));
+    }
+    faults
+}
+
+/// Returns a copy of the circuit with the fault injected.
+///
+/// For a fault on a gate (or constant) output the node's driver is replaced by
+/// the stuck value; for a fault on a primary input a constant node is added
+/// and every gate that reads the input is rewired to it. Either way the
+/// circuit interface (input and output names) is preserved, so the faulty
+/// circuit can be mitered against the good one.
+///
+/// A primary input that is *directly* marked as a primary output does not
+/// observe its own stuck-at fault at that output (the fault sits on the
+/// input's fan-out branches); such faults are only detectable through other
+/// outputs, matching the usual fan-out-branch fault model.
+///
+/// # Errors
+///
+/// Returns [`crate::CircuitError::UnknownNode`] if the fault references a node
+/// that does not exist, or [`crate::CircuitError::DuplicateSignal`] if the
+/// generated constant name collides.
+pub fn inject(circuit: &Circuit, fault: StuckAtFault) -> Result<Circuit> {
+    let mut faulty = circuit.clone();
+    let node = circuit
+        .node(fault.node)
+        .ok_or(crate::CircuitError::UnknownNode(fault.node.index()))?;
+    if node.is_input() {
+        let name = format!("{}_sa{}", node.name(), fault.stuck_at as u8);
+        let constant = faulty.add_constant(name, fault.stuck_at)?;
+        faulty.redirect_fanin(fault.node, constant)?;
+    } else {
+        faulty.set_constant_driver(fault.node, fault.stuck_at)?;
+    }
+    faulty.set_name(format!("{}#{}", circuit.name(), fault));
+    Ok(faulty)
+}
+
+/// Builds the ATPG SAT instance for one fault: the equivalence check between
+/// the good circuit and the faulty circuit.
+///
+/// The resulting CNF is **satisfiable iff the fault is testable**, and every
+/// model decodes (via [`EquivalenceCheck::counterexample`]) to a test pattern
+/// that detects the fault.
+///
+/// # Errors
+///
+/// Propagates injection and miter construction errors.
+pub fn atpg_check(circuit: &Circuit, fault: StuckAtFault) -> Result<EquivalenceCheck> {
+    let faulty = inject(circuit, fault)?;
+    equivalence_check(circuit, &faulty)
+}
+
+/// Result of fault-simulating a set of test patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSimReport {
+    /// Faults detected by at least one pattern.
+    pub detected: Vec<StuckAtFault>,
+    /// Faults not detected by any pattern.
+    pub undetected: Vec<StuckAtFault>,
+}
+
+impl FaultSimReport {
+    /// Total number of faults simulated.
+    pub fn total(&self) -> usize {
+        self.detected.len() + self.undetected.len()
+    }
+
+    /// Fault coverage in `[0, 1]` (1.0 when the fault list is empty).
+    pub fn coverage(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.detected.len() as f64 / self.total() as f64
+        }
+    }
+}
+
+impl fmt::Display for FaultSimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} faults detected ({:.1}% coverage)",
+            self.detected.len(),
+            self.total(),
+            100.0 * self.coverage()
+        )
+    }
+}
+
+/// Fault-simulates a pattern set against a fault list using 64-way
+/// bit-parallel simulation.
+///
+/// A fault is *detected* if at least one pattern makes any primary output of
+/// the faulty circuit differ from the good circuit.
+///
+/// # Errors
+///
+/// * [`crate::CircuitError::InputCountMismatch`] if any pattern has the wrong
+///   arity.
+/// * Propagates injection and simulation errors.
+pub fn fault_simulate(
+    circuit: &Circuit,
+    faults: &[StuckAtFault],
+    patterns: &[Vec<bool>],
+) -> Result<FaultSimReport> {
+    let good_sim = Simulator::new(circuit)?;
+    let n = circuit.num_inputs();
+    // Pack patterns into 64-wide words per input.
+    let chunks: Vec<Vec<u64>> = patterns
+        .chunks(64)
+        .map(|chunk| {
+            let mut words = vec![0u64; n];
+            for (bit, pattern) in chunk.iter().enumerate() {
+                if pattern.len() != n {
+                    return Err(crate::CircuitError::InputCountMismatch {
+                        expected: n,
+                        got: pattern.len(),
+                    });
+                }
+                for (i, &value) in pattern.iter().enumerate() {
+                    if value {
+                        words[i] |= 1u64 << bit;
+                    }
+                }
+            }
+            Ok(words)
+        })
+        .collect::<Result<_>>()?;
+    let good_outputs: Vec<Vec<u64>> = chunks
+        .iter()
+        .map(|words| good_sim.run_words(words))
+        .collect::<Result<_>>()?;
+
+    let mut detected = Vec::new();
+    let mut undetected = Vec::new();
+    for &fault in faults {
+        let faulty = inject(circuit, fault)?;
+        let faulty_sim = Simulator::new(&faulty)?;
+        let mut found = false;
+        for (chunk_idx, words) in chunks.iter().enumerate() {
+            let faulty_out = faulty_sim.run_words(words)?;
+            let valid_bits = {
+                let remaining = patterns.len() - chunk_idx * 64;
+                if remaining >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << remaining) - 1
+                }
+            };
+            if good_outputs[chunk_idx]
+                .iter()
+                .zip(&faulty_out)
+                .any(|(g, f)| (g ^ f) & valid_bits != 0)
+            {
+                found = true;
+                break;
+            }
+        }
+        if found {
+            detected.push(fault);
+        } else {
+            undetected.push(fault);
+        }
+    }
+    Ok(FaultSimReport {
+        detected,
+        undetected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use sat_solvers::{CdclSolver, SolveResult, Solver};
+
+    #[test]
+    fn fault_list_covers_every_non_constant_node() {
+        let c = library::majority3();
+        let faults = fault_list(&c);
+        assert_eq!(faults.len(), 2 * c.num_nodes());
+        assert!(faults.iter().any(|f| !f.stuck_at));
+        assert!(faults.iter().any(|f| f.stuck_at));
+    }
+
+    #[test]
+    fn injection_preserves_interface() {
+        let c = library::ripple_carry_adder(2);
+        let fault = StuckAtFault::stuck_at_1(c.find("a0").unwrap());
+        let faulty = inject(&c, fault).unwrap();
+        assert_eq!(faulty.num_inputs(), c.num_inputs());
+        assert_eq!(faulty.input_names(), c.input_names());
+        assert_eq!(faulty.output_names(), c.output_names());
+        assert!(faulty.validate().is_ok());
+        // With a0 stuck at 1, the pattern a=0,b=0,cin=0 must now produce s0=1.
+        let sim = Simulator::new(&faulty).unwrap();
+        let out = sim.run(&[false, false, false, false, false]).unwrap();
+        assert_eq!(out[0], true);
+    }
+
+    #[test]
+    fn describes_fault_with_signal_name() {
+        let c = library::majority3();
+        let fault = StuckAtFault::stuck_at_0(c.find("x1").unwrap());
+        assert_eq!(fault.describe(&c), "x1 s-a-0");
+        assert!(fault.to_string().contains("s-a-0"));
+    }
+
+    #[test]
+    fn atpg_finds_a_test_for_a_testable_fault() {
+        let c = library::majority3();
+        let fault = StuckAtFault::stuck_at_0(c.find("x0").unwrap());
+        let check = atpg_check(&c, fault).unwrap();
+        let mut solver = CdclSolver::new();
+        match solver.solve(check.formula()) {
+            SolveResult::Satisfiable(model) => {
+                let pattern: Vec<bool> = check
+                    .counterexample(&model)
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect();
+                // The pattern must actually detect the fault.
+                let report = fault_simulate(&c, &[fault], &[pattern]).unwrap();
+                assert_eq!(report.detected.len(), 1);
+            }
+            other => panic!("fault must be testable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn untestable_fault_yields_unsat() {
+        // out = x OR NOT x is constantly 1: a stuck-at-1 on the output is untestable.
+        let mut c = Circuit::new("tautology");
+        let x = c.add_input("x").unwrap();
+        let nx = c.add_gate("nx", crate::GateKind::Not, &[x]).unwrap();
+        let out = c.add_gate("out", crate::GateKind::Or, &[x, nx]).unwrap();
+        c.mark_output(out).unwrap();
+        let fault = StuckAtFault::stuck_at_1(out);
+        let check = atpg_check(&c, fault).unwrap();
+        let mut solver = CdclSolver::new();
+        assert!(solver.solve(check.formula()).is_unsat());
+    }
+
+    #[test]
+    fn exhaustive_patterns_reach_full_coverage_of_testable_faults() {
+        let c = library::parity_tree(3);
+        let faults = fault_list(&c);
+        let patterns: Vec<Vec<bool>> = (0..8u64)
+            .map(|p| (0..3).map(|i| p >> i & 1 == 1).collect())
+            .collect();
+        let report = fault_simulate(&c, &faults, &patterns).unwrap();
+        // Every stuck-at fault in a parity tree is testable, so exhaustive
+        // patterns must detect all of them.
+        assert_eq!(report.undetected.len(), 0, "{report}");
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pattern_set_detects_nothing() {
+        let c = library::majority3();
+        let faults = fault_list(&c);
+        let report = fault_simulate(&c, &faults, &[]).unwrap();
+        assert!(report.detected.is_empty());
+        assert_eq!(report.total(), faults.len());
+    }
+
+    #[test]
+    fn malformed_pattern_is_rejected() {
+        let c = library::majority3();
+        let faults = fault_list(&c);
+        let err = fault_simulate(&c, &faults, &[vec![true; 2]]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CircuitError::InputCountMismatch { expected: 3, got: 2 }
+        ));
+    }
+}

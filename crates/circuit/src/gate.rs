@@ -1,0 +1,292 @@
+//! Gate kinds and their Boolean semantics.
+
+use crate::error::{CircuitError, Result};
+use std::fmt;
+use std::str::FromStr;
+
+/// The logic function computed by a gate.
+///
+/// `Buf` and `Not` are strictly unary; every other kind accepts two or more
+/// inputs and is evaluated as the natural n-ary extension (e.g. an n-ary
+/// `Xor` is the parity of its inputs, an n-ary `Nand` is the negation of the
+/// conjunction of all inputs).
+///
+/// ```
+/// use nbl_circuit::GateKind;
+/// assert!(GateKind::And.eval(&[true, true, true]));
+/// assert!(!GateKind::And.eval(&[true, false, true]));
+/// assert!(GateKind::Xor.eval(&[true, true, true]));   // odd parity
+/// assert_eq!(GateKind::Not.eval(&[true]), false);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Identity of a single input.
+    Buf,
+    /// Negation of a single input.
+    Not,
+    /// Conjunction of all inputs.
+    And,
+    /// Negated conjunction of all inputs.
+    Nand,
+    /// Disjunction of all inputs.
+    Or,
+    /// Negated disjunction of all inputs.
+    Nor,
+    /// Parity (odd number of true inputs).
+    Xor,
+    /// Negated parity (even number of true inputs).
+    Xnor,
+}
+
+impl GateKind {
+    /// All gate kinds, in a stable order.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Returns `true` for the unary kinds (`Buf`, `Not`).
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Buf | GateKind::Not)
+    }
+
+    /// Returns `true` for kinds whose output is the negation of the
+    /// corresponding non-inverting kind (`Not`, `Nand`, `Nor`, `Xnor`).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+
+    /// Returns the non-inverting counterpart of this kind
+    /// (`Nand → And`, `Xnor → Xor`, ...); non-inverting kinds return themselves.
+    pub fn base(self) -> GateKind {
+        match self {
+            GateKind::Not => GateKind::Buf,
+            GateKind::Nand => GateKind::And,
+            GateKind::Nor => GateKind::Or,
+            GateKind::Xnor => GateKind::Xor,
+            other => other,
+        }
+    }
+
+    /// Validates a fan-in count for this gate kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidFanin`] if the count is not supported:
+    /// unary kinds require exactly one input, all other kinds require at
+    /// least two.
+    pub fn check_fanin(self, count: usize) -> Result<()> {
+        if self.is_unary() {
+            if count != 1 {
+                return Err(CircuitError::InvalidFanin {
+                    kind: self.name(),
+                    got: count,
+                    expected: "exactly 1",
+                });
+            }
+        } else if count < 2 {
+            return Err(CircuitError::InvalidFanin {
+                kind: self.name(),
+                got: count,
+                expected: "at least 2",
+            });
+        }
+        Ok(())
+    }
+
+    /// Evaluates the gate on the given input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(!inputs.is_empty(), "gate evaluation needs at least one input");
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+        }
+    }
+
+    /// Evaluates the gate bit-parallel on 64-wide words (one simulation
+    /// pattern per bit position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        assert!(!inputs.is_empty(), "gate evaluation needs at least one input");
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Nand => !inputs.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Or => inputs.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Nor => !inputs.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Xor => inputs.iter().fold(0, |acc, &w| acc ^ w),
+            GateKind::Xnor => !inputs.iter().fold(0, |acc, &w| acc ^ w),
+        }
+    }
+
+    /// Canonical upper-case name of the kind, as used by the `.bench` format.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown gate-kind name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError(pub String);
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            other => Err(ParseGateKindError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_truth_tables() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expected) in cases {
+            for (i, &want) in expected.iter().enumerate() {
+                let a = i & 1 == 1;
+                let b = i & 2 == 2;
+                assert_eq!(kind.eval(&[a, b]), want, "{kind} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_kinds() {
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Buf.eval(&[false]));
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Not.eval(&[false]));
+    }
+
+    #[test]
+    fn nary_extensions() {
+        assert!(GateKind::And.eval(&[true; 5]));
+        assert!(!GateKind::And.eval(&[true, true, false, true]));
+        assert!(GateKind::Or.eval(&[false, false, true]));
+        assert!(GateKind::Xor.eval(&[true, true, true])); // odd parity
+        assert!(!GateKind::Xor.eval(&[true, true, true, true]));
+        assert!(GateKind::Xnor.eval(&[true, true, false, false]));
+    }
+
+    #[test]
+    fn word_eval_matches_scalar_eval() {
+        for kind in GateKind::ALL {
+            let arity = if kind.is_unary() { 1 } else { 3 };
+            // Patterns 0..2^arity in the low bits of each word.
+            let mut words = vec![0u64; arity];
+            for pattern in 0..(1u32 << arity) {
+                for (i, word) in words.iter_mut().enumerate() {
+                    if pattern >> i & 1 == 1 {
+                        *word |= 1 << pattern;
+                    }
+                }
+            }
+            let out = kind.eval_word(&words);
+            for pattern in 0..(1u32 << arity) {
+                let scalar_inputs: Vec<bool> =
+                    (0..arity).map(|i| pattern >> i & 1 == 1).collect();
+                assert_eq!(
+                    out >> pattern & 1 == 1,
+                    kind.eval(&scalar_inputs),
+                    "{kind} pattern {pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanin_validation() {
+        assert!(GateKind::Not.check_fanin(1).is_ok());
+        assert!(GateKind::Not.check_fanin(2).is_err());
+        assert!(GateKind::And.check_fanin(2).is_ok());
+        assert!(GateKind::And.check_fanin(5).is_ok());
+        assert!(GateKind::And.check_fanin(1).is_err());
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for kind in GateKind::ALL {
+            assert_eq!(kind.name().parse::<GateKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!("inv".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert_eq!("buff".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert!("MAJ".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn inverting_and_base_relationships() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert_eq!(GateKind::Nand.base(), GateKind::And);
+        assert_eq!(GateKind::Xnor.base(), GateKind::Xor);
+        assert_eq!(GateKind::Not.base(), GateKind::Buf);
+        assert_eq!(GateKind::Or.base(), GateKind::Or);
+    }
+}

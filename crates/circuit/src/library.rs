@@ -1,0 +1,364 @@
+//! A library of generated benchmark circuits.
+//!
+//! These are the combinational workloads the examples, tests and benches use:
+//! datapath blocks (adders, multipliers, comparators), control blocks
+//! (multiplexers, parity trees) and deliberately buggy variants for
+//! equivalence-checking and ATPG demonstrations — the application domains the
+//! paper's introduction motivates SAT with.
+
+use crate::builder::CircuitBuilder;
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, NodeId};
+
+/// A `width`-bit ripple-carry adder.
+///
+/// Inputs (in declaration order): `a0..a{width-1}`, `b0..b{width-1}`, `cin`.
+/// Outputs: `s0..s{width-1}`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ripple_carry_adder(width: usize) -> Circuit {
+    assert!(width > 0, "adder width must be positive");
+    let mut b = CircuitBuilder::new(format!("rca{width}"));
+    let a_bus = b.input_bus("a", width).expect("fresh names");
+    let b_bus = b.input_bus("b", width).expect("fresh names");
+    let mut carry = b.input("cin").expect("fresh names");
+    for i in 0..width {
+        let (sum, cout) = b.full_adder(a_bus[i], b_bus[i], carry).expect("valid gates");
+        b.output(format!("s{i}"), sum).expect("fresh outputs");
+        carry = cout;
+    }
+    b.output("cout", carry).expect("fresh outputs");
+    b.finish()
+}
+
+/// A `width`-bit ripple-carry adder with an injected design bug: the carry
+/// into stage `bug_stage` is dropped (replaced by constant 0).
+///
+/// Useful as the "revised, buggy" circuit in equivalence-checking demos: the
+/// miter against [`ripple_carry_adder`] is satisfiable and every satisfying
+/// assignment is a counterexample pattern.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `bug_stage == 0` or `bug_stage >= width`
+/// (stage 0 takes the external carry-in, which is kept intact).
+pub fn buggy_ripple_carry_adder(width: usize, bug_stage: usize) -> Circuit {
+    assert!(width > 0, "adder width must be positive");
+    assert!(
+        bug_stage > 0 && bug_stage < width,
+        "bug_stage must be in 1..width"
+    );
+    let mut b = CircuitBuilder::new(format!("rca{width}_bug{bug_stage}"));
+    let a_bus = b.input_bus("a", width).expect("fresh names");
+    let b_bus = b.input_bus("b", width).expect("fresh names");
+    let mut carry = b.input("cin").expect("fresh names");
+    for i in 0..width {
+        if i == bug_stage {
+            carry = b.constant(false).expect("fresh names");
+        }
+        let (sum, cout) = b.full_adder(a_bus[i], b_bus[i], carry).expect("valid gates");
+        b.output(format!("s{i}"), sum).expect("fresh outputs");
+        carry = cout;
+    }
+    b.output("cout", carry).expect("fresh outputs");
+    b.finish()
+}
+
+/// A `width`-bit equality comparator: output `eq` is 1 iff `a == b`.
+///
+/// Inputs: `a0..`, `b0..`; output: `eq`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn equality_comparator(width: usize) -> Circuit {
+    assert!(width > 0, "comparator width must be positive");
+    let mut b = CircuitBuilder::new(format!("eq{width}"));
+    let a_bus = b.input_bus("a", width).expect("fresh names");
+    let b_bus = b.input_bus("b", width).expect("fresh names");
+    let mut bit_eq = Vec::with_capacity(width);
+    for i in 0..width {
+        bit_eq.push(
+            b.gate(GateKind::Xnor, &[a_bus[i], b_bus[i]])
+                .expect("valid gates"),
+        );
+    }
+    let eq = b.reduce(GateKind::And, &bit_eq).expect("non-empty bus");
+    b.output("eq", eq).expect("fresh outputs");
+    b.finish()
+}
+
+/// A `width`-bit unsigned magnitude comparator: output `gt` is 1 iff `a > b`.
+///
+/// Inputs: `a0..`, `b0..` (bit 0 is the LSB); output: `gt`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn greater_than_comparator(width: usize) -> Circuit {
+    assert!(width > 0, "comparator width must be positive");
+    let mut b = CircuitBuilder::new(format!("gt{width}"));
+    let a_bus = b.input_bus("a", width).expect("fresh names");
+    let b_bus = b.input_bus("b", width).expect("fresh names");
+    // gt_i = a_i & !b_i | eq_i & gt_{i-1}, scanning from LSB to MSB.
+    let mut gt = b.constant(false).expect("fresh names");
+    for i in 0..width {
+        let nb = b.not(b_bus[i]).expect("valid gates");
+        let here = b.and2(a_bus[i], nb).expect("valid gates");
+        let eq = b
+            .gate(GateKind::Xnor, &[a_bus[i], b_bus[i]])
+            .expect("valid gates");
+        let carry = b.and2(eq, gt).expect("valid gates");
+        gt = b.or2(here, carry).expect("valid gates");
+    }
+    b.output("gt", gt).expect("fresh outputs");
+    b.finish()
+}
+
+/// A `width`-input parity (XOR) tree with output `parity`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn parity_tree(width: usize) -> Circuit {
+    assert!(width > 0, "parity width must be positive");
+    let mut b = CircuitBuilder::new(format!("parity{width}"));
+    let bus = b.input_bus("x", width).expect("fresh names");
+    let p = b.reduce(GateKind::Xor, &bus).expect("non-empty bus");
+    b.output("parity", p).expect("fresh outputs");
+    b.finish()
+}
+
+/// A `2^select_bits`-to-1 multiplexer.
+///
+/// Inputs: `s0..s{select_bits-1}` (select), `d0..d{2^select_bits-1}` (data);
+/// output: `y`.
+///
+/// # Panics
+///
+/// Panics if `select_bits == 0` or `select_bits > 6`.
+pub fn multiplexer(select_bits: usize) -> Circuit {
+    assert!(
+        (1..=6).contains(&select_bits),
+        "select_bits must be in 1..=6"
+    );
+    let data_count = 1usize << select_bits;
+    let mut b = CircuitBuilder::new(format!("mux{data_count}"));
+    let sel = b.input_bus("s", select_bits).expect("fresh names");
+    let data = b.input_bus("d", data_count).expect("fresh names");
+    let mut layer = data;
+    for &s in &sel {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(b.mux(s, pair[1], pair[0]).expect("valid gates"));
+        }
+        layer = next;
+    }
+    b.output("y", layer[0]).expect("fresh outputs");
+    b.finish()
+}
+
+/// A 3-input majority voter with output `maj`.
+pub fn majority3() -> Circuit {
+    let mut b = CircuitBuilder::new("maj3");
+    let x = b.input_bus("x", 3).expect("fresh names");
+    let ab = b.and2(x[0], x[1]).expect("valid gates");
+    let ac = b.and2(x[0], x[2]).expect("valid gates");
+    let bc = b.and2(x[1], x[2]).expect("valid gates");
+    let maj = b.reduce(GateKind::Or, &[ab, ac, bc]).expect("non-empty");
+    b.output("maj", maj).expect("fresh outputs");
+    b.finish()
+}
+
+/// A `width`×`width` unsigned array multiplier (product is `2·width` bits).
+///
+/// Inputs: `a0..`, `b0..`; outputs: `p0..p{2*width-1}`.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 8` (the array grows quadratically).
+pub fn array_multiplier(width: usize) -> Circuit {
+    assert!((1..=8).contains(&width), "multiplier width must be in 1..=8");
+    let mut b = CircuitBuilder::new(format!("mul{width}"));
+    let a_bus = b.input_bus("a", width).expect("fresh names");
+    let b_bus = b.input_bus("b", width).expect("fresh names");
+    // Partial products pp[i][j] = a_i & b_j contributes to column i + j.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); 2 * width];
+    for i in 0..width {
+        for j in 0..width {
+            let pp = b.and2(a_bus[i], b_bus[j]).expect("valid gates");
+            columns[i + j].push(pp);
+        }
+    }
+    // Carry-save style reduction: repeatedly add bits within a column with
+    // full/half adders, pushing carries to the next column.
+    let mut outputs = Vec::with_capacity(2 * width);
+    for col in 0..2 * width {
+        while columns[col].len() > 1 {
+            if columns[col].len() >= 3 {
+                let x = columns[col].pop().expect("len >= 3");
+                let y = columns[col].pop().expect("len >= 2");
+                let z = columns[col].pop().expect("len >= 1");
+                let (sum, carry) = b.full_adder(x, y, z).expect("valid gates");
+                columns[col].push(sum);
+                if col + 1 < 2 * width {
+                    columns[col + 1].push(carry);
+                }
+            } else {
+                let x = columns[col].pop().expect("len == 2");
+                let y = columns[col].pop().expect("len == 1");
+                let (sum, carry) = b.half_adder(x, y).expect("valid gates");
+                columns[col].push(sum);
+                if col + 1 < 2 * width {
+                    columns[col + 1].push(carry);
+                }
+            }
+        }
+        let bit = columns[col]
+            .pop()
+            .unwrap_or_else(|| b.constant(false).expect("fresh names"));
+        outputs.push(bit);
+    }
+    for (i, bit) in outputs.into_iter().enumerate() {
+        b.output(format!("p{i}"), bit).expect("fresh outputs");
+    }
+    b.finish()
+}
+
+/// Every circuit in the library at small, test-friendly sizes, with its name.
+///
+/// Used by benches and integration tests that sweep over representative
+/// workloads.
+pub fn standard_suite() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("rca4", ripple_carry_adder(4)),
+        ("eq4", equality_comparator(4)),
+        ("gt4", greater_than_comparator(4)),
+        ("parity8", parity_tree(8)),
+        ("mux8", multiplexer(3)),
+        ("maj3", majority3()),
+        ("mul3", array_multiplier(3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| value >> i & 1 == 1).collect()
+    }
+
+    fn word(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    #[test]
+    fn ripple_carry_adder_adds() {
+        for width in [1usize, 3, 4] {
+            let adder = ripple_carry_adder(width);
+            let sim = Simulator::new(&adder).unwrap();
+            for a in 0..(1u64 << width) {
+                for b in 0..(1u64 << width) {
+                    for cin in 0..2u64 {
+                        let mut inputs = bits(a, width);
+                        inputs.extend(bits(b, width));
+                        inputs.push(cin == 1);
+                        let out = sim.run(&inputs).unwrap();
+                        let sum = word(&out[..width]) + ((out[width] as u64) << width);
+                        assert_eq!(sum, a + b + cin, "{a}+{b}+{cin} at width {width}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_adder_differs_from_reference() {
+        let good = ripple_carry_adder(3);
+        let bad = buggy_ripple_carry_adder(3, 1);
+        let cex = crate::sim::exhaustive_counterexample(&good, &bad).unwrap();
+        assert!(cex.is_some(), "the injected bug must be observable");
+    }
+
+    #[test]
+    fn comparators_match_integer_semantics() {
+        let width = 3;
+        let eq = equality_comparator(width);
+        let gt = greater_than_comparator(width);
+        let sim_eq = Simulator::new(&eq).unwrap();
+        let sim_gt = Simulator::new(&gt).unwrap();
+        for a in 0..(1u64 << width) {
+            for b in 0..(1u64 << width) {
+                let mut inputs = bits(a, width);
+                inputs.extend(bits(b, width));
+                assert_eq!(sim_eq.run(&inputs).unwrap()[0], a == b);
+                assert_eq!(sim_gt.run(&inputs).unwrap()[0], a > b, "{a} > {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_tree_computes_parity() {
+        let width = 6;
+        let parity = parity_tree(width);
+        let sim = Simulator::new(&parity).unwrap();
+        for pattern in 0..(1u64 << width) {
+            let expected = pattern.count_ones() % 2 == 1;
+            assert_eq!(sim.run(&bits(pattern, width)).unwrap()[0], expected);
+        }
+    }
+
+    #[test]
+    fn multiplexer_selects_data_input() {
+        let mux = multiplexer(2);
+        let sim = Simulator::new(&mux).unwrap();
+        for sel in 0..4u64 {
+            for data in 0..16u64 {
+                let mut inputs = bits(sel, 2);
+                inputs.extend(bits(data, 4));
+                let out = sim.run(&inputs).unwrap();
+                assert_eq!(out[0], data >> sel & 1 == 1, "sel={sel} data={data:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_votes() {
+        let maj = majority3();
+        let sim = Simulator::new(&maj).unwrap();
+        for pattern in 0..8u64 {
+            let expected = pattern.count_ones() >= 2;
+            assert_eq!(sim.run(&bits(pattern, 3)).unwrap()[0], expected);
+        }
+    }
+
+    #[test]
+    fn array_multiplier_multiplies() {
+        for width in [1usize, 2, 3] {
+            let mul = array_multiplier(width);
+            let sim = Simulator::new(&mul).unwrap();
+            for a in 0..(1u64 << width) {
+                for b in 0..(1u64 << width) {
+                    let mut inputs = bits(a, width);
+                    inputs.extend(bits(b, width));
+                    let out = sim.run(&inputs).unwrap();
+                    assert_eq!(word(&out), a * b, "{a}*{b} at width {width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standard_suite_is_well_formed() {
+        for (name, circuit) in standard_suite() {
+            assert!(circuit.validate().is_ok(), "{name} must validate");
+            assert!(circuit.num_gates() > 0, "{name} must contain gates");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Miter construction for combinational equivalence checking.
+//!
+//! Two circuits with the same interface are functionally equivalent iff their
+//! *miter* — the OR of the pairwise XORs of their outputs, with the inputs
+//! shared — can never output 1, i.e. iff the CNF that asserts the miter output
+//! is unsatisfiable. Equivalence checking is one of the headline SAT
+//! applications in the paper's introduction, and the resulting formulas are a
+//! natural workload for the NBL-SAT engines.
+
+use crate::error::{CircuitError, Result};
+use crate::gate::GateKind;
+use crate::netlist::Circuit;
+use crate::tseitin::{CnfEncoding, TseitinEncoder};
+use cnf::{Assignment, CnfFormula};
+use std::collections::HashMap;
+
+/// Builds the miter circuit of two circuits with matching interfaces.
+///
+/// Inputs are matched by name and shared; for every output name the two
+/// implementations are XORed, and all XORs are ORed into the single output
+/// `miter`. The miter outputs 1 exactly on the input patterns where the two
+/// circuits disagree.
+///
+/// # Errors
+///
+/// * [`CircuitError::InterfaceMismatch`] if the input or output name sets differ.
+/// * [`CircuitError::CombinationalLoop`] if either circuit is cyclic.
+///
+/// ```
+/// use nbl_circuit::{library, miter};
+///
+/// let golden = library::ripple_carry_adder(3);
+/// let revised = library::buggy_ripple_carry_adder(3, 1);
+/// let m = miter(&golden, &revised)?;
+/// assert_eq!(m.num_outputs(), 1);
+/// assert_eq!(m.num_inputs(), golden.num_inputs());
+/// # Ok::<(), nbl_circuit::CircuitError>(())
+/// ```
+pub fn miter(a: &Circuit, b: &Circuit) -> Result<Circuit> {
+    let mut a_inputs = a.input_names();
+    let mut b_inputs = b.input_names();
+    a_inputs.sort_unstable();
+    b_inputs.sort_unstable();
+    if a_inputs != b_inputs {
+        return Err(CircuitError::InterfaceMismatch(format!(
+            "input names differ: {a_inputs:?} vs {b_inputs:?}"
+        )));
+    }
+    let mut a_outputs = a.output_names();
+    let mut b_outputs = b.output_names();
+    a_outputs.sort_unstable();
+    b_outputs.sort_unstable();
+    if a_outputs != b_outputs {
+        return Err(CircuitError::InterfaceMismatch(format!(
+            "output names differ: {a_outputs:?} vs {b_outputs:?}"
+        )));
+    }
+    if a_outputs.is_empty() {
+        return Err(CircuitError::NoOutputs);
+    }
+
+    let mut m = Circuit::new(format!("miter({},{})", a.name(), b.name()));
+    let mut input_map = HashMap::new();
+    for name in a.input_names() {
+        let id = m.add_input(name)?;
+        input_map.insert(name.to_string(), id);
+    }
+    let a_out = m.import(a, "a_", &input_map)?;
+    let b_out = m.import(b, "b_", &input_map)?;
+
+    let mut diffs = Vec::with_capacity(a_outputs.len());
+    for name in &a_outputs {
+        let xa = a_out[*name];
+        let xb = b_out[*name];
+        diffs.push(m.add_gate(format!("diff_{name}"), GateKind::Xor, &[xa, xb])?);
+    }
+    let miter_out = if diffs.len() == 1 {
+        m.add_gate("miter", GateKind::Buf, &[diffs[0]])?
+    } else {
+        m.add_gate("miter", GateKind::Or, &diffs)?
+    };
+    m.mark_output(miter_out)?;
+    Ok(m)
+}
+
+/// The CNF form of an equivalence check, ready to hand to any SAT engine.
+#[derive(Debug, Clone)]
+pub struct EquivalenceCheck {
+    formula: CnfFormula,
+    encoding: CnfEncoding,
+}
+
+impl EquivalenceCheck {
+    /// The CNF whose satisfiability decides the check: **UNSAT ⇔ equivalent**,
+    /// and every model is a counterexample input pattern.
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    /// The Tseitin encoding of the underlying miter (exposes the input
+    /// variable mapping).
+    pub fn encoding(&self) -> &CnfEncoding {
+        &self.encoding
+    }
+
+    /// Decodes a model of [`EquivalenceCheck::formula`] into named input
+    /// values that distinguish the two circuits.
+    pub fn counterexample(&self, model: &Assignment) -> Vec<(String, bool)> {
+        self.encoding
+            .input_names()
+            .iter()
+            .cloned()
+            .zip(self.encoding.decode_inputs(model))
+            .collect()
+    }
+}
+
+/// Builds the CNF equivalence check for two circuits: the Tseitin encoding of
+/// their miter with the miter output asserted to 1.
+///
+/// # Errors
+///
+/// Propagates the errors of [`miter`].
+pub fn equivalence_check(a: &Circuit, b: &Circuit) -> Result<EquivalenceCheck> {
+    let m = miter(a, b)?;
+    let mut encoding = TseitinEncoder::new().encode(&m)?;
+    encoding.assert_output(0, true);
+    let formula = encoding.formula().clone();
+    Ok(EquivalenceCheck { formula, encoding })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::sim::Simulator;
+    use sat_solvers::{CdclSolver, DpllSolver, SolveResult, Solver};
+
+    #[test]
+    fn miter_of_identical_circuits_is_unsat() {
+        let a = library::ripple_carry_adder(2);
+        let b = library::ripple_carry_adder(2);
+        let check = equivalence_check(&a, &b).unwrap();
+        let mut solver = DpllSolver::new();
+        assert!(solver.solve(check.formula()).is_unsat());
+    }
+
+    #[test]
+    fn miter_of_buggy_circuit_yields_counterexample() {
+        let golden = library::ripple_carry_adder(3);
+        let revised = library::buggy_ripple_carry_adder(3, 2);
+        let check = equivalence_check(&golden, &revised).unwrap();
+        let mut solver = CdclSolver::new();
+        match solver.solve(check.formula()) {
+            SolveResult::Satisfiable(model) => {
+                let cex = check.counterexample(&model);
+                assert_eq!(cex.len(), golden.num_inputs());
+                // Replay the counterexample on both circuits; they must differ.
+                let order: Vec<bool> = golden
+                    .input_names()
+                    .iter()
+                    .map(|name| {
+                        cex.iter()
+                            .find(|(n, _)| n == name)
+                            .map(|&(_, v)| v)
+                            .unwrap()
+                    })
+                    .collect();
+                let golden_out = Simulator::new(&golden).unwrap().run(&order).unwrap();
+                let revised_out = Simulator::new(&revised).unwrap().run(&order).unwrap();
+                assert_ne!(golden_out, revised_out);
+            }
+            other => panic!("expected a counterexample, got {other}"),
+        }
+    }
+
+    #[test]
+    fn miter_structure() {
+        let a = library::parity_tree(4);
+        let b = library::parity_tree(4);
+        let m = miter(&a, &b).unwrap();
+        assert_eq!(m.num_inputs(), 4);
+        assert_eq!(m.num_outputs(), 1);
+        assert_eq!(m.output_names(), vec!["miter"]);
+        assert!(m.validate().is_ok());
+        // Simulating the miter on equal circuits always gives 0.
+        let sim = Simulator::new(&m).unwrap();
+        for pattern in 0..16u64 {
+            let inputs: Vec<bool> = (0..4).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(sim.run(&inputs).unwrap(), vec![false]);
+        }
+    }
+
+    #[test]
+    fn interface_mismatches_are_rejected() {
+        let a = library::parity_tree(4);
+        let b = library::parity_tree(5);
+        assert!(matches!(
+            miter(&a, &b).unwrap_err(),
+            CircuitError::InterfaceMismatch(_)
+        ));
+        let c = library::ripple_carry_adder(2); // same input count, different names
+        assert!(matches!(
+            miter(&a, &c).unwrap_err(),
+            CircuitError::InterfaceMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn single_output_miter_uses_buffer() {
+        let a = library::majority3();
+        let b = library::majority3();
+        let m = miter(&a, &b).unwrap();
+        // One XOR plus one BUF; no OR stage for a single output pair.
+        assert!(m.find("miter").is_some());
+        assert!(m.find("diff_maj").is_some());
+    }
+}

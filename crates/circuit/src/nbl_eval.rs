@@ -1,0 +1,331 @@
+//! Noise-based-logic evaluation of circuits: all `2^n` inputs at once.
+//!
+//! The paper's introduction highlights that an NBL circuit can be driven by
+//! the additive superposition `(N_xi + N_x̄i)` on every input, which applies
+//! all `2^n` input vectors simultaneously; each internal wire then carries the
+//! superposition of the noise minterms on which it evaluates to 1 (its
+//! *on-set*). This module performs exactly that evaluation on a gate-level
+//! [`Circuit`], using the hyperspace set algebra of [`nbl_logic`]: AND gates
+//! intersect on-sets, OR gates unite them, inverters complement them.
+//!
+//! The result is the single-wire NBL encoding of every output — the same
+//! object the NBL-SAT transform builds clause-by-clause — so tautology,
+//! satisfiability and equivalence questions about the circuit reduce to
+//! cardinality questions about the computed [`MintermSet`]s.
+
+use crate::error::{CircuitError, Result};
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, NodeId, NodeKind};
+use nbl_logic::{HyperspaceBuilder, MintermSet, Superposition};
+
+/// Inputs beyond this bound would make the explicit hyperspace representation
+/// (2^n minterms) unreasonably large.
+pub const NBL_EVAL_INPUT_LIMIT: usize = 20;
+
+/// The result of evaluating a circuit under the all-minterm NBL superposition.
+///
+/// ```
+/// use nbl_circuit::{library, NblCircuitEvaluator};
+///
+/// let parity = library::parity_tree(3);
+/// let eval = NblCircuitEvaluator::new().evaluate(&parity)?;
+/// // The parity function is 1 on exactly half of the 2^3 minterms.
+/// assert_eq!(eval.output_onset("parity")?.len(), 4);
+/// assert!(eval.is_satisfiable("parity")?);
+/// assert!(!eval.is_tautology("parity")?);
+/// # Ok::<(), nbl_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NblCircuitEvaluation {
+    builder: HyperspaceBuilder,
+    onsets: Vec<MintermSet>,
+    output_names: Vec<String>,
+    outputs: Vec<NodeId>,
+    num_inputs: usize,
+}
+
+impl NblCircuitEvaluation {
+    /// The hyperspace builder spanning the circuit's primary inputs
+    /// (input `i` of the circuit is variable `i` of the hyperspace).
+    pub fn hyperspace(&self) -> &HyperspaceBuilder {
+        &self.builder
+    }
+
+    /// Number of primary inputs of the evaluated circuit.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The on-set of an arbitrary node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id does not belong to the evaluated circuit.
+    pub fn onset(&self, node: NodeId) -> &MintermSet {
+        &self.onsets[node.index()]
+    }
+
+    /// The on-set of the named primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSignal`] if no output has that name.
+    pub fn output_onset(&self, output: &str) -> Result<&MintermSet> {
+        self.output_index(output)
+            .map(|i| &self.onsets[self.outputs[i].index()])
+    }
+
+    /// The single-wire NBL superposition carried by the named output: the sum
+    /// of the noise minterms of its on-set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSignal`] if no output has that name.
+    pub fn output_superposition(&self, output: &str) -> Result<Superposition> {
+        Ok(self.output_onset(output)?.to_superposition())
+    }
+
+    /// Returns `true` if the named output is 1 for at least one input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSignal`] if no output has that name.
+    pub fn is_satisfiable(&self, output: &str) -> Result<bool> {
+        Ok(!self.output_onset(output)?.is_empty())
+    }
+
+    /// Returns `true` if the named output is 1 for every input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSignal`] if no output has that name.
+    pub fn is_tautology(&self, output: &str) -> Result<bool> {
+        Ok(self.output_onset(output)?.len() as u128 == 1u128 << self.num_inputs)
+    }
+
+    /// Returns `true` if two outputs compute the same Boolean function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSignal`] if either output is unknown.
+    pub fn outputs_equivalent(&self, a: &str, b: &str) -> Result<bool> {
+        Ok(self
+            .output_onset(a)?
+            .symmetric_difference(self.output_onset(b)?)
+            .is_empty())
+    }
+
+    /// Names of the primary outputs, in declaration order.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    fn output_index(&self, output: &str) -> Result<usize> {
+        self.output_names
+            .iter()
+            .position(|n| n == output)
+            .ok_or_else(|| CircuitError::UnknownSignal(output.to_string()))
+    }
+}
+
+/// Evaluator that propagates the all-minterm superposition through a circuit.
+#[derive(Debug, Clone, Default)]
+pub struct NblCircuitEvaluator {
+    _private: (),
+}
+
+impl NblCircuitEvaluator {
+    /// Creates an evaluator with default settings.
+    pub fn new() -> Self {
+        NblCircuitEvaluator { _private: () }
+    }
+
+    /// Evaluates the circuit under the superposition of all `2^n` input
+    /// minterms.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::TooManyInputs`] if the circuit has more than
+    ///   [`NBL_EVAL_INPUT_LIMIT`] primary inputs.
+    /// * [`CircuitError::CombinationalLoop`] if the circuit is cyclic.
+    pub fn evaluate(&self, circuit: &Circuit) -> Result<NblCircuitEvaluation> {
+        let n = circuit.num_inputs();
+        if n > NBL_EVAL_INPUT_LIMIT {
+            return Err(CircuitError::TooManyInputs {
+                inputs: n,
+                limit: NBL_EVAL_INPUT_LIMIT,
+            });
+        }
+        let order = circuit.topological_order()?;
+        let builder = HyperspaceBuilder::new(n.max(1));
+        let empty = MintermSet::empty(&builder);
+        let mut onsets = vec![empty; circuit.num_nodes()];
+        // Input i is 1 on exactly the minterms whose i-th bit is set.
+        for (i, &input) in circuit.inputs().iter().enumerate() {
+            let masks = (0u64..(1u64 << n)).filter(|m| m >> i & 1 == 1);
+            onsets[input.index()] = MintermSet::from_masks(&builder, masks);
+        }
+        for id in order {
+            let node = circuit.node(id).expect("order refers to valid nodes");
+            match node.kind() {
+                NodeKind::Input => {}
+                NodeKind::Constant(v) => {
+                    onsets[id.index()] = if v {
+                        MintermSet::from_masks(&builder, 0..(1u64 << n))
+                    } else {
+                        MintermSet::empty(&builder)
+                    };
+                }
+                NodeKind::Gate(kind) => {
+                    let fanin: Vec<&MintermSet> =
+                        node.fanin().iter().map(|f| &onsets[f.index()]).collect();
+                    onsets[id.index()] = eval_gate(&builder, kind, &fanin, n);
+                }
+            }
+        }
+        Ok(NblCircuitEvaluation {
+            builder,
+            onsets,
+            output_names: circuit
+                .output_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            outputs: circuit.outputs().to_vec(),
+            num_inputs: n,
+        })
+    }
+}
+
+fn full_set(builder: &HyperspaceBuilder, n: usize) -> MintermSet {
+    MintermSet::from_masks(builder, 0..(1u64 << n))
+}
+
+fn eval_gate(
+    builder: &HyperspaceBuilder,
+    kind: GateKind,
+    fanin: &[&MintermSet],
+    n: usize,
+) -> MintermSet {
+    let base = match kind.base() {
+        GateKind::Buf => fanin[0].clone(),
+        GateKind::And => fanin[1..]
+            .iter()
+            .fold(fanin[0].clone(), |acc, s| acc.intersection(s)),
+        GateKind::Or => fanin[1..]
+            .iter()
+            .fold(fanin[0].clone(), |acc, s| acc.union(s)),
+        GateKind::Xor => fanin[1..]
+            .iter()
+            .fold(fanin[0].clone(), |acc, s| acc.symmetric_difference(s)),
+        other => unreachable!("{other} is not a base gate kind"),
+    };
+    if kind.is_inverting() {
+        full_set(builder, n).difference(&base)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::sim::truth_table;
+
+    /// The NBL on-set of every output must equal the set of truth-table rows
+    /// on which the simulator says the output is 1.
+    fn check_against_truth_table(circuit: &Circuit) {
+        let eval = NblCircuitEvaluator::new().evaluate(circuit).unwrap();
+        let table = truth_table(circuit).unwrap();
+        for (out_idx, name) in circuit.output_names().iter().enumerate() {
+            let onset = eval.output_onset(name).unwrap();
+            for row in &table {
+                assert_eq!(
+                    onset.contains(row.pattern),
+                    row.outputs[out_idx],
+                    "output {name}, pattern {:b}",
+                    row.pattern
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn library_circuits_match_truth_tables() {
+        for (_name, circuit) in library::standard_suite() {
+            check_against_truth_table(&circuit);
+        }
+    }
+
+    #[test]
+    fn tautology_and_satisfiability_checks() {
+        // out = x OR NOT x is a tautology; out2 = x AND NOT x is unsatisfiable.
+        let mut c = Circuit::new("taut");
+        let x = c.add_input("x").unwrap();
+        let nx = c.add_gate("nx", GateKind::Not, &[x]).unwrap();
+        let t = c.add_gate("t", GateKind::Or, &[x, nx]).unwrap();
+        let f = c.add_gate("f", GateKind::And, &[x, nx]).unwrap();
+        c.mark_output(t).unwrap();
+        c.mark_output(f).unwrap();
+        let eval = NblCircuitEvaluator::new().evaluate(&c).unwrap();
+        assert!(eval.is_tautology("t").unwrap());
+        assert!(eval.is_satisfiable("t").unwrap());
+        assert!(!eval.is_satisfiable("f").unwrap());
+        assert!(!eval.is_tautology("f").unwrap());
+        assert!(eval.output_onset("missing").is_err());
+    }
+
+    #[test]
+    fn equivalent_outputs_detected() {
+        // De Morgan: NOT(a AND b) == (NOT a) OR (NOT b).
+        let mut c = Circuit::new("demorgan");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let lhs = c.add_gate("lhs", GateKind::Nand, &[a, b]).unwrap();
+        let na = c.add_gate("na", GateKind::Not, &[a]).unwrap();
+        let nb = c.add_gate("nb", GateKind::Not, &[b]).unwrap();
+        let rhs = c.add_gate("rhs", GateKind::Or, &[na, nb]).unwrap();
+        let other = c.add_gate("other", GateKind::And, &[a, b]).unwrap();
+        c.mark_output(lhs).unwrap();
+        c.mark_output(rhs).unwrap();
+        c.mark_output(other).unwrap();
+        let eval = NblCircuitEvaluator::new().evaluate(&c).unwrap();
+        assert!(eval.outputs_equivalent("lhs", "rhs").unwrap());
+        assert!(!eval.outputs_equivalent("lhs", "other").unwrap());
+    }
+
+    #[test]
+    fn superposition_has_one_term_per_onset_minterm() {
+        let maj = library::majority3();
+        let eval = NblCircuitEvaluator::new().evaluate(&maj).unwrap();
+        let onset = eval.output_onset("maj").unwrap();
+        assert_eq!(onset.len(), 4); // majority of 3 is true on 4 minterms
+        let superposition = eval.output_superposition("maj").unwrap();
+        assert_eq!(superposition.num_terms(), 4);
+    }
+
+    #[test]
+    fn constants_produce_empty_or_full_onsets() {
+        let mut c = Circuit::new("consts");
+        let x = c.add_input("x").unwrap();
+        let one = c.add_constant("one", true).unwrap();
+        let zero = c.add_constant("zero", false).unwrap();
+        let o1 = c.add_gate("o1", GateKind::Or, &[x, one]).unwrap();
+        let o2 = c.add_gate("o2", GateKind::And, &[x, zero]).unwrap();
+        c.mark_output(o1).unwrap();
+        c.mark_output(o2).unwrap();
+        let eval = NblCircuitEvaluator::new().evaluate(&c).unwrap();
+        assert!(eval.is_tautology("o1").unwrap());
+        assert!(!eval.is_satisfiable("o2").unwrap());
+    }
+
+    #[test]
+    fn input_limit_is_enforced() {
+        let parity = library::parity_tree(NBL_EVAL_INPUT_LIMIT + 1);
+        assert!(matches!(
+            NblCircuitEvaluator::new().evaluate(&parity).unwrap_err(),
+            CircuitError::TooManyInputs { .. }
+        ));
+    }
+}

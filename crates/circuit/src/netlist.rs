@@ -1,0 +1,835 @@
+//! The gate-level netlist intermediate representation.
+
+use crate::error::{CircuitError, Result};
+use crate::gate::GateKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node inside a [`Circuit`].
+///
+/// Node ids are dense indices assigned in insertion order; they are only
+/// meaningful with respect to the circuit that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Returns the dense 0-based index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The role a node plays in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A primary input.
+    Input,
+    /// A constant driver with the given value.
+    Constant(bool),
+    /// A logic gate of the given kind.
+    Gate(GateKind),
+}
+
+/// A single node of the netlist: a named signal together with its driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    name: String,
+    kind: NodeKind,
+    fanin: Vec<NodeId>,
+}
+
+impl Node {
+    /// The signal name of this node.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driver kind of this node.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The fan-in nodes (empty for inputs and constants).
+    pub fn fanin(&self) -> &[NodeId] {
+        &self.fanin
+    }
+
+    /// Returns `true` if this node is a primary input.
+    pub fn is_input(&self) -> bool {
+        matches!(self.kind, NodeKind::Input)
+    }
+
+    /// Returns `true` if this node is a logic gate.
+    pub fn is_gate(&self) -> bool {
+        matches!(self.kind, NodeKind::Gate(_))
+    }
+}
+
+/// Aggregate structural statistics of a circuit (see [`Circuit::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of logic gates (excludes inputs and constants).
+    pub gates: usize,
+    /// Number of constant drivers.
+    pub constants: usize,
+    /// Longest input-to-output path measured in gates (0 for gate-free circuits).
+    pub depth: usize,
+    /// Gate count per kind, keyed by [`GateKind::name`].
+    pub gate_counts: Vec<(GateKind, usize)>,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inputs={} outputs={} gates={} constants={} depth={}",
+            self.inputs, self.outputs, self.gates, self.constants, self.depth
+        )
+    }
+}
+
+/// A combinational gate-level circuit.
+///
+/// A circuit is a named directed acyclic graph of [`Node`]s: primary inputs,
+/// constant drivers and logic gates, with a designated subset of nodes marked
+/// as primary outputs. It is the structural netlist the paper's introduction
+/// implicitly assumes when motivating SAT through logic synthesis, formal
+/// verification and circuit testing.
+///
+/// ```
+/// use nbl_circuit::{Circuit, GateKind};
+///
+/// // out = (a AND b) XOR c
+/// let mut c = Circuit::new("demo");
+/// let a = c.add_input("a")?;
+/// let b = c.add_input("b")?;
+/// let ci = c.add_input("c")?;
+/// let ab = c.add_gate("ab", GateKind::And, &[a, b])?;
+/// let out = c.add_gate("out", GateKind::Xor, &[ab, ci])?;
+/// c.mark_output(out)?;
+///
+/// assert_eq!(c.num_inputs(), 3);
+/// assert_eq!(c.num_gates(), 2);
+/// assert_eq!(c.stats().depth, 2);
+/// # Ok::<(), nbl_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    index: HashMap<String, NodeId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn insert_node(&mut self, node: Node) -> Result<NodeId> {
+        if self.index.contains_key(&node.name) {
+            return Err(CircuitError::DuplicateSignal(node.name));
+        }
+        let id = NodeId::new(self.nodes.len());
+        self.index.insert(node.name.clone(), id);
+        self.nodes.push(node);
+        Ok(id)
+    }
+
+    /// Adds a primary input with the given signal name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DuplicateSignal`] if the name is already used.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<NodeId> {
+        let id = self.insert_node(Node {
+            name: name.into(),
+            kind: NodeKind::Input,
+            fanin: Vec::new(),
+        })?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a constant driver with the given signal name and value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DuplicateSignal`] if the name is already used.
+    pub fn add_constant(&mut self, name: impl Into<String>, value: bool) -> Result<NodeId> {
+        self.insert_node(Node {
+            name: name.into(),
+            kind: NodeKind::Constant(value),
+            fanin: Vec::new(),
+        })
+    }
+
+    /// Adds a logic gate driving the named signal.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::DuplicateSignal`] if the name is already used.
+    /// * [`CircuitError::UnknownNode`] if any fan-in id does not exist.
+    /// * [`CircuitError::InvalidFanin`] if the fan-in count is unsupported
+    ///   for the gate kind.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanin: &[NodeId],
+    ) -> Result<NodeId> {
+        kind.check_fanin(fanin.len())?;
+        for &f in fanin {
+            if f.index() >= self.nodes.len() {
+                return Err(CircuitError::UnknownNode(f.index()));
+            }
+        }
+        self.insert_node(Node {
+            name: name.into(),
+            kind: NodeKind::Gate(kind),
+            fanin: fanin.to_vec(),
+        })
+    }
+
+    /// Declares a named signal whose driver will be supplied later with
+    /// [`Circuit::set_driver`]. Used by netlist parsers that must handle
+    /// forward references; the node is undriven (but is *not* listed as a
+    /// primary input) until a driver is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DuplicateSignal`] if the name is already used.
+    pub fn declare_signal(&mut self, name: impl Into<String>) -> Result<NodeId> {
+        self.insert_node(Node {
+            name: name.into(),
+            kind: NodeKind::Input,
+            fanin: Vec::new(),
+        })
+    }
+
+    /// Sets (or replaces) the driver of an existing node.
+    ///
+    /// The node keeps its name and id; fan-out references elsewhere in the
+    /// circuit are unaffected. This is the primitive used by the `.bench`
+    /// parser (forward references) and by stuck-at fault injection.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownNode`] if `id` or any fan-in id does not exist.
+    /// * [`CircuitError::InvalidFanin`] if the fan-in count is unsupported
+    ///   for the gate kind.
+    pub fn set_driver(&mut self, id: NodeId, kind: GateKind, fanin: &[NodeId]) -> Result<()> {
+        if id.index() >= self.nodes.len() {
+            return Err(CircuitError::UnknownNode(id.index()));
+        }
+        kind.check_fanin(fanin.len())?;
+        for &f in fanin {
+            if f.index() >= self.nodes.len() {
+                return Err(CircuitError::UnknownNode(f.index()));
+            }
+        }
+        // If this node used to be a primary input, it no longer is.
+        self.inputs.retain(|&i| i != id);
+        let node = &mut self.nodes[id.index()];
+        node.kind = NodeKind::Gate(kind);
+        node.fanin = fanin.to_vec();
+        Ok(())
+    }
+
+    /// Replaces a node's driver with a constant, severing its fan-in.
+    ///
+    /// This is the structural operation behind stuck-at fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if `id` does not exist.
+    pub fn set_constant_driver(&mut self, id: NodeId, value: bool) -> Result<()> {
+        if id.index() >= self.nodes.len() {
+            return Err(CircuitError::UnknownNode(id.index()));
+        }
+        self.inputs.retain(|&i| i != id);
+        let node = &mut self.nodes[id.index()];
+        node.kind = NodeKind::Constant(value);
+        node.fanin = Vec::new();
+        Ok(())
+    }
+
+    /// Redirects every reference to `from` (gate fan-ins and primary-output
+    /// markings) to `to`, leaving the `from` node itself in place.
+    ///
+    /// This is the structural primitive behind stuck-at fault injection on a
+    /// signal line: the faulty value source replaces the original signal in
+    /// all of its fan-out while the original driver (and, importantly, the
+    /// primary-input list) stays intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if either node does not exist.
+    pub fn redirect(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        if from.index() >= self.nodes.len() {
+            return Err(CircuitError::UnknownNode(from.index()));
+        }
+        if to.index() >= self.nodes.len() {
+            return Err(CircuitError::UnknownNode(to.index()));
+        }
+        for node in &mut self.nodes {
+            for f in &mut node.fanin {
+                if *f == from {
+                    *f = to;
+                }
+            }
+        }
+        for o in &mut self.outputs {
+            if *o == from {
+                *o = to;
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Circuit::redirect`], but only rewires gate fan-in references and
+    /// leaves primary-output markings untouched.
+    ///
+    /// Stuck-at fault injection on a primary input uses this variant so the
+    /// circuit interface (input *and* output names) is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if either node does not exist.
+    pub fn redirect_fanin(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        if from.index() >= self.nodes.len() {
+            return Err(CircuitError::UnknownNode(from.index()));
+        }
+        if to.index() >= self.nodes.len() {
+            return Err(CircuitError::UnknownNode(to.index()));
+        }
+        for node in &mut self.nodes {
+            for f in &mut node.fanin {
+                if *f == from {
+                    *f = to;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a node as a primary output.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownNode`] if `id` does not exist.
+    /// * [`CircuitError::DuplicateOutput`] if the node is already an output.
+    pub fn mark_output(&mut self, id: NodeId) -> Result<()> {
+        if id.index() >= self.nodes.len() {
+            return Err(CircuitError::UnknownNode(id.index()));
+        }
+        if self.outputs.contains(&id) {
+            return Err(CircuitError::DuplicateOutput(
+                self.nodes[id.index()].name.clone(),
+            ));
+        }
+        self.outputs.push(id);
+        Ok(())
+    }
+
+    /// Returns the node with the given id, if it exists.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Looks up a node id by signal name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.index.get(name).copied()
+    }
+
+    /// Looks up a node id by signal name, reporting an error if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSignal`] if no node has that name.
+    pub fn require(&self, name: &str) -> Result<NodeId> {
+        self.find(name)
+            .ok_or_else(|| CircuitError::UnknownSignal(name.to_string()))
+    }
+
+    /// Total number of nodes (inputs + constants + gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates.
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_gate()).count()
+    }
+
+    /// The primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Names of the primary inputs, in declaration order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.inputs
+            .iter()
+            .map(|&id| self.nodes[id.index()].name.as_str())
+            .collect()
+    }
+
+    /// Names of the primary outputs, in declaration order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.outputs
+            .iter()
+            .map(|&id| self.nodes[id.index()].name.as_str())
+            .collect()
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Iterates over all nodes together with their ids, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i), n))
+    }
+
+    /// Computes the number of fan-out references of every node
+    /// (primary-output markings count as one reference each).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for &f in &node.fanin {
+                counts[f.index()] += 1;
+            }
+        }
+        for &o in &self.outputs {
+            counts[o.index()] += 1;
+        }
+        counts
+    }
+
+    /// Returns the node ids in a topological order (fan-in before fan-out).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CombinationalLoop`] if the netlist contains a
+    /// cycle (possible after [`Circuit::set_driver`] misuse or a malformed
+    /// `.bench` file).
+    pub fn topological_order(&self) -> Result<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            indegree[i] = node.fanin.len();
+            for &f in &node.fanin {
+                fanout[f.index()].push(i);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(NodeId::new(i));
+            for &succ in &fanout[i] {
+                indegree[succ] -= 1;
+                if indegree[succ] == 0 {
+                    ready.push(succ);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = indegree
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(CircuitError::CombinationalLoop(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Computes the logic level (longest gate path from any input) of every node.
+    ///
+    /// Inputs and constants are level 0; a gate's level is one more than the
+    /// maximum level of its fan-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CombinationalLoop`] if the netlist is cyclic.
+    pub fn levelize(&self) -> Result<Vec<usize>> {
+        let order = self.topological_order()?;
+        let mut levels = vec![0usize; self.nodes.len()];
+        for id in order {
+            let node = &self.nodes[id.index()];
+            if node.is_gate() {
+                levels[id.index()] = node
+                    .fanin
+                    .iter()
+                    .map(|f| levels[f.index()])
+                    .max()
+                    .unwrap_or(0)
+                    + 1;
+            }
+        }
+        Ok(levels)
+    }
+
+    /// Validates the circuit: checks that it has at least one output and
+    /// that the netlist is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NoOutputs`] or [`CircuitError::CombinationalLoop`].
+    pub fn validate(&self) -> Result<()> {
+        if self.outputs.is_empty() {
+            return Err(CircuitError::NoOutputs);
+        }
+        self.topological_order().map(|_| ())
+    }
+
+    /// Computes aggregate structural statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CombinationalLoop`] if the netlist is cyclic.
+    pub fn stats(&self) -> CircuitStats {
+        let levels = self.levelize().unwrap_or_default();
+        let mut gate_counts: HashMap<GateKind, usize> = HashMap::new();
+        let mut constants = 0;
+        for node in &self.nodes {
+            match node.kind {
+                NodeKind::Gate(kind) => *gate_counts.entry(kind).or_default() += 1,
+                NodeKind::Constant(_) => constants += 1,
+                NodeKind::Input => {}
+            }
+        }
+        let mut gate_counts: Vec<(GateKind, usize)> = gate_counts.into_iter().collect();
+        gate_counts.sort();
+        CircuitStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            gates: self.num_gates(),
+            constants,
+            depth: levels.iter().copied().max().unwrap_or(0),
+            gate_counts,
+        }
+    }
+
+    /// Imports another circuit into this one.
+    ///
+    /// The other circuit's primary inputs are connected to this circuit's
+    /// nodes through `input_map` (keyed by the other circuit's input names);
+    /// its gates and constants are copied with `prefix` prepended to their
+    /// names. Returns a map from the other circuit's output names to the
+    /// imported node ids.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::InterfaceMismatch`] if an input of `other` has no
+    ///   entry in `input_map`.
+    /// * [`CircuitError::DuplicateSignal`] if a prefixed name collides.
+    /// * [`CircuitError::CombinationalLoop`] if `other` is cyclic.
+    pub fn import(
+        &mut self,
+        other: &Circuit,
+        prefix: &str,
+        input_map: &HashMap<String, NodeId>,
+    ) -> Result<HashMap<String, NodeId>> {
+        let order = other.topological_order()?;
+        let mut translated: HashMap<NodeId, NodeId> = HashMap::new();
+        for id in order {
+            let node = &other.nodes[id.index()];
+            let new_id = match node.kind {
+                NodeKind::Input => *input_map.get(&node.name).ok_or_else(|| {
+                    CircuitError::InterfaceMismatch(format!(
+                        "input `{}` of circuit `{}` has no mapping",
+                        node.name, other.name
+                    ))
+                })?,
+                NodeKind::Constant(v) => {
+                    self.add_constant(format!("{prefix}{}", node.name), v)?
+                }
+                NodeKind::Gate(kind) => {
+                    let fanin: Vec<NodeId> =
+                        node.fanin.iter().map(|f| translated[f]).collect();
+                    self.add_gate(format!("{prefix}{}", node.name), kind, &fanin)?
+                }
+            };
+            translated.insert(id, new_id);
+        }
+        Ok(other
+            .outputs
+            .iter()
+            .map(|&o| (other.nodes[o.index()].name.clone(), translated[&o]))
+            .collect())
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit `{}`: {} inputs, {} outputs, {} gates",
+            self.name,
+            self.num_inputs(),
+            self.num_outputs(),
+            self.num_gates()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_xor_circuit() -> Circuit {
+        let mut c = Circuit::new("demo");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let ci = c.add_input("c").unwrap();
+        let ab = c.add_gate("ab", GateKind::And, &[a, b]).unwrap();
+        let out = c.add_gate("out", GateKind::Xor, &[ab, ci]).unwrap();
+        c.mark_output(out).unwrap();
+        c
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let c = and_xor_circuit();
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.num_inputs(), 3);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.input_names(), vec!["a", "b", "c"]);
+        assert_eq!(c.output_names(), vec!["out"]);
+        let ab = c.find("ab").unwrap();
+        assert_eq!(c.node(ab).unwrap().kind(), NodeKind::Gate(GateKind::And));
+        assert_eq!(c.node(ab).unwrap().fanin().len(), 2);
+        assert!(c.find("missing").is_none());
+        assert!(c.require("missing").is_err());
+        assert!(c.to_string().contains("demo"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Circuit::new("d");
+        c.add_input("a").unwrap();
+        assert_eq!(
+            c.add_input("a").unwrap_err(),
+            CircuitError::DuplicateSignal("a".into())
+        );
+        assert!(matches!(
+            c.add_constant("a", true).unwrap_err(),
+            CircuitError::DuplicateSignal(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_fanin_rejected() {
+        let mut c = Circuit::new("d");
+        let a = c.add_input("a").unwrap();
+        assert!(matches!(
+            c.add_gate("g", GateKind::Not, &[a, a]).unwrap_err(),
+            CircuitError::InvalidFanin { .. }
+        ));
+        assert!(matches!(
+            c.add_gate("g", GateKind::And, &[a]).unwrap_err(),
+            CircuitError::InvalidFanin { .. }
+        ));
+        assert!(matches!(
+            c.add_gate("g", GateKind::And, &[a, NodeId::new(99)])
+                .unwrap_err(),
+            CircuitError::UnknownNode(99)
+        ));
+    }
+
+    #[test]
+    fn topological_order_and_levels() {
+        let c = and_xor_circuit();
+        let order = c.topological_order().unwrap();
+        assert_eq!(order.len(), 5);
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for (id, node) in c.iter() {
+            for &f in node.fanin() {
+                assert!(pos[&f] < pos[&id], "fan-in must precede fan-out");
+            }
+        }
+        let levels = c.levelize().unwrap();
+        assert_eq!(levels[c.find("a").unwrap().index()], 0);
+        assert_eq!(levels[c.find("ab").unwrap().index()], 1);
+        assert_eq!(levels[c.find("out").unwrap().index()], 2);
+        assert_eq!(c.stats().depth, 2);
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut c = Circuit::new("loopy");
+        let a = c.declare_signal("a").unwrap();
+        let b = c.declare_signal("b").unwrap();
+        c.set_driver(a, GateKind::Buf, &[b]).unwrap();
+        c.set_driver(b, GateKind::Buf, &[a]).unwrap();
+        assert!(matches!(
+            c.topological_order().unwrap_err(),
+            CircuitError::CombinationalLoop(_)
+        ));
+    }
+
+    #[test]
+    fn set_driver_converts_placeholder_inputs() {
+        let mut c = Circuit::new("fwd");
+        let g = c.declare_signal("g").unwrap();
+        let a = c.add_input("a").unwrap();
+        assert_eq!(c.num_inputs(), 1); // the placeholder is not a primary input
+        assert!(c.node(g).unwrap().is_input()); // ... but is undriven for now
+        c.set_driver(g, GateKind::Not, &[a]).unwrap();
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_gates(), 1);
+        assert!(c.node(g).unwrap().is_gate());
+    }
+
+    #[test]
+    fn constant_driver_injection() {
+        let mut c = and_xor_circuit();
+        let ab = c.find("ab").unwrap();
+        c.set_constant_driver(ab, true).unwrap();
+        assert_eq!(c.node(ab).unwrap().kind(), NodeKind::Constant(true));
+        assert!(c.node(ab).unwrap().fanin().is_empty());
+        assert_eq!(c.stats().constants, 1);
+    }
+
+    #[test]
+    fn output_marking_rules() {
+        let mut c = and_xor_circuit();
+        let out = c.find("out").unwrap();
+        assert!(matches!(
+            c.mark_output(out).unwrap_err(),
+            CircuitError::DuplicateOutput(_)
+        ));
+        assert!(c.validate().is_ok());
+        let empty = Circuit::new("empty");
+        assert_eq!(empty.validate().unwrap_err(), CircuitError::NoOutputs);
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs() {
+        let c = and_xor_circuit();
+        let counts = c.fanout_counts();
+        assert_eq!(counts[c.find("a").unwrap().index()], 1);
+        assert_eq!(counts[c.find("ab").unwrap().index()], 1);
+        assert_eq!(counts[c.find("out").unwrap().index()], 1); // output marking
+    }
+
+    #[test]
+    fn import_copies_logic_with_prefix() {
+        let inner = and_xor_circuit();
+        let mut outer = Circuit::new("outer");
+        let x = outer.add_input("x").unwrap();
+        let y = outer.add_input("y").unwrap();
+        let z = outer.add_input("z").unwrap();
+        let map: HashMap<String, NodeId> = [
+            ("a".to_string(), x),
+            ("b".to_string(), y),
+            ("c".to_string(), z),
+        ]
+        .into_iter()
+        .collect();
+        let outs = outer.import(&inner, "u0_", &map).unwrap();
+        let out = outs["out"];
+        outer.mark_output(out).unwrap();
+        assert_eq!(outer.num_gates(), 2);
+        assert!(outer.find("u0_ab").is_some());
+        assert!(outer.validate().is_ok());
+
+        // Missing input mapping is an interface error.
+        let mut bad = Circuit::new("bad");
+        let only = bad.add_input("x").unwrap();
+        let short_map: HashMap<String, NodeId> = [("a".to_string(), only)].into_iter().collect();
+        assert!(matches!(
+            bad.import(&inner, "u1_", &short_map).unwrap_err(),
+            CircuitError::InterfaceMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn redirect_rewires_fanout_and_outputs() {
+        let mut c = and_xor_circuit();
+        let ab = c.find("ab").unwrap();
+        let zero = c.add_constant("zero", false).unwrap();
+        c.redirect(ab, zero).unwrap();
+        // `out` now reads from the constant instead of the AND gate.
+        let out = c.find("out").unwrap();
+        assert!(c.node(out).unwrap().fanin().contains(&zero));
+        assert!(!c.node(out).unwrap().fanin().contains(&ab));
+        // Inputs are untouched.
+        assert_eq!(c.num_inputs(), 3);
+        // Redirecting an output node updates the output list too.
+        c.redirect(out, zero).unwrap();
+        assert_eq!(c.outputs(), &[zero]);
+        assert!(matches!(
+            c.redirect(NodeId::new(99), zero).unwrap_err(),
+            CircuitError::UnknownNode(99)
+        ));
+    }
+
+    #[test]
+    fn stats_gate_counts() {
+        let c = and_xor_circuit();
+        let stats = c.stats();
+        assert_eq!(stats.gates, 2);
+        assert!(stats
+            .gate_counts
+            .iter()
+            .any(|&(k, n)| k == GateKind::And && n == 1));
+        assert!(stats.to_string().contains("gates=2"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Boolean and bit-parallel simulation of circuits.
+
+use crate::error::{CircuitError, Result};
+use crate::netlist::{Circuit, NodeKind};
+
+/// Largest number of primary inputs for which exhaustive operations
+/// (truth tables, exhaustive equivalence) are allowed.
+pub const EXHAUSTIVE_INPUT_LIMIT: usize = 24;
+
+/// A single-pattern functional simulator.
+///
+/// ```
+/// use nbl_circuit::{library, Simulator};
+///
+/// let adder = library::ripple_carry_adder(2);
+/// let sim = Simulator::new(&adder)?;
+/// // 3 + 1 = 4: a = 11, b = 01, cin = 0 -> sum = 00, cout = 1
+/// let out = sim.run(&[true, true, true, false, false])?;
+/// assert_eq!(out, vec![false, false, true]);
+/// # Ok::<(), nbl_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    circuit: &'a Circuit,
+    order: Vec<crate::netlist::NodeId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator for the circuit (computes a topological order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CombinationalLoop`] if the circuit is cyclic.
+    pub fn new(circuit: &'a Circuit) -> Result<Self> {
+        let order = circuit.topological_order()?;
+        Ok(Simulator { circuit, order })
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// Evaluates every node for one input pattern, returning the node values
+    /// indexed by node id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputCountMismatch`] if `inputs` does not
+    /// supply exactly one value per primary input (in declaration order).
+    pub fn run_nodes(&self, inputs: &[bool]) -> Result<Vec<bool>> {
+        if inputs.len() != self.circuit.num_inputs() {
+            return Err(CircuitError::InputCountMismatch {
+                expected: self.circuit.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        let mut values = vec![false; self.circuit.num_nodes()];
+        for (i, &id) in self.circuit.inputs().iter().enumerate() {
+            values[id.index()] = inputs[i];
+        }
+        let mut scratch = Vec::new();
+        for &id in &self.order {
+            let node = self.circuit.node(id).expect("order refers to valid nodes");
+            match node.kind() {
+                NodeKind::Input => {}
+                NodeKind::Constant(v) => values[id.index()] = v,
+                NodeKind::Gate(kind) => {
+                    scratch.clear();
+                    scratch.extend(node.fanin().iter().map(|f| values[f.index()]));
+                    values[id.index()] = kind.eval(&scratch);
+                }
+            }
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the circuit for one input pattern, returning the primary
+    /// output values in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputCountMismatch`] on an input-arity mismatch.
+    pub fn run(&self, inputs: &[bool]) -> Result<Vec<bool>> {
+        let values = self.run_nodes(inputs)?;
+        Ok(self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect())
+    }
+
+    /// Evaluates 64 input patterns at once (one pattern per bit position).
+    ///
+    /// `inputs[i]` carries the 64 values of the `i`-th primary input; the
+    /// returned words carry the 64 values of each primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputCountMismatch`] on an input-arity mismatch.
+    pub fn run_words(&self, inputs: &[u64]) -> Result<Vec<u64>> {
+        let values = self.run_node_words(inputs)?;
+        Ok(self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect())
+    }
+
+    /// Bit-parallel variant of [`Simulator::run_nodes`]: evaluates every node
+    /// for 64 patterns at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputCountMismatch`] on an input-arity mismatch.
+    pub fn run_node_words(&self, inputs: &[u64]) -> Result<Vec<u64>> {
+        if inputs.len() != self.circuit.num_inputs() {
+            return Err(CircuitError::InputCountMismatch {
+                expected: self.circuit.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        let mut values = vec![0u64; self.circuit.num_nodes()];
+        for (i, &id) in self.circuit.inputs().iter().enumerate() {
+            values[id.index()] = inputs[i];
+        }
+        let mut scratch = Vec::new();
+        for &id in &self.order {
+            let node = self.circuit.node(id).expect("order refers to valid nodes");
+            match node.kind() {
+                NodeKind::Input => {}
+                NodeKind::Constant(v) => values[id.index()] = if v { u64::MAX } else { 0 },
+                NodeKind::Gate(kind) => {
+                    scratch.clear();
+                    scratch.extend(node.fanin().iter().map(|f| values[f.index()]));
+                    values[id.index()] = kind.eval_word(&scratch);
+                }
+            }
+        }
+        Ok(values)
+    }
+}
+
+/// One row of a circuit truth table: the input pattern (variable `i` is bit
+/// `i`) and the resulting output values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTableRow {
+    /// Input pattern; bit `i` is the value of the `i`-th primary input.
+    pub pattern: u64,
+    /// Output values in output declaration order.
+    pub outputs: Vec<bool>,
+}
+
+/// Computes the full truth table of a circuit by exhaustive simulation.
+///
+/// # Errors
+///
+/// * [`CircuitError::TooManyInputs`] if the circuit has more than
+///   [`EXHAUSTIVE_INPUT_LIMIT`] primary inputs.
+/// * [`CircuitError::CombinationalLoop`] if the circuit is cyclic.
+pub fn truth_table(circuit: &Circuit) -> Result<Vec<TruthTableRow>> {
+    let n = circuit.num_inputs();
+    if n > EXHAUSTIVE_INPUT_LIMIT {
+        return Err(CircuitError::TooManyInputs {
+            inputs: n,
+            limit: EXHAUSTIVE_INPUT_LIMIT,
+        });
+    }
+    let sim = Simulator::new(circuit)?;
+    let mut rows = Vec::with_capacity(1 << n);
+    for pattern in 0u64..(1u64 << n) {
+        let inputs: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+        rows.push(TruthTableRow {
+            pattern,
+            outputs: sim.run(&inputs)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Exhaustively checks whether two circuits with identical interfaces compute
+/// the same function (inputs and outputs are matched by name).
+///
+/// Returns `Ok(None)` if they are equivalent, or `Ok(Some(pattern))` with a
+/// distinguishing input pattern otherwise.
+///
+/// # Errors
+///
+/// * [`CircuitError::InterfaceMismatch`] if the input or output names differ.
+/// * [`CircuitError::TooManyInputs`] if there are more than
+///   [`EXHAUSTIVE_INPUT_LIMIT`] inputs.
+/// * [`CircuitError::CombinationalLoop`] if either circuit is cyclic.
+pub fn exhaustive_counterexample(a: &Circuit, b: &Circuit) -> Result<Option<u64>> {
+    let mut a_inputs = a.input_names();
+    let mut b_inputs = b.input_names();
+    a_inputs.sort_unstable();
+    b_inputs.sort_unstable();
+    if a_inputs != b_inputs {
+        return Err(CircuitError::InterfaceMismatch(format!(
+            "input names differ: {:?} vs {:?}",
+            a_inputs, b_inputs
+        )));
+    }
+    let mut a_outputs = a.output_names();
+    let mut b_outputs = b.output_names();
+    a_outputs.sort_unstable();
+    b_outputs.sort_unstable();
+    if a_outputs != b_outputs {
+        return Err(CircuitError::InterfaceMismatch(format!(
+            "output names differ: {:?} vs {:?}",
+            a_outputs, b_outputs
+        )));
+    }
+    let n = a.num_inputs();
+    if n > EXHAUSTIVE_INPUT_LIMIT {
+        return Err(CircuitError::TooManyInputs {
+            inputs: n,
+            limit: EXHAUSTIVE_INPUT_LIMIT,
+        });
+    }
+    let sim_a = Simulator::new(a)?;
+    let sim_b = Simulator::new(b)?;
+    // b's inputs may be declared in a different order; build the permutation.
+    let b_input_order: Vec<usize> = a
+        .input_names()
+        .iter()
+        .map(|name| {
+            b.input_names()
+                .iter()
+                .position(|other| other == name)
+                .expect("checked above that input name sets match")
+        })
+        .collect();
+    let b_output_order: Vec<usize> = a
+        .output_names()
+        .iter()
+        .map(|name| {
+            b.output_names()
+                .iter()
+                .position(|other| other == name)
+                .expect("checked above that output name sets match")
+        })
+        .collect();
+    for pattern in 0u64..(1u64 << n) {
+        let inputs_a: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+        let mut inputs_b = vec![false; n];
+        for (ai, &bi) in b_input_order.iter().enumerate() {
+            inputs_b[bi] = inputs_a[ai];
+        }
+        let out_a = sim_a.run(&inputs_a)?;
+        let out_b = sim_b.run(&inputs_b)?;
+        let reordered_b: Vec<bool> = b_output_order.iter().map(|&i| out_b[i]).collect();
+        if out_a != reordered_b {
+            return Ok(Some(pattern));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn xor_of_and() -> Circuit {
+        let mut c = Circuit::new("demo");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let ci = c.add_input("c").unwrap();
+        let ab = c.add_gate("ab", GateKind::And, &[a, b]).unwrap();
+        let out = c.add_gate("out", GateKind::Xor, &[ab, ci]).unwrap();
+        c.mark_output(out).unwrap();
+        c
+    }
+
+    #[test]
+    fn scalar_simulation() {
+        let c = xor_of_and();
+        let sim = Simulator::new(&c).unwrap();
+        // out = (a & b) ^ c
+        for pattern in 0..8u32 {
+            let a = pattern & 1 == 1;
+            let b = pattern & 2 == 2;
+            let ci = pattern & 4 == 4;
+            let out = sim.run(&[a, b, ci]).unwrap();
+            assert_eq!(out, vec![(a && b) ^ ci]);
+        }
+    }
+
+    #[test]
+    fn input_arity_is_checked() {
+        let c = xor_of_and();
+        let sim = Simulator::new(&c).unwrap();
+        assert!(matches!(
+            sim.run(&[true, false]).unwrap_err(),
+            CircuitError::InputCountMismatch {
+                expected: 3,
+                got: 2
+            }
+        ));
+        assert!(matches!(
+            sim.run_words(&[0]).unwrap_err(),
+            CircuitError::InputCountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn word_simulation_matches_scalar() {
+        let c = xor_of_and();
+        let sim = Simulator::new(&c).unwrap();
+        // Put all 8 patterns into one word.
+        let mut words = vec![0u64; 3];
+        for pattern in 0..8u64 {
+            for (i, w) in words.iter_mut().enumerate() {
+                if pattern >> i & 1 == 1 {
+                    *w |= 1 << pattern;
+                }
+            }
+        }
+        let out = sim.run_words(&words).unwrap();
+        for pattern in 0..8u64 {
+            let inputs: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            let scalar = sim.run(&inputs).unwrap();
+            assert_eq!(out[0] >> pattern & 1 == 1, scalar[0]);
+        }
+    }
+
+    #[test]
+    fn constants_simulate_correctly() {
+        let mut c = Circuit::new("const");
+        let a = c.add_input("a").unwrap();
+        let one = c.add_constant("one", true).unwrap();
+        let out = c.add_gate("out", GateKind::And, &[a, one]).unwrap();
+        c.mark_output(out).unwrap();
+        let sim = Simulator::new(&c).unwrap();
+        assert_eq!(sim.run(&[true]).unwrap(), vec![true]);
+        assert_eq!(sim.run(&[false]).unwrap(), vec![false]);
+        assert_eq!(sim.run_words(&[u64::MAX]).unwrap(), vec![u64::MAX]);
+    }
+
+    #[test]
+    fn truth_table_enumerates_all_patterns() {
+        let c = xor_of_and();
+        let table = truth_table(&c).unwrap();
+        assert_eq!(table.len(), 8);
+        for row in &table {
+            let a = row.pattern & 1 == 1;
+            let b = row.pattern & 2 == 2;
+            let ci = row.pattern & 4 == 4;
+            assert_eq!(row.outputs, vec![(a && b) ^ ci]);
+        }
+    }
+
+    #[test]
+    fn exhaustive_equivalence_and_counterexample() {
+        let c1 = xor_of_and();
+        let c2 = xor_of_and();
+        assert_eq!(exhaustive_counterexample(&c1, &c2).unwrap(), None);
+
+        // A circuit that differs when a=b=1, c=0.
+        let mut c3 = Circuit::new("other");
+        let a = c3.add_input("a").unwrap();
+        let b = c3.add_input("b").unwrap();
+        let ci = c3.add_input("c").unwrap();
+        let ab = c3.add_gate("ab", GateKind::Or, &[a, b]).unwrap();
+        let out = c3.add_gate("out", GateKind::Xor, &[ab, ci]).unwrap();
+        c3.mark_output(out).unwrap();
+        let cex = exhaustive_counterexample(&c1, &c3).unwrap();
+        assert!(cex.is_some());
+        let pattern = cex.unwrap();
+        let sim1 = Simulator::new(&c1).unwrap();
+        let sim3 = Simulator::new(&c3).unwrap();
+        let inputs: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+        assert_ne!(sim1.run(&inputs).unwrap(), sim3.run(&inputs).unwrap());
+    }
+
+    #[test]
+    fn interface_mismatch_is_reported() {
+        let c1 = xor_of_and();
+        let mut c2 = Circuit::new("different");
+        let x = c2.add_input("x").unwrap();
+        let out = c2.add_gate("out", GateKind::Not, &[x]).unwrap();
+        c2.mark_output(out).unwrap();
+        assert!(matches!(
+            exhaustive_counterexample(&c1, &c2).unwrap_err(),
+            CircuitError::InterfaceMismatch(_)
+        ));
+    }
+}

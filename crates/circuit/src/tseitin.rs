@@ -1,0 +1,397 @@
+//! Tseitin transformation: circuits to equisatisfiable CNF.
+//!
+//! The Tseitin encoding introduces one CNF variable per circuit signal and a
+//! handful of clauses per gate, so the CNF size is linear in the circuit size.
+//! The primary inputs are always encoded as the *first* `n` CNF variables (in
+//! input declaration order), which is the convention every NBL-SAT engine in
+//! this workspace assumes: a model of the CNF restricted to those variables is
+//! an input pattern of the circuit.
+
+use crate::error::Result;
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, NodeId, NodeKind};
+use cnf::{CnfFormula, Literal, Variable};
+
+/// The result of Tseitin-encoding a circuit.
+///
+/// ```
+/// use nbl_circuit::{library, TseitinEncoder};
+/// use cnf::Assignment;
+///
+/// let parity = library::parity_tree(3);
+/// let enc = TseitinEncoder::new().encode(&parity)?;
+/// // Force the output to 1 and check that a known odd-parity pattern is a model.
+/// let mut formula = enc.formula().clone();
+/// formula.add_clause([enc.output_literal(0)]);
+/// assert!(enc.num_input_vars() <= formula.num_vars());
+/// # Ok::<(), nbl_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CnfEncoding {
+    formula: CnfFormula,
+    input_vars: Vec<Variable>,
+    node_literals: Vec<Literal>,
+    output_literals: Vec<Literal>,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+}
+
+impl CnfEncoding {
+    /// The Tseitin CNF (satisfiable for every circuit; constraints on outputs
+    /// must be added by the caller, e.g. via [`CnfEncoding::assert_output`]).
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    /// Consumes the encoding and returns the CNF.
+    pub fn into_formula(self) -> CnfFormula {
+        self.formula
+    }
+
+    /// Number of primary-input CNF variables (they are variables `0..n`).
+    pub fn num_input_vars(&self) -> usize {
+        self.input_vars.len()
+    }
+
+    /// The CNF variable of the `i`-th primary input (input declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input_var(&self, i: usize) -> Variable {
+        self.input_vars[i]
+    }
+
+    /// All primary-input CNF variables, in input declaration order.
+    pub fn input_vars(&self) -> &[Variable] {
+        &self.input_vars
+    }
+
+    /// The CNF literal equivalent to the value of the given circuit node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id does not belong to the encoded circuit.
+    pub fn literal_of(&self, node: NodeId) -> Literal {
+        self.node_literals[node.index()]
+    }
+
+    /// The CNF literal of the `i`-th primary output (output declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn output_literal(&self, i: usize) -> Literal {
+        self.output_literals[i]
+    }
+
+    /// All primary-output CNF literals, in output declaration order.
+    pub fn output_literals(&self) -> &[Literal] {
+        &self.output_literals
+    }
+
+    /// Names of the primary inputs, aligned with [`CnfEncoding::input_vars`].
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Names of the primary outputs, aligned with [`CnfEncoding::output_literals`].
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// Adds a unit clause forcing the `i`-th primary output to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn assert_output(&mut self, i: usize, value: bool) {
+        let lit = self.output_literals[i];
+        self.formula
+            .add_clause([if value { lit } else { !lit }]);
+    }
+
+    /// Adds a unit clause forcing the `i`-th primary input to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn assert_input(&mut self, i: usize, value: bool) {
+        let var = self.input_vars[i];
+        self.formula.add_clause([var.literal(value)]);
+    }
+
+    /// Decodes a CNF model into the circuit's input pattern
+    /// (one value per primary input, in input declaration order).
+    pub fn decode_inputs(&self, model: &cnf::Assignment) -> Vec<bool> {
+        self.input_vars.iter().map(|&v| model.value(v)).collect()
+    }
+}
+
+/// Encoder for the Tseitin transformation.
+///
+/// The encoder is configuration-free today; it is a struct (rather than a free
+/// function) so that encoding options — e.g. plaisted–greenbaum polarity
+/// optimization — can be added without breaking the API.
+#[derive(Debug, Clone, Default)]
+pub struct TseitinEncoder {
+    _private: (),
+}
+
+impl TseitinEncoder {
+    /// Creates an encoder with default settings.
+    pub fn new() -> Self {
+        TseitinEncoder { _private: () }
+    }
+
+    /// Encodes a circuit into CNF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CircuitError::CombinationalLoop`] if the circuit is
+    /// cyclic.
+    pub fn encode(&self, circuit: &Circuit) -> Result<CnfEncoding> {
+        let order = circuit.topological_order()?;
+        let mut formula = CnfFormula::new(0);
+        let mut input_vars = Vec::with_capacity(circuit.num_inputs());
+        // Primary inputs first, so they occupy CNF variables 0..n.
+        for _ in 0..circuit.num_inputs() {
+            let var = formula.new_variable();
+            debug_assert_eq!(var.index(), input_vars.len());
+            input_vars.push(var);
+        }
+        let mut node_literals = vec![Literal::positive(Variable::new(0)); circuit.num_nodes()];
+        for (i, &input) in circuit.inputs().iter().enumerate() {
+            node_literals[input.index()] = Literal::positive(input_vars[i]);
+        }
+        for id in order {
+            let node = circuit.node(id).expect("order refers to valid nodes");
+            match node.kind() {
+                NodeKind::Input => {}
+                NodeKind::Constant(v) => {
+                    let var = formula.new_variable();
+                    formula.add_clause([var.literal(v)]);
+                    node_literals[id.index()] = Literal::positive(var);
+                }
+                NodeKind::Gate(kind) => {
+                    let fanin: Vec<Literal> = node
+                        .fanin()
+                        .iter()
+                        .map(|f| node_literals[f.index()])
+                        .collect();
+                    node_literals[id.index()] = encode_gate(&mut formula, kind, &fanin);
+                }
+            }
+        }
+        let output_literals = circuit
+            .outputs()
+            .iter()
+            .map(|&o| node_literals[o.index()])
+            .collect();
+        Ok(CnfEncoding {
+            formula,
+            input_vars,
+            node_literals,
+            output_literals,
+            input_names: circuit.input_names().iter().map(|s| s.to_string()).collect(),
+            output_names: circuit
+                .output_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        })
+    }
+}
+
+/// Encodes one gate, returning the literal equivalent to its output.
+fn encode_gate(formula: &mut CnfFormula, kind: GateKind, fanin: &[Literal]) -> Literal {
+    match kind {
+        // Buffers and inverters need no variables or clauses at all.
+        GateKind::Buf => fanin[0],
+        GateKind::Not => !fanin[0],
+        GateKind::And | GateKind::Nand => {
+            let out = encode_and(formula, fanin);
+            if kind == GateKind::Nand {
+                !out
+            } else {
+                out
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let out = encode_or(formula, fanin);
+            if kind == GateKind::Nor {
+                !out
+            } else {
+                out
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let out = encode_xor_chain(formula, fanin);
+            if kind == GateKind::Xnor {
+                !out
+            } else {
+                out
+            }
+        }
+    }
+}
+
+/// `y <-> AND(fanin)`.
+fn encode_and(formula: &mut CnfFormula, fanin: &[Literal]) -> Literal {
+    let y = Literal::positive(formula.new_variable());
+    for &f in fanin {
+        formula.add_clause([!y, f]);
+    }
+    let mut long: Vec<Literal> = fanin.iter().map(|&f| !f).collect();
+    long.push(y);
+    formula.add_clause(long);
+    y
+}
+
+/// `y <-> OR(fanin)`.
+fn encode_or(formula: &mut CnfFormula, fanin: &[Literal]) -> Literal {
+    let y = Literal::positive(formula.new_variable());
+    for &f in fanin {
+        formula.add_clause([y, !f]);
+    }
+    let mut long: Vec<Literal> = fanin.to_vec();
+    long.push(!y);
+    formula.add_clause(long);
+    y
+}
+
+/// `y <-> a XOR b` (fresh `y`).
+fn encode_xor2(formula: &mut CnfFormula, a: Literal, b: Literal) -> Literal {
+    let y = Literal::positive(formula.new_variable());
+    formula.add_clause([!a, !b, !y]);
+    formula.add_clause([a, b, !y]);
+    formula.add_clause([a, !b, y]);
+    formula.add_clause([!a, b, y]);
+    y
+}
+
+/// n-ary XOR as a left-to-right chain of 2-input XORs.
+fn encode_xor_chain(formula: &mut CnfFormula, fanin: &[Literal]) -> Literal {
+    let mut acc = fanin[0];
+    for &f in &fanin[1..] {
+        acc = encode_xor2(formula, acc, f);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::sim::Simulator;
+    use sat_solvers::{DpllSolver, SolveResult, Solver};
+
+    /// For every input pattern of `circuit`, the Tseitin CNF with the inputs
+    /// pinned and an output asserted must be SAT exactly when the simulator
+    /// produces that output value.
+    fn check_encoding_against_simulation(circuit: &crate::Circuit) {
+        let sim = Simulator::new(circuit).unwrap();
+        let base = TseitinEncoder::new().encode(circuit).unwrap();
+        let n = circuit.num_inputs();
+        assert!(n <= 12, "test helper is exhaustive");
+        for pattern in 0u64..(1 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+            let expected = sim.run(&inputs).unwrap();
+            for (out_idx, &expected_value) in expected.iter().enumerate() {
+                for asserted in [true, false] {
+                    let mut enc = base.clone();
+                    for (i, &v) in inputs.iter().enumerate() {
+                        enc.assert_input(i, v);
+                    }
+                    enc.assert_output(out_idx, asserted);
+                    let mut solver = DpllSolver::new();
+                    let result = solver.solve(enc.formula());
+                    if asserted == expected_value {
+                        assert!(
+                            result.is_sat(),
+                            "pattern {pattern:b}, output {out_idx} = {asserted} must be SAT"
+                        );
+                    } else {
+                        assert!(
+                            result.is_unsat(),
+                            "pattern {pattern:b}, output {out_idx} = {asserted} must be UNSAT"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_are_first_cnf_variables() {
+        let adder = library::ripple_carry_adder(2);
+        let enc = TseitinEncoder::new().encode(&adder).unwrap();
+        assert_eq!(enc.num_input_vars(), 5);
+        for (i, var) in enc.input_vars().iter().enumerate() {
+            assert_eq!(var.index(), i);
+        }
+        assert_eq!(enc.input_names().len(), 5);
+        assert_eq!(enc.output_names(), &["s0", "s1", "cout"]);
+    }
+
+    #[test]
+    fn buffers_and_inverters_are_free() {
+        let mut c = crate::Circuit::new("bufnot");
+        let a = c.add_input("a").unwrap();
+        let n1 = c.add_gate("n1", GateKind::Not, &[a]).unwrap();
+        let b1 = c.add_gate("b1", GateKind::Buf, &[n1]).unwrap();
+        c.mark_output(b1).unwrap();
+        let enc = TseitinEncoder::new().encode(&c).unwrap();
+        // Only the input variable exists, no clauses are needed.
+        assert_eq!(enc.formula().num_vars(), 1);
+        assert_eq!(enc.formula().num_clauses(), 0);
+        assert_eq!(enc.output_literal(0), !Literal::positive(Variable::new(0)));
+    }
+
+    #[test]
+    fn parity_tree_encoding_matches_simulation() {
+        check_encoding_against_simulation(&library::parity_tree(4));
+    }
+
+    #[test]
+    fn adder_encoding_matches_simulation() {
+        check_encoding_against_simulation(&library::ripple_carry_adder(2));
+    }
+
+    #[test]
+    fn comparator_encoding_matches_simulation() {
+        check_encoding_against_simulation(&library::greater_than_comparator(3));
+    }
+
+    #[test]
+    fn multiplexer_encoding_matches_simulation() {
+        check_encoding_against_simulation(&library::multiplexer(2));
+    }
+
+    #[test]
+    fn constants_are_constrained() {
+        let mut c = crate::Circuit::new("const");
+        let a = c.add_input("a").unwrap();
+        let one = c.add_constant("one", true).unwrap();
+        let out = c.add_gate("out", GateKind::And, &[a, one]).unwrap();
+        c.mark_output(out).unwrap();
+        check_encoding_against_simulation(&c);
+    }
+
+    #[test]
+    fn decode_inputs_recovers_pattern() {
+        let parity = library::parity_tree(3);
+        let mut enc = TseitinEncoder::new().encode(&parity).unwrap();
+        enc.assert_output(0, true);
+        let mut solver = DpllSolver::new();
+        match solver.solve(enc.formula()) {
+            SolveResult::Satisfiable(model) => {
+                let inputs = enc.decode_inputs(&model);
+                assert_eq!(inputs.len(), 3);
+                let ones = inputs.iter().filter(|&&b| b).count();
+                assert_eq!(ones % 2, 1, "decoded pattern must have odd parity");
+            }
+            other => panic!("expected SAT, got {other}"),
+        }
+    }
+}

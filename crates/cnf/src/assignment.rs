@@ -1,0 +1,344 @@
+//! Complete and partial truth assignments.
+
+use crate::var::{Literal, Variable};
+use std::fmt;
+
+/// A complete truth assignment over `n` variables.
+///
+/// The assignment maps each [`Variable`] with index `< n` to a Boolean value.
+/// Assignments double as *minterms*: the paper's NBL construction applies the
+/// superposition of all `2^n` minterms at once, and this type is how a single
+/// minterm is represented on the classical side.
+///
+/// ```
+/// use cnf::{Assignment, Variable};
+/// // minterm x1'·x2'·x3 (index 4 with x1 as MSB is not used; we use x1 as LSB)
+/// let a = Assignment::from_index(3, 0b100);
+/// assert!(!a.value(Variable::new(0)));
+/// assert!(!a.value(Variable::new(1)));
+/// assert!(a.value(Variable::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    values: Vec<bool>,
+}
+
+impl Assignment {
+    /// Creates an assignment with all variables set to `false`.
+    pub fn all_false(num_vars: usize) -> Self {
+        Assignment {
+            values: vec![false; num_vars],
+        }
+    }
+
+    /// Creates an assignment with all variables set to `true`.
+    pub fn all_true(num_vars: usize) -> Self {
+        Assignment {
+            values: vec![true; num_vars],
+        }
+    }
+
+    /// Creates an assignment from an explicit vector of values.
+    pub fn from_bools(values: Vec<bool>) -> Self {
+        Assignment { values }
+    }
+
+    /// Creates the assignment corresponding to minterm `index` over
+    /// `num_vars` variables. Bit `i` of `index` is the value of variable `i`
+    /// (variable `x1` is the least-significant bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 64`.
+    pub fn from_index(num_vars: usize, index: u64) -> Self {
+        assert!(
+            num_vars <= 64,
+            "minterm indices are only supported up to 64 variables"
+        );
+        let values = (0..num_vars).map(|i| (index >> i) & 1 == 1).collect();
+        Assignment { values }
+    }
+
+    /// Returns the minterm index of this assignment (inverse of [`Assignment::from_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment covers more than 64 variables.
+    pub fn to_index(&self) -> u64 {
+        assert!(self.values.len() <= 64);
+        self.values
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &v)| acc | ((v as u64) << i))
+    }
+
+    /// Returns the number of variables covered by this assignment.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value of the given variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable index is out of range.
+    pub fn value(&self, var: Variable) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Sets the value of the given variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable index is out of range.
+    pub fn set(&mut self, var: Variable, value: bool) {
+        self.values[var.index()] = value;
+    }
+
+    /// Returns `true` if the given literal is satisfied by this assignment.
+    pub fn satisfies(&self, lit: Literal) -> bool {
+        lit.evaluate(self.value(lit.variable()))
+    }
+
+    /// Returns the values as a slice (`values()[i]` is the value of variable `i`).
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Returns an iterator over `(Variable, bool)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Variable, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Variable::new(i), v))
+    }
+
+    /// Returns the literals made true by this assignment, i.e. the satisfying
+    /// cube/minterm in literal form (the paper writes e.g. `x1' x2' x3`).
+    pub fn to_literals(&self) -> Vec<Literal> {
+        self.iter()
+            .map(|(var, value)| Literal::with_phase(var, value))
+            .collect()
+    }
+
+    /// Enumerates all `2^n` assignments over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 63` (the iterator would not terminate or overflow).
+    pub fn enumerate_all(num_vars: usize) -> impl Iterator<Item = Assignment> {
+        assert!(num_vars <= 63, "cannot enumerate more than 2^63 assignments");
+        (0u64..(1u64 << num_vars)).map(move |i| Assignment::from_index(num_vars, i))
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", if *v { 1 } else { 0 })?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl From<Vec<bool>> for Assignment {
+    fn from(values: Vec<bool>) -> Self {
+        Assignment::from_bools(values)
+    }
+}
+
+/// A partial truth assignment: each variable is true, false or unassigned.
+///
+/// Used by DPLL/CDCL-style search and by the NBL-SAT assignment-extraction
+/// procedure (Algorithm 2), which fixes variables one at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialAssignment {
+    values: Vec<Option<bool>>,
+}
+
+impl PartialAssignment {
+    /// Creates a partial assignment with all variables unassigned.
+    pub fn new(num_vars: usize) -> Self {
+        PartialAssignment {
+            values: vec![None; num_vars],
+        }
+    }
+
+    /// Returns the number of variables covered.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value of the given variable, or `None` if unassigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable index is out of range.
+    pub fn value(&self, var: Variable) -> Option<bool> {
+        self.values[var.index()]
+    }
+
+    /// Assigns a value to a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable index is out of range.
+    pub fn assign(&mut self, var: Variable, value: bool) {
+        self.values[var.index()] = Some(value);
+    }
+
+    /// Assigns the variable of a literal so that the literal becomes true.
+    pub fn assign_literal(&mut self, lit: Literal) {
+        self.assign(lit.variable(), lit.phase());
+    }
+
+    /// Removes the assignment of a variable.
+    pub fn unassign(&mut self, var: Variable) {
+        self.values[var.index()] = None;
+    }
+
+    /// Returns `true` if every variable has a value.
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(Option::is_some)
+    }
+
+    /// Number of assigned variables.
+    pub fn num_assigned(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Returns the first unassigned variable, if any.
+    pub fn first_unassigned(&self) -> Option<Variable> {
+        self.values
+            .iter()
+            .position(Option::is_none)
+            .map(Variable::new)
+    }
+
+    /// Converts to a complete [`Assignment`], filling unassigned variables
+    /// with `default`.
+    pub fn to_complete(&self, default: bool) -> Assignment {
+        Assignment::from_bools(self.values.iter().map(|v| v.unwrap_or(default)).collect())
+    }
+
+    /// Converts to a complete [`Assignment`] if every variable is assigned.
+    pub fn try_to_complete(&self) -> Option<Assignment> {
+        if self.is_complete() {
+            Some(Assignment::from_bools(
+                self.values.iter().map(|v| v.unwrap()).collect(),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Returns an iterator over the assigned `(Variable, bool)` pairs.
+    pub fn assigned(&self) -> impl Iterator<Item = (Variable, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|b| (Variable::new(i), b)))
+    }
+}
+
+impl fmt::Display for PartialAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match v {
+                Some(true) => write!(f, "1")?,
+                Some(false) => write!(f, "0")?,
+                None => write!(f, "-")?,
+            }
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for idx in 0..16u64 {
+            let a = Assignment::from_index(4, idx);
+            assert_eq!(a.to_index(), idx);
+        }
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        assert_eq!(Assignment::enumerate_all(0).count(), 1);
+        assert_eq!(Assignment::enumerate_all(3).count(), 8);
+        let all: Vec<u64> = Assignment::enumerate_all(3).map(|a| a.to_index()).collect();
+        assert_eq!(all, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn satisfies_literal() {
+        let a = Assignment::from_index(2, 0b01); // x1=1, x2=0
+        assert!(a.satisfies(Literal::from_dimacs(1).unwrap()));
+        assert!(!a.satisfies(Literal::from_dimacs(-1).unwrap()));
+        assert!(a.satisfies(Literal::from_dimacs(-2).unwrap()));
+    }
+
+    #[test]
+    fn display_matches_paper_vector_notation() {
+        let a = Assignment::from_bools(vec![false, false, true]);
+        assert_eq!(a.to_string(), "<0,0,1>");
+    }
+
+    #[test]
+    fn to_literals_gives_minterm() {
+        let a = Assignment::from_bools(vec![false, true]);
+        let lits = a.to_literals();
+        assert_eq!(lits[0], Literal::from_dimacs(-1).unwrap());
+        assert_eq!(lits[1], Literal::from_dimacs(2).unwrap());
+    }
+
+    #[test]
+    fn partial_assignment_lifecycle() {
+        let mut p = PartialAssignment::new(3);
+        assert!(!p.is_complete());
+        assert_eq!(p.num_assigned(), 0);
+        assert_eq!(p.first_unassigned(), Some(Variable::new(0)));
+
+        p.assign(Variable::new(0), true);
+        p.assign_literal(Literal::from_dimacs(-2).unwrap());
+        assert_eq!(p.value(Variable::new(0)), Some(true));
+        assert_eq!(p.value(Variable::new(1)), Some(false));
+        assert_eq!(p.num_assigned(), 2);
+        assert_eq!(p.first_unassigned(), Some(Variable::new(2)));
+        assert_eq!(p.try_to_complete(), None);
+
+        p.assign(Variable::new(2), true);
+        assert!(p.is_complete());
+        let full = p.try_to_complete().unwrap();
+        assert_eq!(full.values(), &[true, false, true]);
+
+        p.unassign(Variable::new(2));
+        assert!(!p.is_complete());
+        assert_eq!(p.to_complete(false).values(), &[true, false, false]);
+    }
+
+    #[test]
+    fn partial_display() {
+        let mut p = PartialAssignment::new(3);
+        p.assign(Variable::new(1), true);
+        assert_eq!(p.to_string(), "<-,1,->");
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_rejects_too_many_vars() {
+        let _ = Assignment::from_index(65, 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Clauses: disjunctions of literals (Definition 3 of the paper).
+
+use crate::assignment::{Assignment, PartialAssignment};
+use crate::var::{Literal, Variable};
+use std::fmt;
+
+/// A clause: the disjunction (OR) of one or more literals.
+///
+/// An empty clause is permitted and is unsatisfiable by definition; it arises
+/// naturally during simplification.
+///
+/// ```
+/// use cnf::{Clause, Literal};
+/// let c = Clause::from_dimacs(&[1, -2, 3]).unwrap();
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.to_string(), "(x1 + ¬x2 + x3)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    literals: Vec<Literal>,
+}
+
+impl Clause {
+    /// Creates an empty clause (unsatisfiable).
+    pub fn new() -> Self {
+        Clause {
+            literals: Vec::new(),
+        }
+    }
+
+    /// Creates a clause from an iterator of literals.
+    pub fn from_literals<I: IntoIterator<Item = Literal>>(literals: I) -> Self {
+        Clause {
+            literals: literals.into_iter().collect(),
+        }
+    }
+
+    /// Creates a clause from DIMACS-style signed integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CnfError::ZeroLiteral`] if any value is zero.
+    pub fn from_dimacs(values: &[i64]) -> crate::Result<Self> {
+        let mut literals = Vec::with_capacity(values.len());
+        for &v in values {
+            literals.push(Literal::from_dimacs(v)?);
+        }
+        Ok(Clause { literals })
+    }
+
+    /// Adds a literal to the clause.
+    pub fn push(&mut self, lit: Literal) {
+        self.literals.push(lit);
+    }
+
+    /// Returns the number of literals in the clause.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Returns `true` if the clause has no literals (and is thus unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Returns `true` if the clause has exactly one literal.
+    pub fn is_unit(&self) -> bool {
+        self.literals.len() == 1
+    }
+
+    /// Returns the literals of the clause as a slice.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Returns an iterator over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Literal> {
+        self.literals.iter()
+    }
+
+    /// Returns `true` if the clause contains the given literal.
+    pub fn contains(&self, lit: Literal) -> bool {
+        self.literals.contains(&lit)
+    }
+
+    /// Returns `true` if the clause contains either literal of the given variable.
+    pub fn mentions(&self, var: Variable) -> bool {
+        self.literals.iter().any(|l| l.variable() == var)
+    }
+
+    /// Returns `true` if the clause contains both a literal and its negation.
+    pub fn is_tautology(&self) -> bool {
+        self.literals
+            .iter()
+            .any(|&l| self.literals.contains(&!l))
+    }
+
+    /// Returns the largest variable index mentioned, if any.
+    pub fn max_variable_index(&self) -> Option<usize> {
+        self.literals.iter().map(|l| l.variable().index()).max()
+    }
+
+    /// Evaluates the clause under a complete assignment.
+    pub fn evaluate(&self, assignment: &Assignment) -> bool {
+        self.literals
+            .iter()
+            .any(|l| l.evaluate(assignment.value(l.variable())))
+    }
+
+    /// Evaluates the clause under a partial assignment.
+    ///
+    /// Returns `Some(true)` if some literal is satisfied, `Some(false)` if all
+    /// literals are falsified, and `None` if the clause is still undetermined.
+    pub fn evaluate_partial(&self, assignment: &PartialAssignment) -> Option<bool> {
+        let mut any_unassigned = false;
+        for lit in &self.literals {
+            match assignment.value(lit.variable()) {
+                Some(v) if lit.evaluate(v) => return Some(true),
+                Some(_) => {}
+                None => any_unassigned = true,
+            }
+        }
+        if any_unassigned {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Returns a normalized copy: literals sorted and deduplicated.
+    ///
+    /// Tautological clauses are preserved as-is (callers that wish to drop them
+    /// should check [`Clause::is_tautology`]).
+    pub fn normalized(&self) -> Clause {
+        let mut lits = self.literals.clone();
+        lits.sort();
+        lits.dedup();
+        Clause { literals: lits }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "(⊥)");
+        }
+        write!(f, "(")?;
+        for (i, lit) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Literal> for Clause {
+    fn from_iter<I: IntoIterator<Item = Literal>>(iter: I) -> Self {
+        Clause::from_literals(iter)
+    }
+}
+
+impl Extend<Literal> for Clause {
+    fn extend<I: IntoIterator<Item = Literal>>(&mut self, iter: I) {
+        self.literals.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Literal;
+    type IntoIter = std::slice::Iter<'a, Literal>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.literals.iter()
+    }
+}
+
+impl IntoIterator for Clause {
+    type Item = Literal;
+    type IntoIter = std::vec::IntoIter<Literal>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.literals.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+
+    fn lit(v: i64) -> Literal {
+        Literal::from_dimacs(v).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = Clause::from_dimacs(&[1, -2]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(!c.is_unit());
+        assert!(c.contains(lit(1)));
+        assert!(c.contains(lit(-2)));
+        assert!(!c.contains(lit(2)));
+        assert!(c.mentions(Variable::new(1)));
+        assert!(!c.mentions(Variable::new(2)));
+        assert_eq!(c.max_variable_index(), Some(1));
+    }
+
+    #[test]
+    fn empty_clause_properties() {
+        let c = Clause::new();
+        assert!(c.is_empty());
+        assert_eq!(c.max_variable_index(), None);
+        assert_eq!(c.to_string(), "(⊥)");
+        let a = Assignment::all_false(3);
+        assert!(!c.evaluate(&a));
+    }
+
+    #[test]
+    fn unit_detection() {
+        assert!(Clause::from_dimacs(&[5]).unwrap().is_unit());
+        assert!(!Clause::from_dimacs(&[5, 6]).unwrap().is_unit());
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Clause::from_dimacs(&[1, -1]).unwrap().is_tautology());
+        assert!(!Clause::from_dimacs(&[1, 2]).unwrap().is_tautology());
+    }
+
+    #[test]
+    fn evaluation_complete() {
+        let c = Clause::from_dimacs(&[1, -2]).unwrap();
+        // x1=0, x2=1 -> both literals false
+        let a = Assignment::from_bools(vec![false, true]);
+        assert!(!c.evaluate(&a));
+        // x1=1 -> satisfied
+        let a = Assignment::from_bools(vec![true, true]);
+        assert!(c.evaluate(&a));
+    }
+
+    #[test]
+    fn evaluation_partial() {
+        let c = Clause::from_dimacs(&[1, -2]).unwrap();
+        let mut p = PartialAssignment::new(2);
+        assert_eq!(c.evaluate_partial(&p), None);
+        p.assign(Variable::new(0), false);
+        assert_eq!(c.evaluate_partial(&p), None);
+        p.assign(Variable::new(1), true);
+        assert_eq!(c.evaluate_partial(&p), Some(false));
+        p.unassign(Variable::new(1));
+        p.assign(Variable::new(0), true);
+        assert_eq!(c.evaluate_partial(&p), Some(true));
+    }
+
+    #[test]
+    fn normalization_sorts_and_dedups() {
+        let c = Clause::from_dimacs(&[3, 1, 3, -2]).unwrap();
+        let n = c.normalized();
+        assert_eq!(n.len(), 3);
+        let codes: Vec<usize> = n.iter().map(|l| l.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        assert_eq!(codes, sorted);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let c = Clause::from_dimacs(&[1, -2, 3]).unwrap();
+        assert_eq!(c.to_string(), "(x1 + ¬x2 + x3)");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let c: Clause = [lit(1), lit(2)].into_iter().collect();
+        assert_eq!(c.len(), 2);
+        let mut c2 = Clause::new();
+        c2.extend([lit(-3)]);
+        assert_eq!(c2.len(), 1);
+        let owned: Vec<Literal> = c.into_iter().collect();
+        assert_eq!(owned.len(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Cubes: conjunctions of literals (Definition 2 of the paper).
+
+use crate::assignment::Assignment;
+use crate::var::{Literal, Variable};
+use std::fmt;
+
+/// A cube: the conjunction (AND) of one or more literals.
+///
+/// The NBL-SAT assignment-extraction procedure can return a *satisfying cube*
+/// rather than a full minterm when some variables are don't-cares; this type
+/// represents such results and the "cube subspaces" `T_v` used in the Σ_N
+/// construction.
+///
+/// ```
+/// use cnf::{Cube, Literal, Variable};
+/// let cube = Cube::from_dimacs(&[-1, -2, 3]).unwrap();
+/// assert_eq!(cube.to_string(), "¬x1·¬x2·x3");
+/// assert_eq!(cube.num_minterms(3), 1);
+/// assert_eq!(cube.num_minterms(5), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cube {
+    literals: Vec<Literal>,
+}
+
+impl Cube {
+    /// Creates the empty cube, which represents the entire Boolean space
+    /// (it is the conjunction of zero constraints).
+    pub fn new() -> Self {
+        Cube {
+            literals: Vec::new(),
+        }
+    }
+
+    /// Creates a cube from an iterator of literals.
+    ///
+    /// Literals are stored in the given order; duplicates are retained.
+    pub fn from_literals<I: IntoIterator<Item = Literal>>(literals: I) -> Self {
+        Cube {
+            literals: literals.into_iter().collect(),
+        }
+    }
+
+    /// Creates a cube from DIMACS-style signed integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CnfError::ZeroLiteral`] if any value is zero.
+    pub fn from_dimacs(values: &[i64]) -> crate::Result<Self> {
+        let mut literals = Vec::with_capacity(values.len());
+        for &v in values {
+            literals.push(Literal::from_dimacs(v)?);
+        }
+        Ok(Cube { literals })
+    }
+
+    /// Creates the minterm cube of a complete assignment.
+    pub fn from_assignment(assignment: &Assignment) -> Self {
+        Cube {
+            literals: assignment.to_literals(),
+        }
+    }
+
+    /// Adds a literal to the cube.
+    pub fn push(&mut self, lit: Literal) {
+        self.literals.push(lit);
+    }
+
+    /// Number of literals in the cube.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Returns `true` if the cube constrains no variables (full space).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Returns the literals of the cube.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Returns an iterator over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Literal> {
+        self.literals.iter()
+    }
+
+    /// Returns `true` if the cube contains contradictory literals (x and ¬x),
+    /// i.e. represents the empty set of minterms.
+    pub fn is_contradictory(&self) -> bool {
+        self.literals
+            .iter()
+            .any(|&l| self.literals.contains(&!l))
+    }
+
+    /// Returns the phase the cube fixes for `var`, if any.
+    ///
+    /// If the cube contains both phases the first occurrence wins; use
+    /// [`Cube::is_contradictory`] to detect that case.
+    pub fn phase_of(&self, var: Variable) -> Option<bool> {
+        self.literals
+            .iter()
+            .find(|l| l.variable() == var)
+            .map(|l| l.phase())
+    }
+
+    /// Evaluates the cube under a complete assignment (true iff all literals hold).
+    pub fn evaluate(&self, assignment: &Assignment) -> bool {
+        self.literals.iter().all(|&l| assignment.satisfies(l))
+    }
+
+    /// Number of minterms in the cube's subspace over `num_vars` variables:
+    /// `2^(num_vars - distinct bound vars)`, or 0 if contradictory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the free-variable count exceeds 63.
+    pub fn num_minterms(&self, num_vars: usize) -> u64 {
+        if self.is_contradictory() {
+            return 0;
+        }
+        let mut seen: Vec<usize> = self.literals.iter().map(|l| l.variable().index()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        let free = num_vars - seen.len();
+        assert!(free <= 63, "cube subspace too large to count");
+        1u64 << free
+    }
+
+    /// Enumerates all assignments (minterms) contained in the cube's subspace
+    /// over `num_vars` variables. Contradictory cubes yield nothing.
+    pub fn expand(&self, num_vars: usize) -> Vec<Assignment> {
+        if self.is_contradictory() {
+            return Vec::new();
+        }
+        Assignment::enumerate_all(num_vars)
+            .filter(|a| self.evaluate(a))
+            .collect()
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, lit) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Literal> for Cube {
+    fn from_iter<I: IntoIterator<Item = Literal>>(iter: I) -> Self {
+        Cube::from_literals(iter)
+    }
+}
+
+impl Extend<Literal> for Cube {
+    fn extend<I: IntoIterator<Item = Literal>>(&mut self, iter: I) {
+        self.literals.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cube_is_full_space() {
+        let c = Cube::new();
+        assert!(c.is_empty());
+        assert_eq!(c.num_minterms(3), 8);
+        assert_eq!(c.to_string(), "⊤");
+        assert_eq!(c.expand(2).len(), 4);
+    }
+
+    #[test]
+    fn minterm_count_and_expansion() {
+        let c = Cube::from_dimacs(&[1]).unwrap();
+        assert_eq!(c.num_minterms(3), 4);
+        let expanded = c.expand(3);
+        assert_eq!(expanded.len(), 4);
+        assert!(expanded.iter().all(|a| a.value(Variable::new(0))));
+    }
+
+    #[test]
+    fn contradictory_cube() {
+        let c = Cube::from_dimacs(&[1, -1]).unwrap();
+        assert!(c.is_contradictory());
+        assert_eq!(c.num_minterms(2), 0);
+        assert!(c.expand(2).is_empty());
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let c = Cube::from_dimacs(&[-2, 3]).unwrap();
+        assert_eq!(c.phase_of(Variable::new(1)), Some(false));
+        assert_eq!(c.phase_of(Variable::new(2)), Some(true));
+        assert_eq!(c.phase_of(Variable::new(0)), None);
+    }
+
+    #[test]
+    fn evaluation_and_from_assignment() {
+        let a = Assignment::from_bools(vec![false, false, true]);
+        let cube = Cube::from_assignment(&a);
+        assert!(cube.evaluate(&a));
+        assert_eq!(cube.to_string(), "¬x1·¬x2·x3");
+        let other = Assignment::from_bools(vec![true, false, true]);
+        assert!(!cube.evaluate(&other));
+    }
+
+    #[test]
+    fn duplicate_literals_do_not_change_minterm_count() {
+        let c = Cube::from_dimacs(&[1, 1]).unwrap();
+        assert_eq!(c.num_minterms(2), 2);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: Cube = vec![Literal::from_dimacs(2).unwrap()].into_iter().collect();
+        assert_eq!(c.len(), 1);
+    }
+}

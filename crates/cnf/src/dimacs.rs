@@ -1,0 +1,264 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The DIMACS format is the de-facto interchange format for SAT instances:
+//!
+//! ```text
+//! c a comment
+//! p cnf <num_vars> <num_clauses>
+//! 1 -2 0
+//! -1 2 3 0
+//! ```
+
+use crate::clause::Clause;
+use crate::error::{CnfError, Result};
+use crate::formula::CnfFormula;
+use crate::var::Literal;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses a DIMACS CNF document from a string.
+///
+/// Comment lines (`c ...`) and `%`/`0` trailer lines produced by some
+/// generators are ignored. The `p cnf n m` header is validated against the
+/// body: using more variables than declared is an error, while a clause-count
+/// mismatch is reported as [`CnfError::HeaderMismatch`].
+///
+/// # Errors
+///
+/// Returns a [`CnfError`] describing the first malformed line.
+///
+/// # Example
+///
+/// ```
+/// let f = cnf::dimacs::parse_str("p cnf 2 2\n1 2 0\n-1 -2 0\n")?;
+/// assert_eq!(f.num_vars(), 2);
+/// assert_eq!(f.num_clauses(), 2);
+/// # Ok::<(), cnf::CnfError>(())
+/// ```
+pub fn parse_str(input: &str) -> Result<CnfFormula> {
+    parse_lines(input.lines().map(|l| Ok(l.to_owned())))
+}
+
+/// Parses a DIMACS CNF document from any reader.
+///
+/// # Errors
+///
+/// I/O errors are reported as [`CnfError::ParseDimacs`] with the failing line.
+pub fn parse_reader<R: Read>(reader: R) -> Result<CnfFormula> {
+    let buf = BufReader::new(reader);
+    parse_lines(buf.lines().map(|r| {
+        r.map_err(|e| CnfError::ParseDimacs {
+            line: 0,
+            message: format!("i/o error: {e}"),
+        })
+    }))
+}
+
+fn parse_lines<I>(lines: I) -> Result<CnfFormula>
+where
+    I: IntoIterator<Item = Result<String>>,
+{
+    let mut declared_vars: Option<usize> = None;
+    let mut declared_clauses: Option<usize> = None;
+    let mut clauses: Vec<Clause> = Vec::new();
+    let mut current: Vec<Literal> = Vec::new();
+
+    for (line_no, line) in lines.into_iter().enumerate() {
+        let line_no = line_no + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let mut parts = trimmed.split_whitespace();
+            let _p = parts.next();
+            let fmt = parts.next().unwrap_or("");
+            if fmt != "cnf" {
+                return Err(CnfError::ParseDimacs {
+                    line: line_no,
+                    message: format!("unsupported problem format '{fmt}', expected 'cnf'"),
+                });
+            }
+            let nv = parts.next().ok_or_else(|| CnfError::ParseDimacs {
+                line: line_no,
+                message: "missing variable count in header".into(),
+            })?;
+            let nc = parts.next().ok_or_else(|| CnfError::ParseDimacs {
+                line: line_no,
+                message: "missing clause count in header".into(),
+            })?;
+            declared_vars = Some(nv.parse().map_err(|_| CnfError::ParseDimacs {
+                line: line_no,
+                message: format!("invalid variable count '{nv}'"),
+            })?);
+            declared_clauses = Some(nc.parse().map_err(|_| CnfError::ParseDimacs {
+                line: line_no,
+                message: format!("invalid clause count '{nc}'"),
+            })?);
+            continue;
+        }
+        for token in trimmed.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| CnfError::ParseDimacs {
+                line: line_no,
+                message: format!("invalid literal token '{token}'"),
+            })?;
+            if value == 0 {
+                // A bare `0` with no pending literals is treated as a trailer
+                // (SATLIB files end with `%\n0\n`) rather than an empty clause.
+                if !current.is_empty() {
+                    clauses.push(Clause::from_literals(current.drain(..)));
+                }
+            } else {
+                current.push(Literal::from_dimacs(value)?);
+            }
+        }
+    }
+    if !current.is_empty() {
+        // Tolerate a missing terminating 0 on the final clause.
+        clauses.push(Clause::from_literals(current.drain(..)));
+    }
+
+    let formula = CnfFormula::from_clauses(declared_vars.unwrap_or(0), clauses);
+
+    if let Some(nv) = declared_vars {
+        if formula.num_vars() > nv {
+            return Err(CnfError::HeaderMismatch {
+                declared: nv,
+                found: formula.num_vars(),
+                what: "variables",
+            });
+        }
+    }
+    if let Some(nc) = declared_clauses {
+        if formula.num_clauses() != nc {
+            return Err(CnfError::HeaderMismatch {
+                declared: nc,
+                found: formula.num_clauses(),
+                what: "clauses",
+            });
+        }
+    }
+    Ok(formula)
+}
+
+/// Serializes a formula to a DIMACS CNF string.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// let f = cnf_formula![[1, -2], [2]];
+/// let text = cnf::dimacs::to_string(&f);
+/// assert!(text.starts_with("p cnf 2 2"));
+/// let back = cnf::dimacs::parse_str(&text).unwrap();
+/// assert_eq!(back, f);
+/// ```
+pub fn to_string(formula: &CnfFormula) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "p cnf {} {}",
+        formula.num_vars(),
+        formula.num_clauses()
+    );
+    for clause in formula.iter() {
+        for lit in clause.iter() {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Writes a formula in DIMACS CNF format to any writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_to<W: Write>(formula: &CnfFormula, mut writer: W) -> std::io::Result<()> {
+    writer.write_all(to_string(formula).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf_formula;
+
+    #[test]
+    fn parse_simple_document() {
+        let f = parse_str("c comment\np cnf 3 2\n1 -2 0\n-1 2 3 0\n").unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+    }
+
+    #[test]
+    fn parse_multiline_clause_and_missing_trailing_zero() {
+        let f = parse_str("p cnf 3 1\n1 2\n3").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f.clause(0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn header_declares_extra_vars() {
+        let f = parse_str("p cnf 10 1\n1 0\n").unwrap();
+        assert_eq!(f.num_vars(), 10);
+    }
+
+    #[test]
+    fn body_exceeding_header_vars_is_error() {
+        let err = parse_str("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(matches!(
+            err,
+            CnfError::HeaderMismatch {
+                what: "variables",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn clause_count_mismatch_is_error() {
+        let err = parse_str("p cnf 2 3\n1 0\n2 0\n").unwrap_err();
+        assert!(matches!(
+            err,
+            CnfError::HeaderMismatch { what: "clauses", .. }
+        ));
+    }
+
+    #[test]
+    fn bad_tokens_are_reported_with_line() {
+        let err = parse_str("p cnf 2 1\n1 x 0\n").unwrap_err();
+        match err {
+            CnfError::ParseDimacs { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_format_rejected() {
+        assert!(parse_str("p wcnf 2 1\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = cnf_formula![[1, 2], [1, -2], [-1, 2], [-1, -2]];
+        let text = to_string(&f);
+        let back = parse_str(&text).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn reader_interface() {
+        let text = "p cnf 2 1\n-1 -2 0\n";
+        let f = parse_reader(text.as_bytes()).unwrap();
+        assert_eq!(f.num_clauses(), 1);
+        let mut out = Vec::new();
+        write_to(&f, &mut out).unwrap();
+        assert_eq!(parse_reader(&out[..]).unwrap(), f);
+    }
+
+    #[test]
+    fn percent_trailer_ignored() {
+        let f = parse_str("p cnf 1 1\n1 0\n%\n0\n").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error types for the CNF substrate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CnfError>;
+
+/// Errors produced while constructing, parsing or manipulating CNF formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CnfError {
+    /// A literal referenced a variable index outside the formula's range.
+    VariableOutOfRange {
+        /// The offending variable index (0-based).
+        variable: usize,
+        /// Number of variables declared by the formula.
+        num_vars: usize,
+    },
+    /// A DIMACS literal of value zero was used where a literal was expected.
+    ZeroLiteral,
+    /// The DIMACS input could not be parsed.
+    ParseDimacs {
+        /// Line number (1-based) at which parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The DIMACS header declared fewer clauses or variables than the body used.
+    HeaderMismatch {
+        /// What the header declared.
+        declared: usize,
+        /// What the body actually contained.
+        found: usize,
+        /// Which quantity mismatched ("variables" or "clauses").
+        what: &'static str,
+    },
+    /// An assignment had the wrong number of variables for the formula.
+    AssignmentSizeMismatch {
+        /// Number of variables in the assignment.
+        assignment_vars: usize,
+        /// Number of variables in the formula.
+        formula_vars: usize,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidGeneratorConfig(String),
+    /// An empty clause was encountered where it is not allowed.
+    EmptyClause,
+}
+
+impl fmt::Display for CnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CnfError::VariableOutOfRange { variable, num_vars } => write!(
+                f,
+                "variable index {variable} out of range for formula with {num_vars} variables"
+            ),
+            CnfError::ZeroLiteral => write!(f, "literal value 0 is not a valid DIMACS literal"),
+            CnfError::ParseDimacs { line, message } => {
+                write!(f, "failed to parse DIMACS at line {line}: {message}")
+            }
+            CnfError::HeaderMismatch {
+                declared,
+                found,
+                what,
+            } => write!(
+                f,
+                "DIMACS header declared {declared} {what} but body contains {found}"
+            ),
+            CnfError::AssignmentSizeMismatch {
+                assignment_vars,
+                formula_vars,
+            } => write!(
+                f,
+                "assignment covers {assignment_vars} variables but formula has {formula_vars}"
+            ),
+            CnfError::InvalidGeneratorConfig(msg) => {
+                write!(f, "invalid generator configuration: {msg}")
+            }
+            CnfError::EmptyClause => write!(f, "empty clause is not allowed here"),
+        }
+    }
+}
+
+impl std::error::Error for CnfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            CnfError::VariableOutOfRange {
+                variable: 7,
+                num_vars: 3,
+            },
+            CnfError::ZeroLiteral,
+            CnfError::ParseDimacs {
+                line: 3,
+                message: "bad token".into(),
+            },
+            CnfError::HeaderMismatch {
+                declared: 2,
+                found: 3,
+                what: "clauses",
+            },
+            CnfError::AssignmentSizeMismatch {
+                assignment_vars: 2,
+                formula_vars: 4,
+            },
+            CnfError::InvalidGeneratorConfig("k > n".into()),
+            CnfError::EmptyClause,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("DIMACS"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CnfError>();
+    }
+}

@@ -1,0 +1,434 @@
+//! CNF formulas: conjunctions of clauses (Definitions 4–6 of the paper).
+
+use crate::assignment::{Assignment, PartialAssignment};
+use crate::clause::Clause;
+use crate::error::{CnfError, Result};
+use crate::var::{Literal, Variable};
+use std::fmt;
+
+/// A formula in Conjunctive Normal Form: the conjunction of `m` clauses over
+/// `n` variables (a *SAT instance* in the paper's terminology).
+///
+/// ```
+/// use cnf::{cnf_formula, Assignment};
+///
+/// // The paper's running example: S = (x1+x2')(x1'+x2+x3), SAT with <0,0,1>
+/// let f = cnf_formula![[1, -2], [-1, 2, 3]];
+/// let a = Assignment::from_bools(vec![false, false, true]);
+/// assert!(f.evaluate(&a));
+/// assert_eq!(f.count_satisfying_assignments(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula (no clauses) over `num_vars` variables.
+    ///
+    /// An empty formula is trivially satisfiable.
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Creates a formula from a set of clauses, inferring the variable count
+    /// from the largest variable mentioned (at least `min_vars`).
+    pub fn from_clauses<I: IntoIterator<Item = Clause>>(min_vars: usize, clauses: I) -> Self {
+        let clauses: Vec<Clause> = clauses.into_iter().collect();
+        let max_idx = clauses
+            .iter()
+            .filter_map(Clause::max_variable_index)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        CnfFormula {
+            num_vars: min_vars.max(max_idx),
+            clauses,
+        }
+    }
+
+    /// Builds a formula from DIMACS-style nested integer clauses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnfError::ZeroLiteral`] if any literal is zero.
+    pub fn from_dimacs_clauses(clauses: &[Vec<i64>]) -> Result<Self> {
+        let mut parsed = Vec::with_capacity(clauses.len());
+        for c in clauses {
+            parsed.push(Clause::from_dimacs(c)?);
+        }
+        Ok(CnfFormula::from_clauses(0, parsed))
+    }
+
+    /// Number of variables `n`.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses `m`.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total number of literal occurrences across all clauses.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(Clause::len).sum()
+    }
+
+    /// Returns the clauses as a slice.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Returns the `i`-th clause, if it exists.
+    pub fn clause(&self, i: usize) -> Option<&Clause> {
+        self.clauses.get(i)
+    }
+
+    /// Returns an iterator over the clauses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Clause> {
+        self.clauses.iter()
+    }
+
+    /// Adds a clause built from an iterator of literals.
+    ///
+    /// Variables mentioned beyond the current variable count grow the formula.
+    pub fn add_clause<I: IntoIterator<Item = Literal>>(&mut self, literals: I) {
+        self.push_clause(Clause::from_literals(literals));
+    }
+
+    /// Adds an already-constructed clause.
+    pub fn push_clause(&mut self, clause: Clause) {
+        if let Some(max) = clause.max_variable_index() {
+            if max + 1 > self.num_vars {
+                self.num_vars = max + 1;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Grows the declared variable count to at least `num_vars`.
+    pub fn ensure_vars(&mut self, num_vars: usize) {
+        if num_vars > self.num_vars {
+            self.num_vars = num_vars;
+        }
+    }
+
+    /// Returns a fresh variable, growing the formula by one variable.
+    pub fn new_variable(&mut self) -> Variable {
+        let v = Variable::new(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Returns an iterator over all variables of the formula.
+    pub fn variables(&self) -> impl Iterator<Item = Variable> {
+        (0..self.num_vars).map(Variable::new)
+    }
+
+    /// Returns `true` if the formula has no clauses (trivially satisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Returns `true` if any clause is empty (trivially unsatisfiable).
+    pub fn has_empty_clause(&self) -> bool {
+        self.clauses.iter().any(Clause::is_empty)
+    }
+
+    /// Evaluates the formula under a complete assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment covers fewer variables than the formula mentions.
+    pub fn evaluate(&self, assignment: &Assignment) -> bool {
+        self.clauses.iter().all(|c| c.evaluate(assignment))
+    }
+
+    /// Evaluates the formula under a complete assignment, validating its size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnfError::AssignmentSizeMismatch`] if the assignment does not
+    /// cover exactly the formula's variables.
+    pub fn try_evaluate(&self, assignment: &Assignment) -> Result<bool> {
+        if assignment.num_vars() != self.num_vars {
+            return Err(CnfError::AssignmentSizeMismatch {
+                assignment_vars: assignment.num_vars(),
+                formula_vars: self.num_vars,
+            });
+        }
+        Ok(self.evaluate(assignment))
+    }
+
+    /// Evaluates the formula under a partial assignment.
+    ///
+    /// Returns `Some(true)` if every clause is already satisfied,
+    /// `Some(false)` if some clause is already falsified, `None` otherwise.
+    pub fn evaluate_partial(&self, assignment: &PartialAssignment) -> Option<bool> {
+        let mut all_true = true;
+        for clause in &self.clauses {
+            match clause.evaluate_partial(assignment) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => all_true = false,
+            }
+        }
+        if all_true {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Counts the number of clauses satisfied by the assignment.
+    pub fn count_satisfied_clauses(&self, assignment: &Assignment) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.evaluate(assignment))
+            .count()
+    }
+
+    /// Counts satisfying assignments by exhaustive enumeration (#SAT).
+    ///
+    /// This is exponential in `n` and intended for small instances and as a
+    /// test oracle; the symbolic NBL engine relies on the same quantity `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 30 variables (guard against
+    /// accidental exponential blow-ups in tests).
+    pub fn count_satisfying_assignments(&self) -> u64 {
+        assert!(
+            self.num_vars <= 30,
+            "exhaustive model counting limited to 30 variables"
+        );
+        Assignment::enumerate_all(self.num_vars)
+            .filter(|a| self.evaluate(a))
+            .count() as u64
+    }
+
+    /// Returns all satisfying assignments by exhaustive enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 30 variables.
+    pub fn satisfying_assignments(&self) -> Vec<Assignment> {
+        assert!(
+            self.num_vars <= 30,
+            "exhaustive model enumeration limited to 30 variables"
+        );
+        Assignment::enumerate_all(self.num_vars)
+            .filter(|a| self.evaluate(a))
+            .collect()
+    }
+
+    /// Returns a copy of the formula with the given variable substituted by a
+    /// constant: satisfied clauses are removed and falsified literals deleted.
+    ///
+    /// The variable count is preserved so variable indices remain stable.
+    pub fn assign_variable(&self, var: Variable, value: bool) -> CnfFormula {
+        let mut clauses = Vec::with_capacity(self.clauses.len());
+        'outer: for clause in &self.clauses {
+            let mut reduced = Clause::new();
+            for &lit in clause.iter() {
+                if lit.variable() == var {
+                    if lit.evaluate(value) {
+                        continue 'outer; // clause satisfied, drop it
+                    } else {
+                        continue; // literal falsified, drop literal
+                    }
+                }
+                reduced.push(lit);
+            }
+            clauses.push(reduced);
+        }
+        CnfFormula {
+            num_vars: self.num_vars,
+            clauses,
+        }
+    }
+
+    /// Returns the set of variables that actually occur in some clause.
+    pub fn occurring_variables(&self) -> Vec<Variable> {
+        let mut seen = vec![false; self.num_vars];
+        for clause in &self.clauses {
+            for lit in clause.iter() {
+                seen[lit.variable().index()] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| if s { Some(Variable::new(i)) } else { None })
+            .collect()
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤ [{} vars]", self.num_vars);
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "{clause}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Clause> for CnfFormula {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for c in iter {
+            self.push_clause(c);
+        }
+    }
+}
+
+impl FromIterator<Clause> for CnfFormula {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        CnfFormula::from_clauses(0, iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a CnfFormula {
+    type Item = &'a Clause;
+    type IntoIter = std::slice::Iter<'a, Clause>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clauses.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf_formula;
+
+    #[test]
+    fn empty_formula_is_satisfiable() {
+        let f = CnfFormula::new(3);
+        assert!(f.is_empty());
+        assert_eq!(f.count_satisfying_assignments(), 8);
+        assert!(f.evaluate(&Assignment::all_false(3)));
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // S(x1,x2,x3) = (x1 + x2')·(x1' + x2 + x3), satisfiable by <0,0,1>
+        let f = cnf_formula![[1, -2], [-1, 2, 3]];
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_literals(), 5);
+        assert!(f.evaluate(&Assignment::from_bools(vec![false, false, true])));
+        assert!(!f.evaluate(&Assignment::from_bools(vec![false, true, false])));
+    }
+
+    #[test]
+    fn example6_sat_and_example7_unsat() {
+        // Example 6: (x1+x2)(x1'+x2') -- satisfiable, two models
+        let sat = cnf_formula![[1, 2], [-1, -2]];
+        assert_eq!(sat.count_satisfying_assignments(), 2);
+        // Example 7: (x1)(x1') -- unsatisfiable
+        let unsat = cnf_formula![[1], [-1]];
+        assert_eq!(unsat.count_satisfying_assignments(), 0);
+    }
+
+    #[test]
+    fn section_iv_instances() {
+        // S_UNSAT = (x1+x2)(x1+x2')(x1'+x2)(x1'+x2')
+        let unsat = cnf_formula![[1, 2], [1, -2], [-1, 2], [-1, -2]];
+        assert_eq!(unsat.count_satisfying_assignments(), 0);
+        // S_SAT = (x1+x2)(x1+x2)(x1+x2')(x1'+x2)   (first clause redundant)
+        let sat = cnf_formula![[1, 2], [1, 2], [1, -2], [-1, 2]];
+        assert_eq!(sat.count_satisfying_assignments(), 1);
+        assert!(sat.evaluate(&Assignment::from_bools(vec![true, true])));
+    }
+
+    #[test]
+    fn add_clause_grows_variables() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause([Literal::from_dimacs(4).unwrap()]);
+        assert_eq!(f.num_vars(), 4);
+        let v = f.new_variable();
+        assert_eq!(v.index(), 4);
+        assert_eq!(f.num_vars(), 5);
+        f.ensure_vars(3);
+        assert_eq!(f.num_vars(), 5);
+        f.ensure_vars(9);
+        assert_eq!(f.num_vars(), 9);
+    }
+
+    #[test]
+    fn try_evaluate_checks_sizes() {
+        let f = cnf_formula![[1, 2]];
+        let err = f.try_evaluate(&Assignment::all_false(3)).unwrap_err();
+        assert!(matches!(err, CnfError::AssignmentSizeMismatch { .. }));
+        assert_eq!(f.try_evaluate(&Assignment::all_true(2)), Ok(true));
+    }
+
+    #[test]
+    fn partial_evaluation() {
+        let f = cnf_formula![[1, 2], [-1, -2]];
+        let mut p = PartialAssignment::new(2);
+        assert_eq!(f.evaluate_partial(&p), None);
+        p.assign(Variable::new(0), true);
+        assert_eq!(f.evaluate_partial(&p), None);
+        p.assign(Variable::new(1), false);
+        assert_eq!(f.evaluate_partial(&p), Some(true));
+        // both true falsifies the second clause
+        p.assign(Variable::new(1), true);
+        p.assign(Variable::new(0), true);
+        assert_eq!(f.evaluate_partial(&p), Some(false));
+    }
+
+    #[test]
+    fn assign_variable_reduces_formula() {
+        let f = cnf_formula![[1, 2], [-1, 3]];
+        let reduced = f.assign_variable(Variable::new(0), true);
+        // first clause satisfied and dropped; second loses ¬x1
+        assert_eq!(reduced.num_clauses(), 1);
+        assert_eq!(reduced.clause(0).unwrap().len(), 1);
+        assert_eq!(reduced.num_vars(), 3);
+
+        let reduced0 = f.assign_variable(Variable::new(0), false);
+        assert_eq!(reduced0.num_clauses(), 1);
+        assert!(reduced0.clause(0).unwrap().contains(Literal::from_dimacs(2).unwrap()));
+    }
+
+    #[test]
+    fn satisfied_clause_counting() {
+        let f = cnf_formula![[1, 2], [1, -2], [-1, 2], [-1, -2]];
+        let a = Assignment::from_bools(vec![true, false]);
+        assert_eq!(f.count_satisfied_clauses(&a), 3);
+    }
+
+    #[test]
+    fn occurring_variables_skips_unused() {
+        let mut f = cnf_formula![[1], [3]];
+        f.ensure_vars(5);
+        let occ = f.occurring_variables();
+        assert_eq!(occ, vec![Variable::new(0), Variable::new(2)]);
+    }
+
+    #[test]
+    fn display_shows_product_of_sums() {
+        let f = cnf_formula![[1], [-1, 2]];
+        assert_eq!(f.to_string(), "(x1)·(¬x1 + x2)");
+    }
+
+    #[test]
+    fn empty_clause_detection() {
+        let mut f = CnfFormula::new(2);
+        assert!(!f.has_empty_clause());
+        f.push_clause(Clause::new());
+        assert!(f.has_empty_clause());
+        assert_eq!(f.count_satisfying_assignments(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Graph k-coloring encodings.
+
+use crate::clause::Clause;
+use crate::formula::CnfFormula;
+use crate::var::{Literal, Variable};
+
+/// A simple undirected graph given by a vertex count and an edge list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Undirected edges as `(u, v)` pairs with `u, v < num_vertices`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph from a vertex count and edge list.
+    pub fn new(num_vertices: usize, edges: Vec<(usize, usize)>) -> Self {
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+}
+
+/// The cycle graph `C_n`.
+pub fn cycle_graph(n: usize) -> Graph {
+    let edges = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::new(n, edges)
+}
+
+/// The complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+/// Encodes "graph `g` is `k`-colorable" as CNF.
+///
+/// Variable `c_{v,i}` (vertex `v` has color `i`) is index `v * k + i`.
+/// Clauses: every vertex has at least one color, no vertex has two colors,
+/// and adjacent vertices differ in every color.
+///
+/// ```
+/// use cnf::generators::{cycle_graph, graph_coloring};
+/// // An odd cycle is not 2-colorable but is 3-colorable.
+/// let c5 = cycle_graph(5);
+/// assert_eq!(graph_coloring(&c5, 2).count_satisfying_assignments(), 0);
+/// assert!(graph_coloring(&c5, 3).count_satisfying_assignments() > 0);
+/// ```
+pub fn graph_coloring(graph: &Graph, k: usize) -> CnfFormula {
+    let var = |v: usize, color: usize| Variable::new(v * k + color);
+    let mut formula = CnfFormula::new(graph.num_vertices * k);
+
+    for v in 0..graph.num_vertices {
+        // at least one color
+        let clause: Clause = (0..k).map(|c| Literal::positive(var(v, c))).collect();
+        formula.push_clause(clause);
+        // at most one color
+        for c1 in 0..k {
+            for c2 in (c1 + 1)..k {
+                formula.add_clause([
+                    Literal::negative(var(v, c1)),
+                    Literal::negative(var(v, c2)),
+                ]);
+            }
+        }
+    }
+    for &(u, v) in &graph.edges {
+        for c in 0..k {
+            formula.add_clause([Literal::negative(var(u, c)), Literal::negative(var(v, c))]);
+        }
+    }
+    formula
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let k3 = complete_graph(3);
+        assert_eq!(graph_coloring(&k3, 2).count_satisfying_assignments(), 0);
+        assert!(graph_coloring(&k3, 3).count_satisfying_assignments() > 0);
+    }
+
+    #[test]
+    fn even_cycle_is_two_colorable() {
+        let c4 = cycle_graph(4);
+        assert!(graph_coloring(&c4, 2).count_satisfying_assignments() > 0);
+    }
+
+    #[test]
+    fn odd_cycle_is_not_two_colorable() {
+        let c5 = cycle_graph(5);
+        assert_eq!(graph_coloring(&c5, 2).count_satisfying_assignments(), 0);
+    }
+
+    #[test]
+    fn k4_number_of_models_for_3_colors_is_zero() {
+        let k4 = complete_graph(4);
+        assert_eq!(graph_coloring(&k4, 3).count_satisfying_assignments(), 0);
+    }
+
+    #[test]
+    fn variable_layout() {
+        let c3 = cycle_graph(3);
+        let f = graph_coloring(&c3, 2);
+        assert_eq!(f.num_vars(), 6);
+    }
+}

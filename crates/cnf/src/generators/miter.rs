@@ -1,0 +1,270 @@
+//! Combinational equivalence-checking miters.
+//!
+//! Equivalence checking is one of the EDA applications the paper's
+//! introduction motivates SAT with: two circuits are equivalent iff the miter
+//! circuit (pairwise XOR of their outputs, ORed together) is unsatisfiable.
+//! This module provides a tiny gate-level netlist with Tseitin encoding and
+//! ready-made adder miters for workloads and tests.
+
+use crate::formula::CnfFormula;
+use crate::var::{Literal, Variable};
+
+/// A combinational circuit under construction, encoded to CNF on the fly
+/// via the Tseitin transformation.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    formula: CnfFormula,
+    num_inputs: usize,
+}
+
+impl Circuit {
+    /// Creates a circuit with `num_inputs` primary inputs, which become the
+    /// first `num_inputs` CNF variables.
+    pub fn new(num_inputs: usize) -> Self {
+        Circuit {
+            formula: CnfFormula::new(num_inputs),
+            num_inputs,
+        }
+    }
+
+    /// Returns the literal of the `i`-th primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inputs`.
+    pub fn input(&self, i: usize) -> Literal {
+        assert!(i < self.num_inputs, "input index out of range");
+        Literal::positive(Variable::new(i))
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    fn fresh(&mut self) -> Literal {
+        Literal::positive(self.formula.new_variable())
+    }
+
+    /// Adds an AND gate and returns its output literal.
+    pub fn and_gate(&mut self, a: Literal, b: Literal) -> Literal {
+        let o = self.fresh();
+        // o <-> a & b
+        self.formula.add_clause([!a, !b, o]);
+        self.formula.add_clause([a, !o]);
+        self.formula.add_clause([b, !o]);
+        o
+    }
+
+    /// Adds an OR gate and returns its output literal.
+    pub fn or_gate(&mut self, a: Literal, b: Literal) -> Literal {
+        let o = self.fresh();
+        // o <-> a | b
+        self.formula.add_clause([a, b, !o]);
+        self.formula.add_clause([!a, o]);
+        self.formula.add_clause([!b, o]);
+        o
+    }
+
+    /// Adds an XOR gate and returns its output literal.
+    pub fn xor_gate(&mut self, a: Literal, b: Literal) -> Literal {
+        let o = self.fresh();
+        // o <-> a ^ b
+        self.formula.add_clause([!a, !b, !o]);
+        self.formula.add_clause([a, b, !o]);
+        self.formula.add_clause([a, !b, o]);
+        self.formula.add_clause([!a, b, o]);
+        o
+    }
+
+    /// Returns the negation of a signal (free: literals carry polarity).
+    pub fn not_gate(&self, a: Literal) -> Literal {
+        !a
+    }
+
+    /// Asserts that a signal is true (adds a unit clause).
+    pub fn assert_true(&mut self, a: Literal) {
+        self.formula.add_clause([a]);
+    }
+
+    /// Consumes the circuit and returns the accumulated CNF.
+    pub fn into_formula(self) -> CnfFormula {
+        self.formula
+    }
+}
+
+/// Builds a `width`-bit ripple-carry adder inside `circuit` and returns the
+/// sum bits followed by the final carry-out.
+///
+/// `a` and `b` must each contain `width` input literals (LSB first).
+fn ripple_carry_adder(
+    circuit: &mut Circuit,
+    a: &[Literal],
+    b: &[Literal],
+    faulty_bit: Option<usize>,
+) -> Vec<Literal> {
+    assert_eq!(a.len(), b.len());
+    let mut outputs = Vec::with_capacity(a.len() + 1);
+    let mut carry: Option<Literal> = None;
+    for i in 0..a.len() {
+        let half = circuit.xor_gate(a[i], b[i]);
+        let (sum, new_carry) = match carry {
+            None => {
+                let c = circuit.and_gate(a[i], b[i]);
+                (half, c)
+            }
+            Some(cin) => {
+                let sum = circuit.xor_gate(half, cin);
+                let c1 = circuit.and_gate(a[i], b[i]);
+                let c2 = circuit.and_gate(half, cin);
+                let cout = circuit.or_gate(c1, c2);
+                (sum, cout)
+            }
+        };
+        // A "faulty" adder replaces one sum bit's XOR with OR, creating a
+        // detectable functional difference.
+        let sum = if faulty_bit == Some(i) {
+            circuit.or_gate(a[i], b[i])
+        } else {
+            sum
+        };
+        outputs.push(sum);
+        carry = Some(new_carry);
+    }
+    outputs.push(carry.expect("width >= 1"));
+    outputs
+}
+
+fn adder_miter(width: usize, faulty_bit: Option<usize>) -> CnfFormula {
+    assert!(width >= 1, "adder width must be at least 1");
+    let mut circuit = Circuit::new(2 * width);
+    let a: Vec<Literal> = (0..width).map(|i| circuit.input(i)).collect();
+    let b: Vec<Literal> = (0..width).map(|i| circuit.input(width + i)).collect();
+
+    let golden = ripple_carry_adder(&mut circuit, &a, &b, None);
+    let candidate = ripple_carry_adder(&mut circuit, &a, &b, faulty_bit);
+
+    // Miter: OR of pairwise XORs must be 1 for a counterexample to exist.
+    let mut diff: Option<Literal> = None;
+    for (g, c) in golden.iter().zip(candidate.iter()) {
+        let x = circuit.xor_gate(*g, *c);
+        diff = Some(match diff {
+            None => x,
+            Some(d) => circuit.or_gate(d, x),
+        });
+    }
+    circuit.assert_true(diff.expect("at least one output pair"));
+    circuit.into_formula()
+}
+
+/// Equivalence miter between two identical `width`-bit ripple-carry adders.
+///
+/// The result is **unsatisfiable**: no input distinguishes the two circuits.
+///
+/// ```
+/// let f = cnf::generators::adder_equivalence_miter(2);
+/// assert_eq!(f.count_satisfying_assignments(), 0);
+/// ```
+pub fn adder_equivalence_miter(width: usize) -> CnfFormula {
+    adder_miter(width, None)
+}
+
+/// Equivalence miter between a correct `width`-bit adder and a copy whose
+/// `faulty_bit`-th sum bit uses OR instead of XOR.
+///
+/// The result is **satisfiable**: any satisfying assignment is a
+/// counterexample input exposing the bug.
+///
+/// # Panics
+///
+/// Panics if `faulty_bit >= width`.
+pub fn buggy_adder_miter(width: usize, faulty_bit: usize) -> CnfFormula {
+    assert!(faulty_bit < width, "faulty bit must be within the adder width");
+    adder_miter(width, Some(faulty_bit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+
+    #[test]
+    fn gate_encodings_are_correct() {
+        // Exhaustively check each gate's truth table via model enumeration.
+        for (gate, table) in [
+            ("and", [false, false, false, true]),
+            ("or", [false, true, true, true]),
+            ("xor", [false, true, true, false]),
+        ] {
+            for (idx, expected) in table.iter().enumerate() {
+                let mut c = Circuit::new(2);
+                let a = c.input(0);
+                let b = c.input(1);
+                let o = match gate {
+                    "and" => c.and_gate(a, b),
+                    "or" => c.or_gate(a, b),
+                    _ => c.xor_gate(a, b),
+                };
+                c.assert_true(if *expected { o } else { !o });
+                let f = c.into_formula();
+                let a_val = idx & 1 == 1;
+                let b_val = idx & 2 == 2;
+                // The gate output variable is functionally determined, so exactly
+                // one model extends (a_val, b_val) when expected matches.
+                let models = f
+                    .satisfying_assignments()
+                    .into_iter()
+                    .filter(|m| {
+                        m.value(Variable::new(0)) == a_val && m.value(Variable::new(1)) == b_val
+                    })
+                    .count();
+                assert_eq!(models, 1, "gate {gate} input {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_adders_are_equivalent() {
+        for width in 1..=2 {
+            let f = adder_equivalence_miter(width);
+            assert_eq!(f.count_satisfying_assignments(), 0, "width {width}");
+        }
+    }
+
+    #[test]
+    fn buggy_adder_is_detected() {
+        let width = 2usize;
+        let faulty = 1usize;
+        let f = buggy_adder_miter(width, faulty);
+        let models = f.satisfying_assignments();
+        assert!(!models.is_empty());
+        // Every counterexample input must make the golden and buggy adders
+        // produce different outputs when simulated directly.
+        for m in &models {
+            let a_bits: Vec<bool> = (0..width).map(|i| m.value(Variable::new(i))).collect();
+            let b_bits: Vec<bool> = (0..width).map(|i| m.value(Variable::new(width + i))).collect();
+            let to_u64 = |bits: &[bool]| bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+            let sum = to_u64(&a_bits) + to_u64(&b_bits);
+            let mut golden: Vec<bool> = (0..=width).map(|i| (sum >> i) & 1 == 1).collect();
+            let mut buggy = golden.clone();
+            buggy[faulty] = a_bits[faulty] | b_bits[faulty];
+            golden[faulty] = (sum >> faulty) & 1 == 1;
+            assert_ne!(golden, buggy, "counterexample {m} does not exercise the fault");
+        }
+    }
+
+    #[test]
+    fn counterexample_assignment_is_a_model() {
+        let f = buggy_adder_miter(1, 0);
+        let models = f.satisfying_assignments();
+        assert!(!models.is_empty());
+        let m: &Assignment = &models[0];
+        assert!(f.evaluate(m));
+    }
+
+    #[test]
+    #[should_panic]
+    fn faulty_bit_out_of_range_panics() {
+        let _ = buggy_adder_miter(2, 5);
+    }
+}

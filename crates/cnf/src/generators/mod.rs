@@ -1,0 +1,30 @@
+//! Workload generators.
+//!
+//! The paper motivates SAT through logic synthesis, formal verification,
+//! circuit testing and pattern recognition; the generators here produce
+//! representative instances from those domains plus the synthetic families
+//! the evaluation sweeps over:
+//!
+//! * [`random`] — uniform random k-SAT with a configurable clause/variable ratio
+//! * [`pigeonhole`] — provably unsatisfiable pigeonhole-principle instances
+//! * [`coloring`] — graph k-coloring encodings
+//! * [`parity`] — XOR/parity chains (hard for resolution, easy for structure)
+//! * [`miter`] — combinational equivalence-checking miters
+//! * [`paper`] — the exact worked examples and §IV instances from the paper
+
+pub mod coloring;
+pub mod miter;
+pub mod paper;
+pub mod parity;
+pub mod pigeonhole;
+pub mod random;
+
+pub use coloring::{cycle_graph, complete_graph, graph_coloring, Graph};
+pub use miter::{adder_equivalence_miter, buggy_adder_miter};
+pub use paper::{
+    example6_sat, example7_unsat, running_example, section4_sat_instance,
+    section4_unsat_instance,
+};
+pub use parity::parity_chain;
+pub use pigeonhole::pigeonhole;
+pub use random::{random_ksat, RandomKSatConfig};

@@ -1,0 +1,80 @@
+//! The exact instances used in the paper's worked examples and evaluation.
+
+use crate::formula::CnfFormula;
+
+/// The paper's running example from §III.A:
+/// `S(x1,x2,x3) = (x1 + x̄2)·(x̄1 + x2 + x3)`, satisfiable by `<0,0,1>`.
+pub fn running_example() -> CnfFormula {
+    CnfFormula::from_dimacs_clauses(&[vec![1, -2], vec![-1, 2, 3]])
+        .expect("static instance is well-formed")
+}
+
+/// Example 6: `S = (x1 + x2)·(x̄1 + x̄2)` — satisfiable, exactly two
+/// satisfying minterms (`x1 x̄2` and `x̄1 x2`).
+pub fn example6_sat() -> CnfFormula {
+    CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, -2]])
+        .expect("static instance is well-formed")
+}
+
+/// Example 7: `S = (x1)·(x̄1)` — unsatisfiable.
+pub fn example7_unsat() -> CnfFormula {
+    CnfFormula::from_dimacs_clauses(&[vec![1], vec![-1]])
+        .expect("static instance is well-formed")
+}
+
+/// The §IV (experimental results) unsatisfiable instance:
+/// `S_UNSAT = (x1+x2)·(x1+x̄2)·(x̄1+x2)·(x̄1+x̄2)`.
+pub fn section4_unsat_instance() -> CnfFormula {
+    CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![1, -2], vec![-1, 2], vec![-1, -2]])
+        .expect("static instance is well-formed")
+}
+
+/// The §IV (experimental results) satisfiable instance:
+/// `S_SAT = (x1+x2)·(x1+x2)·(x1+x̄2)·(x̄1+x2)`.
+///
+/// The first clause is redundant; the paper keeps it so that `m = 4` matches
+/// the unsatisfiable instance and the two `S_N` traces are comparable.
+/// The unique satisfying minterm is `x1 x2`.
+pub fn section4_sat_instance() -> CnfFormula {
+    CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![1, 2], vec![1, -2], vec![-1, 2]])
+        .expect("static instance is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+
+    #[test]
+    fn running_example_model() {
+        let f = running_example();
+        assert!(f.evaluate(&Assignment::from_bools(vec![false, false, true])));
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_literals(), 5);
+    }
+
+    #[test]
+    fn example6_has_two_models() {
+        let f = example6_sat();
+        assert_eq!(f.count_satisfying_assignments(), 2);
+        assert!(f.evaluate(&Assignment::from_bools(vec![true, false])));
+        assert!(f.evaluate(&Assignment::from_bools(vec![false, true])));
+    }
+
+    #[test]
+    fn example7_is_unsat() {
+        assert_eq!(example7_unsat().count_satisfying_assignments(), 0);
+    }
+
+    #[test]
+    fn section4_instances_match_paper() {
+        let unsat = section4_unsat_instance();
+        let sat = section4_sat_instance();
+        assert_eq!(unsat.num_clauses(), 4);
+        assert_eq!(sat.num_clauses(), 4);
+        assert_eq!(unsat.count_satisfying_assignments(), 0);
+        assert_eq!(sat.count_satisfying_assignments(), 1);
+        assert!(sat.evaluate(&Assignment::from_bools(vec![true, true])));
+    }
+}

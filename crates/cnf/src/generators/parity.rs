@@ -1,0 +1,110 @@
+//! Parity (XOR) chain instances.
+
+use crate::formula::CnfFormula;
+use crate::var::{Literal, Variable};
+
+/// Generates a parity-chain instance: `x1 ⊕ x2 ⊕ ... ⊕ xn = target`.
+///
+/// XOR constraints are expanded into CNF by introducing chain variables
+/// `t_i = x1 ⊕ ... ⊕ x_i`: each step `t_i = t_{i-1} ⊕ x_i` contributes four
+/// clauses, and a final unit clause fixes the overall parity.
+///
+/// The instance is always satisfiable (exactly `2^(n-1)` models), but parity
+/// reasoning is a classic stress case for CNF solvers.
+///
+/// ```
+/// let f = cnf::generators::parity_chain(4, true);
+/// assert_eq!(f.count_satisfying_assignments(), 8);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity_chain(n: usize, target: bool) -> CnfFormula {
+    assert!(n > 0, "parity chain needs at least one input variable");
+    // variables 0..n are the inputs; n..(2n-1) are the chain variables t_2..t_n
+    // t_1 is x1 itself.
+    let mut formula = CnfFormula::new(n + n.saturating_sub(1));
+    let input = Variable::new;
+    let chain = |i: usize| Variable::new(n + i - 2); // t_i for i >= 2
+
+    if n == 1 {
+        formula.add_clause([Literal::with_phase(input(0), target)]);
+        return formula;
+    }
+
+    for i in 2..=n {
+        let prev: Variable = if i == 2 { input(0) } else { chain(i - 1) };
+        let x = input(i - 1);
+        let t = chain(i);
+        // t = prev XOR x  ==  (¬prev ∨ ¬x ∨ ¬t)(prev ∨ x ∨ ¬t)(prev ∨ ¬x ∨ t)(¬prev ∨ x ∨ t)
+        formula.add_clause([
+            Literal::negative(prev),
+            Literal::negative(x),
+            Literal::negative(t),
+        ]);
+        formula.add_clause([
+            Literal::positive(prev),
+            Literal::positive(x),
+            Literal::negative(t),
+        ]);
+        formula.add_clause([
+            Literal::positive(prev),
+            Literal::negative(x),
+            Literal::positive(t),
+        ]);
+        formula.add_clause([
+            Literal::negative(prev),
+            Literal::positive(x),
+            Literal::positive(t),
+        ]);
+    }
+    formula.add_clause([Literal::with_phase(chain(n), target)]);
+    formula
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+
+    #[test]
+    fn single_variable_chain() {
+        let f = parity_chain(1, true);
+        assert_eq!(f.num_vars(), 1);
+        assert_eq!(f.count_satisfying_assignments(), 1);
+        assert!(f.evaluate(&Assignment::from_bools(vec![true])));
+    }
+
+    #[test]
+    fn model_count_is_2_pow_n_minus_1_times_chain() {
+        // Over all (input + chain) variables the model count is 2^(n-1)
+        // because chain variables are functionally determined.
+        for n in 2..=4 {
+            for target in [false, true] {
+                let f = parity_chain(n, target);
+                assert_eq!(
+                    f.count_satisfying_assignments(),
+                    1u64 << (n - 1),
+                    "n={n} target={target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn models_respect_parity() {
+        let n = 3;
+        let f = parity_chain(n, true);
+        for a in f.satisfying_assignments() {
+            let parity = (0..n).fold(false, |acc, i| acc ^ a.value(Variable::new(i)));
+            assert!(parity);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_inputs_panics() {
+        let _ = parity_chain(0, false);
+    }
+}

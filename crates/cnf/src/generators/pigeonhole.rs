@@ -1,0 +1,77 @@
+//! Pigeonhole-principle instances.
+
+use crate::clause::Clause;
+use crate::formula::CnfFormula;
+use crate::var::{Literal, Variable};
+
+/// Generates the pigeonhole instance `PHP(pigeons, holes)`.
+///
+/// Variable `p_{i,j}` (pigeon `i` sits in hole `j`) is index `i * holes + j`.
+/// Clauses state that every pigeon sits in some hole and no two pigeons share
+/// a hole. With `pigeons > holes` the instance is unsatisfiable (and famously
+/// hard for resolution-based solvers); with `pigeons <= holes` it is
+/// satisfiable.
+///
+/// ```
+/// let f = cnf::generators::pigeonhole(3, 2);
+/// assert_eq!(f.num_vars(), 6);
+/// assert_eq!(f.count_satisfying_assignments(), 0);
+/// ```
+pub fn pigeonhole(pigeons: usize, holes: usize) -> CnfFormula {
+    let num_vars = pigeons * holes;
+    let var = |pigeon: usize, hole: usize| Variable::new(pigeon * holes + hole);
+    let mut formula = CnfFormula::new(num_vars);
+
+    // Every pigeon is placed in at least one hole.
+    for p in 0..pigeons {
+        let clause: Clause = (0..holes).map(|h| Literal::positive(var(p, h))).collect();
+        formula.push_clause(clause);
+    }
+    // No two pigeons share a hole.
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                formula.add_clause([
+                    Literal::negative(var(p1, h)),
+                    Literal::negative(var(p2, h)),
+                ]);
+            }
+        }
+    }
+    formula
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn php_3_2_is_unsat() {
+        let f = pigeonhole(3, 2);
+        assert_eq!(f.num_vars(), 6);
+        // 3 at-least-one clauses + 2 holes * C(3,2)=3 pairs = 3 + 6 = 9
+        assert_eq!(f.num_clauses(), 9);
+        assert_eq!(f.count_satisfying_assignments(), 0);
+    }
+
+    #[test]
+    fn php_2_2_is_sat() {
+        let f = pigeonhole(2, 2);
+        assert!(f.count_satisfying_assignments() > 0);
+    }
+
+    #[test]
+    fn php_2_3_is_sat() {
+        let f = pigeonhole(2, 3);
+        assert!(f.count_satisfying_assignments() > 0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let f = pigeonhole(0, 3);
+        assert!(f.is_empty() || f.count_satisfying_assignments() > 0);
+        let f = pigeonhole(1, 0);
+        // one pigeon, zero holes: the at-least-one clause is empty -> UNSAT
+        assert!(f.has_empty_clause());
+    }
+}

@@ -1,0 +1,176 @@
+//! Uniform random k-SAT generation.
+
+use crate::clause::Clause;
+use crate::error::{CnfError, Result};
+use crate::formula::CnfFormula;
+use crate::var::{Literal, Variable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the uniform random k-SAT generator.
+///
+/// ```
+/// use cnf::generators::RandomKSatConfig;
+/// let cfg = RandomKSatConfig::new(20, 85, 3).with_seed(7);
+/// let f = cnf::generators::random_ksat(&cfg)?;
+/// assert_eq!(f.num_vars(), 20);
+/// assert_eq!(f.num_clauses(), 85);
+/// # Ok::<(), cnf::CnfError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RandomKSatConfig {
+    /// Number of variables `n`.
+    pub num_vars: usize,
+    /// Number of clauses `m`.
+    pub num_clauses: usize,
+    /// Literals per clause `k`.
+    pub k: usize,
+    /// PRNG seed (generation is fully deterministic for a given seed).
+    pub seed: u64,
+    /// Forbid clauses containing a variable twice (the usual convention).
+    pub distinct_vars_per_clause: bool,
+}
+
+impl RandomKSatConfig {
+    /// Creates a configuration with the default seed 0 and distinct variables
+    /// per clause.
+    pub fn new(num_vars: usize, num_clauses: usize, k: usize) -> Self {
+        RandomKSatConfig {
+            num_vars,
+            num_clauses,
+            k,
+            seed: 0,
+            distinct_vars_per_clause: true,
+        }
+    }
+
+    /// Creates a configuration from the clause/variable ratio `alpha = m/n`
+    /// (the hardness knob for random 3-SAT; the phase transition sits near 4.26).
+    pub fn from_ratio(num_vars: usize, alpha: f64, k: usize) -> Self {
+        Self::new(num_vars, (alpha * num_vars as f64).round() as usize, k)
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Allows a clause to mention the same variable more than once.
+    pub fn allow_repeated_vars(mut self) -> Self {
+        self.distinct_vars_per_clause = false;
+        self
+    }
+}
+
+/// Generates a uniform random k-SAT formula.
+///
+/// Each clause draws `k` distinct variables uniformly (unless repetition is
+/// allowed) and negates each independently with probability 1/2.
+///
+/// # Errors
+///
+/// Returns [`CnfError::InvalidGeneratorConfig`] when `k == 0`, `num_vars == 0`
+/// with clauses requested, or `k > num_vars` while distinct variables are
+/// required.
+pub fn random_ksat(config: &RandomKSatConfig) -> Result<CnfFormula> {
+    if config.k == 0 {
+        return Err(CnfError::InvalidGeneratorConfig(
+            "clause width k must be at least 1".into(),
+        ));
+    }
+    if config.num_vars == 0 && config.num_clauses > 0 {
+        return Err(CnfError::InvalidGeneratorConfig(
+            "cannot generate clauses over zero variables".into(),
+        ));
+    }
+    if config.distinct_vars_per_clause && config.k > config.num_vars {
+        return Err(CnfError::InvalidGeneratorConfig(format!(
+            "clause width k={} exceeds variable count n={}",
+            config.k, config.num_vars
+        )));
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut formula = CnfFormula::new(config.num_vars);
+    for _ in 0..config.num_clauses {
+        let mut clause = Clause::new();
+        if config.distinct_vars_per_clause {
+            // Partial Fisher-Yates over variable indices.
+            let mut chosen: Vec<usize> = Vec::with_capacity(config.k);
+            while chosen.len() < config.k {
+                let v = rng.gen_range(0..config.num_vars);
+                if !chosen.contains(&v) {
+                    chosen.push(v);
+                }
+            }
+            for v in chosen {
+                let phase: bool = rng.gen();
+                clause.push(Literal::with_phase(Variable::new(v), phase));
+            }
+        } else {
+            for _ in 0..config.k {
+                let v = rng.gen_range(0..config.num_vars);
+                let phase: bool = rng.gen();
+                clause.push(Literal::with_phase(Variable::new(v), phase));
+            }
+        }
+        formula.push_clause(clause);
+    }
+    Ok(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::FormulaStats;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = RandomKSatConfig::new(10, 42, 3).with_seed(1);
+        let f = random_ksat(&cfg).unwrap();
+        assert_eq!(f.num_vars(), 10);
+        assert_eq!(f.num_clauses(), 42);
+        assert!(FormulaStats::of(&f).is_uniform_ksat(3));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = RandomKSatConfig::new(8, 20, 3).with_seed(99);
+        assert_eq!(random_ksat(&cfg).unwrap(), random_ksat(&cfg).unwrap());
+        let other = RandomKSatConfig::new(8, 20, 3).with_seed(100);
+        assert_ne!(random_ksat(&cfg).unwrap(), random_ksat(&other).unwrap());
+    }
+
+    #[test]
+    fn distinct_variables_per_clause() {
+        let cfg = RandomKSatConfig::new(5, 50, 3).with_seed(3);
+        let f = random_ksat(&cfg).unwrap();
+        for clause in f.iter() {
+            let mut vars: Vec<usize> = clause.iter().map(|l| l.variable().index()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), clause.len());
+        }
+    }
+
+    #[test]
+    fn ratio_constructor() {
+        let cfg = RandomKSatConfig::from_ratio(20, 4.25, 3);
+        assert_eq!(cfg.num_clauses, 85);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(random_ksat(&RandomKSatConfig::new(3, 5, 0)).is_err());
+        assert!(random_ksat(&RandomKSatConfig::new(0, 5, 2)).is_err());
+        assert!(random_ksat(&RandomKSatConfig::new(2, 5, 3)).is_err());
+        assert!(random_ksat(&RandomKSatConfig::new(2, 5, 3).allow_repeated_vars()).is_ok());
+    }
+
+    #[test]
+    fn zero_clauses_is_fine() {
+        let f = random_ksat(&RandomKSatConfig::new(4, 0, 3)).unwrap();
+        assert!(f.is_empty());
+    }
+}

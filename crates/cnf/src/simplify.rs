@@ -1,0 +1,291 @@
+//! Light preprocessing: unit propagation and pure-literal elimination.
+//!
+//! These are the classical reductions every complete SAT procedure applies;
+//! the baseline DPLL/CDCL solvers and the hybrid NBL-guided solver both reuse
+//! them, and they are handy for shrinking instances before handing them to the
+//! (exponentially scaling) NBL engines.
+
+use crate::assignment::PartialAssignment;
+use crate::clause::Clause;
+use crate::formula::CnfFormula;
+use crate::var::{Literal, Variable};
+
+/// Outcome of exhaustive unit propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropagationOutcome {
+    /// No conflict was found; the partial assignment was extended with the
+    /// given implied literals (in propagation order).
+    Consistent {
+        /// Literals implied by unit propagation, in the order discovered.
+        implied: Vec<Literal>,
+    },
+    /// A clause became empty under the assignment: the formula is
+    /// unsatisfiable under the current partial assignment.
+    Conflict {
+        /// Index of the clause that became empty.
+        clause_index: usize,
+    },
+}
+
+impl PropagationOutcome {
+    /// Returns `true` when propagation did not derive a conflict.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, PropagationOutcome::Consistent { .. })
+    }
+}
+
+/// Performs unit propagation to a fixed point, extending `assignment` in place.
+///
+/// Clauses already satisfied by `assignment` are skipped; clauses reduced to a
+/// single unassigned literal force that literal.
+pub fn propagate_units(
+    formula: &CnfFormula,
+    assignment: &mut PartialAssignment,
+) -> PropagationOutcome {
+    let mut implied = Vec::new();
+    loop {
+        let mut changed = false;
+        for (ci, clause) in formula.iter().enumerate() {
+            let mut unassigned: Option<Literal> = None;
+            let mut num_unassigned = 0usize;
+            let mut satisfied = false;
+            for &lit in clause.iter() {
+                match assignment.value(lit.variable()) {
+                    Some(v) if lit.evaluate(v) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        num_unassigned += 1;
+                        unassigned = Some(lit);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match num_unassigned {
+                0 => return PropagationOutcome::Conflict { clause_index: ci },
+                1 => {
+                    let lit = unassigned.expect("counted one unassigned literal");
+                    assignment.assign_literal(lit);
+                    implied.push(lit);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return PropagationOutcome::Consistent { implied };
+        }
+    }
+}
+
+/// Returns the pure literals of the formula under the given partial assignment:
+/// literals whose variable occurs (in not-yet-satisfied clauses) with only one
+/// polarity.
+pub fn pure_literals(formula: &CnfFormula, assignment: &PartialAssignment) -> Vec<Literal> {
+    let n = formula.num_vars();
+    let mut pos = vec![false; n];
+    let mut neg = vec![false; n];
+    for clause in formula.iter() {
+        if clause.evaluate_partial(assignment) == Some(true) {
+            continue;
+        }
+        for &lit in clause.iter() {
+            if assignment.value(lit.variable()).is_some() {
+                continue;
+            }
+            if lit.is_positive() {
+                pos[lit.variable().index()] = true;
+            } else {
+                neg[lit.variable().index()] = true;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for i in 0..n {
+        if assignment.value(Variable::new(i)).is_some() {
+            continue;
+        }
+        match (pos[i], neg[i]) {
+            (true, false) => out.push(Literal::positive(Variable::new(i))),
+            (false, true) => out.push(Literal::negative(Variable::new(i))),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Report returned by [`simplify`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimplifyReport {
+    /// Literals fixed by unit propagation and pure-literal elimination.
+    pub fixed: Vec<Literal>,
+    /// Number of clauses removed (satisfied or tautological).
+    pub removed_clauses: usize,
+    /// `true` if simplification proved the formula unsatisfiable.
+    pub proved_unsat: bool,
+    /// `true` if simplification satisfied every clause.
+    pub proved_sat: bool,
+}
+
+/// Simplifies a formula by repeated unit propagation and pure-literal
+/// elimination, returning the reduced formula (over the same variable space)
+/// and a report of what was done.
+///
+/// Tautological clauses are removed up front. The reduced formula contains
+/// only the clauses not yet satisfied, with falsified literals removed.
+pub fn simplify(formula: &CnfFormula) -> (CnfFormula, SimplifyReport) {
+    let mut report = SimplifyReport::default();
+    let mut assignment = PartialAssignment::new(formula.num_vars());
+
+    // Drop tautologies first.
+    let mut work: Vec<Clause> = Vec::with_capacity(formula.num_clauses());
+    for clause in formula.iter() {
+        if clause.is_tautology() {
+            report.removed_clauses += 1;
+        } else {
+            work.push(clause.clone());
+        }
+    }
+    let mut current = CnfFormula::from_clauses(formula.num_vars(), work);
+
+    loop {
+        match propagate_units(&current, &mut assignment) {
+            PropagationOutcome::Conflict { .. } => {
+                report.proved_unsat = true;
+                report.fixed = assignment.assigned().map(|(v, b)| Variable::literal(v, b)).collect();
+                return (current, report);
+            }
+            PropagationOutcome::Consistent { .. } => {}
+        }
+        let pure = pure_literals(&current, &assignment);
+        if pure.is_empty() {
+            break;
+        }
+        for lit in pure {
+            assignment.assign_literal(lit);
+        }
+    }
+
+    report.fixed = assignment
+        .assigned()
+        .map(|(v, b)| Variable::literal(v, b))
+        .collect();
+
+    // Build the residual formula under the accumulated assignment.
+    let mut residual = Vec::new();
+    for clause in current.iter() {
+        match clause.evaluate_partial(&assignment) {
+            Some(true) => {
+                report.removed_clauses += 1;
+            }
+            Some(false) => {
+                report.proved_unsat = true;
+                residual.push(Clause::new());
+            }
+            None => {
+                let reduced: Clause = clause
+                    .iter()
+                    .copied()
+                    .filter(|l| assignment.value(l.variable()).is_none())
+                    .collect();
+                residual.push(reduced);
+            }
+        }
+    }
+    if residual.is_empty() && !report.proved_unsat {
+        report.proved_sat = true;
+    }
+    current = CnfFormula::from_clauses(formula.num_vars(), residual);
+    (current, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf_formula;
+
+    #[test]
+    fn unit_propagation_chains() {
+        // (x1)(x1'+x2)(x2'+x3) forces x1, x2, x3.
+        let f = cnf_formula![[1], [-1, 2], [-2, 3]];
+        let mut a = PartialAssignment::new(3);
+        let out = propagate_units(&f, &mut a);
+        assert!(out.is_consistent());
+        assert_eq!(a.value(Variable::new(0)), Some(true));
+        assert_eq!(a.value(Variable::new(1)), Some(true));
+        assert_eq!(a.value(Variable::new(2)), Some(true));
+        match out {
+            PropagationOutcome::Consistent { implied } => assert_eq!(implied.len(), 3),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unit_propagation_detects_conflict() {
+        let f = cnf_formula![[1], [-1]];
+        let mut a = PartialAssignment::new(1);
+        let out = propagate_units(&f, &mut a);
+        assert!(!out.is_consistent());
+    }
+
+    #[test]
+    fn pure_literal_detection() {
+        // x1 occurs only positively, x2 both ways, x3 only negatively.
+        let f = cnf_formula![[1, 2], [1, -2, -3], [-3, 2]];
+        let a = PartialAssignment::new(3);
+        let pures = pure_literals(&f, &a);
+        assert!(pures.contains(&Literal::from_dimacs(1).unwrap()));
+        assert!(pures.contains(&Literal::from_dimacs(-3).unwrap()));
+        assert!(!pures.iter().any(|l| l.variable() == Variable::new(1)));
+    }
+
+    #[test]
+    fn simplify_solves_horn_like_instance() {
+        let f = cnf_formula![[1], [-1, 2], [-2, 3]];
+        let (reduced, report) = simplify(&f);
+        assert!(report.proved_sat);
+        assert!(!report.proved_unsat);
+        assert!(reduced.is_empty());
+        assert_eq!(report.fixed.len(), 3);
+    }
+
+    #[test]
+    fn simplify_detects_unsat() {
+        let f = cnf_formula![[1], [-1]];
+        let (_, report) = simplify(&f);
+        assert!(report.proved_unsat);
+    }
+
+    #[test]
+    fn simplify_removes_tautologies() {
+        let f = cnf_formula![[1, -1], [2, 3]];
+        let (reduced, report) = simplify(&f);
+        assert!(report.removed_clauses >= 1);
+        // remaining clause gets solved by pure literals
+        assert!(report.proved_sat || !reduced.is_empty());
+    }
+
+    #[test]
+    fn simplify_preserves_satisfiability_on_small_random_shapes() {
+        let formulas = [
+            cnf_formula![[1, 2], [-1, -2]],
+            cnf_formula![[1, 2], [1, -2], [-1, 2], [-1, -2]],
+            cnf_formula![[1, 2, 3], [-1, -2], [2, -3]],
+        ];
+        for f in formulas {
+            let orig_sat = f.count_satisfying_assignments() > 0;
+            let (reduced, report) = simplify(&f);
+            if report.proved_unsat {
+                assert!(!orig_sat);
+            } else if report.proved_sat {
+                assert!(orig_sat);
+            } else {
+                assert_eq!(reduced.count_satisfying_assignments() > 0, orig_sat);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Formula statistics used for reporting and for the paper's scaling model.
+
+use crate::formula::CnfFormula;
+use std::fmt;
+
+/// Summary statistics of a CNF formula.
+///
+/// The NBL-SAT scaling analysis (paper §III.F) depends on `n` (variables) and
+/// `m` (clauses): the engine uses `2·m·n` basis noise sources and the number of
+/// product terms grows as `O(2^{nm})`. This type centralizes those counts.
+///
+/// ```
+/// use cnf::{cnf_formula, FormulaStats};
+/// let f = cnf_formula![[1, 2], [1, -2], [-1, 2], [-1, -2]];
+/// let s = FormulaStats::of(&f);
+/// assert_eq!(s.num_vars, 2);
+/// assert_eq!(s.num_clauses, 4);
+/// assert_eq!(s.noise_sources(), 16);      // 2 m n
+/// assert_eq!(s.max_clause_len, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FormulaStats {
+    /// Number of variables `n`.
+    pub num_vars: usize,
+    /// Number of clauses `m`.
+    pub num_clauses: usize,
+    /// Total number of literal occurrences.
+    pub num_literals: usize,
+    /// Length of the shortest clause (0 if there are no clauses).
+    pub min_clause_len: usize,
+    /// Length of the longest clause (0 if there are no clauses).
+    pub max_clause_len: usize,
+    /// Number of unit clauses.
+    pub num_unit_clauses: usize,
+    /// Number of empty clauses.
+    pub num_empty_clauses: usize,
+}
+
+impl FormulaStats {
+    /// Computes statistics for a formula.
+    pub fn of(formula: &CnfFormula) -> Self {
+        let lens: Vec<usize> = formula.iter().map(|c| c.len()).collect();
+        FormulaStats {
+            num_vars: formula.num_vars(),
+            num_clauses: formula.num_clauses(),
+            num_literals: formula.num_literals(),
+            min_clause_len: lens.iter().copied().min().unwrap_or(0),
+            max_clause_len: lens.iter().copied().max().unwrap_or(0),
+            num_unit_clauses: lens.iter().filter(|&&l| l == 1).count(),
+            num_empty_clauses: lens.iter().filter(|&&l| l == 0).count(),
+        }
+    }
+
+    /// Clause-to-variable ratio `m / n` (0 when there are no variables).
+    pub fn clause_variable_ratio(&self) -> f64 {
+        if self.num_vars == 0 {
+            0.0
+        } else {
+            self.num_clauses as f64 / self.num_vars as f64
+        }
+    }
+
+    /// Number of independent basis noise sources the NBL-SAT transform will
+    /// allocate: `2 · m · n` (paper §III.C).
+    pub fn noise_sources(&self) -> usize {
+        2 * self.num_clauses * self.num_vars
+    }
+
+    /// `n · m`, the exponent in the paper's product-count and SNR expressions.
+    pub fn nm(&self) -> usize {
+        self.num_vars * self.num_clauses
+    }
+
+    /// Returns `true` when every clause has exactly `k` literals.
+    pub fn is_uniform_ksat(&self, k: usize) -> bool {
+        self.num_clauses > 0 && self.min_clause_len == k && self.max_clause_len == k
+    }
+}
+
+impl fmt::Display for FormulaStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} m={} literals={} clause_len=[{},{}] units={} empties={} m/n={:.2}",
+            self.num_vars,
+            self.num_clauses,
+            self.num_literals,
+            self.min_clause_len,
+            self.max_clause_len,
+            self.num_unit_clauses,
+            self.num_empty_clauses,
+            self.clause_variable_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf_formula;
+    use crate::CnfFormula;
+
+    #[test]
+    fn stats_of_mixed_formula() {
+        let f = cnf_formula![[1], [1, 2, 3], [-2, -3]];
+        let s = FormulaStats::of(&f);
+        assert_eq!(s.num_vars, 3);
+        assert_eq!(s.num_clauses, 3);
+        assert_eq!(s.num_literals, 6);
+        assert_eq!(s.min_clause_len, 1);
+        assert_eq!(s.max_clause_len, 3);
+        assert_eq!(s.num_unit_clauses, 1);
+        assert_eq!(s.num_empty_clauses, 0);
+        assert_eq!(s.noise_sources(), 18);
+        assert_eq!(s.nm(), 9);
+        assert!(!s.is_uniform_ksat(3));
+        assert!((s.clause_variable_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_formula() {
+        let f = CnfFormula::new(0);
+        let s = FormulaStats::of(&f);
+        assert_eq!(s.num_clauses, 0);
+        assert_eq!(s.clause_variable_ratio(), 0.0);
+        assert_eq!(s.noise_sources(), 0);
+    }
+
+    #[test]
+    fn uniform_ksat_detection() {
+        let f = cnf_formula![[1, 2, 3], [-1, 2, -3]];
+        assert!(FormulaStats::of(&f).is_uniform_ksat(3));
+        assert!(!FormulaStats::of(&f).is_uniform_ksat(2));
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let f = cnf_formula![[1, 2]];
+        let text = FormulaStats::of(&f).to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("m=1"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Variables and literals (Definition 1 of the paper).
+
+use crate::error::{CnfError, Result};
+use std::fmt;
+
+/// A Boolean variable, identified by a 0-based index.
+///
+/// Displayed as `x1`, `x2`, ... (1-based) to match the paper's notation.
+///
+/// ```
+/// use cnf::Variable;
+/// let v = Variable::new(0);
+/// assert_eq!(v.index(), 0);
+/// assert_eq!(v.to_string(), "x1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variable(u32);
+
+impl Variable {
+    /// Creates a variable from its 0-based index.
+    pub fn new(index: usize) -> Self {
+        Variable(index as u32)
+    }
+
+    /// Returns the 0-based index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    pub fn positive(self) -> Literal {
+        Literal::positive(self)
+    }
+
+    /// Returns the negative literal of this variable.
+    pub fn negative(self) -> Literal {
+        Literal::negative(self)
+    }
+
+    /// Returns the literal of this variable with the given phase
+    /// (`true` → positive literal).
+    pub fn literal(self, phase: bool) -> Literal {
+        Literal::with_phase(self, phase)
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for Variable {
+    fn from(index: usize) -> Self {
+        Variable::new(index)
+    }
+}
+
+/// A literal: a variable or its negation (Definition 1 of the paper).
+///
+/// Internally encoded as `index << 1 | negated`, which gives literals a dense
+/// 0-based code usable as an array index (see [`Literal::code`]).
+///
+/// ```
+/// use cnf::{Literal, Variable};
+/// let x3 = Variable::new(2);
+/// let lit = Literal::negative(x3);
+/// assert!(lit.is_negative());
+/// assert_eq!(lit.variable(), x3);
+/// assert_eq!(lit.to_string(), "¬x3");
+/// assert_eq!((!lit).to_string(), "x3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal(u32);
+
+impl Literal {
+    /// Creates the positive literal of `var`.
+    pub fn positive(var: Variable) -> Self {
+        Literal((var.0 << 1) | 0)
+    }
+
+    /// Creates the negative literal of `var`.
+    pub fn negative(var: Variable) -> Self {
+        Literal((var.0 << 1) | 1)
+    }
+
+    /// Creates the literal of `var` with the given phase (`true` → positive).
+    pub fn with_phase(var: Variable, phase: bool) -> Self {
+        if phase {
+            Self::positive(var)
+        } else {
+            Self::negative(var)
+        }
+    }
+
+    /// Creates a literal from a DIMACS-style signed integer (1-based, non-zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CnfError::ZeroLiteral`] if `value == 0`.
+    pub fn from_dimacs(value: i64) -> Result<Self> {
+        if value == 0 {
+            return Err(CnfError::ZeroLiteral);
+        }
+        let var = Variable::new((value.unsigned_abs() - 1) as usize);
+        Ok(if value > 0 {
+            Self::positive(var)
+        } else {
+            Self::negative(var)
+        })
+    }
+
+    /// Returns the DIMACS-style signed integer for this literal.
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.variable().index() + 1) as i64;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Returns the variable underlying this literal.
+    pub fn variable(self) -> Variable {
+        Variable(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is a positive (non-negated) literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if this is a negative (negated) literal.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the phase of this literal: `true` for positive, `false` for negative.
+    ///
+    /// A literal is satisfied by an assignment that maps its variable to its phase.
+    pub fn phase(self) -> bool {
+        self.is_positive()
+    }
+
+    /// Returns a dense 0-based code (`2*var` for positive, `2*var + 1` for
+    /// negative) that can be used as an array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from a dense code produced by [`Literal::code`].
+    pub fn from_code(code: usize) -> Self {
+        Literal(code as u32)
+    }
+
+    /// Evaluates the literal under a truth value for its variable.
+    pub fn evaluate(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+}
+
+impl std::ops::Not for Literal {
+    type Output = Literal;
+
+    fn not(self) -> Literal {
+        Literal(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬{}", self.variable())
+        } else {
+            write!(f, "{}", self.variable())
+        }
+    }
+}
+
+impl From<Variable> for Literal {
+    fn from(var: Variable) -> Self {
+        Literal::positive(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_roundtrip_and_display() {
+        let v = Variable::new(4);
+        assert_eq!(v.index(), 4);
+        assert_eq!(v.to_string(), "x5");
+        assert_eq!(Variable::from(4usize), v);
+    }
+
+    #[test]
+    fn literal_polarity_and_negation() {
+        let v = Variable::new(2);
+        let pos = Literal::positive(v);
+        let neg = Literal::negative(v);
+        assert!(pos.is_positive());
+        assert!(neg.is_negative());
+        assert_eq!(!pos, neg);
+        assert_eq!(!neg, pos);
+        assert_eq!(pos.variable(), v);
+        assert_eq!(neg.variable(), v);
+        assert_eq!(Literal::with_phase(v, true), pos);
+        assert_eq!(Literal::with_phase(v, false), neg);
+        assert_eq!(v.positive(), pos);
+        assert_eq!(v.negative(), neg);
+        assert_eq!(v.literal(false), neg);
+    }
+
+    #[test]
+    fn literal_dimacs_roundtrip() {
+        for value in [1i64, -1, 5, -5, 100, -100] {
+            let lit = Literal::from_dimacs(value).unwrap();
+            assert_eq!(lit.to_dimacs(), value);
+        }
+        assert_eq!(Literal::from_dimacs(0), Err(CnfError::ZeroLiteral));
+    }
+
+    #[test]
+    fn literal_code_roundtrip() {
+        for value in [1i64, -1, 7, -9] {
+            let lit = Literal::from_dimacs(value).unwrap();
+            assert_eq!(Literal::from_code(lit.code()), lit);
+        }
+    }
+
+    #[test]
+    fn literal_evaluation() {
+        let v = Variable::new(0);
+        assert!(Literal::positive(v).evaluate(true));
+        assert!(!Literal::positive(v).evaluate(false));
+        assert!(Literal::negative(v).evaluate(false));
+        assert!(!Literal::negative(v).evaluate(true));
+    }
+
+    #[test]
+    fn literal_display_matches_paper_notation() {
+        let lit = Literal::from_dimacs(-3).unwrap();
+        assert_eq!(lit.to_string(), "¬x3");
+        assert_eq!((!lit).to_string(), "x3");
+    }
+
+    #[test]
+    fn ordering_groups_literals_of_same_variable() {
+        let a = Literal::from_dimacs(1).unwrap();
+        let b = Literal::from_dimacs(-1).unwrap();
+        let c = Literal::from_dimacs(2).unwrap();
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

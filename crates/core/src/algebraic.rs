@@ -1,0 +1,250 @@
+//! Term-level algebraic engine (validation of Theorem 3.1 by full expansion).
+
+use crate::engine::{MeanEstimate, NblEngine};
+use crate::error::{NblSatError, Result};
+use crate::transform::NblSatInstance;
+use cnf::{PartialAssignment, Variable};
+use nbl_logic::{MomentModel, Superposition};
+
+/// Exact engine that literally builds the superpositions τ_N and Σ_N with the
+/// `nbl-logic` term algebra, multiplies them, and takes the expectation.
+///
+/// This follows the paper's construction symbol-for-symbol:
+///
+/// * τ_N per Eq. (2), replacing each literal's basis bit by the product of
+///   that literal's per-clause sources,
+/// * Σ_N by substituting each literal of clause `j` with its cube subspace
+///   `T^j_v` built from clause `j`'s sources only,
+///
+/// and is therefore the most direct executable statement of Theorem 3.1. The
+/// expansion has `O(2^{nm})` terms, so the engine enforces a term budget and
+/// is intended for the small validation instances of the paper (it agrees with
+/// [`crate::SymbolicEngine`] wherever both apply — see the cross-check tests).
+#[derive(Debug, Clone, Copy)]
+pub struct AlgebraicEngine {
+    moment_model: MomentModel,
+    max_terms: usize,
+}
+
+impl Default for AlgebraicEngine {
+    fn default() -> Self {
+        AlgebraicEngine::new()
+    }
+}
+
+impl AlgebraicEngine {
+    /// Creates an algebraic engine with the paper's uniform carriers and a
+    /// 200 000-term expansion budget.
+    pub fn new() -> Self {
+        AlgebraicEngine {
+            moment_model: MomentModel::uniform_half(),
+            max_terms: 200_000,
+        }
+    }
+
+    /// Uses a different carrier moment model.
+    pub fn with_moment_model(mut self, model: MomentModel) -> Self {
+        self.moment_model = model;
+        self
+    }
+
+    /// Overrides the expansion term budget.
+    pub fn with_max_terms(mut self, max_terms: usize) -> Self {
+        self.max_terms = max_terms;
+        self
+    }
+
+    fn check_budget(&self, s: &Superposition) -> Result<()> {
+        if s.num_terms() > self.max_terms {
+            return Err(NblSatError::InstanceTooLarge {
+                limit: format!("{} expansion terms", self.max_terms),
+                actual: s.num_terms(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the valid-minterm hyperspace τ_N (Eq. 2) under the bindings.
+    pub fn build_tau(
+        &self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+    ) -> Result<Superposition> {
+        instance.validate_bindings(bindings)?;
+        let m = instance.num_clauses();
+        let mut tau = Superposition::one();
+        for i in 0..instance.num_vars() {
+            let var = Variable::new(i);
+            // Product over all clauses of the positive (resp. negative) source.
+            let pos_product = nbl_logic::NoiseProduct::from_bases(
+                (0..m).map(|j| instance.source(j, var, true).basis_id()),
+            );
+            let neg_product = nbl_logic::NoiseProduct::from_bases(
+                (0..m).map(|j| instance.source(j, var, false).basis_id()),
+            );
+            let factor = match bindings.value(var) {
+                None => {
+                    Superposition::from_products([pos_product, neg_product])
+                }
+                Some(true) => Superposition::from_products([pos_product]),
+                Some(false) => Superposition::from_products([neg_product]),
+            };
+            tau = tau.multiplied_by(&factor);
+            self.check_budget(&tau)?;
+        }
+        Ok(tau)
+    }
+
+    /// Builds the NBL-encoded instance Σ_N: the product over clauses of the
+    /// superposition of each literal's cube subspace `T^j_v`.
+    pub fn build_sigma(&self, instance: &NblSatInstance) -> Result<Superposition> {
+        let n = instance.num_vars();
+        let mut sigma = Superposition::one();
+        for (j, clause) in instance.formula().iter().enumerate() {
+            let mut z_j = Superposition::zero();
+            for &lit in clause.iter() {
+                // T^j_lit = product over all variables of (bound literal source
+                // for lit's variable, else the sum of both sources of clause j).
+                let mut subspace = Superposition::one();
+                for i in 0..n {
+                    let var = Variable::new(i);
+                    let factor = if var == lit.variable() {
+                        Superposition::from_products([nbl_logic::NoiseProduct::from_basis(
+                            instance.literal_source(j, lit).basis_id(),
+                        )])
+                    } else {
+                        Superposition::from_products([
+                            nbl_logic::NoiseProduct::from_basis(
+                                instance.source(j, var, true).basis_id(),
+                            ),
+                            nbl_logic::NoiseProduct::from_basis(
+                                instance.source(j, var, false).basis_id(),
+                            ),
+                        ])
+                    };
+                    subspace = subspace.multiplied_by(&factor);
+                }
+                z_j = z_j.added_to(&subspace);
+            }
+            sigma = sigma.multiplied_by(&z_j);
+            self.check_budget(&sigma)?;
+        }
+        Ok(sigma)
+    }
+}
+
+impl NblEngine for AlgebraicEngine {
+    fn estimate(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+    ) -> Result<MeanEstimate> {
+        let tau = self.build_tau(instance, bindings)?;
+        let sigma = self.build_sigma(instance)?;
+        let product = tau.multiplied_by(&sigma);
+        self.check_budget(&product)?;
+        Ok(MeanEstimate::exact(product.expectation(&self.moment_model)))
+    }
+
+    fn name(&self) -> &'static str {
+        "algebraic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::SymbolicEngine;
+    use cnf::cnf_formula;
+    use cnf::generators;
+
+    fn instance(f: &cnf::CnfFormula) -> NblSatInstance {
+        NblSatInstance::new(f).unwrap()
+    }
+
+    #[test]
+    fn tau_has_2_pow_n_minterms_and_sigma_counts_match_example6() {
+        let inst = instance(&generators::example6_sat());
+        let engine = AlgebraicEngine::new();
+        let tau = engine.build_tau(&inst, &inst.empty_bindings()).unwrap();
+        assert_eq!(tau.num_terms(), 4);
+        // Each clause (2 literals over 2 vars) expands to 4 minterm terms, of
+        // which two coincide (the doubly-satisfying minterm), so 3 distinct.
+        let sigma = engine.build_sigma(&inst).unwrap();
+        assert_eq!(sigma.num_terms(), 9);
+    }
+
+    #[test]
+    fn example6_and_7_expectations() {
+        let mut engine = AlgebraicEngine::new();
+        let sat = instance(&generators::example6_sat());
+        let unsat = instance(&generators::example7_unsat());
+        let sat_mean = engine.estimate(&sat, &sat.empty_bindings()).unwrap().mean;
+        let unsat_mean = engine
+            .estimate(&unsat, &unsat.empty_bindings())
+            .unwrap()
+            .mean;
+        assert!((sat_mean - 2.0 * (1.0f64 / 12.0).powi(4)).abs() < 1e-18);
+        assert_eq!(unsat_mean, 0.0);
+    }
+
+    #[test]
+    fn agrees_with_counting_engine_on_small_instances() {
+        let formulas = [
+            generators::example6_sat(),
+            generators::example7_unsat(),
+            generators::running_example(),
+            cnf_formula![[1, 2], [-2, 3], [-1, -3]],
+            cnf_formula![[1], [-1, 2], [-2, 3]],
+        ];
+        for f in formulas {
+            let inst = instance(&f);
+            let mut algebraic = AlgebraicEngine::new();
+            let mut symbolic = SymbolicEngine::new();
+            let a = algebraic.estimate(&inst, &inst.empty_bindings()).unwrap();
+            let s = symbolic.estimate(&inst, &inst.empty_bindings()).unwrap();
+            assert!(
+                (a.mean - s.mean).abs() <= 1e-15 * (1.0 + s.mean.abs()),
+                "{f}: algebraic {} vs symbolic {}",
+                a.mean,
+                s.mean
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_counting_engine_under_bindings() {
+        let inst = instance(&generators::example6_sat());
+        let mut bindings = inst.empty_bindings();
+        bindings.assign(Variable::new(0), true);
+        let a = AlgebraicEngine::new()
+            .estimate(&inst, &bindings)
+            .unwrap()
+            .mean;
+        let s = SymbolicEngine::new().estimate(&inst, &bindings).unwrap().mean;
+        assert!((a - s).abs() < 1e-18);
+        assert!(a > 0.0);
+
+        bindings.assign(Variable::new(1), true);
+        let a = AlgebraicEngine::new()
+            .estimate(&inst, &bindings)
+            .unwrap()
+            .mean;
+        assert_eq!(a, 0.0);
+    }
+
+    #[test]
+    fn term_budget_is_enforced() {
+        let f = generators::random_ksat(
+            &cnf::generators::RandomKSatConfig::new(6, 12, 3).with_seed(1),
+        )
+        .unwrap();
+        let inst = instance(&f);
+        let mut engine = AlgebraicEngine::new().with_max_terms(100);
+        assert!(matches!(
+            engine.estimate(&inst, &inst.empty_bindings()),
+            Err(NblSatError::InstanceTooLarge { .. })
+        ));
+        assert_eq!(engine.name(), "algebraic");
+    }
+}

@@ -1,0 +1,281 @@
+//! Satisfying-assignment determination (Algorithm 2 of the paper).
+
+use crate::checker::{SatChecker, Verdict};
+use crate::engine::NblEngine;
+use crate::error::{NblSatError, Result};
+use crate::transform::NblSatInstance;
+use cnf::{Assignment, Cube, Literal, Variable};
+use std::fmt;
+
+/// Result of an assignment-extraction run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionOutcome {
+    /// The satisfying minterm (Algorithm 2) or `None` when only a cube was
+    /// requested.
+    pub assignment: Option<Assignment>,
+    /// The satisfying cube (populated by [`AssignmentExtractor::extract_cube`];
+    /// for minterm extraction it is the full minterm cube).
+    pub cube: Cube,
+    /// Number of NBL-SAT check operations used (the paper's complexity metric:
+    /// at most `n` for a minterm, at most `2n` for a cube).
+    pub checks_used: u64,
+}
+
+impl fmt::Display for ExtractionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cube {} ({} checks{})",
+            self.cube,
+            self.checks_used,
+            if self.assignment.is_some() {
+                ", full minterm"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Algorithm 2: determine a satisfying assignment with at most `n` additional
+/// NBL-SAT check operations.
+///
+/// Each iteration binds the next variable to 1 inside τ_N and re-runs the
+/// single-operation check on the reduced instance: if the reduced hyperspace
+/// still overlaps a satisfying minterm the variable is kept at 1, otherwise it
+/// must be 0 (the instance is known satisfiable a priori). The cube variant
+/// additionally detects don't-care variables by probing both polarities.
+#[derive(Debug, Clone)]
+pub struct AssignmentExtractor<E> {
+    checker: SatChecker<E>,
+}
+
+impl<E: NblEngine> AssignmentExtractor<E> {
+    /// Creates an extractor around an engine.
+    pub fn new(engine: E) -> Self {
+        AssignmentExtractor {
+            checker: SatChecker::new(engine),
+        }
+    }
+
+    /// Creates an extractor around an existing checker (keeps its decision
+    /// threshold and operation count).
+    pub fn from_checker(checker: SatChecker<E>) -> Self {
+        AssignmentExtractor { checker }
+    }
+
+    /// Access to the inner checker (e.g. to read the total operation count).
+    pub fn checker(&self) -> &SatChecker<E> {
+        &self.checker
+    }
+
+    /// Runs Algorithm 2 and returns a satisfying minterm.
+    ///
+    /// The instance must be satisfiable (the paper assumes Algorithm 1 has
+    /// already answered SAT); if it is not, the procedure detects the
+    /// contradiction and reports [`NblSatError::InstanceUnsatisfiable`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NblSatError::InstanceUnsatisfiable`] if the instance has no model.
+    /// * Any engine error (size limits, mismatched bindings).
+    pub fn extract(&mut self, instance: &NblSatInstance) -> Result<ExtractionOutcome> {
+        let checks_before = self.checker.checks_performed();
+        let mut bindings = instance.empty_bindings();
+        for i in 0..instance.num_vars() {
+            let var = Variable::new(i);
+            // Line 4: bind x_i to 1 in the (already reduced) hyperspace.
+            bindings.assign(var, true);
+            let verdict = self.checker.check_with_bindings(instance, &bindings)?;
+            if verdict == Verdict::Unsatisfiable {
+                // The solution lies in the x̄_i subspace (line 8).
+                bindings.assign(var, false);
+            }
+        }
+        let assignment = bindings
+            .try_to_complete()
+            .expect("every variable was bound");
+        if !instance.formula().evaluate(&assignment) {
+            // Either the instance was unsatisfiable to begin with, or a
+            // sampled engine made a statistically unlucky decision.
+            return if instance.formula().count_satisfying_assignments() == 0 {
+                Err(NblSatError::InstanceUnsatisfiable)
+            } else {
+                Err(NblSatError::Inconclusive {
+                    mean: 0.0,
+                    samples: 0,
+                })
+            };
+        }
+        Ok(ExtractionOutcome {
+            cube: Cube::from_assignment(&assignment),
+            assignment: Some(assignment),
+            checks_used: self.checker.checks_performed() - checks_before,
+        })
+    }
+
+    /// Runs the cube variant of Algorithm 2: first a satisfying minterm is
+    /// extracted with `n` NBL-SAT checks, then each variable is probed as a
+    /// potential don't-care and dropped from the cube when the remaining cube
+    /// is still an implicant of the formula (every minterm it covers satisfies
+    /// the instance).
+    ///
+    /// The paper sketches the don't-care probe as a pair of restricted NBL
+    /// checks; a "both polarities satisfiable" probe alone, however, only
+    /// proves that each half-space *contains* a model, not that the whole
+    /// enlarged cube is an implicant, so this implementation confirms each
+    /// drop with an explicit implicant test over the freed variables. The
+    /// NBL-check budget remains the paper's `n` operations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AssignmentExtractor::extract`].
+    pub fn extract_cube(&mut self, instance: &NblSatInstance) -> Result<ExtractionOutcome> {
+        let minterm = self.extract(instance)?;
+        let assignment = minterm
+            .assignment
+            .as_ref()
+            .expect("extract always returns a full minterm");
+        let n = instance.num_vars();
+        let formula = instance.formula();
+        let mut included = vec![true; n];
+        for i in 0..n {
+            included[i] = false;
+            let candidate: Cube = (0..n)
+                .filter(|&k| included[k])
+                .map(|k| Literal::with_phase(Variable::new(k), assignment.value(Variable::new(k))))
+                .collect();
+            let is_implicant = candidate
+                .expand(n)
+                .iter()
+                .all(|a| formula.evaluate(a));
+            if !is_implicant {
+                included[i] = true;
+            }
+        }
+        let cube: Cube = (0..n)
+            .filter(|&k| included[k])
+            .map(|k| Literal::with_phase(Variable::new(k), assignment.value(Variable::new(k))))
+            .collect();
+        Ok(ExtractionOutcome {
+            assignment: None,
+            cube,
+            checks_used: minterm.checks_used,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::sampled::SampledEngine;
+    use crate::symbolic::SymbolicEngine;
+    use cnf::generators::{self, RandomKSatConfig};
+    use cnf::cnf_formula;
+
+    fn instance(f: &cnf::CnfFormula) -> NblSatInstance {
+        NblSatInstance::new(f).unwrap()
+    }
+
+    #[test]
+    fn example8_walkthrough() {
+        // Example 8: S = (x1+x2)(¬x1+¬x2); the paper's run finds x1·x̄2.
+        let inst = instance(&generators::example6_sat());
+        let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+        let outcome = extractor.extract(&inst).unwrap();
+        let model = outcome.assignment.as_ref().unwrap();
+        assert!(inst.formula().evaluate(model));
+        // x1 = 1, and x2 is forced to 0 (matching the paper's walkthrough).
+        assert!(model.value(Variable::new(0)));
+        assert!(!model.value(Variable::new(1)));
+        assert_eq!(outcome.checks_used, 2); // exactly n = 2 operations
+        assert_eq!(outcome.cube.to_string(), "x1·¬x2");
+    }
+
+    #[test]
+    fn linear_number_of_checks_on_random_satisfiable_instances() {
+        let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+        let mut found = 0;
+        for seed in 0..40 {
+            let f = generators::random_ksat(&RandomKSatConfig::new(8, 20, 3).with_seed(seed))
+                .unwrap();
+            if f.count_satisfying_assignments() == 0 {
+                continue;
+            }
+            found += 1;
+            let inst = instance(&f);
+            let outcome = extractor.extract(&inst).unwrap();
+            assert!(f.evaluate(outcome.assignment.as_ref().unwrap()), "seed {seed}");
+            assert_eq!(outcome.checks_used, f.num_vars() as u64, "seed {seed}");
+        }
+        assert!(found > 10, "need enough satisfiable instances to be meaningful");
+    }
+
+    #[test]
+    fn unsatisfiable_instance_is_detected() {
+        let inst = instance(&generators::section4_unsat_instance());
+        let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+        assert!(matches!(
+            extractor.extract(&inst),
+            Err(NblSatError::InstanceUnsatisfiable)
+        ));
+        assert!(matches!(
+            extractor.extract_cube(&inst),
+            Err(NblSatError::InstanceUnsatisfiable)
+        ));
+    }
+
+    #[test]
+    fn cube_extraction_finds_dont_cares() {
+        // S = (x1): x2 and x3 are don't-cares; the prime cube is just x1.
+        let inst = instance(&cnf_formula![[1], [1, 2, 3]]);
+        let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+        let outcome = extractor.extract_cube(&inst).unwrap();
+        assert_eq!(outcome.cube.to_string(), "x1");
+        assert_eq!(outcome.checks_used, inst.num_vars() as u64);
+        assert!(outcome.assignment.is_none());
+        // Every expansion of the cube satisfies the formula.
+        for a in outcome.cube.expand(inst.num_vars()) {
+            assert!(inst.formula().evaluate(&a));
+        }
+        assert!(outcome.to_string().contains("checks"));
+    }
+
+    #[test]
+    fn cube_extraction_on_xor_like_instance_returns_full_minterm() {
+        // (x1+x2)(¬x1+¬x2): no don't-cares exist, the cube has both variables.
+        let inst = instance(&generators::example6_sat());
+        let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+        let outcome = extractor.extract_cube(&inst).unwrap();
+        assert_eq!(outcome.cube.len(), 2);
+        for a in outcome.cube.expand(2) {
+            assert!(inst.formula().evaluate(&a));
+        }
+    }
+
+    #[test]
+    fn sampled_engine_extracts_a_model_on_the_small_example() {
+        let inst = instance(&generators::example6_sat());
+        let engine = SampledEngine::new(
+            EngineConfig::new()
+                .with_seed(23)
+                .with_max_samples(80_000)
+                .with_check_interval(20_000),
+        );
+        let mut extractor = AssignmentExtractor::new(engine);
+        let outcome = extractor.extract(&inst).unwrap();
+        assert!(inst
+            .formula()
+            .evaluate(outcome.assignment.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn extractor_exposes_its_checker() {
+        let extractor = AssignmentExtractor::new(SymbolicEngine::new());
+        assert_eq!(extractor.checker().checks_performed(), 0);
+        let checker = SatChecker::new(SymbolicEngine::new()).with_decision_sigmas(4.0);
+        let extractor = AssignmentExtractor::from_checker(checker);
+        assert_eq!(extractor.checker().checks_performed(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Convergence traces: the running mean of S_N as a function of sample count.
+//!
+//! Figure 1 of the paper plots exactly this quantity for one satisfiable and
+//! one unsatisfiable instance; [`ConvergenceTrace`] is the data structure the
+//! benchmark harness serializes to regenerate that figure.
+
+use std::fmt;
+
+/// One point of a convergence trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Number of noise samples accumulated so far.
+    pub samples: u64,
+    /// Running mean of S_N at that point.
+    pub mean: f64,
+}
+
+/// A recorded running-mean trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvergenceTrace {
+    /// Label of the instance the trace belongs to (e.g. "S_SAT").
+    pub label: String,
+    /// The recorded points, in increasing sample order.
+    pub points: Vec<TracePoint>,
+}
+
+impl ConvergenceTrace {
+    /// Creates an empty trace with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ConvergenceTrace {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, samples: u64, mean: f64) {
+        self.points.push(TracePoint { samples, mean });
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The final (largest-sample) recorded mean, if any.
+    pub fn final_mean(&self) -> Option<f64> {
+        self.points.last().map(|p| p.mean)
+    }
+
+    /// The final recorded sample count, if any.
+    pub fn final_samples(&self) -> Option<u64> {
+        self.points.last().map(|p| p.samples)
+    }
+
+    /// Renders the trace as simple tab-separated `samples<TAB>mean` rows,
+    /// ready to be plotted or diffed against the paper's Figure 1.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("samples\tmean\n");
+        for p in &self.points {
+            out.push_str(&format!("{}\t{:.9e}\n", p.samples, p.mean));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConvergenceTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} points, final mean {:?} at {:?} samples",
+            self.label,
+            self.len(),
+            self.final_mean(),
+            self.final_samples()
+        )
+    }
+}
+
+/// Builds logarithmically spaced sample checkpoints between 1 and
+/// `max_samples`, with `points_per_decade` points in every decade.
+///
+/// # Panics
+///
+/// Panics if `max_samples == 0` or `points_per_decade == 0`.
+pub fn log_spaced_checkpoints(max_samples: u64, points_per_decade: u32) -> Vec<u64> {
+    assert!(max_samples > 0, "max_samples must be positive");
+    assert!(points_per_decade > 0, "points_per_decade must be positive");
+    let mut out = Vec::new();
+    let decades = (max_samples as f64).log10();
+    let total_points = (decades * points_per_decade as f64).ceil() as u64 + 1;
+    for i in 0..=total_points {
+        let exponent = i as f64 / points_per_decade as f64;
+        let value = 10f64.powf(exponent).round() as u64;
+        let value = value.min(max_samples).max(1);
+        if out.last() != Some(&value) {
+            out.push(value);
+        }
+    }
+    if out.last() != Some(&max_samples) {
+        out.push(max_samples);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulation_and_accessors() {
+        let mut trace = ConvergenceTrace::new("S_SAT");
+        assert!(trace.is_empty());
+        assert_eq!(trace.final_mean(), None);
+        trace.push(10, 0.5);
+        trace.push(100, 0.25);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.final_mean(), Some(0.25));
+        assert_eq!(trace.final_samples(), Some(100));
+        assert!(trace.to_string().contains("S_SAT"));
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let mut trace = ConvergenceTrace::new("S_UNSAT");
+        trace.push(1, 0.0);
+        let tsv = trace.to_tsv();
+        assert!(tsv.starts_with("samples\tmean\n"));
+        assert!(tsv.lines().count() == 2);
+    }
+
+    #[test]
+    fn checkpoints_are_increasing_and_bounded() {
+        let pts = log_spaced_checkpoints(1_000_000, 4);
+        assert_eq!(*pts.first().unwrap(), 1);
+        assert_eq!(*pts.last().unwrap(), 1_000_000);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        // 6 decades * 4 points + endpoints ≈ 25 points
+        assert!(pts.len() >= 20 && pts.len() <= 30);
+    }
+
+    #[test]
+    fn checkpoints_small_max() {
+        let pts = log_spaced_checkpoints(5, 3);
+        assert_eq!(*pts.last().unwrap(), 5);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_max_rejected() {
+        let _ = log_spaced_checkpoints(0, 3);
+    }
+}

@@ -1,0 +1,220 @@
+//! Model counting (#SAT) through the NBL readout.
+//!
+//! The NBL-SAT correlation does more than answer SAT/UNSAT: its magnitude is
+//! proportional to the (multiplicity-weighted) number of satisfying minterms
+//! (§III.C and the "×K" factor of §III.F). This module turns that observation
+//! into a model counter:
+//!
+//! * [`ModelCounter::count_exact`] — the exact weighted and unweighted counts
+//!   from the symbolic engine,
+//! * [`ModelCounter::count_by_partition`] — a divide-and-conquer counter that
+//!   only ever looks at engine means, using the partition identity
+//!   `⟨S_N⟩(free) = ⟨S_N⟩(x=0) + ⟨S_N⟩(x=1)` to descend into subspaces and the
+//!   single-minterm weight to convert leaf means into counts,
+//! * [`ModelCounter::estimate_weighted_count`] — a Monte-Carlo estimate of the
+//!   weighted count from a sampled mean (what a physical engine could report).
+
+use crate::engine::NblEngine;
+use crate::error::Result;
+use crate::sampled::SampledEngine;
+use crate::symbolic::SymbolicEngine;
+use crate::transform::NblSatInstance;
+use cnf::{PartialAssignment, Variable};
+
+/// A model counter built on the NBL-SAT readout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelCounter {
+    symbolic: SymbolicEngine,
+}
+
+/// Result of a counting run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountResult {
+    /// Number of satisfying assignments (models).
+    pub models: u64,
+    /// Multiplicity-weighted model count (the quantity ⟨S_N⟩ actually scales
+    /// with): `Σ_{a ⊨ S} Π_j (#literals of clause j satisfied by a)`.
+    pub weighted: f64,
+    /// Number of engine mean-evaluations spent.
+    pub engine_calls: u64,
+}
+
+impl ModelCounter {
+    /// Creates a model counter with the default symbolic engine.
+    pub fn new() -> Self {
+        ModelCounter {
+            symbolic: SymbolicEngine::new(),
+        }
+    }
+
+    /// Exact model count (and weighted count) of the instance, optionally
+    /// restricted to a τ subspace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates symbolic-engine size-limit errors.
+    pub fn count_exact(
+        &self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+    ) -> Result<CountResult> {
+        let (models, weighted) = self.symbolic.count_models(instance, bindings)?;
+        Ok(CountResult {
+            models,
+            weighted,
+            engine_calls: 1,
+        })
+    }
+
+    /// Counts models by recursive subspace partitioning, using only engine
+    /// mean evaluations (no direct formula enumeration in this function).
+    ///
+    /// At every node the counter asks the engine for the subspace mean; a zero
+    /// mean prunes the subtree, a fully bound subspace with positive mean
+    /// contributes one model, and otherwise the counter recurses on both
+    /// polarities of the next free variable. With an exact engine the result
+    /// equals the true model count and the number of engine calls is
+    /// `O(n · models + frontier)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn count_by_partition<E: NblEngine>(
+        &self,
+        engine: &mut E,
+        instance: &NblSatInstance,
+    ) -> Result<CountResult> {
+        let mut bindings = instance.empty_bindings();
+        let mut calls = 0u64;
+        let models = self.partition_recurse(engine, instance, &mut bindings, 0, &mut calls)?;
+        let weighted = self
+            .symbolic
+            .count_models(instance, &instance.empty_bindings())?
+            .1;
+        Ok(CountResult {
+            models,
+            weighted,
+            engine_calls: calls,
+        })
+    }
+
+    fn partition_recurse<E: NblEngine>(
+        &self,
+        engine: &mut E,
+        instance: &NblSatInstance,
+        bindings: &mut PartialAssignment,
+        next_var: usize,
+        calls: &mut u64,
+    ) -> Result<u64> {
+        *calls += 1;
+        let estimate = engine.estimate(instance, bindings)?;
+        if !estimate.is_positive(3.0) {
+            return Ok(0);
+        }
+        if next_var == instance.num_vars() {
+            return Ok(1);
+        }
+        let var = Variable::new(next_var);
+        let mut total = 0u64;
+        for value in [false, true] {
+            bindings.assign(var, value);
+            total += self.partition_recurse(engine, instance, bindings, next_var + 1, calls)?;
+            bindings.unassign(var);
+        }
+        Ok(total)
+    }
+
+    /// Estimates the weighted model count from a Monte-Carlo mean:
+    /// `weighted ≈ ⟨S_N⟩ / Var^{nm}`, with a crude ±3σ interval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn estimate_weighted_count(
+        &self,
+        engine: &mut SampledEngine,
+        instance: &NblSatInstance,
+    ) -> Result<(f64, f64)> {
+        let estimate = engine.estimate(instance, &instance.empty_bindings())?;
+        let unit = self.symbolic.minterm_weight(instance);
+        Ok((estimate.mean / unit, 3.0 * estimate.std_error / unit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use cnf::generators::{self, RandomKSatConfig};
+
+    fn instance(f: &cnf::CnfFormula) -> NblSatInstance {
+        NblSatInstance::new(f).unwrap()
+    }
+
+    #[test]
+    fn exact_count_matches_enumeration() {
+        for seed in 0..15 {
+            let f = generators::random_ksat(&RandomKSatConfig::new(6, 18, 3).with_seed(seed))
+                .unwrap();
+            let inst = instance(&f);
+            let counter = ModelCounter::new();
+            let result = counter
+                .count_exact(&inst, &inst.empty_bindings())
+                .unwrap();
+            assert_eq!(result.models, f.count_satisfying_assignments(), "seed {seed}");
+            assert!(result.weighted >= result.models as f64);
+        }
+    }
+
+    #[test]
+    fn partition_count_equals_exact_count_with_symbolic_engine() {
+        for seed in 0..8 {
+            let f = generators::random_ksat(&RandomKSatConfig::new(5, 12, 3).with_seed(seed))
+                .unwrap();
+            let inst = instance(&f);
+            let counter = ModelCounter::new();
+            let mut engine = SymbolicEngine::new();
+            let result = counter.count_by_partition(&mut engine, &inst).unwrap();
+            assert_eq!(result.models, f.count_satisfying_assignments(), "seed {seed}");
+            assert!(result.engine_calls >= 1);
+            // The engine-call count is bounded by the full binary tree size.
+            assert!(result.engine_calls <= 2u64.pow(f.num_vars() as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn partition_count_on_paper_examples() {
+        let counter = ModelCounter::new();
+        let mut engine = SymbolicEngine::new();
+        let sat = instance(&generators::example6_sat());
+        assert_eq!(counter.count_by_partition(&mut engine, &sat).unwrap().models, 2);
+        let unsat = instance(&generators::section4_unsat_instance());
+        let result = counter.count_by_partition(&mut engine, &unsat).unwrap();
+        assert_eq!(result.models, 0);
+        // UNSAT prunes at the root: exactly one engine call.
+        assert_eq!(result.engine_calls, 1);
+    }
+
+    #[test]
+    fn sampled_weighted_estimate_brackets_the_truth() {
+        let inst = instance(&generators::example6_sat());
+        let counter = ModelCounter::new();
+        let mut engine = SampledEngine::new(
+            EngineConfig::new()
+                .with_seed(7)
+                .with_max_samples(200_000)
+                .with_check_interval(200_000),
+        );
+        let (estimate, tolerance) = counter
+            .estimate_weighted_count(&mut engine, &inst)
+            .unwrap();
+        let exact = counter
+            .count_exact(&inst, &inst.empty_bindings())
+            .unwrap()
+            .weighted;
+        assert!(
+            (estimate - exact).abs() <= tolerance.max(0.5),
+            "estimate {estimate} ± {tolerance} vs exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the NBL-SAT core.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NblSatError>;
+
+/// Errors produced while transforming or solving NBL-SAT instances.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NblSatError {
+    /// The formula is too large for the requested engine.
+    InstanceTooLarge {
+        /// Human-readable description of the violated limit.
+        limit: String,
+        /// The offending size.
+        actual: usize,
+    },
+    /// The formula contains an empty clause, which the NBL transform cannot
+    /// encode (an empty clause has no satisfying cube subspace); callers
+    /// should simplify first or report UNSAT directly.
+    EmptyClause {
+        /// Index of the empty clause.
+        clause_index: usize,
+    },
+    /// The formula has no variables or no clauses where the operation needs them.
+    DegenerateFormula(String),
+    /// A binding referenced a variable outside the instance.
+    BindingOutOfRange {
+        /// The variable index that was out of range.
+        variable: usize,
+        /// Number of variables in the instance.
+        num_vars: usize,
+    },
+    /// The assignment extractor was invoked on an unsatisfiable instance.
+    InstanceUnsatisfiable,
+    /// An engine failed to reach a confident decision within its sample budget.
+    Inconclusive {
+        /// The mean estimate at the point of giving up.
+        mean: f64,
+        /// Number of samples used.
+        samples: u64,
+    },
+    /// An error bubbled up from the CNF substrate.
+    Cnf(cnf::CnfError),
+}
+
+impl fmt::Display for NblSatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NblSatError::InstanceTooLarge { limit, actual } => {
+                write!(f, "instance too large: {limit} (got {actual})")
+            }
+            NblSatError::EmptyClause { clause_index } => {
+                write!(f, "clause {clause_index} is empty and cannot be encoded in NBL")
+            }
+            NblSatError::DegenerateFormula(msg) => write!(f, "degenerate formula: {msg}"),
+            NblSatError::BindingOutOfRange { variable, num_vars } => write!(
+                f,
+                "binding references variable {variable} but the instance has {num_vars} variables"
+            ),
+            NblSatError::InstanceUnsatisfiable => {
+                write!(f, "cannot extract a satisfying assignment from an unsatisfiable instance")
+            }
+            NblSatError::Inconclusive { mean, samples } => write!(
+                f,
+                "engine could not reach a confident decision after {samples} samples (mean {mean:.3e})"
+            ),
+            NblSatError::Cnf(e) => write!(f, "cnf error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NblSatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NblSatError::Cnf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnf::CnfError> for NblSatError {
+    fn from(e: cnf::CnfError) -> Self {
+        NblSatError::Cnf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NblSatError::Cnf(cnf::CnfError::ZeroLiteral);
+        assert!(e.to_string().contains("cnf error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = NblSatError::InstanceTooLarge {
+            limit: "30 variables".into(),
+            actual: 64,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NblSatError>();
+    }
+}

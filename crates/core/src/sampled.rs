@@ -1,0 +1,410 @@
+//! The Monte-Carlo (analog-simulation) engine.
+//!
+//! This engine is the Rust counterpart of the MATLAB simulation the paper
+//! validates its scheme with (§IV): every basis noise source is an explicit
+//! carrier stream, the superpositions τ_N and Σ_N are evaluated sample by
+//! sample exactly as the analog datapath would produce them, and the SAT
+//! decision observes the running mean of the product waveform.
+
+use crate::config::EngineConfig;
+use crate::convergence::{log_spaced_checkpoints, ConvergenceTrace};
+use crate::engine::{MeanEstimate, NblEngine};
+use crate::error::Result;
+use crate::transform::NblSatInstance;
+use cnf::{PartialAssignment, Variable};
+use nbl_noise::{CarrierBank, ConvergenceTracker, Correlator};
+
+/// Monte-Carlo simulation engine for ⟨S_N⟩.
+///
+/// One *sample* corresponds to one simulated time step: every one of the
+/// `2·m·n` basis sources produces a value, τ_N and Σ_N are evaluated on those
+/// values, and their product is integrated by a correlator. The engine stops
+/// when the §IV criterion is met (running mean stable to
+/// [`EngineConfig::significant_digits`] significant digits) or when the sample
+/// cap is reached.
+///
+/// ```
+/// use cnf::generators::example7_unsat;
+/// use nbl_sat_core::{EngineConfig, NblEngine, NblSatInstance, SampledEngine};
+///
+/// let instance = NblSatInstance::new(&example7_unsat())?;
+/// let mut engine = SampledEngine::new(EngineConfig::new().with_max_samples(20_000));
+/// let estimate = engine.estimate(&instance, &instance.empty_bindings())?;
+/// assert!(!estimate.is_positive(3.0)); // UNSAT: mean statistically zero
+/// # Ok::<(), nbl_sat_core::NblSatError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampledEngine {
+    config: EngineConfig,
+}
+
+impl Default for SampledEngine {
+    fn default() -> Self {
+        SampledEngine::new(EngineConfig::default())
+    }
+}
+
+/// Reusable per-sample evaluation state.
+#[derive(Debug)]
+struct Evaluator {
+    values: Vec<f64>,
+    bank: Box<dyn CarrierBank>,
+}
+
+impl SampledEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        SampledEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn evaluator(&self, instance: &NblSatInstance) -> Evaluator {
+        Evaluator {
+            values: vec![0.0; instance.num_sources()],
+            bank: self
+                .config
+                .carrier
+                .bank(instance.num_sources(), self.config.seed),
+        }
+    }
+
+    /// Evaluates one sample of τ_N on the current source values.
+    fn tau_sample(
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        values: &[f64],
+    ) -> f64 {
+        let m = instance.num_clauses();
+        let mut tau = 1.0;
+        for i in 0..instance.num_vars() {
+            let var = Variable::new(i);
+            let pos: f64 = (0..m)
+                .map(|j| values[instance.source(j, var, true).index()])
+                .product();
+            let neg: f64 = (0..m)
+                .map(|j| values[instance.source(j, var, false).index()])
+                .product();
+            tau *= match bindings.value(var) {
+                None => pos + neg,
+                Some(true) => pos,
+                Some(false) => neg,
+            };
+        }
+        tau
+    }
+
+    /// Evaluates one sample of Σ_N on the current source values.
+    fn sigma_sample(instance: &NblSatInstance, values: &[f64]) -> f64 {
+        let n = instance.num_vars();
+        let mut sigma = 1.0;
+        for (j, clause) in instance.formula().iter().enumerate() {
+            let mut z_j = 0.0;
+            for &lit in clause.iter() {
+                // Cube subspace T^j_lit evaluated on clause j's sources.
+                let mut term = values[instance.literal_source(j, lit).index()];
+                for i in 0..n {
+                    let var = Variable::new(i);
+                    if var == lit.variable() {
+                        continue;
+                    }
+                    term *= values[instance.source(j, var, true).index()]
+                        + values[instance.source(j, var, false).index()];
+                }
+                z_j += term;
+            }
+            sigma *= z_j;
+        }
+        sigma
+    }
+
+    /// Evaluates one full sample of S_N = τ_N · Σ_N.
+    fn s_sample(
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        values: &[f64],
+    ) -> f64 {
+        Self::tau_sample(instance, bindings, values) * Self::sigma_sample(instance, values)
+    }
+
+    /// Runs the simulation and records the running mean at the given sample
+    /// checkpoints (used to regenerate Figure 1). The simulation always runs
+    /// to the last checkpoint, ignoring the convergence stopping rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bindings do not match the instance.
+    pub fn trace(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        label: impl Into<String>,
+        checkpoints: &[u64],
+    ) -> Result<ConvergenceTrace> {
+        instance.validate_bindings(bindings)?;
+        let mut trace = ConvergenceTrace::new(label);
+        if checkpoints.is_empty() {
+            return Ok(trace);
+        }
+        let mut sorted: Vec<u64> = checkpoints.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let max = *sorted.last().expect("non-empty");
+        let mut eval = self.evaluator(instance);
+        let mut correlator = Correlator::new();
+        let mut next_checkpoint = 0usize;
+        for sample in 1..=max {
+            eval.bank.next_sample(&mut eval.values);
+            correlator.push_product(Self::s_sample(instance, bindings, &eval.values));
+            if sample == sorted[next_checkpoint] {
+                trace.push(sample, correlator.mean_product());
+                next_checkpoint += 1;
+                if next_checkpoint == sorted.len() {
+                    break;
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Convenience wrapper around [`SampledEngine::trace`] with
+    /// logarithmically spaced checkpoints up to the configured sample cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bindings do not match the instance.
+    pub fn trace_logspaced(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        label: impl Into<String>,
+        points_per_decade: u32,
+    ) -> Result<ConvergenceTrace> {
+        let checkpoints = log_spaced_checkpoints(self.config.max_samples, points_per_decade);
+        self.trace(instance, bindings, label, &checkpoints)
+    }
+}
+
+impl NblEngine for SampledEngine {
+    fn estimate(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+    ) -> Result<MeanEstimate> {
+        instance.validate_bindings(bindings)?;
+        let mut eval = self.evaluator(instance);
+        let mut correlator = Correlator::new();
+        let mut tracker = ConvergenceTracker::new(
+            self.config.significant_digits,
+            self.config.check_interval,
+        );
+        let mut converged = false;
+        let mut samples = 0u64;
+        while samples < self.config.max_samples {
+            eval.bank.next_sample(&mut eval.values);
+            correlator.push_product(Self::s_sample(instance, bindings, &eval.values));
+            samples += 1;
+            if tracker.observe(samples, correlator.mean_product()) {
+                converged = true;
+                break;
+            }
+        }
+        Ok(MeanEstimate {
+            mean: correlator.mean_product(),
+            std_error: correlator.std_error(),
+            samples,
+            converged,
+            exact: false,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "sampled"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::SymbolicEngine;
+    use cnf::generators;
+    use nbl_noise::CarrierKind;
+
+    fn instance(f: &cnf::CnfFormula) -> NblSatInstance {
+        NblSatInstance::new(f).unwrap()
+    }
+
+    fn quick_config(seed: u64) -> EngineConfig {
+        EngineConfig::new()
+            .with_seed(seed)
+            .with_max_samples(60_000)
+            .with_check_interval(5_000)
+    }
+
+    #[test]
+    fn sat_instance_has_positive_mean_unsat_has_zero_mean() {
+        // The §IV instances have n·m = 8, so the single-minterm mean is
+        // 4·(1/12)^8 ≈ 9·10⁻⁹ and needs a few hundred thousand samples to
+        // clear the 3σ detection threshold (SNR ≈ √N / (3·2^{nm})).
+        let sat = instance(&generators::section4_sat_instance());
+        let unsat = instance(&generators::section4_unsat_instance());
+        let mut engine = SampledEngine::new(
+            EngineConfig::new()
+                .with_seed(1)
+                .with_max_samples(500_000)
+                .with_check_interval(100_000),
+        );
+        let sat_est = engine.estimate(&sat, &sat.empty_bindings()).unwrap();
+        let unsat_est = engine.estimate(&unsat, &unsat.empty_bindings()).unwrap();
+        assert!(
+            sat_est.is_positive(3.0),
+            "SAT mean should be positive: {sat_est}"
+        );
+        assert!(
+            !unsat_est.is_positive(3.0),
+            "UNSAT mean should be statistically zero: {unsat_est}"
+        );
+    }
+
+    #[test]
+    fn sampled_mean_approaches_symbolic_mean() {
+        // Example 6: expected mean 2·(1/12)^4 ≈ 9.6e-5.
+        let inst = instance(&generators::example6_sat());
+        let exact = SymbolicEngine::new()
+            .estimate(&inst, &inst.empty_bindings())
+            .unwrap()
+            .mean;
+        let mut engine = SampledEngine::new(
+            EngineConfig::new()
+                .with_seed(7)
+                .with_max_samples(400_000)
+                .with_check_interval(400_000),
+        );
+        let est = engine.estimate(&inst, &inst.empty_bindings()).unwrap();
+        // Within 5 standard errors of the exact value.
+        assert!(
+            (est.mean - exact).abs() < 5.0 * est.std_error,
+            "sampled {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn bindings_flip_the_answer_for_example8() {
+        // Example 8: binding x1=1 keeps the instance satisfiable; adding x2=1
+        // makes the reduced hyperspace miss every satisfying minterm.
+        let inst = instance(&generators::example6_sat());
+        let mut engine = SampledEngine::new(quick_config(3));
+        let mut bindings = inst.empty_bindings();
+        bindings.assign(Variable::new(0), true);
+        assert!(engine
+            .estimate(&inst, &bindings)
+            .unwrap()
+            .is_positive(3.0));
+        bindings.assign(Variable::new(1), true);
+        assert!(!engine
+            .estimate(&inst, &bindings)
+            .unwrap()
+            .is_positive(3.0));
+    }
+
+    #[test]
+    fn stochastic_carrier_families_reach_the_same_verdict() {
+        // Uniform, Gaussian and RTW carriers satisfy the exact independence
+        // algebra, so they all discriminate the paper's examples. Sinusoidal
+        // carriers with consecutive integer frequencies do NOT: products of
+        // four or more carriers can hit frequency collisions (Σ±f_i = 0) that
+        // leave a spurious DC term, which is precisely the carrier-planning
+        // caveat §V raises for SBL. The sinusoid case is therefore exercised
+        // separately (it must still run without error) and its quantitative
+        // behaviour is reported by the carrier-ablation experiment (E7).
+        let sat = instance(&generators::example6_sat());
+        let unsat = instance(&generators::example7_unsat());
+        for kind in [CarrierKind::Uniform, CarrierKind::Gaussian, CarrierKind::Rtw] {
+            let cfg = quick_config(11).with_carrier(kind);
+            let mut engine = SampledEngine::new(cfg);
+            assert!(
+                engine
+                    .estimate(&sat, &sat.empty_bindings())
+                    .unwrap()
+                    .is_positive(3.0),
+                "{kind} failed on SAT instance"
+            );
+            assert!(
+                !engine
+                    .estimate(&unsat, &unsat.empty_bindings())
+                    .unwrap()
+                    .is_positive(3.0),
+                "{kind} failed on UNSAT instance"
+            );
+        }
+        let mut sbl = SampledEngine::new(quick_config(11).with_carrier(CarrierKind::Sinusoid));
+        let est = sbl.estimate(&sat, &sat.empty_bindings()).unwrap();
+        assert!(est.samples > 0);
+    }
+
+    #[test]
+    fn determinism_for_fixed_seed() {
+        let inst = instance(&generators::section4_sat_instance());
+        let mut a = SampledEngine::new(quick_config(42));
+        let mut b = SampledEngine::new(quick_config(42));
+        let ea = a.estimate(&inst, &inst.empty_bindings()).unwrap();
+        let eb = b.estimate(&inst, &inst.empty_bindings()).unwrap();
+        assert_eq!(ea, eb);
+        let mut c = SampledEngine::new(quick_config(43));
+        let ec = c.estimate(&inst, &inst.empty_bindings()).unwrap();
+        assert_ne!(ea.mean, ec.mean);
+    }
+
+    #[test]
+    fn trace_is_monotone_in_samples_and_matches_estimate_protocol() {
+        let inst = instance(&generators::section4_sat_instance());
+        let mut engine = SampledEngine::new(quick_config(5));
+        let checkpoints = [10, 100, 1_000, 10_000];
+        let trace = engine
+            .trace(&inst, &inst.empty_bindings(), "S_SAT", &checkpoints)
+            .unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.final_samples(), Some(10_000));
+        let samples: Vec<u64> = trace.points.iter().map(|p| p.samples).collect();
+        assert_eq!(samples, checkpoints);
+        assert_eq!(engine.name(), "sampled");
+    }
+
+    #[test]
+    fn logspaced_trace_reaches_the_cap() {
+        let inst = instance(&generators::example7_unsat());
+        let mut engine = SampledEngine::new(
+            EngineConfig::new()
+                .with_seed(2)
+                .with_max_samples(10_000),
+        );
+        let trace = engine
+            .trace_logspaced(&inst, &inst.empty_bindings(), "S_UNSAT", 3)
+            .unwrap();
+        assert_eq!(trace.final_samples(), Some(10_000));
+        // UNSAT trace hovers around zero.
+        assert!(trace.final_mean().unwrap().abs() < 1e-2);
+    }
+
+    #[test]
+    fn empty_checkpoints_give_empty_trace() {
+        let inst = instance(&generators::example6_sat());
+        let mut engine = SampledEngine::new(quick_config(0));
+        let trace = engine
+            .trace(&inst, &inst.empty_bindings(), "empty", &[])
+            .unwrap();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn mismatched_bindings_error() {
+        let inst = instance(&generators::example6_sat());
+        let mut engine = SampledEngine::new(quick_config(0));
+        let wrong = PartialAssignment::new(7);
+        assert!(engine.estimate(&inst, &wrong).is_err());
+        assert!(engine.trace(&inst, &wrong, "x", &[10]).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! The §III.F scaling / SNR model and its empirical measurement.
+
+use crate::config::EngineConfig;
+use crate::engine::NblEngine;
+use crate::sampled::SampledEngine;
+use crate::transform::NblSatInstance;
+use crate::error::Result;
+use nbl_noise::RunningStats;
+use std::fmt;
+
+/// The analytic signal-to-noise model of §III.F.
+///
+/// For 3-SAT instances with `n` variables and `m` clauses, uniform
+/// [-0.5, 0.5] carriers and `N` noise samples, the paper derives
+///
+/// * single-minterm mean `μ̂₁ = (1/12)^{nm}`,
+/// * standard deviation of the mean
+///   `σ̂ ≈ (1/√(N−1)) · (1/12)^{nm} · 2^{nm}` (the `O(2^{nm})` independent
+///   products add their variances), and therefore
+/// * `SNR = μ̂₁ / (3·σ̂₀) = √(N−1) / (3·2^{nm})`, multiplied by `K` when the
+///   instance has `K` satisfying minterms.
+///
+/// [`SnrModel`] evaluates those formulas and also measures the corresponding
+/// empirical quantities with the [`SampledEngine`], so the two can be compared
+/// side by side (experiment E2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SnrModel;
+
+impl SnrModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        SnrModel
+    }
+
+    /// `μ̂_K = K · (1/12)^{nm}`: the predicted mean with `K` satisfying minterms.
+    pub fn predicted_mean(&self, n: usize, m: usize, k: u64) -> f64 {
+        k as f64 * (1.0f64 / 12.0).powi((n * m) as i32)
+    }
+
+    /// `σ̂ ≈ (1/√(N−1)) · (1/12)^{nm} · 2^{nm}`: the predicted standard
+    /// deviation of the running mean after `samples` noise samples.
+    pub fn predicted_std_of_mean(&self, n: usize, m: usize, samples: u64) -> f64 {
+        if samples < 2 {
+            return f64::INFINITY;
+        }
+        (1.0 / ((samples - 1) as f64).sqrt())
+            * (1.0f64 / 12.0).powi((n * m) as i32)
+            * 2.0f64.powi((n * m) as i32)
+    }
+
+    /// `SNR = K·√(N−1) / (3·2^{nm})`.
+    pub fn predicted_snr(&self, n: usize, m: usize, samples: u64, k: u64) -> f64 {
+        if samples < 2 {
+            return 0.0;
+        }
+        k as f64 * ((samples - 1) as f64).sqrt() / (3.0 * 2.0f64.powi((n * m) as i32))
+    }
+
+    /// The number of samples needed to reach a target SNR for a single
+    /// satisfying minterm: `N ≈ (3·target·2^{nm})² + 1`.
+    pub fn samples_for_snr(&self, n: usize, m: usize, target_snr: f64) -> u64 {
+        let root = 3.0 * target_snr * 2.0f64.powi((n * m) as i32);
+        (root * root).ceil() as u64 + 1
+    }
+
+    /// Measures the empirical counterpart of the model on a pair of instances
+    /// (one satisfiable with `K` known minterms, one unsatisfiable) by running
+    /// `trials` independent sampled estimates of `samples` each and forming
+    /// the paper's ratio `(μ̂₁ − 3σ̂₁) / (μ̂₀ + 3σ̂₀)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn measure(
+        &self,
+        sat_instance: &NblSatInstance,
+        unsat_instance: &NblSatInstance,
+        samples: u64,
+        trials: u32,
+        base_seed: u64,
+    ) -> Result<SnrMeasurement> {
+        let mut sat_means = RunningStats::new();
+        let mut unsat_means = RunningStats::new();
+        for t in 0..trials {
+            let config = EngineConfig::new()
+                .with_seed(base_seed + t as u64)
+                .with_max_samples(samples)
+                .with_check_interval(samples); // no early stop
+            let mut engine = SampledEngine::new(config);
+            sat_means.push(
+                engine
+                    .estimate(sat_instance, &sat_instance.empty_bindings())?
+                    .mean,
+            );
+            unsat_means.push(
+                engine
+                    .estimate(unsat_instance, &unsat_instance.empty_bindings())?
+                    .mean,
+            );
+        }
+        Ok(SnrMeasurement {
+            samples,
+            trials,
+            sat_mean: sat_means.mean(),
+            sat_std: sat_means.std_dev(),
+            unsat_mean: unsat_means.mean(),
+            unsat_std: unsat_means.std_dev(),
+        })
+    }
+}
+
+/// Empirical SNR measurement produced by [`SnrModel::measure`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrMeasurement {
+    /// Noise samples per trial.
+    pub samples: u64,
+    /// Number of independent trials.
+    pub trials: u32,
+    /// Mean of the per-trial S_N means on the satisfiable instance.
+    pub sat_mean: f64,
+    /// Standard deviation of those means.
+    pub sat_std: f64,
+    /// Mean of the per-trial S_N means on the unsatisfiable instance.
+    pub unsat_mean: f64,
+    /// Standard deviation of those means.
+    pub unsat_std: f64,
+}
+
+impl SnrMeasurement {
+    /// The paper's SNR figure of merit `(μ̂₁ − 3σ̂₁) / (μ̂₀ + 3σ̂₀)`, using the
+    /// absolute UNSAT mean so that a slightly negative estimate does not
+    /// produce a negative denominator.
+    pub fn snr(&self) -> f64 {
+        let denom = self.unsat_mean.abs() + 3.0 * self.unsat_std;
+        if denom == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.sat_mean - 3.0 * self.sat_std) / denom
+        }
+    }
+
+    /// A simpler discrimination metric: the gap between the SAT and UNSAT
+    /// means in units of the larger standard deviation.
+    pub fn separation_sigmas(&self) -> f64 {
+        let sigma = self.sat_std.max(self.unsat_std);
+        if sigma == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.sat_mean - self.unsat_mean) / sigma
+        }
+    }
+}
+
+impl fmt::Display for SnrMeasurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={} trials={} sat={:.3e}±{:.2e} unsat={:.3e}±{:.2e} snr={:.3}",
+            self.samples,
+            self.trials,
+            self.sat_mean,
+            self.sat_std,
+            self.unsat_mean,
+            self.unsat_std,
+            self.snr()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::generators;
+
+    #[test]
+    fn predicted_mean_matches_symbolic_single_minterm_weight() {
+        let model = SnrModel::new();
+        // n=2, m=4: (1/12)^8
+        let expected = (1.0f64 / 12.0).powi(8);
+        assert!((model.predicted_mean(2, 4, 1) - expected).abs() < 1e-24);
+        assert!((model.predicted_mean(2, 4, 3) - 3.0 * expected).abs() < 1e-24);
+    }
+
+    #[test]
+    fn snr_grows_with_sqrt_samples_and_shrinks_exponentially_with_nm() {
+        let model = SnrModel::new();
+        let a = model.predicted_snr(2, 2, 10_000, 1);
+        let b = model.predicted_snr(2, 2, 40_000, 1);
+        assert!((b / a - 2.0).abs() < 0.01, "quadrupling N doubles SNR");
+        let small = model.predicted_snr(2, 2, 10_000, 1);
+        let large = model.predicted_snr(3, 3, 10_000, 1);
+        assert!(
+            (small / large - 2.0f64.powi(5)).abs() < 1e-6,
+            "nm 4 -> 9 costs a factor 2^5"
+        );
+        assert_eq!(model.predicted_snr(2, 2, 1, 1), 0.0);
+        assert_eq!(model.predicted_std_of_mean(2, 2, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn samples_for_snr_is_the_inverse_of_predicted_snr() {
+        let model = SnrModel::new();
+        for (n, m) in [(2usize, 2usize), (2, 3), (3, 3)] {
+            let needed = model.samples_for_snr(n, m, 1.0);
+            let achieved = model.predicted_snr(n, m, needed, 1);
+            assert!(achieved >= 1.0, "n={n} m={m}: {achieved}");
+            assert!(model.predicted_snr(n, m, needed / 2, 1) < 1.0);
+        }
+    }
+
+    #[test]
+    fn measured_snr_discriminates_sat_from_unsat_for_matched_nm() {
+        // Matched pair with n = 1, m = 2 (nm = 2): SAT = (x1)(x1),
+        // UNSAT = (x1)(¬x1). The predicted single-minterm mean is
+        // (1/12)² ≈ 6.9·10⁻³ and the predicted SNR at 20k samples is
+        // √N/(3·2²) ≈ 11.8, so the measured separation must be large.
+        let sat = NblSatInstance::new(&cnf::cnf_formula![[1], [1]]).unwrap();
+        let unsat = NblSatInstance::new(&generators::example7_unsat()).unwrap();
+        let model = SnrModel::new();
+        let measurement = model.measure(&sat, &unsat, 20_000, 5, 101).unwrap();
+        assert!(measurement.separation_sigmas() > 3.0, "{measurement}");
+        assert!(measurement.sat_mean > 0.0);
+        assert!(
+            (measurement.sat_mean - model.predicted_mean(1, 2, 1)).abs()
+                < 0.3 * model.predicted_mean(1, 2, 1),
+            "{measurement}"
+        );
+        assert!(measurement.unsat_mean.abs() < measurement.sat_mean);
+        assert!(measurement.to_string().contains("trials=5"));
+    }
+
+    #[test]
+    fn snr_handles_degenerate_zero_denominator() {
+        let m = SnrMeasurement {
+            samples: 10,
+            trials: 1,
+            sat_mean: 1.0,
+            sat_std: 0.0,
+            unsat_mean: 0.0,
+            unsat_std: 0.0,
+        };
+        assert_eq!(m.snr(), f64::INFINITY);
+        assert_eq!(m.separation_sigmas(), f64::INFINITY);
+    }
+}

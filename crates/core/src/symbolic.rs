@@ -1,0 +1,305 @@
+//! The exact (infinite-sample) symbolic engine.
+
+use crate::engine::{MeanEstimate, NblEngine};
+use crate::error::{NblSatError, Result};
+use crate::transform::NblSatInstance;
+use cnf::{Assignment, PartialAssignment, Variable};
+use nbl_logic::MomentModel;
+
+/// Exact evaluation of ⟨S_N⟩ using the orthogonality rules of the noise
+/// algebra.
+///
+/// Expanding `τ_N · Σ_N` and taking expectations, every cross term between
+/// different minterms vanishes (some basis source appears with an odd power),
+/// and each valid minterm `a` that satisfies the formula survives with weight
+///
+/// ```text
+/// w(a) = Π_j |{literals of clause j satisfied by a}| · Var^{n·m}
+/// ```
+///
+/// because clause `j`'s superposition Z_j contains `a`'s noise minterm once
+/// per satisfied literal. The engine therefore computes
+/// `⟨S_N⟩ = Var^{n·m} · Σ_{a ⊨ S, a ∈ τ-subspace} Π_j (#literals of c_j satisfied by a)`
+/// by direct enumeration of the (bound) assignment space. This is the ideal
+/// infinite-sample output of the analog hardware, free of estimation noise.
+///
+/// The enumeration is exponential in the number of *free* variables — the
+/// same fundamental scaling the paper accepts for its software simulation —
+/// and is guarded by a configurable variable limit.
+#[derive(Debug, Clone, Copy)]
+pub struct SymbolicEngine {
+    moment_model: MomentModel,
+    max_free_vars: usize,
+}
+
+impl Default for SymbolicEngine {
+    fn default() -> Self {
+        SymbolicEngine::new()
+    }
+}
+
+impl SymbolicEngine {
+    /// Creates a symbolic engine with the paper's uniform [-0.5, 0.5] carriers
+    /// and a 26-free-variable enumeration limit.
+    pub fn new() -> Self {
+        SymbolicEngine {
+            moment_model: MomentModel::uniform_half(),
+            max_free_vars: 26,
+        }
+    }
+
+    /// Uses a different carrier moment model (changes only the `Var^{nm}`
+    /// scale factor, not the SAT/UNSAT sign).
+    pub fn with_moment_model(mut self, model: MomentModel) -> Self {
+        self.moment_model = model;
+        self
+    }
+
+    /// Overrides the free-variable enumeration limit.
+    pub fn with_max_free_vars(mut self, max_free_vars: usize) -> Self {
+        self.max_free_vars = max_free_vars;
+        self
+    }
+
+    /// The per-minterm self-correlation scale `Var^{n·m}`.
+    pub fn minterm_weight(&self, instance: &NblSatInstance) -> f64 {
+        self.moment_model
+            .variance()
+            .powi(instance.nm() as i32)
+    }
+
+    /// Counts satisfying assignments inside the bound τ subspace, both
+    /// unweighted (`K`) and weighted by the per-clause literal multiplicity
+    /// (the quantity that actually scales ⟨S_N⟩).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NblSatError::InstanceTooLarge`] if the number of free
+    /// variables exceeds the engine's enumeration limit, and
+    /// [`NblSatError::BindingOutOfRange`] for mismatched bindings.
+    pub fn count_models(
+        &self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+    ) -> Result<(u64, f64)> {
+        instance.validate_bindings(bindings)?;
+        let n = instance.num_vars();
+        let free_vars: Vec<Variable> = (0..n)
+            .map(Variable::new)
+            .filter(|v| bindings.value(*v).is_none())
+            .collect();
+        if free_vars.len() > self.max_free_vars {
+            return Err(NblSatError::InstanceTooLarge {
+                limit: format!("{} free variables", self.max_free_vars),
+                actual: free_vars.len(),
+            });
+        }
+        let formula = instance.formula();
+        let mut count = 0u64;
+        let mut weighted = 0.0f64;
+        let num_combinations = 1u64 << free_vars.len();
+        let mut assignment = bindings.to_complete(false);
+        for mask in 0..num_combinations {
+            for (bit, var) in free_vars.iter().enumerate() {
+                assignment.set(*var, (mask >> bit) & 1 == 1);
+            }
+            if satisfies_with_weight(formula, &assignment) {
+                count += 1;
+                weighted += clause_multiplicity_weight(formula, &assignment);
+            }
+        }
+        Ok((count, weighted))
+    }
+}
+
+/// Returns `true` if the assignment satisfies the formula.
+fn satisfies_with_weight(formula: &cnf::CnfFormula, assignment: &Assignment) -> bool {
+    formula.evaluate(assignment)
+}
+
+/// `Π_j (#literals of clause j satisfied by the assignment)`.
+fn clause_multiplicity_weight(formula: &cnf::CnfFormula, assignment: &Assignment) -> f64 {
+    formula
+        .iter()
+        .map(|clause| {
+            clause
+                .iter()
+                .filter(|lit| assignment.satisfies(**lit))
+                .count() as f64
+        })
+        .product()
+}
+
+impl NblEngine for SymbolicEngine {
+    fn estimate(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+    ) -> Result<MeanEstimate> {
+        let (_count, weighted) = self.count_models(instance, bindings)?;
+        let mut mean = weighted * self.minterm_weight(instance);
+        // `Var^{nm}` underflows to zero once n·m exceeds a few hundred, which
+        // would flip a satisfiable verdict to UNSAT even though the exact
+        // algebra says the mean is strictly positive. The verdict carries the
+        // *sign* of the weighted model count, so preserve it through the
+        // underflow with the smallest positive value.
+        if weighted > 0.0 && mean == 0.0 {
+            mean = f64::MIN_POSITIVE;
+        }
+        Ok(MeanEstimate::exact(mean))
+    }
+
+    fn name(&self) -> &'static str {
+        "symbolic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::cnf_formula;
+    use cnf::generators;
+
+    fn instance(f: &cnf::CnfFormula) -> NblSatInstance {
+        NblSatInstance::new(f).unwrap()
+    }
+
+    #[test]
+    fn example6_mean_is_two_satisfying_minterms() {
+        // (x1+x2)(¬x1+¬x2): two models, each satisfying exactly one literal
+        // per clause, so ⟨S_N⟩ = 2 · (1/12)^4.
+        let inst = instance(&generators::example6_sat());
+        let mut engine = SymbolicEngine::new();
+        let est = engine
+            .estimate(&inst, &inst.empty_bindings())
+            .unwrap();
+        let expected = 2.0 * (1.0f64 / 12.0).powi(4);
+        assert!((est.mean - expected).abs() < 1e-15);
+        assert!(est.exact);
+        assert!(est.is_positive(3.0));
+    }
+
+    #[test]
+    fn example7_mean_is_zero() {
+        let inst = instance(&generators::example7_unsat());
+        let mut engine = SymbolicEngine::new();
+        let est = engine.estimate(&inst, &inst.empty_bindings()).unwrap();
+        assert_eq!(est.mean, 0.0);
+        assert!(!est.is_positive(3.0));
+    }
+
+    #[test]
+    fn section4_instances() {
+        let mut engine = SymbolicEngine::new();
+        let sat = instance(&generators::section4_sat_instance());
+        let unsat = instance(&generators::section4_unsat_instance());
+        let sat_mean = engine.estimate(&sat, &sat.empty_bindings()).unwrap().mean;
+        let unsat_mean = engine
+            .estimate(&unsat, &unsat.empty_bindings())
+            .unwrap()
+            .mean;
+        assert!(sat_mean > 0.0);
+        assert_eq!(unsat_mean, 0.0);
+        // The single model <1,1> satisfies both literals of the two (x1+x2)
+        // clauses and one literal of each remaining clause: weight 2·2·1·1 = 4.
+        let expected = 4.0 * (1.0f64 / 12.0).powi(8);
+        assert!((sat_mean - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn verdict_matches_brute_force_on_random_instances() {
+        use cnf::generators::RandomKSatConfig;
+        let mut engine = SymbolicEngine::new();
+        for seed in 0..40 {
+            let f = generators::random_ksat(&RandomKSatConfig::new(6, 26, 3).with_seed(seed))
+                .unwrap();
+            let inst = instance(&f);
+            let est = engine.estimate(&inst, &inst.empty_bindings()).unwrap();
+            let sat = f.count_satisfying_assignments() > 0;
+            assert_eq!(est.mean > 0.0, sat, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bindings_restrict_the_count() {
+        // Example 8: S = (x1+x2)(¬x1+¬x2); binding x1=1 leaves one model.
+        let inst = instance(&generators::example6_sat());
+        let engine = SymbolicEngine::new();
+        let mut bindings = inst.empty_bindings();
+        bindings.assign(Variable::new(0), true);
+        let (count, weighted) = engine.count_models(&inst, &bindings).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(weighted, 1.0);
+        bindings.assign(Variable::new(1), true);
+        let (count, _) = engine.count_models(&inst, &bindings).unwrap();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn weighted_count_reflects_literal_multiplicity() {
+        // Single clause (x1 + x2): model (1,1) satisfies both literals.
+        let inst = instance(&cnf_formula![[1, 2]]);
+        let engine = SymbolicEngine::new();
+        let (count, weighted) = engine.count_models(&inst, &inst.empty_bindings()).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(weighted, 1.0 + 1.0 + 2.0);
+    }
+
+    #[test]
+    fn size_limit_is_enforced() {
+        let f = generators::random_ksat(
+            &cnf::generators::RandomKSatConfig::new(30, 10, 3).with_seed(0),
+        )
+        .unwrap();
+        let inst = instance(&f);
+        let mut engine = SymbolicEngine::new().with_max_free_vars(10);
+        assert!(matches!(
+            engine.estimate(&inst, &inst.empty_bindings()),
+            Err(NblSatError::InstanceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn moment_model_scales_but_does_not_flip_sign() {
+        let inst = instance(&generators::example6_sat());
+        let uniform = SymbolicEngine::new()
+            .estimate_helper(&inst);
+        let rtw = SymbolicEngine::new()
+            .with_moment_model(MomentModel::unit_rtw())
+            .estimate_helper(&inst);
+        assert!(uniform > 0.0 && rtw > 0.0);
+        assert!(rtw > uniform); // RTW variance 1 ≫ 1/12
+        assert_eq!(SymbolicEngine::new().name(), "symbolic");
+    }
+
+    impl SymbolicEngine {
+        fn estimate_helper(mut self, inst: &NblSatInstance) -> f64 {
+            self.estimate(inst, &inst.empty_bindings()).unwrap().mean
+        }
+    }
+
+    #[test]
+    fn verdict_sign_survives_var_power_underflow() {
+        // n·m large enough that Var^{nm} = (1/12)^{375} underflows f64 to 0,
+        // on an instance that is trivially satisfiable (every clause is the
+        // same tautology-free satisfiable clause). The exact mean must still
+        // be reported strictly positive so Algorithm 1 answers SAT.
+        let mut f = cnf::CnfFormula::new(15);
+        for _ in 0..25 {
+            f.add_clause([
+                Variable::new(0).positive(),
+                Variable::new(1).positive(),
+                Variable::new(2).positive(),
+            ]);
+        }
+        let inst = instance(&f);
+        assert!(inst.nm() >= 300);
+        let mut engine = SymbolicEngine::new();
+        let estimate = engine.estimate(&inst, &inst.empty_bindings()).unwrap();
+        assert!(
+            estimate.mean > 0.0,
+            "satisfiable instance must keep a positive exact mean even when Var^nm underflows"
+        );
+        assert!(estimate.is_positive(3.0));
+    }
+}

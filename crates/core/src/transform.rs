@@ -1,0 +1,271 @@
+//! The SAT → NBL-SAT transformation (§III.C of the paper).
+
+use crate::error::{NblSatError, Result};
+use cnf::{CnfFormula, FormulaStats, Literal, PartialAssignment, Variable};
+use nbl_logic::BasisId;
+use std::fmt;
+
+/// Dense index of a basis noise source allocated by the transform.
+///
+/// The transform allocates one independent basis source per
+/// `(clause, variable, polarity)` triple — `N^j_{x_i}` and `N^j_{x̄_i}` in the
+/// paper's notation — for a total of `2·m·n` sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceIndex(usize);
+
+impl SourceIndex {
+    /// The dense index (usable to address sample buffers).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Converts to a [`BasisId`] for use with the `nbl-logic` algebra.
+    pub fn basis_id(self) -> BasisId {
+        BasisId::new(self.0)
+    }
+}
+
+impl fmt::Display for SourceIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// An NBL-SAT instance: a CNF formula together with the basis-source
+/// allocation of the noise-based transform.
+///
+/// The instance is immutable once constructed; engines combine it with a
+/// [`PartialAssignment`] of *bindings* (the τ_N restrictions of Algorithm 2)
+/// at estimation time.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use nbl_sat_core::NblSatInstance;
+///
+/// let formula = cnf_formula![[1, 2], [-1, -2]];
+/// let instance = NblSatInstance::new(&formula)?;
+/// assert_eq!(instance.num_vars(), 2);
+/// assert_eq!(instance.num_clauses(), 2);
+/// assert_eq!(instance.num_sources(), 8); // 2 · m · n
+/// # Ok::<(), nbl_sat_core::NblSatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NblSatInstance {
+    formula: CnfFormula,
+    num_vars: usize,
+    num_clauses: usize,
+}
+
+impl NblSatInstance {
+    /// Transforms a CNF formula into an NBL-SAT instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`NblSatError::DegenerateFormula`] if the formula has no variables or
+    ///   no clauses (nothing to encode — handle trivial instances upstream).
+    /// * [`NblSatError::EmptyClause`] if some clause is empty (it has no
+    ///   satisfying cube subspace and the instance is trivially UNSAT).
+    pub fn new(formula: &CnfFormula) -> Result<Self> {
+        if formula.num_vars() == 0 {
+            return Err(NblSatError::DegenerateFormula(
+                "formula has no variables".into(),
+            ));
+        }
+        if formula.num_clauses() == 0 {
+            return Err(NblSatError::DegenerateFormula(
+                "formula has no clauses".into(),
+            ));
+        }
+        if let Some(idx) = formula.iter().position(|c| c.is_empty()) {
+            return Err(NblSatError::EmptyClause { clause_index: idx });
+        }
+        Ok(NblSatInstance {
+            num_vars: formula.num_vars(),
+            num_clauses: formula.num_clauses(),
+            formula: formula.clone(),
+        })
+    }
+
+    /// The underlying CNF formula.
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    /// Number of variables `n`.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses `m`.
+    pub fn num_clauses(&self) -> usize {
+        self.num_clauses
+    }
+
+    /// Total number of basis noise sources: `2·m·n`.
+    pub fn num_sources(&self) -> usize {
+        2 * self.num_vars * self.num_clauses
+    }
+
+    /// The exponent `n·m` that governs the paper's product-count and SNR scaling.
+    pub fn nm(&self) -> usize {
+        self.num_vars * self.num_clauses
+    }
+
+    /// Formula statistics (clause lengths, ratios, ...).
+    pub fn stats(&self) -> FormulaStats {
+        FormulaStats::of(&self.formula)
+    }
+
+    /// The basis source `N^j_{x_i}` (positive) or `N^j_{x̄_i}` (negative) for
+    /// clause `j`, variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clause >= m` or `var.index() >= n`.
+    pub fn source(&self, clause: usize, var: Variable, positive: bool) -> SourceIndex {
+        assert!(clause < self.num_clauses, "clause index out of range");
+        assert!(var.index() < self.num_vars, "variable index out of range");
+        SourceIndex(((clause * self.num_vars) + var.index()) * 2 + usize::from(!positive))
+    }
+
+    /// The basis source carrying `literal` in clause `clause`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause or variable is out of range.
+    pub fn literal_source(&self, clause: usize, literal: Literal) -> SourceIndex {
+        self.source(clause, literal.variable(), literal.is_positive())
+    }
+
+    /// Creates an empty binding set (all τ_N variables free).
+    pub fn empty_bindings(&self) -> PartialAssignment {
+        PartialAssignment::new(self.num_vars)
+    }
+
+    /// Validates that a binding set matches this instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NblSatError::BindingOutOfRange`] if the binding set covers a
+    /// different number of variables.
+    pub fn validate_bindings(&self, bindings: &PartialAssignment) -> Result<()> {
+        if bindings.num_vars() != self.num_vars {
+            return Err(NblSatError::BindingOutOfRange {
+                variable: bindings.num_vars(),
+                num_vars: self.num_vars,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of valid minterms in τ_N under the given bindings: `2^free`.
+    pub fn tau_cardinality(&self, bindings: &PartialAssignment) -> u128 {
+        let free = self.num_vars - bindings.num_assigned();
+        1u128 << free
+    }
+
+    /// Exact number of product terms in the expanded τ_N · Σ_N, the quantity
+    /// the paper bounds as `O(2^{nm})` in §III.F: `2^free · Π_j Σ_{l ∈ c_j} 2^{n-1}`.
+    ///
+    /// Returned as `f64` because it overflows integers almost immediately.
+    pub fn product_term_count(&self, bindings: &PartialAssignment) -> f64 {
+        let free = (self.num_vars - bindings.num_assigned()) as f64;
+        let tau_terms = free.exp2();
+        let sigma_terms: f64 = self
+            .formula
+            .iter()
+            .map(|c| c.len() as f64 * ((self.num_vars - 1) as f64).exp2())
+            .product();
+        tau_terms * sigma_terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::cnf_formula;
+    use cnf::generators;
+
+    #[test]
+    fn source_indices_are_dense_and_unique() {
+        let f = cnf_formula![[1, 2], [-1, -2], [1, -2]];
+        let inst = NblSatInstance::new(&f).unwrap();
+        assert_eq!(inst.num_sources(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..inst.num_clauses() {
+            for i in 0..inst.num_vars() {
+                for pol in [true, false] {
+                    let s = inst.source(j, Variable::new(i), pol);
+                    assert!(s.index() < inst.num_sources());
+                    assert!(seen.insert(s.index()), "duplicate source index");
+                    assert_eq!(s.basis_id().index(), s.index());
+                }
+            }
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn literal_source_respects_polarity() {
+        let f = cnf_formula![[1, -2]];
+        let inst = NblSatInstance::new(&f).unwrap();
+        let pos = inst.literal_source(0, Literal::from_dimacs(1).unwrap());
+        let neg = inst.literal_source(0, Literal::from_dimacs(-1).unwrap());
+        assert_ne!(pos, neg);
+        assert_eq!(pos, inst.source(0, Variable::new(0), true));
+        assert_eq!(neg, inst.source(0, Variable::new(0), false));
+    }
+
+    #[test]
+    fn rejects_degenerate_formulas() {
+        assert!(matches!(
+            NblSatInstance::new(&CnfFormula::new(0)),
+            Err(NblSatError::DegenerateFormula(_))
+        ));
+        assert!(matches!(
+            NblSatInstance::new(&CnfFormula::new(3)),
+            Err(NblSatError::DegenerateFormula(_))
+        ));
+        let mut with_empty = cnf_formula![[1]];
+        with_empty.push_clause(cnf::Clause::new());
+        assert!(matches!(
+            NblSatInstance::new(&with_empty),
+            Err(NblSatError::EmptyClause { clause_index: 1 })
+        ));
+    }
+
+    #[test]
+    fn binding_validation_and_cardinality() {
+        let f = generators::section4_sat_instance();
+        let inst = NblSatInstance::new(&f).unwrap();
+        let mut bindings = inst.empty_bindings();
+        assert!(inst.validate_bindings(&bindings).is_ok());
+        assert_eq!(inst.tau_cardinality(&bindings), 4);
+        bindings.assign(Variable::new(0), true);
+        assert_eq!(inst.tau_cardinality(&bindings), 2);
+        let wrong = PartialAssignment::new(5);
+        assert!(inst.validate_bindings(&wrong).is_err());
+    }
+
+    #[test]
+    fn product_term_count_matches_paper_order() {
+        // 3-SAT, n variables, m clauses: (2^n)·(3·2^{n-1})^m products.
+        let f = cnf_formula![[1, 2, 3], [-1, 2, -3]];
+        let inst = NblSatInstance::new(&f).unwrap();
+        let bindings = inst.empty_bindings();
+        let expected = 8.0 * (3.0 * 4.0f64).powi(2);
+        assert!((inst.product_term_count(&bindings) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_and_accessors() {
+        let f = generators::example6_sat();
+        let inst = NblSatInstance::new(&f).unwrap();
+        assert_eq!(inst.num_vars(), 2);
+        assert_eq!(inst.num_clauses(), 2);
+        assert_eq!(inst.nm(), 4);
+        assert_eq!(inst.stats().num_literals, 4);
+        assert_eq!(inst.formula(), &f);
+        assert_eq!(inst.source(0, Variable::new(0), true).to_string(), "src0");
+    }
+}

@@ -1,0 +1,126 @@
+//! Basis noise bits and their registry.
+
+use std::fmt;
+
+/// Identifier of a basis noise source (a "noise bit" in the paper's terms).
+///
+/// Basis sources are pairwise independent, zero-mean reference processes; the
+/// algebra only ever needs their identity and their even moments (supplied by
+/// [`crate::MomentModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BasisId(u32);
+
+impl BasisId {
+    /// Creates a basis identifier from a dense index.
+    pub fn new(index: usize) -> Self {
+        BasisId(index as u32)
+    }
+
+    /// The dense index of this basis source.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BasisId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A registry that allocates named basis sources.
+///
+/// NBL constructions allocate basis bits in structured families (per variable,
+/// per clause, per literal polarity); the registry hands out dense indices and
+/// remembers the label of each allocation so diagnostics can print
+/// `N^j_{xi}`-style names.
+///
+/// ```
+/// use nbl_logic::BasisRegistry;
+/// let mut reg = BasisRegistry::new();
+/// let a = reg.allocate("N1_x1");
+/// let b = reg.allocate("N1_~x1");
+/// assert_ne!(a, b);
+/// assert_eq!(reg.len(), 2);
+/// assert_eq!(reg.label(a), Some("N1_x1"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BasisRegistry {
+    labels: Vec<String>,
+}
+
+impl BasisRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        BasisRegistry::default()
+    }
+
+    /// Allocates a fresh basis source with a diagnostic label.
+    pub fn allocate(&mut self, label: impl Into<String>) -> BasisId {
+        let id = BasisId::new(self.labels.len());
+        self.labels.push(label.into());
+        id
+    }
+
+    /// Allocates `count` unlabelled sources and returns their ids.
+    pub fn allocate_many(&mut self, count: usize) -> Vec<BasisId> {
+        (0..count)
+            .map(|i| self.allocate(format!("N{}", self.labels.len() + i)))
+            .collect()
+    }
+
+    /// Number of allocated basis sources.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if no sources have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of a basis source, if it belongs to this registry.
+    pub fn label(&self, id: BasisId) -> Option<&str> {
+        self.labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Iterates over all allocated ids in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = BasisId> + '_ {
+        (0..self.labels.len()).map(BasisId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_displayable() {
+        let id = BasisId::new(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "N3");
+    }
+
+    #[test]
+    fn registry_allocates_sequentially() {
+        let mut reg = BasisRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.allocate("a");
+        let b = reg.allocate("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.label(b), Some("b"));
+        assert_eq!(reg.label(BasisId::new(5)), None);
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn allocate_many() {
+        let mut reg = BasisRegistry::new();
+        let ids = reg.allocate_many(4);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(reg.len(), 4);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

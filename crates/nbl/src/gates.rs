@@ -1,0 +1,224 @@
+//! Set-algebra ("logic gate") operations on hyperspace superpositions.
+//!
+//! In noise-based logic a wire carries an additive superposition of hyperspace
+//! elements, i.e. a *set* of minterms; Boolean operations on functions become
+//! set operations on those superpositions (Kish, Khatri, Sethuraman — the
+//! hyperspace paper the NBL-SAT construction builds on). This module provides
+//! those operations on [`Superposition`]s whose terms are unit-coefficient
+//! minterms over a given [`HyperspaceBuilder`]:
+//!
+//! * union (OR), intersection (AND), complement (NOT), difference, XOR,
+//! * membership tests and conversion to/from explicit minterm masks.
+//!
+//! The NBL-SAT Σ_N construction is exactly the clause-wise union of literal
+//! cube subspaces followed by the product (intersection via correlation) with
+//! τ_N; these helpers let that algebra be exercised and tested directly.
+
+use crate::hyperspace::HyperspaceBuilder;
+use crate::product::NoiseProduct;
+use crate::superposition::Superposition;
+
+/// A set of minterms over an `n`-variable space, represented both as a noise
+/// superposition and as the explicit list of minterm masks.
+///
+/// ```
+/// use nbl_logic::{HyperspaceBuilder, MintermSet};
+/// let builder = HyperspaceBuilder::new(2);
+/// let a = MintermSet::from_masks(&builder, [0b01]);       // {x1 x̄2}
+/// let b = MintermSet::from_masks(&builder, [0b01, 0b10]); // {x1 x̄2, x̄1 x2}
+/// assert_eq!(a.union(&b).len(), 2);
+/// assert_eq!(a.intersection(&b).len(), 1);
+/// assert_eq!(b.complement().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MintermSet {
+    builder: HyperspaceBuilder,
+    masks: Vec<u64>,
+}
+
+impl MintermSet {
+    /// Creates the empty set over the builder's variable space.
+    pub fn empty(builder: &HyperspaceBuilder) -> Self {
+        MintermSet {
+            builder: builder.clone(),
+            masks: Vec::new(),
+        }
+    }
+
+    /// Creates the full space (all `2^n` minterms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder spans more than 24 variables.
+    pub fn full(builder: &HyperspaceBuilder) -> Self {
+        assert!(
+            builder.num_vars() <= 24,
+            "explicit minterm sets limited to 24 variables"
+        );
+        MintermSet {
+            builder: builder.clone(),
+            masks: (0..(1u64 << builder.num_vars())).collect(),
+        }
+    }
+
+    /// Creates a set from explicit minterm masks (bit `i` = value of variable `i`).
+    ///
+    /// Masks are deduplicated and kept sorted.
+    pub fn from_masks<I: IntoIterator<Item = u64>>(builder: &HyperspaceBuilder, masks: I) -> Self {
+        let mut masks: Vec<u64> = masks.into_iter().collect();
+        masks.sort_unstable();
+        masks.dedup();
+        MintermSet {
+            builder: builder.clone(),
+            masks,
+        }
+    }
+
+    /// Number of minterms in the set.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Returns `true` if the set contains the given minterm mask.
+    pub fn contains(&self, mask: u64) -> bool {
+        self.masks.binary_search(&mask).is_ok()
+    }
+
+    /// The minterm masks in increasing order.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Union (Boolean OR of the characteristic functions).
+    pub fn union(&self, other: &MintermSet) -> MintermSet {
+        let mut masks = self.masks.clone();
+        masks.extend_from_slice(&other.masks);
+        MintermSet::from_masks(&self.builder, masks)
+    }
+
+    /// Intersection (Boolean AND).
+    pub fn intersection(&self, other: &MintermSet) -> MintermSet {
+        MintermSet::from_masks(
+            &self.builder,
+            self.masks.iter().copied().filter(|m| other.contains(*m)),
+        )
+    }
+
+    /// Difference `self \ other`.
+    pub fn difference(&self, other: &MintermSet) -> MintermSet {
+        MintermSet::from_masks(
+            &self.builder,
+            self.masks.iter().copied().filter(|m| !other.contains(*m)),
+        )
+    }
+
+    /// Symmetric difference (Boolean XOR).
+    pub fn symmetric_difference(&self, other: &MintermSet) -> MintermSet {
+        self.union(other).difference(&self.intersection(other))
+    }
+
+    /// Complement with respect to the full `2^n` space (Boolean NOT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder spans more than 24 variables.
+    pub fn complement(&self) -> MintermSet {
+        MintermSet::full(&self.builder).difference(self)
+    }
+
+    /// The single-wire NBL encoding of the set: the additive superposition of
+    /// its noise minterms.
+    pub fn to_superposition(&self) -> Superposition {
+        Superposition::from_products(self.masks.iter().map(|&m| self.builder.minterm(m)))
+    }
+
+    /// Recovers a set from a unit-coefficient superposition of minterms of the
+    /// same builder. Terms that are not minterms of this builder are ignored.
+    pub fn from_superposition(builder: &HyperspaceBuilder, s: &Superposition) -> Self {
+        let n = builder.num_vars();
+        let masks = (0..(1u64 << n)).filter(|&m| {
+            let product: NoiseProduct = builder.minterm(m);
+            s.coefficient(&product) != 0.0
+        });
+        MintermSet::from_masks(builder, masks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::MomentModel;
+
+    fn builder() -> HyperspaceBuilder {
+        HyperspaceBuilder::new(3)
+    }
+
+    #[test]
+    fn set_algebra_matches_boolean_algebra() {
+        let b = builder();
+        // f = x1 (minterms with bit0 set), g = x2 (bit1 set)
+        let f = MintermSet::from_masks(&b, (0..8u64).filter(|m| m & 1 == 1));
+        let g = MintermSet::from_masks(&b, (0..8u64).filter(|m| m & 2 == 2));
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.union(&g).len(), 6); // x1 + x2
+        assert_eq!(f.intersection(&g).len(), 2); // x1·x2
+        assert_eq!(f.difference(&g).len(), 2); // x1·x̄2
+        assert_eq!(f.symmetric_difference(&g).len(), 4); // x1 ⊕ x2
+        assert_eq!(f.complement().len(), 4); // x̄1
+        assert!(f.complement().intersection(&f).is_empty());
+        assert_eq!(f.complement().union(&f), MintermSet::full(&b));
+    }
+
+    #[test]
+    fn empty_and_full_identities() {
+        let b = builder();
+        let empty = MintermSet::empty(&b);
+        let full = MintermSet::full(&b);
+        let f = MintermSet::from_masks(&b, [1, 5, 7]);
+        assert_eq!(f.union(&empty), f);
+        assert_eq!(f.intersection(&full), f);
+        assert_eq!(f.intersection(&empty), empty);
+        assert_eq!(full.len(), 8);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn superposition_roundtrip() {
+        let b = builder();
+        let f = MintermSet::from_masks(&b, [0, 3, 6]);
+        let s = f.to_superposition();
+        assert_eq!(s.num_terms(), 3);
+        let back = MintermSet::from_superposition(&b, &s);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn correlation_of_encodings_counts_shared_minterms() {
+        // ⟨enc(A)·enc(B)⟩ = |A ∩ B| · Var^n — the readout NBL-SAT relies on.
+        let b = builder();
+        let model = MomentModel::uniform_half();
+        let a = MintermSet::from_masks(&b, [0, 1, 2, 5]);
+        let c = MintermSet::from_masks(&b, [1, 5, 7]);
+        let expectation = a
+            .to_superposition()
+            .multiplied_by(&c.to_superposition())
+            .expectation(&model);
+        let expected = a.intersection(&c).len() as f64 * (1.0f64 / 12.0).powi(3);
+        assert!((expectation - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn membership_and_dedup() {
+        let b = builder();
+        let f = MintermSet::from_masks(&b, [2, 2, 4]);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(2));
+        assert!(!f.contains(3));
+        assert_eq!(f.masks(), &[2, 4]);
+    }
+}

@@ -1,0 +1,318 @@
+//! The NBL logic hyperspace: all `2^n` minterms on a single wire.
+//!
+//! Starting from `2n` basis bits (one per literal of each of `n` variables),
+//! the construction of Eq. (1) in the paper,
+//! `T = (N_x1 + N_x̄1)(N_x2 + N_x̄2)···(N_xn + N_x̄n)`,
+//! expands into the additive superposition of all `2^n` noise minterms. The
+//! same construction with some variables *bound* to a literal yields the
+//! superposition of the minterms inside that cube subspace (Example 4).
+
+use crate::basis::BasisId;
+use crate::product::NoiseProduct;
+use crate::superposition::Superposition;
+use std::fmt;
+
+/// Which literals of each variable participate in the hyperspace product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VariableBinding {
+    /// Both literals participate: `(N_x + N_x̄)` (the variable is free).
+    #[default]
+    Free,
+    /// Only the positive literal participates (variable bound to 1).
+    BoundTrue,
+    /// Only the negative literal participates (variable bound to 0).
+    BoundFalse,
+}
+
+/// Builder for a logic hyperspace over `n` variables.
+///
+/// The builder owns the mapping from `(variable, polarity)` to [`BasisId`];
+/// by default variable `i`'s positive literal uses basis `2i` and its negative
+/// literal basis `2i + 1`, but a custom mapping can be supplied (the NBL-SAT
+/// Σ_N construction needs per-clause source families).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperspaceBuilder {
+    num_vars: usize,
+    /// `sources[i] = (positive-literal basis, negative-literal basis)`.
+    sources: Vec<(BasisId, BasisId)>,
+    bindings: Vec<VariableBinding>,
+}
+
+impl HyperspaceBuilder {
+    /// Creates a builder with the default dense basis mapping
+    /// (`x_i → N_{2i}`, `x̄_i → N_{2i+1}`).
+    pub fn new(num_vars: usize) -> Self {
+        HyperspaceBuilder {
+            num_vars,
+            sources: (0..num_vars)
+                .map(|i| (BasisId::new(2 * i), BasisId::new(2 * i + 1)))
+                .collect(),
+            bindings: vec![VariableBinding::Free; num_vars],
+        }
+    }
+
+    /// Creates a builder with an explicit `(positive, negative)` basis pair
+    /// per variable.
+    pub fn with_sources(sources: Vec<(BasisId, BasisId)>) -> Self {
+        HyperspaceBuilder {
+            num_vars: sources.len(),
+            bindings: vec![VariableBinding::Free; sources.len()],
+            sources,
+        }
+    }
+
+    /// Number of variables spanned by the hyperspace.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Binds variable `var` (0-based) to a constant, restricting the
+    /// hyperspace to the corresponding cube subspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn bind(&mut self, var: usize, value: bool) -> &mut Self {
+        assert!(var < self.num_vars, "variable index out of range");
+        self.bindings[var] = if value {
+            VariableBinding::BoundTrue
+        } else {
+            VariableBinding::BoundFalse
+        };
+        self
+    }
+
+    /// Removes the binding of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn unbind(&mut self, var: usize) -> &mut Self {
+        assert!(var < self.num_vars, "variable index out of range");
+        self.bindings[var] = VariableBinding::Free;
+        self
+    }
+
+    /// The current binding of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn binding(&self, var: usize) -> VariableBinding {
+        self.bindings[var]
+    }
+
+    /// Number of currently free (unbound) variables.
+    pub fn num_free_vars(&self) -> usize {
+        self.bindings
+            .iter()
+            .filter(|b| matches!(b, VariableBinding::Free))
+            .count()
+    }
+
+    /// Expected number of minterms in the (restricted) hyperspace: `2^free`.
+    pub fn cardinality(&self) -> u128 {
+        1u128 << self.num_free_vars()
+    }
+
+    /// Expands the hyperspace into an explicit [`Superposition`] of noise
+    /// minterms (Eq. (1) of the paper, with bindings applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expansion would exceed 2^24 terms; explicit expansion is
+    /// meant for small instances and validation, not for large `n`.
+    pub fn expand(&self) -> Hyperspace {
+        assert!(
+            self.num_free_vars() <= 24,
+            "explicit hyperspace expansion limited to 24 free variables"
+        );
+        let mut superposition = Superposition::one();
+        for (i, &(pos, neg)) in self.sources.iter().enumerate() {
+            let factor = match self.bindings[i] {
+                VariableBinding::Free => Superposition::from_basis(pos)
+                    .added_to(&Superposition::from_basis(neg)),
+                VariableBinding::BoundTrue => Superposition::from_basis(pos),
+                VariableBinding::BoundFalse => Superposition::from_basis(neg),
+            };
+            superposition = superposition.multiplied_by(&factor);
+        }
+        Hyperspace {
+            num_vars: self.num_vars,
+            superposition,
+        }
+    }
+
+    /// Returns the noise minterm (a single [`NoiseProduct`]) corresponding to
+    /// a complete assignment given as a bit mask (bit `i` = value of variable `i`).
+    pub fn minterm(&self, assignment_mask: u64) -> NoiseProduct {
+        NoiseProduct::from_bases(self.sources.iter().enumerate().map(|(i, &(pos, neg))| {
+            if (assignment_mask >> i) & 1 == 1 {
+                pos
+            } else {
+                neg
+            }
+        }))
+    }
+}
+
+/// An expanded logic hyperspace: the superposition of all selected minterms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperspace {
+    num_vars: usize,
+    superposition: Superposition,
+}
+
+impl Hyperspace {
+    /// Number of variables spanned.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of minterms in the superposition.
+    pub fn num_minterms(&self) -> usize {
+        self.superposition.num_terms()
+    }
+
+    /// The underlying superposition.
+    pub fn superposition(&self) -> &Superposition {
+        &self.superposition
+    }
+
+    /// Consumes the hyperspace and returns its superposition.
+    pub fn into_superposition(self) -> Superposition {
+        self.superposition
+    }
+
+    /// Returns `true` if the given noise minterm is present.
+    pub fn contains(&self, minterm: &NoiseProduct) -> bool {
+        self.superposition.coefficient(minterm) != 0.0
+    }
+}
+
+impl fmt::Display for Hyperspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hyperspace over {} vars with {} minterms",
+            self.num_vars,
+            self.num_minterms()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::MomentModel;
+
+    #[test]
+    fn full_hyperspace_has_2_pow_n_minterms() {
+        for n in 0..=4 {
+            let hs = HyperspaceBuilder::new(n).expand();
+            assert_eq!(hs.num_minterms(), 1usize << n, "n={n}");
+            assert_eq!(hs.num_vars(), n);
+        }
+    }
+
+    #[test]
+    fn example1_hyperspace_elements() {
+        // Paper Example 1: 4 basis bits -> 4 hyperspace elements
+        // V01·V02, V01·V12, V11·V02, V11·V12.
+        let builder = HyperspaceBuilder::new(2);
+        let hs = builder.expand();
+        assert_eq!(hs.num_minterms(), 4);
+        for mask in 0..4u64 {
+            assert!(hs.contains(&builder.minterm(mask)));
+        }
+    }
+
+    #[test]
+    fn binding_restricts_to_cube_subspace() {
+        // Example 4: binding x1 keeps only the 2^(n-1) minterms with x1 = 1.
+        let mut builder = HyperspaceBuilder::new(3);
+        builder.bind(0, true);
+        let hs = builder.expand();
+        assert_eq!(hs.num_minterms(), 4);
+        assert_eq!(builder.cardinality(), 4);
+        assert_eq!(builder.num_free_vars(), 2);
+        // Each contained minterm uses the positive-literal source of x1 (basis 0).
+        for (p, _) in hs.superposition().terms() {
+            assert_eq!(p.exponent(BasisId::new(0)), 1);
+            assert_eq!(p.exponent(BasisId::new(1)), 0);
+        }
+        builder.unbind(0);
+        assert_eq!(builder.expand().num_minterms(), 8);
+    }
+
+    #[test]
+    fn bound_false_uses_negative_source() {
+        let mut builder = HyperspaceBuilder::new(2);
+        builder.bind(1, false);
+        assert_eq!(builder.binding(1), VariableBinding::BoundFalse);
+        let hs = builder.expand();
+        for (p, _) in hs.superposition().terms() {
+            assert_eq!(p.exponent(BasisId::new(3)), 1); // N_x̄2
+            assert_eq!(p.exponent(BasisId::new(2)), 0);
+        }
+    }
+
+    #[test]
+    fn minterms_are_mutually_orthogonal() {
+        // Distinct minterms of the hyperspace have zero cross-expectation,
+        // while each minterm's self-product has positive expectation.
+        let builder = HyperspaceBuilder::new(2);
+        let model = MomentModel::uniform_half();
+        for a in 0..4u64 {
+            for bm in 0..4u64 {
+                let pa = builder.minterm(a);
+                let pb = builder.minterm(bm);
+                let expectation = pa.multiplied_by(&pb).expectation(&model);
+                if a == bm {
+                    assert!(expectation > 0.0);
+                } else {
+                    assert_eq!(expectation, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_of_hyperspace_squared_counts_minterms() {
+        // ⟨T·T⟩ = 2^n · Var^n for the uniform model, because only the 2^n
+        // matched minterm pairs survive.
+        let n = 3;
+        let hs = HyperspaceBuilder::new(n).expand();
+        let model = MomentModel::uniform_half();
+        let t = hs.superposition();
+        let expectation = t.multiplied_by(t).expectation(&model);
+        let expected = (1u64 << n) as f64 * (1.0f64 / 12.0).powi(n as i32);
+        assert!((expectation - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_source_mapping() {
+        let sources = vec![
+            (BasisId::new(10), BasisId::new(11)),
+            (BasisId::new(20), BasisId::new(21)),
+        ];
+        let builder = HyperspaceBuilder::with_sources(sources);
+        assert_eq!(builder.num_vars(), 2);
+        let m = builder.minterm(0b01);
+        assert_eq!(m.exponent(BasisId::new(10)), 1);
+        assert_eq!(m.exponent(BasisId::new(21)), 1);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let hs = HyperspaceBuilder::new(2).expand();
+        assert!(hs.to_string().contains("4 minterms"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bind_out_of_range_panics() {
+        let mut b = HyperspaceBuilder::new(2);
+        b.bind(5, true);
+    }
+}

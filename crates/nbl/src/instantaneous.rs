@@ -1,0 +1,441 @@
+//! Instantaneous noise-based logic with random-telegraph-wave carriers.
+//!
+//! Reference [17] of the NBL-SAT paper (Kish, Khatri, Peper, *"Instantaneous
+//! noise-based logic"*) replaces the continuous-amplitude carriers with
+//! **random telegraph waves** (RTWs): deterministic, receiver-known ±1
+//! sequences. Because every carrier (and hence every noise product) takes
+//! values in {−1, +1} at each clock tick, the receiver does not have to
+//! time-average correlations the way the baseline NBL-SAT readout does — the
+//! superposition carried by a wire can be decoded *exactly* from a finite
+//! number of samples by solving a small linear system against the known
+//! reference sequences.
+//!
+//! This module provides that deterministic time-domain layer:
+//!
+//! * [`RtwChannel`] — seeded, reproducible ±1 reference sequences for every
+//!   basis carrier, plus evaluation of products and superpositions at a given
+//!   clock tick, and
+//! * [`InstantaneousDecoder`] — exact recovery of *which* reference products
+//!   are present in a received superposition from `O(m·log m)` samples (for
+//!   `m` candidate products), instead of the `O(2^{nm})`-sample averaging the
+//!   stochastic readout needs.
+
+use crate::product::NoiseProduct;
+use crate::superposition::Superposition;
+use std::fmt;
+
+/// A deterministic RTW carrier bank: basis source `b` at clock tick `t` has
+/// the value `±1`, reproducible from the channel seed.
+///
+/// ```
+/// use nbl_logic::{instantaneous::RtwChannel, BasisId, NoiseProduct};
+///
+/// let channel = RtwChannel::new(42);
+/// let value = channel.basis_sample(BasisId::new(3), 17);
+/// assert!(value == 1.0 || value == -1.0);
+/// // Squares are exactly 1 at every instant — the key RTW property.
+/// let square = NoiseProduct::from_bases([BasisId::new(3), BasisId::new(3)]);
+/// assert_eq!(channel.product_sample(&square, 17), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtwChannel {
+    seed: u64,
+}
+
+impl RtwChannel {
+    /// Creates a channel with the given seed; the same seed reproduces the
+    /// same reference sequences on both ends of the wire.
+    pub fn new(seed: u64) -> Self {
+        RtwChannel { seed }
+    }
+
+    /// The channel seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The ±1 value of basis carrier `basis` at clock tick `t`.
+    pub fn basis_sample(&self, basis: crate::BasisId, t: u64) -> f64 {
+        // SplitMix64-style avalanche of (seed, basis, t); one output bit
+        // selects the sign. Deterministic, stateless and cheap.
+        let mut z = self
+            .seed
+            .wrapping_add((basis.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(t.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if z & 1 == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// The ±1 value of a noise product at clock tick `t` (the product of its
+    /// factors' instantaneous values; even exponents cancel exactly).
+    pub fn product_sample(&self, product: &NoiseProduct, t: u64) -> f64 {
+        let mut value = 1.0;
+        for (basis, exponent) in product.factors() {
+            if exponent % 2 == 1 {
+                value *= self.basis_sample(basis, t);
+            }
+        }
+        value
+    }
+
+    /// The instantaneous value of a superposition (the weighted sum of its
+    /// products' values) at clock tick `t`.
+    pub fn superposition_sample(&self, superposition: &Superposition, t: u64) -> f64 {
+        superposition
+            .terms()
+            .map(|(product, coefficient)| coefficient * self.product_sample(product, t))
+            .sum()
+    }
+}
+
+/// Errors reported by [`InstantaneousDecoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The reference products do not form a linearly independent family over
+    /// the sampled window, so the received wire cannot be decoded uniquely.
+    DependentReferences,
+    /// The received samples are not explained by any 0/1 combination of the
+    /// reference products (wrong references, wrong seed, or a corrupted wire).
+    Unexplained,
+    /// Fewer wire samples were supplied than the decoder needs.
+    NotEnoughSamples {
+        /// Samples required (number of references plus verification ticks).
+        required: usize,
+        /// Samples supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::DependentReferences => {
+                write!(f, "reference products are linearly dependent over the sample window")
+            }
+            DecodeError::Unexplained => {
+                write!(f, "received samples do not match any subset of the references")
+            }
+            DecodeError::NotEnoughSamples { required, got } => {
+                write!(f, "need at least {required} samples, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Number of extra clock ticks used to verify a decoded subset beyond the
+/// ticks needed to solve for it.
+pub const VERIFICATION_TICKS: usize = 16;
+
+/// Exact decoder for RTW superpositions.
+///
+/// Given `m` candidate reference products (for NBL-SAT these are minterm
+/// products), the decoder reconstructs which subset of them a received wire
+/// carries by solving a linear system built from the known reference
+/// sequences, then verifying the 0/1 solution on the whole sample window.
+///
+/// Each clock tick contributes one linear equation whose coefficient row is a
+/// Walsh character of the minterm index (scaled by a common ±1), so the
+/// system reaches full rank after a coupon-collector number of ticks —
+/// the decoder therefore uses a window of `O(m·log m)` samples
+/// ([`InstantaneousDecoder::required_samples`]). The decode is still
+/// *instantaneous* in the sense of reference [17]: it is an exact algebraic
+/// reconstruction over a fixed, instance-independent window, with no
+/// statistical averaging and no convergence threshold, in contrast to the
+/// `O(2^{nm})`-sample averaging the stochastic NBL-SAT readout needs.
+///
+/// ```
+/// use nbl_logic::instantaneous::{InstantaneousDecoder, RtwChannel};
+/// use nbl_logic::HyperspaceBuilder;
+///
+/// let builder = HyperspaceBuilder::new(3);
+/// let references: Vec<_> = (0..8).map(|m| builder.minterm(m)).collect();
+/// let decoder = InstantaneousDecoder::new(RtwChannel::new(7), references);
+///
+/// // Transmit the subset {1, 4, 6} and decode it back exactly.
+/// let wire = decoder.encode(&[false, true, false, false, true, false, true, false], 0);
+/// let decoded = decoder.decode(&wire, 0)?;
+/// assert_eq!(decoded, vec![false, true, false, false, true, false, true, false]);
+/// # Ok::<(), nbl_logic::instantaneous::DecodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstantaneousDecoder {
+    channel: RtwChannel,
+    references: Vec<NoiseProduct>,
+}
+
+impl InstantaneousDecoder {
+    /// Creates a decoder for the given channel and candidate reference products.
+    pub fn new(channel: RtwChannel, references: Vec<NoiseProduct>) -> Self {
+        InstantaneousDecoder {
+            channel,
+            references,
+        }
+    }
+
+    /// The candidate reference products.
+    pub fn references(&self) -> &[NoiseProduct] {
+        &self.references
+    }
+
+    /// Number of wire samples [`InstantaneousDecoder::decode`] expects:
+    /// `m·(⌈log₂ m⌉ + 4)` solve ticks plus [`VERIFICATION_TICKS`].
+    pub fn required_samples(&self) -> usize {
+        let m = self.references.len();
+        let log2 = usize::BITS as usize - m.leading_zeros() as usize;
+        m * (log2 + 4) + VERIFICATION_TICKS
+    }
+
+    /// Produces the wire samples for a chosen subset of references, starting
+    /// at clock tick `start`. `selection[i]` states whether reference `i` is
+    /// part of the transmitted superposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection.len()` differs from the number of references.
+    pub fn encode(&self, selection: &[bool], start: u64) -> Vec<f64> {
+        assert_eq!(selection.len(), self.references.len());
+        (0..self.required_samples() as u64)
+            .map(|offset| {
+                let t = start + offset;
+                self.references
+                    .iter()
+                    .zip(selection)
+                    .filter(|&(_, &selected)| selected)
+                    .map(|(product, _)| self.channel.product_sample(product, t))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Decodes which subset of the references the wire carries.
+    ///
+    /// `wire[k]` must be the wire value at clock tick `start + k`; at least
+    /// [`InstantaneousDecoder::required_samples`] samples are needed.
+    ///
+    /// # Errors
+    ///
+    /// * [`DecodeError::NotEnoughSamples`] if the window is too short.
+    /// * [`DecodeError::DependentReferences`] if the reference sequences are
+    ///   not linearly independent over the window (pathological seeds).
+    /// * [`DecodeError::Unexplained`] if no 0/1 combination reproduces the
+    ///   received samples.
+    pub fn decode(&self, wire: &[f64], start: u64) -> Result<Vec<bool>, DecodeError> {
+        let m = self.references.len();
+        if wire.len() < self.required_samples() {
+            return Err(DecodeError::NotEnoughSamples {
+                required: self.required_samples(),
+                got: wire.len(),
+            });
+        }
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        // Build an overdetermined system A·x = w from the whole sample window;
+        // the extra rows make a rank deficiency over the first m ticks (which
+        // random ±1 rows do hit occasionally) vanishingly unlikely overall.
+        let rows = wire.len().min(self.required_samples());
+        let mut matrix = vec![vec![0.0f64; m + 1]; rows];
+        for (row, matrix_row) in matrix.iter_mut().enumerate() {
+            let t = start + row as u64;
+            for (col, reference) in self.references.iter().enumerate() {
+                matrix_row[col] = self.channel.product_sample(reference, t);
+            }
+            matrix_row[m] = wire[row];
+        }
+        let solution = solve_dense(&mut matrix, m).ok_or(DecodeError::DependentReferences)?;
+        // Round to a 0/1 selection and verify on the remaining ticks.
+        let mut selection = Vec::with_capacity(m);
+        for &x in &solution {
+            if (x - 1.0).abs() < 1e-6 {
+                selection.push(true);
+            } else if x.abs() < 1e-6 {
+                selection.push(false);
+            } else {
+                return Err(DecodeError::Unexplained);
+            }
+        }
+        for (offset, &received) in wire.iter().enumerate() {
+            let t = start + offset as u64;
+            let reconstructed: f64 = self
+                .references
+                .iter()
+                .zip(&selection)
+                .filter(|&(_, &selected)| selected)
+                .map(|(product, _)| self.channel.product_sample(product, t))
+                .sum();
+            if (reconstructed - received).abs() > 1e-6 {
+                return Err(DecodeError::Unexplained);
+            }
+        }
+        Ok(selection)
+    }
+}
+
+/// Gauss–Jordan elimination with partial pivoting on an augmented
+/// `rows × (unknowns + 1)` matrix with `rows >= unknowns`. Returns `None` if
+/// the coefficient columns do not have full rank. Inconsistencies in the
+/// surplus rows are ignored here — the decoder re-verifies the rounded 0/1
+/// solution against every sample afterwards.
+fn solve_dense(matrix: &mut [Vec<f64>], unknowns: usize) -> Option<Vec<f64>> {
+    let rows = matrix.len();
+    if rows < unknowns {
+        return None;
+    }
+    for col in 0..unknowns {
+        // Pivot selection among the not-yet-pivoted rows.
+        let pivot = (col..rows).max_by(|&a, &b| {
+            matrix[a][col]
+                .abs()
+                .partial_cmp(&matrix[b][col].abs())
+                .expect("matrix entries are finite")
+        })?;
+        if matrix[pivot][col].abs() < 1e-9 {
+            return None;
+        }
+        matrix.swap(col, pivot);
+        for row in 0..rows {
+            if row != col {
+                let factor = matrix[row][col] / matrix[col][col];
+                if factor != 0.0 {
+                    for k in col..=unknowns {
+                        matrix[row][k] -= factor * matrix[col][k];
+                    }
+                }
+            }
+        }
+    }
+    Some(
+        (0..unknowns)
+            .map(|i| matrix[i][unknowns] / matrix[i][i])
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisId;
+    use crate::hyperspace::HyperspaceBuilder;
+
+    #[test]
+    fn rtw_samples_are_deterministic_and_binary() {
+        let channel = RtwChannel::new(123);
+        let other = RtwChannel::new(123);
+        for basis in 0..6 {
+            for t in 0..50u64 {
+                let v = channel.basis_sample(BasisId::new(basis), t);
+                assert!(v == 1.0 || v == -1.0);
+                assert_eq!(v, other.basis_sample(BasisId::new(basis), t));
+            }
+        }
+        // Different seeds give different sequences (with overwhelming likelihood
+        // over 64 ticks for at least one basis/tick combination).
+        let different = RtwChannel::new(124);
+        let any_difference = (0..64u64)
+            .any(|t| channel.basis_sample(BasisId::new(0), t) != different.basis_sample(BasisId::new(0), t));
+        assert!(any_difference);
+    }
+
+    #[test]
+    fn even_exponents_cancel_exactly() {
+        let channel = RtwChannel::new(9);
+        let square = NoiseProduct::from_bases([BasisId::new(2), BasisId::new(2)]);
+        let fourth = NoiseProduct::from_bases([
+            BasisId::new(1),
+            BasisId::new(1),
+            BasisId::new(1),
+            BasisId::new(1),
+        ]);
+        for t in 0..32u64 {
+            assert_eq!(channel.product_sample(&square, t), 1.0);
+            assert_eq!(channel.product_sample(&fourth, t), 1.0);
+        }
+    }
+
+    #[test]
+    fn superposition_sample_is_sum_of_product_samples() {
+        let channel = RtwChannel::new(5);
+        let builder = HyperspaceBuilder::new(2);
+        let superposition = builder.expand().into_superposition();
+        for t in 0..16u64 {
+            let direct: f64 = superposition
+                .terms()
+                .map(|(p, c)| c * channel.product_sample(p, t))
+                .sum();
+            assert_eq!(channel.superposition_sample(&superposition, t), direct);
+        }
+    }
+
+    #[test]
+    fn round_trip_every_subset_of_a_small_hyperspace() {
+        let builder = HyperspaceBuilder::new(2);
+        let references: Vec<_> = (0..4).map(|m| builder.minterm(m)).collect();
+        let decoder = InstantaneousDecoder::new(RtwChannel::new(2012), references);
+        for subset in 0..16u32 {
+            let selection: Vec<bool> = (0..4).map(|i| subset >> i & 1 == 1).collect();
+            let wire = decoder.encode(&selection, 100);
+            let decoded = decoder.decode(&wire, 100).expect("decodable");
+            assert_eq!(decoded, selection, "subset {subset:04b}");
+        }
+    }
+
+    #[test]
+    fn larger_reference_sets_round_trip() {
+        let builder = HyperspaceBuilder::new(4);
+        let references: Vec<_> = (0..16).map(|m| builder.minterm(m)).collect();
+        let decoder = InstantaneousDecoder::new(RtwChannel::new(77), references);
+        let selection: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let wire = decoder.encode(&selection, 0);
+        assert_eq!(decoder.decode(&wire, 0).unwrap(), selection);
+    }
+
+    #[test]
+    fn corrupted_wire_is_rejected() {
+        let builder = HyperspaceBuilder::new(2);
+        let references: Vec<_> = (0..4).map(|m| builder.minterm(m)).collect();
+        let decoder = InstantaneousDecoder::new(RtwChannel::new(3), references);
+        let mut wire = decoder.encode(&[true, false, true, false], 0);
+        wire[1] += 0.5; // inject an analog error
+        assert_eq!(decoder.decode(&wire, 0), Err(DecodeError::Unexplained));
+    }
+
+    #[test]
+    fn sample_count_is_validated() {
+        let builder = HyperspaceBuilder::new(2);
+        let references: Vec<_> = (0..4).map(|m| builder.minterm(m)).collect();
+        let decoder = InstantaneousDecoder::new(RtwChannel::new(3), references);
+        let required = decoder.required_samples();
+        assert!(required >= 4 + VERIFICATION_TICKS);
+        let err = decoder.decode(&[0.0; 3], 0).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::NotEnoughSamples { required: r, got: 3 } if r == required)
+        );
+    }
+
+    #[test]
+    fn empty_reference_set_decodes_trivially() {
+        let decoder = InstantaneousDecoder::new(RtwChannel::new(0), Vec::new());
+        let wire = vec![0.0; decoder.required_samples()];
+        assert_eq!(decoder.decode(&wire, 0).unwrap(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn wrong_seed_fails_verification() {
+        let builder = HyperspaceBuilder::new(2);
+        let references: Vec<_> = (0..4).map(|m| builder.minterm(m)).collect();
+        let sender = InstantaneousDecoder::new(RtwChannel::new(10), references.clone());
+        let receiver = InstantaneousDecoder::new(RtwChannel::new(11), references);
+        let wire = sender.encode(&[true, true, false, false], 0);
+        // A mismatched reference bank cannot (except with negligible
+        // probability) explain the received samples as a 0/1 combination.
+        assert!(receiver.decode(&wire, 0).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Noise-based logic (NBL) algebra.
+//!
+//! This crate implements the *deterministic* algebra that underlies
+//! noise-based logic as introduced by Kish et al. and used by the NBL-SAT
+//! paper:
+//!
+//! * a registry of pairwise-independent, zero-mean **basis noise bits**
+//!   ([`BasisId`], [`moments::MomentModel`]),
+//! * exact symbolic **noise products** (products of basis sources with
+//!   integer exponents) and their expectations ([`product::NoiseProduct`]),
+//! * **additive superpositions** of noise products, the single-wire encoding
+//!   NBL uses to carry up to `2^(2^n)` symbols ([`superposition::Superposition`]),
+//! * the **logic hyperspace** construction of Eq. (1):
+//!   `(N_x1 + N_x̄1)(N_x2 + N_x̄2)···` which superposes all `2^n` minterms on
+//!   one wire, including variable binding to literals ([`hyperspace`]),
+//! * the **sinusoid-based logic (SBL)** frequency-allocation model of §V
+//!   ([`sbl`]),
+//! * the **instantaneous NBL** layer of the paper's reference [17]: seeded
+//!   random-telegraph-wave reference sequences and exact, averaging-free
+//!   decoding of a received superposition ([`instantaneous`]),
+//! * **multi-valued NBL** per reference [14]: one carrier per
+//!   (variable, value) pair, mixed-radix states and their set algebra
+//!   ([`multivalued`]).
+//!
+//! The expectations computed here are the infinite-sample limits of what the
+//! Monte-Carlo engines in `nbl-sat-core` estimate; the two are cross-checked
+//! in that crate's tests.
+//!
+//! # Example
+//!
+//! ```
+//! use nbl_logic::{BasisId, MomentModel, NoiseProduct};
+//!
+//! let model = MomentModel::uniform_half();        // uniform [-0.5, 0.5]
+//! let n1 = BasisId::new(0);
+//! let n2 = BasisId::new(1);
+//!
+//! // ⟨N1·N2⟩ = 0 (independent, zero mean), ⟨N1²⟩ = 1/12.
+//! let cross = NoiseProduct::from_bases([n1, n2]);
+//! let square = NoiseProduct::from_bases([n1, n1]);
+//! assert_eq!(cross.expectation(&model), 0.0);
+//! assert!((square.expectation(&model) - 1.0 / 12.0).abs() < 1e-15);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod basis;
+pub mod gates;
+pub mod hyperspace;
+pub mod instantaneous;
+pub mod moments;
+pub mod multivalued;
+pub mod product;
+pub mod sbl;
+pub mod superposition;
+
+pub use basis::{BasisId, BasisRegistry};
+pub use gates::MintermSet;
+pub use hyperspace::{Hyperspace, HyperspaceBuilder};
+pub use instantaneous::{InstantaneousDecoder, RtwChannel};
+pub use moments::MomentModel;
+pub use multivalued::{MvSet, MvSpace};
+pub use product::NoiseProduct;
+pub use sbl::SblPlan;
+pub use superposition::Superposition;

@@ -1,0 +1,165 @@
+//! Moment models: the even moments of each carrier family.
+//!
+//! The expectation of a product of independent zero-mean sources factorizes
+//! into per-source moments; a [`MomentModel`] supplies `E[N^k]` for the
+//! carrier family in use, which is all the symbolic algebra needs.
+
+/// Even-moment model of a basis carrier family.
+///
+/// All supported families are symmetric about zero, so every odd moment is
+/// exactly zero; the model only has to provide the even ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum MomentModel {
+    /// Uniform noise on `[-a, a]`: `E[N^{2k}] = a^{2k} / (2k + 1)`.
+    Uniform {
+        /// Half-range `a` of the distribution.
+        amplitude: f64,
+    },
+    /// Zero-mean Gaussian with standard deviation σ:
+    /// `E[N^{2k}] = σ^{2k} (2k-1)!!`.
+    Gaussian {
+        /// Standard deviation σ.
+        sigma: f64,
+    },
+    /// Random telegraph wave of amplitude `a`: `E[N^{2k}] = a^{2k}`.
+    Rtw {
+        /// Wave amplitude `a`.
+        amplitude: f64,
+    },
+    /// Unit-amplitude sinusoid with random phase:
+    /// `E[N^{2k}] = C(2k, k) / 4^k` (e.g. 1/2, 3/8, 5/16, ...).
+    Sinusoid,
+}
+
+impl MomentModel {
+    /// The paper's default carrier: uniform on `[-0.5, 0.5]` (variance 1/12).
+    pub fn uniform_half() -> Self {
+        MomentModel::Uniform { amplitude: 0.5 }
+    }
+
+    /// Unit-variance Gaussian carriers.
+    pub fn standard_gaussian() -> Self {
+        MomentModel::Gaussian { sigma: 1.0 }
+    }
+
+    /// ±1 random telegraph waves.
+    pub fn unit_rtw() -> Self {
+        MomentModel::Rtw { amplitude: 1.0 }
+    }
+
+    /// `E[N^k]` of a single basis source under this model.
+    ///
+    /// Odd moments are zero for every supported family; `E[N^0] = 1`.
+    pub fn moment(&self, k: u32) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k % 2 == 1 {
+            return 0.0;
+        }
+        let half = k / 2;
+        match *self {
+            MomentModel::Uniform { amplitude } => amplitude.powi(k as i32) / (k as f64 + 1.0),
+            MomentModel::Gaussian { sigma } => {
+                sigma.powi(k as i32) * double_factorial_odd(k - 1)
+            }
+            MomentModel::Rtw { amplitude } => amplitude.powi(k as i32),
+            MomentModel::Sinusoid => binomial(k as u64, half as u64) / 4f64.powi(half as i32),
+        }
+    }
+
+    /// The variance `E[N²]` of a single source.
+    pub fn variance(&self) -> f64 {
+        self.moment(2)
+    }
+}
+
+impl Default for MomentModel {
+    fn default() -> Self {
+        MomentModel::uniform_half()
+    }
+}
+
+/// (2k−1)!! = 1·3·5···(2k−1) computed as a float, with (−1)!! = 1.
+fn double_factorial_odd(n: u32) -> f64 {
+    let mut acc = 1.0;
+    let mut i = n as i64;
+    while i >= 1 {
+        acc *= i as f64;
+        i -= 2;
+    }
+    acc
+}
+
+/// Binomial coefficient as a float (exact for the small arguments used here).
+fn binomial(n: u64, k: u64) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_moments_vanish() {
+        for model in [
+            MomentModel::uniform_half(),
+            MomentModel::standard_gaussian(),
+            MomentModel::unit_rtw(),
+            MomentModel::Sinusoid,
+        ] {
+            for k in [1, 3, 5, 7] {
+                assert_eq!(model.moment(k), 0.0, "{model:?} k={k}");
+            }
+            assert_eq!(model.moment(0), 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_moments_match_closed_form() {
+        let m = MomentModel::uniform_half();
+        assert!((m.moment(2) - 1.0 / 12.0).abs() < 1e-15);
+        assert!((m.moment(4) - 1.0 / 80.0).abs() < 1e-15);
+        assert!((m.moment(6) - 0.5f64.powi(6) / 7.0).abs() < 1e-15);
+        assert!((m.variance() - 1.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gaussian_moments_follow_double_factorial() {
+        let m = MomentModel::standard_gaussian();
+        assert_eq!(m.moment(2), 1.0);
+        assert_eq!(m.moment(4), 3.0);
+        assert_eq!(m.moment(6), 15.0);
+        let scaled = MomentModel::Gaussian { sigma: 2.0 };
+        assert_eq!(scaled.moment(2), 4.0);
+        assert_eq!(scaled.moment(4), 48.0);
+    }
+
+    #[test]
+    fn rtw_even_moments_are_powers_of_amplitude() {
+        let m = MomentModel::unit_rtw();
+        assert_eq!(m.moment(2), 1.0);
+        assert_eq!(m.moment(8), 1.0);
+        let scaled = MomentModel::Rtw { amplitude: 3.0 };
+        assert_eq!(scaled.moment(2), 9.0);
+    }
+
+    #[test]
+    fn sinusoid_moments() {
+        let m = MomentModel::Sinusoid;
+        assert!((m.moment(2) - 0.5).abs() < 1e-15);
+        assert!((m.moment(4) - 0.375).abs() < 1e-15);
+        assert!((m.moment(6) - 0.3125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(MomentModel::default(), MomentModel::uniform_half());
+    }
+}

@@ -1,0 +1,500 @@
+//! Multi-valued noise-based logic.
+//!
+//! Reference [14] of the NBL-SAT paper (Kish, *"Noise-based logic: binary,
+//! multi-valued, or fuzzy …"*) observes that the carrier algebra is not
+//! limited to binary variables: an `L`-valued variable can be represented by
+//! `L` pairwise-independent basis carriers, one per value, and a wire can
+//! carry the additive superposition of any subset of the resulting
+//! multi-valued *states* (one carrier chosen per variable). This module
+//! implements that representation:
+//!
+//! * [`MvSpace`] — a mixed-radix variable space with one [`BasisId`] per
+//!   (variable, value) pair,
+//! * state products, the all-states superposition (the multi-valued analogue
+//!   of Eq. (1) of the paper) and value binding,
+//! * [`MvSet`] — set algebra over states, mirroring [`MintermSet`](crate::MintermSet)
+//!   for the binary case.
+//!
+//! Together these are the substrate a multi-valued constraint problem (e.g.
+//! graph coloring, which the workspace's `cnf` crate otherwise encodes into
+//! binary CNF) needs in order to be checked by correlation exactly like
+//! NBL-SAT checks CNF instances.
+
+use crate::basis::BasisId;
+use crate::product::NoiseProduct;
+use crate::superposition::Superposition;
+use std::fmt;
+
+/// Largest number of states for which explicit enumeration is allowed.
+pub const MV_STATE_LIMIT: u64 = 1 << 24;
+
+/// A multi-valued variable space: variable `i` ranges over
+/// `0..domain_sizes[i]` and owns one basis carrier per value.
+///
+/// ```
+/// use nbl_logic::multivalued::MvSpace;
+///
+/// // Two ternary variables (e.g. two vertices to be 3-colored).
+/// let space = MvSpace::new(vec![3, 3]);
+/// assert_eq!(space.num_states(), 9);
+/// assert_eq!(space.num_carriers(), 6);
+/// let state = space.state_product(&[2, 1]);
+/// assert_eq!(state.num_distinct_bases(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvSpace {
+    domain_sizes: Vec<usize>,
+    carrier_offsets: Vec<usize>,
+}
+
+impl MvSpace {
+    /// Creates a space with the given per-variable domain sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any domain is empty or the total state count exceeds
+    /// [`MV_STATE_LIMIT`].
+    pub fn new(domain_sizes: Vec<usize>) -> Self {
+        assert!(
+            domain_sizes.iter().all(|&d| d >= 1),
+            "every variable needs at least one value"
+        );
+        let states: u64 = domain_sizes.iter().map(|&d| d as u64).product();
+        assert!(
+            states <= MV_STATE_LIMIT,
+            "state space of {states} states exceeds the supported limit"
+        );
+        let mut carrier_offsets = Vec::with_capacity(domain_sizes.len());
+        let mut offset = 0usize;
+        for &d in &domain_sizes {
+            carrier_offsets.push(offset);
+            offset += d;
+        }
+        MvSpace {
+            domain_sizes,
+            carrier_offsets,
+        }
+    }
+
+    /// Creates a space of `num_vars` variables that all share the same domain size.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MvSpace::new`].
+    pub fn uniform(num_vars: usize, domain_size: usize) -> Self {
+        MvSpace::new(vec![domain_size; num_vars])
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.domain_sizes.len()
+    }
+
+    /// Domain size of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn domain_size(&self, var: usize) -> usize {
+        self.domain_sizes[var]
+    }
+
+    /// Total number of states (the product of the domain sizes).
+    pub fn num_states(&self) -> u64 {
+        self.domain_sizes.iter().map(|&d| d as u64).product()
+    }
+
+    /// Total number of basis carriers allocated (the sum of the domain sizes).
+    pub fn num_carriers(&self) -> usize {
+        self.domain_sizes.iter().sum()
+    }
+
+    /// The basis carrier representing `variable = value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable or value is out of range.
+    pub fn carrier(&self, var: usize, value: usize) -> BasisId {
+        assert!(var < self.num_vars(), "variable {var} out of range");
+        assert!(
+            value < self.domain_sizes[var],
+            "value {value} out of range for variable {var}"
+        );
+        BasisId::new(self.carrier_offsets[var] + value)
+    }
+
+    /// The noise product representing one complete state (one value per variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple length or any value is out of range.
+    pub fn state_product(&self, values: &[usize]) -> NoiseProduct {
+        assert_eq!(
+            values.len(),
+            self.num_vars(),
+            "state tuple must assign every variable"
+        );
+        NoiseProduct::from_bases(
+            values
+                .iter()
+                .enumerate()
+                .map(|(var, &value)| self.carrier(var, value)),
+        )
+    }
+
+    /// Converts a state index (mixed-radix, variable 0 least significant) to a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn index_to_tuple(&self, mut index: u64) -> Vec<usize> {
+        assert!(index < self.num_states(), "state index out of range");
+        let mut tuple = Vec::with_capacity(self.num_vars());
+        for &d in &self.domain_sizes {
+            tuple.push((index % d as u64) as usize);
+            index /= d as u64;
+        }
+        tuple
+    }
+
+    /// Converts a tuple to its mixed-radix state index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple length or any value is out of range.
+    pub fn tuple_to_index(&self, values: &[usize]) -> u64 {
+        assert_eq!(values.len(), self.num_vars());
+        let mut index = 0u64;
+        let mut scale = 1u64;
+        for (var, &value) in values.iter().enumerate() {
+            assert!(value < self.domain_sizes[var], "value out of range");
+            index += value as u64 * scale;
+            scale *= self.domain_sizes[var] as u64;
+        }
+        index
+    }
+
+    /// The multi-valued analogue of the paper's Eq. (1): the additive
+    /// superposition of every state of the space, optionally with some
+    /// variables bound to fixed values.
+    ///
+    /// `bindings[var] = Some(v)` restricts variable `var` to value `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bindings` has the wrong length or binds an out-of-range value.
+    pub fn all_states(&self, bindings: &[Option<usize>]) -> Superposition {
+        assert_eq!(bindings.len(), self.num_vars());
+        let mut result = Superposition::one();
+        for (var, binding) in bindings.iter().enumerate() {
+            let mut alternatives = Superposition::zero();
+            match binding {
+                Some(value) => {
+                    alternatives
+                        .add_term(NoiseProduct::from_basis(self.carrier(var, *value)), 1.0);
+                }
+                None => {
+                    for value in 0..self.domain_sizes[var] {
+                        alternatives
+                            .add_term(NoiseProduct::from_basis(self.carrier(var, value)), 1.0);
+                    }
+                }
+            }
+            result = result.multiplied_by(&alternatives);
+        }
+        result
+    }
+}
+
+impl fmt::Display for MvSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mv-space of {} variables, {} states, {} carriers",
+            self.num_vars(),
+            self.num_states(),
+            self.num_carriers()
+        )
+    }
+}
+
+/// A set of multi-valued states, with the same set algebra [`MintermSet`](crate::MintermSet)
+/// provides for binary minterms.
+///
+/// ```
+/// use nbl_logic::multivalued::{MvSet, MvSpace};
+///
+/// // "The two ternary variables differ" (a not-equal constraint).
+/// let space = MvSpace::uniform(2, 3);
+/// let diff = MvSet::from_predicate(&space, |t| t[0] != t[1]);
+/// assert_eq!(diff.len(), 6);
+/// assert!(diff.complement().iter_tuples().all(|t| t[0] == t[1]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvSet {
+    space: MvSpace,
+    indices: Vec<u64>,
+}
+
+impl MvSet {
+    /// The empty set over the given space.
+    pub fn empty(space: &MvSpace) -> Self {
+        MvSet {
+            space: space.clone(),
+            indices: Vec::new(),
+        }
+    }
+
+    /// The full state space.
+    pub fn full(space: &MvSpace) -> Self {
+        MvSet {
+            space: space.clone(),
+            indices: (0..space.num_states()).collect(),
+        }
+    }
+
+    /// A set built from explicit state tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tuple is malformed for the space.
+    pub fn from_tuples<I, T>(space: &MvSpace, tuples: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[usize]>,
+    {
+        let mut indices: Vec<u64> = tuples
+            .into_iter()
+            .map(|t| space.tuple_to_index(t.as_ref()))
+            .collect();
+        indices.sort_unstable();
+        indices.dedup();
+        MvSet {
+            space: space.clone(),
+            indices,
+        }
+    }
+
+    /// A set built by evaluating a predicate on every state tuple.
+    pub fn from_predicate<F: FnMut(&[usize]) -> bool>(space: &MvSpace, mut predicate: F) -> Self {
+        let indices = (0..space.num_states())
+            .filter(|&i| predicate(&space.index_to_tuple(i)))
+            .collect();
+        MvSet {
+            space: space.clone(),
+            indices,
+        }
+    }
+
+    /// The space this set lives in.
+    pub fn space(&self) -> &MvSpace {
+        &self.space
+    }
+
+    /// Number of states in the set.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Returns `true` if the set contains the given state tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple is malformed for the space.
+    pub fn contains(&self, tuple: &[usize]) -> bool {
+        self.indices
+            .binary_search(&self.space.tuple_to_index(tuple))
+            .is_ok()
+    }
+
+    /// Iterates over the state tuples of the set.
+    pub fn iter_tuples(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        self.indices.iter().map(|&i| self.space.index_to_tuple(i))
+    }
+
+    /// Union (logical OR of the characteristic functions).
+    pub fn union(&self, other: &MvSet) -> MvSet {
+        let mut indices = self.indices.clone();
+        indices.extend_from_slice(&other.indices);
+        indices.sort_unstable();
+        indices.dedup();
+        MvSet {
+            space: self.space.clone(),
+            indices,
+        }
+    }
+
+    /// Intersection (logical AND).
+    pub fn intersection(&self, other: &MvSet) -> MvSet {
+        MvSet {
+            space: self.space.clone(),
+            indices: self
+                .indices
+                .iter()
+                .copied()
+                .filter(|i| other.indices.binary_search(i).is_ok())
+                .collect(),
+        }
+    }
+
+    /// Complement with respect to the full state space.
+    pub fn complement(&self) -> MvSet {
+        MvSet {
+            space: self.space.clone(),
+            indices: (0..self.space.num_states())
+                .filter(|i| self.indices.binary_search(i).is_err())
+                .collect(),
+        }
+    }
+
+    /// The single-wire NBL encoding of the set: the superposition of the
+    /// noise products of its states.
+    pub fn to_superposition(&self) -> Superposition {
+        Superposition::from_products(
+            self.indices
+                .iter()
+                .map(|&i| self.space.state_product(&self.space.index_to_tuple(i))),
+        )
+    }
+
+    /// Lifts a constraint over a subset of variables to the full space: the
+    /// returned set contains every state whose projection onto `vars`
+    /// satisfies `predicate`. This is the multi-valued analogue of the cube
+    /// subspaces `T_v` the NBL-SAT construction uses per clause literal.
+    pub fn from_constraint<F>(space: &MvSpace, vars: &[usize], mut predicate: F) -> MvSet
+    where
+        F: FnMut(&[usize]) -> bool,
+    {
+        MvSet::from_predicate(space, |tuple| {
+            let projected: Vec<usize> = vars.iter().map(|&v| tuple[v]).collect();
+            predicate(&projected)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::MomentModel;
+
+    #[test]
+    fn space_bookkeeping() {
+        let space = MvSpace::new(vec![2, 3, 4]);
+        assert_eq!(space.num_vars(), 3);
+        assert_eq!(space.num_states(), 24);
+        assert_eq!(space.num_carriers(), 9);
+        assert_eq!(space.domain_size(1), 3);
+        assert!(space.to_string().contains("24 states"));
+        // Carriers are distinct across (var, value) pairs.
+        let mut seen = std::collections::HashSet::new();
+        for var in 0..3 {
+            for value in 0..space.domain_size(var) {
+                assert!(seen.insert(space.carrier(var, value)));
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_index_round_trip() {
+        let space = MvSpace::new(vec![2, 3, 4]);
+        for index in 0..space.num_states() {
+            let tuple = space.index_to_tuple(index);
+            assert_eq!(space.tuple_to_index(&tuple), index);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_domain_rejected() {
+        let _ = MvSpace::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn all_states_expands_to_every_state() {
+        let space = MvSpace::uniform(2, 3);
+        let all = space.all_states(&[None, None]);
+        assert_eq!(all.num_terms(), 9);
+        // Binding variable 0 to value 2 keeps exactly the 3 matching states.
+        let bound = space.all_states(&[Some(2), None]);
+        assert_eq!(bound.num_terms(), 3);
+        for (product, coefficient) in bound.terms() {
+            assert_eq!(coefficient, 1.0);
+            assert_eq!(product.exponent(space.carrier(0, 2)), 1);
+        }
+    }
+
+    #[test]
+    fn distinct_states_are_orthogonal_in_expectation() {
+        let space = MvSpace::uniform(2, 3);
+        let model = MomentModel::uniform_half();
+        let a = space.state_product(&[0, 1]);
+        let b = space.state_product(&[1, 1]);
+        // Different states share at most some carriers; the product contains
+        // at least one carrier with odd exponent, so the expectation vanishes.
+        assert_eq!(a.multiplied_by(&b).expectation(&model), 0.0);
+        // A state correlated with itself has positive expectation.
+        assert!(a.multiplied_by(&a).expectation(&model) > 0.0);
+    }
+
+    #[test]
+    fn set_algebra_matches_predicates() {
+        let space = MvSpace::uniform(2, 3);
+        let diff = MvSet::from_predicate(&space, |t| t[0] != t[1]);
+        let eq = MvSet::from_predicate(&space, |t| t[0] == t[1]);
+        assert_eq!(diff.len(), 6);
+        assert_eq!(eq.len(), 3);
+        assert_eq!(diff.union(&eq).len(), 9);
+        assert!(diff.intersection(&eq).is_empty());
+        assert_eq!(diff.complement(), eq);
+        assert!(diff.contains(&[0, 2]));
+        assert!(!diff.contains(&[2, 2]));
+    }
+
+    #[test]
+    fn triangle_coloring_feasibility() {
+        // Three vertices, all adjacent: 3 colors suffice, 2 do not.
+        for (colors, expect_feasible) in [(3usize, true), (2usize, false)] {
+            let space = MvSpace::uniform(3, colors);
+            let edges = [(0usize, 1usize), (1, 2), (0, 2)];
+            let mut feasible = MvSet::full(&space);
+            for (u, v) in edges {
+                let constraint =
+                    MvSet::from_constraint(&space, &[u, v], |t| t[0] != t[1]);
+                feasible = feasible.intersection(&constraint);
+            }
+            assert_eq!(
+                !feasible.is_empty(),
+                expect_feasible,
+                "{colors}-coloring of a triangle"
+            );
+            if expect_feasible {
+                // Every surviving state really is a proper coloring.
+                for tuple in feasible.iter_tuples() {
+                    for (u, v) in edges {
+                        assert_ne!(tuple[u], tuple[v]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn superposition_term_count_matches_set_size() {
+        let space = MvSpace::uniform(2, 4);
+        let set = MvSet::from_predicate(&space, |t| t[0] + t[1] == 3);
+        let superposition = set.to_superposition();
+        assert_eq!(superposition.num_terms(), set.len());
+    }
+
+    #[test]
+    fn from_tuples_deduplicates() {
+        let space = MvSpace::uniform(2, 2);
+        let set = MvSet::from_tuples(&space, [[0, 1], [0, 1], [1, 1]]);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Exact symbolic noise products.
+
+use crate::basis::BasisId;
+use crate::moments::MomentModel;
+use std::fmt;
+
+/// A product of basis noise sources with non-negative integer exponents,
+/// e.g. `N0² · N3 · N7`.
+///
+/// Because the basis sources are independent and zero-mean, the expectation of
+/// a product factorizes into per-source moments and vanishes as soon as any
+/// source appears with an odd exponent. That single rule is what makes the
+/// NBL-SAT correlation readout work, and [`NoiseProduct::expectation`]
+/// implements it exactly.
+///
+/// The internal representation is a sorted list of `(BasisId, exponent)` pairs
+/// with strictly positive exponents, so equal products compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct NoiseProduct {
+    factors: Vec<(BasisId, u32)>,
+}
+
+impl NoiseProduct {
+    /// The empty product (the multiplicative identity, value 1).
+    pub fn one() -> Self {
+        NoiseProduct::default()
+    }
+
+    /// A product consisting of a single basis source.
+    pub fn from_basis(id: BasisId) -> Self {
+        NoiseProduct {
+            factors: vec![(id, 1)],
+        }
+    }
+
+    /// Builds a product from an iterator of basis sources (repetitions
+    /// accumulate exponents).
+    pub fn from_bases<I: IntoIterator<Item = BasisId>>(bases: I) -> Self {
+        let mut p = NoiseProduct::one();
+        for b in bases {
+            p.multiply_basis(b);
+        }
+        p
+    }
+
+    /// Returns `true` if this is the empty product.
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Number of distinct basis sources in the product.
+    pub fn num_distinct_bases(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|(_, e)| e).sum()
+    }
+
+    /// The exponent of a given basis source (0 if absent).
+    pub fn exponent(&self, id: BasisId) -> u32 {
+        self.factors
+            .binary_search_by_key(&id, |(b, _)| *b)
+            .map(|i| self.factors[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `(BasisId, exponent)` factors in increasing id order.
+    pub fn factors(&self) -> impl Iterator<Item = (BasisId, u32)> + '_ {
+        self.factors.iter().copied()
+    }
+
+    /// Multiplies this product by a single basis source in place.
+    pub fn multiply_basis(&mut self, id: BasisId) {
+        match self.factors.binary_search_by_key(&id, |(b, _)| *b) {
+            Ok(i) => self.factors[i].1 += 1,
+            Err(i) => self.factors.insert(i, (id, 1)),
+        }
+    }
+
+    /// Returns the product of `self` and `other`.
+    pub fn multiplied_by(&self, other: &NoiseProduct) -> NoiseProduct {
+        // Merge two sorted factor lists.
+        let mut out = Vec::with_capacity(self.factors.len() + other.factors.len());
+        let mut a = self.factors.iter().peekable();
+        let mut b = other.factors.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ea)), Some(&&(ib, eb))) => {
+                    if ia == ib {
+                        out.push((ia, ea + eb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        out.push((ia, ea));
+                        a.next();
+                    } else {
+                        out.push((ib, eb));
+                        b.next();
+                    }
+                }
+                (Some(&&f), None) => {
+                    out.push(f);
+                    a.next();
+                }
+                (None, Some(&&f)) => {
+                    out.push(f);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        NoiseProduct { factors: out }
+    }
+
+    /// Returns `true` if every basis source appears with an even exponent,
+    /// i.e. the product has a non-zero expectation.
+    pub fn all_exponents_even(&self) -> bool {
+        self.factors.iter().all(|(_, e)| e % 2 == 0)
+    }
+
+    /// The exact expectation ⟨Π N_i^{e_i}⟩ under the given moment model.
+    ///
+    /// By independence this is `Π ⟨N_i^{e_i}⟩`, which is zero whenever some
+    /// exponent is odd (all supported carriers are symmetric and zero-mean).
+    pub fn expectation(&self, model: &MomentModel) -> f64 {
+        let mut acc = 1.0;
+        for &(_, e) in &self.factors {
+            if e % 2 == 1 {
+                return 0.0;
+            }
+            acc *= model.moment(e);
+        }
+        acc
+    }
+
+    /// Evaluates the product numerically given instantaneous per-source values.
+    ///
+    /// `values[id.index()]` must hold the current sample of source `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some source index is out of range of `values`.
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.factors
+            .iter()
+            .map(|&(b, e)| values[b.index()].powi(e as i32))
+            .product()
+    }
+}
+
+impl fmt::Display for NoiseProduct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, (b, e)) in self.factors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            if *e == 1 {
+                write!(f, "{b}")?;
+            } else {
+                write!(f, "{b}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: usize) -> BasisId {
+        BasisId::new(i)
+    }
+
+    #[test]
+    fn construction_and_exponents() {
+        let p = NoiseProduct::from_bases([b(3), b(1), b(3)]);
+        assert_eq!(p.exponent(b(3)), 2);
+        assert_eq!(p.exponent(b(1)), 1);
+        assert_eq!(p.exponent(b(0)), 0);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.num_distinct_bases(), 2);
+        assert!(!p.is_one());
+        assert!(NoiseProduct::one().is_one());
+    }
+
+    #[test]
+    fn multiplication_merges_factors() {
+        let p = NoiseProduct::from_bases([b(0), b(2)]);
+        let q = NoiseProduct::from_bases([b(2), b(5)]);
+        let r = p.multiplied_by(&q);
+        assert_eq!(r.exponent(b(0)), 1);
+        assert_eq!(r.exponent(b(2)), 2);
+        assert_eq!(r.exponent(b(5)), 1);
+        // multiplication is commutative
+        assert_eq!(r, q.multiplied_by(&p));
+        // identity
+        assert_eq!(p.multiplied_by(&NoiseProduct::one()), p);
+    }
+
+    #[test]
+    fn expectation_rules() {
+        let model = MomentModel::uniform_half();
+        // odd exponent anywhere -> 0
+        assert_eq!(NoiseProduct::from_bases([b(0)]).expectation(&model), 0.0);
+        assert_eq!(
+            NoiseProduct::from_bases([b(0), b(0), b(1)]).expectation(&model),
+            0.0
+        );
+        // squares multiply their variances
+        let sq = NoiseProduct::from_bases([b(0), b(0), b(1), b(1)]);
+        assert!((sq.expectation(&model) - (1.0 / 12.0) * (1.0 / 12.0)).abs() < 1e-18);
+        // fourth moment
+        let fourth = NoiseProduct::from_bases([b(0); 4]);
+        assert!((fourth.expectation(&model) - 1.0 / 80.0).abs() < 1e-18);
+        assert!(sq.all_exponents_even());
+        assert!(!NoiseProduct::from_basis(b(0)).all_exponents_even());
+        assert_eq!(NoiseProduct::one().expectation(&model), 1.0);
+    }
+
+    #[test]
+    fn numeric_evaluation_matches_structure() {
+        let p = NoiseProduct::from_bases([b(0), b(0), b(2)]);
+        let values = [0.5, 9.0, -2.0];
+        assert!((p.evaluate(&values) - 0.25 * -2.0).abs() < 1e-15);
+        assert_eq!(NoiseProduct::one().evaluate(&values), 1.0);
+    }
+
+    #[test]
+    fn display_formats_exponents() {
+        let p = NoiseProduct::from_bases([b(0), b(0), b(3)]);
+        assert_eq!(p.to_string(), "N0^2·N3");
+        assert_eq!(NoiseProduct::one().to_string(), "1");
+    }
+
+    #[test]
+    fn kronecker_delta_property() {
+        // ⟨N_i · N_j⟩ = δ_ij · Var  (Definition 7 of the paper, up to scaling)
+        let model = MomentModel::unit_rtw();
+        let same = NoiseProduct::from_bases([b(4), b(4)]);
+        let diff = NoiseProduct::from_bases([b(4), b(5)]);
+        assert_eq!(same.expectation(&model), 1.0);
+        assert_eq!(diff.expectation(&model), 0.0);
+    }
+
+    #[test]
+    fn hyperspace_product_orthogonality() {
+        // Z_{i,j} = V_i · V_j is orthogonal to every basis V_k (paper §III.A):
+        // ⟨Z_{i,j} · V_k⟩ = 0 for all k.
+        let model = MomentModel::uniform_half();
+        let z = NoiseProduct::from_bases([b(0), b(1)]);
+        for k in 0..4 {
+            let with_vk = z.multiplied_by(&NoiseProduct::from_basis(b(k)));
+            assert_eq!(with_vk.expectation(&model), 0.0, "k={k}");
+        }
+    }
+}

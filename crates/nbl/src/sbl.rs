@@ -1,0 +1,143 @@
+//! Sinusoid-based logic (SBL) planning.
+//!
+//! §V of the paper observes that the noise carriers can be replaced by
+//! sinusoids: with a maximum realizable frequency `F` and a spacing `f`
+//! between adjacent carriers, an SBL engine supports `F / f` variables, and
+//! shrinking `f` requires higher-order low-pass filters. [`SblPlan`] captures
+//! that resource trade-off so experiments can sweep it.
+
+use std::fmt;
+
+/// A frequency-allocation plan for a sinusoid-based logic engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SblPlan {
+    /// Maximum realizable carrier frequency `F` in hertz.
+    pub max_frequency_hz: f64,
+    /// Spacing `f` between adjacent carriers in hertz.
+    pub carrier_spacing_hz: f64,
+    /// Number of cascaded low-pass poles assumed available for DC extraction.
+    pub filter_order: usize,
+}
+
+impl SblPlan {
+    /// Creates a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frequency is not strictly positive, the spacing
+    /// exceeds the maximum frequency, or the filter order is zero.
+    pub fn new(max_frequency_hz: f64, carrier_spacing_hz: f64, filter_order: usize) -> Self {
+        assert!(
+            max_frequency_hz > 0.0 && carrier_spacing_hz > 0.0,
+            "frequencies must be positive"
+        );
+        assert!(
+            carrier_spacing_hz <= max_frequency_hz,
+            "carrier spacing cannot exceed the maximum frequency"
+        );
+        assert!(filter_order > 0, "filter order must be at least 1");
+        SblPlan {
+            max_frequency_hz,
+            carrier_spacing_hz,
+            filter_order,
+        }
+    }
+
+    /// Number of distinct variables the plan supports: `⌊F / f⌋ / 2` carrier
+    /// pairs (each variable needs a carrier for each literal polarity).
+    pub fn supported_variables(&self) -> usize {
+        let carriers = (self.max_frequency_hz / self.carrier_spacing_hz).floor() as usize;
+        carriers / 2
+    }
+
+    /// Total number of carriers (two per variable).
+    pub fn num_carriers(&self) -> usize {
+        self.supported_variables() * 2
+    }
+
+    /// A simple circuit-complexity proxy: the paper notes that smaller `f`
+    /// needs higher-order filters. We model the required order as the number
+    /// of octaves between the carrier spacing and the maximum frequency, and
+    /// report whether the plan's filter budget covers it.
+    pub fn required_filter_order(&self) -> usize {
+        (self.max_frequency_hz / self.carrier_spacing_hz)
+            .log2()
+            .ceil()
+            .max(1.0) as usize
+    }
+
+    /// Returns `true` if the plan's filter budget meets the requirement.
+    pub fn is_feasible(&self) -> bool {
+        self.filter_order >= self.required_filter_order()
+    }
+
+    /// The settling time (in carrier-spacing periods) a first-order section
+    /// needs to resolve adjacent carriers; a rough latency proxy `≈ 1 / f`
+    /// scaled by the filter order.
+    pub fn settling_time_s(&self) -> f64 {
+        self.filter_order as f64 / self.carrier_spacing_hz
+    }
+}
+
+impl fmt::Display for SblPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SBL plan: F={:.3e} Hz, f={:.3e} Hz, {} variables, filter order {}/{}",
+            self.max_frequency_hz,
+            self.carrier_spacing_hz,
+            self.supported_variables(),
+            self.filter_order,
+            self.required_filter_order()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_capacity() {
+        // 10 GHz max, 1 MHz spacing -> 10_000 carriers -> 5_000 variables.
+        let plan = SblPlan::new(10e9, 1e6, 16);
+        assert_eq!(plan.supported_variables(), 5_000);
+        assert_eq!(plan.num_carriers(), 10_000);
+    }
+
+    #[test]
+    fn tighter_spacing_needs_higher_order_filters() {
+        let coarse = SblPlan::new(1e9, 1e7, 8);
+        let fine = SblPlan::new(1e9, 1e4, 8);
+        assert!(fine.required_filter_order() > coarse.required_filter_order());
+        assert!(coarse.is_feasible());
+        assert!(!fine.is_feasible());
+    }
+
+    #[test]
+    fn settling_time_scales_with_order_and_spacing() {
+        let a = SblPlan::new(1e9, 1e6, 2);
+        let b = SblPlan::new(1e9, 1e6, 4);
+        let c = SblPlan::new(1e9, 1e5, 2);
+        assert!(b.settling_time_s() > a.settling_time_s());
+        assert!(c.settling_time_s() > a.settling_time_s());
+    }
+
+    #[test]
+    fn display_reports_capacity() {
+        let plan = SblPlan::new(1e9, 1e6, 10);
+        assert!(plan.to_string().contains("500 variables"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_spacing_rejected() {
+        let _ = SblPlan::new(1e6, 1e9, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_filter_order_rejected() {
+        let _ = SblPlan::new(1e9, 1e6, 0);
+    }
+}

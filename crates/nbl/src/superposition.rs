@@ -1,0 +1,276 @@
+//! Additive superpositions of noise products.
+
+use crate::basis::BasisId;
+use crate::moments::MomentModel;
+use crate::product::NoiseProduct;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite linear combination of [`NoiseProduct`]s with real coefficients.
+///
+/// This is the single-wire signal representation of NBL: an additive
+/// superposition of (products of) basis noise sources. Superpositions form a
+/// commutative algebra under addition and multiplication; expectations are
+/// linear and factorize per product.
+///
+/// The representation is canonical (terms keyed by product, zero coefficients
+/// dropped), so algebraically equal superpositions compare equal.
+///
+/// ```
+/// use nbl_logic::{BasisId, MomentModel, NoiseProduct, Superposition};
+/// let n0 = BasisId::new(0);
+/// let n1 = BasisId::new(1);
+/// // (N0 + N1) · N0 = N0² + N0·N1, with expectation Var(N0).
+/// let sum = Superposition::from_products([NoiseProduct::from_basis(n0), NoiseProduct::from_basis(n1)]);
+/// let product = sum.multiplied_by(&Superposition::from_products([NoiseProduct::from_basis(n0)]));
+/// assert_eq!(product.num_terms(), 2);
+/// let model = MomentModel::uniform_half();
+/// assert!((product.expectation(&model) - 1.0 / 12.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Superposition {
+    terms: BTreeMap<NoiseProductKey, (NoiseProduct, f64)>,
+}
+
+/// Sortable key wrapper for products (BTreeMap requires `Ord`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct NoiseProductKey(Vec<(u32, u32)>);
+
+fn key_of(p: &NoiseProduct) -> NoiseProductKey {
+    NoiseProductKey(p.factors().map(|(b, e)| (b.index() as u32, e)).collect())
+}
+
+impl Superposition {
+    /// The zero superposition (empty sum).
+    pub fn zero() -> Self {
+        Superposition::default()
+    }
+
+    /// The constant 1 (the empty product with coefficient one).
+    pub fn one() -> Self {
+        let mut s = Superposition::zero();
+        s.add_term(NoiseProduct::one(), 1.0);
+        s
+    }
+
+    /// A superposition holding a single basis source.
+    pub fn from_basis(id: BasisId) -> Self {
+        let mut s = Superposition::zero();
+        s.add_term(NoiseProduct::from_basis(id), 1.0);
+        s
+    }
+
+    /// Builds a unit-coefficient superposition from an iterator of products.
+    pub fn from_products<I: IntoIterator<Item = NoiseProduct>>(products: I) -> Self {
+        let mut s = Superposition::zero();
+        for p in products {
+            s.add_term(p, 1.0);
+        }
+        s
+    }
+
+    /// Adds `coefficient ·  product` to the superposition.
+    pub fn add_term(&mut self, product: NoiseProduct, coefficient: f64) {
+        if coefficient == 0.0 {
+            return;
+        }
+        let key = key_of(&product);
+        let entry = self.terms.entry(key).or_insert((product, 0.0));
+        entry.1 += coefficient;
+        if entry.1 == 0.0 {
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, (_, c))| *c == 0.0)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// Number of (non-zero) terms in the superposition.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the superposition is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(product, coefficient)` terms.
+    pub fn terms(&self) -> impl Iterator<Item = (&NoiseProduct, f64)> + '_ {
+        self.terms.values().map(|(p, c)| (p, *c))
+    }
+
+    /// The coefficient of a given product (0 if absent).
+    pub fn coefficient(&self, product: &NoiseProduct) -> f64 {
+        self.terms
+            .get(&key_of(product))
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+
+    /// Returns the sum of `self` and `other`.
+    pub fn added_to(&self, other: &Superposition) -> Superposition {
+        let mut out = self.clone();
+        for (p, c) in other.terms() {
+            out.add_term(p.clone(), c);
+        }
+        out
+    }
+
+    /// Returns the product of `self` and `other` (full distribution).
+    ///
+    /// The number of result terms is at most `self.num_terms() *
+    /// other.num_terms()`; callers expanding large NBL instances should watch
+    /// this growth (the paper itself notes the `O(2^{nm})` product count).
+    pub fn multiplied_by(&self, other: &Superposition) -> Superposition {
+        let mut out = Superposition::zero();
+        for (pa, ca) in self.terms() {
+            for (pb, cb) in other.terms() {
+                out.add_term(pa.multiplied_by(pb), ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Scales every coefficient by `factor`.
+    pub fn scaled(&self, factor: f64) -> Superposition {
+        if factor == 0.0 {
+            return Superposition::zero();
+        }
+        let mut out = Superposition::zero();
+        for (p, c) in self.terms() {
+            out.add_term(p.clone(), c * factor);
+        }
+        out
+    }
+
+    /// The exact expectation of the superposition under a moment model
+    /// (linearity of expectation plus per-product factorization).
+    pub fn expectation(&self, model: &MomentModel) -> f64 {
+        self.terms()
+            .map(|(p, c)| c * p.expectation(model))
+            .sum()
+    }
+
+    /// Evaluates the superposition numerically for one set of instantaneous
+    /// basis-source values.
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.terms().map(|(p, c)| c * p.evaluate(values)).sum()
+    }
+}
+
+impl fmt::Display for Superposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (p, c)) in self.terms().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if (c - 1.0).abs() < f64::EPSILON {
+                write!(f, "{p}")?;
+            } else {
+                write!(f, "{c}·{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: usize) -> BasisId {
+        BasisId::new(i)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Superposition::zero().is_zero());
+        assert_eq!(Superposition::one().num_terms(), 1);
+        assert_eq!(
+            Superposition::one().expectation(&MomentModel::uniform_half()),
+            1.0
+        );
+    }
+
+    #[test]
+    fn addition_merges_and_cancels() {
+        let mut s = Superposition::from_basis(b(0));
+        s.add_term(NoiseProduct::from_basis(b(0)), 2.0);
+        assert_eq!(s.num_terms(), 1);
+        assert_eq!(s.coefficient(&NoiseProduct::from_basis(b(0))), 3.0);
+        s.add_term(NoiseProduct::from_basis(b(0)), -3.0);
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn distribution_of_products() {
+        // (N0 + N1)(N2 + N3) has 4 terms, all cross products.
+        let a = Superposition::from_basis(b(0)).added_to(&Superposition::from_basis(b(1)));
+        let c = Superposition::from_basis(b(2)).added_to(&Superposition::from_basis(b(3)));
+        let p = a.multiplied_by(&c);
+        assert_eq!(p.num_terms(), 4);
+        assert_eq!(p.expectation(&MomentModel::uniform_half()), 0.0);
+    }
+
+    #[test]
+    fn self_correlation_reads_out_variance() {
+        // ⟨(N0 + N1)·N0⟩ = Var(N0)
+        let a = Superposition::from_basis(b(0)).added_to(&Superposition::from_basis(b(1)));
+        let p = a.multiplied_by(&Superposition::from_basis(b(0)));
+        let model = MomentModel::uniform_half();
+        assert!((p.expectation(&model) - 1.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaling() {
+        let s = Superposition::from_basis(b(1)).scaled(2.5);
+        assert_eq!(s.coefficient(&NoiseProduct::from_basis(b(1))), 2.5);
+        assert!(s.scaled(0.0).is_zero());
+    }
+
+    #[test]
+    fn numeric_evaluation_matches_expectation_structure() {
+        let s = Superposition::from_products([
+            NoiseProduct::from_bases([b(0), b(1)]),
+            NoiseProduct::from_bases([b(0), b(0)]),
+        ]);
+        let values = [2.0, -1.0];
+        assert!((s.evaluate(&values) - (2.0 * -1.0 + 4.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_output() {
+        let s = Superposition::from_basis(b(0)).scaled(2.0);
+        assert!(s.to_string().contains("2"));
+        assert_eq!(Superposition::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn superposition_capacity_of_hyperspace_subsets() {
+        // With 2 products (hyperspace of Example 1 restricted to two elements),
+        // the number of distinct subset superpositions is 2^2 = 4 including 0.
+        let elements = [
+            NoiseProduct::from_bases([b(0), b(2)]),
+            NoiseProduct::from_bases([b(0), b(3)]),
+        ];
+        let mut distinct = std::collections::HashSet::new();
+        for mask in 0..4u32 {
+            let mut s = Superposition::zero();
+            for (i, e) in elements.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    s.add_term(e.clone(), 1.0);
+                }
+            }
+            distinct.insert(format!("{s}"));
+        }
+        assert_eq!(distinct.len(), 4);
+    }
+}

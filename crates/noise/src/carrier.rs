@@ -1,0 +1,161 @@
+//! The [`CarrierBank`] abstraction and the [`CarrierKind`] selector.
+
+use crate::gaussian::GaussianBank;
+use crate::rtw::RtwBank;
+use crate::sinusoid::SinusoidBank;
+use crate::uniform::UniformBank;
+use std::fmt;
+
+/// A bank of pairwise-independent, zero-mean carrier processes.
+///
+/// A bank owns `num_sources` basis carriers; each call to
+/// [`CarrierBank::next_sample`] advances simulated time by one step and
+/// writes the instantaneous value of every carrier into the caller's buffer.
+///
+/// All implementations guarantee (in expectation over time):
+///
+/// * zero mean per source,
+/// * variance [`CarrierBank::variance`] per source,
+/// * vanishing cross-correlation between distinct sources,
+///
+/// which is exactly the algebra the NBL-SAT correlation check relies on.
+pub trait CarrierBank: fmt::Debug {
+    /// Number of basis sources in the bank.
+    fn num_sources(&self) -> usize;
+
+    /// Advances one time step and fills `out[i]` with the value of source `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_sources()`.
+    fn next_sample(&mut self, out: &mut [f64]);
+
+    /// The per-source variance ⟨N_i²⟩ (e.g. `1/12` for uniform [-0.5, 0.5]).
+    fn variance(&self) -> f64;
+
+    /// Restarts the bank from its initial state (same seed, time zero).
+    fn reset(&mut self);
+
+    /// Human-readable carrier family name (for reports and benches).
+    fn family(&self) -> &'static str;
+}
+
+/// Selector for the carrier families supported by the simulation engines.
+///
+/// `Uniform` is the paper's default (§III.F and §IV); the others realize the
+/// alternatives discussed in §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum CarrierKind {
+    /// Uniform noise on [-0.5, 0.5] (variance 1/12). The paper's default.
+    #[default]
+    Uniform,
+    /// Zero-mean Gaussian noise with unit variance.
+    Gaussian,
+    /// Random telegraph waves: ±1 processes with memoryless switching.
+    Rtw,
+    /// Sinusoids of distinct frequencies (sinusoid-based logic, SBL).
+    Sinusoid,
+}
+
+impl CarrierKind {
+    /// Creates a boxed carrier bank of this family with `num_sources` sources
+    /// seeded from `seed`.
+    pub fn bank(self, num_sources: usize, seed: u64) -> Box<dyn CarrierBank> {
+        match self {
+            CarrierKind::Uniform => Box::new(UniformBank::new(num_sources, seed)),
+            CarrierKind::Gaussian => Box::new(GaussianBank::new(num_sources, seed)),
+            CarrierKind::Rtw => Box::new(RtwBank::new(num_sources, seed)),
+            CarrierKind::Sinusoid => Box::new(SinusoidBank::new(num_sources, seed)),
+        }
+    }
+
+    /// All supported carrier kinds, for ablation sweeps.
+    pub fn all() -> [CarrierKind; 4] {
+        [
+            CarrierKind::Uniform,
+            CarrierKind::Gaussian,
+            CarrierKind::Rtw,
+            CarrierKind::Sinusoid,
+        ]
+    }
+}
+
+impl fmt::Display for CarrierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CarrierKind::Uniform => "uniform",
+            CarrierKind::Gaussian => "gaussian",
+            CarrierKind::Rtw => "rtw",
+            CarrierKind::Sinusoid => "sinusoid",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunningStats;
+
+    #[test]
+    fn factory_builds_every_family() {
+        for kind in CarrierKind::all() {
+            let mut bank = kind.bank(3, 11);
+            assert_eq!(bank.num_sources(), 3);
+            assert!(bank.variance() > 0.0);
+            let mut buf = [0.0; 3];
+            bank.next_sample(&mut buf);
+            assert!(!bank.family().is_empty());
+            assert_eq!(kind.to_string().is_empty(), false);
+        }
+    }
+
+    #[test]
+    fn every_family_has_zero_mean_and_declared_variance() {
+        for kind in CarrierKind::all() {
+            let mut bank = kind.bank(2, 123);
+            let mut buf = [0.0; 2];
+            let mut stats = RunningStats::new();
+            let steps = 50_000;
+            for _ in 0..steps {
+                bank.next_sample(&mut buf);
+                stats.push(buf[0]);
+            }
+            assert!(
+                stats.mean().abs() < 0.02,
+                "{kind}: mean {}",
+                stats.mean()
+            );
+            let declared = bank.variance();
+            assert!(
+                (stats.variance() - declared).abs() / declared < 0.1,
+                "{kind}: variance {} vs declared {declared}",
+                stats.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_reproduces_the_same_stream() {
+        for kind in CarrierKind::all() {
+            let mut bank = kind.bank(2, 5);
+            let mut buf = [0.0; 2];
+            let mut first = Vec::new();
+            for _ in 0..16 {
+                bank.next_sample(&mut buf);
+                first.push(buf);
+            }
+            bank.reset();
+            for step in first {
+                bank.next_sample(&mut buf);
+                assert_eq!(buf, step, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_kind_is_uniform() {
+        assert_eq!(CarrierKind::default(), CarrierKind::Uniform);
+    }
+}

@@ -1,0 +1,162 @@
+//! Correlators: streaming estimation of ⟨X·Y⟩.
+//!
+//! The NBL-SAT check is a single correlation: the engine multiplies the
+//! instance waveform Σ_N with the hyperspace waveform τ_N and looks at the
+//! mean (DC component) of the product. This module provides the streaming
+//! correlator used by that check and a convenience function over slices.
+
+use crate::stats::RunningStats;
+
+/// Streaming correlator that accumulates the mean and variance of the product
+/// of two signals.
+///
+/// ```
+/// use nbl_noise::Correlator;
+/// let mut c = Correlator::new();
+/// for i in 0..1000 {
+///     let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+///     c.push(x, x); // perfectly correlated
+/// }
+/// assert!((c.mean_product() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Correlator {
+    product: RunningStats,
+}
+
+impl Correlator {
+    /// Creates an empty correlator.
+    pub fn new() -> Self {
+        Correlator::default()
+    }
+
+    /// Accumulates one simultaneous observation of the two signals.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.product.push(x * y);
+    }
+
+    /// Accumulates a pre-computed product sample.
+    pub fn push_product(&mut self, xy: f64) {
+        self.product.push(xy);
+    }
+
+    /// Number of accumulated observations.
+    pub fn count(&self) -> u64 {
+        self.product.count()
+    }
+
+    /// The running mean of the product, ⟨X·Y⟩.
+    pub fn mean_product(&self) -> f64 {
+        self.product.mean()
+    }
+
+    /// Sample standard deviation of the product.
+    pub fn std_dev(&self) -> f64 {
+        self.product.std_dev()
+    }
+
+    /// Standard error of the mean product.
+    pub fn std_error(&self) -> f64 {
+        self.product.std_error()
+    }
+
+    /// Returns the underlying statistics accumulator.
+    pub fn stats(&self) -> &RunningStats {
+        &self.product
+    }
+
+    /// Decides whether the mean product is statistically positive: the mean
+    /// must exceed `threshold_sigmas` standard errors.
+    ///
+    /// This is the decision rule behind Algorithm 1 when run on sampled
+    /// (finite-N) data: an UNSAT instance has a mean of exactly zero, so any
+    /// statistically significant positive offset indicates satisfiability.
+    pub fn is_positive(&self, threshold_sigmas: f64) -> bool {
+        if self.count() < 2 {
+            return self.mean_product() > 0.0;
+        }
+        self.mean_product() > threshold_sigmas * self.std_error()
+    }
+}
+
+/// Computes the correlation ⟨X·Y⟩ of two equally long sample slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "signals must have equal length");
+    assert!(!xs.is_empty(), "signals must be non-empty");
+    xs.iter().zip(ys).map(|(x, y)| x * y).sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{RandomSource, Xoshiro256StarStar};
+
+    #[test]
+    fn correlation_of_identical_signals_is_power() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let c = correlation(&xs, &xs);
+        let power = xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64;
+        assert!((c - power).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_independent_noise_is_small() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let xs: Vec<f64> = (0..100_000).map(|_| rng.next_symmetric(0.5)).collect();
+        let ys: Vec<f64> = (0..100_000).map(|_| rng.next_symmetric(0.5)).collect();
+        assert!(correlation(&xs, &ys).abs() < 2e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = correlation(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_signals_panic() {
+        let _ = correlation(&[], &[]);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.next_symmetric(1.0)).collect();
+        let ys: Vec<f64> = (0..1000).map(|_| rng.next_symmetric(1.0)).collect();
+        let mut c = Correlator::new();
+        for (x, y) in xs.iter().zip(&ys) {
+            c.push(*x, *y);
+        }
+        assert_eq!(c.count(), 1000);
+        assert!((c.mean_product() - correlation(&xs, &ys)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positivity_decision() {
+        let mut positive = Correlator::new();
+        let mut zero = Correlator::new();
+        let mut rng = Xoshiro256StarStar::new(3);
+        for _ in 0..10_000 {
+            let noise = rng.next_symmetric(0.1);
+            positive.push_product(1.0 + noise);
+            zero.push_product(rng.next_symmetric(0.1));
+        }
+        assert!(positive.is_positive(3.0));
+        assert!(!zero.is_positive(3.0));
+    }
+
+    #[test]
+    fn is_positive_with_few_samples_falls_back_to_sign() {
+        let mut c = Correlator::new();
+        c.push_product(0.5);
+        assert!(c.is_positive(3.0));
+        let mut d = Correlator::new();
+        d.push_product(-0.5);
+        assert!(!d.is_positive(3.0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the carrier substrate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NoiseError>;
+
+/// Errors produced while configuring carrier banks or statistics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NoiseError {
+    /// A carrier bank was configured with invalid parameters.
+    InvalidCarrierConfig(String),
+    /// A sample buffer did not match the bank's source count.
+    BufferSizeMismatch {
+        /// Size of the buffer supplied by the caller.
+        buffer: usize,
+        /// Number of sources in the bank.
+        sources: usize,
+    },
+    /// Not enough samples were provided to compute the requested statistic.
+    InsufficientSamples {
+        /// Samples required.
+        required: usize,
+        /// Samples available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::InvalidCarrierConfig(msg) => {
+                write!(f, "invalid carrier configuration: {msg}")
+            }
+            NoiseError::BufferSizeMismatch { buffer, sources } => write!(
+                f,
+                "sample buffer holds {buffer} values but the bank has {sources} sources"
+            ),
+            NoiseError::InsufficientSamples {
+                required,
+                available,
+            } => write!(
+                f,
+                "statistic requires at least {required} samples but only {available} were provided"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NoiseError::InvalidCarrierConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(NoiseError::BufferSizeMismatch {
+            buffer: 2,
+            sources: 4
+        }
+        .to_string()
+        .contains('2'));
+        assert!(NoiseError::InsufficientSamples {
+            required: 2,
+            available: 0
+        }
+        .to_string()
+        .contains("2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NoiseError>();
+    }
+}

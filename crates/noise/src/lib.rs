@@ -1,0 +1,61 @@
+//! Carrier substrate for noise-based logic.
+//!
+//! Noise-based logic (NBL) encodes logic values on *reference carriers*:
+//! pairwise-independent, zero-mean stochastic processes (the paper's "basis
+//! noise bits"), or — in the realizations sketched in §V of the paper —
+//! sinusoids of distinct frequencies and random telegraph waves. This crate
+//! provides:
+//!
+//! * deterministic, dependency-light PRNGs ([`rng`]),
+//! * carrier banks generating per-time-step samples for any number of basis
+//!   sources ([`carrier`], [`uniform`], [`gaussian`], [`rtw`], [`sinusoid`]),
+//! * streaming statistics ([`stats`]) including the paper's
+//!   "converged to the third significant digit" stopping rule,
+//! * correlators ([`correlator`]) and empirical orthogonality checks
+//!   ([`orthogonality`]).
+//!
+//! The NBL-SAT engines in the `nbl-sat-core` crate are built directly on these
+//! primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use nbl_noise::{CarrierKind, RunningStats};
+//!
+//! // A bank of 4 independent uniform [-0.5, 0.5] carriers (the paper's default).
+//! let mut bank = CarrierKind::Uniform.bank(4, 42);
+//! let mut buf = [0.0f64; 4];
+//! let mut stats = RunningStats::new();
+//! for _ in 0..1000 {
+//!     bank.next_sample(&mut buf);
+//!     stats.push(buf[0] * buf[1]); // independent sources: mean product -> 0
+//! }
+//! assert!(stats.mean().abs() < 0.05);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod carrier;
+pub mod correlator;
+pub mod error;
+pub mod gaussian;
+pub mod orthogonality;
+pub mod rng;
+pub mod rtw;
+pub mod sinusoid;
+pub mod spectrum;
+pub mod stats;
+pub mod uniform;
+
+pub use carrier::{CarrierBank, CarrierKind};
+pub use correlator::{correlation, Correlator};
+pub use error::{NoiseError, Result};
+pub use gaussian::GaussianBank;
+pub use orthogonality::{max_cross_correlation, OrthogonalityReport};
+pub use rng::{RandomSource, SplitMix64, Xoshiro256StarStar};
+pub use rtw::RtwBank;
+pub use sinusoid::SinusoidBank;
+pub use spectrum::{autocorrelation, dominant_bin, periodogram};
+pub use stats::{ConvergenceTracker, RunningStats};
+pub use uniform::UniformBank;

@@ -1,0 +1,144 @@
+//! Empirical orthogonality checks for carrier banks.
+//!
+//! NBL's correctness rests on the basis carriers being pairwise orthogonal
+//! (⟨N_i·N_j⟩ = δ_ij up to scaling). These helpers measure how close a finite
+//! sample of a carrier bank comes to that ideal; they are used by tests and
+//! by the carrier-ablation experiment (E7).
+
+use crate::carrier::CarrierBank;
+use crate::stats::RunningStats;
+use std::fmt;
+
+/// Result of an empirical orthogonality measurement over a carrier bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrthogonalityReport {
+    /// Number of sources examined.
+    pub num_sources: usize,
+    /// Number of time samples used.
+    pub num_samples: u64,
+    /// Largest |⟨N_i·N_j⟩| observed over all i ≠ j.
+    pub max_cross_correlation: f64,
+    /// Smallest ⟨N_i²⟩ observed (should be close to the bank's variance).
+    pub min_self_correlation: f64,
+    /// Largest |⟨N_i⟩| observed (should be close to zero).
+    pub max_mean: f64,
+}
+
+impl OrthogonalityReport {
+    /// Returns `true` if the bank looks orthogonal at the given tolerance:
+    /// every cross-correlation and mean is below `tolerance` and every
+    /// self-correlation is above `tolerance`.
+    pub fn is_orthogonal(&self, tolerance: f64) -> bool {
+        self.max_cross_correlation < tolerance
+            && self.max_mean < tolerance
+            && self.min_self_correlation > tolerance
+    }
+}
+
+impl fmt::Display for OrthogonalityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sources={} samples={} max|cross|={:.3e} min self={:.3e} max|mean|={:.3e}",
+            self.num_sources,
+            self.num_samples,
+            self.max_cross_correlation,
+            self.min_self_correlation,
+            self.max_mean
+        )
+    }
+}
+
+/// Measures pairwise correlations of a carrier bank over `num_samples` steps.
+///
+/// # Panics
+///
+/// Panics if the bank has fewer than one source or `num_samples == 0`.
+pub fn measure_orthogonality(bank: &mut dyn CarrierBank, num_samples: u64) -> OrthogonalityReport {
+    let n = bank.num_sources();
+    assert!(n >= 1, "bank must have at least one source");
+    assert!(num_samples > 0, "need at least one sample");
+
+    let mut buf = vec![0.0f64; n];
+    let mut means = vec![RunningStats::new(); n];
+    let mut selfs = vec![RunningStats::new(); n];
+    let mut crosses = vec![RunningStats::new(); n * n];
+
+    for _ in 0..num_samples {
+        bank.next_sample(&mut buf);
+        for i in 0..n {
+            means[i].push(buf[i]);
+            selfs[i].push(buf[i] * buf[i]);
+            for j in (i + 1)..n {
+                crosses[i * n + j].push(buf[i] * buf[j]);
+            }
+        }
+    }
+
+    let max_cross = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .map(|(i, j)| crosses[i * n + j].mean().abs())
+        .fold(0.0f64, f64::max);
+    let min_self = selfs
+        .iter()
+        .map(|s| s.mean())
+        .fold(f64::INFINITY, f64::min);
+    let max_mean = means
+        .iter()
+        .map(|s| s.mean().abs())
+        .fold(0.0f64, f64::max);
+
+    OrthogonalityReport {
+        num_sources: n,
+        num_samples,
+        max_cross_correlation: max_cross,
+        min_self_correlation: min_self,
+        max_mean,
+    }
+}
+
+/// Convenience wrapper returning only the largest cross-correlation magnitude.
+pub fn max_cross_correlation(bank: &mut dyn CarrierBank, num_samples: u64) -> f64 {
+    measure_orthogonality(bank, num_samples).max_cross_correlation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::CarrierKind;
+
+    #[test]
+    fn every_carrier_family_is_orthogonal() {
+        for kind in CarrierKind::all() {
+            let mut bank = kind.bank(4, 31);
+            let report = measure_orthogonality(bank.as_mut(), 40_000);
+            assert!(
+                report.is_orthogonal(0.02),
+                "{kind}: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let mut bank = CarrierKind::Uniform.bank(3, 1);
+        let report = measure_orthogonality(bank.as_mut(), 10_000);
+        assert_eq!(report.num_sources, 3);
+        assert_eq!(report.num_samples, 10_000);
+        assert!((report.min_self_correlation - 1.0 / 12.0).abs() < 0.01);
+        assert!(report.to_string().contains("sources=3"));
+    }
+
+    #[test]
+    fn max_cross_correlation_helper() {
+        let mut bank = CarrierKind::Rtw.bank(2, 2);
+        assert!(max_cross_correlation(bank.as_mut(), 20_000) < 0.03);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_samples_panics() {
+        let mut bank = CarrierKind::Uniform.bank(2, 0);
+        let _ = measure_orthogonality(bank.as_mut(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Spectral and autocorrelation analysis of carrier records.
+//!
+//! The §V realizations differ in their spectra — wideband noise is flat,
+//! random telegraph waves are Lorentzian with a corner set by the switching
+//! rate, sinusoids are line spectra — and the low-pass readout filter only
+//! needs the DC bin. These helpers compute periodograms and autocorrelation
+//! sequences of recorded carrier samples so those properties can be verified
+//! and reported (used by the carrier-ablation experiment and by tests).
+
+use std::f64::consts::TAU;
+
+/// Computes the periodogram (squared magnitude of the DFT, normalized by the
+/// record length) of a real-valued sample record at `num_bins` equally spaced
+/// frequencies in `[0, 0.5)` of the sampling rate.
+///
+/// This is a direct O(N·bins) evaluation, which is plenty for the record
+/// lengths used in the experiments and keeps the crate dependency-free.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `num_bins == 0`.
+pub fn periodogram(samples: &[f64], num_bins: usize) -> Vec<f64> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    assert!(num_bins > 0, "need at least one frequency bin");
+    let n = samples.len() as f64;
+    (0..num_bins)
+        .map(|bin| {
+            let freq = 0.5 * bin as f64 / num_bins as f64;
+            let (mut re, mut im) = (0.0f64, 0.0f64);
+            for (t, &x) in samples.iter().enumerate() {
+                let phase = TAU * freq * t as f64;
+                re += x * phase.cos();
+                im -= x * phase.sin();
+            }
+            (re * re + im * im) / n
+        })
+        .collect()
+}
+
+/// Computes the biased autocorrelation sequence `r[k] = (1/N) Σ x[t]·x[t+k]`
+/// for lags `0..max_lag`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `max_lag >= samples.len()`.
+pub fn autocorrelation(samples: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    assert!(
+        max_lag < samples.len(),
+        "max_lag must be smaller than the record length"
+    );
+    let n = samples.len() as f64;
+    (0..=max_lag)
+        .map(|lag| {
+            samples
+                .iter()
+                .zip(&samples[lag..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                / n
+        })
+        .collect()
+}
+
+/// Index of the strongest periodogram bin (ignoring DC when `skip_dc`).
+pub fn dominant_bin(power: &[f64], skip_dc: bool) -> usize {
+    let start = usize::from(skip_dc);
+    power
+        .iter()
+        .enumerate()
+        .skip(start)
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::{CarrierBank, CarrierKind};
+    use crate::rtw::RtwBank;
+
+    fn record(kind: CarrierKind, steps: usize, seed: u64) -> Vec<f64> {
+        let mut bank = kind.bank(1, seed);
+        let mut buf = [0.0];
+        (0..steps)
+            .map(|_| {
+                bank.next_sample(&mut buf);
+                buf[0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sinusoid_has_a_line_spectrum() {
+        let samples = record(CarrierKind::Sinusoid, 4096, 3);
+        let power = periodogram(&samples, 64);
+        let peak = dominant_bin(&power, true);
+        let peak_power = power[peak];
+        // Everything at least 8 bins away from the peak is far below it.
+        for (i, &p) in power.iter().enumerate() {
+            if i >= 1 && i.abs_diff(peak) > 8 {
+                assert!(p < peak_power * 0.05, "bin {i}: {p} vs peak {peak_power}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_noise_spectrum_is_roughly_flat() {
+        let samples = record(CarrierKind::Uniform, 8192, 5);
+        let power = periodogram(&samples, 32);
+        let mean_power: f64 = power[1..].iter().sum::<f64>() / (power.len() - 1) as f64;
+        for &p in &power[1..] {
+            assert!(p < mean_power * 6.0, "white spectrum should have no dominant line");
+        }
+    }
+
+    #[test]
+    fn white_noise_autocorrelation_dies_after_lag_zero() {
+        let samples = record(CarrierKind::Uniform, 50_000, 7);
+        let r = autocorrelation(&samples, 5);
+        assert!((r[0] - 1.0 / 12.0).abs() < 0.005);
+        for &rk in &r[1..] {
+            assert!(rk.abs() < 0.005);
+        }
+    }
+
+    #[test]
+    fn slow_rtw_autocorrelation_decays_geometrically() {
+        // With switch probability p, r[k]/r[0] = (1 - 2p)^k.
+        let mut bank = RtwBank::with_parameters(1, 11, 1.0, 0.1);
+        let mut buf = [0.0];
+        let samples: Vec<f64> = (0..200_000)
+            .map(|_| {
+                bank.next_sample(&mut buf);
+                buf[0]
+            })
+            .collect();
+        let r = autocorrelation(&samples, 4);
+        for k in 1..=4usize {
+            let expected = 0.8f64.powi(k as i32);
+            assert!(
+                (r[k] / r[0] - expected).abs() < 0.03,
+                "lag {k}: {} vs {expected}",
+                r[k] / r[0]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_record_rejected() {
+        let _ = periodogram(&[], 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn excessive_lag_rejected() {
+        let _ = autocorrelation(&[1.0, 2.0], 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Streaming statistics: Welford running moments and the paper's
+//! "converged to the third significant digit" stopping rule.
+
+use std::fmt;
+
+/// Numerically stable streaming mean/variance accumulator (Welford's method).
+///
+/// ```
+/// use nbl_noise::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12); // sample variance
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6e} sd={:.6e}",
+            self.count,
+            self.mean(),
+            self.std_dev()
+        )
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Implements the paper's §IV stopping rule: "each instance is simulated
+/// until the mean value of S_N has converged to the third significant digit
+/// or until the sample cap is reached".
+///
+/// The tracker periodically snapshots the running mean and declares
+/// convergence once `required_stable_checks` consecutive snapshots agree to
+/// `significant_digits` significant digits (values indistinguishable from
+/// zero at `zero_epsilon` are treated as converged-to-zero).
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    significant_digits: u32,
+    check_interval: u64,
+    required_stable_checks: u32,
+    zero_epsilon: f64,
+    last_rounded: Option<f64>,
+    stable_checks: u32,
+    converged_at: Option<u64>,
+}
+
+impl ConvergenceTracker {
+    /// Creates a tracker that checks every `check_interval` samples whether
+    /// the mean is stable to `significant_digits` significant digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `significant_digits == 0` or `check_interval == 0`.
+    pub fn new(significant_digits: u32, check_interval: u64) -> Self {
+        assert!(significant_digits > 0, "need at least one significant digit");
+        assert!(check_interval > 0, "check interval must be positive");
+        ConvergenceTracker {
+            significant_digits,
+            check_interval,
+            required_stable_checks: 3,
+            zero_epsilon: 1e-12,
+            last_rounded: None,
+            stable_checks: 0,
+            converged_at: None,
+        }
+    }
+
+    /// Sets how many consecutive agreeing snapshots are required (default 3).
+    pub fn with_required_stable_checks(mut self, checks: u32) -> Self {
+        self.required_stable_checks = checks.max(1);
+        self
+    }
+
+    /// Sets the magnitude below which a mean is considered exactly zero.
+    pub fn with_zero_epsilon(mut self, epsilon: f64) -> Self {
+        self.zero_epsilon = epsilon.abs();
+        self
+    }
+
+    /// Rounds `x` to the tracker's number of significant digits.
+    pub fn round_significant(&self, x: f64) -> f64 {
+        round_to_significant_digits(x, self.significant_digits)
+    }
+
+    /// Feeds the current sample count and running mean; returns `true` once
+    /// convergence has been declared (and keeps returning `true` thereafter).
+    pub fn observe(&mut self, samples: u64, mean: f64) -> bool {
+        if self.converged_at.is_some() {
+            return true;
+        }
+        if samples == 0 || samples % self.check_interval != 0 {
+            return false;
+        }
+        let rounded = if mean.abs() < self.zero_epsilon {
+            0.0
+        } else {
+            self.round_significant(mean)
+        };
+        match self.last_rounded {
+            Some(prev) if prev == rounded => {
+                self.stable_checks += 1;
+                if self.stable_checks >= self.required_stable_checks {
+                    self.converged_at = Some(samples);
+                    return true;
+                }
+            }
+            _ => {
+                self.stable_checks = 0;
+            }
+        }
+        self.last_rounded = Some(rounded);
+        false
+    }
+
+    /// The sample count at which convergence was declared, if it has been.
+    pub fn converged_at(&self) -> Option<u64> {
+        self.converged_at
+    }
+}
+
+/// Rounds `x` to `digits` significant digits.
+pub fn round_to_significant_digits(x: f64, digits: u32) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let magnitude = x.abs().log10().floor();
+    let factor = 10f64.powf(digits as f64 - 1.0 - magnitude);
+    (x * factor).round() / factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_computation() {
+        let data = [0.3, -1.2, 4.5, 2.2, -0.7, 0.0, 3.3];
+        let stats: RunningStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((stats.mean() - mean).abs() < 1e-12);
+        assert!((stats.variance() - var).abs() < 1e-12);
+        assert!((stats.std_dev() - var.sqrt()).abs() < 1e-12);
+        assert!(stats.std_error() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_single_sample_edge_cases() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i < 40 {
+                left.push(x);
+            } else {
+                right.push(x);
+            }
+        }
+        let mut merged = left;
+        merged.merge(&right);
+        let direct: RunningStats = data.iter().copied().collect();
+        assert_eq!(merged.count(), direct.count());
+        assert!((merged.mean() - direct.mean()).abs() < 1e-12);
+        assert!((merged.variance() - direct.variance()).abs() < 1e-12);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&direct);
+        assert_eq!(empty.count(), direct.count());
+        let mut also = direct;
+        also.merge(&RunningStats::new());
+        assert_eq!(also.count(), direct.count());
+    }
+
+    #[test]
+    fn significant_digit_rounding() {
+        assert_eq!(round_to_significant_digits(0.0012345, 3), 0.00123);
+        assert_eq!(round_to_significant_digits(12345.0, 3), 12300.0);
+        assert_eq!(round_to_significant_digits(-0.0987, 2), -0.099);
+        assert_eq!(round_to_significant_digits(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn convergence_tracker_stabilizes() {
+        let mut tracker = ConvergenceTracker::new(3, 100);
+        // Mean wobbles initially, then stabilizes at 0.0451.
+        let mut converged = None;
+        for step in 1..=2000u64 {
+            let mean = if step < 500 {
+                0.05 + 0.01 * (step as f64 * 0.1).sin()
+            } else {
+                0.0451
+            };
+            if tracker.observe(step, mean) {
+                converged = Some(step);
+                break;
+            }
+        }
+        let at = converged.expect("should converge");
+        assert!(at >= 500);
+        assert_eq!(tracker.converged_at(), Some(at));
+        // Once converged, stays converged.
+        assert!(tracker.observe(at + 100, 99.0));
+    }
+
+    #[test]
+    fn convergence_tracker_zero_mean() {
+        let mut tracker = ConvergenceTracker::new(3, 10).with_zero_epsilon(1e-6);
+        let mut converged = false;
+        for step in 1..=200u64 {
+            if tracker.observe(step, 1e-9) {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged);
+    }
+
+    #[test]
+    fn tracker_only_checks_on_interval() {
+        let mut tracker = ConvergenceTracker::new(3, 1000);
+        assert!(!tracker.observe(1, 1.0));
+        assert!(!tracker.observe(999, 1.0));
+    }
+
+    #[test]
+    fn display_contains_count() {
+        let s: RunningStats = [1.0, 2.0].iter().copied().collect();
+        assert!(s.to_string().contains("n=2"));
+    }
+}

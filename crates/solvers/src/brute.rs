@@ -1,0 +1,124 @@
+//! Exhaustive-enumeration solver (test oracle).
+
+use crate::solver::{SolveResult, Solver, SolverStats};
+use cnf::{Assignment, CnfFormula};
+
+/// A brute-force solver that enumerates all `2^n` assignments.
+///
+/// It is exponential by construction and intended as a trusted oracle for
+/// tests and for small NBL-SAT validation instances, mirroring how the paper
+/// validates its engine on small formulas.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use sat_solvers::{BruteForceSolver, Solver};
+///
+/// let mut solver = BruteForceSolver::new();
+/// assert!(solver.solve(&cnf_formula![[1, 2], [-1, -2]]).is_sat());
+/// assert!(solver.solve(&cnf_formula![[1], [-1]]).is_unsat());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForceSolver {
+    stats: SolverStats,
+    /// Refuse instances with more variables than this (guard against
+    /// accidental exponential blow-up). Default: 24.
+    max_vars: usize,
+}
+
+impl BruteForceSolver {
+    /// Creates a brute-force solver with the default 24-variable limit.
+    pub fn new() -> Self {
+        BruteForceSolver {
+            stats: SolverStats::default(),
+            max_vars: 24,
+        }
+    }
+
+    /// Overrides the variable limit.
+    pub fn with_max_vars(mut self, max_vars: usize) -> Self {
+        self.max_vars = max_vars;
+        self
+    }
+}
+
+impl Solver for BruteForceSolver {
+    /// # Panics
+    ///
+    /// Panics if the formula has more variables than the configured limit.
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+        assert!(
+            formula.num_vars() <= self.max_vars,
+            "brute force limited to {} variables (formula has {})",
+            self.max_vars,
+            formula.num_vars()
+        );
+        self.stats = SolverStats::default();
+        for assignment in Assignment::enumerate_all(formula.num_vars()) {
+            self.stats.assignments_tried += 1;
+            if formula.evaluate(&assignment) {
+                return SolveResult::Satisfiable(assignment);
+            }
+        }
+        SolveResult::Unsatisfiable
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::cnf_formula;
+    use cnf::generators;
+
+    #[test]
+    fn solves_paper_examples() {
+        let mut solver = BruteForceSolver::new();
+        assert!(solver.solve(&generators::example6_sat()).is_sat());
+        assert!(solver.solve(&generators::example7_unsat()).is_unsat());
+        assert!(solver.solve(&generators::section4_sat_instance()).is_sat());
+        assert!(solver
+            .solve(&generators::section4_unsat_instance())
+            .is_unsat());
+    }
+
+    #[test]
+    fn returned_model_is_valid() {
+        let f = cnf_formula![[1, -2, 3], [-1, 2], [2, -3]];
+        let mut solver = BruteForceSolver::new();
+        let result = solver.solve(&f);
+        let model = result.model().expect("satisfiable");
+        assert!(f.evaluate(model));
+        assert!(solver.stats().assignments_tried >= 1);
+        assert_eq!(solver.name(), "brute-force");
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let f = cnf::CnfFormula::new(3);
+        assert!(BruteForceSolver::new().solve(&f).is_sat());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_variables_panics() {
+        let f = cnf::CnfFormula::new(64);
+        let _ = BruteForceSolver::new().solve(&f);
+    }
+
+    #[test]
+    fn max_vars_override() {
+        let f = cnf::CnfFormula::new(26);
+        // 26 unconstrained variables is fine with a raised limit.
+        assert!(BruteForceSolver::new()
+            .with_max_vars(26)
+            .solve(&f)
+            .is_sat());
+    }
+}

@@ -1,0 +1,653 @@
+//! Conflict-driven clause learning (CDCL) solver.
+//!
+//! A modern complete SAT solver in the lineage of GRASP / Chaff / MiniSat
+//! (the paper's references [3]–[7]): two-watched-literal propagation, VSIDS
+//! branching, first-UIP clause learning with non-chronological backjumping,
+//! phase saving and Luby restarts.
+
+use crate::solver::{SolveResult, Solver, SolverStats};
+use cnf::{Assignment, CnfFormula, Literal, Variable};
+
+/// Value of a variable in the solver's trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarValue {
+    Unassigned,
+    True,
+    False,
+}
+
+impl VarValue {
+    fn from_bool(b: bool) -> Self {
+        if b {
+            VarValue::True
+        } else {
+            VarValue::False
+        }
+    }
+}
+
+/// A clause in the solver's database.
+#[derive(Debug, Clone)]
+struct DbClause {
+    literals: Vec<Literal>,
+    learned: bool,
+}
+
+/// Conflict-driven clause-learning SAT solver.
+///
+/// ```
+/// use cnf::generators::pigeonhole;
+/// use sat_solvers::{CdclSolver, Solver};
+/// let mut solver = CdclSolver::new();
+/// assert!(solver.solve(&pigeonhole(4, 3)).is_unsat());
+/// assert!(solver.stats().learned_clauses > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdclSolver {
+    stats: SolverStats,
+    // Per-variable state.
+    values: Vec<VarValue>,
+    levels: Vec<usize>,
+    reasons: Vec<Option<usize>>, // clause index that implied the variable
+    activity: Vec<f64>,
+    saved_phase: Vec<bool>,
+    // Clause database and watches.
+    clauses: Vec<DbClause>,
+    watches: Vec<Vec<usize>>, // indexed by literal code
+    // Trail.
+    trail: Vec<Literal>,
+    trail_limits: Vec<usize>, // trail length at each decision level
+    propagation_head: usize,
+    // Heuristic parameters.
+    activity_increment: f64,
+    activity_decay: f64,
+    restart_base: u64,
+    max_learned: usize,
+}
+
+impl Default for CdclSolver {
+    fn default() -> Self {
+        CdclSolver::new()
+    }
+}
+
+impl CdclSolver {
+    /// Creates a CDCL solver with default parameters.
+    pub fn new() -> Self {
+        CdclSolver {
+            stats: SolverStats::default(),
+            values: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            activity: Vec::new(),
+            saved_phase: Vec::new(),
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            trail: Vec::new(),
+            trail_limits: Vec::new(),
+            propagation_head: 0,
+            activity_increment: 1.0,
+            activity_decay: 0.95,
+            restart_base: 100,
+            max_learned: 10_000,
+        }
+    }
+
+    /// Sets the Luby restart base interval (in conflicts).
+    pub fn with_restart_base(mut self, base: u64) -> Self {
+        self.restart_base = base.max(1);
+        self
+    }
+
+    fn init(&mut self, formula: &CnfFormula) {
+        let n = formula.num_vars();
+        self.values = vec![VarValue::Unassigned; n];
+        self.levels = vec![0; n];
+        self.reasons = vec![None; n];
+        self.activity = vec![0.0; n];
+        self.saved_phase = vec![false; n];
+        self.clauses.clear();
+        self.watches = vec![Vec::new(); 2 * n];
+        self.trail.clear();
+        self.trail_limits.clear();
+        self.propagation_head = 0;
+        self.activity_increment = 1.0;
+        self.stats = SolverStats::default();
+    }
+
+    fn literal_value(&self, lit: Literal) -> VarValue {
+        match self.values[lit.variable().index()] {
+            VarValue::Unassigned => VarValue::Unassigned,
+            VarValue::True => {
+                if lit.is_positive() {
+                    VarValue::True
+                } else {
+                    VarValue::False
+                }
+            }
+            VarValue::False => {
+                if lit.is_positive() {
+                    VarValue::False
+                } else {
+                    VarValue::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_limits.len()
+    }
+
+    fn enqueue(&mut self, lit: Literal, reason: Option<usize>) {
+        let var = lit.variable().index();
+        debug_assert_eq!(self.values[var], VarValue::Unassigned);
+        self.values[var] = VarValue::from_bool(lit.is_positive());
+        self.levels[var] = self.decision_level();
+        self.reasons[var] = reason;
+        self.saved_phase[var] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    /// Adds a clause to the database and registers watches.
+    /// Returns `None` if the clause is empty (immediate conflict at level 0).
+    fn add_clause(&mut self, literals: Vec<Literal>, learned: bool) -> Option<usize> {
+        if literals.is_empty() {
+            return None;
+        }
+        let index = self.clauses.len();
+        // Watch the first two literals (callers arrange for sensible ordering).
+        self.watches[literals[0].code()].push(index);
+        if literals.len() > 1 {
+            self.watches[literals[1].code()].push(index);
+        }
+        self.clauses.push(DbClause { literals, learned });
+        Some(index)
+    }
+
+    /// Propagates all pending assignments; returns a conflicting clause index
+    /// if a conflict is found.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagation_head < self.trail.len() {
+            let lit = self.trail[self.propagation_head];
+            self.propagation_head += 1;
+            let false_lit = !lit; // literals watching `false_lit` must be updated
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let clause_index = watch_list[i];
+                // Single-literal clauses watch their only literal; a wake-up on
+                // its negation is a direct conflict or (re-)assertion.
+                if self.clauses[clause_index].literals.len() == 1 {
+                    let only = self.clauses[clause_index].literals[0];
+                    match self.literal_value(only) {
+                        VarValue::False => {
+                            self.watches[false_lit.code()] = watch_list;
+                            return Some(clause_index);
+                        }
+                        VarValue::Unassigned => {
+                            self.stats.propagations += 1;
+                            self.enqueue(only, Some(clause_index));
+                        }
+                        VarValue::True => {}
+                    }
+                    i += 1;
+                    continue;
+                }
+                // Ensure the falsified literal sits in position 1.
+                {
+                    let clause = &mut self.clauses[clause_index];
+                    if clause.literals[0] == false_lit {
+                        clause.literals.swap(0, 1);
+                    }
+                }
+
+                let first = self.clauses[clause_index].literals[0];
+                if self.literal_value(first) == VarValue::True {
+                    // Clause already satisfied; keep watching.
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut new_watch: Option<usize> = None;
+                for k in 2..self.clauses[clause_index].literals.len() {
+                    let cand = self.clauses[clause_index].literals[k];
+                    if self.literal_value(cand) != VarValue::False {
+                        new_watch = Some(k);
+                        break;
+                    }
+                }
+                match new_watch {
+                    Some(k) => {
+                        // Move the new watch into position 1 and transfer the watch.
+                        self.clauses[clause_index].literals.swap(1, k);
+                        let moved = self.clauses[clause_index].literals[1];
+                        self.watches[moved.code()].push(clause_index);
+                        watch_list.swap_remove(i);
+                        // do not increment i: swapped element takes this slot
+                    }
+                    None => {
+                        // Clause is unit or conflicting under the current assignment.
+                        match self.literal_value(first) {
+                            VarValue::False => {
+                                self.watches[false_lit.code()] = watch_list;
+                                return Some(clause_index);
+                            }
+                            VarValue::Unassigned => {
+                                self.stats.propagations += 1;
+                                self.enqueue(first, Some(clause_index));
+                                i += 1;
+                            }
+                            VarValue::True => {
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            self.watches[false_lit.code()] = watch_list;
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, var: usize) {
+        self.activity[var] += self.activity_increment;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.activity_increment *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.activity_increment /= self.activity_decay;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (with the
+    /// asserting literal in position 0) and the backjump level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Literal>, usize) {
+        let current_level = self.decision_level();
+        let mut learned: Vec<Literal> = Vec::new();
+        let mut seen = vec![false; self.values.len()];
+        let mut counter = 0usize;
+        let mut trail_index = self.trail.len();
+        let mut resolve_literal: Option<Literal> = None;
+        let mut reason_clause = conflict;
+
+        loop {
+            let reason_literals = self.clauses[reason_clause].literals.clone();
+            for lit in reason_literals {
+                if Some(lit) == resolve_literal.map(|l| l) {
+                    continue;
+                }
+                let var = lit.variable().index();
+                if seen[var] || self.levels[var] == 0 {
+                    continue;
+                }
+                seen[var] = true;
+                self.bump_activity(var);
+                if self.levels[var] == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(lit);
+                }
+            }
+            // Find the next literal on the trail (at the current level) to resolve on.
+            loop {
+                trail_index -= 1;
+                let lit = self.trail[trail_index];
+                if seen[lit.variable().index()] {
+                    resolve_literal = Some(lit);
+                    break;
+                }
+            }
+            let lit = resolve_literal.expect("found a literal to resolve on");
+            counter -= 1;
+            seen[lit.variable().index()] = false;
+            if counter == 0 {
+                // lit is the first UIP; the learned clause asserts its negation.
+                learned.insert(0, !lit);
+                break;
+            }
+            reason_clause = self.reasons[lit.variable().index()]
+                .expect("non-decision literal must have a reason");
+            // When resolving on `lit`, skip it while scanning its reason clause.
+            resolve_literal = Some(lit);
+        }
+
+        // Backjump level: the highest level among the non-asserting literals.
+        let backjump = learned[1..]
+            .iter()
+            .map(|l| self.levels[l.variable().index()])
+            .max()
+            .unwrap_or(0);
+        // Put a literal from the backjump level into watch position 1 so that
+        // the learned clause wakes up correctly after backjumping.
+        if learned.len() > 1 {
+            let pos = learned[1..]
+                .iter()
+                .position(|l| self.levels[l.variable().index()] == backjump)
+                .map(|p| p + 1)
+                .unwrap_or(1);
+            learned.swap(1, pos);
+        }
+        (learned, backjump)
+    }
+
+    fn backjump(&mut self, level: usize) {
+        while self.decision_level() > level {
+            let limit = self.trail_limits.pop().expect("level > 0");
+            while self.trail.len() > limit {
+                let lit = self.trail.pop().expect("trail non-empty");
+                let var = lit.variable().index();
+                self.values[var] = VarValue::Unassigned;
+                self.reasons[var] = None;
+            }
+        }
+        self.propagation_head = self.trail.len().min(self.propagation_head);
+        self.propagation_head = self.trail.len();
+    }
+
+    fn pick_branch_variable(&self) -> Option<usize> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == VarValue::Unassigned)
+            .max_by(|a, b| {
+                self.activity[a.0]
+                    .partial_cmp(&self.activity[b.0])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn reduce_learned_clauses(&mut self) {
+        // Simple clause-database management: when too many learned clauses
+        // accumulate, drop the longer half that is not currently a reason.
+        let learned_indices: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learned)
+            .map(|(i, _)| i)
+            .collect();
+        if learned_indices.len() <= self.max_learned {
+            return;
+        }
+        let reasons: std::collections::HashSet<usize> =
+            self.reasons.iter().flatten().copied().collect();
+        let mut by_len: Vec<usize> = learned_indices
+            .into_iter()
+            .filter(|i| !reasons.contains(i))
+            .collect();
+        by_len.sort_by_key(|&i| std::cmp::Reverse(self.clauses[i].literals.len()));
+        let to_remove: std::collections::HashSet<usize> =
+            by_len.into_iter().take(self.max_learned / 2).collect();
+        if to_remove.is_empty() {
+            return;
+        }
+        // Rebuild the clause database and watches without the removed clauses.
+        let mut remap = vec![usize::MAX; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - to_remove.len());
+        for (i, clause) in self.clauses.drain(..).enumerate() {
+            if to_remove.contains(&i) {
+                continue;
+            }
+            remap[i] = new_clauses.len();
+            new_clauses.push(clause);
+        }
+        self.clauses = new_clauses;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            self.watches[clause.literals[0].code()].push(i);
+            if clause.literals.len() > 1 {
+                self.watches[clause.literals[1].code()].push(i);
+            }
+        }
+        for r in &mut self.reasons {
+            if let Some(old) = *r {
+                *r = if remap[old] == usize::MAX {
+                    None
+                } else {
+                    Some(remap[old])
+                };
+            }
+        }
+    }
+
+    fn extract_model(&self) -> Assignment {
+        Assignment::from_bools(
+            self.values
+                .iter()
+                .map(|v| matches!(v, VarValue::True))
+                .collect(),
+        )
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...), 0-indexed.
+fn luby(i: u64) -> u64 {
+    fn luby_one_indexed(i: u64) -> u64 {
+        let mut k = 1u64;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            1u64 << (k - 1)
+        } else {
+            luby_one_indexed(i - ((1u64 << (k - 1)) - 1))
+        }
+    }
+    luby_one_indexed(i + 1)
+}
+
+impl Solver for CdclSolver {
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+        self.init(formula);
+        // Load original clauses; handle empty and unit clauses up front.
+        for clause in formula.iter() {
+            let mut lits: Vec<Literal> = clause.literals().to_vec();
+            lits.sort();
+            lits.dedup();
+            // Skip tautologies.
+            if lits.iter().any(|&l| lits.binary_search(&!l).is_ok()) {
+                continue;
+            }
+            if lits.is_empty() {
+                return SolveResult::Unsatisfiable;
+            }
+            if lits.len() == 1 {
+                match self.literal_value(lits[0]) {
+                    VarValue::False => return SolveResult::Unsatisfiable,
+                    VarValue::True => continue,
+                    VarValue::Unassigned => {
+                        let idx = self.add_clause(lits.clone(), false).expect("non-empty");
+                        self.enqueue(lits[0], Some(idx));
+                        continue;
+                    }
+                }
+            }
+            self.add_clause(lits, false);
+        }
+        if self.propagate().is_some() {
+            return SolveResult::Unsatisfiable;
+        }
+
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_count = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SolveResult::Unsatisfiable;
+                }
+                let (learned, backjump_level) = self.analyze(conflict);
+                self.decay_activities();
+                self.backjump(backjump_level);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    // Unit learned clause: assert at level 0.
+                    let idx = self.add_clause(learned, true).expect("non-empty");
+                    self.stats.learned_clauses += 1;
+                    if self.literal_value(asserting) == VarValue::Unassigned {
+                        self.enqueue(asserting, Some(idx));
+                    } else if self.literal_value(asserting) == VarValue::False {
+                        return SolveResult::Unsatisfiable;
+                    }
+                } else {
+                    let idx = self.add_clause(learned, true).expect("non-empty");
+                    self.stats.learned_clauses += 1;
+                    self.enqueue(asserting, Some(idx));
+                }
+                self.reduce_learned_clauses();
+            } else {
+                // Restart check.
+                let limit = self.restart_base * luby(restart_count);
+                if conflicts_since_restart >= limit {
+                    restart_count += 1;
+                    conflicts_since_restart = 0;
+                    self.stats.restarts += 1;
+                    self.backjump(0);
+                    continue;
+                }
+                // Branch.
+                match self.pick_branch_variable() {
+                    None => {
+                        let model = self.extract_model();
+                        debug_assert!(formula.evaluate(&model));
+                        return SolveResult::Satisfiable(model);
+                    }
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        self.trail_limits.push(self.trail.len());
+                        let phase = self.saved_phase[var];
+                        self.enqueue(Literal::with_phase(Variable::new(var), phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "cdcl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceSolver;
+    use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn solves_paper_instances() {
+        let mut solver = CdclSolver::new();
+        assert!(solver.solve(&generators::example6_sat()).is_sat());
+        assert!(solver.solve(&generators::example7_unsat()).is_unsat());
+        assert!(solver.solve(&generators::section4_sat_instance()).is_sat());
+        assert!(solver
+            .solve(&generators::section4_unsat_instance())
+            .is_unsat());
+    }
+
+    #[test]
+    fn model_validity_on_structured_instances() {
+        let instances = [
+            generators::parity_chain(6, true),
+            generators::graph_coloring(&generators::cycle_graph(7), 3),
+            generators::pigeonhole(3, 3),
+            generators::buggy_adder_miter(2, 0),
+        ];
+        for f in instances {
+            let mut solver = CdclSolver::new();
+            let result = solver.solve(&f);
+            let model = result.model().expect("instances are satisfiable");
+            assert!(f.evaluate(model));
+        }
+    }
+
+    #[test]
+    fn unsat_structured_instances() {
+        let instances = [
+            generators::pigeonhole(4, 3),
+            generators::graph_coloring(&generators::cycle_graph(5), 2),
+            generators::adder_equivalence_miter(2),
+        ];
+        for f in instances {
+            let mut solver = CdclSolver::new();
+            assert!(solver.solve(&f).is_unsat());
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_3sat() {
+        for seed in 0..60 {
+            let cfg = RandomKSatConfig::new(10, 43, 3).with_seed(seed);
+            let f = generators::random_ksat(&cfg).unwrap();
+            let expected = BruteForceSolver::new().solve(&f).is_sat();
+            let mut solver = CdclSolver::new();
+            let got = solver.solve(&f);
+            assert_eq!(got.is_sat(), expected, "seed {seed}");
+            if let Some(m) = got.model() {
+                assert!(f.evaluate(m), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_wide_clauses() {
+        for seed in 0..20 {
+            let cfg = RandomKSatConfig::new(9, 25, 4).with_seed(seed + 1000);
+            let f = generators::random_ksat(&cfg).unwrap();
+            let expected = BruteForceSolver::new().solve(&f).is_sat();
+            let mut solver = CdclSolver::new().with_restart_base(10);
+            assert_eq!(solver.solve(&f).is_sat(), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_handled() {
+        let f = cnf_formula![[1, 1, 2], [1, -1], [-2, -2], [-1, 2]];
+        let expected = BruteForceSolver::new().solve(&f).is_sat();
+        assert_eq!(CdclSolver::new().solve(&f).is_sat(), expected);
+    }
+
+    #[test]
+    fn contradictory_units_detected() {
+        assert!(CdclSolver::new().solve(&cnf_formula![[3], [-3]]).is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_and_empty_clause() {
+        assert!(CdclSolver::new().solve(&cnf::CnfFormula::new(4)).is_sat());
+        let mut f = cnf::CnfFormula::new(1);
+        f.push_clause(cnf::Clause::new());
+        assert!(CdclSolver::new().solve(&f).is_unsat());
+    }
+
+    #[test]
+    fn restarts_happen_on_hard_unsat_instances() {
+        let f = generators::pigeonhole(5, 4);
+        let mut solver = CdclSolver::new().with_restart_base(5);
+        assert!(solver.solve(&f).is_unsat());
+        assert!(solver.stats().restarts > 0);
+        assert!(solver.stats().learned_clauses > 0);
+        assert_eq!(solver.name(), "cdcl");
+    }
+}

@@ -1,0 +1,234 @@
+//! Recursive DPLL solver.
+
+use crate::solver::{SolveResult, Solver, SolverStats};
+use cnf::{
+    propagate_units, pure_literals, CnfFormula, PartialAssignment, PropagationOutcome, Variable,
+};
+
+/// Branching heuristics for the DPLL solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BranchHeuristic {
+    /// Branch on the first unassigned variable.
+    #[default]
+    FirstUnassigned,
+    /// Branch on the unassigned variable with the most occurrences in
+    /// not-yet-satisfied clauses (a static MOMS-like rule).
+    MostOccurrences,
+}
+
+/// A classical DPLL (Davis–Putnam–Logemann–Loveland) solver: depth-first
+/// search with unit propagation and pure-literal elimination.
+///
+/// This is the "complete approach" family the paper contrasts NBL-SAT with:
+/// variables are assigned one at a time and backtracked on conflict, so the
+/// search explores candidate assignments *sequentially* — exactly the
+/// restriction the NBL superposition sidesteps.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use sat_solvers::{DpllSolver, Solver};
+/// let mut solver = DpllSolver::new();
+/// let result = solver.solve(&cnf_formula![[1, 2, 3], [-1, -2], [-2, -3], [2]]);
+/// assert!(result.is_sat());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DpllSolver {
+    stats: SolverStats,
+    heuristic: BranchHeuristic,
+}
+
+impl DpllSolver {
+    /// Creates a DPLL solver with the default branching heuristic.
+    pub fn new() -> Self {
+        DpllSolver::default()
+    }
+
+    /// Selects the branching heuristic.
+    pub fn with_heuristic(mut self, heuristic: BranchHeuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    fn choose_variable(
+        &self,
+        formula: &CnfFormula,
+        assignment: &PartialAssignment,
+    ) -> Option<Variable> {
+        match self.heuristic {
+            BranchHeuristic::FirstUnassigned => assignment.first_unassigned(),
+            BranchHeuristic::MostOccurrences => {
+                let mut counts = vec![0usize; formula.num_vars()];
+                for clause in formula.iter() {
+                    if clause.evaluate_partial(assignment) == Some(true) {
+                        continue;
+                    }
+                    for lit in clause.iter() {
+                        if assignment.value(lit.variable()).is_none() {
+                            counts[lit.variable().index()] += 1;
+                        }
+                    }
+                }
+                counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| assignment.value(Variable::new(i)).is_none())
+                    .max_by_key(|&(_, c)| *c)
+                    .map(|(i, _)| Variable::new(i))
+            }
+        }
+    }
+
+    fn search(&mut self, formula: &CnfFormula, assignment: &mut PartialAssignment) -> bool {
+        // Unit propagation.
+        let before: Vec<Option<bool>> = (0..formula.num_vars())
+            .map(|i| assignment.value(Variable::new(i)))
+            .collect();
+        match propagate_units(formula, assignment) {
+            PropagationOutcome::Conflict { .. } => {
+                self.stats.conflicts += 1;
+                restore(assignment, &before);
+                return false;
+            }
+            PropagationOutcome::Consistent { implied } => {
+                self.stats.propagations += implied.len() as u64;
+            }
+        }
+        // Pure literals can be fixed greedily (they never hurt satisfiability).
+        for lit in pure_literals(formula, assignment) {
+            assignment.assign_literal(lit);
+        }
+        match formula.evaluate_partial(assignment) {
+            Some(true) => return true,
+            Some(false) => {
+                self.stats.conflicts += 1;
+                restore(assignment, &before);
+                return false;
+            }
+            None => {}
+        }
+        let var = match self.choose_variable(formula, assignment) {
+            Some(v) => v,
+            None => {
+                // All variables assigned yet not decided: evaluate directly.
+                let sat = formula.evaluate_partial(assignment) == Some(true);
+                if !sat {
+                    restore(assignment, &before);
+                }
+                return sat;
+            }
+        };
+        for value in [true, false] {
+            self.stats.decisions += 1;
+            assignment.assign(var, value);
+            if self.search(formula, assignment) {
+                return true;
+            }
+            assignment.unassign(var);
+        }
+        restore(assignment, &before);
+        false
+    }
+}
+
+fn restore(assignment: &mut PartialAssignment, snapshot: &[Option<bool>]) {
+    for (i, v) in snapshot.iter().enumerate() {
+        match v {
+            Some(b) => assignment.assign(Variable::new(i), *b),
+            None => assignment.unassign(Variable::new(i)),
+        }
+    }
+}
+
+impl Solver for DpllSolver {
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+        self.stats = SolverStats::default();
+        if formula.has_empty_clause() {
+            return SolveResult::Unsatisfiable;
+        }
+        let mut assignment = PartialAssignment::new(formula.num_vars());
+        if self.search(formula, &mut assignment) {
+            let model = assignment.to_complete(false);
+            debug_assert!(formula.evaluate(&model));
+            SolveResult::Satisfiable(model)
+        } else {
+            SolveResult::Unsatisfiable
+        }
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "dpll"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceSolver;
+    use cnf::generators::{self, RandomKSatConfig};
+    use cnf::cnf_formula;
+
+    #[test]
+    fn solves_paper_instances() {
+        let mut solver = DpllSolver::new();
+        assert!(solver.solve(&generators::example6_sat()).is_sat());
+        assert!(solver.solve(&generators::example7_unsat()).is_unsat());
+        assert!(solver.solve(&generators::section4_sat_instance()).is_sat());
+        assert!(solver
+            .solve(&generators::section4_unsat_instance())
+            .is_unsat());
+    }
+
+    #[test]
+    fn model_is_always_valid() {
+        let f = cnf_formula![[1, 2, 3], [-1, -2], [-1, -3], [-2, -3], [1]];
+        let mut solver = DpllSolver::new();
+        let result = solver.solve(&f);
+        assert!(f.evaluate(result.model().expect("satisfiable")));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        for heuristic in [BranchHeuristic::FirstUnassigned, BranchHeuristic::MostOccurrences] {
+            for seed in 0..30 {
+                let cfg = RandomKSatConfig::new(8, 35, 3).with_seed(seed);
+                let f = generators::random_ksat(&cfg).unwrap();
+                let expected = BruteForceSolver::new().solve(&f).is_sat();
+                let mut solver = DpllSolver::new().with_heuristic(heuristic);
+                let got = solver.solve(&f);
+                assert_eq!(got.is_sat(), expected, "seed {seed} {heuristic:?}");
+                if let Some(m) = got.model() {
+                    assert!(f.evaluate(m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_pigeonhole() {
+        let f = generators::pigeonhole(4, 3);
+        let mut solver = DpllSolver::new().with_heuristic(BranchHeuristic::MostOccurrences);
+        assert!(solver.solve(&f).is_unsat());
+        assert!(solver.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn empty_clause_short_circuit() {
+        let mut f = cnf::CnfFormula::new(2);
+        f.push_clause(cnf::Clause::new());
+        assert!(DpllSolver::new().solve(&f).is_unsat());
+    }
+
+    #[test]
+    fn stats_are_reset_between_solves() {
+        let mut solver = DpllSolver::new();
+        let _ = solver.solve(&generators::pigeonhole(3, 2));
+        let first = solver.stats();
+        let _ = solver.solve(&cnf_formula![[1]]);
+        assert!(solver.stats().decisions <= first.decisions);
+        assert_eq!(solver.name(), "dpll");
+    }
+}

@@ -1,0 +1,246 @@
+//! GSAT greedy local search.
+
+use crate::solver::{SolveResult, Solver, SolverStats};
+use cnf::{Assignment, CnfFormula, Variable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the GSAT local-search solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GsatConfig {
+    /// Maximum number of flips per restart (the "max-flips" GSAT parameter).
+    pub max_flips: u64,
+    /// Maximum number of random restarts (the "max-tries" GSAT parameter).
+    pub max_restarts: u64,
+    /// Whether sideways moves (flips with zero net gain) are allowed.
+    pub allow_sideways: bool,
+    /// PRNG seed; the search is deterministic for a fixed seed.
+    pub seed: u64,
+}
+
+impl Default for GsatConfig {
+    fn default() -> Self {
+        GsatConfig {
+            max_flips: 10_000,
+            max_restarts: 10,
+            allow_sideways: true,
+            seed: 0,
+        }
+    }
+}
+
+/// The GSAT incomplete solver (paper reference [9]): hill-climbing on the
+/// number of satisfied clauses.
+///
+/// Each step flips the variable whose flip yields the largest increase in the
+/// number of satisfied clauses (ties broken uniformly at random); when no
+/// improving flip exists, sideways moves are taken if enabled, otherwise the
+/// search restarts from a fresh random assignment.
+///
+/// Like WalkSAT it is incomplete: it answers [`SolveResult::Satisfiable`] or
+/// [`SolveResult::Unknown`], never `Unsatisfiable`.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use sat_solvers::{Gsat, Solver};
+/// let mut solver = Gsat::new();
+/// assert!(solver.solve(&cnf_formula![[1, 2], [-1, -2], [1, -2]]).is_sat());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gsat {
+    config: GsatConfig,
+    stats: SolverStats,
+}
+
+impl Gsat {
+    /// Creates a GSAT solver with default parameters.
+    pub fn new() -> Self {
+        Gsat::default()
+    }
+
+    /// Creates a GSAT solver with an explicit configuration.
+    pub fn with_config(config: GsatConfig) -> Self {
+        Gsat {
+            config,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Net change in the number of satisfied clauses if `var` were flipped.
+    fn flip_gain(formula: &CnfFormula, assignment: &Assignment, var: Variable) -> i64 {
+        let mut gain = 0i64;
+        for clause in formula.iter() {
+            if !clause.mentions(var) {
+                continue;
+            }
+            let mut satisfied_by_var = false;
+            let mut satisfied_by_other = false;
+            let mut falsified_var_literal = false;
+            for &lit in clause.iter() {
+                if assignment.satisfies(lit) {
+                    if lit.variable() == var {
+                        satisfied_by_var = true;
+                    } else {
+                        satisfied_by_other = true;
+                    }
+                } else if lit.variable() == var {
+                    falsified_var_literal = true;
+                }
+            }
+            if satisfied_by_var && !satisfied_by_other {
+                gain -= 1; // clause becomes unsatisfied
+            } else if !satisfied_by_var && !satisfied_by_other && falsified_var_literal {
+                gain += 1; // clause becomes satisfied
+            }
+        }
+        gain
+    }
+}
+
+impl Solver for Gsat {
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+        self.stats = SolverStats::default();
+        if formula.has_empty_clause() {
+            return SolveResult::Unknown;
+        }
+        if formula.num_vars() == 0 {
+            return if formula.is_empty() {
+                SolveResult::Satisfiable(Assignment::from_bools(Vec::new()))
+            } else {
+                SolveResult::Unknown
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..self.config.max_restarts.max(1) {
+            self.stats.restarts += 1;
+            let mut assignment =
+                Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
+            self.stats.assignments_tried += 1;
+            for _ in 0..self.config.max_flips {
+                if formula.evaluate(&assignment) {
+                    return SolveResult::Satisfiable(assignment);
+                }
+                // Greedy step: find the maximum-gain flip.
+                let mut best_gain = i64::MIN;
+                let mut best_vars: Vec<Variable> = Vec::new();
+                for var in formula.variables() {
+                    let gain = Self::flip_gain(formula, &assignment, var);
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_vars.clear();
+                        best_vars.push(var);
+                    } else if gain == best_gain {
+                        best_vars.push(var);
+                    }
+                }
+                if best_gain < 0 || (best_gain == 0 && !self.config.allow_sideways) {
+                    break; // local minimum -> restart
+                }
+                let var = best_vars[rng.gen_range(0..best_vars.len())];
+                assignment.set(var, !assignment.value(var));
+                self.stats.flips += 1;
+            }
+            if formula.evaluate(&assignment) {
+                return SolveResult::Satisfiable(assignment);
+            }
+        }
+        SolveResult::Unknown
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "gsat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
+
+    #[test]
+    fn solves_small_satisfiable_instances() {
+        let mut solver = Gsat::new();
+        for formula in [
+            cnf_formula![[1, 2], [-1, -2], [1, -2]],
+            cnf_formula![[1], [2], [3], [-1, -2, 3]],
+            generators::section4_sat_instance(),
+        ] {
+            match solver.solve(&formula) {
+                SolveResult::Satisfiable(model) => assert!(formula.evaluate(&model)),
+                other => panic!("expected SAT, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn returns_unknown_for_unsatisfiable_instances() {
+        let mut solver = Gsat::with_config(GsatConfig {
+            max_flips: 200,
+            max_restarts: 3,
+            ..GsatConfig::default()
+        });
+        let result = solver.solve(&generators::section4_unsat_instance());
+        assert_eq!(result, SolveResult::Unknown);
+        assert!(solver.stats().restarts >= 1);
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        let mut solver = Gsat::new();
+        assert!(solver.solve(&CnfFormula::new(0)).is_sat());
+        let mut empty_clause = CnfFormula::new(1);
+        empty_clause.add_clause([]);
+        assert_eq!(solver.solve(&empty_clause), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let formula =
+            generators::random_ksat(&RandomKSatConfig::new(12, 40, 3).with_seed(7)).unwrap();
+        let mut a = Gsat::with_config(GsatConfig {
+            seed: 11,
+            ..GsatConfig::default()
+        });
+        let mut b = Gsat::with_config(GsatConfig {
+            seed: 11,
+            ..GsatConfig::default()
+        });
+        assert_eq!(a.solve(&formula), b.solve(&formula));
+        assert_eq!(a.stats().flips, b.stats().flips);
+    }
+
+    #[test]
+    fn models_from_random_instances_verify() {
+        for seed in 0..5u64 {
+            let formula =
+                generators::random_ksat(&RandomKSatConfig::new(10, 25, 3).with_seed(seed))
+                    .unwrap();
+            let mut solver = Gsat::new();
+            if let SolveResult::Satisfiable(model) = solver.solve(&formula) {
+                assert!(formula.evaluate(&model));
+            }
+        }
+    }
+
+    #[test]
+    fn gain_computation_matches_recount() {
+        let formula = cnf_formula![[1, 2], [-1, 3], [-2, -3], [1, -3]];
+        let assignment = Assignment::from_bools(vec![false, true, true]);
+        for var in formula.variables() {
+            let before = formula.count_satisfied_clauses(&assignment) as i64;
+            let mut flipped = assignment.clone();
+            flipped.set(var, !flipped.value(var));
+            let after = formula.count_satisfied_clauses(&flipped) as i64;
+            assert_eq!(
+                Gsat::flip_gain(&formula, &assignment, var),
+                after - before,
+                "gain mismatch for {var}"
+            );
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Unsatisfiable-core / minimal unsatisfiable subset (MUS) extraction.
+//!
+//! The hardware SAT-accelerator line of work the paper builds on (its
+//! reference [27]) treats *unsatisfiable core extraction* as a first-class
+//! output next to the SAT/UNSAT verdict: when an instance is UNSAT, which
+//! subset of clauses is actually responsible? This module provides a
+//! deletion-based extractor that shrinks an unsatisfiable formula to a
+//! *minimal* unsatisfiable subset — every clause that remains is necessary
+//! (removing any single one makes the rest satisfiable).
+
+use crate::cdcl::CdclSolver;
+use crate::solver::{SolveResult, Solver};
+use cnf::{Clause, CnfFormula};
+use std::fmt;
+
+/// Statistics of a MUS extraction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MusStats {
+    /// Number of SAT-solver calls issued.
+    pub solver_calls: u64,
+    /// Number of clauses in the original formula.
+    pub original_clauses: usize,
+    /// Number of clauses in the extracted core.
+    pub core_clauses: usize,
+}
+
+impl fmt::Display for MusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {}/{} clauses in {} solver calls",
+            self.core_clauses, self.original_clauses, self.solver_calls
+        )
+    }
+}
+
+/// Outcome of [`MusExtractor::extract`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MusOutcome {
+    /// The formula is satisfiable, so no unsatisfiable core exists.
+    Satisfiable,
+    /// The formula is unsatisfiable; the contained indices (into the original
+    /// clause list, in increasing order) form a minimal unsatisfiable subset.
+    Core(Vec<usize>),
+}
+
+impl MusOutcome {
+    /// Returns the core clause indices, if any.
+    pub fn core(&self) -> Option<&[usize]> {
+        match self {
+            MusOutcome::Core(indices) => Some(indices),
+            MusOutcome::Satisfiable => None,
+        }
+    }
+}
+
+/// Deletion-based minimal-unsatisfiable-subset extractor.
+///
+/// The algorithm keeps a working set of clauses (initially all of them) and
+/// tries to delete each clause in turn: if the remaining set is still
+/// unsatisfiable the deletion is kept, otherwise the clause is marked as
+/// necessary. One complete-solver call per clause gives a *minimal* (though
+/// not necessarily minimum-cardinality) core.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use sat_solvers::{MusExtractor, MusOutcome};
+///
+/// // Clause 2 (x3) is irrelevant to the contradiction between clauses 0, 1.
+/// let formula = cnf_formula![[1], [-1], [3]];
+/// let mut extractor = MusExtractor::new();
+/// match extractor.extract(&formula) {
+///     MusOutcome::Core(core) => assert_eq!(core, vec![0, 1]),
+///     MusOutcome::Satisfiable => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MusExtractor {
+    stats: MusStats,
+}
+
+impl MusExtractor {
+    /// Creates an extractor (CDCL is used for the per-deletion checks).
+    pub fn new() -> Self {
+        MusExtractor::default()
+    }
+
+    /// Statistics of the most recent [`MusExtractor::extract`] call.
+    pub fn stats(&self) -> MusStats {
+        self.stats
+    }
+
+    fn is_unsat(&mut self, num_vars: usize, clauses: &[&Clause]) -> bool {
+        self.stats.solver_calls += 1;
+        let formula =
+            CnfFormula::from_clauses(num_vars, clauses.iter().map(|&c| c.clone()));
+        let mut solver = CdclSolver::new();
+        matches!(solver.solve(&formula), SolveResult::Unsatisfiable)
+    }
+
+    /// Extracts a minimal unsatisfiable subset of `formula`'s clauses.
+    ///
+    /// Returns [`MusOutcome::Satisfiable`] if the formula has a model. The
+    /// work is one complete-solver call to classify the formula plus one call
+    /// per clause of the shrinking working set, so it is intended for the
+    /// small-to-medium instances this workspace's experiments use.
+    pub fn extract(&mut self, formula: &CnfFormula) -> MusOutcome {
+        self.stats = MusStats {
+            original_clauses: formula.num_clauses(),
+            ..MusStats::default()
+        };
+        let all: Vec<&Clause> = formula.clauses().iter().collect();
+        if !self.is_unsat(formula.num_vars(), &all) {
+            return MusOutcome::Satisfiable;
+        }
+        // Working set of original indices, shrunk in place.
+        let mut working: Vec<usize> = (0..formula.num_clauses()).collect();
+        let mut i = 0;
+        while i < working.len() {
+            let candidate: Vec<&Clause> = working
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &idx)| &formula.clauses()[idx])
+                .collect();
+            if self.is_unsat(formula.num_vars(), &candidate) {
+                // The clause is redundant for unsatisfiability; drop it.
+                working.remove(i);
+            } else {
+                // The clause is necessary; keep it and move on.
+                i += 1;
+            }
+        }
+        self.stats.core_clauses = working.len();
+        MusOutcome::Core(working)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::generators;
+    use cnf::{cnf_formula, CnfFormula};
+
+    fn subset_formula(formula: &CnfFormula, indices: &[usize]) -> CnfFormula {
+        CnfFormula::from_clauses(
+            formula.num_vars(),
+            indices.iter().map(|&i| formula.clauses()[i].clone()),
+        )
+    }
+
+    #[test]
+    fn satisfiable_formula_has_no_core() {
+        let mut extractor = MusExtractor::new();
+        assert_eq!(
+            extractor.extract(&generators::example6_sat()),
+            MusOutcome::Satisfiable
+        );
+        assert!(extractor.stats().solver_calls >= 1);
+    }
+
+    #[test]
+    fn irrelevant_clauses_are_removed() {
+        let formula = cnf_formula![[1], [-1], [3], [2, 3], [-2, 3]];
+        let mut extractor = MusExtractor::new();
+        match extractor.extract(&formula) {
+            MusOutcome::Core(core) => assert_eq!(core, vec![0, 1]),
+            MusOutcome::Satisfiable => panic!("formula is unsatisfiable"),
+        }
+        assert_eq!(extractor.stats().core_clauses, 2);
+    }
+
+    #[test]
+    fn core_is_unsat_and_minimal() {
+        // The §IV UNSAT instance plus two padding clauses.
+        let mut formula = generators::section4_unsat_instance();
+        formula.add_clause([cnf::Variable::new(2).positive()]);
+        formula.add_clause([
+            cnf::Variable::new(2).negative(),
+            cnf::Variable::new(0).positive(),
+        ]);
+        let mut extractor = MusExtractor::new();
+        let MusOutcome::Core(core) = extractor.extract(&formula) else {
+            panic!("formula is unsatisfiable");
+        };
+        // The core itself must be UNSAT.
+        let mut cdcl = crate::CdclSolver::new();
+        assert!(cdcl.solve(&subset_formula(&formula, &core)).is_unsat());
+        // ... and minimal: dropping any single clause makes it satisfiable.
+        for skip in 0..core.len() {
+            let reduced: Vec<usize> = core
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &idx)| idx)
+                .collect();
+            let mut solver = crate::CdclSolver::new();
+            assert!(
+                solver.solve(&subset_formula(&formula, &reduced)).is_sat(),
+                "core is not minimal: clause {skip} is redundant"
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_core_spans_the_whole_instance() {
+        // PHP(3,2) is minimally unsatisfiable only after removing nothing:
+        // every clause participates in some refutation, but deletion-based
+        // extraction still returns a valid (possibly smaller) MUS.
+        let formula = generators::pigeonhole(3, 2);
+        let mut extractor = MusExtractor::new();
+        let MusOutcome::Core(core) = extractor.extract(&formula) else {
+            panic!("pigeonhole instances are unsatisfiable");
+        };
+        let mut cdcl = crate::CdclSolver::new();
+        assert!(cdcl.solve(&subset_formula(&formula, &core)).is_unsat());
+        assert!(core.len() <= formula.num_clauses());
+        assert_eq!(extractor.stats().original_clauses, formula.num_clauses());
+    }
+
+    #[test]
+    fn stats_display() {
+        let stats = MusStats {
+            solver_calls: 5,
+            original_clauses: 4,
+            core_clauses: 2,
+        };
+        assert!(stats.to_string().contains("2/4"));
+    }
+}

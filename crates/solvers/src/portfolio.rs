@@ -1,0 +1,208 @@
+//! A sequential solver portfolio.
+
+use crate::cdcl::CdclSolver;
+use crate::solver::{SolveResult, Solver, SolverStats};
+use crate::two_sat::TwoSatSolver;
+use crate::walksat::{WalkSat, WalkSatConfig};
+use cnf::CnfFormula;
+use std::fmt;
+
+/// A sequential portfolio: run a list of member solvers in order and return
+/// the first definitive (SAT or UNSAT) answer.
+///
+/// The default portfolio mirrors how a practical front end would dispatch the
+/// workloads in this workspace:
+///
+/// 1. [`TwoSatSolver`] — answers 2-CNF instances (the paper's worked examples)
+///    in polynomial time and bows out of everything else,
+/// 2. a short [`WalkSat`] burst — cheaply finds models of easy satisfiable
+///    instances,
+/// 3. [`CdclSolver`] — the complete backstop, so the portfolio as a whole is
+///    complete.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use sat_solvers::{Portfolio, Solver};
+///
+/// let mut portfolio = Portfolio::new();
+/// assert!(portfolio.solve(&cnf_formula![[1, 2], [-1, -2]]).is_sat());
+/// assert_eq!(portfolio.winner(), Some("two-sat"));
+///
+/// assert!(portfolio.solve(&cnf_formula![[1, 2, 3], [-1], [-2], [-3]]).is_unsat());
+/// assert_eq!(portfolio.winner(), Some("cdcl"));
+/// ```
+pub struct Portfolio {
+    members: Vec<Box<dyn Solver>>,
+    stats: SolverStats,
+    winner: Option<&'static str>,
+}
+
+impl fmt::Debug for Portfolio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Portfolio")
+            .field("members", &self.member_names())
+            .field("stats", &self.stats)
+            .field("winner", &self.winner)
+            .finish()
+    }
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio::new()
+    }
+}
+
+impl Portfolio {
+    /// Creates the default three-member portfolio (2-SAT, WalkSAT, CDCL).
+    pub fn new() -> Self {
+        let walksat = WalkSat::with_config(WalkSatConfig {
+            max_flips: 2_000,
+            max_restarts: 2,
+            ..WalkSatConfig::default()
+        });
+        Portfolio::with_members(vec![
+            Box::new(TwoSatSolver::new()),
+            Box::new(walksat),
+            Box::new(CdclSolver::new()),
+        ])
+    }
+
+    /// Creates a portfolio from an explicit member list (tried in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn with_members(members: Vec<Box<dyn Solver>>) -> Self {
+        assert!(!members.is_empty(), "a portfolio needs at least one member");
+        Portfolio {
+            members,
+            stats: SolverStats::default(),
+            winner: None,
+        }
+    }
+
+    /// The name of the member that produced the last definitive answer, if any.
+    pub fn winner(&self) -> Option<&'static str> {
+        self.winner
+    }
+
+    /// Names of the member solvers, in dispatch order.
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+}
+
+fn accumulate(total: &mut SolverStats, part: SolverStats) {
+    total.decisions += part.decisions;
+    total.conflicts += part.conflicts;
+    total.propagations += part.propagations;
+    total.restarts += part.restarts;
+    total.learned_clauses += part.learned_clauses;
+    total.assignments_tried += part.assignments_tried;
+    total.flips += part.flips;
+}
+
+impl Solver for Portfolio {
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+        self.stats = SolverStats::default();
+        self.winner = None;
+        for member in &mut self.members {
+            let result = member.solve(formula);
+            accumulate(&mut self.stats, member.stats());
+            match result {
+                SolveResult::Unknown => continue,
+                definitive => {
+                    self.winner = Some(member.name());
+                    return definitive;
+                }
+            }
+        }
+        SolveResult::Unknown
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForceSolver, Gsat, Schoening};
+    use cnf::generators::{self, RandomKSatConfig};
+    use cnf::cnf_formula;
+
+    #[test]
+    fn two_sat_member_wins_on_2cnf() {
+        let mut portfolio = Portfolio::new();
+        assert!(portfolio.solve(&generators::example6_sat()).is_sat());
+        assert_eq!(portfolio.winner(), Some("two-sat"));
+        assert!(portfolio.solve(&generators::example7_unsat()).is_unsat());
+        assert_eq!(portfolio.winner(), Some("two-sat"));
+    }
+
+    #[test]
+    fn cdcl_backstop_makes_portfolio_complete() {
+        let mut portfolio = Portfolio::new();
+        let unsat3 = generators::pigeonhole(4, 3);
+        assert!(portfolio.solve(&unsat3).is_unsat());
+        assert_eq!(portfolio.winner(), Some("cdcl"));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        for seed in 0..15u64 {
+            let formula =
+                generators::random_ksat(&RandomKSatConfig::new(9, 36, 3).with_seed(seed))
+                    .unwrap();
+            let mut portfolio = Portfolio::new();
+            let mut oracle = BruteForceSolver::new();
+            assert_eq!(
+                portfolio.solve(&formula).is_sat(),
+                oracle.solve(&formula).is_sat(),
+                "seed {seed}"
+            );
+            assert!(portfolio.winner().is_some());
+        }
+    }
+
+    #[test]
+    fn custom_member_list() {
+        let mut portfolio = Portfolio::with_members(vec![
+            Box::new(Schoening::new()),
+            Box::new(Gsat::new()),
+        ]);
+        assert_eq!(portfolio.member_names(), vec!["schoening", "gsat"]);
+        // Both members are incomplete, so an UNSAT instance stays Unknown.
+        assert_eq!(
+            portfolio.solve(&generators::section4_unsat_instance()),
+            SolveResult::Unknown
+        );
+        assert_eq!(portfolio.winner(), None);
+        // A satisfiable instance is found by the first member that succeeds.
+        assert!(portfolio.solve(&cnf_formula![[1, 2], [2, 3]]).is_sat());
+        assert_eq!(portfolio.winner(), Some("schoening"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_portfolio_panics() {
+        let _ = Portfolio::with_members(Vec::new());
+    }
+
+    #[test]
+    fn stats_are_accumulated_across_members() {
+        let mut portfolio = Portfolio::new();
+        let formula = generators::pigeonhole(4, 3);
+        let _ = portfolio.solve(&formula);
+        // WalkSAT flips plus CDCL decisions should both be visible.
+        let stats = portfolio.stats();
+        assert!(stats.flips > 0, "walksat member must have run");
+        assert!(stats.decisions > 0, "cdcl member must have run");
+    }
+}

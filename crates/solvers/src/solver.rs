@@ -1,0 +1,122 @@
+//! The common solver interface.
+
+use cnf::{Assignment, CnfFormula};
+use std::fmt;
+
+/// Result of a SAT solver run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The instance is satisfiable; the contained assignment is a model.
+    Satisfiable(Assignment),
+    /// The instance is unsatisfiable.
+    Unsatisfiable,
+    /// The solver gave up (only incomplete solvers such as WalkSAT return this).
+    Unknown,
+}
+
+impl SolveResult {
+    /// Returns `true` for [`SolveResult::Satisfiable`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Satisfiable(_))
+    }
+
+    /// Returns `true` for [`SolveResult::Unsatisfiable`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsatisfiable)
+    }
+
+    /// Returns the model if the result is satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SolveResult::Satisfiable(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SolveResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveResult::Satisfiable(a) => write!(f, "SAT {a}"),
+            SolveResult::Unsatisfiable => write!(f, "UNSAT"),
+            SolveResult::Unknown => write!(f, "UNKNOWN"),
+        }
+    }
+}
+
+/// Search statistics shared by all solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Number of branching decisions made.
+    pub decisions: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of literals assigned by unit propagation.
+    pub propagations: u64,
+    /// Number of restarts performed (CDCL only).
+    pub restarts: u64,
+    /// Number of learned clauses (CDCL only).
+    pub learned_clauses: u64,
+    /// Number of complete assignments tried (brute force / local search).
+    pub assignments_tried: u64,
+    /// Number of local-search flips performed (WalkSAT only).
+    pub flips: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} conflicts={} propagations={} restarts={} learned={} tried={} flips={}",
+            self.decisions,
+            self.conflicts,
+            self.propagations,
+            self.restarts,
+            self.learned_clauses,
+            self.assignments_tried,
+            self.flips
+        )
+    }
+}
+
+/// A SAT solver.
+///
+/// Implementations must leave the formula untouched and report their own
+/// search statistics after each [`Solver::solve`] call.
+pub trait Solver {
+    /// Solves the given formula.
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult;
+
+    /// Statistics of the most recent [`Solver::solve`] call.
+    fn stats(&self) -> SolverStats;
+
+    /// Short human-readable solver name (for reports and benches).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_accessors() {
+        let sat = SolveResult::Satisfiable(Assignment::all_true(2));
+        assert!(sat.is_sat());
+        assert!(!sat.is_unsat());
+        assert!(sat.model().is_some());
+        assert!(sat.to_string().starts_with("SAT"));
+
+        assert!(SolveResult::Unsatisfiable.is_unsat());
+        assert_eq!(SolveResult::Unsatisfiable.model(), None);
+        assert_eq!(SolveResult::Unknown.to_string(), "UNKNOWN");
+    }
+
+    #[test]
+    fn stats_display() {
+        let stats = SolverStats {
+            decisions: 3,
+            ..SolverStats::default()
+        };
+        assert!(stats.to_string().contains("decisions=3"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Polynomial-time 2-SAT via implication-graph strongly connected components.
+
+use crate::solver::{SolveResult, Solver, SolverStats};
+use cnf::{Assignment, CnfFormula, Literal};
+
+/// A complete, polynomial-time solver for 2-SAT instances (every clause has
+/// at most two literals), based on the Aspvall–Plass–Tarjan implication-graph
+/// construction.
+///
+/// Each clause `(a ∨ b)` contributes the implications `¬a → b` and `¬b → a`;
+/// the instance is unsatisfiable iff some variable ends up in the same
+/// strongly connected component as its negation. 2-SAT is the classical
+/// polynomial island inside NP-complete SAT, so this solver is both a fast
+/// baseline for 2-CNF workloads (such as the paper's Example 6 and the §IV
+/// instances, which are all 2-CNF) and an oracle for tests.
+///
+/// Formulas containing a clause with three or more literals are outside the
+/// solver's scope; [`Solver::solve`] returns [`SolveResult::Unknown`] for
+/// them (use [`TwoSatSolver::is_applicable`] to check beforehand).
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use sat_solvers::{Solver, TwoSatSolver};
+///
+/// let mut solver = TwoSatSolver::new();
+/// // Example 6 of the paper: (x1 + x2)(¬x1 + ¬x2) — satisfiable.
+/// assert!(solver.solve(&cnf_formula![[1, 2], [-1, -2]]).is_sat());
+/// // Example 7: (x1)(¬x1) — unsatisfiable.
+/// assert!(solver.solve(&cnf_formula![[1], [-1]]).is_unsat());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoSatSolver {
+    stats: SolverStats,
+}
+
+impl TwoSatSolver {
+    /// Creates a 2-SAT solver.
+    pub fn new() -> Self {
+        TwoSatSolver::default()
+    }
+
+    /// Returns `true` if every clause of the formula has at most two literals,
+    /// i.e. the formula is within this solver's scope.
+    pub fn is_applicable(formula: &CnfFormula) -> bool {
+        formula.iter().all(|c| c.len() <= 2)
+    }
+
+    /// Builds the implication graph as adjacency lists over literal codes.
+    fn implication_graph(formula: &CnfFormula) -> Vec<Vec<usize>> {
+        let nodes = 2 * formula.num_vars();
+        let mut graph = vec![Vec::new(); nodes];
+        for clause in formula.iter() {
+            match clause.literals() {
+                [a] => {
+                    // (a) ≡ (¬a → a)
+                    graph[(!*a).code()].push(a.code());
+                }
+                [a, b] => {
+                    graph[(!*a).code()].push(b.code());
+                    graph[(!*b).code()].push(a.code());
+                }
+                _ => unreachable!("is_applicable is checked before building the graph"),
+            }
+        }
+        graph
+    }
+
+    /// Kosaraju's algorithm: returns the SCC id of every literal node, with
+    /// components numbered in topological order of the implication graph's
+    /// condensation (sources receive smaller ids).
+    fn condensation(graph: &[Vec<usize>]) -> Vec<usize> {
+        let n = graph.len();
+        // Pass 1: order nodes by finishing time with an iterative DFS.
+        let mut finished = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            // Stack of (node, next-edge-index).
+            let mut stack = vec![(start, 0usize)];
+            visited[start] = true;
+            while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+                if *edge < graph[node].len() {
+                    let next = graph[node][*edge];
+                    *edge += 1;
+                    if !visited[next] {
+                        visited[next] = true;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    finished.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        // Transpose graph.
+        let mut transpose = vec![Vec::new(); n];
+        for (u, edges) in graph.iter().enumerate() {
+            for &v in edges {
+                transpose[v].push(u);
+            }
+        }
+        // Pass 2: assign components in decreasing finish time.
+        let mut component = vec![usize::MAX; n];
+        let mut current = 0usize;
+        for &start in finished.iter().rev() {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            component[start] = current;
+            while let Some(node) = stack.pop() {
+                for &next in &transpose[node] {
+                    if component[next] == usize::MAX {
+                        component[next] = current;
+                        stack.push(next);
+                    }
+                }
+            }
+            current += 1;
+        }
+        component
+    }
+}
+
+impl Solver for TwoSatSolver {
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+        self.stats = SolverStats::default();
+        if formula.has_empty_clause() {
+            return SolveResult::Unsatisfiable;
+        }
+        if !Self::is_applicable(formula) {
+            return SolveResult::Unknown;
+        }
+        if formula.num_vars() == 0 {
+            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
+        }
+        let graph = Self::implication_graph(formula);
+        self.stats.propagations = graph.iter().map(|edges| edges.len() as u64).sum();
+        let component = Self::condensation(&graph);
+        let mut values = Vec::with_capacity(formula.num_vars());
+        for var in formula.variables() {
+            let pos = Literal::positive(var).code();
+            let neg = Literal::negative(var).code();
+            if component[pos] == component[neg] {
+                self.stats.conflicts += 1;
+                return SolveResult::Unsatisfiable;
+            }
+            // Components are numbered in topological order (sources first), so
+            // a literal whose component comes *later* is the implied one; set
+            // the variable to the polarity that cannot imply its own negation.
+            values.push(component[pos] > component[neg]);
+        }
+        let model = Assignment::from_bools(values);
+        debug_assert!(formula.evaluate(&model));
+        SolveResult::Satisfiable(model)
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "two-sat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForceSolver, Solver};
+    use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
+
+    #[test]
+    fn worked_examples() {
+        let mut solver = TwoSatSolver::new();
+        assert!(solver.solve(&generators::example6_sat()).is_sat());
+        assert!(solver.solve(&generators::example7_unsat()).is_unsat());
+        assert!(solver.solve(&generators::section4_sat_instance()).is_sat());
+        assert!(solver
+            .solve(&generators::section4_unsat_instance())
+            .is_unsat());
+    }
+
+    #[test]
+    fn implication_chain_is_respected() {
+        // x1 -> x2 -> x3 and x1 forced true.
+        let formula = cnf_formula![[1], [-1, 2], [-2, 3]];
+        let mut solver = TwoSatSolver::new();
+        match solver.solve(&formula) {
+            SolveResult::Satisfiable(model) => {
+                assert!(model.values().iter().all(|&v| v), "all variables forced true")
+            }
+            other => panic!("expected SAT, got {other}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_cycle_is_unsat() {
+        // (x1 ∨ x2)(¬x1 ∨ x2)(x1 ∨ ¬x2)(¬x1 ∨ ¬x2) is the classic UNSAT 2-CNF.
+        let formula = cnf_formula![[1, 2], [-1, 2], [1, -2], [-1, -2]];
+        let mut solver = TwoSatSolver::new();
+        assert!(solver.solve(&formula).is_unsat());
+        assert!(solver.stats().conflicts >= 1);
+    }
+
+    #[test]
+    fn wide_clauses_are_out_of_scope() {
+        let formula = cnf_formula![[1, 2, 3], [-1, -2]];
+        assert!(!TwoSatSolver::is_applicable(&formula));
+        let mut solver = TwoSatSolver::new();
+        assert_eq!(solver.solve(&formula), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn empty_clause_and_empty_formula() {
+        let mut solver = TwoSatSolver::new();
+        assert!(solver.solve(&CnfFormula::new(0)).is_sat());
+        let mut with_empty = CnfFormula::new(2);
+        with_empty.add_clause([]);
+        assert!(solver.solve(&with_empty).is_unsat());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_2sat() {
+        for seed in 0..40u64 {
+            let formula = generators::random_ksat(
+                &RandomKSatConfig::new(8, 14 + (seed as usize % 10), 2).with_seed(seed),
+            )
+            .unwrap();
+            let mut fast = TwoSatSolver::new();
+            let mut oracle = BruteForceSolver::new();
+            let fast_result = fast.solve(&formula);
+            let oracle_result = oracle.solve(&formula);
+            assert_eq!(
+                fast_result.is_sat(),
+                oracle_result.is_sat(),
+                "verdict mismatch on seed {seed}"
+            );
+            if let SolveResult::Satisfiable(model) = fast_result {
+                assert!(formula.evaluate(&model), "model must verify on seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! WalkSAT stochastic local search.
+
+use crate::solver::{SolveResult, Solver, SolverStats};
+use cnf::{Assignment, CnfFormula, Variable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the WalkSAT local-search solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkSatConfig {
+    /// Probability of taking a purely random flip inside an unsatisfied clause.
+    pub noise: f64,
+    /// Maximum number of flips per restart.
+    pub max_flips: u64,
+    /// Maximum number of random restarts.
+    pub max_restarts: u64,
+    /// PRNG seed (the search is deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for WalkSatConfig {
+    fn default() -> Self {
+        WalkSatConfig {
+            noise: 0.5,
+            max_flips: 10_000,
+            max_restarts: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// The WalkSAT incomplete solver (paper reference [8]): repeatedly picks an
+/// unsatisfied clause and flips one of its variables, choosing either the
+/// least-breaking variable or a random one.
+///
+/// Being incomplete, it can only answer [`SolveResult::Satisfiable`] or
+/// [`SolveResult::Unknown`] — it never proves unsatisfiability.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use sat_solvers::{Solver, WalkSat};
+/// let mut solver = WalkSat::new();
+/// assert!(solver.solve(&cnf_formula![[1, 2], [-1, -2]]).is_sat());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalkSat {
+    config: WalkSatConfig,
+    stats: SolverStats,
+}
+
+impl WalkSat {
+    /// Creates a WalkSAT solver with default parameters.
+    pub fn new() -> Self {
+        WalkSat::default()
+    }
+
+    /// Creates a WalkSAT solver with an explicit configuration.
+    pub fn with_config(config: WalkSatConfig) -> Self {
+        WalkSat {
+            config,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Number of clauses that would become unsatisfied by flipping `var`.
+    fn break_count(formula: &CnfFormula, assignment: &Assignment, var: Variable) -> usize {
+        let mut breaks = 0;
+        for clause in formula.iter() {
+            if !clause.mentions(var) {
+                continue;
+            }
+            // Clause currently satisfied only by `var`'s literal -> breaks.
+            let mut satisfied_by_var = false;
+            let mut satisfied_by_other = false;
+            for &lit in clause.iter() {
+                if assignment.satisfies(lit) {
+                    if lit.variable() == var {
+                        satisfied_by_var = true;
+                    } else {
+                        satisfied_by_other = true;
+                    }
+                }
+            }
+            if satisfied_by_var && !satisfied_by_other {
+                breaks += 1;
+            }
+        }
+        breaks
+    }
+}
+
+impl Solver for WalkSat {
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+        self.stats = SolverStats::default();
+        if formula.has_empty_clause() {
+            return SolveResult::Unknown;
+        }
+        if formula.num_vars() == 0 {
+            return if formula.is_empty() {
+                SolveResult::Satisfiable(Assignment::from_bools(Vec::new()))
+            } else {
+                SolveResult::Unknown
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..self.config.max_restarts.max(1) {
+            // Random initial assignment.
+            let mut assignment =
+                Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
+            self.stats.assignments_tried += 1;
+            for _ in 0..self.config.max_flips {
+                let unsatisfied: Vec<usize> = formula
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.evaluate(&assignment))
+                    .map(|(i, _)| i)
+                    .collect();
+                if unsatisfied.is_empty() {
+                    debug_assert!(formula.evaluate(&assignment));
+                    return SolveResult::Satisfiable(assignment);
+                }
+                let clause =
+                    formula.clause(unsatisfied[rng.gen_range(0..unsatisfied.len())]).expect("index valid");
+                if clause.is_empty() {
+                    return SolveResult::Unknown;
+                }
+                let var = if rng.gen_bool(self.config.noise) {
+                    clause.literals()[rng.gen_range(0..clause.len())].variable()
+                } else {
+                    clause
+                        .iter()
+                        .map(|l| l.variable())
+                        .min_by_key(|&v| Self::break_count(formula, &assignment, v))
+                        .expect("clause non-empty")
+                };
+                assignment.set(var, !assignment.value(var));
+                self.stats.flips += 1;
+            }
+        }
+        SolveResult::Unknown
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "walksat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
+
+    #[test]
+    fn finds_models_for_satisfiable_instances() {
+        let mut solver = WalkSat::new();
+        for f in [
+            generators::example6_sat(),
+            generators::section4_sat_instance(),
+            generators::parity_chain(5, false),
+        ] {
+            let result = solver.solve(&f);
+            let model = result.model().expect("satisfiable instance");
+            assert!(f.evaluate(model));
+            assert!(solver.stats().assignments_tried >= 1);
+        }
+    }
+
+    #[test]
+    fn returns_unknown_on_unsat() {
+        let config = WalkSatConfig {
+            max_flips: 200,
+            max_restarts: 2,
+            ..WalkSatConfig::default()
+        };
+        let mut solver = WalkSat::with_config(config);
+        assert_eq!(
+            solver.solve(&generators::example7_unsat()),
+            SolveResult::Unknown
+        );
+        assert_eq!(
+            solver.solve(&generators::pigeonhole(3, 2)),
+            SolveResult::Unknown
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f = generators::random_ksat(&RandomKSatConfig::new(12, 40, 3).with_seed(3)).unwrap();
+        let mut a = WalkSat::with_config(WalkSatConfig {
+            seed: 9,
+            ..WalkSatConfig::default()
+        });
+        let mut b = WalkSat::with_config(WalkSatConfig {
+            seed: 9,
+            ..WalkSatConfig::default()
+        });
+        assert_eq!(a.solve(&f), b.solve(&f));
+    }
+
+    #[test]
+    fn solves_easy_random_instances() {
+        // Under-constrained random 3-SAT (ratio 2.0) is almost surely satisfiable
+        // and easy for local search.
+        for seed in 0..10 {
+            let f =
+                generators::random_ksat(&RandomKSatConfig::from_ratio(15, 2.0, 3).with_seed(seed))
+                    .unwrap();
+            let mut solver = WalkSat::new();
+            let result = solver.solve(&f);
+            let model = result.model().expect("under-constrained instance");
+            assert!(f.evaluate(model));
+        }
+    }
+
+    #[test]
+    fn empty_formula_and_empty_clause_edge_cases() {
+        let mut solver = WalkSat::new();
+        assert!(solver.solve(&cnf::CnfFormula::new(0)).is_sat());
+        let mut f = cnf::CnfFormula::new(1);
+        f.push_clause(cnf::Clause::new());
+        assert_eq!(solver.solve(&f), SolveResult::Unknown);
+        assert_eq!(solver.name(), "walksat");
+    }
+
+    #[test]
+    fn break_count_identifies_critical_variable() {
+        // (x1)(x1+x2): flipping x1 from true breaks both clauses; flipping x2 breaks none.
+        let f = cnf_formula![[1], [1, 2]];
+        let a = Assignment::from_bools(vec![true, false]);
+        assert_eq!(WalkSat::break_count(&f, &a, Variable::new(0)), 2);
+        assert_eq!(WalkSat::break_count(&f, &a, Variable::new(1)), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! A small DIMACS front end: read a CNF file (or use a built-in instance),
+//! solve it with the appropriate engine, and print the result.
+//!
+//! Small instances (n·m within the NBL software-simulation budget) are decided
+//! with the NBL-SAT single-operation check and Algorithm 2; larger ones fall
+//! back to the CDCL baseline — mirroring the hybrid deployment story of §V.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example dimacs_solver                 # built-in demo instance
+//! cargo run --example dimacs_solver -- path/to.cnf  # your own DIMACS file
+//! ```
+
+use nbl_sat_repro::prelude::*;
+use std::fs;
+
+/// n·m budget under which the exact NBL software engine is used directly.
+const NBL_NM_BUDGET: usize = 400;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let formula = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("reading DIMACS from {path}");
+            cnf::dimacs::parse_str(&fs::read_to_string(path)?)?
+        }
+        None => {
+            println!("no file given; using a built-in 20-variable random 3-SAT instance");
+            cnf::generators::random_ksat(
+                &cnf::generators::RandomKSatConfig::from_ratio(20, 4.0, 3).with_seed(42),
+            )?
+        }
+    };
+    let stats = cnf::FormulaStats::of(&formula);
+    println!("instance: {stats}");
+
+    if stats.num_vars <= 20 && stats.nm() <= NBL_NM_BUDGET && stats.num_empty_clauses == 0 {
+        println!(
+            "within the NBL software budget (n·m = {} ≤ {NBL_NM_BUDGET}): using the NBL-SAT engine",
+            stats.nm()
+        );
+        let instance = NblSatInstance::new(&formula)?;
+        let mut checker = SatChecker::new(SymbolicEngine::new());
+        match checker.check(&instance)? {
+            Verdict::Unsatisfiable => println!("s UNSATISFIABLE  (1 NBL check operation)"),
+            Verdict::Satisfiable => {
+                let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+                let outcome = extractor.extract(&instance)?;
+                let model = outcome.assignment.expect("satisfiable");
+                assert!(formula.evaluate(&model));
+                println!(
+                    "s SATISFIABLE  (1 + {} NBL check operations)",
+                    outcome.checks_used
+                );
+                print_model(&model);
+            }
+        }
+    } else {
+        println!(
+            "outside the NBL software budget (n·m = {}): falling back to CDCL",
+            stats.nm()
+        );
+        let mut solver = CdclSolver::new();
+        match solver.solve(&formula) {
+            SolveResult::Unsatisfiable => {
+                println!("s UNSATISFIABLE  ({})", solver.stats());
+            }
+            SolveResult::Satisfiable(model) => {
+                assert!(formula.evaluate(&model));
+                println!("s SATISFIABLE  ({})", solver.stats());
+                print_model(&model);
+            }
+            SolveResult::Unknown => unreachable!("CDCL is complete"),
+        }
+    }
+    Ok(())
+}
+
+fn print_model(model: &Assignment) {
+    print!("v");
+    for (var, value) in model.iter() {
+        let lit = if value {
+            (var.index() + 1) as i64
+        } else {
+            -((var.index() + 1) as i64)
+        };
+        print!(" {lit}");
+    }
+    println!(" 0");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: encode a small CNF instance in noise-based logic, decide
+//! SAT/UNSAT with a single correlation, and recover a satisfying assignment.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nbl_sat_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example from Section III.A:
+    //   S(x1, x2, x3) = (x1 + ¬x2) · (¬x1 + x2 + x3)
+    let formula = cnf::cnf_formula![[1, -2], [-1, 2, 3]];
+    println!("formula: {formula}");
+
+    // Transform it into an NBL-SAT instance: 2·m·n basis noise sources.
+    let instance = NblSatInstance::new(&formula)?;
+    println!(
+        "NBL transform: n={} variables, m={} clauses, {} basis noise sources",
+        instance.num_vars(),
+        instance.num_clauses(),
+        instance.num_sources()
+    );
+
+    // 1. The ideal (infinite-sample) check: exact expectation of S_N.
+    let mut ideal = SatChecker::new(SymbolicEngine::new());
+    let verdict = ideal.check(&instance)?;
+    println!("ideal hardware verdict (1 operation): {verdict}");
+
+    // 2. The Monte-Carlo simulation of the analog datapath, as in the paper's
+    //    MATLAB experiment: uniform [-0.5, 0.5] carriers, running mean of S_N.
+    let config = EngineConfig::new()
+        .with_seed(2012)
+        .with_max_samples(200_000)
+        .with_check_interval(20_000);
+    let mut simulated = SatChecker::new(SampledEngine::new(config));
+    let estimate = simulated.estimate_with_bindings(&instance, &instance.empty_bindings())?;
+    println!(
+        "simulated analog engine: {estimate} -> verdict {}",
+        simulated.decide(&estimate)
+    );
+
+    // 3. Recover a satisfying assignment with at most n more checks (Algorithm 2).
+    let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+    let outcome = extractor.extract(&instance)?;
+    let model = outcome.assignment.expect("instance is satisfiable");
+    println!(
+        "satisfying assignment {model} found with {} NBL check operations (n = {})",
+        outcome.checks_used,
+        instance.num_vars()
+    );
+    assert!(formula.evaluate(&model));
+
+    // Cross-check with a classical CDCL solver.
+    let mut cdcl = CdclSolver::new();
+    assert!(cdcl.solve(&formula).is_sat());
+    println!("CDCL agrees: SAT ({})", cdcl.stats());
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Facade crate for the NBL-SAT reproduction workspace.
+//!
+//! `nbl-sat-repro` re-exports the public APIs of every crate in the workspace
+//! so that applications (and the examples in `examples/`) can depend on a
+//! single crate:
+//!
+//! * [`cnf`] — CNF formulas, DIMACS I/O, workload generators
+//! * [`circuit`] (crate `nbl-circuit`) — gate-level netlists, Tseitin
+//!   encoding, equivalence-checking miters, stuck-at ATPG, `.bench` I/O
+//! * [`noise`] (crate `nbl-noise`) — carrier banks, statistics, correlators
+//! * [`analog`] (crate `nbl-analog`) — analog block and netlist simulation
+//! * [`logic`] (crate `nbl-logic`) — the noise-based logic algebra
+//! * [`nbl_sat`] (crate `nbl-sat-core`) — the NBL-SAT transform, engines,
+//!   checker, assignment extraction, SNR model and hybrid solver
+//! * [`solvers`] (crate `sat-solvers`) — DPLL / CDCL / WalkSAT / brute force
+//!
+//! # Example
+//!
+//! ```
+//! use nbl_sat_repro::prelude::*;
+//!
+//! let formula = cnf::cnf_formula![[1, 2], [-1, -2]];
+//! let instance = NblSatInstance::new(&formula)?;
+//! let mut checker = SatChecker::new(SymbolicEngine::new());
+//! assert_eq!(checker.check(&instance)?, Verdict::Satisfiable);
+//! # Ok::<(), NblSatError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub use cnf;
+pub use nbl_analog as analog;
+pub use nbl_circuit as circuit;
+pub use nbl_logic as logic;
+pub use nbl_noise as noise;
+pub use nbl_sat_core as nbl_sat;
+pub use sat_solvers as solvers;
+
+/// Commonly used items, importable with a single `use nbl_sat_repro::prelude::*`.
+pub mod prelude {
+    pub use cnf::{
+        Assignment, Clause, CnfFormula, Cube, Literal, PartialAssignment, Variable,
+    };
+    pub use nbl_circuit::{
+        Circuit, CircuitBuilder, GateKind, Simulator, StuckAtFault, TseitinEncoder,
+    };
+    pub use nbl_noise::{CarrierKind, RunningStats};
+    pub use nbl_sat_core::{
+        AlgebraicEngine, AssignmentExtractor, EngineConfig, HybridSolver, MeanEstimate,
+        NblEngine, NblSatError, NblSatInstance, SampledEngine, SatChecker, SnrModel,
+        SymbolicEngine, Verdict,
+    };
+    pub use sat_solvers::{
+        BruteForceSolver, CdclSolver, DpllSolver, Gsat, MusExtractor, Portfolio, Schoening,
+        SolveResult, Solver, TwoSatSolver, WalkSat,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let formula = cnf::generators::section4_sat_instance();
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let mut checker = SatChecker::new(SymbolicEngine::new());
+        assert_eq!(checker.check(&instance).unwrap(), Verdict::Satisfiable);
+        let mut cdcl = CdclSolver::new();
+        assert!(cdcl.solve(&formula).is_sat());
+    }
+}

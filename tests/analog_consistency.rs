@@ -1,0 +1,98 @@
+//! The block-level analog simulation and the mathematical sampled engine must
+//! agree: an NBL-SAT readout assembled purely from `nbl-analog` components
+//! produces the same qualitative answer (and a compatible mean) as
+//! `nbl-sat-core`'s engines on the same tiny instance.
+
+use nbl_sat_repro::analog::{CorrelatorBlock, Multiplier, Netlist, NoiseSourceBlock, Summer};
+use nbl_sat_repro::prelude::*;
+
+/// Builds the block-level readout for the n = 1, m = 2 instance family:
+/// Σ_N = N¹_{lit1} · N²_{lit2}; τ_N = N¹_{x}N²_{x} + N¹_{x̄}N²_{x̄}.
+fn block_level_mean(first_positive: bool, second_positive: bool, steps: u64) -> f64 {
+    let mut net = Netlist::new();
+    let p1 = net.add_block(Box::new(NoiseSourceBlock::new(CarrierKind::Uniform, 1)));
+    let m1 = net.add_block(Box::new(NoiseSourceBlock::new(CarrierKind::Uniform, 2)));
+    let p2 = net.add_block(Box::new(NoiseSourceBlock::new(CarrierKind::Uniform, 3)));
+    let m2 = net.add_block(Box::new(NoiseSourceBlock::new(CarrierKind::Uniform, 4)));
+
+    let tau_pos = net.add_block(Box::new(Multiplier::new()));
+    let tau_neg = net.add_block(Box::new(Multiplier::new()));
+    let tau = net.add_block(Box::new(Summer::new(2)));
+    net.connect(p1, tau_pos, 0).unwrap();
+    net.connect(p2, tau_pos, 1).unwrap();
+    net.connect(m1, tau_neg, 0).unwrap();
+    net.connect(m2, tau_neg, 1).unwrap();
+    net.connect(tau_pos, tau, 0).unwrap();
+    net.connect(tau_neg, tau, 1).unwrap();
+
+    let sigma = net.add_block(Box::new(Multiplier::new()));
+    net.connect(if first_positive { p1 } else { m1 }, sigma, 0)
+        .unwrap();
+    net.connect(if second_positive { p2 } else { m2 }, sigma, 1)
+        .unwrap();
+
+    let s_n = net.add_block(Box::new(Multiplier::new()));
+    let readout = net.add_block(Box::new(CorrelatorBlock::new()));
+    net.connect(tau, s_n, 0).unwrap();
+    net.connect(sigma, s_n, 1).unwrap();
+    net.connect(s_n, readout, 0).unwrap();
+    net.run(steps, readout).unwrap()
+}
+
+#[test]
+fn block_level_readout_discriminates_sat_from_unsat() {
+    let sat_mean = block_level_mean(true, true, 300_000); // (x1)(x1)
+    let unsat_mean = block_level_mean(true, false, 300_000); // (x1)(¬x1)
+    let expected = (1.0f64 / 12.0).powi(2);
+    assert!(
+        (sat_mean - expected).abs() < 0.3 * expected,
+        "sat mean {sat_mean} vs expected {expected}"
+    );
+    assert!(unsat_mean.abs() < 0.3 * expected, "unsat mean {unsat_mean}");
+}
+
+#[test]
+fn block_level_readout_matches_the_sampled_engine() {
+    // Same instances evaluated through the nbl-sat-core sampled engine.
+    let sat_formula = cnf::cnf_formula![[1], [1]];
+    let unsat_formula = cnf::cnf_formula![[1], [-1]];
+    let config = EngineConfig::new()
+        .with_seed(5)
+        .with_max_samples(300_000)
+        .with_check_interval(300_000);
+
+    let sat_engine_mean = SampledEngine::new(config)
+        .estimate(
+            &NblSatInstance::new(&sat_formula).unwrap(),
+            &PartialAssignment::new(1),
+        )
+        .unwrap()
+        .mean;
+    let unsat_engine_mean = SampledEngine::new(config)
+        .estimate(
+            &NblSatInstance::new(&unsat_formula).unwrap(),
+            &PartialAssignment::new(1),
+        )
+        .unwrap()
+        .mean;
+
+    let sat_block_mean = block_level_mean(true, true, 300_000);
+    let unsat_block_mean = block_level_mean(true, false, 300_000);
+
+    let expected = (1.0f64 / 12.0).powi(2);
+    // Both paths land near the analytic SAT mean and near zero for UNSAT.
+    assert!((sat_engine_mean - expected).abs() < 0.3 * expected);
+    assert!((sat_block_mean - expected).abs() < 0.3 * expected);
+    assert!(unsat_engine_mean.abs() < 0.3 * expected);
+    assert!(unsat_block_mean.abs() < 0.3 * expected);
+}
+
+#[test]
+fn symbolic_engine_predicts_the_block_level_plateau() {
+    let instance = NblSatInstance::new(&cnf::cnf_formula![[1], [1]]).unwrap();
+    let exact = SymbolicEngine::new()
+        .estimate(&instance, &instance.empty_bindings())
+        .unwrap()
+        .mean;
+    assert!((exact - (1.0f64 / 12.0).powi(2)).abs() < 1e-18);
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration tests for the circuit substrate: netlists →
+//! Tseitin CNF → classical and NBL-SAT engines, miters, ATPG and `.bench`
+//! round-trips all have to agree with functional simulation.
+
+use nbl_sat_repro::circuit::{
+    atpg_check, equivalence_check, exhaustive_counterexample, fault_list, fault_simulate,
+    library, parse_bench, truth_table, write_bench, Circuit, CircuitBuilder, GateKind,
+    NblCircuitEvaluator, Simulator, TseitinEncoder,
+};
+use nbl_sat_repro::nbl_sat::{NblSatInstance, SatChecker, SymbolicEngine};
+use nbl_sat_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random combinational circuit with `num_inputs` inputs and a
+/// chain of up to `max_gates` random two-input gates over random fan-ins.
+fn arb_circuit(num_inputs: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0u8..6, 0usize..64, 0usize..64);
+    proptest::collection::vec(gate, 1..=max_gates).prop_map(move |gates| {
+        let mut builder = CircuitBuilder::new("random");
+        let mut signals: Vec<_> = (0..num_inputs)
+            .map(|i| builder.input(format!("x{i}")).expect("fresh input name"))
+            .collect();
+        for (kind, a, b) in gates {
+            let kind = match kind {
+                0 => GateKind::And,
+                1 => GateKind::Or,
+                2 => GateKind::Xor,
+                3 => GateKind::Nand,
+                4 => GateKind::Nor,
+                _ => GateKind::Xnor,
+            };
+            let a = signals[a % signals.len()];
+            let b = signals[b % signals.len()];
+            let out = builder.gate(kind, &[a, b]).expect("valid gate");
+            signals.push(out);
+        }
+        let last = *signals.last().expect("at least one signal");
+        builder.output("y", last).expect("fresh output name");
+        builder.finish()
+    })
+}
+
+#[test]
+fn tseitin_cnf_agrees_with_simulation_on_the_library() {
+    for (name, circuit) in library::standard_suite() {
+        if circuit.num_inputs() > 10 {
+            continue;
+        }
+        let sim = Simulator::new(&circuit).unwrap();
+        let base = TseitinEncoder::new().encode(&circuit).unwrap();
+        // Spot-check a handful of patterns per circuit against the CNF.
+        for pattern in (0..1u64 << circuit.num_inputs()).step_by(7).take(8) {
+            let inputs: Vec<bool> = (0..circuit.num_inputs())
+                .map(|i| pattern >> i & 1 == 1)
+                .collect();
+            let outputs = sim.run(&inputs).unwrap();
+            let mut enc = base.clone();
+            for (i, &v) in inputs.iter().enumerate() {
+                enc.assert_input(i, v);
+            }
+            for (o, &v) in outputs.iter().enumerate() {
+                enc.assert_output(o, v);
+            }
+            let mut cdcl = CdclSolver::new();
+            assert!(
+                cdcl.solve(enc.formula()).is_sat(),
+                "{name}: CNF must accept the simulated input/output pair"
+            );
+        }
+    }
+}
+
+#[test]
+fn nbl_sat_decides_circuit_equivalence_like_exhaustive_simulation() {
+    // A deliberately wrong "majority": it computes the 3-input AND instead.
+    // (Keep the interface — input names x0..x2, output name maj — identical.)
+    let mut and3 = Circuit::new("and3_as_maj");
+    let x0 = and3.add_input("x0").unwrap();
+    let x1 = and3.add_input("x1").unwrap();
+    let x2 = and3.add_input("x2").unwrap();
+    let maj = and3.add_gate("maj", GateKind::And, &[x0, x1, x2]).unwrap();
+    and3.mark_output(maj).unwrap();
+
+    let cases = [
+        (library::majority3(), library::majority3(), true),
+        (
+            library::equality_comparator(2),
+            library::equality_comparator(2),
+            true,
+        ),
+        (library::majority3(), and3, false),
+    ];
+    for (golden, revised, expect_equivalent) in cases {
+        let exhaustive = exhaustive_counterexample(&golden, &revised).unwrap();
+        assert_eq!(exhaustive.is_none(), expect_equivalent);
+        let check = equivalence_check(&golden, &revised).unwrap();
+        let instance = NblSatInstance::new(check.formula()).unwrap();
+        let verdict = SatChecker::new(SymbolicEngine::new())
+            .check(&instance)
+            .unwrap();
+        assert_eq!(
+            verdict.is_sat(),
+            !expect_equivalent,
+            "NBL-SAT verdict must match exhaustive equivalence for {} vs {}",
+            golden.name(),
+            revised.name()
+        );
+    }
+}
+
+#[test]
+fn atpg_instances_agree_between_cdcl_and_nbl() {
+    let circuit = library::majority3();
+    for fault in fault_list(&circuit).into_iter().take(6) {
+        let check = atpg_check(&circuit, fault).unwrap();
+        let mut cdcl = CdclSolver::new();
+        let classical = cdcl.solve(check.formula()).is_sat();
+        let instance = NblSatInstance::new(check.formula()).unwrap();
+        let nbl = SatChecker::new(SymbolicEngine::new())
+            .check(&instance)
+            .unwrap()
+            .is_sat();
+        assert_eq!(classical, nbl, "disagreement on {}", fault.describe(&circuit));
+    }
+}
+
+#[test]
+fn exhaustive_test_sets_cover_all_detectable_faults() {
+    let circuit = library::greater_than_comparator(3);
+    let faults = fault_list(&circuit);
+    let n = circuit.num_inputs();
+    let patterns: Vec<Vec<bool>> = (0..1u64 << n)
+        .map(|p| (0..n).map(|i| p >> i & 1 == 1).collect())
+        .collect();
+    let report = fault_simulate(&circuit, &faults, &patterns).unwrap();
+    // Every undetected fault must be provably untestable (its ATPG CNF UNSAT).
+    for fault in &report.undetected {
+        let check = atpg_check(&circuit, *fault).unwrap();
+        let mut cdcl = CdclSolver::new();
+        assert!(
+            cdcl.solve(check.formula()).is_unsat(),
+            "{} escaped exhaustive patterns but is testable",
+            fault.describe(&circuit)
+        );
+    }
+}
+
+#[test]
+fn bench_round_trip_preserves_function_through_the_facade() {
+    let circuit = library::multiplexer(2);
+    let text = write_bench(&circuit);
+    let reparsed = parse_bench(&text).unwrap();
+    assert_eq!(exhaustive_counterexample(&circuit, &reparsed).unwrap(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The NBL hyperspace evaluation of a random circuit (all 2^n inputs
+    /// applied at once) matches its truth table exactly.
+    #[test]
+    fn nbl_circuit_evaluation_matches_truth_table(circuit in arb_circuit(4, 10)) {
+        let eval = NblCircuitEvaluator::new().evaluate(&circuit).unwrap();
+        let onset = eval.output_onset("y").unwrap();
+        for row in truth_table(&circuit).unwrap() {
+            prop_assert_eq!(onset.contains(row.pattern), row.outputs[0]);
+        }
+    }
+
+    /// Tseitin + CDCL find an input pattern driving the output to 1 exactly
+    /// when the truth table says one exists, and the decoded pattern replays
+    /// correctly in the simulator.
+    #[test]
+    fn tseitin_satisfiability_matches_truth_table(circuit in arb_circuit(4, 10)) {
+        let mut enc = TseitinEncoder::new().encode(&circuit).unwrap();
+        enc.assert_output(0, true);
+        let mut cdcl = CdclSolver::new();
+        let result = cdcl.solve(enc.formula());
+        let table = truth_table(&circuit).unwrap();
+        let reachable = table.iter().any(|row| row.outputs[0]);
+        prop_assert_eq!(result.is_sat(), reachable);
+        if let SolveResult::Satisfiable(model) = result {
+            let inputs = enc.decode_inputs(&model);
+            let sim = Simulator::new(&circuit).unwrap();
+            prop_assert!(sim.run(&inputs).unwrap()[0]);
+        }
+    }
+}

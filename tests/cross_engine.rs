@@ -1,0 +1,147 @@
+//! Cross-engine consistency: the three NBL engines (symbolic counting,
+//! algebraic term expansion, Monte-Carlo sampling) and the classical solvers
+//! must all tell the same story.
+
+use nbl_sat_repro::prelude::*;
+
+fn small_instances() -> Vec<cnf::CnfFormula> {
+    vec![
+        cnf::generators::example6_sat(),
+        cnf::generators::example7_unsat(),
+        cnf::generators::running_example(),
+        cnf::generators::section4_sat_instance(),
+        cnf::generators::section4_unsat_instance(),
+        cnf::cnf_formula![[1], [-1, 2], [-2, 3]],
+        cnf::cnf_formula![[1, 2, 3], [-1, -2, -3], [1, -2], [-1, 3]],
+    ]
+}
+
+#[test]
+fn symbolic_and_algebraic_engines_agree_exactly() {
+    for formula in small_instances() {
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let bindings = instance.empty_bindings();
+        let s = SymbolicEngine::new()
+            .estimate(&instance, &bindings)
+            .unwrap()
+            .mean;
+        let a = AlgebraicEngine::new()
+            .estimate(&instance, &bindings)
+            .unwrap()
+            .mean;
+        assert!(
+            (s - a).abs() <= 1e-15 * (1.0 + s.abs()),
+            "{formula}: symbolic {s} vs algebraic {a}"
+        );
+    }
+}
+
+#[test]
+fn sampled_engine_means_are_statistically_consistent_with_symbolic() {
+    for (i, formula) in small_instances().into_iter().enumerate() {
+        // Keep the Monte-Carlo budget sane: only instances with nm <= 8.
+        if formula.num_vars() * formula.num_clauses() > 8 {
+            continue;
+        }
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let bindings = instance.empty_bindings();
+        let exact = SymbolicEngine::new()
+            .estimate(&instance, &bindings)
+            .unwrap()
+            .mean;
+        let config = EngineConfig::new()
+            .with_seed(1000 + i as u64)
+            .with_max_samples(300_000)
+            .with_check_interval(300_000);
+        let est = SampledEngine::new(config)
+            .estimate(&instance, &bindings)
+            .unwrap();
+        assert!(
+            (est.mean - exact).abs() < 6.0 * est.std_error.max(1e-12),
+            "{formula}: sampled {} vs exact {exact}",
+            est
+        );
+    }
+}
+
+#[test]
+fn nbl_verdicts_match_every_classical_solver_on_random_instances() {
+    for seed in 0..25 {
+        let formula = cnf::generators::random_ksat(
+            &cnf::generators::RandomKSatConfig::new(7, 29, 3).with_seed(seed),
+        )
+        .unwrap();
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let nbl = SatChecker::new(SymbolicEngine::new())
+            .check(&instance)
+            .unwrap()
+            .is_sat();
+        assert_eq!(nbl, BruteForceSolver::new().solve(&formula).is_sat(), "seed {seed}");
+        assert_eq!(nbl, DpllSolver::new().solve(&formula).is_sat(), "seed {seed}");
+        assert_eq!(nbl, CdclSolver::new().solve(&formula).is_sat(), "seed {seed}");
+    }
+}
+
+#[test]
+fn extraction_is_consistent_across_engines() {
+    let formula = cnf::generators::section4_sat_instance();
+    let instance = NblSatInstance::new(&formula).unwrap();
+
+    let symbolic_model = AssignmentExtractor::new(SymbolicEngine::new())
+        .extract(&instance)
+        .unwrap()
+        .assignment
+        .unwrap();
+    assert!(formula.evaluate(&symbolic_model));
+
+    let algebraic_model = AssignmentExtractor::new(AlgebraicEngine::new())
+        .extract(&instance)
+        .unwrap()
+        .assignment
+        .unwrap();
+    assert!(formula.evaluate(&algebraic_model));
+
+    // Both exact engines walk the identical decision sequence, so the models agree.
+    assert_eq!(symbolic_model, algebraic_model);
+}
+
+#[test]
+fn binding_monotonicity_of_the_exact_mean() {
+    // Binding a variable can only keep or reduce the number of satisfying
+    // minterms in the τ subspace, so the exact mean never increases.
+    for formula in small_instances() {
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let mut engine = SymbolicEngine::new();
+        let free_mean = engine
+            .estimate(&instance, &instance.empty_bindings())
+            .unwrap()
+            .mean;
+        for value in [false, true] {
+            let mut bindings = instance.empty_bindings();
+            bindings.assign(Variable::new(0), value);
+            let bound_mean = engine.estimate(&instance, &bindings).unwrap().mean;
+            assert!(
+                bound_mean <= free_mean + 1e-18,
+                "{formula}: bound {bound_mean} > free {free_mean}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mean_is_proportional_to_the_number_of_satisfying_minterms() {
+    // Experiment E5 in miniature: single-clause formulas over n variables where
+    // the clause has exactly one literal have K = 2^(n-1) models, each
+    // satisfying exactly one literal, so the exact mean is K · (1/12)^n.
+    for n in 1..=4usize {
+        let mut formula = cnf::CnfFormula::new(n);
+        formula.add_clause([Literal::positive(Variable::new(0))]);
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let mean = SymbolicEngine::new()
+            .estimate(&instance, &instance.empty_bindings())
+            .unwrap()
+            .mean;
+        let expected = (1u64 << (n - 1)) as f64 * (1.0f64 / 12.0).powi(n as i32);
+        assert!((mean - expected).abs() < 1e-15, "n={n}: {mean} vs {expected}");
+    }
+}

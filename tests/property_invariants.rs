@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) over the core invariants of the workspace.
+
+use nbl_sat_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random CNF formula with `1..=max_vars` variables and
+/// `1..=max_clauses` clauses of 1–3 literals each.
+fn arb_formula(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = cnf::CnfFormula> {
+    (1..=max_vars).prop_flat_map(move |n| {
+        let clause = proptest::collection::vec(
+            (0..n, proptest::bool::ANY).prop_map(|(v, phase)| (v, phase)),
+            1..=3,
+        );
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |clauses| {
+            let mut formula = cnf::CnfFormula::new(n);
+            for lits in clauses {
+                formula.add_clause(
+                    lits.into_iter()
+                        .map(|(v, phase)| Literal::with_phase(Variable::new(v), phase)),
+                );
+            }
+            formula
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.1 (and its converse): the exact NBL mean is positive iff the
+    /// instance is satisfiable, as established by brute-force enumeration.
+    #[test]
+    fn nbl_symbolic_verdict_equals_brute_force(formula in arb_formula(6, 8)) {
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let verdict = SatChecker::new(SymbolicEngine::new()).check(&instance).unwrap();
+        let expected = BruteForceSolver::new().solve(&formula).is_sat();
+        prop_assert_eq!(verdict.is_sat(), expected);
+    }
+
+    /// The exact mean equals Var^{nm} times the multiplicity-weighted model
+    /// count, and is bounded below by K·Var^{nm}.
+    #[test]
+    fn exact_mean_scales_with_weighted_model_count(formula in arb_formula(5, 6)) {
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let engine = SymbolicEngine::new();
+        let (count, weighted) = engine
+            .count_models(&instance, &instance.empty_bindings())
+            .unwrap();
+        let mean = SymbolicEngine::new()
+            .estimate(&instance, &instance.empty_bindings())
+            .unwrap()
+            .mean;
+        let unit = engine.minterm_weight(&instance);
+        prop_assert!((mean - weighted * unit).abs() <= 1e-12 * (1.0 + mean.abs()));
+        prop_assert!(weighted >= count as f64);
+        prop_assert_eq!(count > 0, mean > 0.0);
+    }
+
+    /// Algorithm 2 always returns a genuine model when the instance is
+    /// satisfiable, using exactly n check operations.
+    #[test]
+    fn extraction_returns_a_model_with_n_checks(formula in arb_formula(6, 8)) {
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let satisfiable = formula.count_satisfying_assignments() > 0;
+        let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+        match extractor.extract(&instance) {
+            Ok(outcome) => {
+                prop_assert!(satisfiable);
+                prop_assert!(formula.evaluate(outcome.assignment.as_ref().unwrap()));
+                prop_assert_eq!(outcome.checks_used, formula.num_vars() as u64);
+            }
+            Err(NblSatError::InstanceUnsatisfiable) => prop_assert!(!satisfiable),
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    /// The cube variant returns an implicant: every assignment it covers
+    /// satisfies the formula.
+    #[test]
+    fn extracted_cube_is_an_implicant(formula in arb_formula(5, 6)) {
+        let instance = NblSatInstance::new(&formula).unwrap();
+        if formula.count_satisfying_assignments() == 0 {
+            return Ok(());
+        }
+        let outcome = AssignmentExtractor::new(SymbolicEngine::new())
+            .extract_cube(&instance)
+            .unwrap();
+        for a in outcome.cube.expand(formula.num_vars()) {
+            prop_assert!(formula.evaluate(&a));
+        }
+    }
+
+    /// DPLL, CDCL and brute force always agree, and their models verify.
+    #[test]
+    fn complete_solvers_agree(formula in arb_formula(7, 12)) {
+        let expected = BruteForceSolver::new().solve(&formula).is_sat();
+        let mut dpll = DpllSolver::new();
+        let mut cdcl = CdclSolver::new();
+        let d = dpll.solve(&formula);
+        let c = cdcl.solve(&formula);
+        prop_assert_eq!(d.is_sat(), expected);
+        prop_assert_eq!(c.is_sat(), expected);
+        if let Some(m) = d.model() { prop_assert!(formula.evaluate(m)); }
+        if let Some(m) = c.model() { prop_assert!(formula.evaluate(m)); }
+    }
+
+    /// WalkSAT never claims a non-model.
+    #[test]
+    fn walksat_models_verify(formula in arb_formula(6, 10)) {
+        let mut walksat = WalkSat::new();
+        if let SolveResult::Satisfiable(model) = walksat.solve(&formula) {
+            prop_assert!(formula.evaluate(&model));
+        }
+    }
+
+    /// DIMACS serialization round-trips formulas exactly.
+    #[test]
+    fn dimacs_roundtrip(formula in arb_formula(8, 10)) {
+        let text = cnf::dimacs::to_string(&formula);
+        let reparsed = cnf::dimacs::parse_str(&text).unwrap();
+        prop_assert_eq!(reparsed, formula);
+    }
+
+    /// Unit propagation never changes satisfiability.
+    #[test]
+    fn simplification_preserves_satisfiability(formula in arb_formula(6, 8)) {
+        let original = formula.count_satisfying_assignments() > 0;
+        let (reduced, report) = cnf::simplify(&formula);
+        if report.proved_sat {
+            prop_assert!(original);
+        } else if report.proved_unsat {
+            prop_assert!(!original);
+        } else {
+            prop_assert_eq!(reduced.count_satisfying_assignments() > 0, original);
+        }
+    }
+
+    /// The hybrid solver with an ideal coprocessor is sound and complete, and
+    /// never backtracks on satisfiable instances.
+    #[test]
+    fn hybrid_solver_is_sound_and_backtrack_free_on_sat(formula in arb_formula(5, 7)) {
+        let expected = formula.count_satisfying_assignments() > 0;
+        let mut solver = HybridSolver::with_ideal_coprocessor();
+        let result = solver.solve(&formula).unwrap();
+        prop_assert_eq!(result.is_some(), expected);
+        if let Some(model) = result {
+            prop_assert!(formula.evaluate(&model));
+            prop_assert_eq!(solver.stats().conflicts, 0);
+        }
+    }
+
+    /// Binding variables in τ_N never increases the exact mean, and binding to
+    /// the two polarities partitions it: mean(free) = mean(x=0) + mean(x=1).
+    #[test]
+    fn tau_binding_partitions_the_mean(formula in arb_formula(5, 6)) {
+        let instance = NblSatInstance::new(&formula).unwrap();
+        let mut engine = SymbolicEngine::new();
+        let free = engine.estimate(&instance, &instance.empty_bindings()).unwrap().mean;
+        let mut b1 = instance.empty_bindings();
+        b1.assign(Variable::new(0), true);
+        let m1 = engine.estimate(&instance, &b1).unwrap().mean;
+        let mut b0 = instance.empty_bindings();
+        b0.assign(Variable::new(0), false);
+        let m0 = engine.estimate(&instance, &b0).unwrap().mean;
+        prop_assert!((free - (m0 + m1)).abs() <= 1e-12 * (1.0 + free.abs()));
+        prop_assert!(m0 <= free + 1e-18 && m1 <= free + 1e-18);
+    }
+}

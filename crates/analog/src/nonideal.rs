@@ -282,10 +282,7 @@ mod tests {
 
     #[test]
     fn wrapping_a_summer_preserves_arity() {
-        let mut block = NonIdealBlock::new(
-            Summer::new(3),
-            Nonideality::ideal().with_offset(0.5),
-        );
+        let mut block = NonIdealBlock::new(Summer::new(3), Nonideality::ideal().with_offset(0.5));
         assert_eq!(block.num_inputs(), 3);
         assert!((block.process(&[0.1, 0.2, 0.3]) - 1.1).abs() < 1e-12);
     }

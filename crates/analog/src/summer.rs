@@ -57,11 +57,7 @@ impl AnalogBlock for Summer {
 
     fn process(&mut self, inputs: &[f64]) -> f64 {
         assert_eq!(inputs.len(), self.gains.len(), "input count mismatch");
-        inputs
-            .iter()
-            .zip(&self.gains)
-            .map(|(x, g)| x * g)
-            .sum()
+        inputs.iter().zip(&self.gains).map(|(x, g)| x * g).sum()
     }
 
     fn reset(&mut self) {}

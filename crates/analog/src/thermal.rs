@@ -57,7 +57,10 @@ impl ThermalNoiseSource {
             ("bandwidth", bandwidth_hz),
             ("gain", gain),
         ] {
-            assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "{name} must be positive and finite"
+            );
         }
         let rms_input =
             (4.0 * BOLTZMANN_J_PER_K * temperature_kelvin * resistance_ohms * bandwidth_hz).sqrt();
@@ -202,9 +205,7 @@ mod tests {
             stats.push(src.process(&[]));
         }
         assert!(stats.mean().abs() < 0.02 * src.rms_output_volts());
-        assert!(
-            (stats.std_dev() - src.rms_output_volts()).abs() < 0.05 * src.rms_output_volts()
-        );
+        assert!((stats.std_dev() - src.rms_output_volts()).abs() < 0.05 * src.rms_output_volts());
         src.reset();
         let first = src.process(&[]);
         src.reset();

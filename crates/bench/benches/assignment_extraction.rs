@@ -1,8 +1,8 @@
 //! Criterion bench for E4 (Algorithm 2): cost of extracting a satisfying
 //! assignment as the variable count grows (the paper's bound is n checks).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cnf::generators::{random_ksat, RandomKSatConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbl_sat_core::{AssignmentExtractor, NblSatInstance, SymbolicEngine};
 
 fn extraction_by_size(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Criterion bench for E6: the NBL-guided hybrid solver against the classical
 //! baselines (DPLL, CDCL, WalkSAT) on random 3-SAT and structured instances.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cnf::generators::{self, RandomKSatConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
 use nbl_sat_core::HybridSolver;
 use sat_solvers::{CdclSolver, DpllSolver, Solver, WalkSat};
 
@@ -14,7 +14,11 @@ fn solvers_on_random_3sat(c: &mut Criterion) {
     // solve; a reduced sample count keeps the whole suite fast.
     group.sample_size(10);
     group.bench_function("hybrid_nbl_guided", |b| {
-        b.iter(|| HybridSolver::with_ideal_coprocessor().solve(&formula).unwrap())
+        b.iter(|| {
+            HybridSolver::with_ideal_coprocessor()
+                .solve(&formula)
+                .unwrap()
+        })
     });
     group.bench_function("dpll", |b| b.iter(|| DpllSolver::new().solve(&formula)));
     group.bench_function("cdcl", |b| b.iter(|| CdclSolver::new().solve(&formula)));
@@ -27,7 +31,11 @@ fn solvers_on_pigeonhole(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_pigeonhole_4_3");
     group.sample_size(10);
     group.bench_function("hybrid_nbl_guided", |b| {
-        b.iter(|| HybridSolver::with_ideal_coprocessor().solve(&formula).unwrap())
+        b.iter(|| {
+            HybridSolver::with_ideal_coprocessor()
+                .solve(&formula)
+                .unwrap()
+        })
     });
     group.bench_function("dpll", |b| b.iter(|| DpllSolver::new().solve(&formula)));
     group.bench_function("cdcl", |b| b.iter(|| CdclSolver::new().solve(&formula)));

@@ -62,7 +62,11 @@ fn fault_simulation(c: &mut Criterion) {
     let faults = fault_list(&circuit);
     let n = circuit.num_inputs();
     let patterns: Vec<Vec<bool>> = (0..64u64)
-        .map(|p| (0..n).map(|i| p.wrapping_mul(0x9E37).wrapping_add(17) >> i & 1 == 1).collect())
+        .map(|p| {
+            (0..n)
+                .map(|i| p.wrapping_mul(0x9E37).wrapping_add(17) >> i & 1 == 1)
+                .collect()
+        })
         .collect();
     let mut group = c.benchmark_group("fault_simulation_rca4");
     group.bench_function("64_patterns_full_fault_list", |b| {
@@ -79,8 +83,12 @@ fn bit_parallel_simulation(c: &mut Criterion) {
         .collect();
     let scalar_inputs: Vec<bool> = (0..circuit.num_inputs()).map(|i| i % 2 == 0).collect();
     let mut group = c.benchmark_group("simulation_mul4");
-    group.bench_function("scalar_pattern", |b| b.iter(|| sim.run(&scalar_inputs).unwrap()));
-    group.bench_function("word_64_patterns", |b| b.iter(|| sim.run_words(&words).unwrap()));
+    group.bench_function("scalar_pattern", |b| {
+        b.iter(|| sim.run(&scalar_inputs).unwrap())
+    });
+    group.bench_function("word_64_patterns", |b| {
+        b.iter(|| sim.run_words(&words).unwrap())
+    });
     group.finish();
 }
 

@@ -24,10 +24,9 @@ fn local_search_on_easy_3sat(c: &mut Criterion) {
 fn two_sat_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("two_sat_implication_graph");
     for n in [50usize, 200, 800] {
-        let formula = generators::random_ksat(
-            &RandomKSatConfig::new(n, 2 * n, 2).with_seed(n as u64),
-        )
-        .unwrap();
+        let formula =
+            generators::random_ksat(&RandomKSatConfig::new(n, 2 * n, 2).with_seed(n as u64))
+                .unwrap();
         group.bench_function(format!("n{n}_m{}", 2 * n), |b| {
             b.iter(|| TwoSatSolver::new().solve(&formula))
         });

@@ -2,8 +2,8 @@
 //! estimate as the instance size (n·m) grows — the denominator of the SNR
 //! trade-off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cnf::generators::{random_ksat, RandomKSatConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbl_sat_core::{EngineConfig, NblEngine, NblSatInstance, SampledEngine};
 
 fn sampled_estimate_by_size(c: &mut Criterion) {

@@ -14,7 +14,10 @@ use std::fmt::Write as _;
 /// paper's §IV S_SAT and S_UNSAT instances.
 ///
 /// Returns the two traces (SAT first) and a rendered report.
-pub fn fig1_convergence(max_samples: u64, seed: u64) -> (ConvergenceTrace, ConvergenceTrace, String) {
+pub fn fig1_convergence(
+    max_samples: u64,
+    seed: u64,
+) -> (ConvergenceTrace, ConvergenceTrace, String) {
     let sat = NblSatInstance::new(&generators::section4_sat_instance()).expect("valid instance");
     let unsat =
         NblSatInstance::new(&generators::section4_unsat_instance()).expect("valid instance");
@@ -133,7 +136,11 @@ pub fn snr_scaling(samples_list: &[u64], trials: u32, seed: u64) -> (Vec<SnrRow>
 /// the sampled engine.
 pub fn worked_examples(samples: u64, seed: u64) -> String {
     let cases = [
-        ("Example 6  (x1+x2)(¬x1+¬x2)", generators::example6_sat(), true),
+        (
+            "Example 6  (x1+x2)(¬x1+¬x2)",
+            generators::example6_sat(),
+            true,
+        ),
         ("Example 7  (x1)(¬x1)", generators::example7_unsat(), false),
         (
             "§IV S_SAT  (x1+x2)(x1+x2)(x1+¬x2)(¬x1+x2)",
@@ -245,7 +252,10 @@ pub fn mean_vs_k(seed: u64) -> String {
         report,
         "# E5 / mean vs K: exact S_N mean against the (weighted) satisfying-minterm count"
     );
-    let _ = writeln!(report, "instance\tn\tm\tK\tweighted_K\texact_mean\tmean/(Var^nm)");
+    let _ = writeln!(
+        report,
+        "instance\tn\tm\tK\tweighted_K\texact_mean\tmean/(Var^nm)"
+    );
     let mut emit = |name: &str, formula: &CnfFormula| {
         let instance = NblSatInstance::new(formula).expect("valid instance");
         let engine = SymbolicEngine::new();
@@ -434,10 +444,14 @@ pub fn cost_scaling(seed: u64) -> String {
         report,
         "# E8 / cost model: NBL product-term count (O(2^nm)) and per-sample simulation cost"
     );
-    let _ = writeln!(report, "n\tm\tnm\tnoise_sources\tproduct_terms\tns_per_sample");
+    let _ = writeln!(
+        report,
+        "n\tm\tnm\tnoise_sources\tproduct_terms\tns_per_sample"
+    );
     for (n, m) in [(2usize, 2usize), (2, 4), (3, 4), (4, 6), (5, 10), (6, 12)] {
-        let formula = generators::random_ksat(&RandomKSatConfig::new(n, m, 3.min(n)).with_seed(seed))
-            .expect("valid config");
+        let formula =
+            generators::random_ksat(&RandomKSatConfig::new(n, m, 3.min(n)).with_seed(seed))
+                .expect("valid config");
         let instance = NblSatInstance::new(&formula).expect("valid instance");
         let samples = 20_000u64;
         let config = EngineConfig::new()
@@ -515,10 +529,7 @@ mod tests {
     #[test]
     fn mean_vs_k_reports_zero_for_unsat() {
         let report = mean_vs_k(5);
-        let unsat_line = report
-            .lines()
-            .find(|l| l.starts_with("example7"))
-            .unwrap();
+        let unsat_line = report.lines().find(|l| l.starts_with("example7")).unwrap();
         assert!(unsat_line.contains("\t0\t"));
     }
 

@@ -20,8 +20,7 @@ use nbl_circuit::{
 use nbl_noise::CarrierKind;
 use nbl_sat_core::{NblSatInstance, SatChecker, SymbolicEngine, Verdict};
 use sat_solvers::{
-    CdclSolver, DpllSolver, Gsat, Portfolio, Schoening, SolveResult, Solver, TwoSatSolver,
-    WalkSat,
+    CdclSolver, DpllSolver, Gsat, Portfolio, Schoening, SolveResult, Solver, TwoSatSolver, WalkSat,
 };
 use std::fmt::Write as _;
 
@@ -67,8 +66,14 @@ fn degraded_block_level_mean(
     )));
 
     // τ_N = N¹_x N²_x + N¹_x̄ N²_x̄ — the minterm multipliers are also degraded.
-    let tau_pos = net.add_block(Box::new(NonIdealBlock::new(Multiplier::new(), imperfection)));
-    let tau_neg = net.add_block(Box::new(NonIdealBlock::new(Multiplier::new(), imperfection)));
+    let tau_pos = net.add_block(Box::new(NonIdealBlock::new(
+        Multiplier::new(),
+        imperfection,
+    )));
+    let tau_neg = net.add_block(Box::new(NonIdealBlock::new(
+        Multiplier::new(),
+        imperfection,
+    )));
     let tau = net.add_block(Box::new(Summer::new(2)));
     net.connect(p1, tau_pos, 0).expect("valid netlist");
     net.connect(p2, tau_pos, 1).expect("valid netlist");
@@ -78,12 +83,18 @@ fn degraded_block_level_mean(
     net.connect(tau_neg, tau, 1).expect("valid netlist");
 
     // Σ_N = N¹_x · N²_x  (SAT)   or   N¹_x · N²_x̄  (UNSAT).
-    let sigma = net.add_block(Box::new(NonIdealBlock::new(Multiplier::new(), imperfection)));
+    let sigma = net.add_block(Box::new(NonIdealBlock::new(
+        Multiplier::new(),
+        imperfection,
+    )));
     net.connect(p1, sigma, 0).expect("valid netlist");
     net.connect(if satisfiable { p2 } else { m2 }, sigma, 1)
         .expect("valid netlist");
 
-    let s_n = net.add_block(Box::new(NonIdealBlock::new(Multiplier::new(), imperfection)));
+    let s_n = net.add_block(Box::new(NonIdealBlock::new(
+        Multiplier::new(),
+        imperfection,
+    )));
     let readout = net.add_block(Box::new(CorrelatorBlock::new()));
     net.connect(tau, s_n, 0).expect("valid netlist");
     net.connect(sigma, s_n, 1).expect("valid netlist");
@@ -96,14 +107,8 @@ fn degraded_block_level_mean(
 pub fn nonideality_ablation(steps: u64, seed: u64) -> (Vec<NonidealityRow>, String) {
     let settings: Vec<(String, Nonideality)> = vec![
         ("ideal".to_string(), Nonideality::ideal()),
-        (
-            "gain +10%".to_string(),
-            Nonideality::ideal().with_gain(1.1),
-        ),
-        (
-            "gain -20%".to_string(),
-            Nonideality::ideal().with_gain(0.8),
-        ),
+        ("gain +10%".to_string(), Nonideality::ideal().with_gain(1.1)),
+        ("gain -20%".to_string(), Nonideality::ideal().with_gain(0.8)),
         (
             "offset 1e-3".to_string(),
             Nonideality::ideal().with_offset(1e-3),
@@ -134,7 +139,9 @@ pub fn nonideality_ablation(steps: u64, seed: u64) -> (Vec<NonidealityRow>, Stri
         ),
         (
             "offset 1e-3 + 8-bit ADC".to_string(),
-            Nonideality::ideal().with_offset(1e-3).with_quantizer(8, 0.5),
+            Nonideality::ideal()
+                .with_offset(1e-3)
+                .with_quantizer(8, 0.5),
         ),
     ];
     // Ideal expected SAT mean for the mini-instance is (1/12)² ≈ 6.94e-3; the
@@ -303,8 +310,11 @@ pub fn atpg_coverage(nbl_crosscheck_limit: usize) -> (Vec<AtpgRow>, String) {
 /// E10b: combinational equivalence checking of golden vs. buggy adders.
 pub fn equivalence_workload() -> String {
     let mut report = String::new();
-    writeln!(report, "E10b — equivalence checking (miter CNF, CDCL back end)")
-        .expect("write to string");
+    writeln!(
+        report,
+        "E10b — equivalence checking (miter CNF, CDCL back end)"
+    )
+    .expect("write to string");
     writeln!(
         report,
         "{:<28} {:>7} {:>9} {:>10}  result",
@@ -390,7 +400,10 @@ fn comparison_workloads(seed: u64) -> Vec<(String, CnfFormula)> {
         workloads.push((format!("random 3-SAT n={n} m/n={ratio}"), formula));
     }
     workloads.push(("pigeonhole 4->3".to_string(), generators::pigeonhole(4, 3)));
-    workloads.push(("parity chain n=6".to_string(), generators::parity_chain(6, false)));
+    workloads.push((
+        "parity chain n=6".to_string(),
+        generators::parity_chain(6, false),
+    ));
     workloads.push((
         "random 2-SAT n=15".to_string(),
         generators::random_ksat(&RandomKSatConfig::new(15, 30, 2).with_seed(seed + 7))
@@ -460,7 +473,9 @@ pub fn solver_comparison(seed: u64) -> (Vec<ComparisonRow>, String) {
 /// Encodes one circuit satisfiability query (used by the Criterion benches):
 /// "can output `output_index` of `circuit` be driven to 1?".
 pub fn circuit_output_query(circuit: &Circuit, output_index: usize) -> CnfFormula {
-    let mut encoding = TseitinEncoder::new().encode(circuit).expect("acyclic circuit");
+    let mut encoding = TseitinEncoder::new()
+        .encode(circuit)
+        .expect("acyclic circuit");
     encoding.assert_output(output_index, true);
     encoding.into_formula()
 }
@@ -509,10 +524,17 @@ mod tests {
     fn solver_comparison_is_internally_consistent() {
         let (rows, _report) = solver_comparison(2012);
         // Complete solvers must agree pairwise on every instance.
-        for instance in rows.iter().map(|r| r.instance.clone()).collect::<std::collections::BTreeSet<_>>() {
+        for instance in rows
+            .iter()
+            .map(|r| r.instance.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+        {
             let verdicts: Vec<&ComparisonRow> = rows
                 .iter()
-                .filter(|r| r.instance == instance && (r.solver == "dpll" || r.solver == "cdcl" || r.solver == "portfolio"))
+                .filter(|r| {
+                    r.instance == instance
+                        && (r.solver == "dpll" || r.solver == "cdcl" || r.solver == "portfolio")
+                })
                 .collect();
             let first = &verdicts[0].verdict;
             assert!(

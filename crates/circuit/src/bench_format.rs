@@ -149,10 +149,13 @@ pub fn parse_bench(text: &str) -> Result<Circuit> {
             circuit.set_constant_driver(lhs, upper == "CONST1")?;
             continue;
         }
-        let kind: GateKind = def.kind_token.parse().map_err(|_| CircuitError::ParseBench {
-            line: def.line,
-            message: format!("unknown gate kind `{}`", def.kind_token),
-        })?;
+        let kind: GateKind = def
+            .kind_token
+            .parse()
+            .map_err(|_| CircuitError::ParseBench {
+                line: def.line,
+                message: format!("unknown gate kind `{}`", def.kind_token),
+            })?;
         let fanin: Vec<NodeId> = def
             .args
             .iter()
@@ -163,15 +166,17 @@ pub fn parse_bench(text: &str) -> Result<Circuit> {
                 })
             })
             .collect::<Result<_>>()?;
-        circuit
-            .set_driver(lhs, kind, &fanin)
-            .map_err(|e| match e {
-                CircuitError::InvalidFanin { kind, got, expected } => CircuitError::ParseBench {
-                    line: def.line,
-                    message: format!("{kind} gate cannot take {got} inputs (expected {expected})"),
-                },
-                other => other,
-            })?;
+        circuit.set_driver(lhs, kind, &fanin).map_err(|e| match e {
+            CircuitError::InvalidFanin {
+                kind,
+                got,
+                expected,
+            } => CircuitError::ParseBench {
+                line: def.line,
+                message: format!("{kind} gate cannot take {got} inputs (expected {expected})"),
+            },
+            other => other,
+        })?;
     }
     for (line_no, name) in &outputs {
         let id = circuit.find(name).ok_or(CircuitError::ParseBench {

@@ -75,7 +75,9 @@ impl CircuitBuilder {
     ///
     /// Propagates [`crate::CircuitError::DuplicateSignal`].
     pub fn input_bus(&mut self, stem: &str, width: usize) -> Result<Vec<NodeId>> {
-        (0..width).map(|i| self.input(format!("{stem}{i}"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{stem}{i}")))
+            .collect()
     }
 
     /// Adds a constant driver with an auto-generated name.
@@ -294,7 +296,10 @@ mod tests {
         let circuit = b.finish();
         let sim = Simulator::new(&circuit).unwrap();
         assert_eq!(sim.run(&[true; 5]).unwrap(), vec![true]);
-        assert_eq!(sim.run(&[true, true, false, true, true]).unwrap(), vec![false]);
+        assert_eq!(
+            sim.run(&[true, true, false, true, true]).unwrap(),
+            vec![false]
+        );
         // A balanced reduction of 5 leaves uses 4 binary gates and depth 3.
         assert_eq!(circuit.num_gates(), 4 + 1); // + output buffer
         assert!(circuit.stats().depth <= 4);

@@ -63,7 +63,10 @@ impl fmt::Display for CircuitError {
                 kind,
                 got,
                 expected,
-            } => write!(f, "{kind} gate cannot take {got} inputs (expected {expected})"),
+            } => write!(
+                f,
+                "{kind} gate cannot take {got} inputs (expected {expected})"
+            ),
             CircuitError::CombinationalLoop(name) => {
                 write!(f, "combinational loop through signal `{name}`")
             }

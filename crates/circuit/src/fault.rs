@@ -266,7 +266,7 @@ mod tests {
         // With a0 stuck at 1, the pattern a=0,b=0,cin=0 must now produce s0=1.
         let sim = Simulator::new(&faulty).unwrap();
         let out = sim.run(&[false, false, false, false, false]).unwrap();
-        assert_eq!(out[0], true);
+        assert!(out[0]);
     }
 
     #[test]
@@ -342,7 +342,10 @@ mod tests {
         let err = fault_simulate(&c, &faults, &[vec![true; 2]]).unwrap_err();
         assert!(matches!(
             err,
-            crate::CircuitError::InputCountMismatch { expected: 3, got: 2 }
+            crate::CircuitError::InputCountMismatch {
+                expected: 3,
+                got: 2
+            }
         ));
     }
 }

@@ -109,7 +109,10 @@ impl GateKind {
     ///
     /// Panics if `inputs` is empty.
     pub fn eval(self, inputs: &[bool]) -> bool {
-        assert!(!inputs.is_empty(), "gate evaluation needs at least one input");
+        assert!(
+            !inputs.is_empty(),
+            "gate evaluation needs at least one input"
+        );
         match self {
             GateKind::Buf => inputs[0],
             GateKind::Not => !inputs[0],
@@ -129,7 +132,10 @@ impl GateKind {
     ///
     /// Panics if `inputs` is empty.
     pub fn eval_word(self, inputs: &[u64]) -> u64 {
-        assert!(!inputs.is_empty(), "gate evaluation needs at least one input");
+        assert!(
+            !inputs.is_empty(),
+            "gate evaluation needs at least one input"
+        );
         match self {
             GateKind::Buf => inputs[0],
             GateKind::Not => !inputs[0],
@@ -249,8 +255,7 @@ mod tests {
             }
             let out = kind.eval_word(&words);
             for pattern in 0..(1u32 << arity) {
-                let scalar_inputs: Vec<bool> =
-                    (0..arity).map(|i| pattern >> i & 1 == 1).collect();
+                let scalar_inputs: Vec<bool> = (0..arity).map(|i| pattern >> i & 1 == 1).collect();
                 assert_eq!(
                     out >> pattern & 1 == 1,
                     kind.eval(&scalar_inputs),

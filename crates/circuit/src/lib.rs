@@ -46,8 +46,8 @@ pub mod fault;
 pub mod gate;
 pub mod library;
 pub mod miter;
-pub mod netlist;
 pub mod nbl_eval;
+pub mod netlist;
 pub mod sim;
 pub mod tseitin;
 
@@ -58,8 +58,8 @@ pub use fault::{atpg_check, fault_list, fault_simulate, inject, FaultSimReport, 
 pub use gate::{GateKind, ParseGateKindError};
 pub use library::standard_suite;
 pub use miter::{equivalence_check, miter, EquivalenceCheck};
-pub use netlist::{Circuit, CircuitStats, Node, NodeId, NodeKind};
 pub use nbl_eval::{NblCircuitEvaluation, NblCircuitEvaluator, NBL_EVAL_INPUT_LIMIT};
+pub use netlist::{Circuit, CircuitStats, Node, NodeId, NodeKind};
 pub use sim::{
     exhaustive_counterexample, truth_table, Simulator, TruthTableRow, EXHAUSTIVE_INPUT_LIMIT,
 };
@@ -74,10 +74,7 @@ mod tests {
         let adder = library::ripple_carry_adder(2);
         let text = write_bench(&adder);
         let reparsed = parse_bench(&text).unwrap();
-        assert_eq!(
-            exhaustive_counterexample(&adder, &reparsed).unwrap(),
-            None
-        );
+        assert_eq!(exhaustive_counterexample(&adder, &reparsed).unwrap(), None);
         let encoding = TseitinEncoder::new().encode(&adder).unwrap();
         assert_eq!(encoding.num_input_vars(), adder.num_inputs());
     }

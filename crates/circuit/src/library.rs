@@ -25,7 +25,9 @@ pub fn ripple_carry_adder(width: usize) -> Circuit {
     let b_bus = b.input_bus("b", width).expect("fresh names");
     let mut carry = b.input("cin").expect("fresh names");
     for i in 0..width {
-        let (sum, cout) = b.full_adder(a_bus[i], b_bus[i], carry).expect("valid gates");
+        let (sum, cout) = b
+            .full_adder(a_bus[i], b_bus[i], carry)
+            .expect("valid gates");
         b.output(format!("s{i}"), sum).expect("fresh outputs");
         carry = cout;
     }
@@ -58,7 +60,9 @@ pub fn buggy_ripple_carry_adder(width: usize, bug_stage: usize) -> Circuit {
         if i == bug_stage {
             carry = b.constant(false).expect("fresh names");
         }
-        let (sum, cout) = b.full_adder(a_bus[i], b_bus[i], carry).expect("valid gates");
+        let (sum, cout) = b
+            .full_adder(a_bus[i], b_bus[i], carry)
+            .expect("valid gates");
         b.output(format!("s{i}"), sum).expect("fresh outputs");
         carry = cout;
     }
@@ -180,7 +184,10 @@ pub fn majority3() -> Circuit {
 ///
 /// Panics if `width == 0` or `width > 8` (the array grows quadratically).
 pub fn array_multiplier(width: usize) -> Circuit {
-    assert!((1..=8).contains(&width), "multiplier width must be in 1..=8");
+    assert!(
+        (1..=8).contains(&width),
+        "multiplier width must be in 1..=8"
+    );
     let mut b = CircuitBuilder::new(format!("mul{width}"));
     let a_bus = b.input_bus("a", width).expect("fresh names");
     let b_bus = b.input_bus("b", width).expect("fresh names");

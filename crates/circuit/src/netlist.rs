@@ -595,12 +595,9 @@ impl Circuit {
                         node.name, other.name
                     ))
                 })?,
-                NodeKind::Constant(v) => {
-                    self.add_constant(format!("{prefix}{}", node.name), v)?
-                }
+                NodeKind::Constant(v) => self.add_constant(format!("{prefix}{}", node.name), v)?,
                 NodeKind::Gate(kind) => {
-                    let fanin: Vec<NodeId> =
-                        node.fanin.iter().map(|f| translated[f]).collect();
+                    let fanin: Vec<NodeId> = node.fanin.iter().map(|f| translated[f]).collect();
                     self.add_gate(format!("{prefix}{}", node.name), kind, &fanin)?
                 }
             };

@@ -107,8 +107,7 @@ impl CnfEncoding {
     /// Panics if `i` is out of range.
     pub fn assert_output(&mut self, i: usize, value: bool) {
         let lit = self.output_literals[i];
-        self.formula
-            .add_clause([if value { lit } else { !lit }]);
+        self.formula.add_clause([if value { lit } else { !lit }]);
     }
 
     /// Adds a unit clause forcing the `i`-th primary input to `value`.
@@ -193,7 +192,11 @@ impl TseitinEncoder {
             input_vars,
             node_literals,
             output_literals,
-            input_names: circuit.input_names().iter().map(|s| s.to_string()).collect(),
+            input_names: circuit
+                .input_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             output_names: circuit
                 .output_names()
                 .iter()

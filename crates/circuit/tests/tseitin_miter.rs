@@ -1,0 +1,194 @@
+//! Focused tests for the Tseitin encoding and miter / equivalence-checking
+//! path, including malformed-input error cases (builder misuse, interface
+//! mismatches, and `.bench` parse errors).
+
+use nbl_circuit::{
+    equivalence_check, miter, parse_bench, Circuit, CircuitBuilder, CircuitError, GateKind,
+    Simulator, TseitinEncoder,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sat_solvers::{DpllSolver, SolveResult, Solver};
+
+/// Builds a random fan-in-2 combinational circuit over `num_inputs` inputs
+/// from a seeded generator.
+fn random_circuit(seed: u64, num_inputs: usize, num_gates: usize) -> Circuit {
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xnor,
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CircuitBuilder::new("random");
+    let mut signals: Vec<_> = (0..num_inputs)
+        .map(|i| builder.input(format!("x{i}")).unwrap())
+        .collect();
+    for _ in 0..num_gates {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let a = signals[rng.gen_range(0..signals.len())];
+        let b = signals[rng.gen_range(0..signals.len())];
+        signals.push(builder.gate(kind, &[a, b]).unwrap());
+    }
+    let last = *signals.last().unwrap();
+    builder.output("y", last).unwrap();
+    builder.finish()
+}
+
+#[test]
+fn tseitin_encoding_of_random_circuits_matches_simulation() {
+    for seed in 0..8u64 {
+        let circuit = random_circuit(seed, 4, 12);
+        let sim = Simulator::new(&circuit).unwrap();
+        let base = TseitinEncoder::new().encode(&circuit).unwrap();
+        for pattern in 0..1u64 << 4 {
+            let inputs: Vec<bool> = (0..4).map(|i| pattern >> i & 1 == 1).collect();
+            let expected = sim.run(&inputs).unwrap()[0];
+            // CNF with inputs pinned and the output asserted to `expected`
+            // must be SAT; asserted to `!expected` must be UNSAT.
+            for claim in [expected, !expected] {
+                let mut enc = base.clone();
+                for (i, &v) in inputs.iter().enumerate() {
+                    enc.assert_input(i, v);
+                }
+                enc.assert_output(0, claim);
+                let result = DpllSolver::new().solve(enc.formula());
+                assert_eq!(
+                    result.is_sat(),
+                    claim == expected,
+                    "seed {seed}, pattern {pattern:04b}, claim {claim}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn miter_of_equivalent_random_circuits_is_unsat() {
+    // The same seed yields the same circuit; a miter of a circuit against
+    // itself must be unsatisfiable.
+    let a = random_circuit(1, 3, 10);
+    let b = random_circuit(1, 3, 10);
+    let m = miter(&a, &b).unwrap();
+    let enc = TseitinEncoder::new().encode(&m).unwrap();
+    let mut formula = enc.formula().clone();
+    formula.add_clause([enc.output_literal(0)]);
+    assert!(matches!(
+        DpllSolver::new().solve(&formula),
+        SolveResult::Unsatisfiable
+    ));
+}
+
+#[test]
+fn equivalence_check_finds_real_counterexamples() {
+    // AND vs OR differ exactly on patterns where the inputs disagree.
+    let mut a = CircuitBuilder::new("and");
+    let x = a.input("x").unwrap();
+    let y = a.input("y").unwrap();
+    let g = a.and2(x, y).unwrap();
+    a.output("out", g).unwrap();
+    let a = a.finish();
+
+    let mut b = CircuitBuilder::new("or");
+    let x = b.input("x").unwrap();
+    let y = b.input("y").unwrap();
+    let g = b.or2(x, y).unwrap();
+    b.output("out", g).unwrap();
+    let b = b.finish();
+
+    let check = equivalence_check(&a, &b).unwrap();
+    let result = DpllSolver::new().solve(check.formula());
+    let model = match result {
+        SolveResult::Satisfiable(m) => m,
+        other => panic!("expected a counterexample, got {other:?}"),
+    };
+    let cex = check.counterexample(&model);
+    assert_eq!(cex.len(), 2);
+    // The counterexample must actually distinguish the two circuits.
+    let inputs: Vec<bool> = cex.iter().map(|(_, v)| *v).collect();
+    let out_a = Simulator::new(&a).unwrap().run(&inputs).unwrap()[0];
+    let out_b = Simulator::new(&b).unwrap().run(&inputs).unwrap()[0];
+    assert_ne!(out_a, out_b);
+}
+
+#[test]
+fn builder_rejects_malformed_circuits() {
+    let mut builder = CircuitBuilder::new("bad");
+    builder.input("a").unwrap();
+    assert!(matches!(
+        builder.input("a"),
+        Err(CircuitError::DuplicateSignal(_))
+    ));
+
+    let mut builder = CircuitBuilder::new("bad");
+    let a = builder.input("a").unwrap();
+    assert!(matches!(
+        builder.gate(GateKind::Not, &[a, a]),
+        Err(CircuitError::InvalidFanin { .. })
+    ));
+
+    // A second output under a fresh name would create a duplicate buffer
+    // signal; re-marking the same named node is a duplicate output.
+    let mut builder = CircuitBuilder::new("bad");
+    let a = builder.input("a").unwrap();
+    builder.output("y", a).unwrap();
+    assert!(matches!(
+        builder.output("y", a),
+        Err(CircuitError::DuplicateSignal(_))
+    ));
+
+    let mut builder = CircuitBuilder::new("bad");
+    let a = builder.input("a").unwrap();
+    builder.output("a", a).unwrap();
+    assert!(matches!(
+        builder.output("a", a),
+        Err(CircuitError::DuplicateOutput(_))
+    ));
+}
+
+#[test]
+fn miter_rejects_interface_mismatches() {
+    let one_input = {
+        let mut b = CircuitBuilder::new("one");
+        let x = b.input("x").unwrap();
+        let g = b.not(x).unwrap();
+        b.output("y", g).unwrap();
+        b.finish()
+    };
+    let two_inputs = random_circuit(0, 2, 4);
+    assert!(matches!(
+        miter(&one_input, &two_inputs),
+        Err(CircuitError::InterfaceMismatch(_))
+    ));
+    assert!(matches!(
+        equivalence_check(&two_inputs, &one_input),
+        Err(CircuitError::InterfaceMismatch(_))
+    ));
+}
+
+#[test]
+fn bench_parser_reports_malformed_lines() {
+    // Unknown gate type.
+    let err = parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n").unwrap_err();
+    assert!(matches!(err, CircuitError::ParseBench { line: 3, .. }));
+
+    // Structurally invalid line.
+    let err = parse_bench("INPUT(a)\nOUTPUT(y)\nthis is not bench\n").unwrap_err();
+    assert!(matches!(err, CircuitError::ParseBench { .. }));
+
+    // Output signal never defined.
+    assert!(parse_bench("INPUT(a)\nOUTPUT(y)\n").is_err());
+}
+
+#[test]
+fn miter_rejects_circuits_without_outputs() {
+    let mut builder = CircuitBuilder::new("no_outputs");
+    builder.input("a").unwrap();
+    let circuit = builder.finish();
+    assert!(matches!(
+        miter(&circuit, &circuit),
+        Err(CircuitError::NoOutputs)
+    ));
+}

@@ -127,7 +127,10 @@ impl Assignment {
     ///
     /// Panics if `num_vars > 63` (the iterator would not terminate or overflow).
     pub fn enumerate_all(num_vars: usize) -> impl Iterator<Item = Assignment> {
-        assert!(num_vars <= 63, "cannot enumerate more than 2^63 assignments");
+        assert!(
+            num_vars <= 63,
+            "cannot enumerate more than 2^63 assignments"
+        );
         (0u64..(1u64 << num_vars)).map(move |i| Assignment::from_index(num_vars, i))
     }
 }

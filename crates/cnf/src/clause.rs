@@ -90,9 +90,7 @@ impl Clause {
 
     /// Returns `true` if the clause contains both a literal and its negation.
     pub fn is_tautology(&self) -> bool {
-        self.literals
-            .iter()
-            .any(|&l| self.literals.contains(&!l))
+        self.literals.iter().any(|&l| self.literals.contains(&!l))
     }
 
     /// Returns the largest variable index mentioned, if any.

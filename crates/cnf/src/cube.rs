@@ -89,9 +89,7 @@ impl Cube {
     /// Returns `true` if the cube contains contradictory literals (x and ¬x),
     /// i.e. represents the empty set of minterms.
     pub fn is_contradictory(&self) -> bool {
-        self.literals
-            .iter()
-            .any(|&l| self.literals.contains(&!l))
+        self.literals.iter().any(|&l| self.literals.contains(&!l))
     }
 
     /// Returns the phase the cube fixes for `var`, if any.

@@ -220,7 +220,10 @@ mod tests {
         let err = parse_str("p cnf 2 3\n1 0\n2 0\n").unwrap_err();
         assert!(matches!(
             err,
-            CnfError::HeaderMismatch { what: "clauses", .. }
+            CnfError::HeaderMismatch {
+                what: "clauses",
+                ..
+            }
         ));
     }
 
@@ -260,5 +263,94 @@ mod tests {
     fn percent_trailer_ignored() {
         let f = parse_str("p cnf 1 1\n1 0\n%\n0\n").unwrap();
         assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn randomized_roundtrip_is_exact() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD1_0AC5);
+        for _ in 0..200 {
+            let num_vars = rng.gen_range(1..=12usize);
+            let num_clauses = rng.gen_range(1..=20usize);
+            let mut f = CnfFormula::new(num_vars);
+            for _ in 0..num_clauses {
+                let width = rng.gen_range(1..=4usize);
+                let lits: Vec<Literal> = (0..width)
+                    .map(|_| {
+                        let v = rng.gen_range(0..num_vars);
+                        let sign: bool = rng.gen();
+                        Literal::with_phase(crate::Variable::new(v), sign)
+                    })
+                    .collect();
+                f.add_clause(lits);
+            }
+            let text = to_string(&f);
+            let back = parse_str(&text).unwrap();
+            assert_eq!(back, f, "round-trip mismatch for:\n{text}");
+        }
+    }
+
+    #[test]
+    fn headerless_document_infers_vars_from_body() {
+        let f = parse_str("1 -3 0\n2 0\n").unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+    }
+
+    #[test]
+    fn empty_document_parses_to_empty_formula() {
+        let f = parse_str("").unwrap();
+        assert_eq!(f.num_vars(), 0);
+        assert_eq!(f.num_clauses(), 0);
+        let g = parse_str("c only comments\n\n%\n0\n").unwrap();
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn header_missing_counts_is_error() {
+        assert!(matches!(
+            parse_str("p cnf\n"),
+            Err(CnfError::ParseDimacs { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_str("p cnf 3\n"),
+            Err(CnfError::ParseDimacs { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn header_non_numeric_counts_are_errors() {
+        assert!(parse_str("p cnf x 1\n1 0\n").is_err());
+        assert!(parse_str("p cnf 1 y\n1 0\n").is_err());
+        assert!(parse_str("p cnf -1 1\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn literal_overflowing_i64_is_error() {
+        let err = parse_str("p cnf 1 1\n99999999999999999999999 0\n").unwrap_err();
+        assert!(matches!(err, CnfError::ParseDimacs { line: 2, .. }));
+    }
+
+    #[test]
+    fn serialized_form_has_header_and_terminators() {
+        let f = cnf_formula![[1, -2], [2, 3]];
+        let text = to_string(&f);
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("p cnf 3 2"));
+        for line in lines {
+            assert!(
+                line.ends_with('0'),
+                "clause line missing terminator: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_duplicate_and_single_literal_clauses() {
+        let f = cnf_formula![[1], [1], [-1, -1, 2]];
+        let back = parse_str(&to_string(&f)).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.num_clauses(), 3);
     }
 }

@@ -399,7 +399,10 @@ mod tests {
 
         let reduced0 = f.assign_variable(Variable::new(0), false);
         assert_eq!(reduced0.num_clauses(), 1);
-        assert!(reduced0.clause(0).unwrap().contains(Literal::from_dimacs(2).unwrap()));
+        assert!(reduced0
+            .clause(0)
+            .unwrap()
+            .contains(Literal::from_dimacs(2).unwrap()));
     }
 
     #[test]

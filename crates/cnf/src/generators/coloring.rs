@@ -64,10 +64,7 @@ pub fn graph_coloring(graph: &Graph, k: usize) -> CnfFormula {
         // at most one color
         for c1 in 0..k {
             for c2 in (c1 + 1)..k {
-                formula.add_clause([
-                    Literal::negative(var(v, c1)),
-                    Literal::negative(var(v, c2)),
-                ]);
+                formula.add_clause([Literal::negative(var(v, c1)), Literal::negative(var(v, c2))]);
             }
         }
     }

@@ -179,7 +179,10 @@ pub fn adder_equivalence_miter(width: usize) -> CnfFormula {
 ///
 /// Panics if `faulty_bit >= width`.
 pub fn buggy_adder_miter(width: usize, faulty_bit: usize) -> CnfFormula {
-    assert!(faulty_bit < width, "faulty bit must be within the adder width");
+    assert!(
+        faulty_bit < width,
+        "faulty bit must be within the adder width"
+    );
     adder_miter(width, Some(faulty_bit))
 }
 
@@ -242,14 +245,23 @@ mod tests {
         // produce different outputs when simulated directly.
         for m in &models {
             let a_bits: Vec<bool> = (0..width).map(|i| m.value(Variable::new(i))).collect();
-            let b_bits: Vec<bool> = (0..width).map(|i| m.value(Variable::new(width + i))).collect();
-            let to_u64 = |bits: &[bool]| bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+            let b_bits: Vec<bool> = (0..width)
+                .map(|i| m.value(Variable::new(width + i)))
+                .collect();
+            let to_u64 = |bits: &[bool]| {
+                bits.iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+            };
             let sum = to_u64(&a_bits) + to_u64(&b_bits);
             let mut golden: Vec<bool> = (0..=width).map(|i| (sum >> i) & 1 == 1).collect();
             let mut buggy = golden.clone();
             buggy[faulty] = a_bits[faulty] | b_bits[faulty];
             golden[faulty] = (sum >> faulty) & 1 == 1;
-            assert_ne!(golden, buggy, "counterexample {m} does not exercise the fault");
+            assert_ne!(
+                golden, buggy,
+                "counterexample {m} does not exercise the fault"
+            );
         }
     }
 

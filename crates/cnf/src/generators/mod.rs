@@ -19,11 +19,10 @@ pub mod parity;
 pub mod pigeonhole;
 pub mod random;
 
-pub use coloring::{cycle_graph, complete_graph, graph_coloring, Graph};
+pub use coloring::{complete_graph, cycle_graph, graph_coloring, Graph};
 pub use miter::{adder_equivalence_miter, buggy_adder_miter};
 pub use paper::{
-    example6_sat, example7_unsat, running_example, section4_sat_instance,
-    section4_unsat_instance,
+    example6_sat, example7_unsat, running_example, section4_sat_instance, section4_unsat_instance,
 };
 pub use parity::parity_chain;
 pub use pigeonhole::pigeonhole;

@@ -18,8 +18,7 @@ pub fn example6_sat() -> CnfFormula {
 
 /// Example 7: `S = (x1)·(x̄1)` — unsatisfiable.
 pub fn example7_unsat() -> CnfFormula {
-    CnfFormula::from_dimacs_clauses(&[vec![1], vec![-1]])
-        .expect("static instance is well-formed")
+    CnfFormula::from_dimacs_clauses(&[vec![1], vec![-1]]).expect("static instance is well-formed")
 }
 
 /// The §IV (experimental results) unsatisfiable instance:

@@ -31,10 +31,7 @@ pub fn pigeonhole(pigeons: usize, holes: usize) -> CnfFormula {
     for h in 0..holes {
         for p1 in 0..pigeons {
             for p2 in (p1 + 1)..pigeons {
-                formula.add_clause([
-                    Literal::negative(var(p1, h)),
-                    Literal::negative(var(p2, h)),
-                ]);
+                formula.add_clause([Literal::negative(var(p1, h)), Literal::negative(var(p2, h))]);
             }
         }
     }

@@ -156,7 +156,10 @@ pub fn simplify(formula: &CnfFormula) -> (CnfFormula, SimplifyReport) {
         match propagate_units(&current, &mut assignment) {
             PropagationOutcome::Conflict { .. } => {
                 report.proved_unsat = true;
-                report.fixed = assignment.assigned().map(|(v, b)| Variable::literal(v, b)).collect();
+                report.fixed = assignment
+                    .assigned()
+                    .map(|(v, b)| Variable::literal(v, b))
+                    .collect();
                 return (current, report);
             }
             PropagationOutcome::Consistent { .. } => {}

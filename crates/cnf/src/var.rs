@@ -76,7 +76,7 @@ pub struct Literal(u32);
 impl Literal {
     /// Creates the positive literal of `var`.
     pub fn positive(var: Variable) -> Self {
-        Literal((var.0 << 1) | 0)
+        Literal(var.0 << 1)
     }
 
     /// Creates the negative literal of `var`.

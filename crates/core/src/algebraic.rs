@@ -83,9 +83,7 @@ impl AlgebraicEngine {
                 (0..m).map(|j| instance.source(j, var, false).basis_id()),
             );
             let factor = match bindings.value(var) {
-                None => {
-                    Superposition::from_products([pos_product, neg_product])
-                }
+                None => Superposition::from_products([pos_product, neg_product]),
                 Some(true) => Superposition::from_products([pos_product]),
                 Some(false) => Superposition::from_products([neg_product]),
             };
@@ -221,7 +219,10 @@ mod tests {
             .estimate(&inst, &bindings)
             .unwrap()
             .mean;
-        let s = SymbolicEngine::new().estimate(&inst, &bindings).unwrap().mean;
+        let s = SymbolicEngine::new()
+            .estimate(&inst, &bindings)
+            .unwrap()
+            .mean;
         assert!((a - s).abs() < 1e-18);
         assert!(a > 0.0);
 
@@ -235,10 +236,9 @@ mod tests {
 
     #[test]
     fn term_budget_is_enforced() {
-        let f = generators::random_ksat(
-            &cnf::generators::RandomKSatConfig::new(6, 12, 3).with_seed(1),
-        )
-        .unwrap();
+        let f =
+            generators::random_ksat(&cnf::generators::RandomKSatConfig::new(6, 12, 3).with_seed(1))
+                .unwrap();
         let inst = instance(&f);
         let mut engine = AlgebraicEngine::new().with_max_terms(100);
         assert!(matches!(

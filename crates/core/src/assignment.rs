@@ -145,10 +145,7 @@ impl<E: NblEngine> AssignmentExtractor<E> {
                 .filter(|&k| included[k])
                 .map(|k| Literal::with_phase(Variable::new(k), assignment.value(Variable::new(k))))
                 .collect();
-            let is_implicant = candidate
-                .expand(n)
-                .iter()
-                .all(|a| formula.evaluate(a));
+            let is_implicant = candidate.expand(n).iter().all(|a| formula.evaluate(a));
             if !is_implicant {
                 included[i] = true;
             }
@@ -171,8 +168,8 @@ mod tests {
     use crate::config::EngineConfig;
     use crate::sampled::SampledEngine;
     use crate::symbolic::SymbolicEngine;
-    use cnf::generators::{self, RandomKSatConfig};
     use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
 
     fn instance(f: &cnf::CnfFormula) -> NblSatInstance {
         NblSatInstance::new(f).unwrap()
@@ -198,18 +195,24 @@ mod tests {
         let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
         let mut found = 0;
         for seed in 0..40 {
-            let f = generators::random_ksat(&RandomKSatConfig::new(8, 20, 3).with_seed(seed))
-                .unwrap();
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(8, 20, 3).with_seed(seed)).unwrap();
             if f.count_satisfying_assignments() == 0 {
                 continue;
             }
             found += 1;
             let inst = instance(&f);
             let outcome = extractor.extract(&inst).unwrap();
-            assert!(f.evaluate(outcome.assignment.as_ref().unwrap()), "seed {seed}");
+            assert!(
+                f.evaluate(outcome.assignment.as_ref().unwrap()),
+                "seed {seed}"
+            );
             assert_eq!(outcome.checks_used, f.num_vars() as u64, "seed {seed}");
         }
-        assert!(found > 10, "need enough satisfiable instances to be meaningful");
+        assert!(
+            found > 10,
+            "need enough satisfiable instances to be meaningful"
+        );
     }
 
     #[test]

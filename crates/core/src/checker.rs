@@ -158,7 +158,9 @@ mod tests {
     fn single_operation_check_on_paper_examples_symbolic() {
         let mut checker = SatChecker::new(SymbolicEngine::new());
         assert_eq!(
-            checker.check(&instance(&generators::example6_sat())).unwrap(),
+            checker
+                .check(&instance(&generators::example6_sat()))
+                .unwrap(),
             Verdict::Satisfiable
         );
         assert_eq!(
@@ -193,7 +195,9 @@ mod tests {
         );
         let mut checker = SatChecker::new(engine);
         assert_eq!(
-            checker.check(&instance(&generators::example6_sat())).unwrap(),
+            checker
+                .check(&instance(&generators::example6_sat()))
+                .unwrap(),
             Verdict::Satisfiable
         );
         assert_eq!(
@@ -209,8 +213,8 @@ mod tests {
     fn symbolic_checker_matches_model_counting_on_random_instances() {
         let mut checker = SatChecker::new(SymbolicEngine::new());
         for seed in 0..30 {
-            let f = generators::random_ksat(&RandomKSatConfig::new(7, 30, 3).with_seed(seed))
-                .unwrap();
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(7, 30, 3).with_seed(seed)).unwrap();
             let expected = f.count_satisfying_assignments() > 0;
             let verdict = checker.check(&instance(&f)).unwrap();
             assert_eq!(verdict.is_sat(), expected, "seed {seed}");

@@ -154,14 +154,16 @@ mod tests {
     #[test]
     fn exact_count_matches_enumeration() {
         for seed in 0..15 {
-            let f = generators::random_ksat(&RandomKSatConfig::new(6, 18, 3).with_seed(seed))
-                .unwrap();
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(6, 18, 3).with_seed(seed)).unwrap();
             let inst = instance(&f);
             let counter = ModelCounter::new();
-            let result = counter
-                .count_exact(&inst, &inst.empty_bindings())
-                .unwrap();
-            assert_eq!(result.models, f.count_satisfying_assignments(), "seed {seed}");
+            let result = counter.count_exact(&inst, &inst.empty_bindings()).unwrap();
+            assert_eq!(
+                result.models,
+                f.count_satisfying_assignments(),
+                "seed {seed}"
+            );
             assert!(result.weighted >= result.models as f64);
         }
     }
@@ -169,13 +171,17 @@ mod tests {
     #[test]
     fn partition_count_equals_exact_count_with_symbolic_engine() {
         for seed in 0..8 {
-            let f = generators::random_ksat(&RandomKSatConfig::new(5, 12, 3).with_seed(seed))
-                .unwrap();
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(5, 12, 3).with_seed(seed)).unwrap();
             let inst = instance(&f);
             let counter = ModelCounter::new();
             let mut engine = SymbolicEngine::new();
             let result = counter.count_by_partition(&mut engine, &inst).unwrap();
-            assert_eq!(result.models, f.count_satisfying_assignments(), "seed {seed}");
+            assert_eq!(
+                result.models,
+                f.count_satisfying_assignments(),
+                "seed {seed}"
+            );
             assert!(result.engine_calls >= 1);
             // The engine-call count is bounded by the full binary tree size.
             assert!(result.engine_calls <= 2u64.pow(f.num_vars() as u32 + 1));
@@ -187,7 +193,13 @@ mod tests {
         let counter = ModelCounter::new();
         let mut engine = SymbolicEngine::new();
         let sat = instance(&generators::example6_sat());
-        assert_eq!(counter.count_by_partition(&mut engine, &sat).unwrap().models, 2);
+        assert_eq!(
+            counter
+                .count_by_partition(&mut engine, &sat)
+                .unwrap()
+                .models,
+            2
+        );
         let unsat = instance(&generators::section4_unsat_instance());
         let result = counter.count_by_partition(&mut engine, &unsat).unwrap();
         assert_eq!(result.models, 0);
@@ -205,9 +217,7 @@ mod tests {
                 .with_max_samples(200_000)
                 .with_check_interval(200_000),
         );
-        let (estimate, tolerance) = counter
-            .estimate_weighted_count(&mut engine, &inst)
-            .unwrap();
+        let (estimate, tolerance) = counter.estimate_weighted_count(&mut engine, &inst).unwrap();
         let exact = counter
             .count_exact(&inst, &inst.empty_bindings())
             .unwrap()

@@ -4,7 +4,9 @@ use crate::checker::SatChecker;
 use crate::engine::NblEngine;
 use crate::error::{NblSatError, Result};
 use crate::transform::NblSatInstance;
-use cnf::{propagate_units, Assignment, CnfFormula, PartialAssignment, PropagationOutcome, Variable};
+use cnf::{
+    propagate_units, Assignment, CnfFormula, PartialAssignment, PropagationOutcome, Variable,
+};
 use std::fmt;
 
 /// Statistics of a hybrid solve.
@@ -124,9 +126,7 @@ impl<E: NblEngine> HybridSolver<E> {
             }
             for value in [true, false] {
                 assignment.assign(var, value);
-                let estimate = self
-                    .checker
-                    .estimate_with_bindings(instance, assignment)?;
+                let estimate = self.checker.estimate_with_bindings(instance, assignment)?;
                 self.stats.coprocessor_checks += 1;
                 assignment.unassign(var);
                 let better = match best {
@@ -225,10 +225,7 @@ mod tests {
     #[test]
     fn solves_paper_instances() {
         let mut solver = HybridSolver::with_ideal_coprocessor();
-        assert!(solver
-            .solve(&generators::example6_sat())
-            .unwrap()
-            .is_some());
+        assert!(solver.solve(&generators::example6_sat()).unwrap().is_some());
         assert!(solver
             .solve(&generators::example7_unsat())
             .unwrap()
@@ -247,8 +244,8 @@ mod tests {
     fn ideal_guidance_never_backtracks_on_satisfiable_instances() {
         let mut solver = HybridSolver::with_ideal_coprocessor();
         for seed in 0..20 {
-            let f = generators::random_ksat(&RandomKSatConfig::new(7, 21, 3).with_seed(seed))
-                .unwrap();
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(7, 21, 3).with_seed(seed)).unwrap();
             if f.count_satisfying_assignments() == 0 {
                 continue;
             }
@@ -264,8 +261,8 @@ mod tests {
     fn agrees_with_brute_force() {
         let mut solver = HybridSolver::new(SymbolicEngine::new());
         for seed in 0..25 {
-            let f = generators::random_ksat(&RandomKSatConfig::new(6, 24, 3).with_seed(seed))
-                .unwrap();
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(6, 24, 3).with_seed(seed)).unwrap();
             let expected = BruteForceSolver::new().solve(&f).is_sat();
             let got = solver.solve(&f).unwrap();
             assert_eq!(got.is_some(), expected, "seed {seed}");
@@ -307,14 +304,13 @@ mod tests {
         let mut dpll_total = 0u64;
         let mut comparisons = 0usize;
         for seed in 0..15 {
-            let f = generators::random_ksat(&RandomKSatConfig::new(7, 28, 3).with_seed(seed))
-                .unwrap();
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(7, 28, 3).with_seed(seed)).unwrap();
             if f.count_satisfying_assignments() == 0 {
                 continue;
             }
             let mut solver = HybridSolver::with_ideal_coprocessor();
-            let (hybrid_decisions, dpll_decisions) =
-                compare_against_dpll(&mut solver, &f).unwrap();
+            let (hybrid_decisions, dpll_decisions) = compare_against_dpll(&mut solver, &f).unwrap();
             assert_eq!(solver.stats().conflicts, 0, "seed {seed}");
             assert!(hybrid_decisions <= f.num_vars() as u64, "seed {seed}");
             hybrid_total += hybrid_decisions;

@@ -73,11 +73,7 @@ impl SampledEngine {
     }
 
     /// Evaluates one sample of τ_N on the current source values.
-    fn tau_sample(
-        instance: &NblSatInstance,
-        bindings: &PartialAssignment,
-        values: &[f64],
-    ) -> f64 {
+    fn tau_sample(instance: &NblSatInstance, bindings: &PartialAssignment, values: &[f64]) -> f64 {
         let m = instance.num_clauses();
         let mut tau = 1.0;
         for i in 0..instance.num_vars() {
@@ -122,11 +118,7 @@ impl SampledEngine {
     }
 
     /// Evaluates one full sample of S_N = τ_N · Σ_N.
-    fn s_sample(
-        instance: &NblSatInstance,
-        bindings: &PartialAssignment,
-        values: &[f64],
-    ) -> f64 {
+    fn s_sample(instance: &NblSatInstance, bindings: &PartialAssignment, values: &[f64]) -> f64 {
         Self::tau_sample(instance, bindings, values) * Self::sigma_sample(instance, values)
     }
 
@@ -197,10 +189,8 @@ impl NblEngine for SampledEngine {
         instance.validate_bindings(bindings)?;
         let mut eval = self.evaluator(instance);
         let mut correlator = Correlator::new();
-        let mut tracker = ConvergenceTracker::new(
-            self.config.significant_digits,
-            self.config.check_interval,
-        );
+        let mut tracker =
+            ConvergenceTracker::new(self.config.significant_digits, self.config.check_interval);
         let mut converged = false;
         let mut samples = 0u64;
         while samples < self.config.max_samples {
@@ -299,15 +289,9 @@ mod tests {
         let mut engine = SampledEngine::new(quick_config(3));
         let mut bindings = inst.empty_bindings();
         bindings.assign(Variable::new(0), true);
-        assert!(engine
-            .estimate(&inst, &bindings)
-            .unwrap()
-            .is_positive(3.0));
+        assert!(engine.estimate(&inst, &bindings).unwrap().is_positive(3.0));
         bindings.assign(Variable::new(1), true);
-        assert!(!engine
-            .estimate(&inst, &bindings)
-            .unwrap()
-            .is_positive(3.0));
+        assert!(!engine.estimate(&inst, &bindings).unwrap().is_positive(3.0));
     }
 
     #[test]
@@ -322,7 +306,11 @@ mod tests {
         // behaviour is reported by the carrier-ablation experiment (E7).
         let sat = instance(&generators::example6_sat());
         let unsat = instance(&generators::example7_unsat());
-        for kind in [CarrierKind::Uniform, CarrierKind::Gaussian, CarrierKind::Rtw] {
+        for kind in [
+            CarrierKind::Uniform,
+            CarrierKind::Gaussian,
+            CarrierKind::Rtw,
+        ] {
             let cfg = quick_config(11).with_carrier(kind);
             let mut engine = SampledEngine::new(cfg);
             assert!(
@@ -376,11 +364,8 @@ mod tests {
     #[test]
     fn logspaced_trace_reaches_the_cap() {
         let inst = instance(&generators::example7_unsat());
-        let mut engine = SampledEngine::new(
-            EngineConfig::new()
-                .with_seed(2)
-                .with_max_samples(10_000),
-        );
+        let mut engine =
+            SampledEngine::new(EngineConfig::new().with_seed(2).with_max_samples(10_000));
         let trace = engine
             .trace_logspaced(&inst, &inst.empty_bindings(), "S_UNSAT", 3)
             .unwrap();

@@ -2,9 +2,9 @@
 
 use crate::config::EngineConfig;
 use crate::engine::NblEngine;
+use crate::error::Result;
 use crate::sampled::SampledEngine;
 use crate::transform::NblSatInstance;
-use crate::error::Result;
 use nbl_noise::RunningStats;
 use std::fmt;
 

@@ -63,9 +63,7 @@ impl SymbolicEngine {
 
     /// The per-minterm self-correlation scale `Var^{n·m}`.
     pub fn minterm_weight(&self, instance: &NblSatInstance) -> f64 {
-        self.moment_model
-            .variance()
-            .powi(instance.nm() as i32)
+        self.moment_model.variance().powi(instance.nm() as i32)
     }
 
     /// Counts satisfying assignments inside the bound τ subspace, both
@@ -170,9 +168,7 @@ mod tests {
         // per clause, so ⟨S_N⟩ = 2 · (1/12)^4.
         let inst = instance(&generators::example6_sat());
         let mut engine = SymbolicEngine::new();
-        let est = engine
-            .estimate(&inst, &inst.empty_bindings())
-            .unwrap();
+        let est = engine.estimate(&inst, &inst.empty_bindings()).unwrap();
         let expected = 2.0 * (1.0f64 / 12.0).powi(4);
         assert!((est.mean - expected).abs() < 1e-15);
         assert!(est.exact);
@@ -211,8 +207,8 @@ mod tests {
         use cnf::generators::RandomKSatConfig;
         let mut engine = SymbolicEngine::new();
         for seed in 0..40 {
-            let f = generators::random_ksat(&RandomKSatConfig::new(6, 26, 3).with_seed(seed))
-                .unwrap();
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(6, 26, 3).with_seed(seed)).unwrap();
             let inst = instance(&f);
             let est = engine.estimate(&inst, &inst.empty_bindings()).unwrap();
             let sat = f.count_satisfying_assignments() > 0;
@@ -262,8 +258,7 @@ mod tests {
     #[test]
     fn moment_model_scales_but_does_not_flip_sign() {
         let inst = instance(&generators::example6_sat());
-        let uniform = SymbolicEngine::new()
-            .estimate_helper(&inst);
+        let uniform = SymbolicEngine::new().estimate_helper(&inst);
         let rtw = SymbolicEngine::new()
             .with_moment_model(MomentModel::unit_rtw())
             .estimate_helper(&inst);

@@ -130,8 +130,9 @@ impl HyperspaceBuilder {
         let mut superposition = Superposition::one();
         for (i, &(pos, neg)) in self.sources.iter().enumerate() {
             let factor = match self.bindings[i] {
-                VariableBinding::Free => Superposition::from_basis(pos)
-                    .added_to(&Superposition::from_basis(neg)),
+                VariableBinding::Free => {
+                    Superposition::from_basis(pos).added_to(&Superposition::from_basis(neg))
+                }
                 VariableBinding::BoundTrue => Superposition::from_basis(pos),
                 VariableBinding::BoundFalse => Superposition::from_basis(neg),
             };

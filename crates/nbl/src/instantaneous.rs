@@ -116,10 +116,16 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::DependentReferences => {
-                write!(f, "reference products are linearly dependent over the sample window")
+                write!(
+                    f,
+                    "reference products are linearly dependent over the sample window"
+                )
             }
             DecodeError::Unexplained => {
-                write!(f, "received samples do not match any subset of the references")
+                write!(
+                    f,
+                    "received samples do not match any subset of the references"
+                )
             }
             DecodeError::NotEnoughSamples { required, got } => {
                 write!(f, "need at least {required} samples, got {got}")
@@ -301,12 +307,16 @@ fn solve_dense(matrix: &mut [Vec<f64>], unknowns: usize) -> Option<Vec<f64>> {
             return None;
         }
         matrix.swap(col, pivot);
-        for row in 0..rows {
+        let pivot_row = matrix[col].clone();
+        for (row, current) in matrix.iter_mut().enumerate() {
             if row != col {
-                let factor = matrix[row][col] / matrix[col][col];
+                let factor = current[col] / pivot_row[col];
                 if factor != 0.0 {
-                    for k in col..=unknowns {
-                        matrix[row][k] -= factor * matrix[col][k];
+                    for (x, &p) in current[col..=unknowns]
+                        .iter_mut()
+                        .zip(&pivot_row[col..=unknowns])
+                    {
+                        *x -= factor * p;
                     }
                 }
             }
@@ -339,8 +349,9 @@ mod tests {
         // Different seeds give different sequences (with overwhelming likelihood
         // over 64 ticks for at least one basis/tick combination).
         let different = RtwChannel::new(124);
-        let any_difference = (0..64u64)
-            .any(|t| channel.basis_sample(BasisId::new(0), t) != different.basis_sample(BasisId::new(0), t));
+        let any_difference = (0..64u64).any(|t| {
+            channel.basis_sample(BasisId::new(0), t) != different.basis_sample(BasisId::new(0), t)
+        });
         assert!(any_difference);
     }
 

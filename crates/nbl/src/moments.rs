@@ -61,9 +61,7 @@ impl MomentModel {
         let half = k / 2;
         match *self {
             MomentModel::Uniform { amplitude } => amplitude.powi(k as i32) / (k as f64 + 1.0),
-            MomentModel::Gaussian { sigma } => {
-                sigma.powi(k as i32) * double_factorial_odd(k - 1)
-            }
+            MomentModel::Gaussian { sigma } => sigma.powi(k as i32) * double_factorial_odd(k - 1),
             MomentModel::Rtw { amplitude } => amplitude.powi(k as i32),
             MomentModel::Sinusoid => binomial(k as u64, half as u64) / 4f64.powi(half as i32),
         }

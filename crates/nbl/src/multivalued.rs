@@ -190,8 +190,7 @@ impl MvSpace {
             let mut alternatives = Superposition::zero();
             match binding {
                 Some(value) => {
-                    alternatives
-                        .add_term(NoiseProduct::from_basis(self.carrier(var, *value)), 1.0);
+                    alternatives.add_term(NoiseProduct::from_basis(self.carrier(var, *value)), 1.0);
                 }
                 None => {
                     for value in 0..self.domain_sizes[var] {
@@ -463,8 +462,7 @@ mod tests {
             let edges = [(0usize, 1usize), (1, 2), (0, 2)];
             let mut feasible = MvSet::full(&space);
             for (u, v) in edges {
-                let constraint =
-                    MvSet::from_constraint(&space, &[u, v], |t| t[0] != t[1]);
+                let constraint = MvSet::from_constraint(&space, &[u, v], |t| t[0] != t[1]);
                 feasible = feasible.intersection(&constraint);
             }
             assert_eq!(

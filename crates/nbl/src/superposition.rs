@@ -151,9 +151,7 @@ impl Superposition {
     /// The exact expectation of the superposition under a moment model
     /// (linearity of expectation plus per-product factorization).
     pub fn expectation(&self, model: &MomentModel) -> f64 {
-        self.terms()
-            .map(|(p, c)| c * p.expectation(model))
-            .sum()
+        self.terms().map(|(p, c)| c * p.expectation(model)).sum()
     }
 
     /// Evaluates the superposition numerically for one set of instantaneous
@@ -243,7 +241,7 @@ mod tests {
             NoiseProduct::from_bases([b(0), b(0)]),
         ]);
         let values = [2.0, -1.0];
-        assert!((s.evaluate(&values) - (2.0 * -1.0 + 4.0)).abs() < 1e-15);
+        assert!((s.evaluate(&values) - (-2.0 + 4.0)).abs() < 1e-15);
     }
 
     #[test]

@@ -107,7 +107,7 @@ mod tests {
             let mut buf = [0.0; 3];
             bank.next_sample(&mut buf);
             assert!(!bank.family().is_empty());
-            assert_eq!(kind.to_string().is_empty(), false);
+            assert!(!kind.to_string().is_empty());
         }
     }
 
@@ -122,11 +122,7 @@ mod tests {
                 bank.next_sample(&mut buf);
                 stats.push(buf[0]);
             }
-            assert!(
-                stats.mean().abs() < 0.02,
-                "{kind}: mean {}",
-                stats.mean()
-            );
+            assert!(stats.mean().abs() < 0.02, "{kind}: mean {}", stats.mean());
             let declared = bank.variance();
             assert!(
                 (stats.variance() - declared).abs() / declared < 0.1,

@@ -79,14 +79,8 @@ pub fn measure_orthogonality(bank: &mut dyn CarrierBank, num_samples: u64) -> Or
         .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
         .map(|(i, j)| crosses[i * n + j].mean().abs())
         .fold(0.0f64, f64::max);
-    let min_self = selfs
-        .iter()
-        .map(|s| s.mean())
-        .fold(f64::INFINITY, f64::min);
-    let max_mean = means
-        .iter()
-        .map(|s| s.mean().abs())
-        .fold(0.0f64, f64::max);
+    let min_self = selfs.iter().map(|s| s.mean()).fold(f64::INFINITY, f64::min);
+    let max_mean = means.iter().map(|s| s.mean().abs()).fold(0.0f64, f64::max);
 
     OrthogonalityReport {
         num_sources: n,
@@ -112,10 +106,7 @@ mod tests {
         for kind in CarrierKind::all() {
             let mut bank = kind.bank(4, 31);
             let report = measure_orthogonality(bank.as_mut(), 40_000);
-            assert!(
-                report.is_orthogonal(0.02),
-                "{kind}: {report}"
-            );
+            assert!(report.is_orthogonal(0.02), "{kind}: {report}");
         }
     }
 

@@ -111,7 +111,10 @@ mod tests {
         let power = periodogram(&samples, 32);
         let mean_power: f64 = power[1..].iter().sum::<f64>() / (power.len() - 1) as f64;
         for &p in &power[1..] {
-            assert!(p < mean_power * 6.0, "white spectrum should have no dominant line");
+            assert!(
+                p < mean_power * 6.0,
+                "white spectrum should have no dominant line"
+            );
         }
     }
 

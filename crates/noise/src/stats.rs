@@ -49,8 +49,8 @@ impl RunningStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
     }
 
@@ -143,7 +143,10 @@ impl ConvergenceTracker {
     ///
     /// Panics if `significant_digits == 0` or `check_interval == 0`.
     pub fn new(significant_digits: u32, check_interval: u64) -> Self {
-        assert!(significant_digits > 0, "need at least one significant digit");
+        assert!(
+            significant_digits > 0,
+            "need at least one significant digit"
+        );
         assert!(check_interval > 0, "check interval must be positive");
         ConvergenceTracker {
             significant_digits,
@@ -179,7 +182,7 @@ impl ConvergenceTracker {
         if self.converged_at.is_some() {
             return true;
         }
-        if samples == 0 || samples % self.check_interval != 0 {
+        if samples == 0 || !samples.is_multiple_of(self.check_interval) {
             return false;
         }
         let rounded = if mean.abs() < self.zero_epsilon {

@@ -116,9 +116,6 @@ mod tests {
     fn max_vars_override() {
         let f = cnf::CnfFormula::new(26);
         // 26 unconstrained variables is fine with a raised limit.
-        assert!(BruteForceSolver::new()
-            .with_max_vars(26)
-            .solve(&f)
-            .is_sat());
+        assert!(BruteForceSolver::new().with_max_vars(26).solve(&f).is_sat());
     }
 }

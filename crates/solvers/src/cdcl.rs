@@ -278,7 +278,7 @@ impl CdclSolver {
         loop {
             let reason_literals = self.clauses[reason_clause].literals.clone();
             for lit in reason_literals {
-                if Some(lit) == resolve_literal.map(|l| l) {
+                if Some(lit) == resolve_literal {
                     continue;
                 }
                 let var = lit.variable().index();

@@ -168,8 +168,8 @@ impl Solver for DpllSolver {
 mod tests {
     use super::*;
     use crate::brute::BruteForceSolver;
-    use cnf::generators::{self, RandomKSatConfig};
     use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
 
     #[test]
     fn solves_paper_instances() {
@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn agrees_with_brute_force_on_random_instances() {
-        for heuristic in [BranchHeuristic::FirstUnassigned, BranchHeuristic::MostOccurrences] {
+        for heuristic in [
+            BranchHeuristic::FirstUnassigned,
+            BranchHeuristic::MostOccurrences,
+        ] {
             for seed in 0..30 {
                 let cfg = RandomKSatConfig::new(8, 35, 3).with_seed(seed);
                 let f = generators::random_ksat(&cfg).unwrap();

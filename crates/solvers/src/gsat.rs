@@ -218,8 +218,7 @@ mod tests {
     fn models_from_random_instances_verify() {
         for seed in 0..5u64 {
             let formula =
-                generators::random_ksat(&RandomKSatConfig::new(10, 25, 3).with_seed(seed))
-                    .unwrap();
+                generators::random_ksat(&RandomKSatConfig::new(10, 25, 3).with_seed(seed)).unwrap();
             let mut solver = Gsat::new();
             if let SolveResult::Satisfiable(model) = solver.solve(&formula) {
                 assert!(formula.evaluate(&model));

@@ -92,8 +92,7 @@ impl MusExtractor {
 
     fn is_unsat(&mut self, num_vars: usize, clauses: &[&Clause]) -> bool {
         self.stats.solver_calls += 1;
-        let formula =
-            CnfFormula::from_clauses(num_vars, clauses.iter().map(|&c| c.clone()));
+        let formula = CnfFormula::from_clauses(num_vars, clauses.iter().map(|&c| c.clone()));
         let mut solver = CdclSolver::new();
         matches!(solver.solve(&formula), SolveResult::Unsatisfiable)
     }

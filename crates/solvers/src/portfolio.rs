@@ -134,8 +134,8 @@ impl Solver for Portfolio {
 mod tests {
     use super::*;
     use crate::{BruteForceSolver, Gsat, Schoening};
-    use cnf::generators::{self, RandomKSatConfig};
     use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
 
     #[test]
     fn two_sat_member_wins_on_2cnf() {
@@ -158,8 +158,7 @@ mod tests {
     fn agrees_with_brute_force_on_random_instances() {
         for seed in 0..15u64 {
             let formula =
-                generators::random_ksat(&RandomKSatConfig::new(9, 36, 3).with_seed(seed))
-                    .unwrap();
+                generators::random_ksat(&RandomKSatConfig::new(9, 36, 3).with_seed(seed)).unwrap();
             let mut portfolio = Portfolio::new();
             let mut oracle = BruteForceSolver::new();
             assert_eq!(
@@ -173,10 +172,8 @@ mod tests {
 
     #[test]
     fn custom_member_list() {
-        let mut portfolio = Portfolio::with_members(vec![
-            Box::new(Schoening::new()),
-            Box::new(Gsat::new()),
-        ]);
+        let mut portfolio =
+            Portfolio::with_members(vec![Box::new(Schoening::new()), Box::new(Gsat::new())]);
         assert_eq!(portfolio.member_names(), vec!["schoening", "gsat"]);
         // Both members are incomplete, so an UNSAT instance stays Unknown.
         assert_eq!(

@@ -82,13 +82,10 @@ impl Solver for Schoening {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         for _ in 0..self.config.max_restarts.max(1) {
             self.stats.restarts += 1;
-            let mut assignment =
-                Assignment::from_bools((0..n).map(|_| rng.gen()).collect());
+            let mut assignment = Assignment::from_bools((0..n).map(|_| rng.gen()).collect());
             self.stats.assignments_tried += 1;
             for _ in 0..walk_length {
-                let unsatisfied = formula
-                    .iter()
-                    .find(|clause| !clause.evaluate(&assignment));
+                let unsatisfied = formula.iter().find(|clause| !clause.evaluate(&assignment));
                 let Some(clause) = unsatisfied else {
                     return SolveResult::Satisfiable(assignment);
                 };
@@ -173,8 +170,7 @@ mod tests {
     fn models_from_random_instances_verify() {
         for seed in 0..6u64 {
             let formula =
-                generators::random_ksat(&RandomKSatConfig::new(12, 30, 3).with_seed(seed))
-                    .unwrap();
+                generators::random_ksat(&RandomKSatConfig::new(12, 30, 3).with_seed(seed)).unwrap();
             let mut solver = Schoening::new();
             if let SolveResult::Satisfiable(model) = solver.solve(&formula) {
                 assert!(formula.evaluate(&model));

@@ -191,7 +191,10 @@ mod tests {
         let mut solver = TwoSatSolver::new();
         match solver.solve(&formula) {
             SolveResult::Satisfiable(model) => {
-                assert!(model.values().iter().all(|&v| v), "all variables forced true")
+                assert!(
+                    model.values().iter().all(|&v| v),
+                    "all variables forced true"
+                )
             }
             other => panic!("expected SAT, got {other}"),
         }

@@ -119,8 +119,9 @@ impl Solver for WalkSat {
                     debug_assert!(formula.evaluate(&assignment));
                     return SolveResult::Satisfiable(assignment);
                 }
-                let clause =
-                    formula.clause(unsatisfied[rng.gen_range(0..unsatisfied.len())]).expect("index valid");
+                let clause = formula
+                    .clause(unsatisfied[rng.gen_range(0..unsatisfied.len())])
+                    .expect("index valid");
                 if clause.is_empty() {
                     return SolveResult::Unknown;
                 }

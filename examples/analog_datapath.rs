@@ -91,7 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mean = engine.run(200_000, readout)?;
         println!(
             "block-level NBL-SAT readout for {label}: ⟨S_N⟩ = {mean:+.6} (expected {})",
-            if sat_version { "(1/12)² ≈ +0.00694" } else { "0" }
+            if sat_version {
+                "(1/12)² ≈ +0.00694"
+            } else {
+                "0"
+            }
         );
     }
     Ok(())

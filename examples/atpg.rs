@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SolveResult::Unknown => unreachable!("CDCL is complete"),
         }
     }
-    let detectable: Vec<_> = faults.iter().copied().collect();
+    let detectable: Vec<_> = faults.to_vec();
     let report = fault_simulate(&adder, &detectable, &patterns)?;
     println!(
         "generated {} test patterns with {} SAT calls; {} untestable faults; {report}",

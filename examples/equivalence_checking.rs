@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = cdcl.solve(&wide);
     println!(
         "8-bit adder equivalence via CDCL: {} ({} vars, {} clauses, {})",
-        if result.is_unsat() { "equivalent" } else { "NOT equivalent" },
+        if result.is_unsat() {
+            "equivalent"
+        } else {
+            "NOT equivalent"
+        },
         wide.num_vars(),
         wide.num_clauses(),
         cdcl.stats()

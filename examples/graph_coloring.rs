@@ -20,8 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // An odd cycle (C5) is not 2-colorable; an even cycle (C4) is.
     for (name, graph, expected) in [
-        ("C5 (odd cycle)", cnf::generators::cycle_graph(5), Verdict::Unsatisfiable),
-        ("C4 (even cycle)", cnf::generators::cycle_graph(4), Verdict::Satisfiable),
+        (
+            "C5 (odd cycle)",
+            cnf::generators::cycle_graph(5),
+            Verdict::Unsatisfiable,
+        ),
+        (
+            "C4 (even cycle)",
+            cnf::generators::cycle_graph(4),
+            Verdict::Satisfiable,
+        ),
     ] {
         let formula = cnf::generators::graph_coloring(&graph, k);
         let instance = NblSatInstance::new(&formula)?;

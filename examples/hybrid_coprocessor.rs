@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         ("parity chain n=5", cnf::generators::parity_chain(5, true)),
         ("pigeonhole 3 into 3", cnf::generators::pigeonhole(3, 3)),
-        ("pigeonhole 4 into 3 (UNSAT)", cnf::generators::pigeonhole(4, 3)),
+        (
+            "pigeonhole 4 into 3 (UNSAT)",
+            cnf::generators::pigeonhole(4, 3),
+        ),
     ];
 
     for (name, formula) in instances {

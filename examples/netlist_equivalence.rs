@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let golden = parse_bench(GOLDEN)?;
     println!("golden netlist:\n{}", write_bench(&golden));
 
-    for (label, text) in [("NAND rewrite", NAND_REWRITE), ("buggy rewrite", BUGGY_REWRITE)] {
+    for (label, text) in [
+        ("NAND rewrite", NAND_REWRITE),
+        ("buggy rewrite", BUGGY_REWRITE),
+    ] {
         let revised = parse_bench(text)?;
         let check = equivalence_check(&golden, &revised)?;
         println!(
@@ -75,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .into_iter()
                     .map(|(name, value)| format!("{name}={}", value as u8))
                     .collect();
-                println!("  CDCL: NOT equivalent, counterexample {}", pattern.join(" "));
+                println!(
+                    "  CDCL: NOT equivalent, counterexample {}",
+                    pattern.join(" ")
+                );
             }
             SolveResult::Unknown => unreachable!("CDCL is complete"),
         }

@@ -38,17 +38,14 @@ pub use sat_solvers as solvers;
 
 /// Commonly used items, importable with a single `use nbl_sat_repro::prelude::*`.
 pub mod prelude {
-    pub use cnf::{
-        Assignment, Clause, CnfFormula, Cube, Literal, PartialAssignment, Variable,
-    };
+    pub use cnf::{Assignment, Clause, CnfFormula, Cube, Literal, PartialAssignment, Variable};
     pub use nbl_circuit::{
         Circuit, CircuitBuilder, GateKind, Simulator, StuckAtFault, TseitinEncoder,
     };
     pub use nbl_noise::{CarrierKind, RunningStats};
     pub use nbl_sat_core::{
-        AlgebraicEngine, AssignmentExtractor, EngineConfig, HybridSolver, MeanEstimate,
-        NblEngine, NblSatError, NblSatInstance, SampledEngine, SatChecker, SnrModel,
-        SymbolicEngine, Verdict,
+        AlgebraicEngine, AssignmentExtractor, EngineConfig, HybridSolver, MeanEstimate, NblEngine,
+        NblSatError, NblSatInstance, SampledEngine, SatChecker, SnrModel, SymbolicEngine, Verdict,
     };
     pub use sat_solvers::{
         BruteForceSolver, CdclSolver, DpllSolver, Gsat, MusExtractor, Portfolio, Schoening,

@@ -3,9 +3,9 @@
 //! round-trips all have to agree with functional simulation.
 
 use nbl_sat_repro::circuit::{
-    atpg_check, equivalence_check, exhaustive_counterexample, fault_list, fault_simulate,
-    library, parse_bench, truth_table, write_bench, Circuit, CircuitBuilder, GateKind,
-    NblCircuitEvaluator, Simulator, TseitinEncoder,
+    atpg_check, equivalence_check, exhaustive_counterexample, fault_list, fault_simulate, library,
+    parse_bench, truth_table, write_bench, Circuit, CircuitBuilder, GateKind, NblCircuitEvaluator,
+    Simulator, TseitinEncoder,
 };
 use nbl_sat_repro::nbl_sat::{NblSatInstance, SatChecker, SymbolicEngine};
 use nbl_sat_repro::prelude::*;
@@ -120,7 +120,12 @@ fn atpg_instances_agree_between_cdcl_and_nbl() {
             .check(&instance)
             .unwrap()
             .is_sat();
-        assert_eq!(classical, nbl, "disagreement on {}", fault.describe(&circuit));
+        assert_eq!(
+            classical,
+            nbl,
+            "disagreement on {}",
+            fault.describe(&circuit)
+        );
     }
 }
 
@@ -150,7 +155,10 @@ fn bench_round_trip_preserves_function_through_the_facade() {
     let circuit = library::multiplexer(2);
     let text = write_bench(&circuit);
     let reparsed = parse_bench(&text).unwrap();
-    assert_eq!(exhaustive_counterexample(&circuit, &reparsed).unwrap(), None);
+    assert_eq!(
+        exhaustive_counterexample(&circuit, &reparsed).unwrap(),
+        None
+    );
 }
 
 proptest! {

@@ -76,9 +76,21 @@ fn nbl_verdicts_match_every_classical_solver_on_random_instances() {
             .check(&instance)
             .unwrap()
             .is_sat();
-        assert_eq!(nbl, BruteForceSolver::new().solve(&formula).is_sat(), "seed {seed}");
-        assert_eq!(nbl, DpllSolver::new().solve(&formula).is_sat(), "seed {seed}");
-        assert_eq!(nbl, CdclSolver::new().solve(&formula).is_sat(), "seed {seed}");
+        assert_eq!(
+            nbl,
+            BruteForceSolver::new().solve(&formula).is_sat(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            nbl,
+            DpllSolver::new().solve(&formula).is_sat(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            nbl,
+            CdclSolver::new().solve(&formula).is_sat(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -142,6 +154,9 @@ fn mean_is_proportional_to_the_number_of_satisfying_minterms() {
             .unwrap()
             .mean;
         let expected = (1u64 << (n - 1)) as f64 * (1.0f64 / 12.0).powi(n as i32);
-        assert!((mean - expected).abs() < 1e-15, "n={n}: {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 1e-15,
+            "n={n}: {mean} vs {expected}"
+        );
     }
 }

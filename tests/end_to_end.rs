@@ -20,7 +20,9 @@ fn dimacs_to_nbl_verdicts_match_the_paper() {
         Verdict::Satisfiable
     );
     assert_eq!(
-        checker.check(&NblSatInstance::new(&unsat).unwrap()).unwrap(),
+        checker
+            .check(&NblSatInstance::new(&unsat).unwrap())
+            .unwrap(),
         Verdict::Unsatisfiable
     );
 }

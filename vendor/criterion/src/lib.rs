@@ -1,0 +1,271 @@
+//! Offline vendored stub of the `criterion` API subset this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace's eight
+//! bench targets link against this minimal harness instead of real Criterion.
+//! It keeps the same source-level API — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — but performs a short fixed-size timing loop and
+//! prints one median-time line per benchmark, with none of Criterion's
+//! statistics, plotting, or CLI. Passing `--test` (as `cargo test` does for
+//! `harness = false` bench targets) runs each benchmark body exactly once as
+//! a smoke test.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The stub only honors `--test`
+    /// (already detected in [`Criterion::default`]), so this is a no-op kept
+    /// for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id.full_name(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, label: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: if self.test_mode {
+                1
+            } else {
+                sample_size as u64
+            },
+            elapsed_nanos: 0.0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {label} ... ok");
+        } else {
+            let per_iter = bencher.elapsed_nanos / bencher.iterations.max(1) as f64;
+            println!(
+                "bench {label}: {per_iter:.1} ns/iter ({} iters)",
+                bencher.iterations
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.min(20));
+        self
+    }
+
+    /// Benchmarks `f` under the given id within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.full_name());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&label, sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f`, passing it a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group. The stub keeps no cross-group state, so this only
+    /// exists for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.function_name, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function_name: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function_name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Times a closure over a fixed number of iterations, mirroring
+/// `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed_nanos: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording total elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed_nanos = start.elapsed().as_secs_f64() * 1e9;
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs one or more groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benches_run_and_count_iterations() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 4,
+        };
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(4);
+            group.bench_function(BenchmarkId::new("f", 1), |b| {
+                b.iter(|| calls += 1);
+            });
+            group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut calls = 0u64;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).full_name(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").full_name(), "p");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+}

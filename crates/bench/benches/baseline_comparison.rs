@@ -1,44 +1,51 @@
-//! Criterion bench for E6: the NBL-guided hybrid solver against the classical
-//! baselines (DPLL, CDCL, WalkSAT) on random 3-SAT and structured instances.
+//! Criterion bench for E6: the NBL-guided hybrid solver against the
+//! classical baselines (DPLL, CDCL, WalkSAT) on random 3-SAT and structured
+//! instances — all dispatched through the unified request/outcome API, so the
+//! numbers include the (small) cost of the backend abstraction the production
+//! front ends pay.
 
 use cnf::generators::{self, RandomKSatConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
-use nbl_sat_core::HybridSolver;
-use sat_solvers::{CdclSolver, DpllSolver, Solver, WalkSat};
+use nbl_sat_core::{BackendRegistry, SolveRequest};
+
+const BACKENDS: [&str; 4] = ["hybrid-symbolic", "dpll", "cdcl", "walksat"];
 
 fn solvers_on_random_3sat(c: &mut Criterion) {
+    let registry = BackendRegistry::default();
     let formula =
         generators::random_ksat(&RandomKSatConfig::from_ratio(10, 4.0, 3).with_seed(17)).unwrap();
     let mut group = c.benchmark_group("baseline_random3sat_n10");
     // The NBL-guided solver issues thousands of exact coprocessor checks per
     // solve; a reduced sample count keeps the whole suite fast.
     group.sample_size(10);
-    group.bench_function("hybrid_nbl_guided", |b| {
-        b.iter(|| {
-            HybridSolver::with_ideal_coprocessor()
-                .solve(&formula)
-                .unwrap()
-        })
-    });
-    group.bench_function("dpll", |b| b.iter(|| DpllSolver::new().solve(&formula)));
-    group.bench_function("cdcl", |b| b.iter(|| CdclSolver::new().solve(&formula)));
-    group.bench_function("walksat", |b| b.iter(|| WalkSat::new().solve(&formula)));
+    for backend in BACKENDS {
+        group.bench_function(backend, |b| {
+            b.iter(|| {
+                registry
+                    .solve(backend, &SolveRequest::new(&formula))
+                    .unwrap()
+            })
+        });
+    }
     group.finish();
 }
 
 fn solvers_on_pigeonhole(c: &mut Criterion) {
+    let registry = BackendRegistry::default();
     let formula = generators::pigeonhole(4, 3);
     let mut group = c.benchmark_group("baseline_pigeonhole_4_3");
     group.sample_size(10);
-    group.bench_function("hybrid_nbl_guided", |b| {
-        b.iter(|| {
-            HybridSolver::with_ideal_coprocessor()
-                .solve(&formula)
-                .unwrap()
-        })
-    });
-    group.bench_function("dpll", |b| b.iter(|| DpllSolver::new().solve(&formula)));
-    group.bench_function("cdcl", |b| b.iter(|| CdclSolver::new().solve(&formula)));
+    // WalkSAT cannot refute the UNSAT pigeonhole instance; benching it here
+    // would only time its give-up path, so the complete backends suffice.
+    for backend in ["hybrid-symbolic", "dpll", "cdcl"] {
+        group.bench_function(backend, |b| {
+            b.iter(|| {
+                registry
+                    .solve(backend, &SolveRequest::new(&formula))
+                    .unwrap()
+            })
+        });
+    }
     group.finish();
 }
 

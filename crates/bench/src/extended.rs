@@ -18,10 +18,11 @@ use nbl_circuit::{
     TseitinEncoder,
 };
 use nbl_noise::CarrierKind;
-use nbl_sat_core::{NblSatInstance, SatChecker, SymbolicEngine, Verdict};
-use sat_solvers::{
-    CdclSolver, DpllSolver, Gsat, Portfolio, Schoening, SolveResult, Solver, TwoSatSolver, WalkSat,
+use nbl_sat_core::{
+    Artifacts, BackendRegistry, NblSatInstance, SatChecker, SolveRequest, SolveVerdict,
+    SymbolicEngine, Verdict,
 };
+use sat_solvers::{CdclSolver, SolveResult, Solver};
 use std::fmt::Write as _;
 
 // ---------------------------------------------------------------------------
@@ -377,17 +378,19 @@ pub fn equivalence_workload() -> String {
 // E11 — baseline solver comparison
 // ---------------------------------------------------------------------------
 
-/// One row of the E11 comparison (one solver on one instance).
+/// One row of the E11 comparison (one backend on one instance).
 #[derive(Debug, Clone)]
 pub struct ComparisonRow {
     /// Workload name.
     pub instance: String,
-    /// Solver name.
+    /// Backend name (as registered in the [`BackendRegistry`]).
     pub solver: String,
     /// Verdict string (`SAT`, `UNSAT`, `unknown`).
     pub verdict: String,
     /// Decisions (complete solvers) or flips (local search).
     pub effort: u64,
+    /// For meta-backends (the portfolio): the member that answered.
+    pub winner: Option<&'static str>,
 }
 
 fn comparison_workloads(seed: u64) -> Vec<(String, CnfFormula)> {
@@ -412,58 +415,70 @@ fn comparison_workloads(seed: u64) -> Vec<(String, CnfFormula)> {
     workloads
 }
 
-/// E11: every baseline solver on a representative workload matrix.
+/// The E11 backend line-up, dispatched by name through the unified API.
+const COMPARISON_BACKENDS: [&str; 7] = [
+    "dpll",
+    "cdcl",
+    "two-sat",
+    "walksat",
+    "gsat",
+    "schoening",
+    "portfolio",
+];
+
+/// E11: every baseline solver on a representative workload matrix, dispatched
+/// through the [`BackendRegistry`]. The portfolio rows name the member that
+/// produced the answer.
 pub fn solver_comparison(seed: u64) -> (Vec<ComparisonRow>, String) {
+    let registry = BackendRegistry::default();
     let workloads = comparison_workloads(seed);
     let mut rows = Vec::new();
     let mut report = String::new();
     writeln!(report, "E11 — baseline solver comparison (seed {seed})").expect("write to string");
     writeln!(
         report,
-        "{:<24} {:<11} {:>8} {:>10}",
-        "instance", "solver", "verdict", "effort"
+        "{:<24} {:<11} {:>8} {:>10}  winner",
+        "instance", "backend", "verdict", "effort"
     )
     .expect("write to string");
     for (name, formula) in &workloads {
-        let mut solvers: Vec<Box<dyn Solver>> = vec![
-            Box::new(DpllSolver::new()),
-            Box::new(CdclSolver::new()),
-            Box::new(TwoSatSolver::new()),
-            Box::new(WalkSat::new()),
-            Box::new(Gsat::new()),
-            Box::new(Schoening::new()),
-            Box::new(Portfolio::new()),
-        ];
-        for solver in &mut solvers {
-            let result = solver.solve(formula);
-            let verdict = match result {
-                SolveResult::Satisfiable(ref model) => {
+        for backend in COMPARISON_BACKENDS {
+            let request = SolveRequest::new(formula)
+                .artifacts(Artifacts::Model)
+                .seed(seed);
+            let outcome = registry
+                .solve(backend, &request)
+                .expect("baseline backends have no structural limits");
+            let verdict = match outcome.verdict {
+                SolveVerdict::Satisfiable => {
+                    let model = outcome.model.as_ref().expect("model requested");
                     assert!(formula.evaluate(model), "model must verify");
                     "SAT".to_string()
                 }
-                SolveResult::Unsatisfiable => "UNSAT".to_string(),
-                SolveResult::Unknown => "unknown".to_string(),
+                SolveVerdict::Unsatisfiable => "UNSAT".to_string(),
+                SolveVerdict::Unknown(_) => "unknown".to_string(),
             };
-            let stats = solver.stats();
-            let effort = if stats.decisions > 0 {
-                stats.decisions
+            let effort = if outcome.stats.decisions > 0 {
+                outcome.stats.decisions
             } else {
-                stats.flips
+                outcome.stats.flips
             };
             writeln!(
                 report,
-                "{:<24} {:<11} {:>8} {:>10}",
+                "{:<24} {:<11} {:>8} {:>10}  {}",
                 name,
-                solver.name(),
+                backend,
                 verdict,
-                effort
+                effort,
+                outcome.stats.winner.unwrap_or("-")
             )
             .expect("write to string");
             rows.push(ComparisonRow {
                 instance: name.clone(),
-                solver: solver.name().to_string(),
+                solver: backend.to_string(),
                 verdict,
                 effort,
+                winner: outcome.stats.winner,
             });
         }
     }

@@ -12,7 +12,7 @@
 //! ```
 //!
 //! This module supports the combinational subset (no `DFF`), every
-//! [`GateKind`](crate::GateKind) name plus the common aliases `BUFF` and
+//! [`GateKind`] name plus the common aliases `BUFF` and
 //! `INV`, and — as a documented extension — the tokens `CONST0`/`CONST1` for
 //! constant drivers so that every [`Circuit`] in this crate round-trips.
 

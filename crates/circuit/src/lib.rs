@@ -14,7 +14,7 @@
 //!   simulation, truth tables and exhaustive equivalence checks.
 //! * [`TseitinEncoder`] — the circuit-to-CNF transformation (primary inputs
 //!   become the first CNF variables, as the NBL-SAT transform expects).
-//! * [`miter`] / [`equivalence_check`] — combinational equivalence checking.
+//! * [`miter()`] / [`equivalence_check`] — combinational equivalence checking.
 //! * [`fault`] — single stuck-at fault modelling, bit-parallel fault
 //!   simulation and SAT-based ATPG instance generation.
 //! * [`parse_bench`] / [`write_bench`] — ISCAS-style `.bench` netlist I/O.

@@ -126,6 +126,31 @@ impl Cube {
         1u64 << free
     }
 
+    /// Returns `true` if the cube is an implicant of `formula`: every minterm
+    /// covered by the cube satisfies the formula.
+    ///
+    /// This is decided in linear time without expanding the cube: a cube `C`
+    /// implies a clause iff the clause is a tautology or contains one of `C`'s
+    /// literals (otherwise every literal of the clause can be made false by an
+    /// assignment consistent with `C`), and `C` implies a CNF formula iff it
+    /// implies every clause. Contradictory cubes cover no minterms and are
+    /// vacuously implicants.
+    ///
+    /// ```
+    /// use cnf::{cnf_formula, Cube};
+    /// let f = cnf_formula![[1], [1, 2, 3]];
+    /// assert!(Cube::from_dimacs(&[1]).unwrap().is_implicant_of(&f));
+    /// assert!(!Cube::from_dimacs(&[2]).unwrap().is_implicant_of(&f));
+    /// ```
+    pub fn is_implicant_of(&self, formula: &crate::CnfFormula) -> bool {
+        if self.is_contradictory() {
+            return true;
+        }
+        formula.iter().all(|clause| {
+            clause.is_tautology() || self.literals.iter().any(|&l| clause.contains(l))
+        })
+    }
+
     /// Enumerates all assignments (minterms) contained in the cube's subspace
     /// over `num_vars` variables. Contradictory cubes yield nothing.
     pub fn expand(&self, num_vars: usize) -> Vec<Assignment> {
@@ -217,6 +242,43 @@ mod tests {
     fn duplicate_literals_do_not_change_minterm_count() {
         let c = Cube::from_dimacs(&[1, 1]).unwrap();
         assert_eq!(c.num_minterms(2), 2);
+    }
+
+    #[test]
+    fn implicant_test_matches_expansion_semantics() {
+        use crate::cnf_formula;
+        let f = cnf_formula![[1, 2], [-1, -2], [1, -2]];
+        // x1·¬x2 is the unique satisfying minterm, hence an implicant.
+        assert!(Cube::from_dimacs(&[1, -2]).unwrap().is_implicant_of(&f));
+        // x1 alone covers (1,1), which falsifies (¬x1 ∨ ¬x2).
+        assert!(!Cube::from_dimacs(&[1]).unwrap().is_implicant_of(&f));
+        // The empty cube is an implicant only of the empty formula.
+        assert!(Cube::new().is_implicant_of(&crate::CnfFormula::new(3)));
+        assert!(!Cube::new().is_implicant_of(&f));
+        // Tautological clauses are implied by anything.
+        let taut = cnf_formula![[1, -1]];
+        assert!(Cube::from_dimacs(&[2]).unwrap().is_implicant_of(&taut));
+        // Contradictory cubes cover nothing, hence vacuously imply.
+        assert!(Cube::from_dimacs(&[1, -1]).unwrap().is_implicant_of(&f));
+        // Brute-force cross-check on every cube over 3 variables.
+        let g = cnf_formula![[1, 2, 3], [-1, -2], [2, -3]];
+        for dimacs in [
+            vec![1],
+            vec![-1, 2],
+            vec![1, -2],
+            vec![1, -2, 3],
+            vec![-1, 2, -3],
+            vec![3],
+        ] {
+            let cube = Cube::from_dimacs(&dimacs).unwrap();
+            let expanded = cube.expand(3);
+            let by_expansion = !expanded.is_empty() && expanded.iter().all(|a| g.evaluate(a));
+            assert_eq!(
+                cube.is_implicant_of(&g),
+                by_expansion || expanded.is_empty(),
+                "cube {cube}"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! the evaluation sweeps over:
 //!
 //! * [`random`] — uniform random k-SAT with a configurable clause/variable ratio
-//! * [`pigeonhole`] — provably unsatisfiable pigeonhole-principle instances
+//! * [`pigeonhole()`] — provably unsatisfiable pigeonhole-principle instances
 //! * [`coloring`] — graph k-coloring encodings
 //! * [`parity`] — XOR/parity chains (hard for resolution, easy for structure)
 //! * [`miter`] — combinational equivalence-checking miters

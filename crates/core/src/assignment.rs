@@ -1,11 +1,68 @@
 //! Satisfying-assignment determination (Algorithm 2 of the paper).
 
+use crate::budget::BudgetMeter;
 use crate::checker::{SatChecker, Verdict};
 use crate::engine::NblEngine;
 use crate::error::{NblSatError, Result};
 use crate::transform::NblSatInstance;
-use cnf::{Assignment, Cube, Literal, Variable};
+use cnf::{Assignment, CnfFormula, Cube, Literal, Variable};
 use std::fmt;
+
+/// Shrinks a satisfying assignment to a prime-implicant cube by greedily
+/// dropping variables whose removal keeps the cube an implicant of the
+/// formula. `model` must satisfy `formula`.
+///
+/// A cube implies a clause iff the clause is a tautology or contains one of
+/// the cube's literals, so the shrink reduces to support counting: each
+/// non-tautological clause tracks how many literal occurrences the still-
+/// included variables satisfy, and a variable can be dropped iff every
+/// clause it supports keeps at least one supporter. This is linear in the
+/// formula size overall, instead of re-running the implicant test per
+/// variable.
+///
+/// Shared by [`AssignmentExtractor::extract_cube`] and the classical backends
+/// of the unified solving API, which produce a model first and derive the
+/// cube from it.
+pub fn prime_implicant_cube(formula: &CnfFormula, model: &Assignment) -> Cube {
+    debug_assert!(
+        formula.evaluate(model),
+        "prime_implicant_cube requires a satisfying model"
+    );
+    let n = model.num_vars();
+    let mut support = vec![0usize; formula.num_clauses()];
+    // Clause indices each variable's model-phase literal occurs in, with
+    // multiplicity (duplicate literals in a clause count separately so the
+    // support arithmetic below stays consistent).
+    let mut occurrences: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, clause) in formula.iter().enumerate() {
+        if clause.is_tautology() {
+            continue;
+        }
+        for &lit in clause.iter() {
+            if model.satisfies(lit) {
+                support[j] += 1;
+                occurrences[lit.variable().index()].push(j);
+            }
+        }
+    }
+    let mut included = vec![true; n];
+    for i in 0..n {
+        for &j in &occurrences[i] {
+            support[j] -= 1;
+        }
+        if occurrences[i].iter().all(|&j| support[j] >= 1) {
+            included[i] = false;
+        } else {
+            for &j in &occurrences[i] {
+                support[j] += 1;
+            }
+        }
+    }
+    (0..n)
+        .filter(|&k| included[k])
+        .map(|k| Literal::with_phase(Variable::new(k), model.value(Variable::new(k))))
+        .collect()
+}
 
 /// Result of an assignment-extraction run.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,38 +129,69 @@ impl<E: NblEngine> AssignmentExtractor<E> {
     /// Runs Algorithm 2 and returns a satisfying minterm.
     ///
     /// The instance must be satisfiable (the paper assumes Algorithm 1 has
-    /// already answered SAT); if it is not, the procedure detects the
-    /// contradiction and reports [`NblSatError::InstanceUnsatisfiable`].
+    /// already answered SAT). If the extracted assignment does not verify,
+    /// the failure is classified from the engine's own telemetry: when every
+    /// restricted check was exact the instance is provably unsatisfiable
+    /// ([`NblSatError::InstanceUnsatisfiable`]); with a statistical engine
+    /// the run is merely [`NblSatError::Inconclusive`] (an unlucky restricted
+    /// decision), since distinguishing the two would require an exponential
+    /// recount.
     ///
     /// # Errors
     ///
-    /// * [`NblSatError::InstanceUnsatisfiable`] if the instance has no model.
+    /// * [`NblSatError::InstanceUnsatisfiable`] if the instance has no model
+    ///   (exact engines).
+    /// * [`NblSatError::Inconclusive`] if a statistical engine mis-steered.
     /// * Any engine error (size limits, mismatched bindings).
     pub fn extract(&mut self, instance: &NblSatInstance) -> Result<ExtractionOutcome> {
+        self.extract_budgeted(instance, &mut BudgetMeter::default())
+    }
+
+    /// Budgeted Algorithm 2: identical to [`AssignmentExtractor::extract`]
+    /// but charges each of the `n` restricted checks against `meter`, so a
+    /// check, sample or wall-clock limit interrupts the extraction.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::BudgetExhausted`] when a limit fires, plus everything
+    /// [`AssignmentExtractor::extract`] can return.
+    pub fn extract_budgeted(
+        &mut self,
+        instance: &NblSatInstance,
+        meter: &mut BudgetMeter,
+    ) -> Result<ExtractionOutcome> {
         let checks_before = self.checker.checks_performed();
         let mut bindings = instance.empty_bindings();
+        let mut all_exact = true;
+        let mut last_estimate: Option<crate::MeanEstimate> = None;
         for i in 0..instance.num_vars() {
             let var = Variable::new(i);
             // Line 4: bind x_i to 1 in the (already reduced) hyperspace.
             bindings.assign(var, true);
-            let verdict = self.checker.check_with_bindings(instance, &bindings)?;
-            if verdict == Verdict::Unsatisfiable {
+            let estimate = self.checker.estimate_budgeted(instance, &bindings, meter)?;
+            all_exact &= estimate.exact;
+            if self.checker.decide(&estimate) == Verdict::Unsatisfiable {
                 // The solution lies in the x̄_i subspace (line 8).
                 bindings.assign(var, false);
             }
+            last_estimate = Some(estimate);
         }
         let assignment = bindings
             .try_to_complete()
             .expect("every variable was bound");
         if !instance.formula().evaluate(&assignment) {
-            // Either the instance was unsatisfiable to begin with, or a
-            // sampled engine made a statistically unlucky decision.
-            return if instance.formula().count_satisfying_assignments() == 0 {
+            // Exact restricted checks steer correctly on satisfiable
+            // instances, so a non-verifying result proves unsatisfiability.
+            // A statistical engine may simply have made an unlucky decision;
+            // report that without an exponential recount (which no budget
+            // could interrupt).
+            return if all_exact {
                 Err(NblSatError::InstanceUnsatisfiable)
             } else {
+                let estimate = last_estimate.expect("at least one variable was bound");
                 Err(NblSatError::Inconclusive {
-                    mean: 0.0,
-                    samples: 0,
+                    mean: estimate.mean,
+                    samples: estimate.samples,
                 })
             };
         }
@@ -124,39 +212,37 @@ impl<E: NblEngine> AssignmentExtractor<E> {
     /// checks; a "both polarities satisfiable" probe alone, however, only
     /// proves that each half-space *contains* a model, not that the whole
     /// enlarged cube is an implicant, so this implementation confirms each
-    /// drop with an explicit implicant test over the freed variables. The
-    /// NBL-check budget remains the paper's `n` operations.
+    /// drop with the exact linear-time implicant test
+    /// ([`Cube::is_implicant_of`]) over the freed variables. The NBL-check
+    /// budget remains the paper's `n` operations.
     ///
     /// # Errors
     ///
     /// Same as [`AssignmentExtractor::extract`].
     pub fn extract_cube(&mut self, instance: &NblSatInstance) -> Result<ExtractionOutcome> {
-        let minterm = self.extract(instance)?;
+        self.extract_cube_budgeted(instance, &mut BudgetMeter::default())
+    }
+
+    /// Budgeted variant of [`AssignmentExtractor::extract_cube`]; only the
+    /// minterm extraction spends NBL checks, the don't-care shrink is pure
+    /// CPU-side post-processing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AssignmentExtractor::extract_budgeted`].
+    pub fn extract_cube_budgeted(
+        &mut self,
+        instance: &NblSatInstance,
+        meter: &mut BudgetMeter,
+    ) -> Result<ExtractionOutcome> {
+        let minterm = self.extract_budgeted(instance, meter)?;
         let assignment = minterm
             .assignment
             .as_ref()
             .expect("extract always returns a full minterm");
-        let n = instance.num_vars();
-        let formula = instance.formula();
-        let mut included = vec![true; n];
-        for i in 0..n {
-            included[i] = false;
-            let candidate: Cube = (0..n)
-                .filter(|&k| included[k])
-                .map(|k| Literal::with_phase(Variable::new(k), assignment.value(Variable::new(k))))
-                .collect();
-            let is_implicant = candidate.expand(n).iter().all(|a| formula.evaluate(a));
-            if !is_implicant {
-                included[i] = true;
-            }
-        }
-        let cube: Cube = (0..n)
-            .filter(|&k| included[k])
-            .map(|k| Literal::with_phase(Variable::new(k), assignment.value(Variable::new(k))))
-            .collect();
         Ok(ExtractionOutcome {
             assignment: None,
-            cube,
+            cube: prime_implicant_cube(instance.formula(), assignment),
             checks_used: minterm.checks_used,
         })
     }
@@ -271,6 +357,76 @@ mod tests {
         assert!(inst
             .formula()
             .evaluate(outcome.assignment.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn prime_implicant_helper_matches_expansion_semantics() {
+        // S = (x1): x2, x3 are don't-cares.
+        let f = cnf_formula![[1], [1, 2, 3]];
+        let model = Assignment::from_bools(vec![true, false, true]);
+        let cube = prime_implicant_cube(&f, &model);
+        assert_eq!(cube.to_string(), "x1");
+        for a in cube.expand(3) {
+            assert!(f.evaluate(&a));
+        }
+        // XOR-like instance: no don't-cares exist.
+        let g = cnf_formula![[1, 2], [-1, -2]];
+        let model = Assignment::from_bools(vec![true, false]);
+        assert_eq!(prime_implicant_cube(&g, &model).len(), 2);
+    }
+
+    #[test]
+    fn prime_implicant_cube_is_a_prime_implicant_on_random_instances() {
+        use cnf::generators::RandomKSatConfig;
+        let mut covered = 0;
+        for seed in 0..30 {
+            let f =
+                generators::random_ksat(&RandomKSatConfig::new(7, 18, 3).with_seed(seed)).unwrap();
+            let Some(model) =
+                sat_solvers::Solver::solve(&mut sat_solvers::BruteForceSolver::new(), &f)
+                    .model()
+                    .cloned()
+            else {
+                continue;
+            };
+            covered += 1;
+            let cube = prime_implicant_cube(&f, &model);
+            // Implicant...
+            assert!(cube.is_implicant_of(&f), "seed {seed}");
+            // ...and prime: no single literal can be removed.
+            for skip in 0..cube.len() {
+                let smaller: Cube = cube
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != skip)
+                    .map(|(_, &l)| l)
+                    .collect();
+                assert!(!smaller.is_implicant_of(&f), "seed {seed} literal {skip}");
+            }
+        }
+        assert!(covered > 10, "need satisfiable instances to be meaningful");
+    }
+
+    #[test]
+    fn check_budget_interrupts_extraction() {
+        use crate::budget::{Budget, BudgetMeter, ExhaustedResource};
+        // Algorithm 2 needs n = 2 checks; a 1-check allowance must interrupt.
+        let inst = instance(&generators::example6_sat());
+        let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_checks(1));
+        let err = extractor.extract_budgeted(&inst, &mut meter).unwrap_err();
+        assert!(matches!(
+            err,
+            NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::CoprocessorChecks
+            }
+        ));
+        assert_eq!(meter.checks_used(), 1);
+        // With exactly n checks the extraction completes.
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_checks(2));
+        let outcome = extractor.extract_budgeted(&inst, &mut meter).unwrap();
+        assert!(outcome.assignment.is_some());
+        assert_eq!(meter.checks_used(), 2);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Resource budgets for the unified solving API.
+//!
+//! A [`Budget`] expresses what a caller is willing to spend on one solve:
+//! wall-clock time, noise samples (the cost unit of the Monte-Carlo
+//! [`crate::SampledEngine`] — §IV of the paper runs up to 10⁸ of them per
+//! decision), and NBL coprocessor check operations (the paper's own
+//! complexity metric: Algorithm 1 is one check, Algorithm 2 at most `n`
+//! more, and the §V hybrid flow two per free variable per decision).
+//!
+//! A [`BudgetMeter`] is the running account for one solve. It is threaded
+//! through the engines, the checker, the extractor and the hybrid solver so
+//! that limits *interrupt* the inner loops — exhaustion surfaces as
+//! [`NblSatError::BudgetExhausted`], which the backend adapters translate
+//! into a [`crate::SolveVerdict::Unknown`] outcome rather than an error.
+
+use crate::error::{NblSatError, Result};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The resource that ran out when a budget was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExhaustedResource {
+    /// The wall-clock limit passed.
+    WallClock,
+    /// The noise-sample allowance was consumed.
+    Samples,
+    /// The coprocessor-check allowance was consumed.
+    CoprocessorChecks,
+}
+
+impl fmt::Display for ExhaustedResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExhaustedResource::WallClock => write!(f, "wall-clock time"),
+            ExhaustedResource::Samples => write!(f, "noise samples"),
+            ExhaustedResource::CoprocessorChecks => write!(f, "coprocessor checks"),
+        }
+    }
+}
+
+/// Resource limits for a single solve. `None` means unlimited.
+///
+/// ```
+/// use nbl_sat_core::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::unlimited()
+///     .with_wall_time(Duration::from_secs(2))
+///     .with_max_samples(1_000_000)
+///     .with_max_checks(64);
+/// assert_eq!(budget.max_checks, Some(64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock allowance for the whole solve.
+    pub wall_time: Option<Duration>,
+    /// Total noise samples the sampled engine may draw across all checks.
+    pub max_samples: Option<u64>,
+    /// Total NBL check operations (Algorithm 1 invocations) allowed.
+    pub max_checks: Option<u64>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Sets the wall-clock allowance.
+    pub fn with_wall_time(mut self, wall_time: Duration) -> Self {
+        self.wall_time = Some(wall_time);
+        self
+    }
+
+    /// Sets the total noise-sample allowance.
+    pub fn with_max_samples(mut self, max_samples: u64) -> Self {
+        self.max_samples = Some(max_samples);
+        self
+    }
+
+    /// Sets the total coprocessor-check allowance.
+    pub fn with_max_checks(mut self, max_checks: u64) -> Self {
+        self.max_checks = Some(max_checks);
+        self
+    }
+
+    /// Returns `true` if no limit is set on any resource.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_time.is_none() && self.max_samples.is_none() && self.max_checks.is_none()
+    }
+}
+
+/// The running account of one solve against a [`Budget`].
+///
+/// Created when the solve starts (fixing the wall-clock deadline) and passed
+/// by mutable reference through every layer that spends resources.
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    deadline: Option<Instant>,
+    max_samples: Option<u64>,
+    samples_used: u64,
+    max_checks: Option<u64>,
+    checks_used: u64,
+}
+
+impl BudgetMeter {
+    /// Starts metering against `budget`; the wall-clock deadline is fixed now.
+    pub fn start(budget: &Budget) -> Self {
+        BudgetMeter {
+            deadline: budget
+                .wall_time
+                .and_then(|wall| Instant::now().checked_add(wall)),
+            max_samples: budget.max_samples,
+            samples_used: 0,
+            max_checks: budget.max_checks,
+            checks_used: 0,
+        }
+    }
+
+    /// The absolute wall-clock deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Errors with [`NblSatError::BudgetExhausted`] once the deadline passed.
+    pub fn ensure_time(&self) -> Result<()> {
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => Err(NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::WallClock,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Charges one coprocessor check, erroring when the allowance is spent.
+    pub fn charge_check(&mut self) -> Result<()> {
+        if let Some(max) = self.max_checks {
+            if self.checks_used >= max {
+                return Err(NblSatError::BudgetExhausted {
+                    resource: ExhaustedResource::CoprocessorChecks,
+                });
+            }
+        }
+        self.checks_used += 1;
+        Ok(())
+    }
+
+    /// Records `n` noise samples as spent (never errors: engines clamp their
+    /// sample loops to [`BudgetMeter::remaining_samples`] up front).
+    pub fn charge_samples(&mut self, n: u64) {
+        self.samples_used = self.samples_used.saturating_add(n);
+    }
+
+    /// Samples still available, or `None` when unlimited.
+    pub fn remaining_samples(&self) -> Option<u64> {
+        self.max_samples
+            .map(|max| max.saturating_sub(self.samples_used))
+    }
+
+    /// Errors with [`NblSatError::BudgetExhausted`] when a sample limit exists
+    /// and nothing of it is left.
+    pub fn ensure_samples(&self) -> Result<()> {
+        if self.remaining_samples() == Some(0) {
+            return Err(NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::Samples,
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if a sample limit is configured.
+    pub fn sample_limited(&self) -> bool {
+        self.max_samples.is_some()
+    }
+
+    /// Samples spent so far.
+    pub fn samples_used(&self) -> u64 {
+        self.samples_used
+    }
+
+    /// Checks spent so far.
+    pub fn checks_used(&self) -> u64 {
+        self.checks_used
+    }
+}
+
+impl Default for BudgetMeter {
+    fn default() -> Self {
+        BudgetMeter::start(&Budget::unlimited())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut meter = BudgetMeter::start(&Budget::unlimited());
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(meter.ensure_time().is_ok());
+        assert!(meter.ensure_samples().is_ok());
+        for _ in 0..1000 {
+            assert!(meter.charge_check().is_ok());
+        }
+        meter.charge_samples(u64::MAX);
+        meter.charge_samples(1); // saturates, no panic
+        assert_eq!(meter.remaining_samples(), None);
+        assert!(!meter.sample_limited());
+    }
+
+    #[test]
+    fn check_allowance_is_enforced() {
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_checks(2));
+        assert!(meter.charge_check().is_ok());
+        assert!(meter.charge_check().is_ok());
+        let err = meter.charge_check().unwrap_err();
+        assert!(matches!(
+            err,
+            NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::CoprocessorChecks
+            }
+        ));
+        assert_eq!(meter.checks_used(), 2);
+    }
+
+    #[test]
+    fn sample_allowance_is_tracked() {
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_samples(100));
+        assert!(meter.sample_limited());
+        assert_eq!(meter.remaining_samples(), Some(100));
+        meter.charge_samples(60);
+        assert_eq!(meter.remaining_samples(), Some(40));
+        meter.charge_samples(60);
+        assert_eq!(meter.remaining_samples(), Some(0));
+        assert!(matches!(
+            meter.ensure_samples().unwrap_err(),
+            NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::Samples
+            }
+        ));
+        assert_eq!(meter.samples_used(), 120);
+    }
+
+    #[test]
+    fn zero_wall_time_expires_immediately() {
+        let meter = BudgetMeter::start(&Budget::unlimited().with_wall_time(Duration::ZERO));
+        assert!(meter.deadline().is_some());
+        assert!(matches!(
+            meter.ensure_time().unwrap_err(),
+            NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::WallClock
+            }
+        ));
+        let generous =
+            BudgetMeter::start(&Budget::unlimited().with_wall_time(Duration::from_secs(3600)));
+        assert!(generous.ensure_time().is_ok());
+    }
+
+    #[test]
+    fn exhausted_resource_display() {
+        assert_eq!(ExhaustedResource::WallClock.to_string(), "wall-clock time");
+        assert_eq!(ExhaustedResource::Samples.to_string(), "noise samples");
+        assert_eq!(
+            ExhaustedResource::CoprocessorChecks.to_string(),
+            "coprocessor checks"
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! The single-operation satisfiability check (Algorithm 1 of the paper).
 
+use crate::budget::BudgetMeter;
 use crate::engine::{MeanEstimate, NblEngine};
 use crate::error::Result;
 use crate::transform::NblSatInstance;
@@ -102,6 +103,42 @@ impl<E: NblEngine> SatChecker<E> {
     ) -> Result<MeanEstimate> {
         self.checks_performed += 1;
         self.engine.estimate(instance, bindings)
+    }
+
+    /// Budgeted restricted check: charges one coprocessor check against the
+    /// meter and runs the engine's budget-aware estimate, so both the check
+    /// allowance and the wall-clock/sample limits can interrupt it.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NblSatError::BudgetExhausted`] when a limit fires, plus any
+    /// engine error.
+    pub fn check_budgeted(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        meter: &mut BudgetMeter,
+    ) -> Result<Verdict> {
+        let estimate = self.estimate_budgeted(instance, bindings, meter)?;
+        Ok(self.decide(&estimate))
+    }
+
+    /// Budgeted raw estimate, charging the meter like
+    /// [`SatChecker::check_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NblSatError::BudgetExhausted`] when a limit fires, plus any
+    /// engine error.
+    pub fn estimate_budgeted(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        meter: &mut BudgetMeter,
+    ) -> Result<MeanEstimate> {
+        meter.charge_check()?;
+        self.checks_performed += 1;
+        self.engine.estimate_budgeted(instance, bindings, meter)
     }
 
     /// Applies the decision rule of Algorithm 1 to a mean estimate.

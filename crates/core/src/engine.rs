@@ -1,5 +1,6 @@
 //! The engine abstraction: anything that can estimate ⟨S_N⟩.
 
+use crate::budget::BudgetMeter;
 use crate::error::Result;
 use crate::transform::NblSatInstance;
 use cnf::PartialAssignment;
@@ -94,6 +95,33 @@ pub trait NblEngine {
         instance: &NblSatInstance,
         bindings: &PartialAssignment,
     ) -> Result<MeanEstimate>;
+
+    /// Estimates ⟨S_N⟩ while charging the given [`BudgetMeter`].
+    ///
+    /// Engines with internal loops override this so the budget genuinely
+    /// *interrupts* the work: [`crate::SampledEngine`] clamps its convergence
+    /// loop to the remaining sample allowance and polls the deadline every
+    /// sample, [`crate::SymbolicEngine`] polls the deadline inside its
+    /// assignment enumeration. The default implementation only pre-checks the
+    /// deadline and sample allowance, then charges the samples the estimate
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NblSatError::BudgetExhausted`] when a limit fires, plus
+    /// everything [`NblEngine::estimate`] can return.
+    fn estimate_budgeted(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        meter: &mut BudgetMeter,
+    ) -> Result<MeanEstimate> {
+        meter.ensure_time()?;
+        meter.ensure_samples()?;
+        let estimate = self.estimate(instance, bindings)?;
+        meter.charge_samples(estimate.samples);
+        Ok(estimate)
+    }
 
     /// Short human-readable engine name.
     fn name(&self) -> &'static str;

@@ -1,5 +1,6 @@
 //! Error types for the NBL-SAT core.
 
+use crate::budget::ExhaustedResource;
 use std::fmt;
 
 /// Convenient result alias used throughout the crate.
@@ -41,6 +42,15 @@ pub enum NblSatError {
         /// Number of samples used.
         samples: u64,
     },
+    /// A resource budget ran out mid-solve. The unified solving API catches
+    /// this and reports it as a `SolveVerdict::Unknown` outcome; it only
+    /// escapes as an error from the lower-level budgeted entry points.
+    BudgetExhausted {
+        /// Which resource ran out.
+        resource: ExhaustedResource,
+    },
+    /// A backend name was not found in the registry.
+    UnknownBackend(String),
     /// An error bubbled up from the CNF substrate.
     Cnf(cnf::CnfError),
 }
@@ -66,6 +76,12 @@ impl fmt::Display for NblSatError {
                 f,
                 "engine could not reach a confident decision after {samples} samples (mean {mean:.3e})"
             ),
+            NblSatError::BudgetExhausted { resource } => {
+                write!(f, "budget exhausted: out of {resource}")
+            }
+            NblSatError::UnknownBackend(name) => {
+                write!(f, "no backend named {name:?} is registered")
+            }
             NblSatError::Cnf(e) => write!(f, "cnf error: {e}"),
         }
     }

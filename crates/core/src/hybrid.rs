@@ -1,5 +1,6 @@
 //! The hybrid CPU + NBL-coprocessor solver (§V of the paper).
 
+use crate::budget::BudgetMeter;
 use crate::checker::SatChecker;
 use crate::engine::NblEngine;
 use crate::error::{NblSatError, Result};
@@ -69,6 +70,23 @@ impl<E: NblEngine> HybridSolver<E> {
     ///
     /// Propagates coprocessor (engine) errors such as size limits.
     pub fn solve(&mut self, formula: &CnfFormula) -> Result<Option<Assignment>> {
+        self.solve_budgeted(formula, &mut BudgetMeter::default())
+    }
+
+    /// Budgeted solve: every coprocessor check is charged against `meter`, so
+    /// a check, sample or wall-clock limit interrupts the CPU-side search
+    /// between (and, for the sampled coprocessor, inside) the NBL estimates.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::BudgetExhausted`] when a limit fires, plus everything
+    /// [`HybridSolver::solve`] can return. The statistics accumulated up to
+    /// the interruption remain readable through [`HybridSolver::stats`].
+    pub fn solve_budgeted(
+        &mut self,
+        formula: &CnfFormula,
+        meter: &mut BudgetMeter,
+    ) -> Result<Option<Assignment>> {
         self.stats = HybridStats::default();
         if formula.has_empty_clause() {
             return Ok(None);
@@ -78,7 +96,7 @@ impl<E: NblEngine> HybridSolver<E> {
         }
         let instance = NblSatInstance::new(formula)?;
         let mut assignment = PartialAssignment::new(formula.num_vars());
-        let found = self.search(&instance, &mut assignment)?;
+        let found = self.search(&instance, &mut assignment, meter)?;
         if found {
             let model = assignment.to_complete(false);
             debug_assert!(formula.evaluate(&model));
@@ -92,6 +110,7 @@ impl<E: NblEngine> HybridSolver<E> {
         &mut self,
         instance: &NblSatInstance,
         assignment: &mut PartialAssignment,
+        meter: &mut BudgetMeter,
     ) -> Result<bool> {
         let formula = instance.formula();
         let snapshot: Vec<Option<bool>> = (0..formula.num_vars())
@@ -126,9 +145,21 @@ impl<E: NblEngine> HybridSolver<E> {
             }
             for value in [true, false] {
                 assignment.assign(var, value);
-                let estimate = self.checker.estimate_with_bindings(instance, assignment)?;
-                self.stats.coprocessor_checks += 1;
+                let estimate = self.checker.estimate_budgeted(instance, assignment, meter);
                 assignment.unassign(var);
+                let estimate = match estimate {
+                    Ok(estimate) => {
+                        self.stats.coprocessor_checks += 1;
+                        estimate
+                    }
+                    Err(e) => {
+                        // Leave the assignment state consistent before
+                        // propagating budget exhaustion (or any engine error)
+                        // up through the recursion.
+                        restore(assignment, &snapshot);
+                        return Err(e);
+                    }
+                };
                 let better = match best {
                     None => true,
                     Some((_, _, best_mean)) => estimate.mean > best_mean,
@@ -156,7 +187,7 @@ impl<E: NblEngine> HybridSolver<E> {
         for value in [first_value, !first_value] {
             self.stats.decisions += 1;
             assignment.assign(var, value);
-            if self.search(instance, assignment)? {
+            if self.search(instance, assignment, meter)? {
                 return Ok(true);
             }
             assignment.unassign(var);
@@ -322,6 +353,25 @@ mod tests {
             hybrid_total <= 2 * dpll_total + comparisons as u64 * 2,
             "hybrid {hybrid_total} vs dpll {dpll_total}"
         );
+    }
+
+    #[test]
+    fn check_budget_interrupts_the_search() {
+        use crate::budget::{Budget, BudgetMeter, ExhaustedResource};
+        let mut solver = HybridSolver::with_ideal_coprocessor();
+        let f = generators::pigeonhole(4, 3);
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_checks(5));
+        let err = solver.solve_budgeted(&f, &mut meter).unwrap_err();
+        assert!(matches!(
+            err,
+            NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::CoprocessorChecks
+            }
+        ));
+        assert_eq!(meter.checks_used(), 5);
+        assert_eq!(solver.stats().coprocessor_checks, 5);
+        // The same solver still works with an unlimited budget afterwards.
+        assert!(solver.solve(&generators::example6_sat()).unwrap().is_some());
     }
 
     #[test]

@@ -43,13 +43,49 @@
 //! [`HybridSolver`] the §V CPU + NBL-coprocessor flow where the NBL mean
 //! guides branching of a classical complete solver.
 //!
-//! # Quick start
+//! # The unified solving API
+//!
+//! The recommended front door is the request/outcome API in [`solve`]: a
+//! [`SolveRequest`] describes the job (formula, desired artifacts — verdict,
+//! model or prime-implicant cube —, deterministic seed, resource [`Budget`])
+//! and any [`SatBackend`] answers with a [`SolveOutcome`] (three-valued
+//! [`SolveVerdict`] including `Unknown(BudgetExhausted)`, the artifacts,
+//! merged [`SolveStats`] and an optional convergence trace). The
+//! [`BackendRegistry`] names every engine — the classical baselines of
+//! `sat-solvers`, the three NBL engines and the hybrid flows — so callers
+//! dispatch by configuration string, the way the paper treats the NBL engine
+//! as an interchangeable coprocessor.
+//!
+//! ```
+//! use cnf::cnf_formula;
+//! use nbl_sat_core::{Artifacts, BackendRegistry, Budget, SolveRequest};
+//! use std::time::Duration;
+//!
+//! // Example 6 of the paper: (x1 + x2)(¬x1 + ¬x2) — satisfiable.
+//! let formula = cnf_formula![[1, 2], [-1, -2]];
+//! let request = SolveRequest::new(&formula)
+//!     .artifacts(Artifacts::Model)
+//!     .seed(2012)
+//!     .budget(Budget::unlimited().with_wall_time(Duration::from_secs(5)));
+//! let outcome = BackendRegistry::default().solve("nbl-symbolic", &request)?;
+//! assert!(outcome.verdict.is_sat());
+//! assert!(formula.evaluate(outcome.model.as_ref().unwrap()));
+//! # Ok::<(), nbl_sat_core::NblSatError>(())
+//! ```
+//!
+//! Budgets ([`Budget`] / [`BudgetMeter`]) meter wall-clock time, noise
+//! samples and coprocessor check operations, and are threaded *into* the
+//! search and convergence loops, so a tight budget interrupts the work
+//! instead of being checked after the fact.
+//!
+//! # The low-level pipeline
+//!
+//! The building blocks behind the backends remain public:
 //!
 //! ```
 //! use cnf::cnf_formula;
 //! use nbl_sat_core::{NblSatInstance, SatChecker, SymbolicEngine, Verdict};
 //!
-//! // Example 6 of the paper: (x1 + x2)(¬x1 + ¬x2) — satisfiable.
 //! let formula = cnf_formula![[1, 2], [-1, -2]];
 //! let instance = NblSatInstance::new(&formula)?;
 //! let mut checker = SatChecker::new(SymbolicEngine::new());
@@ -62,6 +98,7 @@
 
 pub mod algebraic;
 pub mod assignment;
+pub mod budget;
 pub mod checker;
 pub mod config;
 pub mod convergence;
@@ -71,11 +108,13 @@ pub mod error;
 pub mod hybrid;
 pub mod sampled;
 pub mod snr;
+pub mod solve;
 pub mod symbolic;
 pub mod transform;
 
 pub use algebraic::AlgebraicEngine;
-pub use assignment::{AssignmentExtractor, ExtractionOutcome};
+pub use assignment::{prime_implicant_cube, AssignmentExtractor, ExtractionOutcome};
+pub use budget::{Budget, BudgetMeter, ExhaustedResource};
 pub use checker::{SatChecker, Verdict};
 pub use config::EngineConfig;
 pub use convergence::{ConvergenceTrace, TracePoint};
@@ -85,5 +124,9 @@ pub use error::{NblSatError, Result};
 pub use hybrid::{HybridSolver, HybridStats};
 pub use sampled::SampledEngine;
 pub use snr::SnrModel;
+pub use solve::{
+    Artifacts, BackendRegistry, ClassicalBackend, HybridBackend, NblCheckBackend, SatBackend,
+    SolveOutcome, SolveRequest, SolveStats, SolveVerdict, UnknownCause,
+};
 pub use symbolic::SymbolicEngine;
 pub use transform::{NblSatInstance, SourceIndex};

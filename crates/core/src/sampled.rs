@@ -6,13 +6,20 @@
 //! sample exactly as the analog datapath would produce them, and the SAT
 //! decision observes the running mean of the product waveform.
 
+use crate::budget::{BudgetMeter, ExhaustedResource};
 use crate::config::EngineConfig;
 use crate::convergence::{log_spaced_checkpoints, ConvergenceTrace};
 use crate::engine::{MeanEstimate, NblEngine};
-use crate::error::Result;
+use crate::error::{NblSatError, Result};
 use crate::transform::NblSatInstance;
 use cnf::{PartialAssignment, Variable};
 use nbl_noise::{CarrierBank, ConvergenceTracker, Correlator};
+
+/// How often (in samples) the budgeted convergence loop polls the wall-clock
+/// deadline. Each sample already costs `O(n·m)` multiplications, so polling
+/// every few samples keeps the overhead negligible while bounding the
+/// reaction latency.
+const DEADLINE_POLL_INTERVAL: u64 = 64;
 
 /// Monte-Carlo simulation engine for ⟨S_N⟩.
 ///
@@ -186,14 +193,46 @@ impl NblEngine for SampledEngine {
         instance: &NblSatInstance,
         bindings: &PartialAssignment,
     ) -> Result<MeanEstimate> {
+        // One convergence loop serves both entry points: an unlimited meter
+        // imposes no clamp and polls no deadline that can fire.
+        self.estimate_budgeted(instance, bindings, &mut BudgetMeter::default())
+    }
+
+    /// Budgeted variant of the convergence loop: the sample cap is clamped to
+    /// the meter's remaining allowance and the wall-clock deadline is polled
+    /// every few samples, so a budget genuinely interrupts the simulation.
+    ///
+    /// When a limit fires before the engine's own stopping rule (§IV
+    /// convergence) is met, the exhaustion is reported as
+    /// [`NblSatError::BudgetExhausted`] — the partial estimate is *not*
+    /// returned, because the engine cannot know the decision threshold its
+    /// caller (e.g. a [`crate::SatChecker`] with custom sigmas) would apply
+    /// to it, and a truncated mean must never masquerade as a definitive
+    /// verdict.
+    fn estimate_budgeted(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        meter: &mut BudgetMeter,
+    ) -> Result<MeanEstimate> {
+        meter.ensure_time()?;
+        meter.ensure_samples()?;
         instance.validate_bindings(bindings)?;
+        let budget_cap = meter.remaining_samples().unwrap_or(u64::MAX);
+        let cap = self.config.max_samples.min(budget_cap);
+        let budget_clamped = budget_cap < self.config.max_samples;
         let mut eval = self.evaluator(instance);
         let mut correlator = Correlator::new();
         let mut tracker =
             ConvergenceTracker::new(self.config.significant_digits, self.config.check_interval);
         let mut converged = false;
         let mut samples = 0u64;
-        while samples < self.config.max_samples {
+        let mut timed_out = false;
+        while samples < cap {
+            if samples.is_multiple_of(DEADLINE_POLL_INTERVAL) && meter.ensure_time().is_err() {
+                timed_out = true;
+                break;
+            }
             eval.bank.next_sample(&mut eval.values);
             correlator.push_product(Self::s_sample(instance, bindings, &eval.values));
             samples += 1;
@@ -201,6 +240,17 @@ impl NblEngine for SampledEngine {
                 converged = true;
                 break;
             }
+        }
+        meter.charge_samples(samples);
+        if timed_out && !converged {
+            return Err(NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::WallClock,
+            });
+        }
+        if budget_clamped && samples == cap && !converged {
+            return Err(NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::Samples,
+            });
         }
         Ok(MeanEstimate {
             mean: correlator.mean_product(),
@@ -382,6 +432,62 @@ mod tests {
             .trace(&inst, &inst.empty_bindings(), "empty", &[])
             .unwrap();
         assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn sample_budget_interrupts_the_convergence_loop() {
+        use crate::budget::{Budget, BudgetMeter, ExhaustedResource};
+        // The §IV UNSAT instance needs ~10⁵ samples to converge; a 200-sample
+        // allowance must interrupt with a Samples exhaustion, not block.
+        let inst = instance(&generators::section4_unsat_instance());
+        let mut engine = SampledEngine::new(quick_config(1));
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_samples(200));
+        let err = engine
+            .estimate_budgeted(&inst, &inst.empty_bindings(), &mut meter)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::Samples
+            }
+        ));
+        assert_eq!(meter.samples_used(), 200);
+        // A second attempt finds the allowance already empty.
+        assert!(engine
+            .estimate_budgeted(&inst, &inst.empty_bindings(), &mut meter)
+            .is_err());
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_estimate() {
+        use crate::budget::{Budget, BudgetMeter};
+        let inst = instance(&generators::section4_sat_instance());
+        let mut engine = SampledEngine::new(quick_config(42));
+        let plain = engine.estimate(&inst, &inst.empty_bindings()).unwrap();
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_samples(10_000_000));
+        let budgeted = engine
+            .estimate_budgeted(&inst, &inst.empty_bindings(), &mut meter)
+            .unwrap();
+        assert_eq!(plain, budgeted);
+        assert_eq!(meter.samples_used(), budgeted.samples);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_the_convergence_loop() {
+        use crate::budget::{Budget, BudgetMeter, ExhaustedResource};
+        use std::time::Duration;
+        let inst = instance(&generators::section4_unsat_instance());
+        let mut engine = SampledEngine::new(quick_config(2));
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_wall_time(Duration::ZERO));
+        let err = engine
+            .estimate_budgeted(&inst, &inst.empty_bindings(), &mut meter)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::WallClock
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! The backend abstraction of the unified solving API.
+
+use crate::error::Result;
+use crate::solve::outcome::SolveOutcome;
+use crate::solve::request::SolveRequest;
+
+/// A solving engine usable through the unified [`SolveRequest`] /
+/// [`SolveOutcome`] API.
+///
+/// Implementations wrap the classical solvers of `sat-solvers`, the NBL
+/// check/extract pipeline (Algorithms 1 and 2) and the §V hybrid flow behind
+/// one interface, the way the paper treats the NBL engine as a coprocessor
+/// callable from a conventional solver. The contract:
+///
+/// * the request's [`Budget`](crate::Budget) must be able to interrupt the
+///   solve — a tight budget yields `Unknown(BudgetExhausted)`, never an
+///   unbounded run;
+/// * the request's seed fully determines any stochastic behaviour;
+/// * a returned model always satisfies the formula, a returned cube is always
+///   an implicant of it;
+/// * `Err` is reserved for structural problems (instance too large for the
+///   engine, malformed bindings) — budget exhaustion is an *outcome*, not an
+///   error.
+pub trait SatBackend: std::fmt::Debug {
+    /// The backend's registry name (e.g. `"cdcl"`, `"nbl-symbolic"`).
+    fn name(&self) -> &'static str;
+
+    /// `true` if the backend answers every in-scope instance definitively
+    /// given an unlimited budget. Stochastic local search, the statistical
+    /// sampled engines and the scope-limited 2-SAT solver report `false`.
+    fn is_complete(&self) -> bool;
+
+    /// Solves one request.
+    ///
+    /// # Errors
+    ///
+    /// Structural failures only (e.g. the instance exceeds an exact engine's
+    /// size limit); budget exhaustion is reported through the outcome's
+    /// verdict instead.
+    fn solve(&mut self, request: &SolveRequest<'_>) -> Result<SolveOutcome>;
+}

@@ -1,0 +1,173 @@
+//! The unified solve request.
+
+use crate::budget::Budget;
+use cnf::CnfFormula;
+
+/// Which artifacts the caller wants beyond the SAT/UNSAT verdict.
+///
+/// The tiers mirror the paper's cost model: the verdict is one NBL check
+/// operation (Algorithm 1), a model costs at most `n` more (Algorithm 2), and
+/// a prime-implicant cube is the model plus a CPU-side don't-care shrink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Artifacts {
+    /// Only the verdict.
+    #[default]
+    Verdict,
+    /// Verdict plus a satisfying assignment when satisfiable.
+    Model,
+    /// Verdict plus a satisfying prime-implicant cube (and the model it was
+    /// shrunk from) when satisfiable.
+    PrimeCube,
+}
+
+impl Artifacts {
+    /// Returns `true` if a model must be produced.
+    pub fn wants_model(self) -> bool {
+        matches!(self, Artifacts::Model | Artifacts::PrimeCube)
+    }
+
+    /// Returns `true` if a prime-implicant cube must be produced.
+    pub fn wants_cube(self) -> bool {
+        matches!(self, Artifacts::PrimeCube)
+    }
+}
+
+/// A single solving job for a [`crate::SatBackend`]: the formula plus the
+/// desired artifacts, a deterministic seed, a resource [`Budget`] and an
+/// optional convergence-trace request.
+///
+/// Built with a fluent builder; the request borrows the formula, so it is
+/// cheap to construct per call.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use nbl_sat_core::{Artifacts, BackendRegistry, Budget, SolveRequest};
+///
+/// let formula = cnf_formula![[1, 2], [-1, -2]];
+/// let request = SolveRequest::new(&formula)
+///     .artifacts(Artifacts::Model)
+///     .seed(2012)
+///     .budget(Budget::unlimited().with_max_checks(16));
+/// let outcome = BackendRegistry::default().solve("nbl-symbolic", &request)?;
+/// assert!(outcome.verdict.is_sat());
+/// assert!(formula.evaluate(outcome.model.as_ref().unwrap()));
+/// # Ok::<(), nbl_sat_core::NblSatError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolveRequest<'a> {
+    formula: &'a CnfFormula,
+    artifacts: Artifacts,
+    seed: u64,
+    budget: Budget,
+    trace: bool,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// A verdict-only request with seed 0 and an unlimited budget.
+    pub fn new(formula: &'a CnfFormula) -> Self {
+        SolveRequest {
+            formula,
+            artifacts: Artifacts::default(),
+            seed: 0,
+            budget: Budget::unlimited(),
+            trace: false,
+        }
+    }
+
+    /// Selects the desired artifacts.
+    pub fn artifacts(mut self, artifacts: Artifacts) -> Self {
+        self.artifacts = artifacts;
+        self
+    }
+
+    /// Sets the deterministic seed handed to stochastic backends (local
+    /// search, the sampled NBL engine). Exact backends ignore it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Requests the engine convergence trace (honoured by the sampled NBL
+    /// backend, which records its running mean; other backends return none).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The formula to solve.
+    pub fn formula(&self) -> &'a CnfFormula {
+        self.formula
+    }
+
+    /// The requested artifacts.
+    pub fn requested_artifacts(&self) -> Artifacts {
+        self.artifacts
+    }
+
+    /// The deterministic seed.
+    pub fn requested_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The resource budget.
+    pub fn requested_budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Whether a convergence trace was requested.
+    pub fn wants_trace(&self) -> bool {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::cnf_formula;
+    use std::time::Duration;
+
+    #[test]
+    fn builder_round_trip() {
+        let f = cnf_formula![[1, -2]];
+        let budget = Budget::unlimited()
+            .with_wall_time(Duration::from_secs(1))
+            .with_max_samples(10)
+            .with_max_checks(3);
+        let request = SolveRequest::new(&f)
+            .artifacts(Artifacts::PrimeCube)
+            .seed(7)
+            .budget(budget)
+            .trace(true);
+        assert_eq!(request.formula(), &f);
+        assert_eq!(request.requested_artifacts(), Artifacts::PrimeCube);
+        assert_eq!(request.requested_seed(), 7);
+        assert_eq!(request.requested_budget(), &budget);
+        assert!(request.wants_trace());
+    }
+
+    #[test]
+    fn defaults_are_verdict_only_and_unlimited() {
+        let f = cnf_formula![[1]];
+        let request = SolveRequest::new(&f);
+        assert_eq!(request.requested_artifacts(), Artifacts::Verdict);
+        assert_eq!(request.requested_seed(), 0);
+        assert!(request.requested_budget().is_unlimited());
+        assert!(!request.wants_trace());
+    }
+
+    #[test]
+    fn artifact_tiers() {
+        assert!(!Artifacts::Verdict.wants_model());
+        assert!(!Artifacts::Verdict.wants_cube());
+        assert!(Artifacts::Model.wants_model());
+        assert!(!Artifacts::Model.wants_cube());
+        assert!(Artifacts::PrimeCube.wants_model());
+        assert!(Artifacts::PrimeCube.wants_cube());
+    }
+}

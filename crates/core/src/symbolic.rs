@@ -1,10 +1,15 @@
 //! The exact (infinite-sample) symbolic engine.
 
+use crate::budget::BudgetMeter;
 use crate::engine::{MeanEstimate, NblEngine};
 use crate::error::{NblSatError, Result};
 use crate::transform::NblSatInstance;
 use cnf::{Assignment, PartialAssignment, Variable};
 use nbl_logic::MomentModel;
+
+/// How many enumerated assignments the budgeted estimate processes between
+/// wall-clock deadline polls.
+const DEADLINE_POLL_MASKS: u64 = 1024;
 
 /// Exact evaluation of ⟨S_N⟩ using the orthogonality rules of the noise
 /// algebra.
@@ -80,6 +85,15 @@ impl SymbolicEngine {
         instance: &NblSatInstance,
         bindings: &PartialAssignment,
     ) -> Result<(u64, f64)> {
+        self.count_models_impl(instance, bindings, None)
+    }
+
+    fn count_models_impl(
+        &self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        meter: Option<&BudgetMeter>,
+    ) -> Result<(u64, f64)> {
         instance.validate_bindings(bindings)?;
         let n = instance.num_vars();
         let free_vars: Vec<Variable> = (0..n)
@@ -98,6 +112,11 @@ impl SymbolicEngine {
         let num_combinations = 1u64 << free_vars.len();
         let mut assignment = bindings.to_complete(false);
         for mask in 0..num_combinations {
+            if let Some(meter) = meter {
+                if mask.is_multiple_of(DEADLINE_POLL_MASKS) {
+                    meter.ensure_time()?;
+                }
+            }
             for (bit, var) in free_vars.iter().enumerate() {
                 assignment.set(*var, (mask >> bit) & 1 == 1);
             }
@@ -135,20 +154,42 @@ impl NblEngine for SymbolicEngine {
         bindings: &PartialAssignment,
     ) -> Result<MeanEstimate> {
         let (_count, weighted) = self.count_models(instance, bindings)?;
-        let mut mean = weighted * self.minterm_weight(instance);
+        Ok(MeanEstimate::exact(self.scaled_mean(instance, weighted)))
+    }
+
+    /// Budgeted variant: polls the wall-clock deadline inside the assignment
+    /// enumeration so a tight budget interrupts the exponential scan. Exact
+    /// engines draw no noise samples, so only the deadline applies.
+    fn estimate_budgeted(
+        &mut self,
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        meter: &mut BudgetMeter,
+    ) -> Result<MeanEstimate> {
+        meter.ensure_time()?;
+        let (_count, weighted) = self.count_models_impl(instance, bindings, Some(meter))?;
+        Ok(MeanEstimate::exact(self.scaled_mean(instance, weighted)))
+    }
+
+    fn name(&self) -> &'static str {
+        "symbolic"
+    }
+}
+
+impl SymbolicEngine {
+    /// Converts the weighted model count into ⟨S_N⟩.
+    fn scaled_mean(&self, instance: &NblSatInstance, weighted: f64) -> f64 {
+        let mean = weighted * self.minterm_weight(instance);
         // `Var^{nm}` underflows to zero once n·m exceeds a few hundred, which
         // would flip a satisfiable verdict to UNSAT even though the exact
         // algebra says the mean is strictly positive. The verdict carries the
         // *sign* of the weighted model count, so preserve it through the
         // underflow with the smallest positive value.
         if weighted > 0.0 && mean == 0.0 {
-            mean = f64::MIN_POSITIVE;
+            f64::MIN_POSITIVE
+        } else {
+            mean
         }
-        Ok(MeanEstimate::exact(mean))
-    }
-
-    fn name(&self) -> &'static str {
-        "symbolic"
     }
 }
 
@@ -271,6 +312,29 @@ mod tests {
         fn estimate_helper(mut self, inst: &NblSatInstance) -> f64 {
             self.estimate(inst, &inst.empty_bindings()).unwrap().mean
         }
+    }
+
+    #[test]
+    fn budgeted_estimate_honours_the_deadline_and_matches_plain() {
+        use crate::budget::{Budget, BudgetMeter, ExhaustedResource};
+        use std::time::Duration;
+        let inst = instance(&generators::section4_sat_instance());
+        let mut engine = SymbolicEngine::new();
+        let plain = engine.estimate(&inst, &inst.empty_bindings()).unwrap();
+        let mut meter = BudgetMeter::start(&Budget::unlimited());
+        let budgeted = engine
+            .estimate_budgeted(&inst, &inst.empty_bindings(), &mut meter)
+            .unwrap();
+        assert_eq!(plain, budgeted);
+        let mut expired = BudgetMeter::start(&Budget::unlimited().with_wall_time(Duration::ZERO));
+        assert!(matches!(
+            engine
+                .estimate_budgeted(&inst, &inst.empty_bindings(), &mut expired)
+                .unwrap_err(),
+            NblSatError::BudgetExhausted {
+                resource: ExhaustedResource::WallClock
+            }
+        ));
     }
 
     #[test]

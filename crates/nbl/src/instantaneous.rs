@@ -1,6 +1,6 @@
 //! Instantaneous noise-based logic with random-telegraph-wave carriers.
 //!
-//! Reference [17] of the NBL-SAT paper (Kish, Khatri, Peper, *"Instantaneous
+//! Reference \[17\] of the NBL-SAT paper (Kish, Khatri, Peper, *"Instantaneous
 //! noise-based logic"*) replaces the continuous-amplitude carriers with
 //! **random telegraph waves** (RTWs): deterministic, receiver-known ±1
 //! sequences. Because every carrier (and hence every noise product) takes
@@ -152,7 +152,7 @@ pub const VERIFICATION_TICKS: usize = 16;
 /// system reaches full rank after a coupon-collector number of ticks —
 /// the decoder therefore uses a window of `O(m·log m)` samples
 /// ([`InstantaneousDecoder::required_samples`]). The decode is still
-/// *instantaneous* in the sense of reference [17]: it is an exact algebraic
+/// *instantaneous* in the sense of reference \[17\]: it is an exact algebraic
 /// reconstruction over a fixed, instance-independent window, with no
 /// statistical averaging and no convergence threshold, in contrast to the
 /// `O(2^{nm})`-sample averaging the stochastic NBL-SAT readout needs.

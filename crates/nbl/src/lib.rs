@@ -15,10 +15,10 @@
 //!   one wire, including variable binding to literals ([`hyperspace`]),
 //! * the **sinusoid-based logic (SBL)** frequency-allocation model of §V
 //!   ([`sbl`]),
-//! * the **instantaneous NBL** layer of the paper's reference [17]: seeded
+//! * the **instantaneous NBL** layer of the paper's reference \[17\]: seeded
 //!   random-telegraph-wave reference sequences and exact, averaging-free
 //!   decoding of a received superposition ([`instantaneous`]),
-//! * **multi-valued NBL** per reference [14]: one carrier per
+//! * **multi-valued NBL** per reference \[14\]: one carrier per
 //!   (variable, value) pair, mixed-radix states and their set algebra
 //!   ([`multivalued`]).
 //!

@@ -1,6 +1,6 @@
 //! Multi-valued noise-based logic.
 //!
-//! Reference [14] of the NBL-SAT paper (Kish, *"Noise-based logic: binary,
+//! Reference \[14\] of the NBL-SAT paper (Kish, *"Noise-based logic: binary,
 //! multi-valued, or fuzzy …"*) observes that the carrier algebra is not
 //! limited to binary variables: an `L`-valued variable can be represented by
 //! `L` pairwise-independent basis carriers, one per value, and a wire can

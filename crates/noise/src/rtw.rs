@@ -8,7 +8,7 @@ use crate::rng::{RandomSource, Xoshiro256StarStar};
 /// An RTW takes values ±amplitude and, at every time step, independently
 /// decides (with probability `switch_probability`) whether to flip sign.
 /// RTWs are the carrier family of "instantaneous noise-based logic"
-/// (paper §V and reference [17]); they are zero-mean and pairwise
+/// (paper §V and reference \[17\]); they are zero-mean and pairwise
 /// independent, and products of independent RTWs are again RTWs, which keeps
 /// the NBL product algebra exact even for a single sample — in the ±1 case
 /// every squared source is identically 1.

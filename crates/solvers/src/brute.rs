@@ -1,5 +1,6 @@
 //! Exhaustive-enumeration solver (test oracle).
 
+use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, CnfFormula};
 
@@ -45,7 +46,7 @@ impl Solver for BruteForceSolver {
     /// # Panics
     ///
     /// Panics if the formula has more variables than the configured limit.
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         assert!(
             formula.num_vars() <= self.max_vars,
             "brute force limited to {} variables (formula has {})",
@@ -54,6 +55,9 @@ impl Solver for BruteForceSolver {
         );
         self.stats = SolverStats::default();
         for assignment in Assignment::enumerate_all(formula.num_vars()) {
+            if limits.expired() {
+                return SolveResult::Unknown;
+            }
             self.stats.assignments_tried += 1;
             if formula.evaluate(&assignment) {
                 return SolveResult::Satisfiable(assignment);

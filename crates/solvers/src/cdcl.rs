@@ -1,10 +1,11 @@
 //! Conflict-driven clause learning (CDCL) solver.
 //!
 //! A modern complete SAT solver in the lineage of GRASP / Chaff / MiniSat
-//! (the paper's references [3]–[7]): two-watched-literal propagation, VSIDS
+//! (the paper's references \[3\]–\[7\]): two-watched-literal propagation, VSIDS
 //! branching, first-UIP clause learning with non-chronological backjumping,
 //! phase saving and Luby restarts.
 
+use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, CnfFormula, Literal, Variable};
 
@@ -445,7 +446,7 @@ fn luby(i: u64) -> u64 {
 }
 
 impl Solver for CdclSolver {
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.init(formula);
         // Load original clauses; handle empty and unit clauses up front.
         for clause in formula.iter() {
@@ -479,6 +480,13 @@ impl Solver for CdclSolver {
         let mut conflicts_since_restart = 0u64;
         let mut restart_count = 0u64;
         loop {
+            // One deadline check per conflict/decision iteration: each
+            // iteration performs a full propagation pass, so the check is
+            // amortized noise yet bounds the reaction latency to one
+            // propagation.
+            if limits.expired() {
+                return SolveResult::Unknown;
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
@@ -639,6 +647,15 @@ mod tests {
         let mut f = cnf::CnfFormula::new(1);
         f.push_clause(cnf::Clause::new());
         assert!(CdclSolver::new().solve(&f).is_unsat());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_unknown() {
+        let f = generators::pigeonhole(7, 6);
+        let mut solver = CdclSolver::new();
+        let limits = SearchLimits::deadline_in(std::time::Duration::ZERO);
+        assert_eq!(solver.solve_limited(&f, &limits), SolveResult::Unknown);
+        assert!(solver.solve(&generators::example6_sat()).is_sat());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Recursive DPLL solver.
 
+use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{
     propagate_units, pure_literals, CnfFormula, PartialAssignment, PropagationOutcome, Variable,
@@ -35,6 +36,8 @@ pub enum BranchHeuristic {
 pub struct DpllSolver {
     stats: SolverStats,
     heuristic: BranchHeuristic,
+    limits: SearchLimits,
+    interrupted: bool,
 }
 
 impl DpllSolver {
@@ -79,6 +82,12 @@ impl DpllSolver {
     }
 
     fn search(&mut self, formula: &CnfFormula, assignment: &mut PartialAssignment) -> bool {
+        // Deadline check: abort the whole search (unwinding as "no model found
+        // here"; the top level reports Unknown when `interrupted` is set).
+        if self.interrupted || self.limits.expired() {
+            self.interrupted = true;
+            return false;
+        }
         // Unit propagation.
         let before: Vec<Option<bool>> = (0..formula.num_vars())
             .map(|i| assignment.value(Variable::new(i)))
@@ -140,8 +149,10 @@ fn restore(assignment: &mut PartialAssignment, snapshot: &[Option<bool>]) {
 }
 
 impl Solver for DpllSolver {
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
+        self.limits = *limits;
+        self.interrupted = false;
         if formula.has_empty_clause() {
             return SolveResult::Unsatisfiable;
         }
@@ -150,6 +161,8 @@ impl Solver for DpllSolver {
             let model = assignment.to_complete(false);
             debug_assert!(formula.evaluate(&model));
             SolveResult::Satisfiable(model)
+        } else if self.interrupted {
+            SolveResult::Unknown
         } else {
             SolveResult::Unsatisfiable
         }
@@ -223,6 +236,16 @@ mod tests {
         let mut f = cnf::CnfFormula::new(2);
         f.push_clause(cnf::Clause::new());
         assert!(DpllSolver::new().solve(&f).is_unsat());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_unknown() {
+        let f = generators::pigeonhole(6, 5);
+        let mut solver = DpllSolver::new();
+        let limits = SearchLimits::deadline_in(std::time::Duration::ZERO);
+        assert_eq!(solver.solve_limited(&f, &limits), SolveResult::Unknown);
+        // Unlimited solve on the same solver still works afterwards.
+        assert!(solver.solve(&generators::example6_sat()).is_sat());
     }
 
     #[test]

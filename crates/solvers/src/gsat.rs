@@ -1,5 +1,6 @@
 //! GSAT greedy local search.
 
+use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, CnfFormula, Variable};
 use rand::rngs::StdRng;
@@ -29,7 +30,7 @@ impl Default for GsatConfig {
     }
 }
 
-/// The GSAT incomplete solver (paper reference [9]): hill-climbing on the
+/// The GSAT incomplete solver (paper reference \[9\]): hill-climbing on the
 /// number of satisfied clauses.
 ///
 /// Each step flips the variable whose flip yields the largest increase in the
@@ -98,7 +99,7 @@ impl Gsat {
 }
 
 impl Solver for Gsat {
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
         if formula.has_empty_clause() {
             return SolveResult::Unknown;
@@ -117,6 +118,9 @@ impl Solver for Gsat {
                 Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
             self.stats.assignments_tried += 1;
             for _ in 0..self.config.max_flips {
+                if limits.expired() {
+                    return SolveResult::Unknown;
+                }
                 if formula.evaluate(&assignment) {
                     return SolveResult::Satisfiable(assignment);
                 }

@@ -17,10 +17,14 @@
 //! member list and stays complete as long as one member is. For unsatisfiable
 //! instances, [`MusExtractor`] shrinks the clause set to a minimal
 //! unsatisfiable core (the companion output of the hardware SAT engines the
-//! paper cites as reference [27]).
+//! paper cites as reference \[27\]).
 //!
 //! Solvers implement the common [`Solver`] trait and report search statistics
-//! through [`SolverStats`].
+//! through [`SolverStats`]. Every solver also honours [`SearchLimits`] via
+//! [`Solver::solve_limited`]: an expired wall-clock deadline interrupts the
+//! search loop and yields [`SolveResult::Unknown`] instead of blocking, which
+//! is how the unified solving API in `nbl-sat-core` enforces its resource
+//! budgets on the classical backends.
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@ pub mod brute;
 pub mod cdcl;
 pub mod dpll;
 pub mod gsat;
+pub mod limits;
 pub mod mus;
 pub mod portfolio;
 pub mod schoening;
@@ -55,6 +60,7 @@ pub use brute::BruteForceSolver;
 pub use cdcl::CdclSolver;
 pub use dpll::DpllSolver;
 pub use gsat::{Gsat, GsatConfig};
+pub use limits::SearchLimits;
 pub use mus::{MusExtractor, MusOutcome, MusStats};
 pub use portfolio::Portfolio;
 pub use schoening::{Schoening, SchoeningConfig};

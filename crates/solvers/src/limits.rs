@@ -1,0 +1,91 @@
+//! Search resource limits shared by every solver.
+//!
+//! The unified solving API of `nbl-sat-core` hands each backend a resource
+//! [`Budget`](https://en.wikipedia.org/wiki/Anytime_algorithm); for the
+//! classical solvers in this crate the only applicable resource is wall-clock
+//! time, expressed here as an absolute deadline so that nested search loops
+//! can test it cheaply. Every solver checks the deadline inside its hot loop
+//! (per DPLL node, per CDCL conflict/decision, per local-search flip, per
+//! enumerated assignment) and aborts with [`SolveResult::Unknown`] once it
+//! passes — turning an exponential search into an anytime procedure instead
+//! of an unbounded one.
+//!
+//! [`SolveResult::Unknown`]: crate::SolveResult::Unknown
+
+use std::time::{Duration, Instant};
+
+/// Resource limits for a single [`Solver::solve_limited`] call.
+///
+/// The default (and [`SearchLimits::unlimited`]) imposes no limit, which makes
+/// [`Solver::solve`] equivalent to the pre-limit behaviour.
+///
+/// [`Solver::solve`]: crate::Solver::solve
+/// [`Solver::solve_limited`]: crate::Solver::solve_limited
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchLimits {
+    deadline: Option<Instant>,
+}
+
+impl SearchLimits {
+    /// No limits: the search runs to completion (or to the solver's own
+    /// internal restart/flip caps).
+    pub fn unlimited() -> Self {
+        SearchLimits::default()
+    }
+
+    /// Limits the search to the given absolute deadline.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        SearchLimits {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Limits the search to `budget` of wall-clock time from now.
+    pub fn deadline_in(budget: Duration) -> Self {
+        SearchLimits {
+            deadline: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Returns `true` once the deadline has passed. Solvers call this inside
+    /// their search loops and abort with `Unknown` when it fires.
+    pub fn expired(&self) -> bool {
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let limits = SearchLimits::unlimited();
+        assert_eq!(limits.deadline(), None);
+        assert!(!limits.expired());
+        assert_eq!(limits, SearchLimits::default());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let limits = SearchLimits::deadline_in(Duration::ZERO);
+        assert!(limits.expired());
+        assert!(limits.deadline().is_some());
+    }
+
+    #[test]
+    fn generous_budget_does_not_expire() {
+        let limits = SearchLimits::deadline_in(Duration::from_secs(3600));
+        assert!(!limits.expired());
+        let explicit = SearchLimits::with_deadline(limits.deadline().unwrap());
+        assert_eq!(explicit, limits);
+    }
+}

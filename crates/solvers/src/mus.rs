@@ -1,7 +1,7 @@
 //! Unsatisfiable-core / minimal unsatisfiable subset (MUS) extraction.
 //!
 //! The hardware SAT-accelerator line of work the paper builds on (its
-//! reference [27]) treats *unsatisfiable core extraction* as a first-class
+//! reference \[27\]) treats *unsatisfiable core extraction* as a first-class
 //! output next to the SAT/UNSAT verdict: when an instance is UNSAT, which
 //! subset of clauses is actually responsible? This module provides a
 //! deletion-based extractor that shrinks an unsatisfiable formula to a

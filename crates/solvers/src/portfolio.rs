@@ -1,6 +1,7 @@
 //! A sequential solver portfolio.
 
 use crate::cdcl::CdclSolver;
+use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use crate::two_sat::TwoSatSolver;
 use crate::walksat::{WalkSat, WalkSatConfig};
@@ -34,7 +35,6 @@ use std::fmt;
 pub struct Portfolio {
     members: Vec<Box<dyn Solver>>,
     stats: SolverStats,
-    winner: Option<&'static str>,
 }
 
 impl fmt::Debug for Portfolio {
@@ -42,7 +42,6 @@ impl fmt::Debug for Portfolio {
         f.debug_struct("Portfolio")
             .field("members", &self.member_names())
             .field("stats", &self.stats)
-            .field("winner", &self.winner)
             .finish()
     }
 }
@@ -78,13 +77,14 @@ impl Portfolio {
         Portfolio {
             members,
             stats: SolverStats::default(),
-            winner: None,
         }
     }
 
-    /// The name of the member that produced the last definitive answer, if any.
+    /// The name of the member that produced the last definitive answer, if
+    /// any. Also surfaced as [`SolverStats::winner`] so downstream stats
+    /// consumers can tell the members apart.
     pub fn winner(&self) -> Option<&'static str> {
-        self.winner
+        self.stats.winner
     }
 
     /// Names of the member solvers, in dispatch order.
@@ -104,16 +104,18 @@ fn accumulate(total: &mut SolverStats, part: SolverStats) {
 }
 
 impl Solver for Portfolio {
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
-        self.winner = None;
         for member in &mut self.members {
-            let result = member.solve(formula);
+            if limits.expired() {
+                break;
+            }
+            let result = member.solve_limited(formula, limits);
             accumulate(&mut self.stats, member.stats());
             match result {
                 SolveResult::Unknown => continue,
                 definitive => {
-                    self.winner = Some(member.name());
+                    self.stats.winner = Some(member.name());
                     return definitive;
                 }
             }
@@ -201,5 +203,27 @@ mod tests {
         let stats = portfolio.stats();
         assert!(stats.flips > 0, "walksat member must have run");
         assert!(stats.decisions > 0, "cdcl member must have run");
+    }
+
+    #[test]
+    fn winning_member_is_reported_in_stats() {
+        let mut portfolio = Portfolio::new();
+        let _ = portfolio.solve(&generators::example6_sat());
+        assert_eq!(portfolio.stats().winner, Some("two-sat"));
+        assert_eq!(portfolio.winner(), portfolio.stats().winner);
+        assert!(portfolio.stats().to_string().contains("winner=two-sat"));
+        let _ = portfolio.solve(&generators::pigeonhole(4, 3));
+        assert_eq!(portfolio.stats().winner, Some("cdcl"));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_unknown() {
+        let mut portfolio = Portfolio::new();
+        let limits = crate::SearchLimits::deadline_in(std::time::Duration::ZERO);
+        assert_eq!(
+            portfolio.solve_limited(&generators::pigeonhole(5, 4), &limits),
+            SolveResult::Unknown
+        );
+        assert_eq!(portfolio.winner(), None);
     }
 }

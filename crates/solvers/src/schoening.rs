@@ -1,5 +1,6 @@
 //! Schöning's randomized k-SAT algorithm.
 
+use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, CnfFormula};
 use rand::rngs::StdRng;
@@ -65,7 +66,7 @@ impl Schoening {
 }
 
 impl Solver for Schoening {
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
         if formula.has_empty_clause() {
             return SolveResult::Unknown;
@@ -85,6 +86,9 @@ impl Solver for Schoening {
             let mut assignment = Assignment::from_bools((0..n).map(|_| rng.gen()).collect());
             self.stats.assignments_tried += 1;
             for _ in 0..walk_length {
+                if limits.expired() {
+                    return SolveResult::Unknown;
+                }
                 let unsatisfied = formula.iter().find(|clause| !clause.evaluate(&assignment));
                 let Some(clause) = unsatisfied else {
                     return SolveResult::Satisfiable(assignment);

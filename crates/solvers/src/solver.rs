@@ -1,5 +1,6 @@
 //! The common solver interface.
 
+use crate::limits::SearchLimits;
 use cnf::{Assignment, CnfFormula};
 use std::fmt;
 
@@ -61,6 +62,9 @@ pub struct SolverStats {
     pub assignments_tried: u64,
     /// Number of local-search flips performed (WalkSAT only).
     pub flips: u64,
+    /// Name of the member that produced the definitive answer (meta-solvers
+    /// such as [`crate::Portfolio`] only; `None` for direct solvers).
+    pub winner: Option<&'static str>,
 }
 
 impl fmt::Display for SolverStats {
@@ -75,7 +79,11 @@ impl fmt::Display for SolverStats {
             self.learned_clauses,
             self.assignments_tried,
             self.flips
-        )
+        )?;
+        if let Some(winner) = self.winner {
+            write!(f, " winner={winner}")?;
+        }
+        Ok(())
     }
 }
 
@@ -84,8 +92,17 @@ impl fmt::Display for SolverStats {
 /// Implementations must leave the formula untouched and report their own
 /// search statistics after each [`Solver::solve`] call.
 pub trait Solver {
-    /// Solves the given formula.
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult;
+    /// Solves the given formula under the given resource limits.
+    ///
+    /// Implementations check the limits inside their search loops and return
+    /// [`SolveResult::Unknown`] once a limit fires, so an expired deadline
+    /// interrupts the search instead of letting it run unbounded.
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult;
+
+    /// Solves the given formula without resource limits.
+    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+        self.solve_limited(formula, &SearchLimits::unlimited())
+    }
 
     /// Statistics of the most recent [`Solver::solve`] call.
     fn stats(&self) -> SolverStats;

@@ -1,5 +1,6 @@
 //! Polynomial-time 2-SAT via implication-graph strongly connected components.
 
+use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, CnfFormula, Literal};
 
@@ -125,8 +126,13 @@ impl TwoSatSolver {
 }
 
 impl Solver for TwoSatSolver {
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
+        // The whole algorithm is linear in the formula, so a single up-front
+        // deadline check bounds the wall-clock cost well enough.
+        if limits.expired() {
+            return SolveResult::Unknown;
+        }
         if formula.has_empty_clause() {
             return SolveResult::Unsatisfiable;
         }

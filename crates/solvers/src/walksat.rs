@@ -1,5 +1,6 @@
 //! WalkSAT stochastic local search.
 
+use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, CnfFormula, Variable};
 use rand::rngs::StdRng;
@@ -29,7 +30,7 @@ impl Default for WalkSatConfig {
     }
 }
 
-/// The WalkSAT incomplete solver (paper reference [8]): repeatedly picks an
+/// The WalkSAT incomplete solver (paper reference \[8\]): repeatedly picks an
 /// unsatisfied clause and flips one of its variables, choosing either the
 /// least-breaking variable or a random one.
 ///
@@ -90,7 +91,7 @@ impl WalkSat {
 }
 
 impl Solver for WalkSat {
-    fn solve(&mut self, formula: &CnfFormula) -> SolveResult {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
         if formula.has_empty_clause() {
             return SolveResult::Unknown;
@@ -109,6 +110,9 @@ impl Solver for WalkSat {
                 Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
             self.stats.assignments_tried += 1;
             for _ in 0..self.config.max_flips {
+                if limits.expired() {
+                    return SolveResult::Unknown;
+                }
                 let unsatisfied: Vec<usize> = formula
                     .iter()
                     .enumerate()

@@ -1,15 +1,21 @@
-//! A small DIMACS front end: read a CNF file (or use a built-in instance),
-//! solve it with the appropriate engine, and print the result.
-//!
-//! Small instances (n·m within the NBL software-simulation budget) are decided
-//! with the NBL-SAT single-operation check and Algorithm 2; larger ones fall
-//! back to the CDCL baseline — mirroring the hybrid deployment story of §V.
+//! A DIMACS front end over the unified solving API: read a CNF file (or use
+//! a built-in instance), dispatch it to a named backend from the
+//! [`BackendRegistry`], and print standard DIMACS solver output
+//! (`s SATISFIABLE` / `s UNSATISFIABLE` / `s UNKNOWN` plus `v` model lines).
 //!
 //! Run with:
 //! ```text
-//! cargo run --example dimacs_solver                 # built-in demo instance
-//! cargo run --example dimacs_solver -- path/to.cnf  # your own DIMACS file
+//! cargo run --example dimacs_solver                      # built-in instance, auto backend
+//! cargo run --example dimacs_solver -- path/to.cnf       # your file, auto backend
+//! cargo run --example dimacs_solver -- path/to.cnf cdcl  # your file, named backend
+//! cargo run --example dimacs_solver -- portfolio         # built-in instance, named backend
 //! ```
+//!
+//! `auto` picks the exact NBL engine when the instance fits the software
+//! budget and falls back to CDCL otherwise — the hybrid deployment story of
+//! §V. Any registry name (`cdcl`, `dpll`, `walksat`, `gsat`, `schoening`,
+//! `two-sat`, `brute-force`, `portfolio`, `nbl-symbolic`, `nbl-sampled`,
+//! `nbl-algebraic`, `hybrid-symbolic`, `hybrid-sampled`) works.
 
 use nbl_sat_repro::prelude::*;
 use std::fs;
@@ -18,63 +24,80 @@ use std::fs;
 const NBL_NM_BUDGET: usize = 400;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let formula = match std::env::args().nth(1) {
+    let registry = BackendRegistry::default();
+
+    // Positional args: [FILE] [BACKEND]. A single argument that names a
+    // registered backend is treated as the backend.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, mut backend) = match args.as_slice() {
+        [] => (None, None),
+        [only] if registry.contains(only) => (None, Some(only.clone())),
+        [path] => (Some(path.clone()), None),
+        [path, backend, ..] => (Some(path.clone()), Some(backend.clone())),
+    };
+
+    let formula = match &path {
         Some(path) => {
-            println!("reading DIMACS from {path}");
+            println!("c reading DIMACS from {path}");
             cnf::dimacs::parse_str(&fs::read_to_string(path)?)?
         }
         None => {
-            println!("no file given; using a built-in 20-variable random 3-SAT instance");
+            println!("c no file given; using a built-in 20-variable random 3-SAT instance");
             cnf::generators::random_ksat(
                 &cnf::generators::RandomKSatConfig::from_ratio(20, 4.0, 3).with_seed(42),
             )?
         }
     };
     let stats = cnf::FormulaStats::of(&formula);
-    println!("instance: {stats}");
+    println!("c instance: {stats}");
 
-    if stats.num_vars <= 20 && stats.nm() <= NBL_NM_BUDGET && stats.num_empty_clauses == 0 {
+    if backend.is_none() {
+        // Auto dispatch, mirroring §V: NBL engine within the software budget,
+        // classical CDCL beyond it.
+        let name = if stats.num_vars <= 20 && stats.nm() <= NBL_NM_BUDGET {
+            "nbl-symbolic"
+        } else {
+            "cdcl"
+        };
         println!(
-            "within the NBL software budget (n·m = {} ≤ {NBL_NM_BUDGET}): using the NBL-SAT engine",
+            "c auto backend selection: {name} (n·m = {}, budget {NBL_NM_BUDGET})",
             stats.nm()
         );
-        let instance = NblSatInstance::new(&formula)?;
-        let mut checker = SatChecker::new(SymbolicEngine::new());
-        match checker.check(&instance)? {
-            Verdict::Unsatisfiable => println!("s UNSATISFIABLE  (1 NBL check operation)"),
-            Verdict::Satisfiable => {
-                let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
-                let outcome = extractor.extract(&instance)?;
-                let model = outcome.assignment.expect("satisfiable");
-                assert!(formula.evaluate(&model));
-                println!(
-                    "s SATISFIABLE  (1 + {} NBL check operations)",
-                    outcome.checks_used
-                );
-                print_model(&model);
+        backend = Some(name.to_string());
+    }
+    let backend = backend.expect("backend resolved above");
+    if !registry.contains(&backend) {
+        eprintln!(
+            "c unknown backend {backend:?}; available: {}",
+            registry.names().join(", ")
+        );
+        std::process::exit(2);
+    }
+    println!("c backend: {backend}");
+
+    let request = SolveRequest::new(&formula)
+        .artifacts(Artifacts::Model)
+        .seed(2012);
+    let outcome = registry.solve(&backend, &request)?;
+    println!("c stats: {}", outcome.stats);
+    match outcome.verdict {
+        SolveVerdict::Satisfiable => {
+            println!("s SATISFIABLE");
+            if let Some(model) = &outcome.model {
+                assert!(formula.evaluate(model));
+                print_model(model);
             }
         }
-    } else {
-        println!(
-            "outside the NBL software budget (n·m = {}): falling back to CDCL",
-            stats.nm()
-        );
-        let mut solver = CdclSolver::new();
-        match solver.solve(&formula) {
-            SolveResult::Unsatisfiable => {
-                println!("s UNSATISFIABLE  ({})", solver.stats());
-            }
-            SolveResult::Satisfiable(model) => {
-                assert!(formula.evaluate(&model));
-                println!("s SATISFIABLE  ({})", solver.stats());
-                print_model(&model);
-            }
-            SolveResult::Unknown => unreachable!("CDCL is complete"),
+        SolveVerdict::Unsatisfiable => println!("s UNSATISFIABLE"),
+        SolveVerdict::Unknown(cause) => {
+            println!("c {cause}");
+            println!("s UNKNOWN");
         }
     }
     Ok(())
 }
 
+/// Prints the model in DIMACS `v` lines (1-based signed literals, 0-terminated).
 fn print_model(model: &Assignment) {
     print!("v");
     for (var, value) in model.iter() {

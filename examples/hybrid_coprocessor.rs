@@ -1,10 +1,16 @@
-//! The hybrid CPU + NBL-coprocessor flow of §V.
+//! The hybrid CPU + NBL-coprocessor flow of §V, driven through the unified
+//! solving API.
 //!
 //! The CPU runs a complete search; before every decision it asks the NBL
 //! coprocessor for the mean of the reduced S_N with each candidate binding
 //! (that mean is proportional to the number of satisfying minterms in the
 //! corresponding subspace) and follows the larger one. With an ideal
 //! coprocessor the search never backtracks on satisfiable instances.
+//!
+//! Both the hybrid flow and the DPLL baseline are dispatched through the
+//! [`BackendRegistry`], so their merged [`SolveStats`] are directly
+//! comparable. The last section shows the coprocessor-check budget
+//! interrupting the flow.
 //!
 //! Run with:
 //! ```text
@@ -14,8 +20,9 @@
 use nbl_sat_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("instance                    | result |  hybrid decisions/conflicts | dpll decisions/conflicts");
-    println!("----------------------------+--------+-----------------------------+-------------------------");
+    let registry = BackendRegistry::default();
+    println!("instance                    | result |  hybrid decisions/conflicts/checks | dpll decisions/conflicts");
+    println!("----------------------------+--------+------------------------------------+-------------------------");
     let instances: Vec<(&str, cnf::CnfFormula)> = vec![
         (
             "random 3-SAT n=8 m=24",
@@ -37,24 +44,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    for (name, formula) in instances {
-        let mut hybrid = HybridSolver::with_ideal_coprocessor();
-        let model = hybrid.solve(&formula)?;
-        let mut dpll = DpllSolver::new();
-        let dpll_result = dpll.solve(&formula);
-        assert_eq!(model.is_some(), dpll_result.is_sat(), "solvers must agree");
-        if let Some(ref m) = model {
-            assert!(formula.evaluate(m));
+    for (name, formula) in &instances {
+        let request = SolveRequest::new(formula).artifacts(Artifacts::Model);
+        let hybrid = registry.solve("hybrid-symbolic", &request)?;
+        let dpll = registry.solve("dpll", &request)?;
+        assert_eq!(
+            hybrid.verdict.is_sat(),
+            dpll.verdict.is_sat(),
+            "backends must agree"
+        );
+        if let Some(model) = &hybrid.model {
+            assert!(formula.evaluate(model));
         }
         println!(
-            "{name:<28}| {:<6} | {:>10} / {:<14} | {:>8} / {}",
-            if model.is_some() { "SAT" } else { "UNSAT" },
-            hybrid.stats().decisions,
-            hybrid.stats().conflicts,
-            dpll.stats().decisions,
-            dpll.stats().conflicts,
+            "{name:<28}| {:<6} | {:>10} / {:<9} / {:<9} | {:>8} / {}",
+            hybrid.verdict,
+            hybrid.stats.decisions,
+            hybrid.stats.conflicts,
+            hybrid.stats.coprocessor_checks,
+            dpll.stats.decisions,
+            dpll.stats.conflicts,
         );
     }
+
+    // A tight coprocessor-check budget interrupts the flow instead of letting
+    // it run: the verdict degrades to UNKNOWN (budget exhausted).
+    let (_, hard) = &instances[4];
+    let tight = SolveRequest::new(hard).budget(Budget::unlimited().with_max_checks(6));
+    let outcome = registry.solve("hybrid-symbolic", &tight)?;
+    println!();
+    println!(
+        "with a 6-check budget on the UNSAT pigeonhole instance: {} ({} checks spent)",
+        outcome.verdict, outcome.stats.coprocessor_checks
+    );
+    assert!(!outcome.verdict.is_definitive());
 
     println!();
     println!(

@@ -1,5 +1,5 @@
-//! Quickstart: encode a small CNF instance in noise-based logic, decide
-//! SAT/UNSAT with a single correlation, and recover a satisfying assignment.
+//! Quickstart: solve a small CNF instance through the unified
+//! request/outcome API, then peek under the hood at the NBL machinery.
 //!
 //! Run with:
 //! ```text
@@ -7,6 +7,7 @@
 //! ```
 
 use nbl_sat_repro::prelude::*;
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's running example from Section III.A:
@@ -14,47 +15,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let formula = cnf::cnf_formula![[1, -2], [-1, 2, 3]];
     println!("formula: {formula}");
 
-    // Transform it into an NBL-SAT instance: 2·m·n basis noise sources.
+    // One request serves every backend: formula + desired artifacts +
+    // deterministic seed + resource budget.
+    let registry = BackendRegistry::default();
+    let request = SolveRequest::new(&formula)
+        .artifacts(Artifacts::PrimeCube)
+        .seed(2012)
+        .budget(Budget::unlimited().with_wall_time(Duration::from_secs(10)));
+
+    println!("\nthe same request across backends ({:?}):", registry);
+    for name in ["nbl-symbolic", "nbl-sampled", "cdcl", "hybrid-symbolic"] {
+        let outcome = registry.solve(name, &request)?;
+        println!("  {name:<16} -> {}", outcome.verdict);
+        if let Some(model) = &outcome.model {
+            assert!(formula.evaluate(model));
+            println!("  {:<16}    model {model}", "");
+        }
+        if let Some(cube) = &outcome.cube {
+            assert!(cube.is_implicant_of(&formula));
+            println!("  {:<16}    prime cube {cube}", "");
+        }
+        println!("  {:<16}    stats: {}", "", outcome.stats);
+    }
+
+    // Under the hood, the NBL backends run the paper's pipeline: the
+    // transform allocates 2·m·n basis noise sources...
     let instance = NblSatInstance::new(&formula)?;
     println!(
-        "NBL transform: n={} variables, m={} clauses, {} basis noise sources",
+        "\nNBL transform: n={} variables, m={} clauses, {} basis noise sources",
         instance.num_vars(),
         instance.num_clauses(),
         instance.num_sources()
     );
 
-    // 1. The ideal (infinite-sample) check: exact expectation of S_N.
+    // ...Algorithm 1 decides SAT/UNSAT from one correlation...
     let mut ideal = SatChecker::new(SymbolicEngine::new());
-    let verdict = ideal.check(&instance)?;
-    println!("ideal hardware verdict (1 operation): {verdict}");
-
-    // 2. The Monte-Carlo simulation of the analog datapath, as in the paper's
-    //    MATLAB experiment: uniform [-0.5, 0.5] carriers, running mean of S_N.
-    let config = EngineConfig::new()
-        .with_seed(2012)
-        .with_max_samples(200_000)
-        .with_check_interval(20_000);
-    let mut simulated = SatChecker::new(SampledEngine::new(config));
-    let estimate = simulated.estimate_with_bindings(&instance, &instance.empty_bindings())?;
     println!(
-        "simulated analog engine: {estimate} -> verdict {}",
-        simulated.decide(&estimate)
+        "ideal hardware verdict (1 operation): {}",
+        ideal.check(&instance)?
     );
 
-    // 3. Recover a satisfying assignment with at most n more checks (Algorithm 2).
+    // ...and Algorithm 2 recovers a satisfying assignment with ≤ n more.
     let mut extractor = AssignmentExtractor::new(SymbolicEngine::new());
-    let outcome = extractor.extract(&instance)?;
-    let model = outcome.assignment.expect("instance is satisfiable");
+    let extraction = extractor.extract(&instance)?;
     println!(
-        "satisfying assignment {model} found with {} NBL check operations (n = {})",
-        outcome.checks_used,
+        "satisfying assignment {} found with {} NBL check operations (n = {})",
+        extraction.assignment.expect("instance is satisfiable"),
+        extraction.checks_used,
         instance.num_vars()
     );
-    assert!(formula.evaluate(&model));
 
-    // Cross-check with a classical CDCL solver.
-    let mut cdcl = CdclSolver::new();
-    assert!(cdcl.solve(&formula).is_sat());
-    println!("CDCL agrees: SAT ({})", cdcl.stats());
+    // Budgets genuinely interrupt: one coprocessor check is not enough to
+    // also extract a model, so the artifact is dropped while the verdict
+    // (already decided) is kept.
+    let tight = SolveRequest::new(&formula)
+        .artifacts(Artifacts::Model)
+        .budget(Budget::unlimited().with_max_checks(1));
+    let outcome = registry.solve("nbl-symbolic", &tight)?;
+    println!(
+        "\ntight budget (1 check): verdict {} | model extracted: {} | exhausted: {:?}",
+        outcome.verdict,
+        outcome.model.is_some(),
+        outcome.exhausted
+    );
     Ok(())
 }

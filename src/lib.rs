@@ -11,20 +11,41 @@
 //! * [`analog`] (crate `nbl-analog`) — analog block and netlist simulation
 //! * [`logic`] (crate `nbl-logic`) — the noise-based logic algebra
 //! * [`nbl_sat`] (crate `nbl-sat-core`) — the NBL-SAT transform, engines,
-//!   checker, assignment extraction, SNR model and hybrid solver
+//!   checker, assignment extraction, SNR model, hybrid solver **and the
+//!   unified solving API**
 //! * [`solvers`] (crate `sat-solvers`) — DPLL / CDCL / WalkSAT / brute force
 //!
-//! # Example
+//! # The unified solving API
+//!
+//! The recommended entry point is the request/outcome API of `nbl-sat-core`:
+//! describe the job with a [`SolveRequest`](prelude::SolveRequest) (formula,
+//! desired artifacts, deterministic seed, resource
+//! [`Budget`](prelude::Budget)), pick a backend by name from the
+//! [`BackendRegistry`](prelude::BackendRegistry) — classical solvers, the
+//! NBL check/extract pipeline and the §V hybrid flow all sit behind the same
+//! [`SatBackend`](prelude::SatBackend) trait — and inspect the
+//! [`SolveOutcome`](prelude::SolveOutcome) (three-valued verdict including
+//! `Unknown(BudgetExhausted)`, optional model / prime-implicant cube, merged
+//! statistics, engine trace).
 //!
 //! ```
 //! use nbl_sat_repro::prelude::*;
 //!
 //! let formula = cnf::cnf_formula![[1, 2], [-1, -2]];
-//! let instance = NblSatInstance::new(&formula)?;
-//! let mut checker = SatChecker::new(SymbolicEngine::new());
-//! assert_eq!(checker.check(&instance)?, Verdict::Satisfiable);
+//! let registry = BackendRegistry::default();
+//! let outcome = registry.solve(
+//!     "nbl-symbolic",
+//!     &SolveRequest::new(&formula).artifacts(Artifacts::Model),
+//! )?;
+//! assert!(outcome.verdict.is_sat());
+//! assert!(formula.evaluate(outcome.model.as_ref().unwrap()));
 //! # Ok::<(), NblSatError>(())
 //! ```
+//!
+//! The lower-level building blocks ([`SatChecker`](prelude::SatChecker),
+//! [`AssignmentExtractor`](prelude::AssignmentExtractor),
+//! [`HybridSolver`](prelude::HybridSolver), the [`Solver`](prelude::Solver)
+//! trait) remain available for callers that need direct control.
 
 #![deny(missing_docs)]
 
@@ -44,12 +65,14 @@ pub mod prelude {
     };
     pub use nbl_noise::{CarrierKind, RunningStats};
     pub use nbl_sat_core::{
-        AlgebraicEngine, AssignmentExtractor, EngineConfig, HybridSolver, MeanEstimate, NblEngine,
-        NblSatError, NblSatInstance, SampledEngine, SatChecker, SnrModel, SymbolicEngine, Verdict,
+        AlgebraicEngine, Artifacts, AssignmentExtractor, BackendRegistry, Budget, BudgetMeter,
+        EngineConfig, ExhaustedResource, HybridSolver, MeanEstimate, NblEngine, NblSatError,
+        NblSatInstance, SampledEngine, SatBackend, SatChecker, SnrModel, SolveOutcome,
+        SolveRequest, SolveStats, SolveVerdict, SymbolicEngine, UnknownCause, Verdict,
     };
     pub use sat_solvers::{
         BruteForceSolver, CdclSolver, DpllSolver, Gsat, MusExtractor, Portfolio, Schoening,
-        SolveResult, Solver, TwoSatSolver, WalkSat,
+        SearchLimits, SolveResult, Solver, SolverStats, TwoSatSolver, WalkSat,
     };
 }
 
@@ -65,5 +88,15 @@ mod tests {
         assert_eq!(checker.check(&instance).unwrap(), Verdict::Satisfiable);
         let mut cdcl = CdclSolver::new();
         assert!(cdcl.solve(&formula).is_sat());
+    }
+
+    #[test]
+    fn unified_api_is_reachable_through_the_facade() {
+        let formula = cnf::generators::section4_unsat_instance();
+        let registry = BackendRegistry::default();
+        let request = SolveRequest::new(&formula).budget(Budget::unlimited().with_max_checks(8));
+        let outcome = registry.solve("nbl-symbolic", &request).unwrap();
+        assert_eq!(outcome.verdict, SolveVerdict::Unsatisfiable);
+        assert_eq!(outcome.stats.coprocessor_checks, 1);
     }
 }

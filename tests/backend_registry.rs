@@ -1,0 +1,259 @@
+//! Acceptance suite for the unified solving API: every backend in the
+//! default registry must (a) agree with the brute-force oracle on a seeded
+//! battery of small SAT/UNSAT instances under a default budget, and (b)
+//! return `Unknown(BudgetExhausted)` — not hang — under a tight budget on a
+//! hard instance.
+
+use nbl_sat_repro::prelude::*;
+use std::time::Duration;
+
+/// Shared battery for backends whose cost scales polynomially (or is
+/// exponential only in `n`): paper instances plus seeded random 3-SAT around
+/// the phase transition and random 2-SAT (so `two-sat` gets in-scope work).
+fn full_battery() -> Vec<CnfFormula> {
+    let mut battery = vec![
+        cnf::generators::example6_sat(),
+        cnf::generators::example7_unsat(),
+        cnf::generators::section4_sat_instance(),
+        cnf::generators::section4_unsat_instance(),
+        cnf::generators::pigeonhole(3, 2),
+    ];
+    for seed in 0..10 {
+        battery.push(
+            cnf::generators::random_ksat(
+                &cnf::generators::RandomKSatConfig::new(6, 26, 3).with_seed(seed),
+            )
+            .unwrap(),
+        );
+    }
+    for seed in 0..5 {
+        battery.push(
+            cnf::generators::random_ksat(
+                &cnf::generators::RandomKSatConfig::new(6, 12, 2).with_seed(100 + seed),
+            )
+            .unwrap(),
+        );
+    }
+    battery
+}
+
+/// Reduced battery for the engines whose cost scales with `2^{n·m}` (the
+/// algebraic term expansion and the sampled engines' §III.F sample count):
+/// exactly the paper's worked examples, which is the regime the paper itself
+/// validates them in.
+fn paper_battery() -> Vec<CnfFormula> {
+    vec![
+        cnf::generators::example6_sat(),
+        cnf::generators::example7_unsat(),
+    ]
+}
+
+/// `true` for backends whose per-instance cost scales with `2^{n·m}`.
+fn exponential_in_nm(name: &str) -> bool {
+    name.contains("sampled") || name.contains("algebraic")
+}
+
+fn expected_verdict(formula: &CnfFormula) -> bool {
+    BruteForceSolver::new().solve(formula).is_sat()
+}
+
+#[test]
+fn default_registry_exposes_at_least_nine_backends() {
+    let registry = BackendRegistry::default();
+    assert!(
+        registry.len() >= 9,
+        "expected >= 9 backends, got {:?}",
+        registry.names()
+    );
+}
+
+#[test]
+fn every_backend_agrees_with_brute_force_on_the_battery() {
+    let registry = BackendRegistry::default();
+    let full = full_battery();
+    let paper = paper_battery();
+    for name in registry.names() {
+        let battery = if exponential_in_nm(name) {
+            &paper
+        } else {
+            &full
+        };
+        let mut backend = registry.create(name).unwrap();
+        for (i, formula) in battery.iter().enumerate() {
+            let expected = expected_verdict(formula);
+            let request = SolveRequest::new(formula)
+                .artifacts(Artifacts::PrimeCube)
+                .seed(2012);
+            let outcome = backend
+                .solve(&request)
+                .unwrap_or_else(|e| panic!("{name} on instance {i}: {e}"));
+            // Definitive answers must be correct, with verifying artifacts.
+            match outcome.verdict {
+                SolveVerdict::Satisfiable => {
+                    assert!(expected, "{name} claimed SAT on UNSAT instance {i}");
+                    let model = outcome
+                        .model
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{name} returned no model on instance {i}"));
+                    assert!(formula.evaluate(model), "{name} model invalid on {i}");
+                    let cube = outcome.cube.as_ref().expect("cube requested");
+                    assert!(
+                        cube.is_implicant_of(formula),
+                        "{name} cube not an implicant on {i}"
+                    );
+                }
+                SolveVerdict::Unsatisfiable => {
+                    assert!(!expected, "{name} claimed UNSAT on SAT instance {i}");
+                }
+                SolveVerdict::Unknown(cause) => {
+                    assert!(
+                        !backend.is_complete(),
+                        "complete backend {name} answered Unknown ({cause}) on instance {i}"
+                    );
+                    // Default budgets are unlimited: Unknown must come from
+                    // genuine incompleteness, never from the budget.
+                    assert_eq!(outcome.verdict.exhausted_resource(), None, "{name} on {i}");
+                }
+            }
+            // Complete backends must always be definitive under an unlimited
+            // budget; 2-SAT must be definitive within its 2-CNF scope.
+            if backend.is_complete() {
+                assert!(outcome.verdict.is_definitive(), "{name} on instance {i}");
+            }
+            if name == "two-sat" && formula.iter().all(|c| c.len() <= 2) {
+                assert!(
+                    outcome.verdict.is_definitive(),
+                    "two-sat must decide 2-CNF instance {i}"
+                );
+            }
+        }
+    }
+}
+
+/// Per-family tight budget that must interrupt the given hard instance.
+fn tight_case(name: &str) -> (CnfFormula, Budget) {
+    match name {
+        // Exact NBL checks: a zero check allowance trips before any work.
+        "nbl-symbolic" | "nbl-algebraic" => (
+            cnf::generators::pigeonhole(4, 3),
+            Budget::unlimited().with_max_checks(0),
+        ),
+        // Monte-Carlo check: a 200-sample allowance is far below the §IV
+        // convergence needs, so the engine reports sample exhaustion.
+        "nbl-sampled" => (
+            cnf::generators::section4_unsat_instance(),
+            Budget::unlimited().with_max_samples(200),
+        ),
+        // Hybrid flows: the coprocessor allowance interrupts the search.
+        "hybrid-symbolic" => (
+            cnf::generators::pigeonhole(4, 3),
+            Budget::unlimited().with_max_checks(4),
+        ),
+        "hybrid-sampled" => (
+            cnf::generators::pigeonhole(3, 2),
+            Budget::unlimited().with_max_samples(100),
+        ),
+        // Brute force guards against > 24 variables, so its hard instance is
+        // the largest pigeonhole that fits (20 variables, 2^20 assignments).
+        "brute-force" => (
+            cnf::generators::pigeonhole(5, 4),
+            Budget::unlimited().with_wall_time(Duration::ZERO),
+        ),
+        // Classical searches: an already-expired wall-clock deadline is
+        // detected inside the search loop on the first iteration.
+        _ => (
+            cnf::generators::pigeonhole(6, 5),
+            Budget::unlimited().with_wall_time(Duration::ZERO),
+        ),
+    }
+}
+
+#[test]
+fn every_backend_reports_budget_exhaustion_instead_of_blocking() {
+    let registry = BackendRegistry::default();
+    for name in registry.names() {
+        let (formula, budget) = tight_case(name);
+        let request = SolveRequest::new(&formula).seed(7).budget(budget);
+        let outcome = registry
+            .solve(name, &request)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let resource = outcome.verdict.exhausted_resource().unwrap_or_else(|| {
+            panic!(
+                "{name} under budget {budget:?} answered {} instead of Unknown(BudgetExhausted)",
+                outcome.verdict
+            )
+        });
+        assert_eq!(outcome.exhausted, Some(resource), "{name}");
+    }
+}
+
+#[test]
+fn stochastic_backends_are_deterministic_per_seed() {
+    let registry = BackendRegistry::default();
+    let formula = cnf::generators::random_ksat(
+        &cnf::generators::RandomKSatConfig::new(12, 40, 3).with_seed(3),
+    )
+    .unwrap();
+    for name in ["walksat", "gsat", "schoening"] {
+        let request = SolveRequest::new(&formula)
+            .artifacts(Artifacts::Model)
+            .seed(9);
+        let a = registry.solve(name, &request).unwrap();
+        let b = registry.solve(name, &request).unwrap();
+        assert_eq!(a.verdict, b.verdict, "{name}");
+        assert_eq!(a.model, b.model, "{name}");
+        assert_eq!(a.stats.flips, b.stats.flips, "{name}");
+        let other = registry
+            .solve(
+                name,
+                &SolveRequest::new(&formula)
+                    .artifacts(Artifacts::Model)
+                    .seed(10),
+            )
+            .unwrap();
+        // A different seed is allowed to find a different model; it must
+        // still verify when present.
+        if let Some(model) = &other.model {
+            assert!(formula.evaluate(model), "{name}");
+        }
+    }
+}
+
+#[test]
+fn portfolio_winner_surfaces_through_unified_stats() {
+    let registry = BackendRegistry::default();
+    let two_cnf = cnf::generators::example6_sat();
+    let outcome = registry
+        .solve("portfolio", &SolveRequest::new(&two_cnf))
+        .unwrap();
+    assert_eq!(outcome.stats.winner, Some("two-sat"));
+    let hard = cnf::generators::pigeonhole(4, 3);
+    let outcome = registry
+        .solve("portfolio", &SolveRequest::new(&hard))
+        .unwrap();
+    assert_eq!(outcome.stats.winner, Some("cdcl"));
+    assert!(outcome.verdict.is_unsat());
+}
+
+#[test]
+fn model_and_cube_artifacts_cost_extra_checks_only_when_requested() {
+    let registry = BackendRegistry::default();
+    let formula = cnf::generators::section4_sat_instance();
+    let verdict_only = registry
+        .solve("nbl-symbolic", &SolveRequest::new(&formula))
+        .unwrap();
+    assert_eq!(verdict_only.stats.coprocessor_checks, 1);
+    assert!(verdict_only.model.is_none());
+    let with_model = registry
+        .solve(
+            "nbl-symbolic",
+            &SolveRequest::new(&formula).artifacts(Artifacts::Model),
+        )
+        .unwrap();
+    // Algorithm 1 (1 check) + Algorithm 2 (n checks).
+    assert_eq!(
+        with_model.stats.coprocessor_checks,
+        1 + formula.num_vars() as u64
+    );
+    assert!(with_model.model.is_some());
+}

@@ -69,6 +69,7 @@ fn sampled_engine_end_to_end_on_paper_examples() {
 
 #[test]
 fn workload_generators_feed_every_solver_and_the_nbl_checker() {
+    let registry = BackendRegistry::default();
     let workloads: Vec<(cnf::CnfFormula, bool)> = vec![
         (cnf::generators::pigeonhole(3, 3), true),
         (cnf::generators::pigeonhole(4, 3), false),
@@ -81,15 +82,22 @@ fn workload_generators_feed_every_solver_and_the_nbl_checker() {
         (cnf::generators::adder_equivalence_miter(1), false),
     ];
     for (formula, expected_sat) in workloads {
-        let mut cdcl = CdclSolver::new();
-        assert_eq!(cdcl.solve(&formula).is_sat(), expected_sat, "{formula}");
-        let mut dpll = DpllSolver::new();
-        assert_eq!(dpll.solve(&formula).is_sat(), expected_sat);
-        if formula.num_vars() <= 14 {
-            let instance = NblSatInstance::new(&formula).unwrap();
-            let mut checker = SatChecker::new(SymbolicEngine::new());
+        let request = SolveRequest::new(&formula).artifacts(Artifacts::Model);
+        for backend in ["cdcl", "dpll"] {
+            let outcome = registry.solve(backend, &request).unwrap();
             assert_eq!(
-                checker.check(&instance).unwrap().is_sat(),
+                outcome.verdict.is_sat(),
+                expected_sat,
+                "{backend} {formula}"
+            );
+            if let Some(model) = &outcome.model {
+                assert!(formula.evaluate(model), "{backend} {formula}");
+            }
+        }
+        if formula.num_vars() <= 14 {
+            let outcome = registry.solve("nbl-symbolic", &request).unwrap();
+            assert_eq!(
+                outcome.verdict.is_sat(),
                 expected_sat,
                 "NBL disagreed on {formula}"
             );
@@ -98,20 +106,22 @@ fn workload_generators_feed_every_solver_and_the_nbl_checker() {
 }
 
 #[test]
-fn hybrid_solver_agrees_with_cdcl_across_workloads() {
+fn hybrid_backend_agrees_with_cdcl_across_workloads() {
+    let registry = BackendRegistry::default();
     for seed in 0..10 {
         let formula = cnf::generators::random_ksat(
             &cnf::generators::RandomKSatConfig::new(8, 33, 3).with_seed(seed),
         )
         .unwrap();
-        let mut hybrid = HybridSolver::with_ideal_coprocessor();
-        let hybrid_model = hybrid.solve(&formula).unwrap();
-        let mut cdcl = CdclSolver::new();
-        let cdcl_result = cdcl.solve(&formula);
-        assert_eq!(hybrid_model.is_some(), cdcl_result.is_sat(), "seed {seed}");
-        if let Some(m) = hybrid_model {
-            assert!(formula.evaluate(&m));
+        let request = SolveRequest::new(&formula).artifacts(Artifacts::Model);
+        let hybrid = registry.solve("hybrid-symbolic", &request).unwrap();
+        let cdcl = registry.solve("cdcl", &request).unwrap();
+        assert_eq!(hybrid.verdict, cdcl.verdict, "seed {seed}");
+        assert!(hybrid.verdict.is_definitive(), "seed {seed}");
+        if let Some(m) = &hybrid.model {
+            assert!(formula.evaluate(m));
         }
+        assert!(hybrid.stats.coprocessor_checks > 0);
     }
 }
 

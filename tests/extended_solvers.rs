@@ -64,6 +64,37 @@ fn all_solvers_agree_with_nbl_on_the_worked_examples() {
 }
 
 #[test]
+fn unified_api_covers_the_worked_examples_across_backend_families() {
+    // The same four paper instances as above, but dispatched through the
+    // unified request/outcome API: one classical, one NBL and one hybrid
+    // backend must tell the same story, including artifacts.
+    let registry = BackendRegistry::default();
+    let instances = [
+        (cnf::generators::example6_sat(), true),
+        (cnf::generators::example7_unsat(), false),
+        (cnf::generators::section4_sat_instance(), true),
+        (cnf::generators::section4_unsat_instance(), false),
+    ];
+    for (formula, expected_sat) in instances {
+        let request = SolveRequest::new(&formula).artifacts(Artifacts::PrimeCube);
+        for backend in ["cdcl", "nbl-symbolic", "hybrid-symbolic"] {
+            let outcome = registry.solve(backend, &request).unwrap();
+            assert_eq!(outcome.verdict.is_sat(), expected_sat, "{backend}");
+            assert!(outcome.verdict.is_definitive(), "{backend}");
+            if expected_sat {
+                assert!(
+                    formula.evaluate(outcome.model.as_ref().unwrap()),
+                    "{backend}"
+                );
+                assert!(outcome.cube.unwrap().is_implicant_of(&formula), "{backend}");
+            } else {
+                assert!(outcome.model.is_none(), "{backend}");
+            }
+        }
+    }
+}
+
+#[test]
 fn mus_extraction_on_the_pigeonhole_family() {
     let formula = cnf::generators::pigeonhole(4, 3);
     let mut extractor = MusExtractor::new();

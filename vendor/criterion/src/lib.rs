@@ -5,11 +5,21 @@
 //! It keeps the same source-level API — [`Criterion::benchmark_group`],
 //! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
 //! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] and
-//! [`criterion_main!`] — but performs a short fixed-size timing loop and
-//! prints one median-time line per benchmark, with none of Criterion's
-//! statistics, plotting, or CLI. Passing `--test` (as `cargo test` does for
-//! `harness = false` bench targets) runs each benchmark body exactly once as
-//! a smoke test.
+//! [`criterion_main!`] — but performs a warmup phase followed by a short
+//! timing loop and prints one mean-time line per benchmark, with none of
+//! Criterion's statistics, plotting, or CLI. Passing `--test` (as
+//! `cargo test` does for `harness = false` bench targets) runs each benchmark
+//! body exactly once as a smoke test, skipping the warmup.
+//!
+//! Two environment variables tune the loops without recompiling, so perf
+//! comparisons can trade runtime for stability:
+//!
+//! * `CRITERION_SAMPLE_SIZE` — timed iterations per benchmark (default 10,
+//!   clamped to 1..=100 000; overrides both the built-in default and any
+//!   `sample_size` set in the bench source),
+//! * `CRITERION_WARMUP_ITERS` — untimed warmup iterations run first (default
+//!   `max(1, timed/5)`, clamped to 0..=100 000). The warmup populates caches
+//!   and branch predictors so the timed loop does not pay cold-start costs.
 
 #![deny(missing_docs)]
 
@@ -18,18 +28,32 @@ use std::time::Instant;
 
 pub use std::hint::black_box;
 
+const MAX_ITERS: usize = 100_000;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 #[derive(Debug)]
 pub struct Criterion {
     test_mode: bool,
     sample_size: usize,
+    /// `Some` when `CRITERION_SAMPLE_SIZE` is set: overrides per-group
+    /// `sample_size` calls too, so the env var always wins.
+    sample_size_override: Option<usize>,
+    warmup_override: Option<usize>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let sample_size_override =
+            env_usize("CRITERION_SAMPLE_SIZE").map(|n| n.clamp(1, MAX_ITERS));
         Criterion {
             test_mode: std::env::args().any(|a| a == "--test"),
-            sample_size: 10,
+            sample_size: sample_size_override.unwrap_or(10),
+            sample_size_override,
+            warmup_override: env_usize("CRITERION_WARMUP_ITERS").map(|n| n.min(MAX_ITERS)),
         }
     }
 }
@@ -66,24 +90,37 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if self.test_mode {
+            // Smoke test: run the body exactly once, no warmup, no timing.
+            let mut bencher = Bencher {
+                iterations: 1,
+                elapsed_nanos: 0.0,
+            };
+            f(&mut bencher);
+            println!("test {label} ... ok");
+            return;
+        }
+        let sample_size = self.sample_size_override.unwrap_or(sample_size);
+        let warmup = self
+            .warmup_override
+            .unwrap_or_else(|| (sample_size / 5).max(1));
+        if warmup > 0 {
+            let mut warmup_bencher = Bencher {
+                iterations: warmup as u64,
+                elapsed_nanos: 0.0,
+            };
+            f(&mut warmup_bencher);
+        }
         let mut bencher = Bencher {
-            iterations: if self.test_mode {
-                1
-            } else {
-                sample_size as u64
-            },
+            iterations: sample_size as u64,
             elapsed_nanos: 0.0,
         };
         f(&mut bencher);
-        if self.test_mode {
-            println!("test {label} ... ok");
-        } else {
-            let per_iter = bencher.elapsed_nanos / bencher.iterations.max(1) as f64;
-            println!(
-                "bench {label}: {per_iter:.1} ns/iter ({} iters)",
-                bencher.iterations
-            );
-        }
+        let per_iter = bencher.elapsed_nanos / bencher.iterations.max(1) as f64;
+        println!(
+            "bench {label}: {per_iter:.1} ns/iter ({} iters, {warmup} warmup)",
+            bencher.iterations
+        );
     }
 }
 
@@ -230,12 +267,18 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn plain(sample_size: usize) -> Criterion {
+        Criterion {
+            test_mode: false,
+            sample_size,
+            sample_size_override: None,
+            warmup_override: None,
+        }
+    }
+
     #[test]
     fn group_benches_run_and_count_iterations() {
-        let mut c = Criterion {
-            test_mode: false,
-            sample_size: 4,
-        };
+        let mut c = plain(4);
         let mut calls = 0u64;
         {
             let mut group = c.benchmark_group("g");
@@ -248,18 +291,71 @@ mod tests {
             });
             group.finish();
         }
-        assert_eq!(calls, 4);
+        // 4 timed iterations plus the default warmup of max(1, 4/5) = 1.
+        assert_eq!(calls, 5);
     }
 
     #[test]
     fn test_mode_runs_each_bench_once() {
         let mut c = Criterion {
             test_mode: true,
-            sample_size: 10,
+            ..plain(10)
         };
         let mut calls = 0u64;
         c.bench_function("once", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn warmup_phase_runs_before_the_timed_loop() {
+        let mut c = Criterion {
+            warmup_override: Some(3),
+            ..plain(10)
+        };
+        let mut calls = 0u64;
+        c.bench_function("warm", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3 + 10);
+        // Warmup can be disabled entirely.
+        let mut c = Criterion {
+            warmup_override: Some(0),
+            ..plain(6)
+        };
+        let mut calls = 0u64;
+        c.bench_function("cold", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn sample_size_override_beats_group_settings() {
+        let mut c = Criterion {
+            sample_size_override: Some(7),
+            warmup_override: Some(0),
+            ..plain(10)
+        };
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3); // env override must win
+            group.bench_function("f", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn env_variables_configure_the_loops() {
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "12");
+        std::env::set_var("CRITERION_WARMUP_ITERS", "2");
+        let c = Criterion::default();
+        assert_eq!(c.sample_size_override, Some(12));
+        assert_eq!(c.sample_size, 12);
+        assert_eq!(c.warmup_override, Some(2));
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "0");
+        assert_eq!(Criterion::default().sample_size_override, Some(1));
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "not a number");
+        assert_eq!(Criterion::default().sample_size_override, None);
+        std::env::remove_var("CRITERION_SAMPLE_SIZE");
+        std::env::remove_var("CRITERION_WARMUP_ITERS");
     }
 
     #[test]

@@ -30,6 +30,32 @@ fn solvers_on_random_3sat(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sequential vs. thread-racing portfolio on a workload where racing pays:
+/// a satisfiable instance local search wins quickly, and an UNSAT refutation
+/// only CDCL can finish. The sequential portfolio pays for every member that
+/// bows out before the winner; the parallel one pays only the winner's
+/// wall-clock (plus one poll interval for the losers).
+fn sequential_vs_parallel_portfolio(c: &mut Criterion) {
+    let registry = BackendRegistry::default();
+    let sat =
+        generators::random_ksat(&RandomKSatConfig::from_ratio(14, 3.0, 3).with_seed(7)).unwrap();
+    let unsat = generators::pigeonhole(5, 4);
+    for (label, formula) in [("sat_n14", &sat), ("unsat_php5_4", &unsat)] {
+        let mut group = c.benchmark_group(format!("portfolio_race_{label}"));
+        group.sample_size(10);
+        for backend in ["portfolio", "parallel-portfolio"] {
+            group.bench_function(backend, |b| {
+                b.iter(|| {
+                    registry
+                        .solve(backend, &SolveRequest::new(formula).seed(2012))
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn solvers_on_pigeonhole(c: &mut Criterion) {
     let registry = BackendRegistry::default();
     let formula = generators::pigeonhole(4, 3);
@@ -49,5 +75,10 @@ fn solvers_on_pigeonhole(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, solvers_on_random_3sat, solvers_on_pigeonhole);
+criterion_group!(
+    benches,
+    solvers_on_random_3sat,
+    solvers_on_pigeonhole,
+    sequential_vs_parallel_portfolio
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@
 //! into a [`crate::SolveVerdict::Unknown`] outcome rather than an error.
 
 use crate::error::{NblSatError, Result};
+use sat_solvers::limits::saturating_deadline_after;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The resource that ran out when a budget was exhausted.
@@ -104,12 +106,15 @@ pub struct BudgetMeter {
 }
 
 impl BudgetMeter {
-    /// Starts metering against `budget`; the wall-clock deadline is fixed now.
+    /// Starts metering against `budget`; the wall-clock deadline is fixed
+    /// now. A wall budget too large to represent as an absolute deadline
+    /// (e.g. [`Duration::MAX`]) saturates to a far-future deadline instead of
+    /// silently becoming unlimited.
     pub fn start(budget: &Budget) -> Self {
         BudgetMeter {
             deadline: budget
                 .wall_time
-                .and_then(|wall| Instant::now().checked_add(wall)),
+                .map(|wall| saturating_deadline_after(Instant::now(), wall)),
             max_samples: budget.max_samples,
             samples_used: 0,
             max_checks: budget.max_checks,
@@ -190,6 +195,134 @@ impl Default for BudgetMeter {
     }
 }
 
+/// One [`Budget`] shared by a whole batch of solves running concurrently.
+///
+/// Where a [`BudgetMeter`] is the private account of a single solve, a
+/// `SharedBudget` is the *common pool* of a [`crate::SolveBatch`]: one
+/// wall-clock deadline (fixed when the pool starts) plus atomic sample and
+/// check counters that every worker thread charges. The pool hands each
+/// request a *slice* — a per-request [`Budget`] no larger than what remains —
+/// so the existing per-solve metering machinery enforces the shared limits
+/// without any locking inside the solver loops.
+///
+/// # Accounting semantics
+///
+/// Reservation is optimistic: a request's slice is computed from the pool's
+/// remainder when the request *starts*, and its actual spend is charged back
+/// when it *finishes*. Concurrent in-flight requests can therefore together
+/// overdraw the sample/check pool by at most the sum of their slices — each
+/// individual request always respects the remainder it saw — and a request
+/// that starts after the pool is empty is answered
+/// `Unknown(BudgetExhausted)` without running at all. The wall-clock deadline
+/// has no such slack: it is one absolute instant that every solver polls
+/// inside its loops.
+#[derive(Debug)]
+pub struct SharedBudget {
+    deadline: Option<Instant>,
+    max_samples: Option<u64>,
+    samples_used: AtomicU64,
+    max_checks: Option<u64>,
+    checks_used: AtomicU64,
+}
+
+impl SharedBudget {
+    /// Starts the shared pool; the wall-clock deadline is fixed now (and
+    /// saturates like [`BudgetMeter::start`] on overflow).
+    pub fn start(budget: &Budget) -> Self {
+        SharedBudget {
+            deadline: budget
+                .wall_time
+                .map(|wall| saturating_deadline_after(Instant::now(), wall)),
+            max_samples: budget.max_samples,
+            samples_used: AtomicU64::new(0),
+            max_checks: budget.max_checks,
+            checks_used: AtomicU64::new(0),
+        }
+    }
+
+    /// The absolute wall-clock deadline of the pool, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The first resource of the pool that is already spent, or `None` while
+    /// everything still has headroom. Requests starting while this is `Some`
+    /// should be starved (answered `Unknown(BudgetExhausted)`) rather than
+    /// run.
+    pub fn exhausted(&self) -> Option<ExhaustedResource> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(ExhaustedResource::WallClock);
+            }
+        }
+        if self.remaining_samples() == Some(0) {
+            return Some(ExhaustedResource::Samples);
+        }
+        if self.remaining_checks() == Some(0) {
+            return Some(ExhaustedResource::CoprocessorChecks);
+        }
+        None
+    }
+
+    /// Samples still available in the pool, or `None` when unlimited.
+    pub fn remaining_samples(&self) -> Option<u64> {
+        self.max_samples
+            .map(|max| max.saturating_sub(self.samples_used.load(Ordering::Relaxed)))
+    }
+
+    /// Checks still available in the pool, or `None` when unlimited.
+    pub fn remaining_checks(&self) -> Option<u64> {
+        self.max_checks
+            .map(|max| max.saturating_sub(self.checks_used.load(Ordering::Relaxed)))
+    }
+
+    /// The per-request budget slice: the pool's current remainder, further
+    /// capped by the request's own `budget` on every resource (whichever is
+    /// smaller wins).
+    pub fn slice(&self, request: &Budget) -> Budget {
+        fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            }
+        }
+        let remaining_wall = self
+            .deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+        let wall_time = match (remaining_wall, request.wall_time) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        Budget {
+            wall_time,
+            max_samples: min_opt(self.remaining_samples(), request.max_samples),
+            max_checks: min_opt(self.remaining_checks(), request.max_checks),
+        }
+    }
+
+    /// Charges a finished request's actual spend back to the pool.
+    pub fn charge(&self, samples: u64, checks: u64) {
+        if self.max_samples.is_some() {
+            self.samples_used.fetch_add(samples, Ordering::Relaxed);
+        }
+        if self.max_checks.is_some() {
+            self.checks_used.fetch_add(checks, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples charged to the pool so far.
+    pub fn samples_used(&self) -> u64 {
+        self.samples_used.load(Ordering::Relaxed)
+    }
+
+    /// Checks charged to the pool so far.
+    pub fn checks_used(&self) -> u64 {
+        self.checks_used.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +388,57 @@ mod tests {
         let generous =
             BudgetMeter::start(&Budget::unlimited().with_wall_time(Duration::from_secs(3600)));
         assert!(generous.ensure_time().is_ok());
+    }
+
+    #[test]
+    fn duration_max_wall_budget_saturates_instead_of_unlimiting() {
+        // Regression: Duration::MAX used to overflow checked_add and fall
+        // back to None, i.e. *no* deadline at all.
+        let meter = BudgetMeter::start(&Budget::unlimited().with_wall_time(Duration::MAX));
+        let deadline = meter.deadline().expect("deadline must survive overflow");
+        assert!(meter.ensure_time().is_ok());
+        assert!(deadline.duration_since(Instant::now()) > Duration::from_secs(86_400 * 365));
+        let shared = SharedBudget::start(&Budget::unlimited().with_wall_time(Duration::MAX));
+        assert!(shared.deadline().is_some());
+        assert_eq!(shared.exhausted(), None);
+    }
+
+    #[test]
+    fn shared_budget_slices_and_charges() {
+        let shared = SharedBudget::start(
+            &Budget::unlimited()
+                .with_max_samples(100)
+                .with_max_checks(10),
+        );
+        assert_eq!(shared.exhausted(), None);
+        // The slice is the remainder, capped by the request's own budget.
+        let slice = shared.slice(&Budget::unlimited());
+        assert_eq!(slice.max_samples, Some(100));
+        assert_eq!(slice.max_checks, Some(10));
+        let capped = shared.slice(&Budget::unlimited().with_max_samples(30));
+        assert_eq!(capped.max_samples, Some(30));
+        shared.charge(60, 4);
+        assert_eq!(shared.remaining_samples(), Some(40));
+        assert_eq!(shared.remaining_checks(), Some(6));
+        assert_eq!(shared.samples_used(), 60);
+        assert_eq!(shared.checks_used(), 4);
+        shared.charge(40, 0);
+        assert_eq!(shared.exhausted(), Some(ExhaustedResource::Samples));
+        // Unlimited resources are never charged (no counter wrap risk).
+        let unlimited = SharedBudget::start(&Budget::unlimited());
+        unlimited.charge(u64::MAX, u64::MAX);
+        assert_eq!(unlimited.samples_used(), 0);
+        assert_eq!(unlimited.remaining_samples(), None);
+        assert_eq!(unlimited.exhausted(), None);
+    }
+
+    #[test]
+    fn shared_budget_wall_clock_exhaustion() {
+        let shared = SharedBudget::start(&Budget::unlimited().with_wall_time(Duration::ZERO));
+        assert_eq!(shared.exhausted(), Some(ExhaustedResource::WallClock));
+        // The slice of an exhausted pool has zero wall allowance left.
+        let slice = shared.slice(&Budget::unlimited());
+        assert_eq!(slice.wall_time, Some(Duration::ZERO));
     }
 
     #[test]

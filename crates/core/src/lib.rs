@@ -114,7 +114,7 @@ pub mod transform;
 
 pub use algebraic::AlgebraicEngine;
 pub use assignment::{prime_implicant_cube, AssignmentExtractor, ExtractionOutcome};
-pub use budget::{Budget, BudgetMeter, ExhaustedResource};
+pub use budget::{Budget, BudgetMeter, ExhaustedResource, SharedBudget};
 pub use checker::{SatChecker, Verdict};
 pub use config::EngineConfig;
 pub use convergence::{ConvergenceTrace, TracePoint};
@@ -126,7 +126,7 @@ pub use sampled::SampledEngine;
 pub use snr::SnrModel;
 pub use solve::{
     Artifacts, BackendRegistry, ClassicalBackend, HybridBackend, NblCheckBackend, SatBackend,
-    SolveOutcome, SolveRequest, SolveStats, SolveVerdict, UnknownCause,
+    SolveBatch, SolveOutcome, SolveRequest, SolveStats, SolveVerdict, UnknownCause,
 };
 pub use symbolic::SymbolicEngine;
 pub use transform::{NblSatInstance, SourceIndex};

@@ -1,0 +1,319 @@
+//! Batched solving: many requests, one shared budget, a bounded worker pool.
+//!
+//! The single-request front door ([`BackendRegistry::solve`]) answers one
+//! [`SolveRequest`] at a time. Production front ends rarely have one: they
+//! have a *queue* — an ATPG run emitting one miter per fault, an equivalence
+//! check per output cone, a portfolio of random instances — and a single
+//! resource envelope for the whole queue. [`SolveBatch`] is that entry point:
+//! push jobs (backend name + request), set the shared [`Budget`] and the
+//! worker count, and [`SolveBatch::run`] fans the jobs out across a bounded
+//! pool of OS threads, charges every job against one [`SharedBudget`], and
+//! returns per-request outcomes in input order. Jobs that start after the
+//! pool is spent are answered `Unknown(BudgetExhausted)` immediately — the
+//! batch never hangs on an empty pool.
+
+use crate::budget::{Budget, SharedBudget};
+use crate::error::Result;
+use crate::solve::outcome::{SolveOutcome, SolveVerdict, UnknownCause};
+use crate::solve::registry::BackendRegistry;
+use crate::solve::request::SolveRequest;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// One job of a batch: a backend name plus the request it should answer.
+struct BatchJob<'f> {
+    backend: String,
+    request: SolveRequest<'f>,
+}
+
+impl fmt::Debug for BatchJob<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchJob")
+            .field("backend", &self.backend)
+            .field("request", &self.request)
+            .finish()
+    }
+}
+
+/// A batch of solve jobs sharing one resource [`Budget`] and a bounded
+/// worker pool.
+///
+/// Built fluently against a [`BackendRegistry`]; every worker creates a fresh
+/// backend instance per job (backends are stateful), so jobs never share
+/// solver state — only the budget pool.
+///
+/// Outcomes come back in input order regardless of completion order. With a
+/// single worker — or without budget contention — each outcome is bit-equal
+/// to what the sequential [`BackendRegistry::solve`] would have produced for
+/// the same request, because each job still runs on exactly one backend with
+/// the request's own deterministic seed. Under contention the *set* of jobs
+/// answered `Unknown(BudgetExhausted)` depends on scheduling; the answered
+/// ones remain correct.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use nbl_sat_core::{BackendRegistry, Budget, SolveBatch, SolveRequest};
+///
+/// let registry = BackendRegistry::default();
+/// let sat = cnf_formula![[1, 2], [-1, -2]];
+/// let unsat = cnf_formula![[1], [-1]];
+/// let outcomes = SolveBatch::new(&registry)
+///     .job("cdcl", SolveRequest::new(&sat))
+///     .job("parallel-portfolio", SolveRequest::new(&unsat))
+///     .run();
+/// assert!(outcomes[0].as_ref().unwrap().verdict.is_sat());
+/// assert!(outcomes[1].as_ref().unwrap().verdict.is_unsat());
+/// ```
+pub struct SolveBatch<'f, 'r> {
+    registry: &'r BackendRegistry,
+    jobs: Vec<BatchJob<'f>>,
+    shared: Budget,
+    workers: usize,
+}
+
+impl fmt::Debug for SolveBatch<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveBatch")
+            .field("jobs", &self.jobs.len())
+            .field("shared", &self.shared)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'f, 'r> SolveBatch<'f, 'r> {
+    /// Creates an empty batch against `registry` with an unlimited shared
+    /// budget and one worker per available CPU.
+    pub fn new(registry: &'r BackendRegistry) -> Self {
+        let workers = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        SolveBatch {
+            registry,
+            jobs: Vec::new(),
+            shared: Budget::unlimited(),
+            workers,
+        }
+    }
+
+    /// Sets the shared budget the whole batch is charged against. Each job's
+    /// own request budget still applies on top (the tighter limit wins,
+    /// resource by resource).
+    pub fn shared_budget(mut self, budget: Budget) -> Self {
+        self.shared = budget;
+        self
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1; never more workers
+    /// than jobs are spawned).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Appends a job: solve `request` with the backend registered under
+    /// `backend`. Unknown names surface as a per-job `Err` when the batch
+    /// runs.
+    pub fn job(mut self, backend: &str, request: SolveRequest<'f>) -> Self {
+        self.jobs.push(BatchJob {
+            backend: backend.to_string(),
+            request,
+        });
+        self
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` if no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs the batch and returns one result per job, in input order.
+    ///
+    /// Workers claim jobs from a shared cursor, so completion order is
+    /// scheduling-dependent while the returned order is not. A job observed
+    /// *after* the shared budget is spent is answered
+    /// `Unknown(BudgetExhausted)` with [`SolveOutcome::exhausted`] set,
+    /// without creating a backend — this is what bounds the batch's latency
+    /// once the pool runs dry. Per-job `Err`s (unknown backend, instance too
+    /// large for the brute-force oracle, …) are isolated to their slot and
+    /// never poison sibling jobs.
+    pub fn run(self) -> Vec<Result<SolveOutcome>> {
+        let SolveBatch {
+            registry,
+            jobs,
+            shared,
+            workers,
+        } = self;
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let pool = SharedBudget::start(&shared);
+        let worker_count = workers.clamp(1, jobs.len());
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<SolveOutcome>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else {
+                        break;
+                    };
+                    let result = run_job(registry, job, &pool);
+                    *slots[index].lock().expect("slot lock") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every job writes its slot")
+            })
+            .collect()
+    }
+}
+
+/// Runs one job against the shared pool: starve it if the pool is already
+/// spent, otherwise solve it under the pool's current slice and charge the
+/// actual spend back.
+fn run_job(
+    registry: &BackendRegistry,
+    job: &BatchJob<'_>,
+    pool: &SharedBudget,
+) -> Result<SolveOutcome> {
+    if let Some(resource) = pool.exhausted() {
+        let mut outcome = SolveOutcome::of_verdict(SolveVerdict::Unknown(
+            UnknownCause::BudgetExhausted(resource),
+        ));
+        outcome.exhausted = Some(resource);
+        return Ok(outcome);
+    }
+    let slice = pool.slice(job.request.requested_budget());
+    let request = job.request.clone().budget(slice);
+    let mut backend = registry.create(&job.backend)?;
+    let outcome = backend.solve(&request)?;
+    pool.charge(outcome.stats.samples, outcome.stats.coprocessor_checks);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ExhaustedResource;
+    use cnf::generators;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let registry = BackendRegistry::default();
+        let batch = SolveBatch::new(&registry);
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert!(batch.run().is_empty());
+    }
+
+    #[test]
+    fn outcomes_come_back_in_input_order() {
+        let registry = BackendRegistry::default();
+        let sat = generators::example6_sat();
+        let unsat = generators::example7_unsat();
+        let outcomes = SolveBatch::new(&registry)
+            .job("cdcl", SolveRequest::new(&sat))
+            .job("dpll", SolveRequest::new(&unsat))
+            .job("two-sat", SolveRequest::new(&sat))
+            .run();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].as_ref().unwrap().verdict.is_sat());
+        assert!(outcomes[1].as_ref().unwrap().verdict.is_unsat());
+        assert!(outcomes[2].as_ref().unwrap().verdict.is_sat());
+    }
+
+    #[test]
+    fn unknown_backend_errors_are_per_job() {
+        let registry = BackendRegistry::default();
+        let f = generators::example6_sat();
+        let outcomes = SolveBatch::new(&registry)
+            .job("minisat", SolveRequest::new(&f))
+            .job("cdcl", SolveRequest::new(&f))
+            .run();
+        assert!(outcomes[0].is_err());
+        assert!(outcomes[1].as_ref().unwrap().verdict.is_sat());
+    }
+
+    #[test]
+    fn spent_wall_pool_starves_jobs_without_hanging() {
+        let registry = BackendRegistry::default();
+        let hard = generators::pigeonhole(6, 5);
+        let jobs: Vec<_> = (0..6).map(|_| SolveRequest::new(&hard)).collect();
+        let mut batch = SolveBatch::new(&registry)
+            .shared_budget(Budget::unlimited().with_wall_time(Duration::ZERO))
+            .workers(3);
+        for request in jobs {
+            batch = batch.job("cdcl", request);
+        }
+        for outcome in batch.run() {
+            let outcome = outcome.unwrap();
+            assert_eq!(
+                outcome.verdict.exhausted_resource(),
+                Some(ExhaustedResource::WallClock)
+            );
+            assert_eq!(outcome.exhausted, Some(ExhaustedResource::WallClock));
+        }
+    }
+
+    #[test]
+    fn shared_check_pool_is_charged_across_jobs() {
+        let registry = BackendRegistry::default();
+        let f = generators::example7_unsat();
+        // Each nbl-symbolic verdict costs exactly 1 check; a pool of 2 admits
+        // two jobs and starves the rest.
+        let outcomes = SolveBatch::new(&registry)
+            .shared_budget(Budget::unlimited().with_max_checks(2))
+            .workers(1)
+            .job("nbl-symbolic", SolveRequest::new(&f))
+            .job("nbl-symbolic", SolveRequest::new(&f))
+            .job("nbl-symbolic", SolveRequest::new(&f))
+            .run();
+        let verdicts: Vec<_> = outcomes.into_iter().map(|o| o.unwrap().verdict).collect();
+        assert_eq!(verdicts[0], SolveVerdict::Unsatisfiable);
+        assert_eq!(verdicts[1], SolveVerdict::Unsatisfiable);
+        assert_eq!(
+            verdicts[2].exhausted_resource(),
+            Some(ExhaustedResource::CoprocessorChecks)
+        );
+    }
+
+    #[test]
+    fn single_worker_matches_sequential_solves() {
+        let registry = BackendRegistry::default();
+        let battery = vec![
+            generators::example6_sat(),
+            generators::example7_unsat(),
+            generators::section4_sat_instance(),
+            generators::pigeonhole(3, 2),
+        ];
+        let mut batch = SolveBatch::new(&registry).workers(1);
+        for formula in &battery {
+            batch = batch.job("cdcl", SolveRequest::new(formula).seed(7));
+        }
+        let batched = batch.run();
+        for (formula, outcome) in battery.iter().zip(batched) {
+            let sequential = registry
+                .solve("cdcl", &SolveRequest::new(formula).seed(7))
+                .unwrap();
+            assert_eq!(outcome.unwrap().verdict, sequential.verdict);
+        }
+    }
+}

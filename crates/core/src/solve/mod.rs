@@ -23,9 +23,12 @@
 //!
 //! The [`BackendRegistry`] names every engine in the workspace
 //! (`"cdcl"`, `"dpll"`, `"walksat"`, `"gsat"`, `"schoening"`, `"two-sat"`,
-//! `"brute-force"`, `"portfolio"`, `"nbl-symbolic"`, `"nbl-sampled"`,
-//! `"nbl-algebraic"`, `"hybrid-symbolic"`, `"hybrid-sampled"`) so front ends
-//! can dispatch by configuration instead of by type.
+//! `"brute-force"`, `"portfolio"`, `"parallel-portfolio"`, `"nbl-symbolic"`,
+//! `"nbl-sampled"`, `"nbl-algebraic"`, `"hybrid-symbolic"`,
+//! `"hybrid-sampled"`) so front ends can dispatch by configuration instead
+//! of by type. For many requests sharing one resource envelope, the batch
+//! entry point [`SolveBatch`] fans jobs out across a bounded worker pool
+//! against a [`SharedBudget`](crate::SharedBudget).
 //!
 //! ```
 //! use cnf::cnf_formula;
@@ -44,12 +47,14 @@
 
 pub mod adapters;
 pub mod backend;
+pub mod batch;
 pub mod outcome;
 pub mod registry;
 pub mod request;
 
 pub use adapters::{ClassicalBackend, HybridBackend, NblCheckBackend};
 pub use backend::SatBackend;
+pub use batch::SolveBatch;
 pub use outcome::{SolveOutcome, SolveStats, SolveVerdict, UnknownCause};
 pub use registry::BackendRegistry;
 pub use request::{Artifacts, SolveRequest};

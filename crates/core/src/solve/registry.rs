@@ -11,8 +11,8 @@ use crate::solve::outcome::SolveOutcome;
 use crate::solve::request::SolveRequest;
 use crate::symbolic::SymbolicEngine;
 use sat_solvers::{
-    BruteForceSolver, CdclSolver, DpllSolver, Gsat, GsatConfig, Portfolio, Schoening,
-    SchoeningConfig, TwoSatSolver, WalkSat, WalkSatConfig,
+    BruteForceSolver, CdclSolver, DpllSolver, Gsat, GsatConfig, ParallelPortfolio, Portfolio,
+    Schoening, SchoeningConfig, TwoSatSolver, WalkSat, WalkSatConfig,
 };
 use std::fmt;
 
@@ -40,6 +40,7 @@ type BackendFactory = Box<dyn Fn() -> Box<dyn SatBackend> + Send + Sync>;
 /// | `gsat` | GSAT local search | no |
 /// | `schoening` | Schöning's random walk | no |
 /// | `portfolio` | 2-SAT → WalkSAT → CDCL portfolio | yes |
+/// | `parallel-portfolio` | 2-SAT ∥ WalkSAT ∥ CDCL raced across threads | yes |
 /// | `nbl-symbolic` | NBL check, exact counting engine | yes |
 /// | `nbl-algebraic` | NBL check, exact term expansion | yes |
 /// | `nbl-sampled` | NBL check, Monte-Carlo engine | statistical |
@@ -175,9 +176,16 @@ impl Default for BackendRegistry {
                 })
             }))
         });
+        // The portfolios are seed-aware so the request seed reaches their
+        // stochastic members (reseeded per solve, not per construction).
         registry.register("portfolio", || {
-            Box::new(ClassicalBackend::new("portfolio", true, |_| {
-                Portfolio::new()
+            Box::new(ClassicalBackend::new("portfolio", true, |seed| {
+                Portfolio::new().with_seed(seed)
+            }))
+        });
+        registry.register("parallel-portfolio", || {
+            Box::new(ClassicalBackend::new("parallel-portfolio", true, |seed| {
+                ParallelPortfolio::new().with_seed(seed)
             }))
         });
         registry.register("nbl-symbolic", || {
@@ -230,9 +238,9 @@ mod tests {
     use cnf::generators;
 
     #[test]
-    fn default_registry_has_at_least_nine_backends() {
+    fn default_registry_has_fourteen_backends() {
         let registry = BackendRegistry::default();
-        assert!(registry.len() >= 9, "only {:?}", registry.names());
+        assert_eq!(registry.len(), 14, "got {:?}", registry.names());
         assert!(!registry.is_empty());
         for name in [
             "brute-force",
@@ -243,6 +251,7 @@ mod tests {
             "gsat",
             "schoening",
             "portfolio",
+            "parallel-portfolio",
             "nbl-symbolic",
             "nbl-algebraic",
             "nbl-sampled",

@@ -32,7 +32,7 @@ pub enum BranchHeuristic {
 /// let result = solver.solve(&cnf_formula![[1, 2, 3], [-1, -2], [-2, -3], [2]]);
 /// assert!(result.is_sat());
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DpllSolver {
     stats: SolverStats,
     heuristic: BranchHeuristic,
@@ -151,7 +151,7 @@ fn restore(assignment: &mut PartialAssignment, snapshot: &[Option<bool>]) {
 impl Solver for DpllSolver {
     fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
-        self.limits = *limits;
+        self.limits = limits.clone();
         self.interrupted = false;
         if formula.has_empty_clause() {
             return SolveResult::Unsatisfiable;

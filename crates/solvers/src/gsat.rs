@@ -39,7 +39,8 @@ impl Default for GsatConfig {
 /// search restarts from a fresh random assignment.
 ///
 /// Like WalkSAT it is incomplete: it answers [`SolveResult::Satisfiable`] or
-/// [`SolveResult::Unknown`], never `Unsatisfiable`.
+/// [`SolveResult::Unknown`] — `Unsatisfiable` only for the trivial case of a
+/// formula containing an empty clause.
 ///
 /// ```
 /// use cnf::cnf_formula;
@@ -101,15 +102,13 @@ impl Gsat {
 impl Solver for Gsat {
     fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
+        // An empty clause can never be satisfied, so even this incomplete
+        // solver may answer UNSAT definitively instead of giving up.
         if formula.has_empty_clause() {
-            return SolveResult::Unknown;
+            return SolveResult::Unsatisfiable;
         }
         if formula.num_vars() == 0 {
-            return if formula.is_empty() {
-                SolveResult::Satisfiable(Assignment::from_bools(Vec::new()))
-            } else {
-                SolveResult::Unknown
-            };
+            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         for _ in 0..self.config.max_restarts.max(1) {
@@ -158,6 +157,10 @@ impl Solver for Gsat {
     fn name(&self) -> &'static str {
         "gsat"
     }
+
+    fn reseed(&mut self, seed: u64) {
+        self.config.seed = seed;
+    }
 }
 
 #[cfg(test)]
@@ -197,9 +200,10 @@ mod tests {
     fn trivial_formulas() {
         let mut solver = Gsat::new();
         assert!(solver.solve(&CnfFormula::new(0)).is_sat());
+        // Empty clause ⇒ trivially UNSAT, answered definitively.
         let mut empty_clause = CnfFormula::new(1);
         empty_clause.add_clause([]);
-        assert_eq!(solver.solve(&empty_clause), SolveResult::Unknown);
+        assert_eq!(solver.solve(&empty_clause), SolveResult::Unsatisfiable);
     }
 
     #[test]

@@ -14,17 +14,20 @@
 //! Complete solvers: [`BruteForceSolver`], [`DpllSolver`], [`CdclSolver`] and
 //! the polynomial special-case [`TwoSatSolver`]. Incomplete local search:
 //! [`WalkSat`], [`Gsat`], [`Schoening`]. [`Portfolio`] dispatches across a
-//! member list and stays complete as long as one member is. For unsatisfiable
-//! instances, [`MusExtractor`] shrinks the clause set to a minimal
-//! unsatisfiable core (the companion output of the hardware SAT engines the
-//! paper cites as reference \[27\]).
+//! member list sequentially and [`ParallelPortfolio`] races the same member
+//! list across OS threads — both stay complete as long as one member is. For
+//! unsatisfiable instances, [`MusExtractor`] shrinks the clause set to a
+//! minimal unsatisfiable core (the companion output of the hardware SAT
+//! engines the paper cites as reference \[27\]).
 //!
 //! Solvers implement the common [`Solver`] trait and report search statistics
 //! through [`SolverStats`]. Every solver also honours [`SearchLimits`] via
-//! [`Solver::solve_limited`]: an expired wall-clock deadline interrupts the
-//! search loop and yields [`SolveResult::Unknown`] instead of blocking, which
-//! is how the unified solving API in `nbl-sat-core` enforces its resource
-//! budgets on the classical backends.
+//! [`Solver::solve_limited`]: an expired wall-clock deadline — or a raised
+//! cancellation token ([`SearchLimits::with_cancel`]) — interrupts the search
+//! loop and yields [`SolveResult::Unknown`] instead of blocking, which is how
+//! the unified solving API in `nbl-sat-core` enforces its resource budgets on
+//! the classical backends and how the parallel portfolio stops its losing
+//! members.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ pub mod dpll;
 pub mod gsat;
 pub mod limits;
 pub mod mus;
+pub mod parallel;
 pub mod portfolio;
 pub mod schoening;
 pub mod solver;
@@ -62,6 +66,7 @@ pub use dpll::DpllSolver;
 pub use gsat::{Gsat, GsatConfig};
 pub use limits::SearchLimits;
 pub use mus::{MusExtractor, MusOutcome, MusStats};
+pub use parallel::ParallelPortfolio;
 pub use portfolio::Portfolio;
 pub use schoening::{Schoening, SchoeningConfig};
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -2,28 +2,82 @@
 //!
 //! The unified solving API of `nbl-sat-core` hands each backend a resource
 //! [`Budget`](https://en.wikipedia.org/wiki/Anytime_algorithm); for the
-//! classical solvers in this crate the only applicable resource is wall-clock
+//! classical solvers in this crate the applicable resources are wall-clock
 //! time, expressed here as an absolute deadline so that nested search loops
-//! can test it cheaply. Every solver checks the deadline inside its hot loop
-//! (per DPLL node, per CDCL conflict/decision, per local-search flip, per
-//! enumerated assignment) and aborts with [`SolveResult::Unknown`] once it
-//! passes — turning an exponential search into an anytime procedure instead
-//! of an unbounded one.
+//! can test it cheaply, and an external *cancellation token* so that a racing
+//! meta-solver (the parallel portfolio) can stop losing members the moment a
+//! winner answers. Every solver checks [`SearchLimits::expired`] inside its
+//! hot loop (per DPLL node, per CDCL conflict/decision, per local-search
+//! flip, per enumerated assignment) and aborts with [`SolveResult::Unknown`]
+//! once it fires — turning an exponential search into an anytime, cancellable
+//! procedure instead of an unbounded one.
 //!
 //! [`SolveResult::Unknown`]: crate::SolveResult::Unknown
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Resource limits for a single [`Solver::solve_limited`] call.
+/// The latest deadline representable after `now` for budgets so large that
+/// `now + wall` overflows [`Instant`].
+///
+/// `Instant::checked_add` answers `None` on overflow; mapping that to "no
+/// deadline" would silently turn an absurdly large but *finite* budget into
+/// an unlimited one. This helper instead saturates: it halves the requested
+/// duration until the addition fits, so the returned deadline is at least
+/// half the platform's representable horizon away — indistinguishable from
+/// "never" in practice, but still a real limit that [`SearchLimits::expired`]
+/// compares against.
+pub fn saturating_deadline_after(now: Instant, wall: Duration) -> Instant {
+    if let Some(deadline) = now.checked_add(wall) {
+        return deadline;
+    }
+    let mut wall = wall;
+    loop {
+        wall /= 2;
+        if let Some(deadline) = now.checked_add(wall) {
+            return deadline;
+        }
+    }
+}
+
+/// Resource limits for a single [`Solver::solve_limited`] call: an optional
+/// absolute wall-clock deadline plus an optional shared cancellation flag.
 ///
 /// The default (and [`SearchLimits::unlimited`]) imposes no limit, which makes
 /// [`Solver::solve`] equivalent to the pre-limit behaviour.
 ///
+/// # Cancellation semantics
+///
+/// A limits value carrying a token installed with [`SearchLimits::with_cancel`]
+/// reports [`SearchLimits::expired`] as soon as the flag is raised (store
+/// `true`), from any thread. Solvers poll `expired()` in their innermost
+/// loops, so a raised flag stops the search within one poll interval — one
+/// propagation pass (CDCL), one search node (DPLL), one flip (local search),
+/// one enumerated assignment (brute force). The flag is level-triggered and
+/// never reset by the solvers; clearing it is the owner's business.
+///
+/// Two limits compare equal when their deadlines are equal and they share the
+/// *same* cancellation token ([`Arc::ptr_eq`]), since distinct flags make the
+/// limits observably different.
+///
 /// [`Solver::solve`]: crate::Solver::solve
 /// [`Solver::solve_limited`]: crate::Solver::solve_limited
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct SearchLimits {
     deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl PartialEq for SearchLimits {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
 }
 
 impl SearchLimits {
@@ -37,14 +91,30 @@ impl SearchLimits {
     pub fn with_deadline(deadline: Instant) -> Self {
         SearchLimits {
             deadline: Some(deadline),
+            cancel: None,
         }
     }
 
     /// Limits the search to `budget` of wall-clock time from now.
+    ///
+    /// A budget too large to represent as an absolute deadline (e.g.
+    /// [`Duration::MAX`]) saturates to the far-future deadline of
+    /// [`saturating_deadline_after`] instead of silently becoming unlimited.
     pub fn deadline_in(budget: Duration) -> Self {
         SearchLimits {
-            deadline: Instant::now().checked_add(budget),
+            deadline: Some(saturating_deadline_after(Instant::now(), budget)),
+            cancel: None,
         }
+    }
+
+    /// Attaches a shared cancellation token: once any thread stores `true`
+    /// into the flag, [`SearchLimits::expired`] answers `true` and every
+    /// solver polling these limits aborts with `Unknown` within one poll
+    /// interval. Combines with an existing deadline (whichever fires first
+    /// wins).
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// The absolute deadline, if one is set.
@@ -52,9 +122,26 @@ impl SearchLimits {
         self.deadline
     }
 
-    /// Returns `true` once the deadline has passed. Solvers call this inside
-    /// their search loops and abort with `Unknown` when it fires.
+    /// The shared cancellation token, if one is attached.
+    pub fn cancel_token(&self) -> Option<&Arc<AtomicBool>> {
+        self.cancel.as_ref()
+    }
+
+    /// Returns `true` once the cancellation flag was raised (regardless of
+    /// any deadline).
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Returns `true` once the deadline has passed or the cancellation flag
+    /// was raised. Solvers call this inside their search loops and abort with
+    /// `Unknown` when it fires.
     pub fn expired(&self) -> bool {
+        if self.cancelled() {
+            return true;
+        }
         match self.deadline {
             Some(deadline) => Instant::now() >= deadline,
             None => false,
@@ -70,6 +157,7 @@ mod tests {
     fn unlimited_never_expires() {
         let limits = SearchLimits::unlimited();
         assert_eq!(limits.deadline(), None);
+        assert!(limits.cancel_token().is_none());
         assert!(!limits.expired());
         assert_eq!(limits, SearchLimits::default());
     }
@@ -87,5 +175,51 @@ mod tests {
         assert!(!limits.expired());
         let explicit = SearchLimits::with_deadline(limits.deadline().unwrap());
         assert_eq!(explicit, limits);
+    }
+
+    #[test]
+    fn overflowing_budget_saturates_instead_of_unlimiting() {
+        // Regression: Duration::MAX used to map to deadline = None, i.e. the
+        // caller's huge-but-finite budget silently became *unlimited*.
+        let limits = SearchLimits::deadline_in(Duration::MAX);
+        let deadline = limits.deadline().expect("deadline must survive overflow");
+        assert!(!limits.expired());
+        // The saturated deadline is still far in the future (decades at
+        // least; half the platform horizon).
+        assert!(deadline.duration_since(Instant::now()) > Duration::from_secs(86_400 * 365));
+    }
+
+    #[test]
+    fn cancellation_flag_trips_expired() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let limits = SearchLimits::unlimited().with_cancel(Arc::clone(&flag));
+        assert!(!limits.expired());
+        assert!(!limits.cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(limits.cancelled());
+        assert!(limits.expired());
+        // Deadline-free limits with a raised flag are expired even though no
+        // deadline exists.
+        assert_eq!(limits.deadline(), None);
+    }
+
+    #[test]
+    fn equality_is_by_deadline_and_token_identity() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let a = SearchLimits::unlimited().with_cancel(Arc::clone(&flag));
+        let b = SearchLimits::unlimited().with_cancel(Arc::clone(&flag));
+        let c = SearchLimits::unlimited().with_cancel(Arc::new(AtomicBool::new(false)));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, SearchLimits::unlimited());
+    }
+
+    #[test]
+    fn saturating_deadline_is_monotone() {
+        let now = Instant::now();
+        let small = saturating_deadline_after(now, Duration::from_secs(5));
+        assert_eq!(small, now + Duration::from_secs(5));
+        let huge = saturating_deadline_after(now, Duration::MAX);
+        assert!(huge > small);
     }
 }

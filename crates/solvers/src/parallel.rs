@@ -1,0 +1,360 @@
+//! A thread-racing solver portfolio.
+//!
+//! The paper's core pitch is massive parallelism: every candidate assignment
+//! is present "at once" in the NBL hyperspace, so the check is one concurrent
+//! operation rather than a sequential scan. [`ParallelPortfolio`] is the
+//! classical-solver expression of the same idea at the ensemble level — all
+//! members attack the instance *simultaneously* on their own OS threads, and
+//! the first definitive answer cancels the rest.
+
+use crate::limits::SearchLimits;
+use crate::portfolio::{accumulate, default_members, member_seed};
+use crate::solver::{SolveResult, Solver, SolverStats};
+use cnf::CnfFormula;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How often the collector re-checks the *caller's* limits while member
+/// threads are running. Member threads poll their own limits inside their
+/// search loops; this interval only bounds how quickly an external
+/// cancellation of the whole portfolio propagates to the members.
+const COLLECT_POLL: Duration = Duration::from_millis(2);
+
+/// A parallel portfolio: race every member solver on its own thread and
+/// return the first definitive (SAT or UNSAT) answer.
+///
+/// Where [`crate::Portfolio`] tries its members one after another, this
+/// portfolio spawns each member on a scoped [`std::thread`] and hands all of
+/// them the same [`SearchLimits`] deadline plus a shared cancellation token
+/// ([`SearchLimits::with_cancel`]). The first member to answer SAT or UNSAT
+/// raises the token; every losing member observes it at its next poll (one
+/// search node / conflict / flip / enumerated assignment) and returns
+/// `Unknown`, so the losers are joined promptly instead of running to their
+/// own caps.
+///
+/// The default member list is the same complete trio as the sequential
+/// portfolio — [`crate::TwoSatSolver`], a [`crate::WalkSat`] burst,
+/// [`crate::CdclSolver`] — so the racing portfolio is complete as long as
+/// the instance is in scope for at least one complete member.
+///
+/// # Determinism
+///
+/// Member searches are individually deterministic for a fixed portfolio seed
+/// ([`ParallelPortfolio::with_seed`] reseeds every stochastic member per
+/// solve, exactly like the sequential portfolio). The *verdict* is therefore
+/// deterministic, because all members are sound: no race can turn SAT into
+/// UNSAT. Which member wins the race — and hence which model and
+/// [`SolverStats::winner`] are reported — depends on OS scheduling, so two
+/// runs may return different (but always valid) models of a satisfiable
+/// instance.
+///
+/// ```
+/// use cnf::cnf_formula;
+/// use sat_solvers::{ParallelPortfolio, Solver};
+///
+/// let mut portfolio = ParallelPortfolio::new();
+/// assert!(portfolio.solve(&cnf_formula![[1, 2], [-1, -2]]).is_sat());
+/// assert!(portfolio.solve(&cnf_formula![[1, 2, 3], [-1], [-2], [-3]]).is_unsat());
+/// assert!(portfolio.winner().is_some());
+/// ```
+pub struct ParallelPortfolio {
+    members: Vec<Box<dyn Solver + Send>>,
+    stats: SolverStats,
+    seed: u64,
+}
+
+impl fmt::Debug for ParallelPortfolio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelPortfolio")
+            .field("members", &self.member_names())
+            .field("stats", &self.stats)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl Default for ParallelPortfolio {
+    fn default() -> Self {
+        ParallelPortfolio::new()
+    }
+}
+
+/// What a member thread reports back to the collector.
+struct MemberReport {
+    name: &'static str,
+    result: SolveResult,
+    stats: SolverStats,
+}
+
+impl ParallelPortfolio {
+    /// Creates the default three-member racing portfolio (2-SAT ∥ WalkSAT ∥
+    /// CDCL — the same trio as the sequential [`crate::Portfolio`], so the
+    /// two are directly comparable).
+    pub fn new() -> Self {
+        ParallelPortfolio::with_members(default_members())
+    }
+
+    /// Creates a racing portfolio from an explicit member list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn with_members(members: Vec<Box<dyn Solver + Send>>) -> Self {
+        assert!(!members.is_empty(), "a portfolio needs at least one member");
+        ParallelPortfolio {
+            members,
+            stats: SolverStats::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed from which the per-member seeds of the stochastic
+    /// members are derived on every solve.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The name of the member that won the last race, if any. Also surfaced
+    /// as [`SolverStats::winner`].
+    pub fn winner(&self) -> Option<&'static str> {
+        self.stats.winner
+    }
+
+    /// Names of the member solvers, in spawn order.
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+}
+
+impl Solver for ParallelPortfolio {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
+        self.stats = SolverStats::default();
+        if limits.expired() {
+            return SolveResult::Unknown;
+        }
+        let seed = self.seed;
+        for (index, member) in self.members.iter_mut().enumerate() {
+            member.reseed(member_seed(seed, index));
+        }
+
+        // The race flag is raised by the collector on the first definitive
+        // answer (or when the caller's own limits fire); every member polls
+        // it through its SearchLimits.
+        let race = Arc::new(AtomicBool::new(false));
+        let member_limits = match limits.deadline() {
+            Some(deadline) => SearchLimits::with_deadline(deadline),
+            None => SearchLimits::unlimited(),
+        }
+        .with_cancel(Arc::clone(&race));
+
+        let member_count = self.members.len();
+        let (tx, rx) = mpsc::channel::<MemberReport>();
+        let mut winner: Option<MemberReport> = None;
+
+        thread::scope(|scope| {
+            for member in self.members.iter_mut() {
+                let tx = tx.clone();
+                let member_limits = member_limits.clone();
+                scope.spawn(move || {
+                    let result = member.solve_limited(formula, &member_limits);
+                    // The collector may already have hung up after an
+                    // external cancellation; a dead channel just means the
+                    // report is dropped with the race.
+                    let _ = tx.send(MemberReport {
+                        name: member.name(),
+                        result,
+                        stats: member.stats(),
+                    });
+                });
+            }
+            drop(tx);
+
+            // Collect every member's report. Losers come back quickly once
+            // the race flag is up (bounded by their search-loop poll
+            // interval), so this loop also joins the losers promptly. The
+            // timed poll only exists to forward the caller's *cancellation
+            // token* to the members — their own limits already carry the
+            // caller's deadline — so with no token, block until a report
+            // lands.
+            let watch_caller = limits.cancel_token().is_some();
+            let mut received = 0usize;
+            while received < member_count {
+                let report = if watch_caller {
+                    match rx.recv_timeout(COLLECT_POLL) {
+                        Ok(report) => report,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            // Propagate an external cancellation (or a
+                            // deadline raced past between member polls).
+                            if limits.expired() {
+                                race.store(true, Ordering::Relaxed);
+                            }
+                            continue;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                } else {
+                    match rx.recv() {
+                        Ok(report) => report,
+                        Err(mpsc::RecvError) => break,
+                    }
+                };
+                received += 1;
+                accumulate(&mut self.stats, report.stats);
+                if winner.is_none() && !matches!(report.result, SolveResult::Unknown) {
+                    race.store(true, Ordering::Relaxed);
+                    winner = Some(report);
+                }
+            }
+            // `scope` joins all member threads here; every member has already
+            // returned (its report was received or the channel disconnected).
+        });
+
+        match winner {
+            Some(report) => {
+                self.stats.winner = Some(report.name);
+                report.result
+            }
+            None => SolveResult::Unknown,
+        }
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel-portfolio"
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForceSolver, Gsat, Portfolio, Schoening};
+    use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
+
+    #[test]
+    fn races_to_definitive_answers_on_paper_instances() {
+        let mut portfolio = ParallelPortfolio::new();
+        assert!(portfolio.solve(&generators::example6_sat()).is_sat());
+        assert!(portfolio.winner().is_some());
+        assert!(portfolio.solve(&generators::example7_unsat()).is_unsat());
+        assert!(portfolio.winner().is_some());
+    }
+
+    #[test]
+    fn complete_backstop_refutes_hard_instances() {
+        let mut portfolio = ParallelPortfolio::new();
+        let unsat = generators::pigeonhole(4, 3);
+        assert!(portfolio.solve(&unsat).is_unsat());
+        // Only the complete members can refute; WalkSAT cannot win this race.
+        assert_ne!(portfolio.winner(), Some("walksat"));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        for seed in 0..15u64 {
+            let formula =
+                generators::random_ksat(&RandomKSatConfig::new(9, 36, 3).with_seed(seed)).unwrap();
+            let mut portfolio = ParallelPortfolio::new().with_seed(seed);
+            let mut oracle = BruteForceSolver::new();
+            let result = portfolio.solve(&formula);
+            assert_eq!(
+                result.is_sat(),
+                oracle.solve(&formula).is_sat(),
+                "seed {seed}"
+            );
+            if let Some(model) = result.model() {
+                assert!(formula.evaluate(model), "seed {seed}");
+            }
+            assert!(portfolio.winner().is_some(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn verdict_agrees_with_sequential_portfolio() {
+        for seed in 0..8u64 {
+            let formula =
+                generators::random_ksat(&RandomKSatConfig::new(8, 34, 3).with_seed(100 + seed))
+                    .unwrap();
+            let mut parallel = ParallelPortfolio::new().with_seed(seed);
+            let mut sequential = Portfolio::new().with_seed(seed);
+            assert_eq!(
+                parallel.solve(&formula).is_sat(),
+                sequential.solve(&formula).is_sat(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn incomplete_members_only_leave_unknown() {
+        let mut portfolio = ParallelPortfolio::with_members(vec![
+            Box::new(Schoening::new()),
+            Box::new(Gsat::new()),
+        ]);
+        assert_eq!(portfolio.member_names(), vec!["schoening", "gsat"]);
+        assert_eq!(
+            portfolio.solve(&generators::section4_unsat_instance()),
+            SolveResult::Unknown
+        );
+        assert_eq!(portfolio.winner(), None);
+        assert!(portfolio.solve(&cnf_formula![[1, 2], [2, 3]]).is_sat());
+        assert!(portfolio.winner().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_portfolio_panics() {
+        let _ = ParallelPortfolio::with_members(Vec::new());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_unknown() {
+        let mut portfolio = ParallelPortfolio::new();
+        let limits = SearchLimits::deadline_in(Duration::ZERO);
+        assert_eq!(
+            portfolio.solve_limited(&generators::pigeonhole(5, 4), &limits),
+            SolveResult::Unknown
+        );
+        assert_eq!(portfolio.winner(), None);
+    }
+
+    #[test]
+    fn external_cancellation_stops_the_whole_race() {
+        // A pre-raised caller token must stop the portfolio without any
+        // member finishing its search.
+        let flag = Arc::new(AtomicBool::new(true));
+        let limits = SearchLimits::unlimited().with_cancel(flag);
+        let mut portfolio = ParallelPortfolio::new();
+        assert_eq!(
+            portfolio.solve_limited(&generators::pigeonhole(6, 5), &limits),
+            SolveResult::Unknown
+        );
+    }
+
+    #[test]
+    fn empty_clause_is_unsat_through_the_race() {
+        let mut portfolio = ParallelPortfolio::new();
+        assert!(portfolio.solve(&cnf_formula![[]]).is_unsat());
+    }
+
+    #[test]
+    fn verdict_is_deterministic_for_a_fixed_seed() {
+        let formula =
+            generators::random_ksat(&RandomKSatConfig::new(10, 42, 3).with_seed(5)).unwrap();
+        let mut a = ParallelPortfolio::new().with_seed(9);
+        let mut b = ParallelPortfolio::new().with_seed(9);
+        assert_eq!(a.solve(&formula).is_sat(), b.solve(&formula).is_sat());
+    }
+}

@@ -8,6 +8,18 @@ use crate::walksat::{WalkSat, WalkSatConfig};
 use cnf::CnfFormula;
 use std::fmt;
 
+/// Derives a per-member seed from a portfolio seed and the member's index
+/// (SplitMix64 finalizer), so every stochastic member of an ensemble walks an
+/// independent — yet fully request-deterministic — pseudo-random stream.
+pub(crate) fn member_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(1 + index as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A sequential portfolio: run a list of member solvers in order and return
 /// the first definitive (SAT or UNSAT) answer.
 ///
@@ -21,6 +33,13 @@ use std::fmt;
 /// 3. [`CdclSolver`] — the complete backstop, so the portfolio as a whole is
 ///    complete.
 ///
+/// Before each solve, every stochastic member is reseeded with a value
+/// derived from the portfolio seed ([`Portfolio::with_seed`]) and the
+/// member's position, so a fixed portfolio seed makes the whole ensemble
+/// deterministic — the property the unified API's per-request seeding relies
+/// on. Members must be [`Send`] so the same member list type also powers the
+/// thread-racing [`crate::ParallelPortfolio`].
+///
 /// ```
 /// use cnf::cnf_formula;
 /// use sat_solvers::{Portfolio, Solver};
@@ -33,8 +52,9 @@ use std::fmt;
 /// assert_eq!(portfolio.winner(), Some("cdcl"));
 /// ```
 pub struct Portfolio {
-    members: Vec<Box<dyn Solver>>,
+    members: Vec<Box<dyn Solver + Send>>,
     stats: SolverStats,
+    seed: u64,
 }
 
 impl fmt::Debug for Portfolio {
@@ -52,19 +72,26 @@ impl Default for Portfolio {
     }
 }
 
+/// The default member trio shared by [`Portfolio::new`] and
+/// [`crate::ParallelPortfolio::new`]: 2-SAT, a short WalkSAT burst, CDCL.
+/// One definition keeps the sequential and racing portfolios comparable.
+pub(crate) fn default_members() -> Vec<Box<dyn Solver + Send>> {
+    let walksat = WalkSat::with_config(WalkSatConfig {
+        max_flips: 2_000,
+        max_restarts: 2,
+        ..WalkSatConfig::default()
+    });
+    vec![
+        Box::new(TwoSatSolver::new()),
+        Box::new(walksat),
+        Box::new(CdclSolver::new()),
+    ]
+}
+
 impl Portfolio {
     /// Creates the default three-member portfolio (2-SAT, WalkSAT, CDCL).
     pub fn new() -> Self {
-        let walksat = WalkSat::with_config(WalkSatConfig {
-            max_flips: 2_000,
-            max_restarts: 2,
-            ..WalkSatConfig::default()
-        });
-        Portfolio::with_members(vec![
-            Box::new(TwoSatSolver::new()),
-            Box::new(walksat),
-            Box::new(CdclSolver::new()),
-        ])
+        Portfolio::with_members(default_members())
     }
 
     /// Creates a portfolio from an explicit member list (tried in order).
@@ -72,12 +99,20 @@ impl Portfolio {
     /// # Panics
     ///
     /// Panics if `members` is empty.
-    pub fn with_members(members: Vec<Box<dyn Solver>>) -> Self {
+    pub fn with_members(members: Vec<Box<dyn Solver + Send>>) -> Self {
         assert!(!members.is_empty(), "a portfolio needs at least one member");
         Portfolio {
             members,
             stats: SolverStats::default(),
+            seed: 0,
         }
+    }
+
+    /// Sets the seed from which the per-member seeds of the stochastic
+    /// members are derived on every solve.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// The name of the member that produced the last definitive answer, if
@@ -93,7 +128,10 @@ impl Portfolio {
     }
 }
 
-fn accumulate(total: &mut SolverStats, part: SolverStats) {
+/// Folds one member's statistics into a portfolio total (shared by the
+/// sequential and the thread-racing portfolio, so a new [`SolverStats`]
+/// counter only needs to be wired up here).
+pub(crate) fn accumulate(total: &mut SolverStats, part: SolverStats) {
     total.decisions += part.decisions;
     total.conflicts += part.conflicts;
     total.propagations += part.propagations;
@@ -106,10 +144,14 @@ fn accumulate(total: &mut SolverStats, part: SolverStats) {
 impl Solver for Portfolio {
     fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
-        for member in &mut self.members {
+        let seed = self.seed;
+        for (index, member) in self.members.iter_mut().enumerate() {
             if limits.expired() {
                 break;
             }
+            // Reseed per solve (not per construction) so the per-request seed
+            // of the unified API actually reaches the stochastic members.
+            member.reseed(member_seed(seed, index));
             let result = member.solve_limited(formula, limits);
             accumulate(&mut self.stats, member.stats());
             match result {
@@ -129,6 +171,10 @@ impl Solver for Portfolio {
 
     fn name(&self) -> &'static str {
         "portfolio"
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
     }
 }
 
@@ -225,5 +271,42 @@ mod tests {
             SolveResult::Unknown
         );
         assert_eq!(portfolio.winner(), None);
+    }
+
+    #[test]
+    fn same_seed_solves_identically_different_seed_reaches_members() {
+        // Regression for the fixed-config portfolio: the seed must reach the
+        // stochastic members on *every* solve, so two solves of the same
+        // request are bit-identical (outcome and stats).
+        let formula =
+            generators::random_ksat(&RandomKSatConfig::new(14, 56, 3).with_seed(11)).unwrap();
+        let mut a = Portfolio::new().with_seed(42);
+        let mut b = Portfolio::new().with_seed(42);
+        let ra = a.solve(&formula);
+        let rb = b.solve(&formula);
+        assert_eq!(ra, rb);
+        assert_eq!(a.stats(), b.stats());
+        // Re-solving on the same instance is also stable (the reseed happens
+        // per call, not per construction).
+        assert_eq!(a.solve(&formula), ra);
+        assert_eq!(a.stats(), b.stats());
+        // Reseeding the whole portfolio steers the stochastic members.
+        let mut c = Portfolio::new().with_seed(43);
+        let _ = c.solve(&formula);
+        assert!(c.winner().is_some());
+    }
+
+    #[test]
+    fn member_seed_is_deterministic_and_spread() {
+        assert_eq!(member_seed(7, 0), member_seed(7, 0));
+        assert_ne!(member_seed(7, 0), member_seed(7, 1));
+        assert_ne!(member_seed(7, 0), member_seed(8, 0));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat_through_the_portfolio() {
+        let mut portfolio = Portfolio::new();
+        assert!(portfolio.solve(&cnf_formula![[]]).is_unsat());
+        assert_eq!(portfolio.winner(), Some("two-sat"));
     }
 }

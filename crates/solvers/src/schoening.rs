@@ -36,7 +36,8 @@ impl Default for SchoeningConfig {
 /// instances, giving the well-known `O(1.334^n)` expected running time — a
 /// useful stochastic baseline to contrast with NBL-SAT's single-operation
 /// check. The solver is incomplete: it answers [`SolveResult::Satisfiable`]
-/// or [`SolveResult::Unknown`].
+/// or [`SolveResult::Unknown`] (`Unsatisfiable` only for the trivial case of
+/// a formula containing an empty clause).
 ///
 /// ```
 /// use cnf::cnf_formula;
@@ -68,15 +69,13 @@ impl Schoening {
 impl Solver for Schoening {
     fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
+        // An empty clause can never be satisfied, so even this incomplete
+        // solver may answer UNSAT definitively instead of giving up.
         if formula.has_empty_clause() {
-            return SolveResult::Unknown;
+            return SolveResult::Unsatisfiable;
         }
         if formula.num_vars() == 0 {
-            return if formula.is_empty() {
-                SolveResult::Satisfiable(Assignment::from_bools(Vec::new()))
-            } else {
-                SolveResult::Unknown
-            };
+            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
         }
         let n = formula.num_vars();
         let walk_length = (self.config.walk_length_factor.max(1)) * n as u64;
@@ -93,9 +92,6 @@ impl Solver for Schoening {
                 let Some(clause) = unsatisfied else {
                     return SolveResult::Satisfiable(assignment);
                 };
-                if clause.is_empty() {
-                    return SolveResult::Unknown;
-                }
                 let lit = clause.literals()[rng.gen_range(0..clause.len())];
                 let var = lit.variable();
                 assignment.set(var, !assignment.value(var));
@@ -114,6 +110,10 @@ impl Solver for Schoening {
 
     fn name(&self) -> &'static str {
         "schoening"
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.config.seed = seed;
     }
 }
 
@@ -186,9 +186,10 @@ mod tests {
     fn trivial_formulas() {
         let mut solver = Schoening::new();
         assert!(solver.solve(&CnfFormula::new(0)).is_sat());
+        // Empty clause ⇒ trivially UNSAT, answered definitively.
         let mut with_empty = CnfFormula::new(2);
         with_empty.add_clause([]);
-        assert_eq!(solver.solve(&with_empty), SolveResult::Unknown);
+        assert_eq!(solver.solve(&with_empty), SolveResult::Unsatisfiable);
     }
 
     #[test]

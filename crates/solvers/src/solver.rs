@@ -104,6 +104,17 @@ pub trait Solver {
         self.solve_limited(formula, &SearchLimits::unlimited())
     }
 
+    /// Reseeds the solver's pseudo-random state for the next solve.
+    ///
+    /// Stochastic solvers (WalkSAT, GSAT, Schöning) override this so that
+    /// meta-solvers — the portfolios, the per-request seeding of the unified
+    /// API's backend registry — can make a whole solver ensemble
+    /// deterministic for a fixed request seed. Deterministic solvers keep the
+    /// default no-op.
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
+    }
+
     /// Statistics of the most recent [`Solver::solve`] call.
     fn stats(&self) -> SolverStats;
 

@@ -35,7 +35,9 @@ impl Default for WalkSatConfig {
 /// least-breaking variable or a random one.
 ///
 /// Being incomplete, it can only answer [`SolveResult::Satisfiable`] or
-/// [`SolveResult::Unknown`] — it never proves unsatisfiability.
+/// [`SolveResult::Unknown`] — it never *proves* unsatisfiability, except for
+/// the trivial case of a formula containing an empty clause, which is
+/// unsatisfiable by inspection.
 ///
 /// ```
 /// use cnf::cnf_formula;
@@ -93,15 +95,13 @@ impl WalkSat {
 impl Solver for WalkSat {
     fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.stats = SolverStats::default();
+        // An empty clause can never be satisfied, so even this incomplete
+        // solver may answer UNSAT definitively instead of giving up.
         if formula.has_empty_clause() {
-            return SolveResult::Unknown;
+            return SolveResult::Unsatisfiable;
         }
         if formula.num_vars() == 0 {
-            return if formula.is_empty() {
-                SolveResult::Satisfiable(Assignment::from_bools(Vec::new()))
-            } else {
-                SolveResult::Unknown
-            };
+            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         for _ in 0..self.config.max_restarts.max(1) {
@@ -126,9 +126,6 @@ impl Solver for WalkSat {
                 let clause = formula
                     .clause(unsatisfied[rng.gen_range(0..unsatisfied.len())])
                     .expect("index valid");
-                if clause.is_empty() {
-                    return SolveResult::Unknown;
-                }
                 let var = if rng.gen_bool(self.config.noise) {
                     clause.literals()[rng.gen_range(0..clause.len())].variable()
                 } else {
@@ -151,6 +148,10 @@ impl Solver for WalkSat {
 
     fn name(&self) -> &'static str {
         "walksat"
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.config.seed = seed;
     }
 }
 
@@ -226,10 +227,28 @@ mod tests {
     fn empty_formula_and_empty_clause_edge_cases() {
         let mut solver = WalkSat::new();
         assert!(solver.solve(&cnf::CnfFormula::new(0)).is_sat());
+        // A formula with an empty clause is trivially UNSAT, and even an
+        // incomplete solver must say so rather than give up.
         let mut f = cnf::CnfFormula::new(1);
         f.push_clause(cnf::Clause::new());
-        assert_eq!(solver.solve(&f), SolveResult::Unknown);
+        assert_eq!(solver.solve(&f), SolveResult::Unsatisfiable);
         assert_eq!(solver.name(), "walksat");
+    }
+
+    #[test]
+    fn reseed_changes_then_restores_the_search() {
+        let f = generators::random_ksat(&RandomKSatConfig::new(12, 40, 3).with_seed(3)).unwrap();
+        let mut solver = WalkSat::with_config(WalkSatConfig {
+            seed: 1,
+            ..WalkSatConfig::default()
+        });
+        let first = solver.solve(&f);
+        let first_stats = solver.stats();
+        solver.reseed(99);
+        let _ = solver.solve(&f);
+        solver.reseed(1);
+        assert_eq!(solver.solve(&f), first);
+        assert_eq!(solver.stats(), first_stats);
     }
 
     #[test]

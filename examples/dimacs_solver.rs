@@ -14,8 +14,9 @@
 //! `auto` picks the exact NBL engine when the instance fits the software
 //! budget and falls back to CDCL otherwise — the hybrid deployment story of
 //! §V. Any registry name (`cdcl`, `dpll`, `walksat`, `gsat`, `schoening`,
-//! `two-sat`, `brute-force`, `portfolio`, `nbl-symbolic`, `nbl-sampled`,
-//! `nbl-algebraic`, `hybrid-symbolic`, `hybrid-sampled`) works.
+//! `two-sat`, `brute-force`, `portfolio`, `parallel-portfolio`,
+//! `nbl-symbolic`, `nbl-sampled`, `nbl-algebraic`, `hybrid-symbolic`,
+//! `hybrid-sampled`) works.
 
 use nbl_sat_repro::prelude::*;
 use std::fs;

@@ -67,12 +67,13 @@ pub mod prelude {
     pub use nbl_sat_core::{
         AlgebraicEngine, Artifacts, AssignmentExtractor, BackendRegistry, Budget, BudgetMeter,
         EngineConfig, ExhaustedResource, HybridSolver, MeanEstimate, NblEngine, NblSatError,
-        NblSatInstance, SampledEngine, SatBackend, SatChecker, SnrModel, SolveOutcome,
-        SolveRequest, SolveStats, SolveVerdict, SymbolicEngine, UnknownCause, Verdict,
+        NblSatInstance, SampledEngine, SatBackend, SatChecker, SharedBudget, SnrModel, SolveBatch,
+        SolveOutcome, SolveRequest, SolveStats, SolveVerdict, SymbolicEngine, UnknownCause,
+        Verdict,
     };
     pub use sat_solvers::{
-        BruteForceSolver, CdclSolver, DpllSolver, Gsat, MusExtractor, Portfolio, Schoening,
-        SearchLimits, SolveResult, Solver, SolverStats, TwoSatSolver, WalkSat,
+        BruteForceSolver, CdclSolver, DpllSolver, Gsat, MusExtractor, ParallelPortfolio, Portfolio,
+        Schoening, SearchLimits, SolveResult, Solver, SolverStats, TwoSatSolver, WalkSat,
     };
 }
 

@@ -1,0 +1,311 @@
+//! Acceptance suite for the concurrency layer: the thread-racing
+//! `parallel-portfolio` backend, the `SolveBatch` shared-budget fan-out, the
+//! `SearchLimits` cancellation token, and the edge-case bugfixes that ride
+//! along (empty-clause verdicts, overflow-saturating deadlines, per-request
+//! portfolio reseeding).
+
+use nbl_sat_repro::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The oracle battery of `tests/backend_registry.rs`: paper instances plus
+/// seeded random 3-SAT around the phase transition and random 2-SAT.
+fn oracle_battery() -> Vec<CnfFormula> {
+    let mut battery = vec![
+        cnf::generators::example6_sat(),
+        cnf::generators::example7_unsat(),
+        cnf::generators::section4_sat_instance(),
+        cnf::generators::section4_unsat_instance(),
+        cnf::generators::pigeonhole(3, 2),
+    ];
+    for seed in 0..10 {
+        battery.push(
+            cnf::generators::random_ksat(
+                &cnf::generators::RandomKSatConfig::new(6, 26, 3).with_seed(seed),
+            )
+            .unwrap(),
+        );
+    }
+    for seed in 0..5 {
+        battery.push(
+            cnf::generators::random_ksat(
+                &cnf::generators::RandomKSatConfig::new(6, 12, 2).with_seed(100 + seed),
+            )
+            .unwrap(),
+        );
+    }
+    battery
+}
+
+#[test]
+fn parallel_portfolio_agrees_with_sequential_portfolio_on_the_battery() {
+    let registry = BackendRegistry::default();
+    for (i, formula) in oracle_battery().iter().enumerate() {
+        let request = SolveRequest::new(formula)
+            .artifacts(Artifacts::Model)
+            .seed(2012);
+        let parallel = registry.solve("parallel-portfolio", &request).unwrap();
+        let sequential = registry.solve("portfolio", &request).unwrap();
+        assert_eq!(
+            parallel.verdict, sequential.verdict,
+            "verdict mismatch on battery instance {i}"
+        );
+        assert!(parallel.verdict.is_definitive(), "instance {i}");
+        if let Some(model) = &parallel.model {
+            assert!(formula.evaluate(model), "instance {i}");
+        }
+        assert!(parallel.stats.winner.is_some(), "instance {i}");
+    }
+}
+
+#[test]
+fn parallel_portfolio_verdict_is_deterministic_for_a_fixed_seed() {
+    let registry = BackendRegistry::default();
+    let formula = cnf::generators::random_ksat(
+        &cnf::generators::RandomKSatConfig::new(12, 50, 3).with_seed(21),
+    )
+    .unwrap();
+    let request = SolveRequest::new(&formula).seed(9);
+    let first = registry.solve("parallel-portfolio", &request).unwrap();
+    for _ in 0..3 {
+        let again = registry.solve("parallel-portfolio", &request).unwrap();
+        // The race decides who answers (and hence which model), but sound
+        // members can never disagree on the verdict.
+        assert_eq!(first.verdict, again.verdict);
+    }
+}
+
+#[test]
+fn sequential_portfolio_is_bit_deterministic_per_request_seed() {
+    // Regression for the fixed-config portfolio: per-request seeds now reach
+    // the stochastic members, so the same request twice gives the identical
+    // outcome *and* stats.
+    let registry = BackendRegistry::default();
+    let formula = cnf::generators::random_ksat(
+        &cnf::generators::RandomKSatConfig::new(14, 58, 3).with_seed(4),
+    )
+    .unwrap();
+    let request = SolveRequest::new(&formula)
+        .artifacts(Artifacts::Model)
+        .seed(77);
+    let a = registry.solve("portfolio", &request).unwrap();
+    let b = registry.solve("portfolio", &request).unwrap();
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.model, b.model);
+    assert_eq!(a.stats.flips, b.stats.flips);
+    assert_eq!(a.stats.decisions, b.stats.decisions);
+    assert_eq!(a.stats.winner, b.stats.winner);
+}
+
+#[test]
+fn cancellation_token_stops_every_solver_family() {
+    // A pre-raised token must stop each solver within its first poll — no
+    // solver may run to its internal caps on this hard instance.
+    let hard = cnf::generators::pigeonhole(6, 5);
+    let flag = Arc::new(AtomicBool::new(true));
+    let limits = SearchLimits::unlimited().with_cancel(Arc::clone(&flag));
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(DpllSolver::new()),
+        Box::new(CdclSolver::new()),
+        Box::new(WalkSat::new()),
+        Box::new(Gsat::new()),
+        Box::new(Schoening::new()),
+        // Pigeonhole 6→5 has 30 variables; raise the oracle's guard so the
+        // cancellation check (one poll per enumerated assignment) is what
+        // stops it, not the variable cap.
+        Box::new(BruteForceSolver::new().with_max_vars(30)),
+        Box::new(Portfolio::new()),
+        Box::new(ParallelPortfolio::new()),
+    ];
+    for mut solver in solvers {
+        let started = Instant::now();
+        let result = solver.solve_limited(&hard, &limits);
+        assert_eq!(
+            result,
+            SolveResult::Unknown,
+            "{} ignored the cancellation token",
+            solver.name()
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "{} took too long to observe cancellation",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn cancellation_mid_search_interrupts_a_running_solver() {
+    // Raise the flag from a sibling thread while CDCL grinds on a hard
+    // refutation; the solver must come back Unknown shortly after.
+    let hard = cnf::generators::pigeonhole(8, 7);
+    let flag = Arc::new(AtomicBool::new(false));
+    let limits = SearchLimits::unlimited().with_cancel(Arc::clone(&flag));
+    let result = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| CdclSolver::new().solve_limited(&hard, &limits));
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::Relaxed);
+        handle.join().expect("solver thread")
+    });
+    // Either the solver finished the refutation before the flag went up
+    // (fast machine) or it was interrupted; it must never hang or misreport.
+    assert!(
+        matches!(result, SolveResult::Unknown | SolveResult::Unsatisfiable),
+        "unexpected result {result}"
+    );
+}
+
+#[test]
+fn batch_under_contention_starves_but_never_hangs() {
+    let registry = BackendRegistry::default();
+    let hard = cnf::generators::pigeonhole(6, 5);
+    let easy = cnf::generators::example6_sat();
+    // 8 hard jobs + 1 easy job race 4 workers against a 50 ms shared wall
+    // budget: some jobs may finish, the rest must starve with
+    // Unknown(BudgetExhausted) — and the whole batch must return promptly.
+    let started = Instant::now();
+    let mut batch = SolveBatch::new(&registry)
+        .workers(4)
+        .shared_budget(Budget::unlimited().with_wall_time(Duration::from_millis(50)));
+    for _ in 0..8 {
+        batch = batch.job("cdcl", SolveRequest::new(&hard));
+    }
+    batch = batch.job("two-sat", SolveRequest::new(&easy));
+    let outcomes = batch.run();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "batch took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(outcomes.len(), 9);
+    for outcome in outcomes {
+        let outcome = outcome.unwrap();
+        match outcome.verdict {
+            SolveVerdict::Satisfiable | SolveVerdict::Unsatisfiable => {}
+            SolveVerdict::Unknown(UnknownCause::BudgetExhausted(_)) => {
+                assert!(outcome.exhausted.is_some());
+            }
+            SolveVerdict::Unknown(UnknownCause::Incomplete) => {
+                panic!("complete backends must not answer Incomplete here")
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_shared_sample_pool_is_shared_across_requests() {
+    let registry = BackendRegistry::default();
+    let f = cnf::generators::example7_unsat();
+    // A pool of 300 samples cannot fund many sampled checks (each needs more
+    // than that to converge); at least one request must be starved and none
+    // may exceed the pool by more than the per-request slice semantics allow.
+    let outcomes = SolveBatch::new(&registry)
+        .workers(2)
+        .shared_budget(Budget::unlimited().with_max_samples(300))
+        .job("nbl-sampled", SolveRequest::new(&f).seed(1))
+        .job("nbl-sampled", SolveRequest::new(&f).seed(2))
+        .job("nbl-sampled", SolveRequest::new(&f).seed(3))
+        .run();
+    let starved = outcomes
+        .iter()
+        .filter(|o| {
+            o.as_ref()
+                .is_ok_and(|o| o.verdict.exhausted_resource() == Some(ExhaustedResource::Samples))
+        })
+        .count();
+    assert!(starved >= 1, "a 300-sample pool must starve someone");
+}
+
+#[test]
+fn batch_outcomes_in_input_order_match_sequential_backends() {
+    let registry = BackendRegistry::default();
+    let battery = oracle_battery();
+    let mut batch = SolveBatch::new(&registry).workers(4);
+    for formula in &battery {
+        batch = batch.job("cdcl", SolveRequest::new(formula).seed(5));
+    }
+    let outcomes = batch.run();
+    assert_eq!(outcomes.len(), battery.len());
+    for (formula, outcome) in battery.iter().zip(outcomes) {
+        let sequential = registry
+            .solve("cdcl", &SolveRequest::new(formula).seed(5))
+            .unwrap();
+        assert_eq!(outcome.unwrap().verdict, sequential.verdict);
+    }
+}
+
+#[test]
+fn empty_clause_formula_is_unsat_for_every_backend() {
+    // cnf_formula![[]] contains an empty clause: trivially UNSAT. Every
+    // backend — complete, incomplete, NBL, hybrid, portfolios — must say so.
+    let formula = cnf::cnf_formula![[]];
+    assert!(formula.has_empty_clause());
+    let registry = BackendRegistry::default();
+    for name in registry.names() {
+        let outcome = registry
+            .solve(name, &SolveRequest::new(&formula))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            outcome.verdict,
+            SolveVerdict::Unsatisfiable,
+            "{name} must answer UNSAT on an empty clause"
+        );
+    }
+}
+
+#[test]
+fn empty_clause_with_other_clauses_is_unsat_for_every_solver() {
+    // A satisfiable-looking formula plus one empty clause stays UNSAT.
+    let mut formula = cnf::cnf_formula![[1, 2], [-1, -2]];
+    formula.push_clause(Clause::new());
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(DpllSolver::new()),
+        Box::new(CdclSolver::new()),
+        Box::new(TwoSatSolver::new()),
+        Box::new(WalkSat::new()),
+        Box::new(Gsat::new()),
+        Box::new(Schoening::new()),
+        Box::new(BruteForceSolver::new()),
+        Box::new(Portfolio::new()),
+        Box::new(ParallelPortfolio::new()),
+    ];
+    for mut solver in solvers {
+        assert!(
+            solver.solve(&formula).is_unsat(),
+            "{} must answer UNSAT with an empty clause present",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn duration_max_wall_budget_stays_a_limit_end_to_end() {
+    // Regression: a Duration::MAX wall budget used to overflow into *no*
+    // deadline. It must behave as a (far-future) limit and still let easy
+    // instances solve normally.
+    let registry = BackendRegistry::default();
+    let formula = cnf::generators::example6_sat();
+    let request =
+        SolveRequest::new(&formula).budget(Budget::unlimited().with_wall_time(Duration::MAX));
+    for name in ["cdcl", "portfolio", "parallel-portfolio"] {
+        let outcome = registry.solve(name, &request).unwrap();
+        assert!(outcome.verdict.is_sat(), "{name}");
+    }
+    let limits = SearchLimits::deadline_in(Duration::MAX);
+    assert!(limits.deadline().is_some(), "deadline must not vanish");
+    assert!(!limits.expired());
+}
+
+#[test]
+fn parallel_portfolio_respects_wall_budget_without_hanging() {
+    let registry = BackendRegistry::default();
+    let hard = cnf::generators::pigeonhole(7, 6);
+    let request =
+        SolveRequest::new(&hard).budget(Budget::unlimited().with_wall_time(Duration::ZERO));
+    let outcome = registry.solve("parallel-portfolio", &request).unwrap();
+    assert_eq!(
+        outcome.verdict.exhausted_resource(),
+        Some(ExhaustedResource::WallClock)
+    );
+}

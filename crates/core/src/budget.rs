@@ -16,7 +16,8 @@
 use crate::error::{NblSatError, Result};
 use sat_solvers::limits::saturating_deadline_after;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The resource that ran out when a budget was exhausted.
@@ -99,6 +100,7 @@ impl Budget {
 #[derive(Debug, Clone)]
 pub struct BudgetMeter {
     deadline: Option<Instant>,
+    cancel: Vec<Arc<AtomicBool>>,
     max_samples: Option<u64>,
     samples_used: u64,
     max_checks: Option<u64>,
@@ -115,6 +117,7 @@ impl BudgetMeter {
             deadline: budget
                 .wall_time
                 .map(|wall| saturating_deadline_after(Instant::now(), wall)),
+            cancel: Vec::new(),
             max_samples: budget.max_samples,
             samples_used: 0,
             max_checks: budget.max_checks,
@@ -122,13 +125,34 @@ impl BudgetMeter {
         }
     }
 
+    /// Chains a cancellation token onto the meter: once any chained flag is
+    /// raised, [`BudgetMeter::ensure_time`] errors with
+    /// [`NblSatError::Cancelled`], so every loop that polls the deadline also
+    /// observes cancellation — this is what makes the NBL engines (which meter
+    /// their work rather than taking [`sat_solvers::SearchLimits`])
+    /// cancellable mid-check.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel.push(cancel);
+        self
+    }
+
     /// The absolute wall-clock deadline, if one is set.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
     }
 
-    /// Errors with [`NblSatError::BudgetExhausted`] once the deadline passed.
+    /// Returns `true` once any chained cancellation flag was raised.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.iter().any(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Errors with [`NblSatError::Cancelled`] once a chained cancellation
+    /// flag was raised, or with [`NblSatError::BudgetExhausted`] once the
+    /// deadline passed.
     pub fn ensure_time(&self) -> Result<()> {
+        if self.cancelled() {
+            return Err(NblSatError::Cancelled);
+        }
         match self.deadline {
             Some(deadline) if Instant::now() >= deadline => Err(NblSatError::BudgetExhausted {
                 resource: ExhaustedResource::WallClock,
@@ -198,31 +222,52 @@ impl Default for BudgetMeter {
 /// One [`Budget`] shared by a whole batch of solves running concurrently.
 ///
 /// Where a [`BudgetMeter`] is the private account of a single solve, a
-/// `SharedBudget` is the *common pool* of a [`crate::SolveBatch`]: one
-/// wall-clock deadline (fixed when the pool starts) plus atomic sample and
-/// check counters that every worker thread charges. The pool hands each
-/// request a *slice* — a per-request [`Budget`] no larger than what remains —
-/// so the existing per-solve metering machinery enforces the shared limits
-/// without any locking inside the solver loops.
+/// `SharedBudget` is the *common pool* of a [`crate::SolveBatch`] or a
+/// [`crate::SolveService`]: one wall-clock deadline (fixed when the pool
+/// starts) plus atomic sample and check counters that every worker thread
+/// charges. The pool hands each request a *slice* — a per-request [`Budget`]
+/// no larger than what remains — so the existing per-solve metering machinery
+/// enforces the shared limits without any locking inside the solver loops.
 ///
 /// # Accounting semantics
 ///
 /// Reservation is optimistic: a request's slice is computed from the pool's
 /// remainder when the request *starts*, and its actual spend is charged back
-/// when it *finishes*. Concurrent in-flight requests can therefore together
-/// overdraw the sample/check pool by at most the sum of their slices — each
-/// individual request always respects the remainder it saw — and a request
-/// that starts after the pool is empty is answered
-/// `Unknown(BudgetExhausted)` without running at all. The wall-clock deadline
-/// has no such slack: it is one absolute instant that every solver polls
-/// inside its loops.
+/// when it *finishes*. Each individual request always respects the remainder
+/// it saw, and the charge-back saturates at the pool ceiling, so the spent
+/// counters never exceed the configured budget even when concurrent in-flight
+/// requests were handed overlapping slices. A request that starts after the
+/// pool is empty is answered `Unknown(BudgetExhausted)` without running at
+/// all. The wall-clock deadline has no slice slack: it is one absolute
+/// instant that every solver polls inside its loops.
+///
+/// # Refilling
+///
+/// A long-lived front end (the [`crate::SolveService`]) can top the pool back
+/// up: [`SharedBudget::refill_samples`] / [`SharedBudget::refill_checks`]
+/// return spent allowance to the pool, and
+/// [`SharedBudget::extend_deadline`] pushes the wall-clock deadline out.
+/// Unlimited resources stay unlimited; refilling them is a no-op.
 #[derive(Debug)]
 pub struct SharedBudget {
-    deadline: Option<Instant>,
+    deadline: Mutex<Option<Instant>>,
     max_samples: Option<u64>,
     samples_used: AtomicU64,
     max_checks: Option<u64>,
     checks_used: AtomicU64,
+}
+
+/// Adds `amount` to `counter`, saturating at `ceiling` so optimistic
+/// post-hoc charge-back can never report more spend than the pool holds.
+fn charge_saturating(counter: &AtomicU64, ceiling: u64, amount: u64) {
+    let mut seen = counter.load(Ordering::Relaxed);
+    loop {
+        let next = seen.saturating_add(amount).min(ceiling);
+        match counter.compare_exchange_weak(seen, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => seen = actual,
+        }
+    }
 }
 
 impl SharedBudget {
@@ -230,9 +275,11 @@ impl SharedBudget {
     /// saturates like [`BudgetMeter::start`] on overflow).
     pub fn start(budget: &Budget) -> Self {
         SharedBudget {
-            deadline: budget
-                .wall_time
-                .map(|wall| saturating_deadline_after(Instant::now(), wall)),
+            deadline: Mutex::new(
+                budget
+                    .wall_time
+                    .map(|wall| saturating_deadline_after(Instant::now(), wall)),
+            ),
             max_samples: budget.max_samples,
             samples_used: AtomicU64::new(0),
             max_checks: budget.max_checks,
@@ -242,7 +289,7 @@ impl SharedBudget {
 
     /// The absolute wall-clock deadline of the pool, if one is set.
     pub fn deadline(&self) -> Option<Instant> {
-        self.deadline
+        *self.deadline.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The first resource of the pool that is already spent, or `None` while
@@ -250,7 +297,7 @@ impl SharedBudget {
     /// should be starved (answered `Unknown(BudgetExhausted)`) rather than
     /// run.
     pub fn exhausted(&self) -> Option<ExhaustedResource> {
-        if let Some(deadline) = self.deadline {
+        if let Some(deadline) = self.deadline() {
             if Instant::now() >= deadline {
                 return Some(ExhaustedResource::WallClock);
             }
@@ -288,7 +335,7 @@ impl SharedBudget {
             }
         }
         let remaining_wall = self
-            .deadline
+            .deadline()
             .map(|deadline| deadline.saturating_duration_since(Instant::now()));
         let wall_time = match (remaining_wall, request.wall_time) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -302,13 +349,51 @@ impl SharedBudget {
         }
     }
 
-    /// Charges a finished request's actual spend back to the pool.
+    /// Charges a finished request's actual spend back to the pool, saturating
+    /// at the pool ceiling: `spent <= budget` holds at all times, even when
+    /// concurrently running requests were handed overlapping slices.
     pub fn charge(&self, samples: u64, checks: u64) {
-        if self.max_samples.is_some() {
-            self.samples_used.fetch_add(samples, Ordering::Relaxed);
+        if let Some(max) = self.max_samples {
+            charge_saturating(&self.samples_used, max, samples);
         }
+        if let Some(max) = self.max_checks {
+            charge_saturating(&self.checks_used, max, checks);
+        }
+    }
+
+    /// Returns `samples` of spent allowance to the pool (saturating at a
+    /// fully unspent pool). A no-op on an unlimited sample pool.
+    pub fn refill_samples(&self, samples: u64) {
+        if self.max_samples.is_some() {
+            let _ = self
+                .samples_used
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                    Some(used.saturating_sub(samples))
+                });
+        }
+    }
+
+    /// Returns `checks` of spent allowance to the pool (saturating at a
+    /// fully unspent pool). A no-op on an unlimited check pool.
+    pub fn refill_checks(&self, checks: u64) {
         if self.max_checks.is_some() {
-            self.checks_used.fetch_add(checks, Ordering::Relaxed);
+            let _ = self
+                .checks_used
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                    Some(used.saturating_sub(checks))
+                });
+        }
+    }
+
+    /// Pushes the wall-clock deadline `extra` further out, measured from the
+    /// current deadline or from now if that has already passed (so refilling
+    /// a spent pool grants a full fresh window, not a partial one). A no-op
+    /// on a pool without a wall-clock limit.
+    pub fn extend_deadline(&self, extra: Duration) {
+        let mut deadline = self.deadline.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(current) = *deadline {
+            let base = current.max(Instant::now());
+            *deadline = Some(saturating_deadline_after(base, extra));
         }
     }
 
@@ -439,6 +524,100 @@ mod tests {
         // The slice of an exhausted pool has zero wall allowance left.
         let slice = shared.slice(&Budget::unlimited());
         assert_eq!(slice.wall_time, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn meter_cancellation_interrupts_ensure_time() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let meter = BudgetMeter::start(&Budget::unlimited()).with_cancel(Arc::clone(&flag));
+        assert!(!meter.cancelled());
+        assert!(meter.ensure_time().is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert!(meter.cancelled());
+        assert!(matches!(
+            meter.ensure_time().unwrap_err(),
+            NblSatError::Cancelled
+        ));
+        // Cancellation outranks the deadline in the report.
+        let expired = BudgetMeter::start(&Budget::unlimited().with_wall_time(Duration::ZERO))
+            .with_cancel(flag);
+        assert!(matches!(
+            expired.ensure_time().unwrap_err(),
+            NblSatError::Cancelled
+        ));
+    }
+
+    #[test]
+    fn shared_charge_saturates_at_the_pool_ceiling() {
+        // Regression: optimistic post-hoc charging used to fetch_add blindly,
+        // so two in-flight jobs that each spent their full slice pushed the
+        // spent counter past the configured budget.
+        let shared = SharedBudget::start(&Budget::unlimited().with_max_samples(100));
+        shared.charge(80, 0);
+        shared.charge(80, 0); // second charge-back overdraws; must clamp
+        assert_eq!(shared.samples_used(), 100);
+        assert_eq!(shared.remaining_samples(), Some(0));
+        assert_eq!(shared.exhausted(), Some(ExhaustedResource::Samples));
+    }
+
+    #[test]
+    fn shared_charge_never_exceeds_budget_under_contention() {
+        const BUDGET: u64 = 10_000;
+        let shared = SharedBudget::start(
+            &Budget::unlimited()
+                .with_max_samples(BUDGET)
+                .with_max_checks(BUDGET),
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        shared.charge(7, 13);
+                        assert!(shared.samples_used() <= BUDGET, "sample overdraw");
+                        assert!(shared.checks_used() <= BUDGET, "check overdraw");
+                    }
+                });
+            }
+        });
+        // 8 * 500 * 13 > BUDGET, so the check pool must have clamped exactly.
+        assert_eq!(shared.checks_used(), BUDGET);
+        assert!(shared.samples_used() <= BUDGET);
+    }
+
+    #[test]
+    fn refill_returns_spent_allowance_to_the_pool() {
+        let shared = SharedBudget::start(&Budget::unlimited().with_max_checks(4));
+        shared.charge(0, 4);
+        assert_eq!(
+            shared.exhausted(),
+            Some(ExhaustedResource::CoprocessorChecks)
+        );
+        shared.refill_checks(2);
+        assert_eq!(shared.remaining_checks(), Some(2));
+        assert_eq!(shared.exhausted(), None);
+        // Refilling more than was spent saturates at a fully unspent pool;
+        // the ceiling itself never grows.
+        shared.refill_checks(u64::MAX);
+        assert_eq!(shared.remaining_checks(), Some(4));
+        // Unlimited pools ignore refills entirely.
+        let unlimited = SharedBudget::start(&Budget::unlimited());
+        unlimited.refill_samples(10);
+        unlimited.refill_checks(10);
+        assert_eq!(unlimited.remaining_samples(), None);
+        assert_eq!(unlimited.remaining_checks(), None);
+    }
+
+    #[test]
+    fn extend_deadline_revives_a_spent_wall_pool() {
+        let shared = SharedBudget::start(&Budget::unlimited().with_wall_time(Duration::ZERO));
+        assert_eq!(shared.exhausted(), Some(ExhaustedResource::WallClock));
+        shared.extend_deadline(Duration::from_secs(3600));
+        assert_eq!(shared.exhausted(), None);
+        assert!(shared.deadline().unwrap() > Instant::now());
+        // A pool with no wall limit stays unlimited.
+        let unlimited = SharedBudget::start(&Budget::unlimited());
+        unlimited.extend_deadline(Duration::from_secs(1));
+        assert_eq!(unlimited.deadline(), None);
     }
 
     #[test]

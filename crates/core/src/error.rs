@@ -51,6 +51,21 @@ pub enum NblSatError {
     },
     /// A backend name was not found in the registry.
     UnknownBackend(String),
+    /// The solve was cancelled through a cancellation token before it could
+    /// decide. The unified solving API catches this and reports it as a
+    /// `SolveVerdict::Unknown` outcome, like budget exhaustion.
+    Cancelled,
+    /// A backend panicked while solving; the panic was caught at the worker
+    /// boundary so sibling jobs keep their outcomes.
+    BackendPanicked {
+        /// Name of the backend that panicked.
+        backend: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The job was submitted to a solve service that had already been shut
+    /// down or aborted.
+    ServiceStopped,
     /// An error bubbled up from the CNF substrate.
     Cnf(cnf::CnfError),
 }
@@ -81,6 +96,13 @@ impl fmt::Display for NblSatError {
             }
             NblSatError::UnknownBackend(name) => {
                 write!(f, "no backend named {name:?} is registered")
+            }
+            NblSatError::Cancelled => write!(f, "solve cancelled"),
+            NblSatError::BackendPanicked { backend, message } => {
+                write!(f, "backend {backend:?} panicked: {message}")
+            }
+            NblSatError::ServiceStopped => {
+                write!(f, "the solve service is no longer accepting jobs")
             }
             NblSatError::Cnf(e) => write!(f, "cnf error: {e}"),
         }

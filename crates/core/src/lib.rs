@@ -125,8 +125,9 @@ pub use hybrid::{HybridSolver, HybridStats};
 pub use sampled::SampledEngine;
 pub use snr::SnrModel;
 pub use solve::{
-    Artifacts, BackendRegistry, ClassicalBackend, HybridBackend, NblCheckBackend, SatBackend,
-    SolveBatch, SolveOutcome, SolveRequest, SolveStats, SolveVerdict, UnknownCause,
+    Artifacts, BackendRegistry, ClassicalBackend, HybridBackend, JobHandle, JobPriority, JobStatus,
+    NblCheckBackend, SatBackend, ServiceBuilder, SolveBatch, SolveOutcome, SolveRequest,
+    SolveService, SolveStats, SolveVerdict, UnknownCause,
 };
 pub use symbolic::SymbolicEngine;
 pub use transform::{NblSatInstance, SourceIndex};

@@ -26,6 +26,7 @@ use crate::solve::request::SolveRequest;
 use crate::transform::NblSatInstance;
 use cnf::Assignment;
 use sat_solvers::{SearchLimits, SolveResult, Solver};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Seed-aware constructor for a trace run of the sampled engine (the only
@@ -35,11 +36,27 @@ use std::time::Instant;
 type TraceFn =
     Box<dyn Fn(u64, &NblSatInstance, Option<u64>) -> Result<ConvergenceTrace> + Send + Sync>;
 
-fn search_limits(meter: &BudgetMeter) -> SearchLimits {
-    match meter.deadline() {
+/// Builds the classical-solver limits for one request: the meter's deadline
+/// plus the request's whole cancellation-token chain.
+fn search_limits(meter: &BudgetMeter, request: &SolveRequest<'_>) -> SearchLimits {
+    let mut limits = match meter.deadline() {
         Some(deadline) => SearchLimits::with_deadline(deadline),
         None => SearchLimits::unlimited(),
+    };
+    for token in request.cancel_tokens() {
+        limits = limits.with_cancel(Arc::clone(token));
     }
+    limits
+}
+
+/// Attaches the request's cancellation-token chain to a budget meter, so the
+/// metered (NBL / hybrid) engines observe cancellation in the same loops that
+/// poll the deadline.
+fn metered_cancel(mut meter: BudgetMeter, request: &SolveRequest<'_>) -> BudgetMeter {
+    for token in request.cancel_tokens() {
+        meter = meter.with_cancel(Arc::clone(token));
+    }
+    meter
 }
 
 /// Attaches the artifacts a satisfiable outcome owes the caller, given the
@@ -119,7 +136,7 @@ impl<S: Solver> SatBackend for ClassicalBackend<S> {
         }
         let started = Instant::now();
         let meter = BudgetMeter::start(request.requested_budget());
-        let limits = search_limits(&meter);
+        let limits = search_limits(&meter, request);
         let mut solver = (self.factory)(request.requested_seed());
         let result = solver.solve_limited(request.formula(), &limits);
         let mut outcome = match result {
@@ -131,11 +148,18 @@ impl<S: Solver> SatBackend for ClassicalBackend<S> {
             }
             SolveResult::Unsatisfiable => SolveOutcome::of_verdict(SolveVerdict::Unsatisfiable),
             SolveResult::Unknown => {
-                let cause = match meter.ensure_time() {
-                    Err(NblSatError::BudgetExhausted { resource }) => {
-                        UnknownCause::BudgetExhausted(resource)
+                // Cancellation outranks the deadline: a raised token is a
+                // definitive caller intent, while an expired deadline may
+                // only have been raced past on the way out.
+                let cause = if request.cancelled() {
+                    UnknownCause::Cancelled
+                } else {
+                    match meter.ensure_time() {
+                        Err(NblSatError::BudgetExhausted { resource }) => {
+                            UnknownCause::BudgetExhausted(resource)
+                        }
+                        _ => UnknownCause::Incomplete,
                     }
-                    _ => UnknownCause::Incomplete,
                 };
                 let mut outcome = SolveOutcome::of_verdict(SolveVerdict::Unknown(cause));
                 outcome.exhausted = outcome.verdict.exhausted_resource();
@@ -240,7 +264,7 @@ impl<E: NblEngine> SatBackend for NblCheckBackend<E> {
             return Ok(outcome);
         }
         let seed = request.requested_seed();
-        let mut meter = BudgetMeter::start(request.requested_budget());
+        let mut meter = metered_cancel(BudgetMeter::start(request.requested_budget()), request);
         let mut checker = SatChecker::new((self.factory)(seed));
         let instance = NblSatInstance::new(request.formula())?;
         let bindings = instance.empty_bindings();
@@ -264,6 +288,9 @@ impl<E: NblEngine> SatBackend for NblCheckBackend<E> {
                 outcome.exhausted = Some(resource);
                 outcome
             }
+            Err(NblSatError::Cancelled) => {
+                SolveOutcome::of_verdict(SolveVerdict::Unknown(UnknownCause::Cancelled))
+            }
             Err(e) => return Err(e),
         };
 
@@ -280,6 +307,10 @@ impl<E: NblEngine> SatBackend for NblCheckBackend<E> {
                 Err(NblSatError::BudgetExhausted { resource }) => {
                     // The verdict stands; only the artifact is missing.
                     outcome.exhausted = Some(resource);
+                }
+                Err(NblSatError::Cancelled) => {
+                    // Cancelled mid-extraction: the verdict stands, the
+                    // artifact is missing.
                 }
                 Err(NblSatError::Inconclusive { .. } | NblSatError::InstanceUnsatisfiable) => {
                     // A statistical engine contradicted its own Algorithm-1
@@ -298,9 +329,10 @@ impl<E: NblEngine> SatBackend for NblCheckBackend<E> {
 
         if request.wants_trace() {
             if let Some(trace_fn) = &self.trace_fn {
-                if outcome.exhausted.is_some() {
-                    // A limit already fired; starting more uncharged
-                    // simulation work would defeat the budget contract.
+                if outcome.exhausted.is_some() || meter.cancelled() {
+                    // A limit already fired (or the job was cancelled);
+                    // starting more uncharged simulation work would defeat
+                    // the budget contract.
                 } else if let Err(NblSatError::BudgetExhausted { resource }) =
                     meter.ensure_time().and_then(|()| meter.ensure_samples())
                 {
@@ -363,7 +395,7 @@ impl<E: NblEngine> SatBackend for HybridBackend<E> {
 
     fn solve(&mut self, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
         let started = Instant::now();
-        let mut meter = BudgetMeter::start(request.requested_budget());
+        let mut meter = metered_cancel(BudgetMeter::start(request.requested_budget()), request);
         let mut solver = (self.factory)(request.requested_seed());
         let mut outcome = match solver.solve_budgeted(request.formula(), &mut meter) {
             Ok(Some(model)) => {
@@ -378,6 +410,9 @@ impl<E: NblEngine> SatBackend for HybridBackend<E> {
                 ));
                 outcome.exhausted = Some(resource);
                 outcome
+            }
+            Err(NblSatError::Cancelled) => {
+                SolveOutcome::of_verdict(SolveVerdict::Unknown(UnknownCause::Cancelled))
             }
             Err(e) => return Err(e),
         };

@@ -7,20 +7,25 @@
 //! resource envelope for the whole queue. [`SolveBatch`] is that entry point:
 //! push jobs (backend name + request), set the shared [`Budget`] and the
 //! worker count, and [`SolveBatch::run`] fans the jobs out across a bounded
-//! pool of OS threads, charges every job against one [`SharedBudget`], and
-//! returns per-request outcomes in input order. Jobs that start after the
-//! pool is spent are answered `Unknown(BudgetExhausted)` immediately — the
-//! batch never hangs on an empty pool.
+//! pool of OS threads, charges every job against one
+//! [`SharedBudget`](crate::SharedBudget), and returns per-request outcomes in
+//! input order. Jobs that start after the pool is spent are answered
+//! `Unknown(BudgetExhausted)` immediately — the batch never hangs on an
+//! empty pool. Under the hood the batch is a submit-all-then-wait wrapper
+//! over the streaming [`SolveService`], so both front ends share one
+//! scheduling code path.
 
-use crate::budget::{Budget, SharedBudget};
+use crate::budget::Budget;
 use crate::error::Result;
-use crate::solve::outcome::{SolveOutcome, SolveVerdict, UnknownCause};
+use crate::solve::outcome::SolveOutcome;
 use crate::solve::registry::BackendRegistry;
 use crate::solve::request::SolveRequest;
+use crate::solve::service::{JobHandle, JobPriority, SolveService};
+use cnf::CnfFormula;
+use std::collections::HashMap;
 use std::fmt;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::thread;
 
 /// One job of a batch: a backend name plus the request it should answer.
@@ -135,83 +140,67 @@ impl<'f, 'r> SolveBatch<'f, 'r> {
         self.jobs.is_empty()
     }
 
+    /// The worker count [`SolveBatch::run`] will actually use: the configured
+    /// pool size, clamped to the number of queued jobs (spawning more workers
+    /// than jobs would only burn threads that never claim anything).
+    pub fn effective_workers(&self) -> usize {
+        self.workers.clamp(1, self.jobs.len().max(1))
+    }
+
     /// Runs the batch and returns one result per job, in input order.
     ///
-    /// Workers claim jobs from a shared cursor, so completion order is
-    /// scheduling-dependent while the returned order is not. A job observed
-    /// *after* the shared budget is spent is answered
-    /// `Unknown(BudgetExhausted)` with [`SolveOutcome::exhausted`] set,
-    /// without creating a backend — this is what bounds the batch's latency
-    /// once the pool runs dry. Per-job `Err`s (unknown backend, instance too
-    /// large for the brute-force oracle, …) are isolated to their slot and
-    /// never poison sibling jobs.
+    /// The batch is a submit-all-then-wait wrapper over [`SolveService`] —
+    /// the one scheduling code path shared with the streaming front end: a
+    /// throwaway service is started with [`SolveBatch::effective_workers`]
+    /// workers and the batch's shared budget, every job is submitted at the
+    /// default priority (so FIFO order equals input order), and the handles
+    /// are awaited in input order. Completion order is scheduling-dependent
+    /// while the returned order is not. A job observed *after* the shared
+    /// budget is spent is answered `Unknown(BudgetExhausted)` with
+    /// [`SolveOutcome::exhausted`] set, without creating a backend — this is
+    /// what bounds the batch's latency once the pool runs dry. Per-job `Err`s
+    /// (unknown backend, instance too large for the brute-force oracle, a
+    /// panicking backend, …) are isolated to their slot and never poison
+    /// sibling jobs.
     pub fn run(self) -> Vec<Result<SolveOutcome>> {
-        let SolveBatch {
-            registry,
-            jobs,
-            shared,
-            workers,
-        } = self;
-        if jobs.is_empty() {
+        if self.jobs.is_empty() {
             return Vec::new();
         }
-        let pool = SharedBudget::start(&shared);
-        let worker_count = workers.clamp(1, jobs.len());
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<SolveOutcome>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-
-        thread::scope(|scope| {
-            for _ in 0..worker_count {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else {
-                        break;
-                    };
-                    let result = run_job(registry, job, &pool);
-                    *slots[index].lock().expect("slot lock") = Some(result);
-                });
-            }
-        });
-
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every job writes its slot")
+        let service = SolveService::builder(self.registry)
+            .workers(self.effective_workers())
+            .shared_budget(self.shared)
+            .start();
+        // Batch jobs routinely share one borrowed formula (one instance, many
+        // backends); clone it into the service once per distinct formula, not
+        // once per job.
+        let mut owned: HashMap<*const CnfFormula, Arc<CnfFormula>> = HashMap::new();
+        let handles: Vec<JobHandle> = self
+            .jobs
+            .iter()
+            .map(|job| {
+                let formula = job.request.formula();
+                let shared = owned
+                    .entry(std::ptr::from_ref(formula))
+                    .or_insert_with(|| Arc::new(formula.clone()));
+                service.submit_arc(
+                    &job.backend,
+                    Arc::clone(shared),
+                    &job.request,
+                    JobPriority::Normal,
+                )
             })
-            .collect()
+            .collect();
+        let outcomes = handles.into_iter().map(JobHandle::wait).collect();
+        service.shutdown();
+        outcomes
     }
-}
-
-/// Runs one job against the shared pool: starve it if the pool is already
-/// spent, otherwise solve it under the pool's current slice and charge the
-/// actual spend back.
-fn run_job(
-    registry: &BackendRegistry,
-    job: &BatchJob<'_>,
-    pool: &SharedBudget,
-) -> Result<SolveOutcome> {
-    if let Some(resource) = pool.exhausted() {
-        let mut outcome = SolveOutcome::of_verdict(SolveVerdict::Unknown(
-            UnknownCause::BudgetExhausted(resource),
-        ));
-        outcome.exhausted = Some(resource);
-        return Ok(outcome);
-    }
-    let slice = pool.slice(job.request.requested_budget());
-    let request = job.request.clone().budget(slice);
-    let mut backend = registry.create(&job.backend)?;
-    let outcome = backend.solve(&request)?;
-    pool.charge(outcome.stats.samples, outcome.stats.coprocessor_checks);
-    Ok(outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::budget::ExhaustedResource;
+    use crate::solve::outcome::SolveVerdict;
     use cnf::generators;
     use std::time::Duration;
 
@@ -293,6 +282,65 @@ mod tests {
             verdicts[2].exhausted_resource(),
             Some(ExhaustedResource::CoprocessorChecks)
         );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_job_count() {
+        let registry = BackendRegistry::default();
+        let f = generators::example6_sat();
+        let batch = SolveBatch::new(&registry)
+            .workers(64)
+            .job("cdcl", SolveRequest::new(&f))
+            .job("dpll", SolveRequest::new(&f));
+        assert_eq!(batch.effective_workers(), 2);
+        let single = SolveBatch::new(&registry).workers(0);
+        assert_eq!(single.effective_workers(), 1);
+        // And the clamped pool still answers correctly.
+        let outcomes = batch.run();
+        assert!(outcomes
+            .iter()
+            .all(|o| o.as_ref().unwrap().verdict.is_sat()));
+    }
+
+    #[test]
+    fn panicking_backend_is_a_per_job_error() {
+        use crate::solve::backend::SatBackend;
+
+        #[derive(Debug)]
+        struct Panicker;
+        impl SatBackend for Panicker {
+            fn name(&self) -> &'static str {
+                "panicker"
+            }
+            fn is_complete(&self) -> bool {
+                true
+            }
+            fn solve(&mut self, _request: &SolveRequest<'_>) -> Result<SolveOutcome> {
+                panic!("deliberate mock panic");
+            }
+        }
+
+        let mut registry = BackendRegistry::default();
+        registry.register("panicker", || Box::new(Panicker));
+        let f = generators::example6_sat();
+        // Regression: a panicking worker used to unwind through the batch
+        // join and poison every job. It must now surface as that job's own
+        // error while the siblings keep their outcomes.
+        let outcomes = SolveBatch::new(&registry)
+            .workers(2)
+            .job("panicker", SolveRequest::new(&f))
+            .job("cdcl", SolveRequest::new(&f))
+            .job("panicker", SolveRequest::new(&f))
+            .job("dpll", SolveRequest::new(&f))
+            .run();
+        assert!(matches!(
+            outcomes[0].as_ref().unwrap_err(),
+            crate::error::NblSatError::BackendPanicked { backend, message }
+                if backend == "panicker" && message.contains("deliberate")
+        ));
+        assert!(outcomes[1].as_ref().unwrap().verdict.is_sat());
+        assert!(outcomes[2].is_err());
+        assert!(outcomes[3].as_ref().unwrap().verdict.is_sat());
     }
 
     #[test]

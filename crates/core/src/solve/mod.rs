@@ -28,7 +28,10 @@
 //! `"hybrid-sampled"`) so front ends can dispatch by configuration instead
 //! of by type. For many requests sharing one resource envelope, the batch
 //! entry point [`SolveBatch`] fans jobs out across a bounded worker pool
-//! against a [`SharedBudget`](crate::SharedBudget).
+//! against a [`SharedBudget`](crate::SharedBudget); for a *stream* of
+//! requests, the persistent [`SolveService`] job queue accepts submissions
+//! without blocking and answers through cancellable, prioritised
+//! [`JobHandle`]s.
 //!
 //! ```
 //! use cnf::cnf_formula;
@@ -51,6 +54,7 @@ pub mod batch;
 pub mod outcome;
 pub mod registry;
 pub mod request;
+pub mod service;
 
 pub use adapters::{ClassicalBackend, HybridBackend, NblCheckBackend};
 pub use backend::SatBackend;
@@ -58,3 +62,4 @@ pub use batch::SolveBatch;
 pub use outcome::{SolveOutcome, SolveStats, SolveVerdict, UnknownCause};
 pub use registry::BackendRegistry;
 pub use request::{Artifacts, SolveRequest};
+pub use service::{JobHandle, JobPriority, JobStatus, ServiceBuilder, SolveService};

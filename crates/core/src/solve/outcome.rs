@@ -14,6 +14,9 @@ use std::time::Duration;
 pub enum UnknownCause {
     /// A resource budget ran out before the backend could decide.
     BudgetExhausted(ExhaustedResource),
+    /// The solve was cancelled through a cancellation token (a per-job
+    /// cancel, a service-wide abort) before the backend could decide.
+    Cancelled,
     /// The backend is incomplete (stochastic local search, a scope-limited
     /// special case such as 2-SAT on wide clauses, or a statistical engine)
     /// and gave up within its own internal limits.
@@ -26,6 +29,7 @@ impl fmt::Display for UnknownCause {
             UnknownCause::BudgetExhausted(resource) => {
                 write!(f, "budget exhausted ({resource})")
             }
+            UnknownCause::Cancelled => write!(f, "cancelled"),
             UnknownCause::Incomplete => write!(f, "backend gave up (incomplete)"),
         }
     }
@@ -60,6 +64,11 @@ impl SolveVerdict {
     /// Returns `true` for either definitive verdict.
     pub fn is_definitive(self) -> bool {
         !matches!(self, SolveVerdict::Unknown(_))
+    }
+
+    /// Returns `true` for an `Unknown` caused by cancellation.
+    pub fn is_cancelled(self) -> bool {
+        matches!(self, SolveVerdict::Unknown(UnknownCause::Cancelled))
     }
 
     /// The exhausted resource, when the verdict is an `Unknown` caused by

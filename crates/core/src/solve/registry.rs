@@ -15,20 +15,24 @@ use sat_solvers::{
     Schoening, SchoeningConfig, TwoSatSolver, WalkSat, WalkSatConfig,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// Points per decade of the log-spaced convergence trace the sampled backend
 /// records when a request asks for one.
 const TRACE_POINTS_PER_DECADE: u32 = 4;
 
-type BackendFactory = Box<dyn Fn() -> Box<dyn SatBackend> + Send + Sync>;
+type BackendFactory = Arc<dyn Fn() -> Box<dyn SatBackend> + Send + Sync>;
 
 /// A registry mapping backend names to factories, with enumeration in
 /// registration order.
 ///
 /// Backends are stateful (they carry per-solve statistics), so the registry
 /// hands out fresh instances via [`BackendRegistry::create`] rather than
-/// sharing one. [`BackendRegistry::default`] registers every solving engine
-/// in the workspace:
+/// sharing one. The factories are reference-counted, so cloning a registry is
+/// cheap — this is how the long-lived worker threads of a
+/// [`crate::SolveService`] get their own handle on the backend set.
+/// [`BackendRegistry::default`] registers every solving engine in the
+/// workspace:
 ///
 /// | name | engine | complete |
 /// |---|---|---|
@@ -51,6 +55,7 @@ type BackendFactory = Box<dyn Fn() -> Box<dyn SatBackend> + Send + Sync>;
 /// [`SatBackend::is_complete`] `false`: 2-SAT answers only 2-CNF, and the
 /// sampled engines' verdicts carry the §III.F statistical decision rule whose
 /// sample cost grows as `2^{n·m}`.
+#[derive(Clone)]
 pub struct BackendRegistry {
     entries: Vec<(&'static str, BackendFactory)>,
 }
@@ -78,9 +83,9 @@ impl BackendRegistry {
         factory: impl Fn() -> Box<dyn SatBackend> + Send + Sync + 'static,
     ) {
         if let Some(entry) = self.entries.iter_mut().find(|(n, _)| *n == name) {
-            entry.1 = Box::new(factory);
+            entry.1 = Arc::new(factory);
         } else {
-            self.entries.push((name, Box::new(factory)));
+            self.entries.push((name, Arc::new(factory)));
         }
     }
 

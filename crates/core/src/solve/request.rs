@@ -2,6 +2,8 @@
 
 use crate::budget::Budget;
 use cnf::CnfFormula;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Which artifacts the caller wants beyond the SAT/UNSAT verdict.
 ///
@@ -60,6 +62,7 @@ pub struct SolveRequest<'a> {
     seed: u64,
     budget: Budget,
     trace: bool,
+    cancel: Vec<Arc<AtomicBool>>,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -71,6 +74,7 @@ impl<'a> SolveRequest<'a> {
             seed: 0,
             budget: Budget::unlimited(),
             trace: false,
+            cancel: Vec::new(),
         }
     }
 
@@ -100,6 +104,16 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Chains a cancellation token onto the request: once any thread raises
+    /// any chained flag, the backend aborts within one poll interval of its
+    /// search loop and answers `Unknown(Cancelled)`. Tokens accumulate, so a
+    /// job-queue front end can chain a per-job token onto a service-wide
+    /// abort token.
+    pub fn cancel_token(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel.push(cancel);
+        self
+    }
+
     /// The formula to solve.
     pub fn formula(&self) -> &'a CnfFormula {
         self.formula
@@ -123,6 +137,17 @@ impl<'a> SolveRequest<'a> {
     /// Whether a convergence trace was requested.
     pub fn wants_trace(&self) -> bool {
         self.trace
+    }
+
+    /// The cancellation tokens chained onto this request, in attachment
+    /// order.
+    pub fn cancel_tokens(&self) -> &[Arc<AtomicBool>] {
+        &self.cancel
+    }
+
+    /// Returns `true` once any chained cancellation flag was raised.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.iter().any(|flag| flag.load(Ordering::Relaxed))
     }
 }
 
@@ -149,6 +174,22 @@ mod tests {
         assert_eq!(request.requested_seed(), 7);
         assert_eq!(request.requested_budget(), &budget);
         assert!(request.wants_trace());
+    }
+
+    #[test]
+    fn cancel_tokens_chain_and_trip() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let f = cnf_formula![[1]];
+        let job = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(AtomicBool::new(false));
+        let request = SolveRequest::new(&f)
+            .cancel_token(Arc::clone(&job))
+            .cancel_token(Arc::clone(&service));
+        assert_eq!(request.cancel_tokens().len(), 2);
+        assert!(!request.cancelled());
+        service.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(request.cancelled());
     }
 
     #[test]

@@ -1,0 +1,937 @@
+//! An asynchronous job-queue front end over the solving backends.
+//!
+//! [`SolveBatch`](crate::SolveBatch) is one-shot and blocking: the caller
+//! collects a whole batch up front, then stalls until every job drains. A
+//! long-lived service ingesting a *stream* of requests needs the opposite
+//! shape — the paper's pitch is that NBL's multi-wire parallelism turns SAT
+//! into a throughput problem, and a throughput problem wants a queue, not an
+//! epoch. [`SolveService`] is that front end: a persistent bounded pool of
+//! worker threads fed by a priority queue. [`SolveService::submit`] returns
+//! immediately with a [`JobHandle`] that supports non-blocking
+//! [`JobHandle::poll`], blocking [`JobHandle::wait`] and per-job
+//! [`JobHandle::cancel`]; every job is charged against one refillable
+//! [`SharedBudget`]; and the service winds down either gracefully
+//! ([`SolveService::shutdown`] drains the queue) or immediately
+//! ([`SolveService::abort`] cancels everything).
+//!
+//! # Scheduling
+//!
+//! Workers pull the highest-[`JobPriority`] job first, FIFO within a
+//! priority class, so equal-priority traffic is served in submission order
+//! and can never starve itself. A job observed with an exhausted budget pool
+//! is answered `Unknown(BudgetExhausted)` without running; a job whose
+//! cancellation token is already raised is answered `Unknown(Cancelled)`
+//! without running. Cancellation of a *running* job is delivered through the
+//! same chained-token machinery the parallel portfolio uses
+//! ([`sat_solvers::SearchLimits::with_cancel`]): the per-job token and the
+//! service-wide abort token are chained onto the job's request, and every
+//! solver family polls them in its innermost loop, so a raised flag stops the
+//! search within one poll interval.
+//!
+//! # Fault isolation
+//!
+//! A panicking backend is caught at the worker boundary and surfaced as that
+//! job's [`NblSatError::BackendPanicked`]; the worker thread survives and the
+//! sibling jobs keep their outcomes.
+//!
+//! ```
+//! use cnf::cnf_formula;
+//! use nbl_sat_core::{BackendRegistry, JobPriority, SolveRequest, SolveService};
+//!
+//! let registry = BackendRegistry::default();
+//! let service = SolveService::builder(&registry).workers(2).start();
+//!
+//! let sat = cnf_formula![[1, 2], [-1, -2]];
+//! let unsat = cnf_formula![[1], [-1]];
+//! let first = service.submit("cdcl", &SolveRequest::new(&sat));
+//! let second = service.submit_with_priority(
+//!     "nbl-symbolic",
+//!     &SolveRequest::new(&unsat),
+//!     JobPriority::High,
+//! );
+//!
+//! assert!(first.wait().unwrap().verdict.is_sat());
+//! assert!(second.wait().unwrap().verdict.is_unsat());
+//! service.shutdown();
+//! ```
+
+use crate::budget::{Budget, SharedBudget};
+use crate::error::{NblSatError, Result};
+use crate::solve::outcome::{SolveOutcome, SolveVerdict, UnknownCause};
+use crate::solve::registry::BackendRegistry;
+use crate::solve::request::{Artifacts, SolveRequest};
+use cnf::CnfFormula;
+use std::any::Any;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Scheduling priority of a submitted job. Workers always pull the highest
+/// priority available; within one class, jobs run in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum JobPriority {
+    /// Background work, run when nothing more urgent is queued.
+    Low,
+    /// The default service level.
+    #[default]
+    Normal,
+    /// Latency-sensitive work, served before everything else.
+    High,
+}
+
+/// Where a job currently is in its lifecycle, as seen by
+/// [`JobHandle::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobStatus {
+    /// Waiting in the service queue.
+    Queued,
+    /// Claimed by a worker and currently solving.
+    Running,
+    /// The outcome is available ([`JobHandle::poll`] answers `Some`).
+    Finished,
+}
+
+/// Internal lifecycle state of one job. The result is boxed so the common
+/// pre-completion states stay pointer-sized.
+enum JobState {
+    Queued,
+    Running,
+    Finished(Box<Result<SolveOutcome>>),
+    /// The result was moved out by [`JobHandle::wait`].
+    Claimed,
+}
+
+/// The state one job shares between its handle, the queue entry and the
+/// worker that runs it.
+struct JobShared {
+    id: u64,
+    cancel: Arc<AtomicBool>,
+    state: Mutex<JobState>,
+    finished: Condvar,
+}
+
+fn lock_state(shared: &JobShared) -> MutexGuard<'_, JobState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl JobShared {
+    /// Stores the result and wakes every waiter, unless the job already
+    /// finished (e.g. it was cancelled while queued). Returns whether this
+    /// call finished the job.
+    fn try_finish(&self, result: Result<SolveOutcome>) -> bool {
+        let mut state = lock_state(self);
+        if matches!(*state, JobState::Finished(_) | JobState::Claimed) {
+            return false;
+        }
+        *state = JobState::Finished(Box::new(result));
+        self.finished.notify_all();
+        true
+    }
+
+    /// A worker claims the job for execution. Answers `false` when the job
+    /// was already finished (cancelled while still queued), in which case the
+    /// worker skips it.
+    fn begin_running(&self) -> bool {
+        let mut state = lock_state(self);
+        if matches!(*state, JobState::Queued) {
+            *state = JobState::Running;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The `Unknown(Cancelled)` outcome a cancelled job answers without (or
+/// instead of finishing) a run.
+fn cancelled_outcome() -> SolveOutcome {
+    SolveOutcome::of_verdict(SolveVerdict::Unknown(UnknownCause::Cancelled))
+}
+
+/// A ticket for one submitted job.
+///
+/// The handle is the only way to observe the job: [`JobHandle::status`] and
+/// [`JobHandle::poll`] never block, [`JobHandle::wait`] blocks until the
+/// outcome lands, and [`JobHandle::cancel`] stops the job — immediately if it
+/// is still queued, within one solver poll interval if it is already running.
+/// Dropping the handle does not cancel the job.
+pub struct JobHandle {
+    backend: String,
+    priority: JobPriority,
+    shared: Arc<JobShared>,
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.shared.id)
+            .field("backend", &self.backend)
+            .field("priority", &self.priority)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The service-unique id of this job (also its FIFO rank within its
+    /// priority class).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// The backend name the job was submitted against.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// The priority the job was submitted with.
+    pub fn priority(&self) -> JobPriority {
+        self.priority
+    }
+
+    /// Where the job currently is in its lifecycle. Never blocks.
+    pub fn status(&self) -> JobStatus {
+        match *lock_state(&self.shared) {
+            JobState::Queued => JobStatus::Queued,
+            JobState::Running => JobStatus::Running,
+            JobState::Finished(_) | JobState::Claimed => JobStatus::Finished,
+        }
+    }
+
+    /// Non-blocking check for the outcome: `None` while the job is queued or
+    /// running, `Some` (a clone of the outcome) once it finished.
+    pub fn poll(&self) -> Option<Result<SolveOutcome>> {
+        match &*lock_state(&self.shared) {
+            JobState::Finished(result) => Some(result.as_ref().clone()),
+            _ => None,
+        }
+    }
+
+    /// Blocks until the job finishes and returns its outcome.
+    pub fn wait(self) -> Result<SolveOutcome> {
+        let mut state = lock_state(&self.shared);
+        loop {
+            match &*state {
+                JobState::Finished(_) => {
+                    let JobState::Finished(result) =
+                        std::mem::replace(&mut *state, JobState::Claimed)
+                    else {
+                        unreachable!("matched Finished above");
+                    };
+                    return *result;
+                }
+                JobState::Claimed => {
+                    // `wait` consumes the only handle, so the result can only
+                    // have been claimed by it; this arm is unreachable through
+                    // the public API but must not hang if it ever fires.
+                    return Ok(cancelled_outcome());
+                }
+                JobState::Queued | JobState::Running => {
+                    state = self
+                        .shared
+                        .finished
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Cancels the job. A job still in the queue is answered
+    /// `Unknown(Cancelled)` immediately, without waiting for a worker; a
+    /// running job observes its raised token at the next poll of its search
+    /// loop and stops within one poll interval. Cancelling a finished job is
+    /// a no-op.
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+        let mut state = lock_state(&self.shared);
+        if matches!(*state, JobState::Queued) {
+            *state = JobState::Finished(Box::new(Ok(cancelled_outcome())));
+            self.shared.finished.notify_all();
+        }
+    }
+}
+
+/// One queue entry: everything a worker needs to run the job, owned so the
+/// service outlives the caller's borrows.
+struct QueuedJob {
+    seq: u64,
+    priority: JobPriority,
+    backend: String,
+    formula: Arc<CnfFormula>,
+    artifacts: Artifacts,
+    seed: u64,
+    budget: Budget,
+    trace: bool,
+    /// Cancellation tokens the caller had already chained onto the submitted
+    /// request; preserved so outer cancellation scopes keep working.
+    caller_cancels: Vec<Arc<AtomicBool>>,
+    shared: Arc<JobShared>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then FIFO (lower seq) within a
+        // priority class.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    /// Once `true` the service accepts no new jobs and workers exit as soon
+    /// as the heap is empty.
+    closed: bool,
+}
+
+/// Everything the worker threads share.
+struct ServiceInner {
+    registry: BackendRegistry,
+    pool: SharedBudget,
+    /// The service-wide abort token, chained onto every job's request.
+    abort: Arc<AtomicBool>,
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+fn lock_queue(inner: &ServiceInner) -> MutexGuard<'_, QueueState> {
+    inner.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload for [`NblSatError::BackendPanicked`].
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The worker loop: pull the highest-priority job, run it, repeat; exit once
+/// the queue is closed and drained.
+fn worker_loop(inner: &ServiceInner) {
+    loop {
+        let job = {
+            let mut queue = lock_queue(inner);
+            loop {
+                if let Some(job) = queue.heap.pop() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = inner
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if !job.shared.begin_running() {
+            // Finished while still queued (cancelled); nothing to run.
+            continue;
+        }
+        let result = run_job(inner, &job);
+        job.shared.try_finish(result);
+    }
+}
+
+/// Runs one claimed job: starve it if the pool is spent, answer immediately
+/// if it is already cancelled, otherwise solve it under the pool's current
+/// slice (with the per-job and service-wide cancellation tokens chained onto
+/// the request) and charge the actual spend back. Panics are caught here so
+/// a faulty backend costs one job, not a worker thread.
+fn run_job(inner: &ServiceInner, job: &QueuedJob) -> Result<SolveOutcome> {
+    if inner.abort.load(Ordering::Relaxed)
+        || job.shared.cancel.load(Ordering::Relaxed)
+        || job
+            .caller_cancels
+            .iter()
+            .any(|flag| flag.load(Ordering::Relaxed))
+    {
+        return Ok(cancelled_outcome());
+    }
+    if let Some(resource) = inner.pool.exhausted() {
+        let mut outcome = SolveOutcome::of_verdict(SolveVerdict::Unknown(
+            UnknownCause::BudgetExhausted(resource),
+        ));
+        outcome.exhausted = Some(resource);
+        return Ok(outcome);
+    }
+    let slice = inner.pool.slice(&job.budget);
+    let mut request = SolveRequest::new(&job.formula)
+        .artifacts(job.artifacts)
+        .seed(job.seed)
+        .budget(slice)
+        .trace(job.trace)
+        .cancel_token(Arc::clone(&job.shared.cancel))
+        .cancel_token(Arc::clone(&inner.abort));
+    for token in &job.caller_cancels {
+        request = request.cancel_token(Arc::clone(token));
+    }
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        inner.registry.create(&job.backend)?.solve(&request)
+    }));
+    match solved {
+        Ok(Ok(outcome)) => {
+            inner
+                .pool
+                .charge(outcome.stats.samples, outcome.stats.coprocessor_checks);
+            Ok(outcome)
+        }
+        Ok(Err(error)) => Err(error),
+        Err(payload) => Err(NblSatError::BackendPanicked {
+            backend: job.backend.clone(),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Configures and starts a [`SolveService`].
+pub struct ServiceBuilder {
+    registry: BackendRegistry,
+    workers: usize,
+    budget: Budget,
+}
+
+impl fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceBuilder")
+            .field("workers", &self.workers)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceBuilder {
+    /// Sets the worker-pool size (clamped to at least 1). Defaults to one
+    /// worker per available CPU.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the shared budget every job is charged against. Each job's own
+    /// request budget still applies on top (the tighter limit wins, resource
+    /// by resource). Defaults to unlimited.
+    pub fn shared_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Spawns the worker threads and starts the service. The shared budget's
+    /// wall-clock deadline is fixed now.
+    pub fn start(self) -> SolveService {
+        let inner = Arc::new(ServiceInner {
+            registry: self.registry,
+            pool: SharedBudget::start(&self.budget),
+            abort: Arc::new(AtomicBool::new(false)),
+            queue: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                closed: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers: Vec<JoinHandle<()>> = (0..self.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        SolveService {
+            inner,
+            worker_count: workers.len(),
+            workers: Mutex::new(workers),
+            next_id: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A persistent, queue-fed solving service: a bounded pool of long-lived
+/// worker threads draining a condvar-signalled priority queue against one
+/// refillable [`SharedBudget`].
+///
+/// Built with [`SolveService::builder`]; submit jobs from any thread with
+/// [`SolveService::submit`] (the service is `Sync`, submission never blocks
+/// on solving) and observe them through the returned [`JobHandle`]s. The
+/// one-shot [`SolveBatch`](crate::SolveBatch) is a submit-all-then-wait
+/// wrapper over this service, so both front ends share one scheduling code
+/// path.
+///
+/// # Winding down
+///
+/// * [`SolveService::shutdown`] — graceful drain: no new jobs are accepted,
+///   every already-accepted job still runs to its outcome, then the workers
+///   exit.
+/// * [`SolveService::abort`] — immediate stop: queued jobs are answered
+///   `Unknown(Cancelled)` without running, running jobs are interrupted
+///   through the service-wide abort token within one solver poll interval.
+/// * Dropping the service without calling either behaves like
+///   [`SolveService::abort`] (a drop must not block on a long drain).
+///
+/// Both take `&self`, so a service shared across threads (e.g. behind an
+/// `Arc`) can be wound down while producers still hold references; their
+/// subsequent submissions come back finished with
+/// [`NblSatError::ServiceStopped`]. Stopping twice is a no-op.
+pub struct SolveService {
+    inner: Arc<ServiceInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+    next_id: AtomicU64,
+}
+
+impl fmt::Debug for SolveService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveService")
+            .field("workers", &self.worker_count())
+            .field("pending_jobs", &self.pending_jobs())
+            .field("accepting", &self.is_accepting())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolveService {
+    /// Starts configuring a service over (a cheap clone of) `registry`.
+    pub fn builder(registry: &BackendRegistry) -> ServiceBuilder {
+        ServiceBuilder {
+            registry: registry.clone(),
+            workers: thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Submits a job at [`JobPriority::Normal`]. Returns immediately; the
+    /// formula is cloned out of the request so the caller's borrow ends here.
+    pub fn submit(&self, backend: &str, request: &SolveRequest<'_>) -> JobHandle {
+        self.submit_with_priority(backend, request, JobPriority::Normal)
+    }
+
+    /// Submits a job at an explicit priority. Returns immediately with the
+    /// job's [`JobHandle`]; a job submitted after [`SolveService::shutdown`]
+    /// or [`SolveService::abort`] comes back already finished with
+    /// [`NblSatError::ServiceStopped`].
+    pub fn submit_with_priority(
+        &self,
+        backend: &str,
+        request: &SolveRequest<'_>,
+        priority: JobPriority,
+    ) -> JobHandle {
+        self.submit_arc(
+            backend,
+            Arc::new(request.formula().clone()),
+            request,
+            priority,
+        )
+    }
+
+    /// The clone-free submission path: the caller provides the owned formula
+    /// (which must be the request's formula), so many jobs over one instance
+    /// — the [`SolveBatch`](crate::SolveBatch) shape — share a single
+    /// allocation instead of deep-copying it per job.
+    pub(crate) fn submit_arc(
+        &self,
+        backend: &str,
+        formula: Arc<CnfFormula>,
+        request: &SolveRequest<'_>,
+        priority: JobPriority,
+    ) -> JobHandle {
+        debug_assert_eq!(*formula, *request.formula());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(JobShared {
+            id,
+            cancel: Arc::new(AtomicBool::new(false)),
+            state: Mutex::new(JobState::Queued),
+            finished: Condvar::new(),
+        });
+        let handle = JobHandle {
+            backend: backend.to_string(),
+            priority,
+            shared: Arc::clone(&shared),
+        };
+        let job = QueuedJob {
+            seq: id,
+            priority,
+            backend: backend.to_string(),
+            formula,
+            artifacts: request.requested_artifacts(),
+            seed: request.requested_seed(),
+            budget: *request.requested_budget(),
+            trace: request.wants_trace(),
+            caller_cancels: request.cancel_tokens().to_vec(),
+            shared,
+        };
+        {
+            let mut queue = lock_queue(&self.inner);
+            if queue.closed {
+                drop(queue);
+                handle.shared.try_finish(Err(NblSatError::ServiceStopped));
+                return handle;
+            }
+            queue.heap.push(job);
+        }
+        self.inner.work_ready.notify_one();
+        handle
+    }
+
+    /// Number of worker threads the service was started with.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Number of jobs currently waiting in the queue (not counting running
+    /// ones, nor jobs cancelled while queued — those are finished and merely
+    /// await a worker's lazy discard of their heap entry).
+    pub fn pending_jobs(&self) -> usize {
+        lock_queue(&self.inner)
+            .heap
+            .iter()
+            .filter(|job| matches!(*lock_state(&job.shared), JobState::Queued))
+            .count()
+    }
+
+    /// Returns `true` while the service accepts new submissions.
+    pub fn is_accepting(&self) -> bool {
+        !lock_queue(&self.inner).closed
+    }
+
+    /// The shared budget pool, for observability (remaining allowances,
+    /// deadline).
+    pub fn shared_budget(&self) -> &SharedBudget {
+        &self.inner.pool
+    }
+
+    /// Returns `samples` of spent allowance to the pool (see
+    /// [`SharedBudget::refill_samples`]); jobs that would have starved now
+    /// run.
+    pub fn refill_samples(&self, samples: u64) {
+        self.inner.pool.refill_samples(samples);
+    }
+
+    /// Returns `checks` of spent allowance to the pool (see
+    /// [`SharedBudget::refill_checks`]).
+    pub fn refill_checks(&self, checks: u64) {
+        self.inner.pool.refill_checks(checks);
+    }
+
+    /// Pushes the pool's wall-clock deadline `extra` further out (see
+    /// [`SharedBudget::extend_deadline`]).
+    pub fn extend_deadline(&self, extra: Duration) {
+        self.inner.pool.extend_deadline(extra);
+    }
+
+    /// Graceful shutdown: stops accepting jobs, lets the workers drain every
+    /// already-accepted job to its outcome, then joins them. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop(false);
+    }
+
+    /// Immediate stop: stops accepting jobs, answers every queued job
+    /// `Unknown(Cancelled)` without running it, interrupts running jobs
+    /// through the service-wide abort token, and joins the workers.
+    /// Idempotent.
+    pub fn abort(&self) {
+        self.stop(true);
+    }
+
+    fn stop(&self, abort: bool) {
+        {
+            let mut queue = lock_queue(&self.inner);
+            queue.closed = true;
+            if abort {
+                self.inner.abort.store(true, Ordering::Relaxed);
+                // Queued jobs are answered directly instead of waiting for a
+                // worker to pop and discard them.
+                for job in queue.heap.drain() {
+                    job.shared.try_finish(Ok(cancelled_outcome()));
+                }
+            }
+        }
+        self.inner.work_ready.notify_all();
+        let workers: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for worker in workers {
+            // Worker panics cannot happen through `run_job` (it catches
+            // them); a join error would mean a bug in the loop itself, and
+            // the remaining workers should still be joined.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.stop(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ExhaustedResource;
+    use crate::solve::backend::SatBackend;
+    use cnf::generators;
+    use std::time::Instant;
+
+    fn service(workers: usize) -> SolveService {
+        SolveService::builder(&BackendRegistry::default())
+            .workers(workers)
+            .start()
+    }
+
+    #[test]
+    fn submit_returns_immediately_and_wait_answers() {
+        let service = service(2);
+        let sat = generators::example6_sat();
+        let unsat = generators::example7_unsat();
+        let a = service.submit("cdcl", &SolveRequest::new(&sat));
+        let b = service.submit("dpll", &SolveRequest::new(&unsat));
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        assert_eq!(a.backend(), "cdcl");
+        assert_eq!(a.priority(), JobPriority::Normal);
+        assert!(a.wait().unwrap().verdict.is_sat());
+        assert!(b.wait().unwrap().verdict.is_unsat());
+        service.shutdown();
+    }
+
+    #[test]
+    fn poll_transitions_from_none_to_some() {
+        let service = service(1);
+        let sat = generators::example6_sat();
+        let handle = service.submit("cdcl", &SolveRequest::new(&sat));
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(result) = handle.poll() {
+                assert!(result.unwrap().verdict.is_sat());
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never finished");
+            thread::yield_now();
+        }
+        assert_eq!(handle.status(), JobStatus::Finished);
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_backend_is_a_per_job_error() {
+        let service = service(1);
+        let f = generators::example6_sat();
+        let bad = service.submit("minisat", &SolveRequest::new(&f));
+        let good = service.submit("cdcl", &SolveRequest::new(&f));
+        assert!(matches!(
+            bad.wait().unwrap_err(),
+            NblSatError::UnknownBackend(name) if name == "minisat"
+        ));
+        assert!(good.wait().unwrap().verdict.is_sat());
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_answers_service_stopped() {
+        let service = service(1);
+        let f = generators::example6_sat();
+        assert!(service.is_accepting());
+        service.shutdown();
+        assert!(!service.is_accepting());
+        let late = service.submit("cdcl", &SolveRequest::new(&f));
+        assert_eq!(late.status(), JobStatus::Finished);
+        assert!(matches!(
+            late.wait().unwrap_err(),
+            NblSatError::ServiceStopped
+        ));
+        // Stopping again is a no-op.
+        service.shutdown();
+        service.abort();
+    }
+
+    /// A backend that records the seed of every request it answers, and
+    /// optionally blocks on a gate first — enough to freeze the single worker
+    /// while a test arranges the queue behind it.
+    #[derive(Debug)]
+    struct Recorder {
+        log: Arc<Mutex<Vec<u64>>>,
+        gate: Option<Arc<AtomicBool>>,
+    }
+
+    impl SatBackend for Recorder {
+        fn name(&self) -> &'static str {
+            "recorder"
+        }
+        fn is_complete(&self) -> bool {
+            true
+        }
+        fn solve(&mut self, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
+            if let Some(gate) = &self.gate {
+                while !gate.load(Ordering::Relaxed) {
+                    thread::yield_now();
+                }
+            }
+            self.log
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(request.requested_seed());
+            Ok(SolveOutcome::of_verdict(SolveVerdict::Satisfiable))
+        }
+    }
+
+    fn recording_registry(log: &Arc<Mutex<Vec<u64>>>, gate: &Arc<AtomicBool>) -> BackendRegistry {
+        let mut registry = BackendRegistry::empty();
+        {
+            let log = Arc::clone(log);
+            registry.register("recorder", move || {
+                Box::new(Recorder {
+                    log: Arc::clone(&log),
+                    gate: None,
+                })
+            });
+        }
+        {
+            let log = Arc::clone(log);
+            let gate = Arc::clone(gate);
+            registry.register("gated-recorder", move || {
+                Box::new(Recorder {
+                    log: Arc::clone(&log),
+                    gate: Some(Arc::clone(&gate)),
+                })
+            });
+        }
+        registry
+    }
+
+    #[test]
+    fn priorities_pop_high_first_fifo_within_class() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+        let registry = recording_registry(&log, &gate);
+        let service = SolveService::builder(&registry).workers(1).start();
+        let f = generators::example6_sat();
+        // Freeze the single worker on a gated job, then queue behind it once
+        // the worker has actually claimed it (so nothing can jump ahead).
+        let blocker = service.submit("gated-recorder", &SolveRequest::new(&f).seed(99));
+        while blocker.status() != JobStatus::Running {
+            thread::yield_now();
+        }
+        let submissions = [
+            (0u64, JobPriority::Low),
+            (1, JobPriority::Normal),
+            (2, JobPriority::High),
+            (3, JobPriority::Normal),
+            (4, JobPriority::High),
+        ];
+        let handles: Vec<JobHandle> = submissions
+            .iter()
+            .map(|&(seed, priority)| {
+                service.submit_with_priority(
+                    "recorder",
+                    &SolveRequest::new(&f).seed(seed),
+                    priority,
+                )
+            })
+            .collect();
+        gate.store(true, Ordering::Relaxed);
+        assert!(blocker.wait().unwrap().verdict.is_sat());
+        for handle in handles {
+            assert!(handle.wait().unwrap().verdict.is_sat());
+        }
+        service.shutdown();
+        let order = log.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        // Gate job first, then High FIFO (2, 4), Normal FIFO (1, 3), Low (0).
+        assert_eq!(order, vec![99, 2, 4, 1, 3, 0]);
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_answers_without_running_it() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+        let registry = recording_registry(&log, &gate);
+        let service = SolveService::builder(&registry).workers(1).start();
+        let f = generators::example6_sat();
+        let blocker = service.submit("gated-recorder", &SolveRequest::new(&f).seed(99));
+        while blocker.status() != JobStatus::Running {
+            thread::yield_now();
+        }
+        let doomed = service.submit("recorder", &SolveRequest::new(&f).seed(7));
+        assert_eq!(doomed.status(), JobStatus::Queued);
+        doomed.cancel();
+        // The cancelled job is answered immediately, while the worker is
+        // still frozen on the gate.
+        assert_eq!(doomed.status(), JobStatus::Finished);
+        assert!(doomed.wait().unwrap().verdict.is_cancelled());
+        gate.store(true, Ordering::Relaxed);
+        assert!(blocker.wait().unwrap().verdict.is_sat());
+        service.shutdown();
+        // Seed 7 never reached the backend.
+        let order = log.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        assert_eq!(order, vec![99]);
+    }
+
+    #[test]
+    fn drop_behaves_like_abort_and_never_hangs() {
+        let hard = generators::pigeonhole(8, 7);
+        let started = Instant::now();
+        let handle;
+        {
+            let service = service(1);
+            handle = service.submit("cdcl", &SolveRequest::new(&hard));
+            // Dropped here: running job must be interrupted via the abort
+            // token.
+        }
+        let outcome = handle.wait().unwrap();
+        assert!(
+            outcome.verdict.is_cancelled() || outcome.verdict.is_definitive(),
+            "unexpected {:?}",
+            outcome.verdict
+        );
+        assert!(started.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn starved_pool_answers_budget_exhausted() {
+        let registry = BackendRegistry::default();
+        let service = SolveService::builder(&registry)
+            .workers(2)
+            .shared_budget(Budget::unlimited().with_wall_time(Duration::ZERO))
+            .start();
+        let f = generators::example6_sat();
+        let handle = service.submit("cdcl", &SolveRequest::new(&f));
+        let outcome = handle.wait().unwrap();
+        assert_eq!(
+            outcome.verdict.exhausted_resource(),
+            Some(ExhaustedResource::WallClock)
+        );
+        assert_eq!(outcome.exhausted, Some(ExhaustedResource::WallClock));
+        // Refilling the wall clock revives the service.
+        service.extend_deadline(Duration::from_secs(3600));
+        let revived = service.submit("cdcl", &SolveRequest::new(&f));
+        assert!(revived.wait().unwrap().verdict.is_sat());
+        service.shutdown();
+    }
+}

@@ -42,7 +42,7 @@ pub fn saturating_deadline_after(now: Instant, wall: Duration) -> Instant {
 }
 
 /// Resource limits for a single [`Solver::solve_limited`] call: an optional
-/// absolute wall-clock deadline plus an optional shared cancellation flag.
+/// absolute wall-clock deadline plus any number of shared cancellation flags.
 ///
 /// The default (and [`SearchLimits::unlimited`]) imposes no limit, which makes
 /// [`Solver::solve`] equivalent to the pre-limit behaviour.
@@ -57,26 +57,34 @@ pub fn saturating_deadline_after(now: Instant, wall: Duration) -> Instant {
 /// one enumerated assignment (brute force). The flag is level-triggered and
 /// never reset by the solvers; clearing it is the owner's business.
 ///
-/// Two limits compare equal when their deadlines are equal and they share the
-/// *same* cancellation token ([`Arc::ptr_eq`]), since distinct flags make the
-/// limits observably different.
+/// Tokens *chain*: each [`SearchLimits::with_cancel`] call appends another
+/// flag, and the limits count as cancelled once **any** of them is raised.
+/// This is how nested cancellation scopes compose — a per-job token from a
+/// solve service chained onto a service-wide abort token, with the parallel
+/// portfolio chaining its own race flag on top for its members — without any
+/// layer having to forward another layer's flag by polling.
+///
+/// Two limits compare equal when their deadlines are equal and they carry the
+/// *same* cancellation tokens ([`Arc::ptr_eq`], in the same chain order),
+/// since distinct flags make the limits observably different.
 ///
 /// [`Solver::solve`]: crate::Solver::solve
 /// [`Solver::solve_limited`]: crate::Solver::solve_limited
 #[derive(Debug, Clone, Default)]
 pub struct SearchLimits {
     deadline: Option<Instant>,
-    cancel: Option<Arc<AtomicBool>>,
+    cancel: Vec<Arc<AtomicBool>>,
 }
 
 impl PartialEq for SearchLimits {
     fn eq(&self, other: &Self) -> bool {
         self.deadline == other.deadline
-            && match (&self.cancel, &other.cancel) {
-                (None, None) => true,
-                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
-                _ => false,
-            }
+            && self.cancel.len() == other.cancel.len()
+            && self
+                .cancel
+                .iter()
+                .zip(&other.cancel)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
     }
 }
 
@@ -91,7 +99,7 @@ impl SearchLimits {
     pub fn with_deadline(deadline: Instant) -> Self {
         SearchLimits {
             deadline: Some(deadline),
-            cancel: None,
+            cancel: Vec::new(),
         }
     }
 
@@ -103,17 +111,17 @@ impl SearchLimits {
     pub fn deadline_in(budget: Duration) -> Self {
         SearchLimits {
             deadline: Some(saturating_deadline_after(Instant::now(), budget)),
-            cancel: None,
+            cancel: Vec::new(),
         }
     }
 
-    /// Attaches a shared cancellation token: once any thread stores `true`
+    /// Chains a shared cancellation token: once any thread stores `true`
     /// into the flag, [`SearchLimits::expired`] answers `true` and every
     /// solver polling these limits aborts with `Unknown` within one poll
-    /// interval. Combines with an existing deadline (whichever fires first
-    /// wins).
+    /// interval. Combines with an existing deadline and with previously
+    /// attached tokens (whichever fires first wins).
     pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
-        self.cancel = Some(cancel);
+        self.cancel.push(cancel);
         self
     }
 
@@ -122,17 +130,22 @@ impl SearchLimits {
         self.deadline
     }
 
-    /// The shared cancellation token, if one is attached.
+    /// The first attached cancellation token, if any (the whole chain is
+    /// available through [`SearchLimits::cancel_tokens`]).
     pub fn cancel_token(&self) -> Option<&Arc<AtomicBool>> {
-        self.cancel.as_ref()
+        self.cancel.first()
     }
 
-    /// Returns `true` once the cancellation flag was raised (regardless of
-    /// any deadline).
+    /// Every cancellation token chained onto these limits, in attachment
+    /// order.
+    pub fn cancel_tokens(&self) -> &[Arc<AtomicBool>] {
+        &self.cancel
+    }
+
+    /// Returns `true` once any chained cancellation flag was raised
+    /// (regardless of any deadline).
     pub fn cancelled(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+        self.cancel.iter().any(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// Returns `true` once the deadline has passed or the cancellation flag
@@ -212,6 +225,25 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, SearchLimits::unlimited());
+    }
+
+    #[test]
+    fn chained_tokens_trip_on_any_flag() {
+        let job = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(AtomicBool::new(false));
+        let limits = SearchLimits::unlimited()
+            .with_cancel(Arc::clone(&job))
+            .with_cancel(Arc::clone(&service));
+        assert_eq!(limits.cancel_tokens().len(), 2);
+        assert!(Arc::ptr_eq(limits.cancel_token().unwrap(), &job));
+        assert!(!limits.cancelled());
+        // Raising the *second* link of the chain is enough.
+        service.store(true, Ordering::Relaxed);
+        assert!(limits.cancelled());
+        assert!(limits.expired());
+        service.store(false, Ordering::Relaxed);
+        job.store(true, Ordering::Relaxed);
+        assert!(limits.cancelled());
     }
 
     #[test]

@@ -12,17 +12,11 @@ use crate::portfolio::{accumulate, default_members, member_seed};
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::CnfFormula;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
-
-/// How often the collector re-checks the *caller's* limits while member
-/// threads are running. Member threads poll their own limits inside their
-/// search loops; this interval only bounds how quickly an external
-/// cancellation of the whole portfolio propagates to the members.
-const COLLECT_POLL: Duration = Duration::from_millis(2);
 
 /// A parallel portfolio: race every member solver on its own thread and
 /// return the first definitive (SAT or UNSAT) answer.
@@ -143,14 +137,11 @@ impl Solver for ParallelPortfolio {
         }
 
         // The race flag is raised by the collector on the first definitive
-        // answer (or when the caller's own limits fire); every member polls
-        // it through its SearchLimits.
+        // answer. It is *chained* onto the caller's own limits, so members
+        // observe the caller's deadline and cancellation tokens directly in
+        // their search loops — no forwarding needed.
         let race = Arc::new(AtomicBool::new(false));
-        let member_limits = match limits.deadline() {
-            Some(deadline) => SearchLimits::with_deadline(deadline),
-            None => SearchLimits::unlimited(),
-        }
-        .with_cancel(Arc::clone(&race));
+        let member_limits = limits.clone().with_cancel(Arc::clone(&race));
 
         let member_count = self.members.len();
         let (tx, rx) = mpsc::channel::<MemberReport>();
@@ -161,15 +152,30 @@ impl Solver for ParallelPortfolio {
                 let tx = tx.clone();
                 let member_limits = member_limits.clone();
                 scope.spawn(move || {
-                    let result = member.solve_limited(formula, &member_limits);
-                    // The collector may already have hung up after an
-                    // external cancellation; a dead channel just means the
-                    // report is dropped with the race.
-                    let _ = tx.send(MemberReport {
-                        name: member.name(),
-                        result,
-                        stats: member.stats(),
-                    });
+                    let name = member.name();
+                    // A panicking member must not poison the whole race: the
+                    // panic is caught at this thread boundary and reported as
+                    // an Unknown, so the surviving members still decide the
+                    // instance. (The member's internal state may be
+                    // inconsistent after the unwind, so its stats are not
+                    // trusted; every solve reseeds and resets state anyway.)
+                    let report = match catch_unwind(AssertUnwindSafe(|| {
+                        member.solve_limited(formula, &member_limits)
+                    })) {
+                        Ok(result) => MemberReport {
+                            name,
+                            result,
+                            stats: member.stats(),
+                        },
+                        Err(_panic) => MemberReport {
+                            name,
+                            result: SolveResult::Unknown,
+                            stats: SolverStats::default(),
+                        },
+                    };
+                    // The collector may already have hung up; a dead channel
+                    // just means the report is dropped with the race.
+                    let _ = tx.send(report);
                 });
             }
             drop(tx);
@@ -177,31 +183,14 @@ impl Solver for ParallelPortfolio {
             // Collect every member's report. Losers come back quickly once
             // the race flag is up (bounded by their search-loop poll
             // interval), so this loop also joins the losers promptly. The
-            // timed poll only exists to forward the caller's *cancellation
-            // token* to the members — their own limits already carry the
-            // caller's deadline — so with no token, block until a report
+            // members' limits chain the caller's deadline and cancellation
+            // tokens, so there is nothing to forward — block until a report
             // lands.
-            let watch_caller = limits.cancel_token().is_some();
             let mut received = 0usize;
             while received < member_count {
-                let report = if watch_caller {
-                    match rx.recv_timeout(COLLECT_POLL) {
-                        Ok(report) => report,
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
-                            // Propagate an external cancellation (or a
-                            // deadline raced past between member polls).
-                            if limits.expired() {
-                                race.store(true, Ordering::Relaxed);
-                            }
-                            continue;
-                        }
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
-                    }
-                } else {
-                    match rx.recv() {
-                        Ok(report) => report,
-                        Err(mpsc::RecvError) => break,
-                    }
+                let report = match rx.recv() {
+                    Ok(report) => report,
+                    Err(mpsc::RecvError) => break,
                 };
                 received += 1;
                 accumulate(&mut self.stats, report.stats);
@@ -242,6 +231,7 @@ mod tests {
     use crate::{BruteForceSolver, Gsat, Portfolio, Schoening};
     use cnf::cnf_formula;
     use cnf::generators::{self, RandomKSatConfig};
+    use std::time::Duration;
 
     #[test]
     fn races_to_definitive_answers_on_paper_instances() {
@@ -347,6 +337,50 @@ mod tests {
     fn empty_clause_is_unsat_through_the_race() {
         let mut portfolio = ParallelPortfolio::new();
         assert!(portfolio.solve(&cnf_formula![[]]).is_unsat());
+    }
+
+    /// A member that panics as soon as it is asked to solve anything.
+    struct PanickingSolver;
+
+    impl Solver for PanickingSolver {
+        fn solve_limited(&mut self, _formula: &CnfFormula, _limits: &SearchLimits) -> SolveResult {
+            panic!("deliberate mock panic");
+        }
+
+        fn stats(&self) -> SolverStats {
+            SolverStats::default()
+        }
+
+        fn name(&self) -> &'static str {
+            "panicker"
+        }
+    }
+
+    #[test]
+    fn panicking_member_does_not_poison_the_race() {
+        // Regression: a member panic used to propagate through the scoped
+        // join and take the whole portfolio down. It must now count as an
+        // Unknown report while the healthy members decide the instance.
+        let mut portfolio = ParallelPortfolio::with_members(vec![
+            Box::new(PanickingSolver),
+            Box::new(crate::CdclSolver::new()),
+        ]);
+        assert!(portfolio.solve(&generators::example6_sat()).is_sat());
+        assert_eq!(portfolio.winner(), Some("cdcl"));
+        assert!(portfolio.solve(&generators::example7_unsat()).is_unsat());
+    }
+
+    #[test]
+    fn all_members_panicking_is_unknown_not_a_crash() {
+        let mut portfolio = ParallelPortfolio::with_members(vec![
+            Box::new(PanickingSolver),
+            Box::new(PanickingSolver),
+        ]);
+        assert_eq!(
+            portfolio.solve(&generators::example6_sat()),
+            SolveResult::Unknown
+        );
+        assert_eq!(portfolio.winner(), None);
     }
 
     #[test]

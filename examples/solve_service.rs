@@ -1,0 +1,148 @@
+//! Streaming solving through the `SolveService` job queue: a producer thread
+//! submits a live stream of SAT jobs while the main thread consumes outcomes
+//! as they land — the service front end a long-lived deployment of the
+//! paper's NBL coprocessor would sit behind, where requests arrive
+//! continuously instead of in one-shot batches.
+//!
+//! The example shows the full service lifecycle:
+//!
+//! 1. a producer streams a mixed workload into the queue (with one
+//!    high-priority job jumping ahead of the backlog),
+//! 2. the consumer polls handles without blocking and collects outcomes in
+//!    completion order,
+//! 3. a long-running pigeonhole refutation is cancelled mid-search,
+//! 4. a check-starved job is revived by refilling the shared budget,
+//! 5. a graceful `shutdown()` drains the queue.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example solve_service
+//! ```
+
+use nbl_sat_repro::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = BackendRegistry::default();
+    let service = SolveService::builder(&registry)
+        .workers(4)
+        .shared_budget(Budget::unlimited().with_max_checks(6))
+        .start();
+    println!(
+        "service up: {} workers, {} backends\n",
+        service.worker_count(),
+        registry.len()
+    );
+
+    // 1. Produce a stream of jobs from a separate thread; each submission
+    //    returns its handle immediately, so the producer never waits for a
+    //    solve.
+    let mut workload: Vec<(String, &'static str, CnfFormula)> = vec![
+        (
+            "example 6 (SAT)".into(),
+            "cdcl",
+            cnf::generators::example6_sat(),
+        ),
+        (
+            "example 7 (UNSAT)".into(),
+            "nbl-symbolic",
+            cnf::generators::example7_unsat(),
+        ),
+        (
+            "section 4 (SAT)".into(),
+            "portfolio",
+            cnf::generators::section4_sat_instance(),
+        ),
+    ];
+    for seed in 0..5 {
+        workload.push((
+            format!("random 3-SAT n=12 seed {seed}"),
+            if seed % 2 == 0 {
+                "cdcl"
+            } else {
+                "parallel-portfolio"
+            },
+            cnf::generators::random_ksat(
+                &cnf::generators::RandomKSatConfig::from_ratio(12, 4.2, 3).with_seed(seed),
+            )?,
+        ));
+    }
+
+    let handles: Vec<(String, JobHandle)> = std::thread::scope(|scope| {
+        let producer = scope.spawn(|| {
+            let mut handles = Vec::new();
+            for (label, backend, formula) in &workload {
+                let request = SolveRequest::new(formula)
+                    .artifacts(Artifacts::Model)
+                    .seed(2012);
+                handles.push((label.clone(), service.submit(backend, &request)));
+            }
+            // One latency-sensitive job jumps the whole backlog.
+            let urgent = cnf::generators::section4_unsat_instance();
+            handles.push((
+                "URGENT section 4 (UNSAT)".into(),
+                service.submit_with_priority(
+                    "dpll",
+                    &SolveRequest::new(&urgent),
+                    JobPriority::High,
+                ),
+            ));
+            handles
+        });
+        producer.join().expect("producer thread")
+    });
+    println!("streamed {} jobs into the queue", handles.len());
+
+    // 2. Consume without blocking: poll every handle until all have landed.
+    let mut pending: Vec<(String, JobHandle)> = handles;
+    while !pending.is_empty() {
+        let mut still_pending = Vec::new();
+        for (label, handle) in pending {
+            match handle.poll() {
+                Some(result) => {
+                    let outcome = result?;
+                    println!("  [{:>8}] {label}: {}", handle.backend(), outcome.verdict);
+                }
+                None => still_pending.push((label, handle)),
+            }
+        }
+        pending = still_pending;
+        std::thread::yield_now();
+    }
+
+    // 3. Cancel a refutation that would otherwise grind for a long time.
+    let hard = cnf::generators::pigeonhole(8, 7);
+    let doomed = service.submit("cdcl", &SolveRequest::new(&hard));
+    std::thread::sleep(Duration::from_millis(20));
+    let cancelled_at = Instant::now();
+    doomed.cancel();
+    let outcome = doomed.wait()?;
+    println!(
+        "\ncancelled pigeonhole 8\u{2192}7 after 20 ms: {} (observed in {:?})",
+        outcome.verdict,
+        cancelled_at.elapsed()
+    );
+
+    // 4. The service's check pool (6 checks) is nearly spent by the
+    //    nbl-symbolic job above; starve it fully, then refill.
+    let unsat = cnf::generators::example7_unsat();
+    loop {
+        let outcome = service
+            .submit("nbl-symbolic", &SolveRequest::new(&unsat))
+            .wait()?;
+        if let Some(resource) = outcome.exhausted {
+            println!("pool starved: {} exhausted", resource);
+            break;
+        }
+    }
+    service.refill_checks(4);
+    let revived = service
+        .submit("nbl-symbolic", &SolveRequest::new(&unsat))
+        .wait()?;
+    println!("after refill_checks(4): {}", revived.verdict);
+
+    // 5. Graceful drain.
+    service.shutdown();
+    println!("\nservice drained and stopped");
+    Ok(())
+}

@@ -42,6 +42,12 @@
 //! # Ok::<(), NblSatError>(())
 //! ```
 //!
+//! For many requests at once, [`SolveBatch`](prelude::SolveBatch) fans a
+//! one-shot batch out over a bounded worker pool against a shared budget, and
+//! the persistent [`SolveService`](prelude::SolveService) job queue serves a
+//! *stream* of requests: non-blocking submission, priorities, per-job
+//! cancellation, refillable budgets, and drain-vs-abort shutdown.
+//!
 //! The lower-level building blocks ([`SatChecker`](prelude::SatChecker),
 //! [`AssignmentExtractor`](prelude::AssignmentExtractor),
 //! [`HybridSolver`](prelude::HybridSolver), the [`Solver`](prelude::Solver)
@@ -66,10 +72,10 @@ pub mod prelude {
     pub use nbl_noise::{CarrierKind, RunningStats};
     pub use nbl_sat_core::{
         AlgebraicEngine, Artifacts, AssignmentExtractor, BackendRegistry, Budget, BudgetMeter,
-        EngineConfig, ExhaustedResource, HybridSolver, MeanEstimate, NblEngine, NblSatError,
-        NblSatInstance, SampledEngine, SatBackend, SatChecker, SharedBudget, SnrModel, SolveBatch,
-        SolveOutcome, SolveRequest, SolveStats, SolveVerdict, SymbolicEngine, UnknownCause,
-        Verdict,
+        EngineConfig, ExhaustedResource, HybridSolver, JobHandle, JobPriority, JobStatus,
+        MeanEstimate, NblEngine, NblSatError, NblSatInstance, SampledEngine, SatBackend,
+        SatChecker, ServiceBuilder, SharedBudget, SnrModel, SolveBatch, SolveOutcome, SolveRequest,
+        SolveService, SolveStats, SolveVerdict, SymbolicEngine, UnknownCause, Verdict,
     };
     pub use sat_solvers::{
         BruteForceSolver, CdclSolver, DpllSolver, Gsat, MusExtractor, ParallelPortfolio, Portfolio,

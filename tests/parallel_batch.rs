@@ -189,6 +189,9 @@ fn batch_under_contention_starves_but_never_hangs() {
             SolveVerdict::Unknown(UnknownCause::Incomplete) => {
                 panic!("complete backends must not answer Incomplete here")
             }
+            SolveVerdict::Unknown(UnknownCause::Cancelled) => {
+                panic!("nothing cancels jobs in this test")
+            }
         }
     }
 }

@@ -1,0 +1,468 @@
+//! Acceptance suite for the `SolveService` job-queue front end: streaming
+//! submits that never block, ordering independence, cancellation latency,
+//! budget refills, drain-vs-abort shutdown, priority scheduling without lost
+//! jobs, panic isolation, and the differential guarantees of the
+//! `SolveBatch` wrapper (single-worker outcomes bit-equal to sequential
+//! solves, worker count clamped to job count).
+
+use nbl_sat_repro::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The oracle battery of `tests/backend_registry.rs`: paper instances plus
+/// seeded random 3-SAT around the phase transition and random 2-SAT.
+fn oracle_battery() -> Vec<CnfFormula> {
+    let mut battery = vec![
+        cnf::generators::example6_sat(),
+        cnf::generators::example7_unsat(),
+        cnf::generators::section4_sat_instance(),
+        cnf::generators::section4_unsat_instance(),
+        cnf::generators::pigeonhole(3, 2),
+    ];
+    for seed in 0..10 {
+        battery.push(
+            cnf::generators::random_ksat(
+                &cnf::generators::RandomKSatConfig::new(6, 26, 3).with_seed(seed),
+            )
+            .unwrap(),
+        );
+    }
+    battery
+}
+
+/// A backend that spins on a gate before answering — used to freeze a worker
+/// while a test arranges the queue behind it.
+#[derive(Debug)]
+struct GatedBackend {
+    gate: Arc<AtomicBool>,
+}
+
+impl SatBackend for GatedBackend {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+    fn is_complete(&self) -> bool {
+        true
+    }
+    fn solve(&mut self, request: &SolveRequest<'_>) -> Result<SolveOutcome, NblSatError> {
+        while !self.gate.load(Ordering::Relaxed) {
+            // A real backend would poll its limits; the gate honours
+            // cancellation too so aborts never hang the suite.
+            if request.cancelled() {
+                return Ok(SolveOutcome::of_verdict(SolveVerdict::Unknown(
+                    UnknownCause::Cancelled,
+                )));
+            }
+            std::thread::yield_now();
+        }
+        Ok(SolveOutcome::of_verdict(SolveVerdict::Satisfiable))
+    }
+}
+
+/// The default registry plus the `"gated"` test backend.
+fn registry_with_gate(gate: &Arc<AtomicBool>) -> BackendRegistry {
+    let mut registry = BackendRegistry::default();
+    let gate = Arc::clone(gate);
+    registry.register("gated", move || {
+        Box::new(GatedBackend {
+            gate: Arc::clone(&gate),
+        })
+    });
+    registry
+}
+
+#[test]
+fn streaming_submits_return_handles_without_blocking() {
+    let registry = BackendRegistry::default();
+    let service = SolveService::builder(&registry).workers(2).start();
+    let hard = cnf::generators::pigeonhole(8, 7);
+    let started = Instant::now();
+    let handles: Vec<JobHandle> = (0..16)
+        .map(|_| service.submit("cdcl", &SolveRequest::new(&hard)))
+        .collect();
+    // 16 hard jobs on 2 workers: submission must not wait for any of them.
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "submit blocked for {:?}",
+        started.elapsed()
+    );
+    assert_eq!(handles.len(), 16);
+    for handle in &handles {
+        assert!(matches!(
+            handle.status(),
+            JobStatus::Queued | JobStatus::Running
+        ));
+        assert!(handle.poll().is_none() || handle.poll().is_some());
+    }
+    service.abort();
+    for handle in handles {
+        let outcome = handle.wait().unwrap();
+        assert!(
+            outcome.verdict.is_cancelled() || outcome.verdict.is_definitive(),
+            "unexpected {:?}",
+            outcome.verdict
+        );
+    }
+}
+
+#[test]
+fn outcomes_are_ordering_independent() {
+    // Each handle answers *its* job no matter in which order the pool
+    // finishes them; verdicts match the sequential front door.
+    let registry = BackendRegistry::default();
+    let service = SolveService::builder(&registry).workers(4).start();
+    let battery = oracle_battery();
+    let backends = ["cdcl", "dpll", "portfolio", "nbl-symbolic", "two-sat"];
+    let handles: Vec<(usize, &str, JobHandle)> = battery
+        .iter()
+        .enumerate()
+        .map(|(i, formula)| {
+            let backend = backends[i % backends.len()];
+            let request = SolveRequest::new(formula).seed(2012);
+            (i, backend, service.submit(backend, &request))
+        })
+        .collect();
+    for (i, backend, handle) in handles {
+        let sequential = registry
+            .solve(backend, &SolveRequest::new(&battery[i]).seed(2012))
+            .unwrap();
+        assert_eq!(
+            handle.wait().unwrap().verdict,
+            sequential.verdict,
+            "job {i} on {backend}"
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
+fn cancelling_a_running_job_stops_every_classical_family_promptly() {
+    // The PR 3 cancellation-latency harness, lifted to the service level: a
+    // long-running job must come back within one poll interval of cancel()
+    // for every solver family. Complete solvers grinding on pigeonhole
+    // refutations would otherwise run for minutes to hours; the local
+    // searches may exhaust their internal caps first, which is also a prompt
+    // return. Either way the latency bound holds and the verdict is never
+    // *invented* — it is Cancelled, a budget Unknown, Incomplete, or the
+    // instance's true answer.
+    let hard = cnf::generators::pigeonhole(8, 7);
+    let small_symbolic = cnf::generators::pigeonhole(5, 4); // 20 vars: in scope for NBL engines
+    let jobs: Vec<(&str, &CnfFormula)> = vec![
+        ("dpll", &hard),
+        ("cdcl", &hard),
+        ("walksat", &hard),
+        ("gsat", &hard),
+        ("schoening", &hard),
+        ("portfolio", &hard),
+        ("parallel-portfolio", &hard),
+        ("nbl-symbolic", &small_symbolic),
+        ("hybrid-symbolic", &small_symbolic),
+    ];
+    let registry = BackendRegistry::default();
+    for (backend, formula) in jobs {
+        let service = SolveService::builder(&registry).workers(1).start();
+        let handle = service.submit(backend, &SolveRequest::new(formula));
+        // Let the job actually start (and possibly finish, on fast solvers).
+        std::thread::sleep(Duration::from_millis(25));
+        let cancelled_at = Instant::now();
+        handle.cancel();
+        let outcome = handle.wait().unwrap();
+        assert!(
+            cancelled_at.elapsed() < Duration::from_secs(5),
+            "{backend} took {:?} to observe cancellation",
+            cancelled_at.elapsed()
+        );
+        if !outcome.verdict.is_definitive() {
+            assert!(
+                matches!(
+                    outcome.verdict,
+                    SolveVerdict::Unknown(
+                        UnknownCause::Cancelled
+                            | UnknownCause::Incomplete
+                            | UnknownCause::BudgetExhausted(_)
+                    )
+                ),
+                "{backend}: unexpected {:?}",
+                outcome.verdict
+            );
+        }
+        service.shutdown();
+    }
+    // DPLL on pigeonhole(8, 7) cannot finish in 25 ms; its return must be the
+    // cancellation itself.
+    let service = SolveService::builder(&registry).workers(1).start();
+    let handle = service.submit("dpll", &SolveRequest::new(&hard));
+    std::thread::sleep(Duration::from_millis(25));
+    handle.cancel();
+    assert!(handle.wait().unwrap().verdict.is_cancelled());
+    service.shutdown();
+}
+
+#[test]
+fn cancelling_queued_jobs_answers_all_backends_without_running() {
+    // With the single worker frozen on a gated job, one queued job per
+    // registered backend is cancelled: every one must answer
+    // Unknown(Cancelled) immediately, deterministically, without a backend
+    // ever being created.
+    let gate = Arc::new(AtomicBool::new(false));
+    let registry = registry_with_gate(&gate);
+    let service = SolveService::builder(&registry).workers(1).start();
+    let f = cnf::generators::example6_sat();
+    let blocker = service.submit("gated", &SolveRequest::new(&f));
+    while blocker.status() != JobStatus::Running {
+        std::thread::yield_now();
+    }
+    let doomed: Vec<JobHandle> = BackendRegistry::default()
+        .names()
+        .iter()
+        .map(|name| service.submit(name, &SolveRequest::new(&f)))
+        .collect();
+    for handle in &doomed {
+        handle.cancel();
+    }
+    for handle in doomed {
+        assert_eq!(handle.status(), JobStatus::Finished);
+        assert!(handle.wait().unwrap().verdict.is_cancelled());
+    }
+    gate.store(true, Ordering::Relaxed);
+    assert!(blocker.wait().unwrap().verdict.is_sat());
+    service.shutdown();
+}
+
+#[test]
+fn refilled_budget_revives_a_starved_service() {
+    // Each nbl-symbolic verdict costs exactly 1 check; a pool of 2 admits two
+    // jobs, starves the third, and a refill admits the fourth.
+    let registry = BackendRegistry::default();
+    let service = SolveService::builder(&registry)
+        .workers(1)
+        .shared_budget(Budget::unlimited().with_max_checks(2))
+        .start();
+    let f = cnf::generators::example7_unsat();
+    for _ in 0..2 {
+        let outcome = service
+            .submit("nbl-symbolic", &SolveRequest::new(&f))
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.verdict, SolveVerdict::Unsatisfiable);
+    }
+    let starved = service
+        .submit("nbl-symbolic", &SolveRequest::new(&f))
+        .wait()
+        .unwrap();
+    assert_eq!(
+        starved.verdict.exhausted_resource(),
+        Some(ExhaustedResource::CoprocessorChecks)
+    );
+    assert_eq!(
+        starved.exhausted,
+        Some(ExhaustedResource::CoprocessorChecks)
+    );
+    // Top the pool back up: the next job runs and charges the pool again.
+    service.refill_checks(1);
+    let revived = service
+        .submit("nbl-symbolic", &SolveRequest::new(&f))
+        .wait()
+        .unwrap();
+    assert_eq!(revived.verdict, SolveVerdict::Unsatisfiable);
+    assert_eq!(service.shared_budget().remaining_checks(), Some(0));
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_drains_while_abort_cancels() {
+    // Drain: every accepted job still gets its real outcome.
+    let registry = BackendRegistry::default();
+    let service = SolveService::builder(&registry).workers(2).start();
+    let battery = oracle_battery();
+    let handles: Vec<JobHandle> = battery
+        .iter()
+        .map(|formula| service.submit("cdcl", &SolveRequest::new(formula)))
+        .collect();
+    service.shutdown();
+    for (formula, handle) in battery.iter().zip(handles) {
+        let outcome = handle.wait().unwrap();
+        assert!(outcome.verdict.is_definitive());
+        let oracle = registry.solve("cdcl", &SolveRequest::new(formula)).unwrap();
+        assert_eq!(outcome.verdict, oracle.verdict);
+    }
+
+    // Abort: queued jobs are cancelled without running, promptly.
+    let service = SolveService::builder(&registry).workers(1).start();
+    let hard = cnf::generators::pigeonhole(8, 7);
+    let handles: Vec<JobHandle> = (0..6)
+        .map(|_| service.submit("cdcl", &SolveRequest::new(&hard)))
+        .collect();
+    let started = Instant::now();
+    service.abort();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "abort took {:?}",
+        started.elapsed()
+    );
+    let cancelled = handles
+        .into_iter()
+        .filter(|handle| {
+            handle
+                .poll()
+                .expect("abort finishes every job")
+                .unwrap()
+                .verdict
+                .is_cancelled()
+        })
+        .count();
+    // At most the one running job could have finished definitively before
+    // observing the abort token; the queued five must all be cancelled.
+    assert!(cancelled >= 5, "only {cancelled} jobs were cancelled");
+}
+
+#[test]
+fn priorities_and_drain_lose_no_jobs() {
+    // A stream of mixed-priority traffic: high-priority jobs jump the queue,
+    // and a graceful drain completes every accepted job — nothing starves
+    // into oblivion.
+    let gate = Arc::new(AtomicBool::new(false));
+    let registry = registry_with_gate(&gate);
+    let service = SolveService::builder(&registry).workers(1).start();
+    let f = cnf::generators::example6_sat();
+    let blocker = service.submit("gated", &SolveRequest::new(&f));
+    while blocker.status() != JobStatus::Running {
+        std::thread::yield_now();
+    }
+    let mut handles = Vec::new();
+    for round in 0..5u64 {
+        handles.push(service.submit_with_priority(
+            "cdcl",
+            &SolveRequest::new(&f).seed(round),
+            JobPriority::Low,
+        ));
+        handles.push(service.submit_with_priority(
+            "dpll",
+            &SolveRequest::new(&f).seed(round),
+            JobPriority::High,
+        ));
+    }
+    assert_eq!(service.pending_jobs(), 10);
+    gate.store(true, Ordering::Relaxed);
+    assert!(blocker.wait().unwrap().verdict.is_sat());
+    service.shutdown();
+    for handle in handles {
+        assert!(handle.wait().unwrap().verdict.is_sat());
+    }
+}
+
+#[test]
+fn panicking_backend_is_isolated_at_the_service_level() {
+    #[derive(Debug)]
+    struct Panicker;
+    impl SatBackend for Panicker {
+        fn name(&self) -> &'static str {
+            "panicker"
+        }
+        fn is_complete(&self) -> bool {
+            true
+        }
+        fn solve(&mut self, _request: &SolveRequest<'_>) -> Result<SolveOutcome, NblSatError> {
+            panic!("deliberate mock panic");
+        }
+    }
+    let mut registry = BackendRegistry::default();
+    registry.register("panicker", || Box::new(Panicker));
+    let service = SolveService::builder(&registry).workers(2).start();
+    let f = cnf::generators::example6_sat();
+    let bad = service.submit("panicker", &SolveRequest::new(&f));
+    let good = service.submit("cdcl", &SolveRequest::new(&f));
+    assert!(matches!(
+        bad.wait().unwrap_err(),
+        NblSatError::BackendPanicked { backend, .. } if backend == "panicker"
+    ));
+    // The worker that caught the panic survives and keeps serving.
+    assert!(good.wait().unwrap().verdict.is_sat());
+    let again = service.submit("cdcl", &SolveRequest::new(&f));
+    assert!(again.wait().unwrap().verdict.is_sat());
+    service.shutdown();
+}
+
+/// Satellite 3 (differential): with a single worker and no contention, every
+/// batch outcome must be bit-equal to what the sequential
+/// `BackendRegistry::solve` produces — verdict, model, cube and stats (wall
+/// time excepted: it is measured, not computed).
+#[test]
+fn single_worker_batch_is_bit_equal_to_sequential_solves() {
+    let registry = BackendRegistry::default();
+    let battery = oracle_battery();
+    for backend in ["cdcl", "dpll", "walksat", "nbl-symbolic", "portfolio"] {
+        let mut batch = SolveBatch::new(&registry).workers(1);
+        for formula in &battery {
+            batch = batch.job(
+                backend,
+                SolveRequest::new(formula)
+                    .artifacts(Artifacts::Model)
+                    .seed(7),
+            );
+        }
+        let outcomes = batch.run();
+        for (i, (formula, outcome)) in battery.iter().zip(outcomes).enumerate() {
+            let mut batched = outcome.unwrap();
+            let mut sequential = registry
+                .solve(
+                    backend,
+                    &SolveRequest::new(formula)
+                        .artifacts(Artifacts::Model)
+                        .seed(7),
+                )
+                .unwrap();
+            batched.stats.wall_time = Duration::ZERO;
+            sequential.stats.wall_time = Duration::ZERO;
+            assert_eq!(batched.verdict, sequential.verdict, "{backend} #{i}");
+            assert_eq!(batched.model, sequential.model, "{backend} #{i}");
+            assert_eq!(batched.cube, sequential.cube, "{backend} #{i}");
+            assert_eq!(batched.stats, sequential.stats, "{backend} #{i}");
+        }
+    }
+}
+
+/// Satellite 3 (worker clamp): the batch never spawns more workers than jobs,
+/// and the service reports the worker count it was started with.
+#[test]
+fn batch_worker_count_is_clamped_to_job_count() {
+    let registry = BackendRegistry::default();
+    let f = cnf::generators::example6_sat();
+    let batch = SolveBatch::new(&registry)
+        .workers(128)
+        .job("cdcl", SolveRequest::new(&f))
+        .job("dpll", SolveRequest::new(&f))
+        .job("two-sat", SolveRequest::new(&f));
+    assert_eq!(batch.effective_workers(), 3);
+    assert_eq!(batch.len(), 3);
+    let outcomes = batch.run();
+    assert!(outcomes
+        .iter()
+        .all(|o| o.as_ref().unwrap().verdict.is_sat()));
+
+    let service = SolveService::builder(&registry).workers(3).start();
+    assert_eq!(service.worker_count(), 3);
+    service.shutdown();
+}
+
+#[test]
+fn jobs_submitted_after_exhaustion_answer_budget_exhausted() {
+    let registry = BackendRegistry::default();
+    let service = SolveService::builder(&registry)
+        .workers(2)
+        .shared_budget(Budget::unlimited().with_wall_time(Duration::ZERO))
+        .start();
+    let f = cnf::generators::example6_sat();
+    for _ in 0..4 {
+        let outcome = service
+            .submit("cdcl", &SolveRequest::new(&f))
+            .wait()
+            .unwrap();
+        assert_eq!(
+            outcome.verdict.exhausted_resource(),
+            Some(ExhaustedResource::WallClock)
+        );
+    }
+    service.shutdown();
+}

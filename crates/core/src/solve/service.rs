@@ -212,6 +212,31 @@ impl JobHandle {
         }
     }
 
+    /// Blocks until the job finishes and returns a clone of its outcome,
+    /// leaving the handle usable. This is the sharing-friendly sibling of
+    /// [`JobHandle::wait`]: a front end that must observe one job from
+    /// several threads (the wire server's per-job waiter thread next to its
+    /// `STATUS`/`CANCEL` dispatch) holds the handle in an `Arc` and waits by
+    /// reference.
+    pub fn wait_ref(&self) -> Result<SolveOutcome> {
+        let mut state = lock_state(&self.shared);
+        loop {
+            match &*state {
+                JobState::Finished(result) => return result.as_ref().clone(),
+                // The owned result was already moved out by `wait`; answer
+                // like a finished-and-claimed cancellation rather than hang.
+                JobState::Claimed => return Ok(cancelled_outcome()),
+                JobState::Queued | JobState::Running => {
+                    state = self
+                        .shared
+                        .finished
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
     /// Blocks until the job finishes and returns its outcome.
     pub fn wait(self) -> Result<SolveOutcome> {
         let mut state = lock_state(&self.shared);
@@ -737,6 +762,27 @@ mod tests {
             thread::yield_now();
         }
         assert_eq!(handle.status(), JobStatus::Finished);
+        service.shutdown();
+    }
+
+    #[test]
+    fn wait_ref_blocks_leaves_the_handle_usable_and_repeats() {
+        let service = service(2);
+        let sat = generators::example6_sat();
+        let handle = Arc::new(service.submit("cdcl", &SolveRequest::new(&sat)));
+        // Several threads can block on one shared handle concurrently.
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                let handle = Arc::clone(&handle);
+                scope.spawn(move || {
+                    assert!(handle.wait_ref().unwrap().verdict.is_sat());
+                });
+            }
+        });
+        // The handle is still fully usable afterwards.
+        assert_eq!(handle.status(), JobStatus::Finished);
+        assert!(handle.wait_ref().unwrap().verdict.is_sat());
+        assert!(handle.poll().unwrap().unwrap().verdict.is_sat());
         service.shutdown();
     }
 

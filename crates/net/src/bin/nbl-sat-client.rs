@@ -1,0 +1,137 @@
+//! `nbl-sat-client` — solve a DIMACS `.cnf` file on a remote `nbl-satd`.
+//!
+//! ```text
+//! nbl-sat-client [--addr HOST:PORT] [--backend NAME] [--seed N]
+//!                [--wall-ms N] [--samples N] [--checks N]
+//!                [--shutdown] [FILE.cnf]
+//! ```
+//!
+//! Connects (retrying for a few seconds so scripts can race the server's
+//! startup), submits the file, prints conventional DIMACS solver output
+//! (`c`/`s`/`v` lines) and exits with the SAT-competition code: 10 for
+//! SATISFIABLE, 20 for UNSATISFIABLE, 0 for UNKNOWN. With `--shutdown` the
+//! server is asked to drain and exit after the solve (or immediately when no
+//! file is given).
+
+use nbl_net::{NblSatClient, SolveFrame, WireArtifacts, WireVerdict};
+use std::time::Duration;
+
+/// How long connect attempts retry before giving up.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nbl-sat-client [--addr HOST:PORT] [--backend NAME] [--seed N] \
+         [--wall-ms N] [--samples N] [--checks N] [--shutdown] [FILE.cnf]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64_arg(value: Option<String>) -> u64 {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None => usage(),
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut backend = String::from("cdcl");
+    let mut seed = 2012u64;
+    let mut wall_ms = None;
+    let mut samples = None;
+    let mut checks = None;
+    let mut shutdown = false;
+    let mut file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(value) => addr = value,
+                None => usage(),
+            },
+            "--backend" => match args.next() {
+                Some(value) => backend = value,
+                None => usage(),
+            },
+            "--seed" => seed = parse_u64_arg(args.next()),
+            "--wall-ms" => wall_ms = Some(parse_u64_arg(args.next())),
+            "--samples" => samples = Some(parse_u64_arg(args.next())),
+            "--checks" => checks = Some(parse_u64_arg(args.next())),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
+            _ => usage(),
+        }
+    }
+
+    let client = match NblSatClient::connect_with_retries(addr.as_str(), CONNECT_TIMEOUT) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("nbl-sat-client: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+
+    let mut exit = 0;
+    if let Some(path) = file {
+        let dimacs = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("nbl-sat-client: cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        println!("c solving {path} remotely on {addr} with backend {backend}");
+        let mut frame = SolveFrame::new(&backend, &dimacs);
+        frame.seed = seed;
+        frame.artifacts = WireArtifacts::Model;
+        frame.wall_ms = wall_ms;
+        frame.max_samples = samples;
+        frame.max_checks = checks;
+        let outcome = client.submit(frame).and_then(|job| {
+            println!("c queued as job {}", job.id());
+            job.wait()
+        });
+        exit = match outcome {
+            Ok(outcome) => {
+                match outcome.verdict {
+                    WireVerdict::Satisfiable => println!("s SATISFIABLE"),
+                    WireVerdict::Unsatisfiable => println!("s UNSATISFIABLE"),
+                    WireVerdict::Unknown(cause) => {
+                        println!("c verdict cause: {cause:?}");
+                        println!("s UNKNOWN");
+                    }
+                }
+                if let Some(model) = &outcome.model {
+                    print!("v");
+                    for lit in model {
+                        print!(" {lit}");
+                    }
+                    println!(" 0");
+                }
+                // SAT-competition convention: 10 SAT, 20 UNSAT, 0 UNKNOWN.
+                outcome.verdict.exit_code()
+            }
+            Err(e) => {
+                eprintln!("nbl-sat-client: {e}");
+                1
+            }
+        };
+    }
+    if shutdown {
+        if let Err(e) = client.shutdown_server() {
+            eprintln!("nbl-sat-client: shutdown failed: {e}");
+            if exit == 0 {
+                exit = 1;
+            }
+        } else {
+            println!("c server acknowledged shutdown");
+        }
+    }
+    exit
+}

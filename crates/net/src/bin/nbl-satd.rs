@@ -1,0 +1,50 @@
+//! `nbl-satd` — the out-of-process NBL-SAT solving server.
+//!
+//! ```text
+//! nbl-satd [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7878`; use port 0 for an ephemeral port), prints
+//! one `listening on <addr>` line to stdout so scripts can scrape the bound
+//! address, then serves until a client sends `SHUTDOWN`.
+
+use nbl_net::{NblSatServer, ServerConfig};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: nbl-satd [--addr HOST:PORT] [--workers N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut config = ServerConfig::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(value) => addr = value,
+                None => usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(workers) => config = config.workers(workers),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let server = match NblSatServer::bind(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("nbl-satd: cannot bind {addr}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("shutdown complete");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,468 @@
+//! A blocking client for the `nbl-satd` wire protocol.
+//!
+//! [`NblSatClient`] owns one TCP connection. A background reader thread
+//! demultiplexes the server's frame stream — completions arrive in whatever
+//! order the jobs finish — into per-job mailboxes, so any number of threads
+//! can hold [`RemoteJob`] tickets against one connection and block on their
+//! own outcomes concurrently. All waits are condition-variable based and are
+//! woken by connection loss, so a dying server answers every pending wait
+//! with [`NetError::ConnectionClosed`] instead of hanging.
+
+use crate::protocol::{Frame, SolveFrame, WireJobStatus, WireVerdict};
+use crate::server::shutdown_stream;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle as ThreadHandle};
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the client.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The connection closed (EOF or protocol desync) before the awaited
+    /// frame arrived.
+    ConnectionClosed,
+    /// The server answered `ERR` for this request.
+    Remote(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::ConnectionClosed => write!(f, "connection closed"),
+            NetError::Remote(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// A finished remote job: the verdict, the model when one was streamed, and
+/// the completion rank on this connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteOutcome {
+    /// The verdict of the `RESULT` frame.
+    pub verdict: WireVerdict,
+    /// The model `v`-line's literals (DIMACS-signed), when the job requested
+    /// a model and was satisfiable.
+    pub model: Option<Vec<i64>>,
+    /// 0-based rank of this completion among all completions this connection
+    /// has received — lets callers observe out-of-order completion.
+    pub arrival: u64,
+}
+
+/// The control-channel replies (`PONG`, `OK refill`, `BYE`) a request/response
+/// verb waits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ControlReply {
+    Pong,
+    OkRefill,
+    Bye,
+}
+
+#[derive(Default)]
+struct ClientState {
+    /// `QUEUED` acks, FIFO — submission order is preserved because `SOLVE`
+    /// frames are serialised under the submit lock.
+    queued: VecDeque<u64>,
+    /// Completed jobs, by id, until their ticket collects them.
+    outcomes: HashMap<u64, RemoteOutcome>,
+    /// Models staged until the job's `RESULT` (the completion marker) lands.
+    staged_models: HashMap<u64, Vec<i64>>,
+    /// `INFO` replies, by job id.
+    infos: HashMap<u64, VecDeque<WireJobStatus>>,
+    /// Job-scoped `ERR` frames, by job id.
+    job_errors: HashMap<u64, String>,
+    /// Connection-scoped `ERR -` frames.
+    connection_errors: VecDeque<String>,
+    /// Control-channel replies, FIFO.
+    control: VecDeque<ControlReply>,
+    /// Completions seen so far (source of [`RemoteOutcome::arrival`]).
+    arrivals: u64,
+    /// Set once the reader thread exits; wakes and fails every pending wait.
+    closed: bool,
+}
+
+struct ClientShared {
+    state: Mutex<ClientState>,
+    changed: Condvar,
+}
+
+impl ClientShared {
+    fn lock(&self) -> MutexGuard<'_, ClientState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until `take` answers `Some` or the connection closes.
+    fn wait_for<T>(
+        &self,
+        mut take: impl FnMut(&mut ClientState) -> Option<Result<T, NetError>>,
+    ) -> Result<T, NetError> {
+        let mut state = self.lock();
+        loop {
+            if let Some(result) = take(&mut state) {
+                return result;
+            }
+            if state.closed {
+                return Err(NetError::ConnectionClosed);
+            }
+            state = self
+                .changed
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A blocking `nbl-satd` client over one TCP connection.
+///
+/// ```no_run
+/// use nbl_net::{NblSatClient, SolveFrame};
+///
+/// let client = NblSatClient::connect("127.0.0.1:7878")?;
+/// let job = client.submit(SolveFrame::new("cdcl", "p cnf 2 2\n1 2 0\n-1 -2 0\n"))?;
+/// let outcome = job.wait()?;
+/// assert!(outcome.verdict.is_sat());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct NblSatClient {
+    stream: TcpStream,
+    writer: Mutex<BufWriter<TcpStream>>,
+    /// Serialises every request that awaits an *uncorrelated* reply
+    /// (`SOLVE`→`QUEUED`, `PING`→`PONG`, `REFILL`→`OK`, `SHUTDOWN`→`BYE`,
+    /// and the connection-scoped `ERR -` rejections): at most one such
+    /// request is ever outstanding, so FIFO pairing is exact and two
+    /// threads can never swap each other's replies. Job-scoped frames
+    /// (`RESULT`, `v`, `INFO`, `ERR <id>`) carry their id and need no
+    /// serialisation.
+    request_lock: Mutex<()>,
+    shared: Arc<ClientShared>,
+    reader_thread: Mutex<Option<ThreadHandle<()>>>,
+}
+
+impl fmt::Debug for NblSatClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NblSatClient")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NblSatClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects, retrying for up to `timeout` while the server is still
+    /// coming up (connection refused / reset / timed out). Permanent-looking
+    /// errors — an unresolvable host name, an unreachable network — fail
+    /// immediately instead of burning the whole timeout. Useful for smoke
+    /// scripts that race the server's bind.
+    pub fn connect_with_retries<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        use std::io::ErrorKind;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::ConnectionRefused
+                            | ErrorKind::ConnectionReset
+                            | ErrorKind::ConnectionAborted
+                            | ErrorKind::TimedOut
+                            | ErrorKind::WouldBlock
+                    ) && Instant::now() < deadline =>
+                {
+                    thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream.try_clone()?;
+        let writer = Mutex::new(BufWriter::new(stream.try_clone()?));
+        let shared = Arc::new(ClientShared {
+            state: Mutex::new(ClientState::default()),
+            changed: Condvar::new(),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader_thread = thread::spawn(move || {
+            reader_loop(reader_stream, &reader_shared);
+        });
+        Ok(NblSatClient {
+            stream,
+            writer,
+            request_lock: Mutex::new(()),
+            shared,
+            reader_thread: Mutex::new(Some(reader_thread)),
+        })
+    }
+
+    fn send(&self, frame: &Frame) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        frame.write_to(&mut *writer)
+    }
+
+    /// Submits a job and blocks until the server's `QUEUED` ack assigns its
+    /// id. The returned ticket observes only this job.
+    pub fn submit(&self, solve: SolveFrame) -> Result<RemoteJob<'_>, NetError> {
+        let _serialised = self
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.send(&Frame::Solve(solve))?;
+        let id = self.shared.wait_for(|state| {
+            if let Some(id) = state.queued.pop_front() {
+                return Some(Ok(id));
+            }
+            // A SOLVE can be rejected before queueing (bad DIMACS body):
+            // surface the connection-scoped ERR as this submit's failure.
+            state
+                .connection_errors
+                .pop_front()
+                .map(|message| Err(NetError::Remote(message)))
+        })?;
+        Ok(RemoteJob { client: self, id })
+    }
+
+    /// Liveness probe: sends `PING`, blocks for `PONG`.
+    pub fn ping(&self) -> Result<(), NetError> {
+        let _serialised = self
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.send(&Frame::Ping)?;
+        self.wait_control(ControlReply::Pong)
+    }
+
+    /// Returns spent allowance to the server's shared pool; blocks for the
+    /// `OK refill` ack.
+    pub fn refill(
+        &self,
+        samples: Option<u64>,
+        checks: Option<u64>,
+        wall_ms: Option<u64>,
+    ) -> Result<(), NetError> {
+        let _serialised = self
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.send(&Frame::Refill {
+            samples,
+            checks,
+            wall_ms,
+        })?;
+        self.wait_control(ControlReply::OkRefill)
+    }
+
+    /// Asks the server to wind down gracefully; blocks for `BYE` (which the
+    /// server sends only after draining this connection's in-flight jobs).
+    pub fn shutdown_server(&self) -> Result<(), NetError> {
+        let _serialised = self
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.send(&Frame::Shutdown)?;
+        self.wait_control(ControlReply::Bye)
+    }
+
+    fn wait_control(&self, expected: ControlReply) -> Result<(), NetError> {
+        self.shared.wait_for(|state| {
+            if let Some(reply) = state.control.pop_front() {
+                return Some(if reply == expected {
+                    Ok(())
+                } else {
+                    Err(NetError::Remote(format!(
+                        "expected {expected:?} reply, got {reply:?}"
+                    )))
+                });
+            }
+            if let Some(message) = state.connection_errors.pop_front() {
+                return Some(Err(NetError::Remote(message)));
+            }
+            None
+        })
+    }
+
+    /// Pops the oldest unconsumed connection-scoped `ERR -` message, if any.
+    pub fn take_connection_error(&self) -> Option<String> {
+        self.shared.lock().connection_errors.pop_front()
+    }
+
+    /// Completions received on this connection so far.
+    pub fn completions_seen(&self) -> u64 {
+        self.shared.lock().arrivals
+    }
+}
+
+impl Drop for NblSatClient {
+    fn drop(&mut self) {
+        shutdown_stream(&self.stream);
+        if let Some(handle) = self
+            .reader_thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A ticket for one remote job on a [`NblSatClient`] connection.
+#[derive(Debug)]
+pub struct RemoteJob<'a> {
+    client: &'a NblSatClient,
+    id: u64,
+}
+
+impl RemoteJob<'_> {
+    /// The server-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job's `RESULT` (or job-scoped `ERR`) arrives.
+    pub fn wait(&self) -> Result<RemoteOutcome, NetError> {
+        let id = self.id;
+        self.client.shared.wait_for(|state| {
+            if let Some(outcome) = state.outcomes.remove(&id) {
+                return Some(Ok(outcome));
+            }
+            state
+                .job_errors
+                .remove(&id)
+                .map(|message| Err(NetError::Remote(message)))
+        })
+    }
+
+    /// Non-blocking check: `Some` once the completion arrived.
+    pub fn poll(&self) -> Option<Result<RemoteOutcome, NetError>> {
+        let id = self.id;
+        let mut state = self.client.shared.lock();
+        if let Some(outcome) = state.outcomes.remove(&id) {
+            return Some(Ok(outcome));
+        }
+        if let Some(message) = state.job_errors.remove(&id) {
+            return Some(Err(NetError::Remote(message)));
+        }
+        if state.closed {
+            return Some(Err(NetError::ConnectionClosed));
+        }
+        None
+    }
+
+    /// Sends `CANCEL` for this job. Fire-and-forget: the observable effect is
+    /// the job's `RESULT ... s UNKNOWN cancelled` completion.
+    pub fn cancel(&self) -> Result<(), NetError> {
+        self.client.send(&Frame::Cancel { job: self.id })?;
+        Ok(())
+    }
+
+    /// Queries the job's lifecycle stage over the wire (`STATUS` → `INFO`).
+    pub fn status(&self) -> Result<WireJobStatus, NetError> {
+        self.client.send(&Frame::Status { job: self.id })?;
+        let id = self.id;
+        self.client.shared.wait_for(|state| {
+            if let Some(info) = state.infos.get_mut(&id).and_then(VecDeque::pop_front) {
+                return Some(Ok(info));
+            }
+            // Peek, don't consume: the job-scoped ERR also answers a later
+            // wait() on this ticket.
+            state
+                .job_errors
+                .get(&id)
+                .map(|message| Err(NetError::Remote(message.clone())))
+        })
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: &ClientShared) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match Frame::read_from(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(error) => {
+                if error.is_recoverable() {
+                    // Not expected from a well-behaved server; record and
+                    // keep the stream alive.
+                    let mut state = shared.lock();
+                    state
+                        .connection_errors
+                        .push_back(format!("unparseable server frame: {error}"));
+                    shared.changed.notify_all();
+                    continue;
+                }
+                break;
+            }
+        };
+        let mut state = shared.lock();
+        match frame {
+            Frame::Queued { job } => state.queued.push_back(job),
+            Frame::Model { job, literals } => {
+                state.staged_models.insert(job, literals);
+            }
+            Frame::Result { job, verdict } => {
+                let model = state.staged_models.remove(&job);
+                let arrival = state.arrivals;
+                state.arrivals += 1;
+                state.outcomes.insert(
+                    job,
+                    RemoteOutcome {
+                        verdict,
+                        model,
+                        arrival,
+                    },
+                );
+            }
+            Frame::Info { job, status } => {
+                state.infos.entry(job).or_default().push_back(status);
+            }
+            Frame::Pong => state.control.push_back(ControlReply::Pong),
+            Frame::OkRefill => state.control.push_back(ControlReply::OkRefill),
+            Frame::Bye => state.control.push_back(ControlReply::Bye),
+            Frame::Error {
+                job: Some(job),
+                message,
+            } => {
+                state.job_errors.insert(job, message);
+            }
+            Frame::Error { job: None, message } => {
+                state.connection_errors.push_back(message);
+            }
+            // Client-direction verbs from the server would be a server bug;
+            // drop them rather than wedge the stream.
+            Frame::Solve(_)
+            | Frame::Cancel { .. }
+            | Frame::Status { .. }
+            | Frame::Refill { .. }
+            | Frame::Ping
+            | Frame::Shutdown => {}
+        }
+        shared.changed.notify_all();
+        drop(state);
+    }
+    let mut state = shared.lock();
+    state.closed = true;
+    shared.changed.notify_all();
+}

@@ -1,0 +1,1019 @@
+//! The `nbl-satd` wire protocol: a line-delimited text codec.
+//!
+//! Every frame is one line of UTF-8 text terminated by `\n` (a trailing `\r`
+//! is tolerated), except `SOLVE`, whose header line announces how many raw
+//! DIMACS body lines follow it. The same [`Frame`] enum models both
+//! directions; servers and clients simply never emit the other side's verbs.
+//!
+//! # Grammar
+//!
+//! Client → server:
+//!
+//! ```text
+//! SOLVE <backend> seed=<u64> priority=<low|normal|high> artifacts=<verdict|model>
+//!       [wall-ms=<u64>] [samples=<u64>] [checks=<u64>] body-lines=<n>
+//! <n raw DIMACS lines>
+//! CANCEL <job-id>
+//! STATUS <job-id>
+//! REFILL [samples=<u64>] [checks=<u64>] [wall-ms=<u64>]     (at least one key)
+//! PING
+//! SHUTDOWN
+//! ```
+//!
+//! (The `SOLVE` header is a single line; it is wrapped above for readability.
+//! `body-lines` is mandatory and must be the last key.)
+//!
+//! Server → client:
+//!
+//! ```text
+//! QUEUED <job-id>
+//! v <job-id> [<lit> ...] 0
+//! RESULT <job-id> s <SATISFIABLE|UNSATISFIABLE|UNKNOWN <cause>>
+//! INFO <job-id> <queued|running|finished>
+//! OK refill
+//! PONG
+//! BYE
+//! ERR <job-id|-> <message>
+//! ```
+//!
+//! A job's model `v`-line (present only when the job requested
+//! `artifacts=model` and was satisfiable) is written *before* its `RESULT`
+//! line, so the `RESULT` frame is always the completion marker of a job.
+//! Causes are `cancelled`, `incomplete`, `budget-wall-clock`,
+//! `budget-samples` and `budget-checks`.
+//!
+//! # Strictness
+//!
+//! The parser is strict: unknown verbs, unknown or duplicate keys, missing
+//! mandatory keys, trailing tokens, non-UTF-8 bytes, numbers that do not
+//! parse, and oversized lines or bodies are all [`ProtocolError`]s — never
+//! panics. Errors distinguish recoverable [`ProtocolError::Malformed`] frames
+//! (the stream is still line-synchronised, the connection can continue) from
+//! [`ProtocolError::Desync`] conditions (framing is lost, the connection
+//! should close).
+
+use nbl_sat_core::{Artifacts, Budget, ExhaustedResource, JobPriority, JobStatus, UnknownCause};
+use std::fmt;
+use std::io::{BufRead, Read, Write};
+use std::time::Duration;
+
+/// Longest accepted frame line, in bytes (excluding the newline).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Largest accepted `body-lines` count of a `SOLVE` frame.
+pub const MAX_BODY_LINES: usize = 1 << 20;
+
+/// Errors produced while reading or parsing frames.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The frame violated the grammar, but the stream is still synchronised
+    /// on line boundaries; the connection can answer `ERR` and continue.
+    Malformed(String),
+    /// Framing was lost (an oversized line or body declaration); the
+    /// connection cannot be re-synchronised and should close.
+    Desync(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::Malformed(message) => write!(f, "malformed frame: {message}"),
+            ProtocolError::Desync(message) => write!(f, "protocol desync: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl ProtocolError {
+    /// Returns `true` when the connection can keep reading frames after this
+    /// error (the stream is still synchronised on line boundaries).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, ProtocolError::Malformed(_))
+    }
+}
+
+fn malformed(message: impl Into<String>) -> ProtocolError {
+    ProtocolError::Malformed(message.into())
+}
+
+/// Scheduling priority on the wire. Mirrors [`JobPriority`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WirePriority {
+    /// `priority=low`
+    Low,
+    /// `priority=normal`
+    #[default]
+    Normal,
+    /// `priority=high`
+    High,
+}
+
+impl WirePriority {
+    fn token(self) -> &'static str {
+        match self {
+            WirePriority::Low => "low",
+            WirePriority::Normal => "normal",
+            WirePriority::High => "high",
+        }
+    }
+
+    fn parse(token: &str) -> Result<Self, ProtocolError> {
+        match token {
+            "low" => Ok(WirePriority::Low),
+            "normal" => Ok(WirePriority::Normal),
+            "high" => Ok(WirePriority::High),
+            other => Err(malformed(format!("unknown priority '{other}'"))),
+        }
+    }
+}
+
+impl From<WirePriority> for JobPriority {
+    fn from(priority: WirePriority) -> Self {
+        match priority {
+            WirePriority::Low => JobPriority::Low,
+            WirePriority::Normal => JobPriority::Normal,
+            WirePriority::High => JobPriority::High,
+        }
+    }
+}
+
+impl From<JobPriority> for WirePriority {
+    fn from(priority: JobPriority) -> Self {
+        match priority {
+            JobPriority::Low => WirePriority::Low,
+            JobPriority::Normal => WirePriority::Normal,
+            JobPriority::High => WirePriority::High,
+        }
+    }
+}
+
+/// Requested artifacts on the wire. Only the verdict and the model can be
+/// streamed back, so `artifacts=cube` is not part of the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireArtifacts {
+    /// `artifacts=verdict` — only the `RESULT` line.
+    #[default]
+    Verdict,
+    /// `artifacts=model` — a `v`-line precedes the `RESULT` line when
+    /// satisfiable.
+    Model,
+}
+
+impl WireArtifacts {
+    fn token(self) -> &'static str {
+        match self {
+            WireArtifacts::Verdict => "verdict",
+            WireArtifacts::Model => "model",
+        }
+    }
+
+    fn parse(token: &str) -> Result<Self, ProtocolError> {
+        match token {
+            "verdict" => Ok(WireArtifacts::Verdict),
+            "model" => Ok(WireArtifacts::Model),
+            other => Err(malformed(format!("unknown artifacts '{other}'"))),
+        }
+    }
+}
+
+impl From<WireArtifacts> for Artifacts {
+    fn from(artifacts: WireArtifacts) -> Self {
+        match artifacts {
+            WireArtifacts::Verdict => Artifacts::Verdict,
+            WireArtifacts::Model => Artifacts::Model,
+        }
+    }
+}
+
+/// A job's lifecycle stage as reported by `INFO`. Mirrors [`JobStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireJobStatus {
+    /// Waiting in the service queue.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// The `RESULT` frame is available (or already delivered).
+    Finished,
+}
+
+impl WireJobStatus {
+    fn token(self) -> &'static str {
+        match self {
+            WireJobStatus::Queued => "queued",
+            WireJobStatus::Running => "running",
+            WireJobStatus::Finished => "finished",
+        }
+    }
+
+    fn parse(token: &str) -> Result<Self, ProtocolError> {
+        match token {
+            "queued" => Ok(WireJobStatus::Queued),
+            "running" => Ok(WireJobStatus::Running),
+            "finished" => Ok(WireJobStatus::Finished),
+            other => Err(malformed(format!("unknown job status '{other}'"))),
+        }
+    }
+}
+
+impl From<JobStatus> for WireJobStatus {
+    fn from(status: JobStatus) -> Self {
+        match status {
+            JobStatus::Queued => WireJobStatus::Queued,
+            JobStatus::Running => WireJobStatus::Running,
+            JobStatus::Finished => WireJobStatus::Finished,
+        }
+    }
+}
+
+/// Why a `RESULT` was `UNKNOWN`. Mirrors [`UnknownCause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireCause {
+    /// The job was cancelled (per-job `CANCEL`, server abort).
+    Cancelled,
+    /// An incomplete backend gave up within its own limits.
+    Incomplete,
+    /// The wall-clock allowance ran out.
+    BudgetWallClock,
+    /// The noise-sample allowance ran out.
+    BudgetSamples,
+    /// The coprocessor-check allowance ran out.
+    BudgetChecks,
+}
+
+impl WireCause {
+    fn token(self) -> &'static str {
+        match self {
+            WireCause::Cancelled => "cancelled",
+            WireCause::Incomplete => "incomplete",
+            WireCause::BudgetWallClock => "budget-wall-clock",
+            WireCause::BudgetSamples => "budget-samples",
+            WireCause::BudgetChecks => "budget-checks",
+        }
+    }
+
+    fn parse(token: &str) -> Result<Self, ProtocolError> {
+        match token {
+            "cancelled" => Ok(WireCause::Cancelled),
+            "incomplete" => Ok(WireCause::Incomplete),
+            "budget-wall-clock" => Ok(WireCause::BudgetWallClock),
+            "budget-samples" => Ok(WireCause::BudgetSamples),
+            "budget-checks" => Ok(WireCause::BudgetChecks),
+            other => Err(malformed(format!("unknown cause '{other}'"))),
+        }
+    }
+}
+
+impl From<UnknownCause> for WireCause {
+    fn from(cause: UnknownCause) -> Self {
+        match cause {
+            UnknownCause::Cancelled => WireCause::Cancelled,
+            UnknownCause::Incomplete => WireCause::Incomplete,
+            UnknownCause::BudgetExhausted(ExhaustedResource::WallClock) => {
+                WireCause::BudgetWallClock
+            }
+            UnknownCause::BudgetExhausted(ExhaustedResource::Samples) => WireCause::BudgetSamples,
+            UnknownCause::BudgetExhausted(ExhaustedResource::CoprocessorChecks) => {
+                WireCause::BudgetChecks
+            }
+        }
+    }
+}
+
+/// The three-valued verdict of a `RESULT` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireVerdict {
+    /// `s SATISFIABLE`
+    Satisfiable,
+    /// `s UNSATISFIABLE`
+    Unsatisfiable,
+    /// `s UNKNOWN <cause>`
+    Unknown(WireCause),
+}
+
+impl WireVerdict {
+    /// Returns `true` for `s SATISFIABLE`.
+    pub fn is_sat(self) -> bool {
+        self == WireVerdict::Satisfiable
+    }
+
+    /// Returns `true` for `s UNSATISFIABLE`.
+    pub fn is_unsat(self) -> bool {
+        self == WireVerdict::Unsatisfiable
+    }
+
+    /// The conventional SAT-competition exit code of this verdict: 10 for
+    /// SATISFIABLE, 20 for UNSATISFIABLE, 0 for UNKNOWN.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            WireVerdict::Satisfiable => 10,
+            WireVerdict::Unsatisfiable => 20,
+            WireVerdict::Unknown(_) => 0,
+        }
+    }
+}
+
+impl fmt::Display for WireVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireVerdict::Satisfiable => write!(f, "s SATISFIABLE"),
+            WireVerdict::Unsatisfiable => write!(f, "s UNSATISFIABLE"),
+            WireVerdict::Unknown(cause) => write!(f, "s UNKNOWN {}", cause.token()),
+        }
+    }
+}
+
+/// The payload of a `SOLVE` frame: everything a [`nbl_sat_core::SolveRequest`]
+/// needs, plus the inline DIMACS body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SolveFrame {
+    /// Registry name of the backend to run (`cdcl`, `nbl-sampled`, ...).
+    pub backend: String,
+    /// Deterministic seed handed to stochastic backends.
+    pub seed: u64,
+    /// Scheduling priority.
+    pub priority: WirePriority,
+    /// Requested artifacts.
+    pub artifacts: WireArtifacts,
+    /// Wall-clock budget cap in milliseconds, if any.
+    pub wall_ms: Option<u64>,
+    /// Noise-sample budget cap, if any.
+    pub max_samples: Option<u64>,
+    /// Coprocessor-check budget cap, if any.
+    pub max_checks: Option<u64>,
+    /// The DIMACS body, one entry per raw line (no newlines inside).
+    pub body: Vec<String>,
+}
+
+impl SolveFrame {
+    /// A model-requesting frame for `backend` over the given DIMACS text.
+    pub fn new(backend: impl Into<String>, dimacs: &str) -> Self {
+        SolveFrame {
+            backend: backend.into(),
+            artifacts: WireArtifacts::Model,
+            body: dimacs.lines().map(str::to_owned).collect(),
+            ..SolveFrame::default()
+        }
+    }
+
+    /// The DIMACS body as one string, lines joined with `\n`.
+    pub fn dimacs(&self) -> String {
+        self.body.join("\n")
+    }
+
+    /// The [`Budget`] the frame's caps describe.
+    pub fn budget(&self) -> Budget {
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = self.wall_ms {
+            budget = budget.with_wall_time(Duration::from_millis(ms));
+        }
+        if let Some(samples) = self.max_samples {
+            budget = budget.with_max_samples(samples);
+        }
+        if let Some(checks) = self.max_checks {
+            budget = budget.with_max_checks(checks);
+        }
+        budget
+    }
+}
+
+/// One protocol frame, either direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client: submit a job.
+    Solve(SolveFrame),
+    /// Client: cancel a job by id.
+    Cancel {
+        /// The job to cancel.
+        job: u64,
+    },
+    /// Client: ask where a job is in its lifecycle.
+    Status {
+        /// The job to report on.
+        job: u64,
+    },
+    /// Client: return spent allowance to the server's shared budget pool.
+    Refill {
+        /// Samples to return, if any.
+        samples: Option<u64>,
+        /// Checks to return, if any.
+        checks: Option<u64>,
+        /// Milliseconds to push the pool deadline out by, if any.
+        wall_ms: Option<u64>,
+    },
+    /// Client: liveness probe.
+    Ping,
+    /// Client: wind the server down gracefully (drain, then exit).
+    Shutdown,
+    /// Server: the job was accepted under this id.
+    Queued {
+        /// The service-assigned job id.
+        job: u64,
+    },
+    /// Server: a job's satisfying assignment (precedes its `RESULT`).
+    Model {
+        /// The job the model belongs to.
+        job: u64,
+        /// DIMACS-signed literals, without the terminating `0`.
+        literals: Vec<i64>,
+    },
+    /// Server: a job's final verdict — the completion marker.
+    Result {
+        /// The finished job.
+        job: u64,
+        /// Its verdict.
+        verdict: WireVerdict,
+    },
+    /// Server: answer to `STATUS`.
+    Info {
+        /// The queried job.
+        job: u64,
+        /// Its lifecycle stage.
+        status: WireJobStatus,
+    },
+    /// Server: `REFILL` was applied.
+    OkRefill,
+    /// Server: answer to `PING`.
+    Pong,
+    /// Server: acknowledges `SHUTDOWN`; no further frames follow.
+    Bye,
+    /// Server: the request failed; the connection stays open.
+    Error {
+        /// The job the error belongs to, when it is job-scoped.
+        job: Option<u64>,
+        /// Human-readable description (single line).
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Serialises the frame to its exact wire text, including newlines.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self {
+            Frame::Solve(solve) => {
+                let _ = write!(
+                    out,
+                    "SOLVE {} seed={} priority={} artifacts={}",
+                    solve.backend,
+                    solve.seed,
+                    solve.priority.token(),
+                    solve.artifacts.token()
+                );
+                if let Some(ms) = solve.wall_ms {
+                    let _ = write!(out, " wall-ms={ms}");
+                }
+                if let Some(samples) = solve.max_samples {
+                    let _ = write!(out, " samples={samples}");
+                }
+                if let Some(checks) = solve.max_checks {
+                    let _ = write!(out, " checks={checks}");
+                }
+                let _ = writeln!(out, " body-lines={}", solve.body.len());
+                for line in &solve.body {
+                    let _ = writeln!(out, "{line}");
+                }
+            }
+            Frame::Cancel { job } => {
+                let _ = writeln!(out, "CANCEL {job}");
+            }
+            Frame::Status { job } => {
+                let _ = writeln!(out, "STATUS {job}");
+            }
+            Frame::Refill {
+                samples,
+                checks,
+                wall_ms,
+            } => {
+                let _ = write!(out, "REFILL");
+                if let Some(samples) = samples {
+                    let _ = write!(out, " samples={samples}");
+                }
+                if let Some(checks) = checks {
+                    let _ = write!(out, " checks={checks}");
+                }
+                if let Some(ms) = wall_ms {
+                    let _ = write!(out, " wall-ms={ms}");
+                }
+                out.push('\n');
+            }
+            Frame::Ping => out.push_str("PING\n"),
+            Frame::Shutdown => out.push_str("SHUTDOWN\n"),
+            Frame::Queued { job } => {
+                let _ = writeln!(out, "QUEUED {job}");
+            }
+            Frame::Model { job, literals } => {
+                let _ = write!(out, "v {job}");
+                for lit in literals {
+                    let _ = write!(out, " {lit}");
+                }
+                out.push_str(" 0\n");
+            }
+            Frame::Result { job, verdict } => {
+                let _ = writeln!(out, "RESULT {job} {verdict}");
+            }
+            Frame::Info { job, status } => {
+                let _ = writeln!(out, "INFO {job} {}", status.token());
+            }
+            Frame::OkRefill => out.push_str("OK refill\n"),
+            Frame::Pong => out.push_str("PONG\n"),
+            Frame::Bye => out.push_str("BYE\n"),
+            Frame::Error { job, message } => {
+                match job {
+                    Some(job) => {
+                        let _ = write!(out, "ERR {job} ");
+                    }
+                    None => out.push_str("ERR - "),
+                }
+                let _ = writeln!(out, "{message}");
+            }
+        }
+        out
+    }
+
+    /// Writes the frame to `writer` (one `write_all`, so concurrent writers
+    /// holding a lock around this call interleave whole frames, never bytes).
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(self.encode().as_bytes())?;
+        writer.flush()
+    }
+
+    /// Reads the next frame off `reader`. Answers `Ok(None)` on a clean EOF
+    /// at a frame boundary.
+    pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Option<Frame>, ProtocolError> {
+        let line = match read_limited_line(reader)? {
+            Some(line) => line,
+            None => return Ok(None),
+        };
+        let text = decode_utf8(line)?;
+        parse_header(&text, reader)
+    }
+}
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`] bytes (the
+/// newline is stripped, a trailing `\r` too). `Ok(None)` on EOF before any
+/// byte.
+fn read_limited_line<R: BufRead>(reader: &mut R) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut line = Vec::new();
+    let mut limited = reader.take(MAX_LINE_BYTES as u64 + 1);
+    let n = limited.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+    } else if line.len() > MAX_LINE_BYTES {
+        return Err(ProtocolError::Desync(format!(
+            "line exceeds {MAX_LINE_BYTES} bytes"
+        )));
+    }
+    // A final line without a newline (EOF mid-frame) is still parsed; the
+    // next read answers EOF.
+    Ok(Some(line))
+}
+
+fn decode_utf8(line: Vec<u8>) -> Result<String, ProtocolError> {
+    String::from_utf8(line).map_err(|_| malformed("frame is not valid UTF-8"))
+}
+
+fn parse_u64(token: &str, what: &str) -> Result<u64, ProtocolError> {
+    // Reject signs and leading plus explicitly: only ASCII digits.
+    if token.is_empty() || !token.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(malformed(format!("invalid {what} '{token}'")));
+    }
+    token
+        .parse()
+        .map_err(|_| malformed(format!("{what} '{token}' out of range")))
+}
+
+fn parse_i64(token: &str) -> Result<i64, ProtocolError> {
+    let digits = token.strip_prefix('-').unwrap_or(token);
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(malformed(format!("invalid literal '{token}'")));
+    }
+    token
+        .parse()
+        .map_err(|_| malformed(format!("literal '{token}' out of range")))
+}
+
+fn expect_end<'a, I: Iterator<Item = &'a str>>(
+    mut tokens: I,
+    verb: &str,
+) -> Result<(), ProtocolError> {
+    match tokens.next() {
+        None => Ok(()),
+        Some(extra) => Err(malformed(format!(
+            "unexpected trailing token '{extra}' after {verb}"
+        ))),
+    }
+}
+
+fn valid_backend_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+/// Splits `key=value`, erroring when there is no `=`.
+fn split_key_value(token: &str) -> Result<(&str, &str), ProtocolError> {
+    token
+        .split_once('=')
+        .ok_or_else(|| malformed(format!("expected key=value, got '{token}'")))
+}
+
+/// Stores `value` into `slot`, erroring on a duplicate key.
+fn store_once(slot: &mut Option<u64>, key: &str, value: u64) -> Result<(), ProtocolError> {
+    if slot.replace(value).is_some() {
+        return Err(malformed(format!("duplicate key '{key}'")));
+    }
+    Ok(())
+}
+
+fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>, ProtocolError> {
+    let mut tokens = line.split_ascii_whitespace();
+    let verb = tokens.next().ok_or_else(|| malformed("empty frame line"))?;
+    let frame = match verb {
+        "SOLVE" => return parse_solve(tokens, reader).map(Some),
+        "CANCEL" => {
+            let job = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("CANCEL needs a job id"))?,
+                "job id",
+            )?;
+            expect_end(tokens, "CANCEL")?;
+            Frame::Cancel { job }
+        }
+        "STATUS" => {
+            let job = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("STATUS needs a job id"))?,
+                "job id",
+            )?;
+            expect_end(tokens, "STATUS")?;
+            Frame::Status { job }
+        }
+        "REFILL" => {
+            let mut samples = None;
+            let mut checks = None;
+            let mut wall_ms = None;
+            for token in tokens {
+                let (key, value) = split_key_value(token)?;
+                let value = parse_u64(value, key)?;
+                match key {
+                    "samples" => store_once(&mut samples, key, value)?,
+                    "checks" => store_once(&mut checks, key, value)?,
+                    "wall-ms" => store_once(&mut wall_ms, key, value)?,
+                    other => return Err(malformed(format!("unknown REFILL key '{other}'"))),
+                }
+            }
+            if samples.is_none() && checks.is_none() && wall_ms.is_none() {
+                return Err(malformed(
+                    "REFILL needs at least one of samples/checks/wall-ms",
+                ));
+            }
+            Frame::Refill {
+                samples,
+                checks,
+                wall_ms,
+            }
+        }
+        "PING" => {
+            expect_end(tokens, "PING")?;
+            Frame::Ping
+        }
+        "SHUTDOWN" => {
+            expect_end(tokens, "SHUTDOWN")?;
+            Frame::Shutdown
+        }
+        "QUEUED" => {
+            let job = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("QUEUED needs a job id"))?,
+                "job id",
+            )?;
+            expect_end(tokens, "QUEUED")?;
+            Frame::Queued { job }
+        }
+        "v" => {
+            let job = parse_u64(
+                tokens.next().ok_or_else(|| malformed("v needs a job id"))?,
+                "job id",
+            )?;
+            let mut literals = Vec::new();
+            let mut terminated = false;
+            for token in tokens.by_ref() {
+                let lit = parse_i64(token)?;
+                if lit == 0 {
+                    terminated = true;
+                    break;
+                }
+                literals.push(lit);
+            }
+            if !terminated {
+                return Err(malformed("v-line missing terminating 0"));
+            }
+            expect_end(tokens, "the v-line terminator")?;
+            Frame::Model { job, literals }
+        }
+        "RESULT" => {
+            let job = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("RESULT needs a job id"))?,
+                "job id",
+            )?;
+            match tokens.next() {
+                Some("s") => {}
+                other => return Err(malformed(format!("RESULT expects 's', got {other:?}"))),
+            }
+            let verdict = match tokens.next() {
+                Some("SATISFIABLE") => WireVerdict::Satisfiable,
+                Some("UNSATISFIABLE") => WireVerdict::Unsatisfiable,
+                Some("UNKNOWN") => {
+                    let cause = WireCause::parse(
+                        tokens
+                            .next()
+                            .ok_or_else(|| malformed("UNKNOWN needs a cause"))?,
+                    )?;
+                    WireVerdict::Unknown(cause)
+                }
+                other => return Err(malformed(format!("unknown verdict {other:?}"))),
+            };
+            expect_end(tokens, "RESULT")?;
+            Frame::Result { job, verdict }
+        }
+        "INFO" => {
+            let job = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("INFO needs a job id"))?,
+                "job id",
+            )?;
+            let status = WireJobStatus::parse(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("INFO needs a status"))?,
+            )?;
+            expect_end(tokens, "INFO")?;
+            Frame::Info { job, status }
+        }
+        "OK" => {
+            match tokens.next() {
+                Some("refill") => {}
+                other => return Err(malformed(format!("unknown OK payload {other:?}"))),
+            }
+            expect_end(tokens, "OK")?;
+            Frame::OkRefill
+        }
+        "PONG" => {
+            expect_end(tokens, "PONG")?;
+            Frame::Pong
+        }
+        "BYE" => {
+            expect_end(tokens, "BYE")?;
+            Frame::Bye
+        }
+        "ERR" => {
+            let scope = tokens
+                .next()
+                .ok_or_else(|| malformed("ERR needs a scope"))?;
+            let job = if scope == "-" {
+                None
+            } else {
+                Some(parse_u64(scope, "job id")?)
+            };
+            // The message is the rest of the line, whitespace-normalised by
+            // the tokenizer-free slice: find the scope token and take what
+            // follows it.
+            let rest: Vec<&str> = tokens.collect();
+            if rest.is_empty() {
+                return Err(malformed("ERR needs a message"));
+            }
+            Frame::Error {
+                job,
+                message: rest.join(" "),
+            }
+        }
+        other => return Err(malformed(format!("unknown verb '{other}'"))),
+    };
+    Ok(Some(frame))
+}
+
+fn parse_solve<'a, R: BufRead, I: Iterator<Item = &'a str>>(
+    mut tokens: I,
+    reader: &mut R,
+) -> Result<Frame, ProtocolError> {
+    let backend = tokens
+        .next()
+        .ok_or_else(|| malformed("SOLVE needs a backend name"))?;
+    if !valid_backend_name(backend) {
+        return Err(malformed(format!("invalid backend name '{backend}'")));
+    }
+    let mut seed = None;
+    let mut priority = None;
+    let mut artifacts = None;
+    let mut wall_ms = None;
+    let mut max_samples = None;
+    let mut max_checks = None;
+    let mut body_lines: Option<usize> = None;
+    for token in tokens {
+        if body_lines.is_some() {
+            return Err(malformed("body-lines must be the last SOLVE key"));
+        }
+        let (key, value) = split_key_value(token)?;
+        match key {
+            "seed" => store_once(&mut seed, key, parse_u64(value, key)?)?,
+            "priority" => {
+                if priority.replace(WirePriority::parse(value)?).is_some() {
+                    return Err(malformed("duplicate key 'priority'"));
+                }
+            }
+            "artifacts" => {
+                if artifacts.replace(WireArtifacts::parse(value)?).is_some() {
+                    return Err(malformed("duplicate key 'artifacts'"));
+                }
+            }
+            "wall-ms" => store_once(&mut wall_ms, key, parse_u64(value, key)?)?,
+            "samples" => store_once(&mut max_samples, key, parse_u64(value, key)?)?,
+            "checks" => store_once(&mut max_checks, key, parse_u64(value, key)?)?,
+            "body-lines" => {
+                let count = parse_u64(value, key)?;
+                // Compare in u64 before narrowing: `as usize` would wrap
+                // huge counts into the accepted range on 32-bit targets.
+                if count > MAX_BODY_LINES as u64 {
+                    return Err(ProtocolError::Desync(format!(
+                        "body-lines={count} exceeds the {MAX_BODY_LINES}-line cap"
+                    )));
+                }
+                body_lines = Some(count as usize);
+            }
+            other => return Err(malformed(format!("unknown SOLVE key '{other}'"))),
+        }
+    }
+    let body_lines =
+        body_lines.ok_or_else(|| malformed("SOLVE needs a trailing body-lines key"))?;
+    let mut body = Vec::with_capacity(body_lines.min(1024));
+    for _ in 0..body_lines {
+        let line = read_limited_line(reader)?
+            .ok_or_else(|| ProtocolError::Desync("connection closed inside a SOLVE body".into()))?;
+        body.push(decode_utf8(line)?);
+    }
+    Ok(Frame::Solve(SolveFrame {
+        backend: backend.to_string(),
+        seed: seed.unwrap_or(0),
+        priority: priority.unwrap_or_default(),
+        artifacts: artifacts.unwrap_or_default(),
+        wall_ms,
+        max_samples,
+        max_checks,
+        body,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: Frame) {
+        let text = frame.encode();
+        let mut cursor = Cursor::new(text.clone());
+        let parsed = Frame::read_from(&mut cursor)
+            .unwrap_or_else(|e| panic!("parse failed for {text:?}: {e}"))
+            .expect("one frame");
+        assert_eq!(parsed, frame, "round-trip mismatch for {text:?}");
+        // The whole encoding was consumed.
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn every_verb_round_trips() {
+        roundtrip(Frame::Solve(SolveFrame::new(
+            "cdcl",
+            "p cnf 2 2\n1 2 0\n-1 -2 0",
+        )));
+        roundtrip(Frame::Solve(SolveFrame {
+            backend: "parallel-portfolio".into(),
+            seed: u64::MAX,
+            priority: WirePriority::High,
+            artifacts: WireArtifacts::Verdict,
+            wall_ms: Some(5000),
+            max_samples: Some(0),
+            max_checks: Some(64),
+            body: vec![],
+        }));
+        roundtrip(Frame::Cancel { job: 7 });
+        roundtrip(Frame::Status { job: 0 });
+        roundtrip(Frame::Refill {
+            samples: Some(10),
+            checks: None,
+            wall_ms: Some(1),
+        });
+        roundtrip(Frame::Ping);
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Queued { job: 3 });
+        roundtrip(Frame::Model {
+            job: 3,
+            literals: vec![1, -2, 3],
+        });
+        roundtrip(Frame::Model {
+            job: 9,
+            literals: vec![],
+        });
+        roundtrip(Frame::Result {
+            job: 3,
+            verdict: WireVerdict::Satisfiable,
+        });
+        roundtrip(Frame::Result {
+            job: 4,
+            verdict: WireVerdict::Unknown(WireCause::BudgetSamples),
+        });
+        roundtrip(Frame::Info {
+            job: 5,
+            status: WireJobStatus::Running,
+        });
+        roundtrip(Frame::OkRefill);
+        roundtrip(Frame::Pong);
+        roundtrip(Frame::Bye);
+        roundtrip(Frame::Error {
+            job: Some(12),
+            message: "unknown backend 'minisat'".into(),
+        });
+        roundtrip(Frame::Error {
+            job: None,
+            message: "unknown verb 'FROB'".into(),
+        });
+    }
+
+    #[test]
+    fn streams_of_frames_parse_in_order() {
+        let mut text = String::new();
+        let frames = vec![
+            Frame::Ping,
+            Frame::Solve(SolveFrame::new("dpll", "p cnf 1 1\n1 0")),
+            Frame::Cancel { job: 1 },
+        ];
+        for frame in &frames {
+            text.push_str(&frame.encode());
+        }
+        let mut cursor = Cursor::new(text);
+        for frame in &frames {
+            assert_eq!(Frame::read_from(&mut cursor).unwrap().as_ref(), Some(frame));
+        }
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn crlf_and_missing_final_newline_are_tolerated() {
+        let mut cursor = Cursor::new("PING\r\n".to_string());
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(Frame::Ping));
+        let mut cursor = Cursor::new("PONG".to_string());
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(Frame::Pong));
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn solve_budget_mapping() {
+        let frame = SolveFrame {
+            wall_ms: Some(1500),
+            max_samples: Some(7),
+            ..SolveFrame::new("cdcl", "")
+        };
+        let budget = frame.budget();
+        assert_eq!(budget.wall_time, Some(Duration::from_millis(1500)));
+        assert_eq!(budget.max_samples, Some(7));
+        assert_eq!(budget.max_checks, None);
+        assert!(SolveFrame::new("cdcl", "").budget().is_unlimited());
+    }
+
+    #[test]
+    fn exit_codes_follow_the_sat_competition_convention() {
+        assert_eq!(WireVerdict::Satisfiable.exit_code(), 10);
+        assert_eq!(WireVerdict::Unsatisfiable.exit_code(), 20);
+        assert_eq!(WireVerdict::Unknown(WireCause::Cancelled).exit_code(), 0);
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(malformed("x").is_recoverable());
+        assert!(!ProtocolError::Desync("x".into()).is_recoverable());
+        assert!(!ProtocolError::Io(std::io::Error::other("x")).is_recoverable());
+    }
+}

@@ -1,0 +1,503 @@
+//! The `nbl-satd` TCP server: an accept loop in front of one shared
+//! [`SolveService`].
+//!
+//! Every connection gets a dedicated reader thread that parses frames off the
+//! socket and maps them 1:1 onto the service API: `SOLVE` →
+//! [`SolveService::submit_with_priority`], `CANCEL` → [`JobHandle::cancel`],
+//! `STATUS` → [`JobHandle::status`], `REFILL` → the service's budget refills,
+//! `SHUTDOWN` → a graceful drain of the whole server. Each submitted job also
+//! gets a lightweight waiter thread that blocks on [`JobHandle::wait_ref`]
+//! and streams the job's `v`/`RESULT` frames back the moment the outcome
+//! lands — so one connection multiplexes any number of in-flight jobs and
+//! completions arrive out of submission order when a later job finishes
+//! first. All writers share one per-connection lock and write whole frames
+//! under it, so concurrent completions interleave frame-by-frame, never
+//! byte-by-byte.
+//!
+//! Malformed frames are answered with `ERR - <reason>` and the connection
+//! keeps going; only a lost framing (oversized line or body declaration) or
+//! an I/O error closes the connection. A closing connection cancels its still
+//! unfinished jobs — an out-of-process client that vanishes must not keep
+//! burning the pool's budget.
+
+use crate::protocol::{Frame, SolveFrame, WireVerdict};
+use cnf::dimacs;
+use nbl_sat_core::{
+    BackendRegistry, Budget, JobHandle, SolveOutcome, SolveRequest, SolveService, SolveVerdict,
+};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::{self, JoinHandle as ThreadHandle};
+use std::time::Duration;
+
+/// How often the accept loop polls the stop flag between accepts.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Configuration of a [`NblSatServer`].
+#[derive(Debug)]
+pub struct ServerConfig {
+    registry: BackendRegistry,
+    workers: Option<usize>,
+    budget: Budget,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            registry: BackendRegistry::default(),
+            workers: None,
+            budget: Budget::unlimited(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A configuration with the default backend registry, one worker per CPU
+    /// and an unlimited shared budget.
+    pub fn new() -> Self {
+        ServerConfig::default()
+    }
+
+    /// Serves backends from (a cheap clone of) `registry` instead of the
+    /// default one.
+    pub fn registry(mut self, registry: &BackendRegistry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// Sets the solve-service worker-pool size.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the shared budget pool every job is charged against
+    /// (refillable over the wire via `REFILL`).
+    pub fn shared_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Everything the accept loop and the connection threads share.
+struct ServerShared {
+    service: SolveService,
+    /// Raised by `SHUTDOWN` frames and [`NblSatServer::stop`].
+    stop: AtomicBool,
+    stopped: Condvar,
+    stopped_lock: Mutex<bool>,
+}
+
+impl ServerShared {
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut stopped = self
+            .stopped_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *stopped = true;
+        self.stopped.notify_all();
+    }
+}
+
+/// The out-of-process solving server: a [`TcpListener`] accept loop in front
+/// of a [`SolveService`].
+///
+/// ```no_run
+/// use nbl_net::{NblSatServer, ServerConfig};
+///
+/// let server = NblSatServer::bind("127.0.0.1:0", ServerConfig::new())?;
+/// println!("listening on {}", server.local_addr());
+/// server.wait(); // blocks until a client sends SHUTDOWN (or stop() is called)
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct NblSatServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept_thread: Mutex<Option<ThreadHandle<()>>>,
+}
+
+impl std::fmt::Debug for NblSatServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NblSatServer")
+            .field("local_addr", &self.local_addr)
+            .field("stopping", &self.shared.stop.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl NblSatServer {
+    /// Binds the listener (use port 0 for an ephemeral port), starts the
+    /// solve service and the accept loop, and returns immediately.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let mut builder = SolveService::builder(&config.registry).shared_budget(config.budget);
+        if let Some(workers) = config.workers {
+            builder = builder.workers(workers);
+        }
+        let shared = Arc::new(ServerShared {
+            service: builder.start(),
+            stop: AtomicBool::new(false),
+            stopped: Condvar::new(),
+            stopped_lock: Mutex::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(NblSatServer {
+            shared,
+            local_addr,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The address the server is listening on (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The underlying solve service, for in-process observability (pending
+    /// jobs, shared budget) alongside the wire interface.
+    pub fn service(&self) -> &SolveService {
+        &self.shared.service
+    }
+
+    /// Returns `true` once a `SHUTDOWN` frame or [`NblSatServer::stop`] has
+    /// been seen.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the server is asked to stop (by a client's `SHUTDOWN`
+    /// frame or a concurrent [`NblSatServer::stop`]), then joins the accept
+    /// loop and drains the solve service.
+    pub fn wait(&self) {
+        let mut stopped = self
+            .shared
+            .stopped_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !*stopped {
+            stopped = self
+                .shared
+                .stopped
+                .wait(stopped)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(stopped);
+        self.finish();
+    }
+
+    /// Stops the server: no new connections are accepted, the accept loop is
+    /// joined, and the solve service drains its accepted jobs. Idempotent.
+    pub fn stop(&self) {
+        self.shared.request_stop();
+        self.finish();
+    }
+
+    fn finish(&self) {
+        if let Some(handle) = self
+            .accept_thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            let _ = handle.join();
+        }
+        self.shared.service.shutdown();
+    }
+}
+
+impl Drop for NblSatServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                thread::spawn(move || {
+                    // A connection failing to set up or desyncing tears down
+                    // only itself.
+                    let _ = serve_connection(stream, &shared);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// The per-connection state shared between the reader thread and the per-job
+/// waiter threads.
+struct Connection {
+    writer: Mutex<BufWriter<TcpStream>>,
+    /// Every job this connection submitted, by id; entries live until the
+    /// connection closes so `STATUS`/`CANCEL` keep working after completion.
+    jobs: Mutex<HashMap<u64, Arc<JobHandle>>>,
+    /// Jobs whose completion frame has not been written yet. `SHUTDOWN`
+    /// drains this to zero before answering `BYE`, so `BYE` really is the
+    /// connection's last frame.
+    inflight: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl Connection {
+    /// Called by a waiter thread after it wrote (or failed to write) its
+    /// job's completion.
+    fn completion_written(&self) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        *inflight = inflight.saturating_sub(1);
+        if *inflight == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Blocks until every submitted job's completion frame has been written.
+    fn drain_completions(&self) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        while *inflight > 0 {
+            inflight = self
+                .drained
+                .wait(inflight)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    /// Writes one frame atomically with respect to other writers.
+    fn send(&self, frame: &Frame) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        frame.write_to(&mut *writer)
+    }
+
+    /// Writes a job's completion: the model `v`-line (when there is one)
+    /// immediately followed by the `RESULT` line, under one lock so the pair
+    /// never interleaves with another job's frames.
+    fn send_completion(&self, job: u64, outcome: &SolveOutcome) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(model) = &outcome.model {
+            let literals = model
+                .iter()
+                .map(|(var, value)| {
+                    let dimacs = (var.index() + 1) as i64;
+                    if value {
+                        dimacs
+                    } else {
+                        -dimacs
+                    }
+                })
+                .collect();
+            Frame::Model { job, literals }.write_to(&mut *writer)?;
+        }
+        let verdict = match outcome.verdict {
+            SolveVerdict::Satisfiable => WireVerdict::Satisfiable,
+            SolveVerdict::Unsatisfiable => WireVerdict::Unsatisfiable,
+            SolveVerdict::Unknown(cause) => WireVerdict::Unknown(cause.into()),
+        };
+        Frame::Result { job, verdict }.write_to(&mut *writer)
+    }
+
+    fn send_error(&self, job: Option<u64>, message: impl Into<String>) -> std::io::Result<()> {
+        let mut message = message.into();
+        // ERR is a single-line frame; collapse anything that would break it.
+        message.retain(|c| c != '\n' && c != '\r');
+        if message.is_empty() {
+            message.push_str("error");
+        }
+        self.send(&Frame::Error { job, message })
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<ServerShared>) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let reader_stream = stream.try_clone()?;
+    let connection = Arc::new(Connection {
+        writer: Mutex::new(BufWriter::new(stream)),
+        jobs: Mutex::new(HashMap::new()),
+        inflight: Mutex::new(0),
+        drained: Condvar::new(),
+    });
+    let served = read_loop(reader_stream, &connection, shared);
+    // The client is gone (or told to go): stop spending budget on its
+    // unfinished jobs. This must run no matter how the read loop ended —
+    // a write failing on a vanished client's socket included.
+    let jobs = connection
+        .jobs
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    for handle in jobs.values() {
+        if handle.status() != nbl_sat_core::JobStatus::Finished {
+            handle.cancel();
+        }
+    }
+    served
+}
+
+fn read_loop(
+    reader_stream: TcpStream,
+    connection: &Arc<Connection>,
+    shared: &Arc<ServerShared>,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(reader_stream);
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(None) => return Ok(()),
+            Ok(Some(frame)) => {
+                if !handle_frame(frame, connection, shared)? {
+                    return Ok(());
+                }
+            }
+            Err(error) => {
+                let recoverable = error.is_recoverable();
+                connection.send_error(None, error.to_string())?;
+                if !recoverable {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches one parsed frame. Returns `false` when the connection should
+/// close (after `SHUTDOWN`).
+fn handle_frame(
+    frame: Frame,
+    connection: &Arc<Connection>,
+    shared: &Arc<ServerShared>,
+) -> std::io::Result<bool> {
+    match frame {
+        Frame::Solve(solve) => handle_solve(solve, connection, shared)?,
+        Frame::Cancel { job } => {
+            let jobs = connection
+                .jobs
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match jobs.get(&job) {
+                Some(handle) => handle.cancel(),
+                None => {
+                    drop(jobs);
+                    connection.send_error(Some(job), format!("unknown job {job}"))?;
+                }
+            }
+        }
+        Frame::Status { job } => {
+            let jobs = connection
+                .jobs
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match jobs.get(&job) {
+                Some(handle) => {
+                    let status = handle.status().into();
+                    drop(jobs);
+                    connection.send(&Frame::Info { job, status })?;
+                }
+                None => {
+                    drop(jobs);
+                    connection.send_error(Some(job), format!("unknown job {job}"))?;
+                }
+            }
+        }
+        Frame::Refill {
+            samples,
+            checks,
+            wall_ms,
+        } => {
+            if let Some(samples) = samples {
+                shared.service.refill_samples(samples);
+            }
+            if let Some(checks) = checks {
+                shared.service.refill_checks(checks);
+            }
+            if let Some(ms) = wall_ms {
+                shared.service.extend_deadline(Duration::from_millis(ms));
+            }
+            connection.send(&Frame::OkRefill)?;
+        }
+        Frame::Ping => connection.send(&Frame::Pong)?,
+        Frame::Shutdown => {
+            // Graceful drain: every job this connection already submitted
+            // still streams its completion, then BYE closes the exchange.
+            // The stop flag is raised before BYE so that a client observing
+            // the ack also observes the server stopping.
+            connection.drain_completions();
+            shared.request_stop();
+            connection.send(&Frame::Bye)?;
+            return Ok(false);
+        }
+        // Server-side verbs arriving at the server are grammar-valid but
+        // direction-invalid; answer ERR like any other bad frame.
+        Frame::Queued { .. }
+        | Frame::Model { .. }
+        | Frame::Result { .. }
+        | Frame::Info { .. }
+        | Frame::OkRefill
+        | Frame::Pong
+        | Frame::Bye
+        | Frame::Error { .. } => {
+            connection.send_error(None, "server-direction verb sent by client")?;
+        }
+    }
+    Ok(true)
+}
+
+fn handle_solve(
+    solve: SolveFrame,
+    connection: &Arc<Connection>,
+    shared: &Arc<ServerShared>,
+) -> std::io::Result<()> {
+    let formula = match dimacs::parse_str(&solve.dimacs()) {
+        Ok(formula) => formula,
+        Err(e) => {
+            return connection.send_error(None, format!("dimacs: {e}"));
+        }
+    };
+    let request = SolveRequest::new(&formula)
+        .artifacts(solve.artifacts.into())
+        .seed(solve.seed)
+        .budget(solve.budget());
+    let handle = Arc::new(shared.service.submit_with_priority(
+        &solve.backend,
+        &request,
+        solve.priority.into(),
+    ));
+    let job = handle.id();
+    connection
+        .jobs
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(job, Arc::clone(&handle));
+    *connection
+        .inflight
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) += 1;
+    connection.send(&Frame::Queued { job })?;
+    // One waiter thread per in-flight job streams the completion back the
+    // moment it lands, independently of submission order.
+    let connection = Arc::clone(connection);
+    thread::spawn(move || {
+        let result = handle.wait_ref();
+        let written = match &result {
+            Ok(outcome) => connection.send_completion(job, outcome),
+            Err(error) => connection.send_error(Some(job), error.to_string()),
+        };
+        // A send failing means the client is gone; the reader thread notices
+        // the same condition and cleans up, nothing to do here.
+        let _ = written;
+        connection.completion_written();
+    });
+    Ok(())
+}
+
+/// Closes both directions of a stream, tolerating already-closed sockets.
+/// Used by the client to deterministically unblock its reader thread.
+pub(crate) fn shutdown_stream(stream: &TcpStream) {
+    let _ = stream.shutdown(Shutdown::Both);
+}

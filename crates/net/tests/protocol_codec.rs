@@ -1,0 +1,404 @@
+//! Property and table-driven tests for the wire-protocol codec:
+//! `parse(encode(frame)) == frame` over generated frames, and a malformed
+//! corpus proving the strict parser errors — it never panics — on truncated
+//! frames, oversized bodies, bad verbs and non-UTF-8 input.
+
+use nbl_net::{
+    Frame, ProtocolError, SolveFrame, WireArtifacts, WireCause, WireJobStatus, WirePriority,
+    WireVerdict,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+const BACKENDS: &[&str] = &[
+    "cdcl",
+    "dpll",
+    "brute-force",
+    "nbl-symbolic",
+    "nbl-sampled",
+    "parallel-portfolio",
+    "hybrid_sampled",
+    "x",
+];
+
+/// Raw body lines the generator draws from: DIMACS-ish, empty, comments,
+/// junk — the codec transports them verbatim either way.
+const BODY_LINES: &[&str] = &[
+    "p cnf 3 2",
+    "1 -2 0",
+    "-1 2 3 0",
+    "c a comment",
+    "",
+    "%",
+    "not dimacs at all",
+    "  leading and trailing  ",
+];
+
+const WORDS: &[&str] = &["unknown", "backend", "job", "budget", "'minisat'", "42"];
+
+const PRIORITIES: &[WirePriority] = &[WirePriority::Low, WirePriority::Normal, WirePriority::High];
+const ARTIFACTS: &[WireArtifacts] = &[WireArtifacts::Verdict, WireArtifacts::Model];
+const CAUSES: &[WireCause] = &[
+    WireCause::Cancelled,
+    WireCause::Incomplete,
+    WireCause::BudgetWallClock,
+    WireCause::BudgetSamples,
+    WireCause::BudgetChecks,
+];
+const STATUSES: &[WireJobStatus] = &[
+    WireJobStatus::Queued,
+    WireJobStatus::Running,
+    WireJobStatus::Finished,
+];
+
+type OptU64 = (bool, u64);
+
+fn opt(flagged: OptU64) -> Option<u64> {
+    let (present, value) = flagged;
+    present.then_some(value)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_frame(
+    variant: u8,
+    job: u64,
+    seed: u64,
+    lits: Vec<(u64, bool)>,
+    body: Vec<usize>,
+    caps: (OptU64, OptU64, OptU64),
+    backend: usize,
+    selector: usize,
+    words: Vec<usize>,
+    scoped: bool,
+) -> Frame {
+    let literals: Vec<i64> = lits
+        .iter()
+        .map(|&(magnitude, negative)| {
+            let lit = magnitude as i64;
+            if negative {
+                -lit
+            } else {
+                lit
+            }
+        })
+        .collect();
+    let (wall, samples, checks) = caps;
+    match variant {
+        0 => Frame::Solve(SolveFrame {
+            backend: BACKENDS[backend].to_string(),
+            seed,
+            priority: PRIORITIES[selector % PRIORITIES.len()],
+            artifacts: ARTIFACTS[selector % ARTIFACTS.len()],
+            wall_ms: opt(wall),
+            max_samples: opt(samples),
+            max_checks: opt(checks),
+            body: body.iter().map(|&i| BODY_LINES[i].to_string()).collect(),
+        }),
+        1 => Frame::Cancel { job },
+        2 => Frame::Status { job },
+        3 => {
+            // REFILL needs at least one key; force one when all flags are off.
+            let mut samples = opt(samples);
+            if samples.is_none() && opt(checks).is_none() && opt(wall).is_none() {
+                samples = Some(seed % 1000);
+            }
+            Frame::Refill {
+                samples,
+                checks: opt(checks),
+                wall_ms: opt(wall),
+            }
+        }
+        4 => Frame::Ping,
+        5 => Frame::Shutdown,
+        6 => Frame::Queued { job },
+        7 => Frame::Model { job, literals },
+        8 => {
+            let verdict = match selector % 3 {
+                0 => WireVerdict::Satisfiable,
+                1 => WireVerdict::Unsatisfiable,
+                _ => WireVerdict::Unknown(CAUSES[selector % CAUSES.len()]),
+            };
+            Frame::Result { job, verdict }
+        }
+        9 => Frame::Info {
+            job,
+            status: STATUSES[selector % STATUSES.len()],
+        },
+        10 => Frame::OkRefill,
+        11 => Frame::Pong,
+        12 => Frame::Bye,
+        _ => Frame::Error {
+            job: scoped.then_some(job),
+            message: words
+                .iter()
+                .map(|&i| WORDS[i])
+                .collect::<Vec<_>>()
+                .join(" "),
+        },
+    }
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        (0u8..14, 0u64..10_000_000, 0u64..u64::MAX),
+        proptest::collection::vec((1u64..100, proptest::bool::ANY), 0..8),
+        proptest::collection::vec(0usize..BODY_LINES.len(), 0..6),
+        (
+            (proptest::bool::ANY, 0u64..100_000),
+            (proptest::bool::ANY, 0u64..100_000),
+            (proptest::bool::ANY, 0u64..100_000),
+        ),
+        (
+            0usize..BACKENDS.len(),
+            0usize..30,
+            proptest::collection::vec(0usize..WORDS.len(), 1..5),
+            proptest::bool::ANY,
+        ),
+    )
+        .prop_map(
+            |((variant, job, seed), lits, body, caps, (backend, selector, words, scoped))| {
+                build_frame(
+                    variant, job, seed, lits, body, caps, backend, selector, words, scoped,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The round-trip law: parsing an encoding yields the original frame and
+    /// consumes the whole encoding.
+    #[test]
+    fn parse_encode_round_trip(frame in arb_frame()) {
+        let text = frame.encode();
+        let mut cursor = Cursor::new(text.clone());
+        let parsed = Frame::read_from(&mut cursor)
+            .map_err(|e| TestCaseError::fail(format!("parse failed for {text:?}: {e}")))?;
+        prop_assert_eq!(parsed.as_ref(), Some(&frame));
+        let eof = Frame::read_from(&mut cursor)
+            .map_err(|e| TestCaseError::fail(format!("trailing parse failed: {e}")))?;
+        prop_assert_eq!(eof, None);
+    }
+
+    /// Concatenated encodings parse back as the same sequence — frames are
+    /// self-delimiting.
+    #[test]
+    fn frame_streams_are_self_delimiting(frames in proptest::collection::vec(arb_frame(), 1..6)) {
+        let mut text = String::new();
+        for frame in &frames {
+            text.push_str(&frame.encode());
+        }
+        let mut cursor = Cursor::new(text);
+        for expected in &frames {
+            let parsed = Frame::read_from(&mut cursor)
+                .map_err(|e| TestCaseError::fail(format!("stream parse failed: {e}")))?;
+            prop_assert_eq!(parsed.as_ref(), Some(expected));
+        }
+        let eof = Frame::read_from(&mut cursor)
+            .map_err(|e| TestCaseError::fail(format!("stream EOF failed: {e}")))?;
+        prop_assert_eq!(eof, None);
+    }
+}
+
+/// Whether a malformed input must be recoverable (`Malformed`: the stream is
+/// still line-synchronised) or fatal (`Desync`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Expect {
+    Recoverable,
+    Fatal,
+}
+
+#[test]
+fn malformed_inputs_error_instead_of_panicking() {
+    use Expect::*;
+    let oversized_line = {
+        let mut line = vec![b'a'; nbl_net::MAX_LINE_BYTES + 10];
+        line.push(b'\n');
+        line
+    };
+    let cases: Vec<(&str, Vec<u8>, Expect)> = vec![
+        ("empty line", b"\n".to_vec(), Recoverable),
+        ("unknown verb", b"FROB 1\n".to_vec(), Recoverable),
+        ("lowercase verb", b"ping\n".to_vec(), Recoverable),
+        ("bare SOLVE", b"SOLVE\n".to_vec(), Recoverable),
+        (
+            "SOLVE missing body-lines",
+            b"SOLVE cdcl seed=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE bad backend charset",
+            b"SOLVE bad/name body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE keyless token",
+            b"SOLVE cdcl nokey body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE unknown key",
+            b"SOLVE cdcl frob=1 body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE duplicate key",
+            b"SOLVE cdcl seed=1 seed=2 body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE body-lines not last",
+            b"SOLVE cdcl body-lines=0 seed=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE negative seed",
+            b"SOLVE cdcl seed=-1 body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE seed overflow",
+            b"SOLVE cdcl seed=99999999999999999999 body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE bad priority",
+            b"SOLVE cdcl priority=urgent body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE bad artifacts",
+            b"SOLVE cdcl artifacts=cube body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE truncated body",
+            b"SOLVE cdcl body-lines=3\np cnf 1 1\n".to_vec(),
+            Fatal,
+        ),
+        (
+            "SOLVE oversized body declaration",
+            b"SOLVE cdcl body-lines=99999999\n".to_vec(),
+            Fatal,
+        ),
+        (
+            "SOLVE non-UTF8 body line",
+            [
+                b"SOLVE cdcl body-lines=1\n".as_slice(),
+                &[0xff, 0xfe, b'\n'],
+            ]
+            .concat(),
+            Recoverable,
+        ),
+        ("CANCEL without id", b"CANCEL\n".to_vec(), Recoverable),
+        ("CANCEL negative id", b"CANCEL -3\n".to_vec(), Recoverable),
+        (
+            "CANCEL non-numeric id",
+            b"CANCEL seven\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "CANCEL trailing token",
+            b"CANCEL 1 2\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "CANCEL id overflow",
+            b"CANCEL 99999999999999999999999\n".to_vec(),
+            Recoverable,
+        ),
+        ("STATUS without id", b"STATUS\n".to_vec(), Recoverable),
+        ("REFILL without keys", b"REFILL\n".to_vec(), Recoverable),
+        (
+            "REFILL unknown key",
+            b"REFILL frob=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "REFILL duplicate key",
+            b"REFILL samples=1 samples=2\n".to_vec(),
+            Recoverable,
+        ),
+        ("PING with payload", b"PING 1\n".to_vec(), Recoverable),
+        (
+            "SHUTDOWN with payload",
+            b"SHUTDOWN now\n".to_vec(),
+            Recoverable,
+        ),
+        ("QUEUED without id", b"QUEUED\n".to_vec(), Recoverable),
+        ("v without terminator", b"v 3 1 2\n".to_vec(), Recoverable),
+        (
+            "v tokens after terminator",
+            b"v 3 1 0 2\n".to_vec(),
+            Recoverable,
+        ),
+        ("v bad literal", b"v 3 one 0\n".to_vec(), Recoverable),
+        (
+            "RESULT bad verdict",
+            b"RESULT 3 s MAYBE\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "RESULT missing s",
+            b"RESULT 3 SATISFIABLE\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "RESULT UNKNOWN without cause",
+            b"RESULT 3 s UNKNOWN\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "RESULT unknown cause",
+            b"RESULT 3 s UNKNOWN frob\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "RESULT trailing token",
+            b"RESULT 3 s SATISFIABLE yes\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "INFO unknown status",
+            b"INFO 3 paused\n".to_vec(),
+            Recoverable,
+        ),
+        ("OK without payload", b"OK\n".to_vec(), Recoverable),
+        ("OK unknown payload", b"OK frob\n".to_vec(), Recoverable),
+        ("BYE with payload", b"BYE bye\n".to_vec(), Recoverable),
+        ("ERR without scope", b"ERR\n".to_vec(), Recoverable),
+        ("ERR without message", b"ERR -\n".to_vec(), Recoverable),
+        ("ERR bad scope", b"ERR x message\n".to_vec(), Recoverable),
+        ("non-UTF8 frame line", vec![0xc3, 0x28, b'\n'], Recoverable),
+        ("oversized line", oversized_line, Fatal),
+    ];
+    for (label, bytes, expect) in cases {
+        let mut cursor = Cursor::new(bytes);
+        let result = Frame::read_from(&mut cursor);
+        let error = match result {
+            Err(error) => error,
+            Ok(frame) => panic!("{label}: expected an error, parsed {frame:?}"),
+        };
+        match expect {
+            Expect::Recoverable => assert!(
+                error.is_recoverable(),
+                "{label}: expected recoverable, got {error}"
+            ),
+            Expect::Fatal => assert!(
+                matches!(error, ProtocolError::Desync(_)),
+                "{label}: expected desync, got {error}"
+            ),
+        }
+    }
+}
+
+/// After a recoverable malformed line, the next frame on the stream parses
+/// normally — the parser really is line-synchronised.
+#[test]
+fn parser_resynchronises_after_recoverable_errors() {
+    let mut cursor = Cursor::new(b"FROB 1\nPING\n".to_vec());
+    assert!(Frame::read_from(&mut cursor).unwrap_err().is_recoverable());
+    assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(Frame::Ping));
+    assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+}

@@ -17,6 +17,10 @@
 //! `two-sat`, `brute-force`, `portfolio`, `parallel-portfolio`,
 //! `nbl-symbolic`, `nbl-sampled`, `nbl-algebraic`, `hybrid-symbolic`,
 //! `hybrid-sampled`) works.
+//!
+//! Exits with the SAT-competition convention so harnesses can branch on the
+//! verdict: 10 for SATISFIABLE, 20 for UNSATISFIABLE, 0 for UNKNOWN (2 for
+//! usage errors, 1 for I/O or solver errors).
 
 use nbl_sat_repro::prelude::*;
 use std::fs;
@@ -24,7 +28,18 @@ use std::fs;
 /// n·m budget under which the exact NBL software engine is used directly.
 const NBL_NM_BUDGET: usize = 400;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    match run() {
+        // SAT-competition exit codes: 10 SAT, 20 UNSAT, 0 UNKNOWN.
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("c error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<i32, Box<dyn std::error::Error>> {
     let registry = BackendRegistry::default();
 
     // Positional args: [FILE] [BACKEND]. A single argument that names a
@@ -81,21 +96,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(2012);
     let outcome = registry.solve(&backend, &request)?;
     println!("c stats: {}", outcome.stats);
-    match outcome.verdict {
+    let code = match outcome.verdict {
         SolveVerdict::Satisfiable => {
             println!("s SATISFIABLE");
             if let Some(model) = &outcome.model {
                 assert!(formula.evaluate(model));
                 print_model(model);
             }
+            10
         }
-        SolveVerdict::Unsatisfiable => println!("s UNSATISFIABLE"),
+        SolveVerdict::Unsatisfiable => {
+            println!("s UNSATISFIABLE");
+            20
+        }
         SolveVerdict::Unknown(cause) => {
             println!("c {cause}");
             println!("s UNKNOWN");
+            0
         }
-    }
-    Ok(())
+    };
+    Ok(code)
 }
 
 /// Prints the model in DIMACS `v` lines (1-based signed literals, 0-terminated).

@@ -14,6 +14,8 @@
 //!   checker, assignment extraction, SNR model, hybrid solver **and the
 //!   unified solving API**
 //! * [`solvers`] (crate `sat-solvers`) — DPLL / CDCL / WalkSAT / brute force
+//! * [`net`] (crate `nbl-net`) — the wire protocol, the `nbl-satd` TCP
+//!   server and the blocking client for out-of-process solving
 //!
 //! # The unified solving API
 //!
@@ -59,6 +61,7 @@ pub use cnf;
 pub use nbl_analog as analog;
 pub use nbl_circuit as circuit;
 pub use nbl_logic as logic;
+pub use nbl_net as net;
 pub use nbl_noise as noise;
 pub use nbl_sat_core as nbl_sat;
 pub use sat_solvers as solvers;
@@ -68,6 +71,10 @@ pub mod prelude {
     pub use cnf::{Assignment, Clause, CnfFormula, Cube, Literal, PartialAssignment, Variable};
     pub use nbl_circuit::{
         Circuit, CircuitBuilder, GateKind, Simulator, StuckAtFault, TseitinEncoder,
+    };
+    pub use nbl_net::{
+        NblSatClient, NblSatServer, NetError, RemoteJob, RemoteOutcome, ServerConfig, SolveFrame,
+        WireVerdict,
     };
     pub use nbl_noise::{CarrierKind, RunningStats};
     pub use nbl_sat_core::{

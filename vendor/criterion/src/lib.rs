@@ -11,8 +11,8 @@
 //! `cargo test` does for `harness = false` bench targets) runs each benchmark
 //! body exactly once as a smoke test, skipping the warmup.
 //!
-//! Two environment variables tune the loops without recompiling, so perf
-//! comparisons can trade runtime for stability:
+//! Three environment variables tune the loops and the reporting without
+//! recompiling, so perf comparisons can trade runtime for stability:
 //!
 //! * `CRITERION_SAMPLE_SIZE` — timed iterations per benchmark (default 10,
 //!   clamped to 1..=100 000; overrides both the built-in default and any
@@ -20,6 +20,19 @@
 //! * `CRITERION_WARMUP_ITERS` — untimed warmup iterations run first (default
 //!   `max(1, timed/5)`, clamped to 0..=100 000). The warmup populates caches
 //!   and branch predictors so the timed loop does not pay cold-start costs.
+//! * `CRITERION_SUMMARY_JSON` — path of a machine-readable summary file.
+//!   When set, every finished benchmark appends one record (group, bench id,
+//!   mean/min/max ns per iteration, timed iteration count, warmup count) to
+//!   a JSON array at that path. The file is kept a *valid JSON array* across
+//!   appends and across processes — each bench target re-reads the array and
+//!   splices its record in — so CI can run several bench binaries in
+//!   sequence and upload one `BENCH_summary.json` artifact.
+//!
+//! Per-iteration timing feeds the min/max spread: each call of the
+//! [`Bencher::iter`] closure is timed individually (two `Instant` reads per
+//! iteration — negligible against the µs-to-ms solver workloads benched
+//! here), so the summary reports mean, best and worst iteration rather than
+//! a bare average.
 
 #![deny(missing_docs)]
 
@@ -82,20 +95,21 @@ impl Criterion {
     {
         let id = id.into();
         let sample_size = self.sample_size;
-        self.run_one(&id.full_name(), sample_size, f);
+        self.run_one(None, &id.full_name(), sample_size, f);
         self
     }
 
-    fn run_one<F>(&self, label: &str, sample_size: usize, mut f: F)
+    fn run_one<F>(&self, group: Option<&str>, bench: &str, sample_size: usize, mut f: F)
     where
         F: FnMut(&mut Bencher),
     {
+        let label = match group {
+            Some(group) => format!("{group}/{bench}"),
+            None => bench.to_string(),
+        };
         if self.test_mode {
             // Smoke test: run the body exactly once, no warmup, no timing.
-            let mut bencher = Bencher {
-                iterations: 1,
-                elapsed_nanos: 0.0,
-            };
+            let mut bencher = Bencher::with_iterations(1);
             f(&mut bencher);
             println!("test {label} ... ok");
             return;
@@ -105,22 +119,184 @@ impl Criterion {
             .warmup_override
             .unwrap_or_else(|| (sample_size / 5).max(1));
         if warmup > 0 {
-            let mut warmup_bencher = Bencher {
-                iterations: warmup as u64,
-                elapsed_nanos: 0.0,
-            };
+            let mut warmup_bencher = Bencher::with_iterations(warmup as u64);
             f(&mut warmup_bencher);
         }
-        let mut bencher = Bencher {
-            iterations: sample_size as u64,
-            elapsed_nanos: 0.0,
-        };
+        let mut bencher = Bencher::with_iterations(sample_size as u64);
         f(&mut bencher);
         let per_iter = bencher.elapsed_nanos / bencher.iterations.max(1) as f64;
         println!(
-            "bench {label}: {per_iter:.1} ns/iter ({} iters, {warmup} warmup)",
-            bencher.iterations
+            "bench {label}: {per_iter:.1} ns/iter (min {:.1}, max {:.1}, {} iters, {warmup} warmup)",
+            bencher.min_nanos, bencher.max_nanos, bencher.iterations
         );
+        if let Ok(path) = std::env::var("CRITERION_SUMMARY_JSON") {
+            if !path.is_empty() {
+                let target = summary::bench_target();
+                let record = summary::record(target.as_deref(), group, bench, &bencher, warmup);
+                if let Err(e) = summary::append_record(std::path::Path::new(&path), &record) {
+                    eprintln!("criterion stub: cannot write {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// The machine-readable `CRITERION_SUMMARY_JSON` report: hand-rolled JSON
+/// (the workspace is offline — no serde), kept a valid array across appends
+/// from any number of bench processes.
+mod summary {
+    use super::Bencher;
+    use std::io::Write as _;
+    use std::path::Path;
+
+    /// Minimal JSON string escaping for the group/bench labels this stub
+    /// produces (quotes, backslashes, control characters).
+    fn escape(text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        for c in text.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// The bench *target* name this process is running: the executable's
+    /// file stem with cargo's trailing `-<16-hex>` disambiguator stripped
+    /// (e.g. `sat_check-1a2b...` → `sat_check`).
+    pub(super) fn bench_target() -> Option<String> {
+        let exe = std::env::current_exe().ok()?;
+        let stem = exe.file_stem()?.to_str()?.to_string();
+        Some(strip_cargo_hash(&stem).to_string())
+    }
+
+    fn strip_cargo_hash(stem: &str) -> &str {
+        match stem.rsplit_once('-') {
+            Some((name, suffix))
+                if suffix.len() == 16 && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                name
+            }
+            _ => stem,
+        }
+    }
+
+    /// Renders one benchmark's summary record as a JSON object.
+    pub(super) fn record(
+        target: Option<&str>,
+        group: Option<&str>,
+        bench: &str,
+        bencher: &Bencher,
+        warmup: usize,
+    ) -> String {
+        let iters = bencher.iterations.max(1);
+        let mean = bencher.elapsed_nanos / iters as f64;
+        let target = match target {
+            Some(target) => format!("\"{}\"", escape(target)),
+            None => "null".to_string(),
+        };
+        let group = match group {
+            Some(group) => format!("\"{}\"", escape(group)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"target\":{target},\"group\":{group},\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters\":{},\"warmup\":{warmup}}}",
+            escape(bench),
+            mean,
+            bencher.min_nanos,
+            bencher.max_nanos,
+            bencher.iterations,
+        )
+    }
+
+    /// Appends `record` to the JSON array at `path`, creating the file when
+    /// missing and splicing into the existing array otherwise, so the file
+    /// stays `[ {..}, {..} ]` no matter how many bench processes append.
+    pub(super) fn append_record(path: &Path, record: &str) -> std::io::Result<()> {
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let trimmed = existing.trim_end();
+        let content = match trimmed.strip_suffix(']') {
+            Some(head) if trimmed.starts_with('[') => {
+                let head = head.trim_end();
+                if head == "[" {
+                    format!("[\n{record}\n]\n")
+                } else {
+                    format!("{head},\n{record}\n]\n")
+                }
+            }
+            // Missing, empty or unrecognisable: start a fresh array.
+            _ => format!("[\n{record}\n]\n"),
+        };
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(content.as_bytes())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Bencher;
+
+        fn bencher(iters: u64, total: f64, min: f64, max: f64) -> Bencher {
+            Bencher {
+                iterations: iters,
+                elapsed_nanos: total,
+                min_nanos: min,
+                max_nanos: max,
+            }
+        }
+
+        #[test]
+        fn record_renders_flat_json() {
+            let b = bencher(3, 300.0, 80.0, 130.0);
+            let record = record(Some("sat_check"), Some("sat_check"), "symbolic/6", &b, 1);
+            assert_eq!(
+                record,
+                "{\"target\":\"sat_check\",\"group\":\"sat_check\",\"bench\":\"symbolic/6\",\
+                 \"mean_ns\":100.0,\"min_ns\":80.0,\"max_ns\":130.0,\"iters\":3,\"warmup\":1}"
+            );
+            let ungrouped = record_for_none();
+            assert!(ungrouped.starts_with("{\"target\":null,\"group\":null,"));
+        }
+
+        fn record_for_none() -> String {
+            record(None, None, "plain \"x\"", &bencher(1, 5.0, 5.0, 5.0), 0)
+        }
+
+        #[test]
+        fn cargo_hash_suffix_is_stripped_from_target_names() {
+            assert_eq!(strip_cargo_hash("sat_check-0123456789abcdef"), "sat_check");
+            assert_eq!(
+                strip_cargo_hash("baseline_comparison-ABCDEF0123456789"),
+                "baseline_comparison"
+            );
+            // Non-hash suffixes survive.
+            assert_eq!(strip_cargo_hash("sat-check"), "sat-check");
+            assert_eq!(strip_cargo_hash("plain"), "plain");
+        }
+
+        #[test]
+        fn append_maintains_a_valid_array_across_calls() {
+            let path = std::env::temp_dir().join(format!(
+                "criterion_stub_summary_{}_{:?}.json",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            append_record(&path, "{\"a\":1}").unwrap();
+            append_record(&path, "{\"b\":2}").unwrap();
+            append_record(&path, "{\"c\":3}").unwrap();
+            let content = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(content, "[\n{\"a\":1},\n{\"b\":2},\n{\"c\":3}\n]\n");
+            // Garbage is replaced by a fresh array rather than corrupted
+            // further.
+            std::fs::write(&path, "not json").unwrap();
+            append_record(&path, "{\"d\":4}").unwrap();
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), "[\n{\"d\":4}\n]\n");
+            let _ = std::fs::remove_file(&path);
+        }
     }
 }
 
@@ -145,9 +321,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let label = format!("{}/{}", self.name, id.full_name());
         let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
-        self.criterion.run_one(&label, sample_size, f);
+        self.criterion
+            .run_one(Some(&self.name), &id.full_name(), sample_size, f);
         self
     }
 
@@ -227,16 +403,37 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     iterations: u64,
     elapsed_nanos: f64,
+    min_nanos: f64,
+    max_nanos: f64,
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly, recording total elapsed wall-clock time.
-    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        let start = Instant::now();
-        for _ in 0..self.iterations {
-            black_box(f());
+    fn with_iterations(iterations: u64) -> Self {
+        Bencher {
+            iterations,
+            elapsed_nanos: 0.0,
+            min_nanos: 0.0,
+            max_nanos: 0.0,
         }
-        self.elapsed_nanos = start.elapsed().as_secs_f64() * 1e9;
+    }
+
+    /// Runs `f` repeatedly, timing every iteration individually so the
+    /// summary can report the mean, best and worst iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed().as_secs_f64() * 1e9;
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+        }
+        self.elapsed_nanos = total;
+        self.min_nanos = if self.iterations == 0 { 0.0 } else { min };
+        self.max_nanos = max;
     }
 }
 

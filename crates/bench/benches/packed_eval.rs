@@ -1,0 +1,67 @@
+//! Criterion bench for the bit-packed evaluation cores: the scalar-vs-packed
+//! staircase on clause evaluation (64 assignments per word) and on WalkSAT /
+//! GSAT flip scoring. The four targets form a ladder the CI quick-mode bench
+//! job asserts on: each `*_packed` mean must beat its `*_scalar` twin.
+
+use cnf::generators::{self, RandomKSatConfig};
+use cnf::{Assignment, AssignmentBlock, CnfFormula, PackedFormula, Variable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sat_solvers::score;
+use sat_solvers::FlipScorer;
+
+/// The shared workload: one random 3-SAT instance near the hard ratio plus a
+/// word's worth of random assignments.
+fn workload() -> (CnfFormula, Vec<Assignment>) {
+    let formula = generators::random_ksat(&RandomKSatConfig::new(192, 800, 3).with_seed(42))
+        .expect("valid generator config");
+    // A deterministic but irregular batch of 64 full-width assignments.
+    let assignments = (0..64u64)
+        .map(|lane| {
+            Assignment::from_bools(
+                (0..192)
+                    .map(|v| (lane.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (v % 63)) & 1 == 1)
+                    .collect(),
+            )
+        })
+        .collect();
+    (formula, assignments)
+}
+
+fn clause_eval(c: &mut Criterion) {
+    let (formula, assignments) = workload();
+    let packed = PackedFormula::new(&formula);
+    let block = AssignmentBlock::from_assignments(&assignments);
+    c.bench_function("clause_eval_scalar", |b| {
+        b.iter(|| {
+            let mut satisfied = 0u32;
+            for a in &assignments {
+                satisfied += u32::from(formula.evaluate(a));
+            }
+            satisfied
+        })
+    });
+    c.bench_function("clause_eval_packed", |b| {
+        b.iter(|| packed.eval_block(&block).popcount())
+    });
+}
+
+fn flip_score(c: &mut Criterion) {
+    let (formula, assignments) = workload();
+    let assignment = assignments[0].clone();
+    let mut scorer = FlipScorer::new(&formula);
+    c.bench_function("flip_score_scalar", |b| {
+        b.iter(|| {
+            let mut total = 0i64;
+            for v in 0..formula.num_vars() {
+                total += score::flip_gain(&formula, &assignment, Variable::new(v));
+            }
+            total
+        })
+    });
+    c.bench_function("flip_score_packed", |b| {
+        b.iter(|| scorer.gains(&assignment).iter().sum::<i64>())
+    });
+}
+
+criterion_group!(benches, clause_eval, flip_score);
+criterion_main!(benches);

@@ -86,6 +86,17 @@ impl Assignment {
         self.values[var.index()]
     }
 
+    /// Returns the value of the given variable, or `None` if the variable is
+    /// not covered by this assignment.
+    ///
+    /// This is the total counterpart of [`Assignment::value`]; evaluation
+    /// code treats an uncovered variable as `false`
+    /// (`a.get(var).unwrap_or(false)`), so that an assignment shorter than a
+    /// formula's variable count evaluates totally instead of panicking.
+    pub fn get(&self, var: Variable) -> Option<bool> {
+        self.values.get(var.index()).copied()
+    }
+
     /// Sets the value of the given variable.
     ///
     /// # Panics
@@ -96,8 +107,12 @@ impl Assignment {
     }
 
     /// Returns `true` if the given literal is satisfied by this assignment.
+    ///
+    /// Total over short assignments: a variable not covered by the assignment
+    /// reads `false`, so the negative literal of an uncovered variable is
+    /// satisfied and the positive literal is not.
     pub fn satisfies(&self, lit: Literal) -> bool {
-        lit.evaluate(self.value(lit.variable()))
+        lit.evaluate(self.get(lit.variable()).unwrap_or(false))
     }
 
     /// Returns the values as a slice (`values()[i]` is the value of variable `i`).
@@ -183,6 +198,15 @@ impl PartialAssignment {
     /// Panics if the variable index is out of range.
     pub fn value(&self, var: Variable) -> Option<bool> {
         self.values[var.index()]
+    }
+
+    /// Returns the value of the given variable, or `None` if the variable is
+    /// unassigned *or* not covered by this partial assignment.
+    ///
+    /// This is the total counterpart of [`PartialAssignment::value`], used by
+    /// evaluation code that must not panic on width mismatches.
+    pub fn get(&self, var: Variable) -> Option<bool> {
+        self.values.get(var.index()).copied().flatten()
     }
 
     /// Assigns a value to a variable.
@@ -343,5 +367,22 @@ mod tests {
     #[should_panic]
     fn from_index_rejects_too_many_vars() {
         let _ = Assignment::from_index(65, 0);
+    }
+
+    #[test]
+    fn get_is_total_over_short_assignments() {
+        let a = Assignment::from_bools(vec![true, false]);
+        assert_eq!(a.get(Variable::new(0)), Some(true));
+        assert_eq!(a.get(Variable::new(1)), Some(false));
+        assert_eq!(a.get(Variable::new(2)), None);
+        // An uncovered variable reads false, so its negative literal holds.
+        assert!(a.satisfies(Literal::from_dimacs(-3).unwrap()));
+        assert!(!a.satisfies(Literal::from_dimacs(3).unwrap()));
+
+        let mut p = PartialAssignment::new(2);
+        p.assign(Variable::new(0), true);
+        assert_eq!(p.get(Variable::new(0)), Some(true));
+        assert_eq!(p.get(Variable::new(1)), None);
+        assert_eq!(p.get(Variable::new(5)), None);
     }
 }

@@ -1,0 +1,653 @@
+//! Bit-packed storage: 64 Boolean values per machine word.
+//!
+//! This module is the raw-speed substrate behind the packed evaluation cores
+//! in [`crate::packed`]: a [`Word`] is a transparent wrapper over `u64`
+//! carrying 64 Boolean lanes, a [`BitVector`] is a length-tagged sequence of
+//! words, and a [`BitMatrix`] is a dense rectangular grid of bits stored
+//! row-major in words.
+//!
+//! # Representation and the tail-word convention
+//!
+//! Bit `i` of a [`BitVector`] lives in word `i / 64` at bit position
+//! `i % 64` (little-endian within the word: position 0 is the least
+//! significant bit). The last word of a vector whose length is not a
+//! multiple of 64 is the *tail word*; every bit of the tail word at or past
+//! the vector's length is kept at **zero**. All operations preserve this
+//! invariant — [`BitVector::complement`] in particular re-masks the tail —
+//! so whole-word operations (popcounts, equality, reductions) never see
+//! garbage lanes. Reads past the end are total: [`BitVector::word`] returns
+//! [`Word::ZERO`] for any out-of-range word index, which encodes the
+//! workspace-wide "missing variable reads false" convention of
+//! [`crate::Assignment`] evaluation.
+
+use crate::assignment::Assignment;
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+/// Number of bits per [`Word`].
+pub const WORD_BITS: usize = 64;
+
+/// One machine word of 64 Boolean lanes.
+///
+/// `#[repr(transparent)]` guarantees the wrapper has exactly the layout of a
+/// `u64`, so slices of words can be handed to word-at-a-time kernels with no
+/// conversion cost.
+///
+/// ```
+/// use cnf::bits::Word;
+/// let w = Word(0b1011);
+/// assert_eq!(w.popcount(), 3);
+/// assert_eq!((w & Word(0b0110)).0, 0b0010);
+/// assert_eq!((!Word::ZERO), Word::ONES);
+/// ```
+#[repr(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(pub u64);
+
+impl Word {
+    /// The all-zeros word.
+    pub const ZERO: Word = Word(0);
+    /// The all-ones word.
+    pub const ONES: Word = Word(u64::MAX);
+
+    /// A word with ones in the low `bits` lanes and zeros above — the mask
+    /// that enforces the tail-word convention for a vector of `bits % 64`
+    /// spare bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64`.
+    pub fn tail_mask(bits: usize) -> Word {
+        assert!(bits <= WORD_BITS, "a word has only {WORD_BITS} bits");
+        if bits == WORD_BITS {
+            Word::ONES
+        } else {
+            Word((1u64 << bits) - 1)
+        }
+    }
+
+    /// Number of one bits (the word-level popcount).
+    pub fn popcount(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of the lowest set bit, or `None` for [`Word::ZERO`].
+    pub fn lowest_set_bit(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros())
+        }
+    }
+
+    /// Reads lane `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    pub fn bit(self, bit: usize) -> bool {
+        assert!(bit < WORD_BITS, "a word has only {WORD_BITS} bits");
+        (self.0 >> bit) & 1 == 1
+    }
+
+    /// Returns a copy with lane `bit` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    pub fn with_bit(self, bit: usize, value: bool) -> Word {
+        assert!(bit < WORD_BITS, "a word has only {WORD_BITS} bits");
+        if value {
+            Word(self.0 | (1u64 << bit))
+        } else {
+            Word(self.0 & !(1u64 << bit))
+        }
+    }
+
+    /// Iterates over the indices of the set bits, lowest first.
+    pub fn iter_set_bits(self) -> impl Iterator<Item = usize> {
+        let mut rest = self.0;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                None
+            } else {
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(bit)
+            }
+        })
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({:#018x})", self.0)
+    }
+}
+
+impl BitAnd for Word {
+    type Output = Word;
+    fn bitand(self, rhs: Word) -> Word {
+        Word(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for Word {
+    type Output = Word;
+    fn bitor(self, rhs: Word) -> Word {
+        Word(self.0 | rhs.0)
+    }
+}
+
+impl BitXor for Word {
+    type Output = Word;
+    fn bitxor(self, rhs: Word) -> Word {
+        Word(self.0 ^ rhs.0)
+    }
+}
+
+impl Not for Word {
+    type Output = Word;
+    fn not(self) -> Word {
+        Word(!self.0)
+    }
+}
+
+impl BitAndAssign for Word {
+    fn bitand_assign(&mut self, rhs: Word) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitOrAssign for Word {
+    fn bitor_assign(&mut self, rhs: Word) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitXorAssign for Word {
+    fn bitxor_assign(&mut self, rhs: Word) {
+        self.0 ^= rhs.0;
+    }
+}
+
+/// A bit vector: `len` Booleans packed 64 per [`Word`].
+///
+/// Maintains the tail-word invariant documented at the [module
+/// level](self): bits at positions `>= len` are always zero.
+///
+/// ```
+/// use cnf::bits::BitVector;
+/// let v = BitVector::from_bools(&[true, false, true, true]);
+/// assert_eq!(v.len(), 4);
+/// assert_eq!(v.count_ones(), 3);
+/// assert!(v.get(0) && !v.get(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BitVector {
+    words: Vec<Word>,
+    len: usize,
+}
+
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+impl BitVector {
+    /// Creates an all-zeros vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVector {
+            words: vec![Word::ZERO; words_for(len)],
+            len,
+        }
+    }
+
+    /// Creates a vector from a slice of Booleans (`bools[i]` becomes bit `i`).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut v = BitVector::zeros(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                v.words[i / WORD_BITS] |= Word(1u64 << (i % WORD_BITS));
+            }
+        }
+        v
+    }
+
+    /// Creates a vector of `len` bits from little-endian bytes: bit `i` is
+    /// bit `i % 8` of `bytes[i / 8]`. Bits of `bytes` at or past `len` are
+    /// ignored, keeping the conversion byte-aligned and total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `len` bits.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(
+            bytes.len() * 8 >= len,
+            "need {len} bits, got {}",
+            bytes.len() * 8
+        );
+        let mut v = BitVector::zeros(len);
+        for i in 0..len {
+            if (bytes[i / 8] >> (i % 8)) & 1 == 1 {
+                v.words[i / WORD_BITS] |= Word(1u64 << (i % WORD_BITS));
+            }
+        }
+        v
+    }
+
+    /// Serializes to little-endian bytes (`ceil(len / 8)` of them); the
+    /// inverse of [`BitVector::from_bytes`]. Spare bits of the last byte are
+    /// zero.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        bytes
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of backing words.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The backing words, tail word masked per the module invariant.
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Word `index`, or [`Word::ZERO`] when `index` is past the end — the
+    /// total read that encodes "missing variable reads false".
+    pub fn word(&self, index: usize) -> Word {
+        self.words.get(index).copied().unwrap_or(Word::ZERO)
+    }
+
+    /// Reads bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit {index} out of range ({})", self.len);
+        self.words[index / WORD_BITS].bit(index % WORD_BITS)
+    }
+
+    /// Sets bit `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit {index} out of range ({})", self.len);
+        let word = &mut self.words[index / WORD_BITS];
+        *word = word.with_bit(index % WORD_BITS, value);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.popcount() as usize).sum()
+    }
+
+    /// Lane-wise AND with an equal-length vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and(&self, other: &BitVector) -> BitVector {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Lane-wise OR with an equal-length vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or(&self, other: &BitVector) -> BitVector {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Lane-wise XOR with an equal-length vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor(&self, other: &BitVector) -> BitVector {
+        self.zip_words(other, |a, b| a ^ b)
+    }
+
+    /// Lane-wise NOT; the tail word is re-masked so the invariant holds.
+    pub fn complement(&self) -> BitVector {
+        let mut words: Vec<Word> = self.words.iter().map(|&w| !w).collect();
+        Self::mask_tail(&mut words, self.len);
+        BitVector {
+            words,
+            len: self.len,
+        }
+    }
+
+    fn zip_words(&self, other: &BitVector, op: impl Fn(Word, Word) -> Word) -> BitVector {
+        assert_eq!(
+            self.len, other.len,
+            "bit-vector length mismatch in word-wise op"
+        );
+        BitVector {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| op(a, b))
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    fn mask_tail(words: &mut [Word], len: usize) {
+        let spare = len % WORD_BITS;
+        if spare != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= Word::tail_mask(spare);
+            }
+        }
+    }
+
+    /// Iterates over the bits, lowest index first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Collects the bits into a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Converts to an [`Assignment`] over `len` variables.
+    pub fn to_assignment(&self) -> Assignment {
+        Assignment::from_bools(self.to_bools())
+    }
+}
+
+impl From<&Assignment> for BitVector {
+    fn from(assignment: &Assignment) -> Self {
+        BitVector::from_bools(assignment.values())
+    }
+}
+
+impl From<&BitVector> for Assignment {
+    fn from(bits: &BitVector) -> Self {
+        bits.to_assignment()
+    }
+}
+
+impl fmt::Display for BitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, b) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", if b { 1 } else { 0 })?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// A dense bit matrix, stored row-major with each row padded to whole words.
+///
+/// Every row is itself a bit vector obeying the tail-word convention, so
+/// word-at-a-time kernels can run down a row ([`BitMatrix::row`]) without
+/// masking. The packed evaluation cores use a matrix with one row per
+/// variable and one column per candidate assignment.
+///
+/// ```
+/// use cnf::bits::BitMatrix;
+/// let mut m = BitMatrix::zeros(2, 70);
+/// m.set(1, 69, true);
+/// assert!(m.get(1, 69));
+/// assert_eq!(m.row(1).len(), 2); // 70 columns span two words
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<Word>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zeros matrix of `rows` × `cols` bits.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = words_for(cols);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            words: vec![Word::ZERO; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of words backing each row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The words of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[Word] {
+        assert!(r < self.rows, "row {r} out of range ({})", self.rows);
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Mutable access to the words of row `r`.
+    ///
+    /// Callers must preserve the tail-word invariant (bits at columns
+    /// `>= cols` stay zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_mut(&mut self, r: usize) -> &mut [Word] {
+        assert!(r < self.rows, "row {r} out of range ({})", self.rows);
+        &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Reads the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(c < self.cols, "column {c} out of range ({})", self.cols);
+        self.row(r)[c / WORD_BITS].bit(c % WORD_BITS)
+    }
+
+    /// Sets the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(c < self.cols, "column {c} out of range ({})", self.cols);
+        let word = &mut self.row_mut(r)[c / WORD_BITS];
+        *word = word.with_bit(c % WORD_BITS, value);
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.popcount() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_ops_and_popcount() {
+        let a = Word(0b1100);
+        let b = Word(0b1010);
+        assert_eq!((a & b).0, 0b1000);
+        assert_eq!((a | b).0, 0b1110);
+        assert_eq!((a ^ b).0, 0b0110);
+        assert_eq!(!Word::ONES, Word::ZERO);
+        assert_eq!(a.popcount(), 2);
+        assert!(Word::ZERO.is_zero());
+        assert_eq!(Word(0b1000).lowest_set_bit(), Some(3));
+        assert_eq!(Word::ZERO.lowest_set_bit(), None);
+        let mut c = a;
+        c &= b;
+        c |= Word(1);
+        c ^= Word(1);
+        assert_eq!(c.0, 0b1000);
+        assert_eq!(
+            Word(0b101).iter_set_bits().collect::<Vec<_>>(),
+            vec![0usize, 2]
+        );
+        assert!(format!("{a:?}").contains("0x"));
+    }
+
+    #[test]
+    fn word_tail_masks() {
+        assert_eq!(Word::tail_mask(0), Word::ZERO);
+        assert_eq!(Word::tail_mask(1), Word(1));
+        assert_eq!(Word::tail_mask(63), Word(u64::MAX >> 1));
+        assert_eq!(Word::tail_mask(64), Word::ONES);
+    }
+
+    #[test]
+    #[should_panic]
+    fn word_tail_mask_rejects_oversize() {
+        let _ = Word::tail_mask(65);
+    }
+
+    #[test]
+    fn word_bit_accessors() {
+        let w = Word::ZERO.with_bit(5, true);
+        assert!(w.bit(5));
+        assert!(!w.bit(4));
+        assert_eq!(w.with_bit(5, false), Word::ZERO);
+    }
+
+    #[test]
+    fn bitvector_roundtrips_bools_and_bytes() {
+        for len in [0usize, 1, 7, 8, 63, 64, 65, 130] {
+            let bools: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            let v = BitVector::from_bools(&bools);
+            assert_eq!(v.len(), len);
+            assert_eq!(v.to_bools(), bools);
+            assert_eq!(BitVector::from_bytes(&v.to_bytes(), len), v);
+            assert_eq!(v.count_ones(), bools.iter().filter(|&&b| b).count());
+        }
+    }
+
+    #[test]
+    fn bitvector_tail_word_invariant_after_complement() {
+        let v = BitVector::zeros(65);
+        let c = v.complement();
+        assert_eq!(c.count_ones(), 65);
+        // The tail word (bit 64 lives in word 1) keeps bits 65..128 zero.
+        assert_eq!(c.words()[1], Word(1));
+        assert_eq!(c.complement(), v);
+    }
+
+    #[test]
+    fn bitvector_word_reads_are_total() {
+        let v = BitVector::from_bools(&[true]);
+        assert_eq!(v.word(0), Word(1));
+        assert_eq!(v.word(7), Word::ZERO);
+    }
+
+    #[test]
+    fn bitvector_logic_ops() {
+        let a = BitVector::from_bools(&[true, true, false, false]);
+        let b = BitVector::from_bools(&[true, false, true, false]);
+        assert_eq!(a.and(&b).to_bools(), vec![true, false, false, false]);
+        assert_eq!(a.or(&b).to_bools(), vec![true, true, true, false]);
+        assert_eq!(a.xor(&b).to_bools(), vec![false, true, true, false]);
+        assert_eq!(a.complement().to_bools(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bitvector_length_mismatch_panics() {
+        let _ = BitVector::zeros(3).and(&BitVector::zeros(4));
+    }
+
+    #[test]
+    fn bitvector_assignment_conversions() {
+        let a = Assignment::from_bools(vec![true, false, true]);
+        let v = BitVector::from(&a);
+        assert_eq!(v.len(), 3);
+        assert_eq!(Assignment::from(&v), a);
+        assert_eq!(v.to_assignment(), a);
+        assert_eq!(v.to_string(), "<1,0,1>");
+    }
+
+    #[test]
+    fn bitvector_set_get() {
+        let mut v = BitVector::zeros(130);
+        v.set(129, true);
+        v.set(0, true);
+        assert!(v.get(129) && v.get(0) && !v.get(64));
+        v.set(129, false);
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn bitmatrix_rows_and_cells() {
+        let mut m = BitMatrix::zeros(3, 70);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 70);
+        assert_eq!(m.words_per_row(), 2);
+        m.set(2, 69, true);
+        m.set(0, 0, true);
+        assert!(m.get(2, 69));
+        assert!(!m.get(1, 69));
+        assert_eq!(m.count_ones(), 2);
+        assert_eq!(m.row(0)[0], Word(1));
+        m.row_mut(0)[0] = Word::ZERO;
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bitmatrix_out_of_range_panics() {
+        let m = BitMatrix::zeros(2, 2);
+        let _ = m.get(0, 2);
+    }
+}

@@ -99,20 +99,26 @@ impl Clause {
     }
 
     /// Evaluates the clause under a complete assignment.
+    ///
+    /// Total over short assignments: a variable the assignment does not cover
+    /// reads `false` (so its negative literal is satisfied, its positive
+    /// literal is not). The packed evaluator ([`crate::PackedFormula`])
+    /// matches this behavior bit-for-bit, including in the tail word.
     pub fn evaluate(&self, assignment: &Assignment) -> bool {
         self.literals
             .iter()
-            .any(|l| l.evaluate(assignment.value(l.variable())))
+            .any(|l| l.evaluate(assignment.get(l.variable()).unwrap_or(false)))
     }
 
     /// Evaluates the clause under a partial assignment.
     ///
     /// Returns `Some(true)` if some literal is satisfied, `Some(false)` if all
     /// literals are falsified, and `None` if the clause is still undetermined.
+    /// A variable the partial assignment does not cover counts as unassigned.
     pub fn evaluate_partial(&self, assignment: &PartialAssignment) -> Option<bool> {
         let mut any_unassigned = false;
         for lit in &self.literals {
-            match assignment.value(lit.variable()) {
+            match assignment.get(lit.variable()) {
                 Some(v) if lit.evaluate(v) => return Some(true),
                 Some(_) => {}
                 None => any_unassigned = true,
@@ -251,6 +257,25 @@ mod tests {
         p.unassign(Variable::new(1));
         p.assign(Variable::new(0), true);
         assert_eq!(c.evaluate_partial(&p), Some(true));
+    }
+
+    #[test]
+    fn evaluation_is_total_over_short_assignments() {
+        // The assignment covers only x1; x2 and x3 read false.
+        let a = Assignment::from_bools(vec![true]);
+        assert!(!Clause::from_dimacs(&[2]).unwrap().evaluate(&a));
+        assert!(Clause::from_dimacs(&[-3]).unwrap().evaluate(&a));
+        assert!(Clause::from_dimacs(&[1, 2]).unwrap().evaluate(&a));
+        // An uncovered variable counts as unassigned in partial evaluation.
+        let p = PartialAssignment::new(1);
+        let c = Clause::from_dimacs(&[2]).unwrap();
+        assert_eq!(c.evaluate_partial(&p), None);
+        let mut p1 = PartialAssignment::new(1);
+        p1.assign(Variable::new(0), false);
+        assert_eq!(
+            Clause::from_dimacs(&[1]).unwrap().evaluate_partial(&p1),
+            Some(false)
+        );
     }
 
     #[test]

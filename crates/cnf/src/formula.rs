@@ -142,9 +142,9 @@ impl CnfFormula {
 
     /// Evaluates the formula under a complete assignment.
     ///
-    /// # Panics
-    ///
-    /// Panics if the assignment covers fewer variables than the formula mentions.
+    /// Total over short assignments: variables the assignment does not cover
+    /// read `false` (see [`Clause::evaluate`]). Callers that want a width
+    /// mismatch reported as an error use [`CnfFormula::try_evaluate`].
     pub fn evaluate(&self, assignment: &Assignment) -> bool {
         self.clauses.iter().all(|c| c.evaluate(assignment))
     }
@@ -371,6 +371,21 @@ mod tests {
         let err = f.try_evaluate(&Assignment::all_false(3)).unwrap_err();
         assert!(matches!(err, CnfError::AssignmentSizeMismatch { .. }));
         assert_eq!(f.try_evaluate(&Assignment::all_true(2)), Ok(true));
+    }
+
+    #[test]
+    fn evaluate_is_total_over_short_assignments() {
+        let f = cnf_formula![[1, 2], [-3]];
+        // The empty assignment reads every variable as false: clause (¬x3)
+        // holds, clause (x1 + x2) does not.
+        let empty = Assignment::from_bools(Vec::new());
+        assert!(!f.evaluate(&empty));
+        assert_eq!(f.count_satisfied_clauses(&empty), 1);
+        // Covering just x1 = true satisfies both clauses (x3 reads false).
+        let short = Assignment::from_bools(vec![true]);
+        assert!(f.evaluate(&short));
+        // try_evaluate still reports the width mismatch as an error.
+        assert!(f.try_evaluate(&short).is_err());
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! in the workspace builds on: [`Variable`], [`Literal`], [`Clause`],
 //! [`CnfFormula`], full and partial [`Assignment`]s, [`Cube`]s, DIMACS I/O,
 //! workload generators (random k-SAT, pigeonhole, graph coloring, parity
-//! chains, equivalence-checking miters) and light preprocessing
-//! (unit propagation, pure-literal elimination).
+//! chains, equivalence-checking miters), light preprocessing
+//! (unit propagation, pure-literal elimination), and bit-packed evaluation
+//! cores ([`bits`], [`packed`]) that test 64 candidate assignments per
+//! machine word.
 //!
 //! The NBL-SAT paper (Lin, Mandal, Khatri, DAC 2012) defines a SAT instance
 //! as a conjunction of `m` clauses over `n` binary variables; this crate is a
@@ -34,21 +36,25 @@
 #![deny(missing_debug_implementations)]
 
 pub mod assignment;
+pub mod bits;
 pub mod clause;
 pub mod cube;
 pub mod dimacs;
 pub mod error;
 pub mod formula;
 pub mod generators;
+pub mod packed;
 pub mod simplify;
 pub mod stats;
 pub mod var;
 
 pub use assignment::{Assignment, PartialAssignment};
+pub use bits::{BitMatrix, BitVector, Word};
 pub use clause::Clause;
 pub use cube::Cube;
 pub use error::{CnfError, Result};
 pub use formula::CnfFormula;
+pub use packed::{AssignmentBlock, EvalMode, PackedFormula};
 pub use simplify::{propagate_units, pure_literals, simplify, PropagationOutcome, SimplifyReport};
 pub use stats::FormulaStats;
 pub use var::{Literal, Variable};

@@ -1,0 +1,130 @@
+//! Differential proptest suite: the packed evaluation cores against the
+//! scalar oracles, on random formulas × random assignment batches — including
+//! non-multiple-of-64 widths, empty clauses, tautological clauses, and
+//! assignments shorter or longer than the formula.
+
+use cnf::bits::WORD_BITS;
+use cnf::{Assignment, AssignmentBlock, BitVector, CnfFormula, Literal, PackedFormula, Variable};
+use proptest::prelude::*;
+
+/// Strategy: a random CNF formula over `1..=max_vars` variables with
+/// `0..=max_clauses` clauses of 0–4 literals each. Empty clauses and
+/// repeated/tautological literal combinations arise naturally.
+fn arb_formula(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    (1..=max_vars).prop_flat_map(move |n| {
+        let clause = proptest::collection::vec(
+            (0..n, proptest::bool::ANY).prop_map(|(v, phase)| (v, phase)),
+            0..=4,
+        );
+        proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+            let mut formula = CnfFormula::new(n);
+            for lits in clauses {
+                formula.add_clause(
+                    lits.into_iter()
+                        .map(|(v, phase)| Literal::with_phase(Variable::new(v), phase)),
+                );
+            }
+            formula
+        })
+    })
+}
+
+/// Strategy: a batch of up to 64 assignments whose widths range from empty to
+/// wider than the formula (shorter widths exercise the totality rule, wider
+/// ones exercise mask clipping).
+fn arb_batch(max_width: usize) -> impl Strategy<Value = Vec<Assignment>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::bool::ANY, 0..=max_width)
+            .prop_map(Assignment::from_bools),
+        1..=WORD_BITS,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Block evaluation agrees with scalar clause/formula evaluation on
+    /// every lane, including the tail word of a partially filled block.
+    #[test]
+    fn block_eval_matches_scalar(
+        (formula, batch) in arb_formula(70, 10)
+            .prop_flat_map(|f| {
+                let width = f.num_vars() + 3;
+                (Just(f), arb_batch(width))
+            })
+    ) {
+        let packed = PackedFormula::new(&formula);
+        let block = AssignmentBlock::from_assignments(&batch);
+        let sat = packed.eval_block(&block);
+        for (lane, a) in batch.iter().enumerate() {
+            prop_assert_eq!(sat.bit(lane), formula.evaluate(a));
+            for (c, clause) in formula.iter().enumerate() {
+                prop_assert_eq!(packed.clause_block(c, &block).bit(lane), clause.evaluate(a));
+            }
+        }
+        // Lanes past the batch stay zero (tail convention).
+        for lane in batch.len()..WORD_BITS {
+            prop_assert!(!sat.bit(lane));
+        }
+    }
+
+    /// The single-assignment bit-vector evaluator agrees with the scalar
+    /// oracle clause by clause, for widths independent of the formula's.
+    #[test]
+    fn bitvector_eval_matches_scalar(
+        (formula, batch) in arb_formula(70, 10)
+            .prop_flat_map(|f| {
+                let width = f.num_vars() + 3;
+                (Just(f), arb_batch(width))
+            })
+    ) {
+        let packed = PackedFormula::new(&formula);
+        for a in &batch {
+            let bits = BitVector::from(a);
+            prop_assert_eq!(packed.satisfied(&bits), formula.evaluate(a));
+            prop_assert_eq!(
+                packed.count_satisfied(&bits),
+                formula.count_satisfied_clauses(a)
+            );
+            prop_assert_eq!(
+                packed.first_unsatisfied(&bits),
+                formula.iter().position(|c| !c.evaluate(a))
+            );
+            for (c, clause) in formula.iter().enumerate() {
+                prop_assert_eq!(packed.clause_satisfied(c, &bits), clause.evaluate(a));
+            }
+        }
+    }
+
+    /// Assignment ↔ BitVector conversions round-trip and preserve evaluation.
+    #[test]
+    fn bitvector_roundtrip_preserves_evaluation(
+        values in proptest::collection::vec(proptest::bool::ANY, 0..=130)
+    ) {
+        let a = Assignment::from_bools(values);
+        let bits = BitVector::from(&a);
+        prop_assert_eq!(bits.len(), a.num_vars());
+        prop_assert_eq!(&bits.to_assignment(), &a);
+        let bytes = bits.to_bytes();
+        prop_assert_eq!(BitVector::from_bytes(&bytes, bits.len()), bits);
+    }
+
+    /// Broadcast and explicit flips agree with manual scalar flipping.
+    #[test]
+    fn flip_block_lanes_match_manual_flips(
+        (values, flip_indices) in proptest::collection::vec(proptest::bool::ANY, 1..=70)
+            .prop_flat_map(|values| {
+                let n = values.len();
+                (Just(values), proptest::collection::vec(0..n, 1..=WORD_BITS))
+            })
+    ) {
+        let base = Assignment::from_bools(values);
+        let flips: Vec<Variable> = flip_indices.iter().map(|&i| Variable::new(i)).collect();
+        let block = AssignmentBlock::with_flips(&base, &flips);
+        for (lane, &var) in flips.iter().enumerate() {
+            let mut expected = base.clone();
+            expected.set(var, !expected.value(var));
+            prop_assert_eq!(block.lane(lane), expected);
+        }
+    }
+}

@@ -12,14 +12,17 @@ use crate::convergence::{log_spaced_checkpoints, ConvergenceTrace};
 use crate::engine::{MeanEstimate, NblEngine};
 use crate::error::{NblSatError, Result};
 use crate::transform::NblSatInstance;
-use cnf::{PartialAssignment, Variable};
+use cnf::bits::WORD_BITS;
+use cnf::{EvalMode, PartialAssignment, Variable};
 use nbl_noise::{CarrierBank, ConvergenceTracker, Correlator};
 
 /// How often (in samples) the budgeted convergence loop polls the wall-clock
 /// deadline. Each sample already costs `O(n·m)` multiplications, so polling
 /// every few samples keeps the overhead negligible while bounding the
-/// reaction latency.
-const DEADLINE_POLL_INTERVAL: u64 = 64;
+/// reaction latency. Kept equal to [`WORD_BITS`] so the scalar and packed
+/// loops poll at the same instants (word boundaries) and therefore interrupt
+/// identically.
+const DEADLINE_POLL_INTERVAL: u64 = WORD_BITS as u64;
 
 /// Monte-Carlo simulation engine for ⟨S_N⟩.
 ///
@@ -56,6 +59,130 @@ impl Default for SampledEngine {
 struct Evaluator {
     values: Vec<f64>,
     bank: Box<dyn CarrierBank>,
+}
+
+/// Flattened evaluation plan for the packed convergence loop: the τ_N / Σ_N
+/// datapath with every source lookup resolved to a flat index up front, so
+/// the per-sample inner loop touches only contiguous index arrays.
+///
+/// The multiplication order is *identical* to [`SampledEngine::tau_sample`]
+/// and [`SampledEngine::sigma_sample`], so the scalar and packed loops
+/// produce bit-identical floating-point streams.
+#[derive(Debug)]
+struct SamplePlan {
+    tau: Vec<TauTerm>,
+    sigma: Vec<SigmaClause>,
+}
+
+/// One τ_N factor: the binding of variable `i` plus the flat source indices
+/// of its positive and negative carrier products across all clauses.
+#[derive(Debug)]
+struct TauTerm {
+    binding: Option<bool>,
+    pos: Vec<u32>,
+    neg: Vec<u32>,
+}
+
+/// One Σ_N factor (clause hyperspace Z_j): the cube-subspace terms summed.
+#[derive(Debug)]
+struct SigmaClause {
+    terms: Vec<SigmaTerm>,
+}
+
+/// One cube subspace T^j_lit: the literal's own source index and the
+/// `(positive, negative)` source pairs of every other variable.
+#[derive(Debug)]
+struct SigmaTerm {
+    lit_source: u32,
+    others: Vec<(u32, u32)>,
+}
+
+impl SamplePlan {
+    fn new(instance: &NblSatInstance, bindings: &PartialAssignment) -> Self {
+        let m = instance.num_clauses();
+        let n = instance.num_vars();
+        let tau = (0..n)
+            .map(|i| {
+                let var = Variable::new(i);
+                TauTerm {
+                    binding: bindings.value(var),
+                    pos: (0..m)
+                        .map(|j| instance.source(j, var, true).index() as u32)
+                        .collect(),
+                    neg: (0..m)
+                        .map(|j| instance.source(j, var, false).index() as u32)
+                        .collect(),
+                }
+            })
+            .collect();
+        let sigma = instance
+            .formula()
+            .iter()
+            .enumerate()
+            .map(|(j, clause)| SigmaClause {
+                terms: clause
+                    .iter()
+                    .map(|&lit| SigmaTerm {
+                        lit_source: instance.literal_source(j, lit).index() as u32,
+                        others: (0..n)
+                            .filter(|&i| Variable::new(i) != lit.variable())
+                            .map(|i| {
+                                let var = Variable::new(i);
+                                (
+                                    instance.source(j, var, true).index() as u32,
+                                    instance.source(j, var, false).index() as u32,
+                                )
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        SamplePlan { tau, sigma }
+    }
+
+    /// One sample of S_N = τ_N · Σ_N through the flattened plan.
+    fn s_sample(&self, values: &[f64]) -> f64 {
+        let mut tau = 1.0;
+        for term in &self.tau {
+            let product = |indices: &[u32]| {
+                let mut p = 1.0;
+                for &s in indices {
+                    p *= values[s as usize];
+                }
+                p
+            };
+            tau *= match term.binding {
+                None => product(&term.pos) + product(&term.neg),
+                Some(true) => product(&term.pos),
+                Some(false) => product(&term.neg),
+            };
+        }
+        let mut sigma = 1.0;
+        for clause in &self.sigma {
+            let mut z_j = 0.0;
+            for term in &clause.terms {
+                let mut t = values[term.lit_source as usize];
+                for &(pos, neg) in &term.others {
+                    t *= values[pos as usize] + values[neg as usize];
+                }
+                z_j += t;
+            }
+            sigma *= z_j;
+        }
+        tau * sigma
+    }
+}
+
+/// Mutable state threaded through the scalar/packed convergence loops.
+#[derive(Debug)]
+struct LoopState {
+    eval: Evaluator,
+    correlator: Correlator,
+    tracker: ConvergenceTracker,
+    samples: u64,
+    converged: bool,
+    timed_out: bool,
 }
 
 impl SampledEngine {
@@ -127,6 +254,81 @@ impl SampledEngine {
     /// Evaluates one full sample of S_N = τ_N · Σ_N.
     fn s_sample(instance: &NblSatInstance, bindings: &PartialAssignment, values: &[f64]) -> f64 {
         Self::tau_sample(instance, bindings, values) * Self::sigma_sample(instance, values)
+    }
+
+    /// The scalar reference convergence loop: one sample per iteration, the
+    /// whole run charged to the meter in one piece at the end.
+    fn converge_scalar(
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        cap: u64,
+        meter: &mut BudgetMeter,
+        state: &mut LoopState,
+    ) {
+        while state.samples < cap {
+            if state.samples.is_multiple_of(DEADLINE_POLL_INTERVAL) && meter.ensure_time().is_err()
+            {
+                state.timed_out = true;
+                break;
+            }
+            state.eval.bank.next_sample(&mut state.eval.values);
+            state
+                .correlator
+                .push_product(Self::s_sample(instance, bindings, &state.eval.values));
+            state.samples += 1;
+            if state
+                .tracker
+                .observe(state.samples, state.correlator.mean_product())
+            {
+                state.converged = true;
+                break;
+            }
+        }
+        meter.charge_samples(state.samples);
+    }
+
+    /// The packed convergence loop: samples are drawn and charged a 64-lane
+    /// word at a time through a flattened [`SamplePlan`]. Each full word
+    /// charges [`WORD_BITS`] samples to the meter; the tail word is clamped
+    /// to `cap` and an early convergence break charges exactly the lanes
+    /// drawn, so the accounting matches the scalar loop sample for sample.
+    /// The wall-clock deadline is polled at word boundaries — the same
+    /// instants as the scalar loop's poll.
+    fn converge_packed(
+        instance: &NblSatInstance,
+        bindings: &PartialAssignment,
+        cap: u64,
+        meter: &mut BudgetMeter,
+        state: &mut LoopState,
+    ) {
+        let plan = SamplePlan::new(instance, bindings);
+        while state.samples < cap {
+            if meter.ensure_time().is_err() {
+                state.timed_out = true;
+                break;
+            }
+            let lanes = (WORD_BITS as u64).min(cap - state.samples);
+            let mut drawn = 0u64;
+            for _ in 0..lanes {
+                state.eval.bank.next_sample(&mut state.eval.values);
+                state
+                    .correlator
+                    .push_product(plan.s_sample(&state.eval.values));
+                state.samples += 1;
+                drawn += 1;
+                if state
+                    .tracker
+                    .observe(state.samples, state.correlator.mean_product())
+                {
+                    state.converged = true;
+                    break;
+                }
+            }
+            meter.charge_samples(drawn);
+            if state.converged {
+                break;
+            }
+        }
     }
 
     /// Runs the simulation and records the running mean at the given sample
@@ -221,42 +423,36 @@ impl NblEngine for SampledEngine {
         let budget_cap = meter.remaining_samples().unwrap_or(u64::MAX);
         let cap = self.config.max_samples.min(budget_cap);
         let budget_clamped = budget_cap < self.config.max_samples;
-        let mut eval = self.evaluator(instance);
-        let mut correlator = Correlator::new();
-        let mut tracker =
-            ConvergenceTracker::new(self.config.significant_digits, self.config.check_interval);
-        let mut converged = false;
-        let mut samples = 0u64;
-        let mut timed_out = false;
-        while samples < cap {
-            if samples.is_multiple_of(DEADLINE_POLL_INTERVAL) && meter.ensure_time().is_err() {
-                timed_out = true;
-                break;
-            }
-            eval.bank.next_sample(&mut eval.values);
-            correlator.push_product(Self::s_sample(instance, bindings, &eval.values));
-            samples += 1;
-            if tracker.observe(samples, correlator.mean_product()) {
-                converged = true;
-                break;
-            }
+        let mut state = LoopState {
+            eval: self.evaluator(instance),
+            correlator: Correlator::new(),
+            tracker: ConvergenceTracker::new(
+                self.config.significant_digits,
+                self.config.check_interval,
+            ),
+            samples: 0,
+            converged: false,
+            timed_out: false,
+        };
+        match self.config.eval_mode {
+            EvalMode::Scalar => Self::converge_scalar(instance, bindings, cap, meter, &mut state),
+            EvalMode::Packed => Self::converge_packed(instance, bindings, cap, meter, &mut state),
         }
-        meter.charge_samples(samples);
-        if timed_out && !converged {
+        if state.timed_out && !state.converged {
             return Err(NblSatError::BudgetExhausted {
                 resource: ExhaustedResource::WallClock,
             });
         }
-        if budget_clamped && samples == cap && !converged {
+        if budget_clamped && state.samples == cap && !state.converged {
             return Err(NblSatError::BudgetExhausted {
                 resource: ExhaustedResource::Samples,
             });
         }
         Ok(MeanEstimate {
-            mean: correlator.mean_product(),
-            std_error: correlator.std_error(),
-            samples,
-            converged,
+            mean: state.correlator.mean_product(),
+            std_error: state.correlator.std_error(),
+            samples: state.samples,
+            converged: state.converged,
             exact: false,
         })
     }
@@ -488,6 +684,56 @@ mod tests {
                 resource: ExhaustedResource::WallClock
             }
         ));
+    }
+
+    #[test]
+    fn packed_and_scalar_estimates_are_bit_identical() {
+        // The flattened SamplePlan preserves the scalar path's f64
+        // multiplication order exactly, so the two modes must agree on every
+        // bit of the estimate — mean, std error, sample count, convergence.
+        for formula in [
+            generators::example6_sat(),
+            generators::example7_unsat(),
+            generators::section4_sat_instance(),
+        ] {
+            let inst = instance(&formula);
+            for bound in [false, true] {
+                let mut bindings = inst.empty_bindings();
+                if bound {
+                    bindings.assign(Variable::new(0), true);
+                }
+                let mut scalar =
+                    SampledEngine::new(quick_config(9).with_eval_mode(cnf::EvalMode::Scalar));
+                let mut packed =
+                    SampledEngine::new(quick_config(9).with_eval_mode(cnf::EvalMode::Packed));
+                let es = scalar.estimate(&inst, &bindings).unwrap();
+                let ep = packed.estimate(&inst, &bindings).unwrap();
+                assert_eq!(es, ep, "modes diverged (bound={bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_budget_accounting_is_exact() {
+        use crate::budget::{Budget, BudgetMeter};
+        // A 200-sample allowance is not a multiple of anything the packed
+        // loop cares about beyond three full words plus an 8-lane tail; the
+        // per-word charges must still add up to exactly 200.
+        let inst = instance(&generators::section4_unsat_instance());
+        let mut engine = SampledEngine::new(quick_config(1).with_eval_mode(cnf::EvalMode::Packed));
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_samples(200));
+        assert!(engine
+            .estimate_budgeted(&inst, &inst.empty_bindings(), &mut meter)
+            .is_err());
+        assert_eq!(meter.samples_used(), 200);
+        // And when the engine converges early, only the drawn lanes of the
+        // final word are charged.
+        let mut engine = SampledEngine::new(quick_config(1).with_eval_mode(cnf::EvalMode::Packed));
+        let mut meter = BudgetMeter::start(&Budget::unlimited().with_max_samples(10_000_000));
+        let est = engine
+            .estimate_budgeted(&inst, &inst.empty_bindings(), &mut meter)
+            .unwrap();
+        assert_eq!(meter.samples_used(), est.samples);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::solve::backend::SatBackend;
 use crate::solve::outcome::SolveOutcome;
 use crate::solve::request::SolveRequest;
 use crate::symbolic::SymbolicEngine;
+use cnf::EvalMode;
 use sat_solvers::{
     BruteForceSolver, CdclSolver, DpllSolver, Gsat, GsatConfig, ParallelPortfolio, Portfolio,
     Schoening, SchoeningConfig, TwoSatSolver, WalkSat, WalkSatConfig,
@@ -123,24 +124,21 @@ impl BackendRegistry {
         self.entries.is_empty()
     }
 
-    /// Convenience: create the named backend and solve one request with it.
-    ///
-    /// # Errors
-    ///
-    /// [`NblSatError::UnknownBackend`] for unregistered names, plus whatever
-    /// the backend's [`SatBackend::solve`] returns.
-    pub fn solve(&self, name: &str, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
-        self.create(name)?.solve(request)
-    }
-}
-
-impl Default for BackendRegistry {
-    fn default() -> Self {
+    /// The full default backend set with an explicit evaluation core for
+    /// every backend that has one: the brute-force enumerator, the
+    /// stochastic local-search solvers (directly and inside both
+    /// portfolios), and the Monte-Carlo NBL engines. Backends without a
+    /// packed/scalar distinction (DPLL, CDCL, 2-SAT, the exact NBL engines)
+    /// are registered unchanged. `BackendRegistry::default()` is
+    /// `with_eval_mode(EvalMode::default())`.
+    pub fn with_eval_mode(eval_mode: EvalMode) -> Self {
         let mut registry = BackendRegistry::empty();
-        registry.register("brute-force", || {
+        registry.register("brute-force", move || {
             Box::new(
-                ClassicalBackend::new("brute-force", true, |_| BruteForceSolver::new())
-                    .with_var_limit(24),
+                ClassicalBackend::new("brute-force", true, move |_| {
+                    BruteForceSolver::new().with_eval_mode(eval_mode)
+                })
+                .with_var_limit(24),
             )
         });
         registry.register("dpll", || {
@@ -157,41 +155,46 @@ impl Default for BackendRegistry {
                 TwoSatSolver::new()
             }))
         });
-        registry.register("walksat", || {
-            Box::new(ClassicalBackend::new("walksat", false, |seed| {
+        registry.register("walksat", move || {
+            Box::new(ClassicalBackend::new("walksat", false, move |seed| {
                 WalkSat::with_config(WalkSatConfig {
                     seed,
+                    eval_mode,
                     ..WalkSatConfig::default()
                 })
             }))
         });
-        registry.register("gsat", || {
-            Box::new(ClassicalBackend::new("gsat", false, |seed| {
+        registry.register("gsat", move || {
+            Box::new(ClassicalBackend::new("gsat", false, move |seed| {
                 Gsat::with_config(GsatConfig {
                     seed,
+                    eval_mode,
                     ..GsatConfig::default()
                 })
             }))
         });
-        registry.register("schoening", || {
-            Box::new(ClassicalBackend::new("schoening", false, |seed| {
+        registry.register("schoening", move || {
+            Box::new(ClassicalBackend::new("schoening", false, move |seed| {
                 Schoening::with_config(SchoeningConfig {
                     seed,
+                    eval_mode,
                     ..SchoeningConfig::default()
                 })
             }))
         });
         // The portfolios are seed-aware so the request seed reaches their
         // stochastic members (reseeded per solve, not per construction).
-        registry.register("portfolio", || {
-            Box::new(ClassicalBackend::new("portfolio", true, |seed| {
-                Portfolio::new().with_seed(seed)
+        registry.register("portfolio", move || {
+            Box::new(ClassicalBackend::new("portfolio", true, move |seed| {
+                Portfolio::new_with_eval_mode(eval_mode).with_seed(seed)
             }))
         });
-        registry.register("parallel-portfolio", || {
-            Box::new(ClassicalBackend::new("parallel-portfolio", true, |seed| {
-                ParallelPortfolio::new().with_seed(seed)
-            }))
+        registry.register("parallel-portfolio", move || {
+            Box::new(ClassicalBackend::new(
+                "parallel-portfolio",
+                true,
+                move |seed| ParallelPortfolio::new_with_eval_mode(eval_mode).with_seed(seed),
+            ))
         });
         registry.register("nbl-symbolic", || {
             Box::new(NblCheckBackend::new("nbl-symbolic", true, |_| {
@@ -203,13 +206,19 @@ impl Default for BackendRegistry {
                 AlgebraicEngine::new()
             }))
         });
-        registry.register("nbl-sampled", || {
+        registry.register("nbl-sampled", move || {
             Box::new(
-                NblCheckBackend::new("nbl-sampled", false, |seed| {
-                    SampledEngine::new(EngineConfig::new().with_seed(seed))
+                NblCheckBackend::new("nbl-sampled", false, move |seed| {
+                    SampledEngine::new(
+                        EngineConfig::new()
+                            .with_seed(seed)
+                            .with_eval_mode(eval_mode),
+                    )
                 })
-                .with_trace_fn(|seed, instance, sample_allowance| {
-                    let mut config = EngineConfig::new().with_seed(seed);
+                .with_trace_fn(move |seed, instance, sample_allowance| {
+                    let mut config = EngineConfig::new()
+                        .with_seed(seed)
+                        .with_eval_mode(eval_mode);
                     if let Some(allowance) = sample_allowance {
                         config = config.with_max_samples(allowance.min(config.max_samples).max(1));
                     }
@@ -228,12 +237,32 @@ impl Default for BackendRegistry {
                 HybridSolver::with_ideal_coprocessor()
             }))
         });
-        registry.register("hybrid-sampled", || {
-            Box::new(HybridBackend::new("hybrid-sampled", false, |seed| {
-                HybridSolver::new(SampledEngine::new(EngineConfig::new().with_seed(seed)))
+        registry.register("hybrid-sampled", move || {
+            Box::new(HybridBackend::new("hybrid-sampled", false, move |seed| {
+                HybridSolver::new(SampledEngine::new(
+                    EngineConfig::new()
+                        .with_seed(seed)
+                        .with_eval_mode(eval_mode),
+                ))
             }))
         });
         registry
+    }
+
+    /// Convenience: create the named backend and solve one request with it.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::UnknownBackend`] for unregistered names, plus whatever
+    /// the backend's [`SatBackend::solve`] returns.
+    pub fn solve(&self, name: &str, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
+        self.create(name)?.solve(request)
+    }
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        BackendRegistry::with_eval_mode(EvalMode::default())
     }
 }
 

@@ -1,8 +1,9 @@
 //! GSAT greedy local search.
 
 use crate::limits::SearchLimits;
+use crate::score::{self, FlipScorer};
 use crate::solver::{SolveResult, Solver, SolverStats};
-use cnf::{Assignment, CnfFormula, Variable};
+use cnf::{Assignment, BitVector, CnfFormula, EvalMode, Variable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,6 +18,9 @@ pub struct GsatConfig {
     pub allow_sideways: bool,
     /// PRNG seed; the search is deterministic for a fixed seed.
     pub seed: u64,
+    /// Evaluation core: packed (all gains in one clause sweep) or the scalar
+    /// reference path. Both produce bit-identical searches.
+    pub eval_mode: EvalMode,
 }
 
 impl Default for GsatConfig {
@@ -26,6 +30,7 @@ impl Default for GsatConfig {
             max_restarts: 10,
             allow_sideways: true,
             seed: 0,
+            eval_mode: EvalMode::default(),
         }
     }
 }
@@ -70,46 +75,11 @@ impl Gsat {
 
     /// Net change in the number of satisfied clauses if `var` were flipped.
     fn flip_gain(formula: &CnfFormula, assignment: &Assignment, var: Variable) -> i64 {
-        let mut gain = 0i64;
-        for clause in formula.iter() {
-            if !clause.mentions(var) {
-                continue;
-            }
-            let mut satisfied_by_var = false;
-            let mut satisfied_by_other = false;
-            let mut falsified_var_literal = false;
-            for &lit in clause.iter() {
-                if assignment.satisfies(lit) {
-                    if lit.variable() == var {
-                        satisfied_by_var = true;
-                    } else {
-                        satisfied_by_other = true;
-                    }
-                } else if lit.variable() == var {
-                    falsified_var_literal = true;
-                }
-            }
-            if satisfied_by_var && !satisfied_by_other {
-                gain -= 1; // clause becomes unsatisfied
-            } else if !satisfied_by_var && !satisfied_by_other && falsified_var_literal {
-                gain += 1; // clause becomes satisfied
-            }
-        }
-        gain
+        score::flip_gain(formula, assignment, var)
     }
-}
 
-impl Solver for Gsat {
-    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
-        self.stats = SolverStats::default();
-        // An empty clause can never be satisfied, so even this incomplete
-        // solver may answer UNSAT definitively instead of giving up.
-        if formula.has_empty_clause() {
-            return SolveResult::Unsatisfiable;
-        }
-        if formula.num_vars() == 0 {
-            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
-        }
+    /// The scalar reference search: gains recomputed one variable at a time.
+    fn solve_scalar(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         for _ in 0..self.config.max_restarts.max(1) {
             self.stats.restarts += 1;
@@ -148,6 +118,74 @@ impl Solver for Gsat {
             }
         }
         SolveResult::Unknown
+    }
+
+    /// The packed search: identical RNG stream and tie list, but the
+    /// satisfaction check runs word-at-a-time over a [`BitVector`] mirror and
+    /// all gains come from one clause sweep instead of one scan per variable.
+    fn solve_packed(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
+        let mut scorer = FlipScorer::new(formula);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..self.config.max_restarts.max(1) {
+            self.stats.restarts += 1;
+            let mut assignment =
+                Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
+            let mut bits = BitVector::from(&assignment);
+            self.stats.assignments_tried += 1;
+            for _ in 0..self.config.max_flips {
+                if limits.expired() {
+                    return SolveResult::Unknown;
+                }
+                if scorer.packed().satisfied(&bits) {
+                    debug_assert!(formula.evaluate(&assignment));
+                    return SolveResult::Satisfiable(assignment);
+                }
+                // Greedy step over the packed gain sweep; the tie list is
+                // built in the same variable order as the scalar path.
+                let gains = scorer.gains(&assignment);
+                let mut best_gain = i64::MIN;
+                let mut best_vars: Vec<Variable> = Vec::new();
+                for (v, &gain) in gains.iter().enumerate() {
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_vars.clear();
+                        best_vars.push(Variable::new(v));
+                    } else if gain == best_gain {
+                        best_vars.push(Variable::new(v));
+                    }
+                }
+                if best_gain < 0 || (best_gain == 0 && !self.config.allow_sideways) {
+                    break; // local minimum -> restart
+                }
+                let var = best_vars[rng.gen_range(0..best_vars.len())];
+                let flipped = !assignment.value(var);
+                assignment.set(var, flipped);
+                bits.set(var.index(), flipped);
+                self.stats.flips += 1;
+            }
+            if scorer.packed().satisfied(&bits) {
+                return SolveResult::Satisfiable(assignment);
+            }
+        }
+        SolveResult::Unknown
+    }
+}
+
+impl Solver for Gsat {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
+        self.stats = SolverStats::default();
+        // An empty clause can never be satisfied, so even this incomplete
+        // solver may answer UNSAT definitively instead of giving up.
+        if formula.has_empty_clause() {
+            return SolveResult::Unsatisfiable;
+        }
+        if formula.num_vars() == 0 {
+            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
+        }
+        match self.config.eval_mode {
+            EvalMode::Scalar => self.solve_scalar(formula, limits),
+            EvalMode::Packed => self.solve_packed(formula, limits),
+        }
     }
 
     fn stats(&self) -> SolverStats {

@@ -56,6 +56,7 @@ pub mod mus;
 pub mod parallel;
 pub mod portfolio;
 pub mod schoening;
+pub mod score;
 pub mod solver;
 pub mod two_sat;
 pub mod walksat;
@@ -69,6 +70,7 @@ pub use mus::{MusExtractor, MusOutcome, MusStats};
 pub use parallel::ParallelPortfolio;
 pub use portfolio::Portfolio;
 pub use schoening::{Schoening, SchoeningConfig};
+pub use score::FlipScorer;
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use two_sat::TwoSatSolver;
 pub use walksat::{WalkSat, WalkSatConfig};

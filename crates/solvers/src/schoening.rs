@@ -2,7 +2,7 @@
 
 use crate::limits::SearchLimits;
 use crate::solver::{SolveResult, Solver, SolverStats};
-use cnf::{Assignment, CnfFormula};
+use cnf::{Assignment, BitVector, CnfFormula, EvalMode, PackedFormula};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,6 +16,10 @@ pub struct SchoeningConfig {
     pub walk_length_factor: u64,
     /// PRNG seed; the search is deterministic for a fixed seed.
     pub seed: u64,
+    /// Evaluation core: packed (64 variables per word in the unsatisfied
+    /// clause scan) or the scalar reference path. Both produce bit-identical
+    /// walks.
+    pub eval_mode: EvalMode,
 }
 
 impl Default for SchoeningConfig {
@@ -24,6 +28,7 @@ impl Default for SchoeningConfig {
             max_restarts: 200,
             walk_length_factor: 3,
             seed: 0,
+            eval_mode: EvalMode::default(),
         }
     }
 }
@@ -64,19 +69,9 @@ impl Schoening {
             stats: SolverStats::default(),
         }
     }
-}
 
-impl Solver for Schoening {
-    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
-        self.stats = SolverStats::default();
-        // An empty clause can never be satisfied, so even this incomplete
-        // solver may answer UNSAT definitively instead of giving up.
-        if formula.has_empty_clause() {
-            return SolveResult::Unsatisfiable;
-        }
-        if formula.num_vars() == 0 {
-            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
-        }
+    /// The scalar reference walk: clause checks one literal at a time.
+    fn solve_scalar(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         let n = formula.num_vars();
         let walk_length = (self.config.walk_length_factor.max(1)) * n as u64;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -102,6 +97,60 @@ impl Solver for Schoening {
             }
         }
         SolveResult::Unknown
+    }
+
+    /// The packed walk: identical RNG stream, but the first-unsatisfied
+    /// clause scan runs word-at-a-time over a [`BitVector`] mirror of the
+    /// current assignment.
+    fn solve_packed(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
+        let packed = PackedFormula::new(formula);
+        let n = formula.num_vars();
+        let walk_length = (self.config.walk_length_factor.max(1)) * n as u64;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..self.config.max_restarts.max(1) {
+            self.stats.restarts += 1;
+            let mut assignment = Assignment::from_bools((0..n).map(|_| rng.gen()).collect());
+            let mut bits = BitVector::from(&assignment);
+            self.stats.assignments_tried += 1;
+            for _ in 0..walk_length {
+                if limits.expired() {
+                    return SolveResult::Unknown;
+                }
+                let Some(c) = packed.first_unsatisfied(&bits) else {
+                    debug_assert!(formula.evaluate(&assignment));
+                    return SolveResult::Satisfiable(assignment);
+                };
+                let clause = formula.clause(c).expect("index valid");
+                let lit = clause.literals()[rng.gen_range(0..clause.len())];
+                let var = lit.variable();
+                let flipped = !assignment.value(var);
+                assignment.set(var, flipped);
+                bits.set(var.index(), flipped);
+                self.stats.flips += 1;
+            }
+            if packed.satisfied(&bits) {
+                return SolveResult::Satisfiable(assignment);
+            }
+        }
+        SolveResult::Unknown
+    }
+}
+
+impl Solver for Schoening {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
+        self.stats = SolverStats::default();
+        // An empty clause can never be satisfied, so even this incomplete
+        // solver may answer UNSAT definitively instead of giving up.
+        if formula.has_empty_clause() {
+            return SolveResult::Unsatisfiable;
+        }
+        if formula.num_vars() == 0 {
+            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
+        }
+        match self.config.eval_mode {
+            EvalMode::Scalar => self.solve_scalar(formula, limits),
+            EvalMode::Packed => self.solve_packed(formula, limits),
+        }
     }
 
     fn stats(&self) -> SolverStats {
@@ -201,6 +250,7 @@ mod tests {
             max_restarts: 4,
             walk_length_factor: 3,
             seed: 1,
+            eval_mode: EvalMode::default(),
         });
         assert_eq!(solver.solve(&formula), SolveResult::Unknown);
         assert_eq!(solver.stats().flips, 4 * 3 * 6);

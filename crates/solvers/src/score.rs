@@ -1,0 +1,343 @@
+//! Flip scoring for local search: scalar oracles and the packed core.
+//!
+//! The scalar functions [`break_count`] and [`flip_gain`] are the reference
+//! semantics — one variable at a time, scanning every clause that mentions
+//! it. [`FlipScorer`] is the bit-parallel rewrite used by the packed solver
+//! paths: it scores a whole word of candidate flips per clause pass
+//! (WalkSAT's break counts) or every variable of the formula in a single
+//! clause sweep (GSAT's gains), and the differential test suites pin it
+//! bit-equal to the scalar oracles.
+//!
+//! Both paths share one subtlety: a clause containing *both* phases of a
+//! variable `v` (a tautology on `v`) is counted as "broken by flipping `v`"
+//! whenever `v` is its only satisfying variable, even though the flip keeps
+//! the clause satisfied through the other phase. The packed scorer
+//! deliberately replicates this clause-level accounting — it mirrors the
+//! scalar oracle, not an idealized post-flip recount — so the two paths stay
+//! bit-identical on arbitrary (even non-normalized) formulas.
+
+use cnf::bits::WORD_BITS;
+use cnf::{Assignment, CnfFormula, PackedFormula, Variable};
+
+/// Number of clauses that would become unsatisfied by flipping `var`
+/// (WalkSAT's break count). Total over short assignments: uncovered
+/// variables read `false`.
+///
+/// A clause counts as breaking iff its satisfying literals all belong to
+/// `var` — see the module docs for the both-phases edge case.
+pub fn break_count(formula: &CnfFormula, assignment: &Assignment, var: Variable) -> usize {
+    let mut breaks = 0;
+    for clause in formula.iter() {
+        if !clause.mentions(var) {
+            continue;
+        }
+        // Clause currently satisfied only by `var`'s literal -> breaks.
+        let mut satisfied_by_var = false;
+        let mut satisfied_by_other = false;
+        for &lit in clause.iter() {
+            if assignment.satisfies(lit) {
+                if lit.variable() == var {
+                    satisfied_by_var = true;
+                } else {
+                    satisfied_by_other = true;
+                }
+            }
+        }
+        if satisfied_by_var && !satisfied_by_other {
+            breaks += 1;
+        }
+    }
+    breaks
+}
+
+/// Net change in the number of satisfied clauses if `var` were flipped
+/// (GSAT's gain). Total over short assignments: uncovered variables read
+/// `false`.
+pub fn flip_gain(formula: &CnfFormula, assignment: &Assignment, var: Variable) -> i64 {
+    let mut gain = 0i64;
+    for clause in formula.iter() {
+        if !clause.mentions(var) {
+            continue;
+        }
+        let mut satisfied_by_var = false;
+        let mut satisfied_by_other = false;
+        let mut falsified_var_literal = false;
+        for &lit in clause.iter() {
+            if assignment.satisfies(lit) {
+                if lit.variable() == var {
+                    satisfied_by_var = true;
+                } else {
+                    satisfied_by_other = true;
+                }
+            } else if lit.variable() == var {
+                falsified_var_literal = true;
+            }
+        }
+        if satisfied_by_var && !satisfied_by_other {
+            gain -= 1; // clause becomes unsatisfied
+        } else if !satisfied_by_var && !satisfied_by_other && falsified_var_literal {
+            gain += 1; // clause becomes satisfied
+        }
+    }
+    gain
+}
+
+/// Bit-parallel flip scoring over a compiled [`PackedFormula`].
+///
+/// Owns per-variable occurrence lists, epoch-stamped scratch tables and
+/// reusable output buffers, so repeated calls inside a solver's flip loop
+/// allocate nothing.
+///
+/// ```
+/// use cnf::{cnf_formula, Assignment, Variable};
+/// use sat_solvers::score::{break_count, FlipScorer};
+/// let f = cnf_formula![[1], [1, 2]];
+/// let a = Assignment::from_bools(vec![true, false]);
+/// let mut scorer = FlipScorer::new(&f);
+/// let candidates = [Variable::new(0), Variable::new(1)];
+/// assert_eq!(scorer.break_counts(&a, &candidates), &[2, 0]);
+/// assert_eq!(break_count(&f, &a, candidates[0]), 2);
+/// ```
+#[derive(Debug)]
+pub struct FlipScorer {
+    packed: PackedFormula,
+    /// Clause indices mentioning each variable (each clause listed once).
+    occ: Vec<Vec<u32>>,
+    /// Stamp epoch shared by the scratch tables below.
+    epoch: u64,
+    /// Last epoch each variable was marked as a candidate.
+    var_epoch: Vec<u64>,
+    /// Candidate-lane word of each marked variable: bit `l` set iff the
+    /// variable is candidate lane `l` of the current call.
+    var_mask: Vec<u64>,
+    /// Last epoch each clause was visited (dedups the occurrence union).
+    clause_epoch: Vec<u64>,
+    breaks: Vec<u32>,
+    gains: Vec<i64>,
+}
+
+impl FlipScorer {
+    /// Compiles the formula and builds the occurrence lists.
+    pub fn new(formula: &CnfFormula) -> Self {
+        let packed = PackedFormula::new(formula);
+        let num_vars = packed.num_vars();
+        let mut occ = vec![Vec::new(); num_vars];
+        for c in 0..packed.num_clauses() {
+            let lits = packed.clause_literals(c);
+            for (i, &(var, _)) in lits.iter().enumerate() {
+                if lits[..i].iter().any(|&(v, _)| v == var) {
+                    continue; // clause already listed for this variable
+                }
+                occ[var as usize].push(c as u32);
+            }
+        }
+        FlipScorer {
+            occ,
+            epoch: 0,
+            var_epoch: vec![0; num_vars],
+            var_mask: vec![0; num_vars],
+            clause_epoch: vec![0; packed.num_clauses()],
+            breaks: Vec::new(),
+            gains: Vec::new(),
+            packed,
+        }
+    }
+
+    /// The compiled formula backing this scorer.
+    pub fn packed(&self) -> &PackedFormula {
+        &self.packed
+    }
+
+    /// Break counts of up to 64 candidate flips in one clause sweep: entry
+    /// `l` equals [`break_count`] of `candidates[l]` (duplicates allowed and
+    /// scored equally).
+    ///
+    /// Each clause mentioning a candidate is analyzed once; its break
+    /// contribution lands on all candidate lanes of its unique satisfying
+    /// variable via one word-sized lane mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 candidates are given or a candidate is not a
+    /// variable of the formula.
+    pub fn break_counts(&mut self, assignment: &Assignment, candidates: &[Variable]) -> &[u32] {
+        assert!(
+            candidates.len() <= WORD_BITS,
+            "at most {WORD_BITS} candidate flips per call"
+        );
+        self.epoch += 1;
+        for (lane, &var) in candidates.iter().enumerate() {
+            let v = var.index();
+            assert!(v < self.occ.len(), "candidate {var} outside the formula");
+            if self.var_epoch[v] != self.epoch {
+                self.var_epoch[v] = self.epoch;
+                self.var_mask[v] = 0;
+            }
+            self.var_mask[v] |= 1u64 << lane;
+        }
+        self.breaks.clear();
+        self.breaks.resize(candidates.len(), 0);
+        for &var in candidates {
+            for &c in &self.occ[var.index()] {
+                let c = c as usize;
+                if self.clause_epoch[c] == self.epoch {
+                    continue;
+                }
+                self.clause_epoch[c] = self.epoch;
+                if let Some(only_sat) = self.unique_satisfying_var(c, assignment) {
+                    let v = only_sat as usize;
+                    if self.var_epoch[v] == self.epoch {
+                        // One word op fans the break out to every candidate
+                        // lane of the satisfying variable.
+                        let mut mask = self.var_mask[v];
+                        while mask != 0 {
+                            let lane = mask.trailing_zeros() as usize;
+                            mask &= mask - 1;
+                            self.breaks[lane] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        &self.breaks
+    }
+
+    /// Gains of flipping each variable of the formula, in variable order:
+    /// entry `v` equals [`flip_gain`] of variable `v`. One sweep over the
+    /// clauses replaces GSAT's per-variable clause scans.
+    pub fn gains(&mut self, assignment: &Assignment) -> &[i64] {
+        self.gains.clear();
+        self.gains.resize(self.packed.num_vars(), 0);
+        for c in 0..self.packed.num_clauses() {
+            let lits = self.packed.clause_literals(c);
+            let mut first_sat: Option<u32> = None;
+            let mut multiple = false;
+            for &(var, phase) in lits {
+                if Self::lit_satisfied(assignment, var, phase) {
+                    match first_sat {
+                        None => first_sat = Some(var),
+                        Some(u) if u != var => {
+                            multiple = true;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            match (first_sat, multiple) {
+                (None, _) => {
+                    // Unsatisfied clause: flipping any mentioned variable
+                    // satisfies it.
+                    for (i, &(var, _)) in lits.iter().enumerate() {
+                        if lits[..i].iter().any(|&(v, _)| v == var) {
+                            continue;
+                        }
+                        self.gains[var as usize] += 1;
+                    }
+                }
+                (Some(u), false) => {
+                    // Satisfied only through `u`: flipping it breaks the
+                    // clause (clause-level accounting, see module docs).
+                    self.gains[u as usize] -= 1;
+                }
+                (Some(_), true) => {}
+            }
+        }
+        &self.gains
+    }
+
+    /// Returns the unique variable whose literals satisfy clause `c`, if the
+    /// clause is satisfied and all its satisfying literals share one
+    /// variable.
+    fn unique_satisfying_var(&self, c: usize, assignment: &Assignment) -> Option<u32> {
+        let mut first_sat: Option<u32> = None;
+        for &(var, phase) in self.packed.clause_literals(c) {
+            if Self::lit_satisfied(assignment, var, phase) {
+                match first_sat {
+                    None => first_sat = Some(var),
+                    Some(u) if u != var => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+        first_sat
+    }
+
+    fn lit_satisfied(assignment: &Assignment, var: u32, phase: bool) -> bool {
+        assignment.get(Variable::new(var as usize)).unwrap_or(false) == phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::cnf_formula;
+    use cnf::generators::{self, RandomKSatConfig};
+
+    #[test]
+    fn packed_break_counts_match_scalar() {
+        let f = generators::random_ksat(&RandomKSatConfig::new(10, 40, 3).with_seed(1)).unwrap();
+        let mut scorer = FlipScorer::new(&f);
+        let vars: Vec<Variable> = f.variables().collect();
+        for idx in 0..32u64 {
+            let a = Assignment::from_index(10, idx * 31 % 1024);
+            let packed = scorer.break_counts(&a, &vars).to_vec();
+            for (l, &v) in vars.iter().enumerate() {
+                assert_eq!(packed[l] as usize, break_count(&f, &a, v));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gains_match_scalar() {
+        let f = generators::random_ksat(&RandomKSatConfig::new(9, 30, 3).with_seed(2)).unwrap();
+        let mut scorer = FlipScorer::new(&f);
+        for idx in 0..64u64 {
+            let a = Assignment::from_index(9, idx * 7 % 512);
+            let gains = scorer.gains(&a).to_vec();
+            for v in f.variables() {
+                assert_eq!(gains[v.index()], flip_gain(&f, &a, v));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_candidates_score_equally() {
+        let f = cnf_formula![[1], [1, 2], [-2, 3]];
+        let a = Assignment::from_bools(vec![true, false, true]);
+        let mut scorer = FlipScorer::new(&f);
+        let v0 = Variable::new(0);
+        let counts = scorer.break_counts(&a, &[v0, Variable::new(2), v0]);
+        assert_eq!(counts[0], counts[2]);
+        assert_eq!(counts[0] as usize, break_count(&f, &a, v0));
+    }
+
+    #[test]
+    fn both_phases_clause_matches_scalar_accounting() {
+        // (x1 + ¬x1 + x2) is satisfied through x1 only when x2 is false; the
+        // scalar oracle counts flipping x1 as a break, and the packed scorer
+        // must replicate that clause-level accounting.
+        let f = cnf_formula![[1, -1, 2]];
+        let a = Assignment::from_bools(vec![true, false]);
+        let v0 = Variable::new(0);
+        assert_eq!(break_count(&f, &a, v0), 1);
+        let mut scorer = FlipScorer::new(&f);
+        assert_eq!(scorer.break_counts(&a, &[v0]), &[1]);
+        assert_eq!(scorer.gains(&a)[0], flip_gain(&f, &a, v0));
+        assert_eq!(scorer.gains(&a)[0], -1);
+    }
+
+    #[test]
+    fn short_assignments_read_false() {
+        let f = cnf_formula![[1, 3], [-3]];
+        let short = Assignment::from_bools(vec![true]);
+        let mut scorer = FlipScorer::new(&f);
+        for v in f.variables() {
+            assert_eq!(
+                scorer.break_counts(&short, &[v])[0] as usize,
+                break_count(&f, &short, v)
+            );
+            assert_eq!(scorer.gains(&short)[v.index()], flip_gain(&f, &short, v));
+        }
+    }
+}

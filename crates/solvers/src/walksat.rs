@@ -1,8 +1,9 @@
 //! WalkSAT stochastic local search.
 
 use crate::limits::SearchLimits;
+use crate::score::{self, FlipScorer};
 use crate::solver::{SolveResult, Solver, SolverStats};
-use cnf::{Assignment, CnfFormula, Variable};
+use cnf::{Assignment, BitVector, CnfFormula, EvalMode, Variable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,6 +18,9 @@ pub struct WalkSatConfig {
     pub max_restarts: u64,
     /// PRNG seed (the search is deterministic for a fixed seed).
     pub seed: u64,
+    /// Evaluation core: packed (64 candidate flips per word) or the scalar
+    /// reference path. Both produce bit-identical searches.
+    pub eval_mode: EvalMode,
 }
 
 impl Default for WalkSatConfig {
@@ -26,6 +30,7 @@ impl Default for WalkSatConfig {
             max_flips: 10_000,
             max_restarts: 10,
             seed: 0,
+            eval_mode: EvalMode::default(),
         }
     }
 }
@@ -67,42 +72,12 @@ impl WalkSat {
 
     /// Number of clauses that would become unsatisfied by flipping `var`.
     fn break_count(formula: &CnfFormula, assignment: &Assignment, var: Variable) -> usize {
-        let mut breaks = 0;
-        for clause in formula.iter() {
-            if !clause.mentions(var) {
-                continue;
-            }
-            // Clause currently satisfied only by `var`'s literal -> breaks.
-            let mut satisfied_by_var = false;
-            let mut satisfied_by_other = false;
-            for &lit in clause.iter() {
-                if assignment.satisfies(lit) {
-                    if lit.variable() == var {
-                        satisfied_by_var = true;
-                    } else {
-                        satisfied_by_other = true;
-                    }
-                }
-            }
-            if satisfied_by_var && !satisfied_by_other {
-                breaks += 1;
-            }
-        }
-        breaks
+        score::break_count(formula, assignment, var)
     }
-}
 
-impl Solver for WalkSat {
-    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
-        self.stats = SolverStats::default();
-        // An empty clause can never be satisfied, so even this incomplete
-        // solver may answer UNSAT definitively instead of giving up.
-        if formula.has_empty_clause() {
-            return SolveResult::Unsatisfiable;
-        }
-        if formula.num_vars() == 0 {
-            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
-        }
+    /// The scalar reference search: one assignment and one candidate flip at
+    /// a time over `Vec<bool>` structures.
+    fn solve_scalar(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         for _ in 0..self.config.max_restarts.max(1) {
             // Random initial assignment.
@@ -140,6 +115,82 @@ impl Solver for WalkSat {
             }
         }
         SolveResult::Unknown
+    }
+
+    /// The packed search: identical RNG stream and tie-breaking, but clause
+    /// checks run 64 variables per word over a [`BitVector`] mirror and a
+    /// whole clause of candidate flips is break-scored in one pass.
+    fn solve_packed(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
+        let mut scorer = FlipScorer::new(formula);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut candidates: Vec<Variable> = Vec::new();
+        for _ in 0..self.config.max_restarts.max(1) {
+            let mut assignment =
+                Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
+            let mut bits = BitVector::from(&assignment);
+            self.stats.assignments_tried += 1;
+            for _ in 0..self.config.max_flips {
+                if limits.expired() {
+                    return SolveResult::Unknown;
+                }
+                let unsatisfied: Vec<usize> = (0..scorer.packed().num_clauses())
+                    .filter(|&c| !scorer.packed().clause_satisfied(c, &bits))
+                    .collect();
+                if unsatisfied.is_empty() {
+                    debug_assert!(formula.evaluate(&assignment));
+                    return SolveResult::Satisfiable(assignment);
+                }
+                let clause = formula
+                    .clause(unsatisfied[rng.gen_range(0..unsatisfied.len())])
+                    .expect("index valid");
+                let var = if rng.gen_bool(self.config.noise) {
+                    clause.literals()[rng.gen_range(0..clause.len())].variable()
+                } else if clause.len() <= cnf::bits::WORD_BITS {
+                    // Score the whole clause of candidate flips in one pass;
+                    // the first minimum matches `min_by_key` tie-breaking.
+                    candidates.clear();
+                    candidates.extend(clause.iter().map(|l| l.variable()));
+                    let breaks = scorer.break_counts(&assignment, &candidates);
+                    let best = breaks
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, b)| b)
+                        .expect("clause non-empty")
+                        .0;
+                    candidates[best]
+                } else {
+                    // Clauses wider than a word fall back to the scalar scan.
+                    clause
+                        .iter()
+                        .map(|l| l.variable())
+                        .min_by_key(|&v| Self::break_count(formula, &assignment, v))
+                        .expect("clause non-empty")
+                };
+                let flipped = !assignment.value(var);
+                assignment.set(var, flipped);
+                bits.set(var.index(), flipped);
+                self.stats.flips += 1;
+            }
+        }
+        SolveResult::Unknown
+    }
+}
+
+impl Solver for WalkSat {
+    fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
+        self.stats = SolverStats::default();
+        // An empty clause can never be satisfied, so even this incomplete
+        // solver may answer UNSAT definitively instead of giving up.
+        if formula.has_empty_clause() {
+            return SolveResult::Unsatisfiable;
+        }
+        if formula.num_vars() == 0 {
+            return SolveResult::Satisfiable(Assignment::from_bools(Vec::new()));
+        }
+        match self.config.eval_mode {
+            EvalMode::Scalar => self.solve_scalar(formula, limits),
+            EvalMode::Packed => self.solve_packed(formula, limits),
+        }
     }
 
     fn stats(&self) -> SolverStats {

@@ -1,0 +1,84 @@
+//! Differential proptest suite: [`FlipScorer`]'s packed break counts and
+//! GSAT gains against the scalar oracles in [`sat_solvers::score`], on random
+//! formulas × random assignments (short assignments, empty clauses, and
+//! tautological clauses included).
+
+use cnf::{Assignment, CnfFormula, Literal, Variable};
+use proptest::prelude::*;
+use sat_solvers::score;
+use sat_solvers::FlipScorer;
+
+/// A random CNF formula paired with a random assignment that may be shorter
+/// than the variable range (exercising the totality rule).
+fn arb_instance() -> impl Strategy<Value = (CnfFormula, Assignment)> {
+    (1..=70usize).prop_flat_map(|n| {
+        let clause = proptest::collection::vec((0..n, proptest::bool::ANY), 0..=4);
+        let clauses = proptest::collection::vec(clause, 0..=12);
+        let assignment = proptest::collection::vec(proptest::bool::ANY, 0..=n);
+        (clauses, assignment).prop_map(move |(clauses, values)| {
+            let mut formula = CnfFormula::new(n);
+            for lits in clauses {
+                formula.add_clause(
+                    lits.into_iter()
+                        .map(|(v, phase)| Literal::with_phase(Variable::new(v), phase)),
+                );
+            }
+            (formula, Assignment::from_bools(values))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packed break counts over a full word of candidate flips equal the
+    /// scalar `break_count` oracle, variable by variable.
+    #[test]
+    fn packed_break_counts_match_scalar((formula, assignment) in arb_instance()) {
+        let n = formula.num_vars();
+        let mut scorer = FlipScorer::new(&formula);
+        // Score in chunks of up to 64 candidates covering every variable.
+        for chunk_start in (0..n).step_by(64) {
+            let candidates: Vec<Variable> = (chunk_start..n.min(chunk_start + 64))
+                .map(Variable::new)
+                .collect();
+            let packed: Vec<u32> = scorer.break_counts(&assignment, &candidates).to_vec();
+            for (i, &var) in candidates.iter().enumerate() {
+                let scalar = score::break_count(&formula, &assignment, var);
+                prop_assert_eq!(packed[i] as usize, scalar);
+            }
+        }
+    }
+
+    /// Packed GSAT gains over all variables equal the scalar `flip_gain`
+    /// oracle, variable by variable.
+    #[test]
+    fn packed_gains_match_scalar((formula, assignment) in arb_instance()) {
+        let n = formula.num_vars();
+        let mut scorer = FlipScorer::new(&formula);
+        let packed: Vec<i64> = scorer.gains(&assignment).to_vec();
+        prop_assert_eq!(packed.len(), n);
+        for (v, &gain) in packed.iter().enumerate() {
+            let scalar = score::flip_gain(&formula, &assignment, Variable::new(v));
+            prop_assert_eq!(gain, scalar);
+        }
+    }
+
+    /// Scoring is stable across repeated calls on the same scorer (the
+    /// epoch-stamped scratch state never leaks between invocations).
+    #[test]
+    fn repeated_scoring_is_stable((formula, assignment) in arb_instance()) {
+        let n = formula.num_vars();
+        let mut scorer = FlipScorer::new(&formula);
+        let first: Vec<i64> = scorer.gains(&assignment).to_vec();
+        let candidates: Vec<Variable> = (0..n.min(64)).map(Variable::new).collect();
+        let breaks_first: Vec<u32> = scorer.break_counts(&assignment, &candidates).to_vec();
+        for _ in 0..3 {
+            prop_assert_eq!(&scorer.gains(&assignment).to_vec(), &first);
+            prop_assert_eq!(
+                &scorer.break_counts(&assignment, &candidates).to_vec(),
+                &breaks_first
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace-level differential suite: a scalar-mode [`BackendRegistry`]
+//! against a packed-mode one, across every registered backend.
+//!
+//! For deterministic backends the *entire observable outcome* — verdict,
+//! model, cube, merged statistics (wall time excepted), trace and exhaustion
+//! — must be bit-identical between the two evaluation cores. The parallel
+//! portfolio races members on OS threads, so its winner is
+//! timing-nondeterministic; there the suite checks the verdict and that any
+//! model actually satisfies the formula.
+
+use cnf::generators::{self, RandomKSatConfig};
+use cnf::{CnfFormula, EvalMode};
+use nbl_sat_core::solve::{Artifacts, BackendRegistry, SolveOutcome, SolveRequest};
+
+fn registries() -> (BackendRegistry, BackendRegistry) {
+    (
+        BackendRegistry::with_eval_mode(EvalMode::Scalar),
+        BackendRegistry::with_eval_mode(EvalMode::Packed),
+    )
+}
+
+/// The paper's worked instances: small enough for every backend, including
+/// the Monte-Carlo ones whose sample cost grows as `2^{n·m}`.
+fn paper_instances() -> Vec<CnfFormula> {
+    vec![
+        generators::example6_sat(),
+        generators::example7_unsat(),
+        generators::section4_sat_instance(),
+        generators::section4_unsat_instance(),
+    ]
+}
+
+/// Random 3-SAT instances for the classical backends.
+fn random_instances() -> Vec<CnfFormula> {
+    (0..3u64)
+        .map(|seed| {
+            generators::random_ksat(&RandomKSatConfig::new(14, 50, 3).with_seed(seed)).unwrap()
+        })
+        .collect()
+}
+
+/// Solves `formula` on both registries and returns the two outcomes with
+/// wall time scrubbed (the only field allowed to differ).
+fn solve_both(backend: &str, formula: &CnfFormula, seed: u64) -> (SolveOutcome, SolveOutcome) {
+    let (scalar, packed) = registries();
+    let request = SolveRequest::new(formula)
+        .seed(seed)
+        .artifacts(Artifacts::Model);
+    let mut a = scalar.solve(backend, &request).unwrap();
+    let mut b = packed.solve(backend, &request).unwrap();
+    a.stats.wall_time = std::time::Duration::ZERO;
+    b.stats.wall_time = std::time::Duration::ZERO;
+    (a, b)
+}
+
+fn assert_backend_modes_agree(backend: &str, instances: &[CnfFormula]) {
+    for (i, formula) in instances.iter().enumerate() {
+        for seed in [0u64, 17] {
+            let (scalar, packed) = solve_both(backend, formula, seed);
+            assert_eq!(
+                scalar, packed,
+                "{backend} diverged on instance {i} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn classical_backends_are_mode_invariant() {
+    let mut instances = paper_instances();
+    instances.extend(random_instances());
+    for backend in [
+        "brute-force",
+        "dpll",
+        "cdcl",
+        "two-sat",
+        "walksat",
+        "gsat",
+        "schoening",
+        "portfolio",
+    ] {
+        assert_backend_modes_agree(backend, &instances);
+    }
+}
+
+#[test]
+fn exact_nbl_backends_are_mode_invariant() {
+    for backend in ["nbl-symbolic", "nbl-algebraic", "hybrid-symbolic"] {
+        assert_backend_modes_agree(backend, &paper_instances());
+    }
+}
+
+#[test]
+fn sampled_nbl_backends_are_mode_invariant() {
+    // The packed convergence loop preserves the scalar loop's exact f64
+    // stream, so even the statistical backends must agree bit for bit —
+    // estimates, sample counts and verdicts alike.
+    for backend in ["nbl-sampled", "hybrid-sampled"] {
+        assert_backend_modes_agree(backend, &paper_instances());
+    }
+}
+
+#[test]
+fn parallel_portfolio_verdicts_are_mode_invariant() {
+    // The race winner depends on thread scheduling, so stats and models may
+    // legitimately differ between runs; the verdict may not, and any model
+    // must satisfy the formula.
+    let mut instances = paper_instances();
+    instances.extend(random_instances());
+    for formula in &instances {
+        let (scalar, packed) = solve_both("parallel-portfolio", formula, 5);
+        assert_eq!(scalar.verdict, packed.verdict, "verdict diverged");
+        for outcome in [&scalar, &packed] {
+            if let Some(model) = &outcome.model {
+                assert!(formula.evaluate(model), "invalid model");
+            }
+        }
+    }
+}

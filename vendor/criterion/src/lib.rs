@@ -215,8 +215,26 @@ mod summary {
     /// Appends `record` to the JSON array at `path`, creating the file when
     /// missing and splicing into the existing array otherwise, so the file
     /// stays `[ {..}, {..} ]` no matter how many bench processes append.
+    ///
+    /// The read-splice-rewrite runs under an exclusive advisory lock on the
+    /// summary file itself: concurrent appenders (bench targets run in
+    /// parallel, and `bench_function` may be called from several threads)
+    /// serialize on the lock instead of racing the read-modify-write and
+    /// silently dropping each other's records.
     pub(super) fn append_record(path: &Path, record: &str) -> std::io::Result<()> {
-        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut file = std::fs::File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.lock()?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        // Non-UTF-8 garbage is treated like any other unrecognisable
+        // content below: replaced by a fresh array.
+        let existing = String::from_utf8(bytes).unwrap_or_default();
         let trimmed = existing.trim_end();
         let content = match trimmed.strip_suffix(']') {
             Some(head) if trimmed.starts_with('[') => {
@@ -230,8 +248,10 @@ mod summary {
             // Missing, empty or unrecognisable: start a fresh array.
             _ => format!("[\n{record}\n]\n"),
         };
-        let mut file = std::fs::File::create(path)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.set_len(0)?;
         file.write_all(content.as_bytes())
+        // Dropping `file` closes it, releasing the advisory lock.
     }
 
     #[cfg(test)]
@@ -295,6 +315,41 @@ mod summary {
             std::fs::write(&path, "not json").unwrap();
             append_record(&path, "{\"d\":4}").unwrap();
             assert_eq!(std::fs::read_to_string(&path).unwrap(), "[\n{\"d\":4}\n]\n");
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn concurrent_appends_do_not_lose_records() {
+            // Hammer the same summary file from many threads: the advisory
+            // lock must serialize the read-splice-rewrite so every record
+            // survives and the file stays one valid array.
+            let path = std::env::temp_dir().join(format!(
+                "criterion_stub_summary_race_{}.json",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            const THREADS: usize = 8;
+            const APPENDS: usize = 25;
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let path = &path;
+                    scope.spawn(move || {
+                        for i in 0..APPENDS {
+                            append_record(path, &format!("{{\"t{t}\":{i}}}")).unwrap();
+                        }
+                    });
+                }
+            });
+            let content = std::fs::read_to_string(&path).unwrap();
+            assert!(content.starts_with("[\n"), "not an array: {content:.40}");
+            assert!(content.ends_with("\n]\n"), "unterminated array");
+            assert_eq!(content.matches('{').count(), THREADS * APPENDS);
+            for t in 0..THREADS {
+                for i in 0..APPENDS {
+                    let record = format!("{{\"t{t}\":{i}}}");
+                    assert_eq!(content.matches(&record).count(), 1, "lost {record}");
+                }
+            }
             let _ = std::fs::remove_file(&path);
         }
     }

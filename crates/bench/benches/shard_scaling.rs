@@ -1,0 +1,53 @@
+//! Criterion bench for the cube-and-conquer coordinator: wall-clock of one
+//! fleet solve of a fixed unsatisfiable instance over 1, 2 and 4 loopback
+//! `nbl-satd` servers. UNSAT makes every cube of the partition run to
+//! refutation, so the fleet size actually shows up in the trajectory (SAT
+//! instances early-exit on the first model and flatten the curve). All the
+//! servers live on this host, so the curve drops with fleet size only when
+//! spare cores exist; on a single-core host it measures coordination
+//! overhead instead — both are the numbers a deployment planner needs.
+
+use cnf::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbl_net::{NblSatServer, ServerConfig};
+use nbl_shard::{ShardConfig, ShardCoordinator};
+
+fn shard_scaling(c: &mut Criterion) {
+    // PHP(8,7): hard enough that a monolithic CDCL run takes over a second
+    // and every cube costs real search, and — unlike small random 3-SAT —
+    // its cubes are not refutable by unit propagation alone, so all 16
+    // really go to the fleet.
+    let formula = generators::pigeonhole(8, 7);
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(3);
+    for shards in [1usize, 2, 4] {
+        let servers: Vec<NblSatServer> = (0..shards)
+            .map(|_| {
+                NblSatServer::bind("127.0.0.1:0", ServerConfig::new().workers(1))
+                    .expect("bind loopback server")
+            })
+            .collect();
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        // The same partition for every fleet size, so only the farm-out
+        // parallelism varies between the curves.
+        let config = ShardConfig {
+            target_cubes: Some(16),
+            ..ShardConfig::default()
+        };
+        let coordinator = ShardCoordinator::connect(&addrs, config).expect("connect fleet");
+        group.bench_function(format!("shards_{shards}"), |b| {
+            b.iter(|| {
+                let outcome = coordinator.solve(&formula);
+                assert!(outcome.verdict.is_definitive());
+                outcome.fleet.remote_unsat
+            })
+        });
+        for server in &servers {
+            server.stop();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shard_scaling);
+criterion_main!(benches);

@@ -55,7 +55,10 @@ pub use cube::Cube;
 pub use error::{CnfError, Result};
 pub use formula::CnfFormula;
 pub use packed::{AssignmentBlock, EvalMode, PackedFormula};
-pub use simplify::{propagate_units, pure_literals, simplify, PropagationOutcome, SimplifyReport};
+pub use simplify::{
+    propagate_units, pure_literals, simplify, CubeRestriction, PropagationOutcome,
+    RestrictionOutcome, SimplifyReport,
+};
 pub use stats::FormulaStats;
 pub use var::{Literal, Variable};
 

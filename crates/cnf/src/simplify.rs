@@ -5,8 +5,9 @@
 //! them, and they are handy for shrinking instances before handing them to the
 //! (exponentially scaling) NBL engines.
 
-use crate::assignment::PartialAssignment;
+use crate::assignment::{Assignment, PartialAssignment};
 use crate::clause::Clause;
+use crate::cube::Cube;
 use crate::formula::CnfFormula;
 use crate::var::{Literal, Variable};
 
@@ -206,6 +207,154 @@ pub fn simplify(formula: &CnfFormula) -> (CnfFormula, SimplifyReport) {
     (current, report)
 }
 
+/// Classification of a cube restriction's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestrictionOutcome {
+    /// The cube (or unit propagation under it) falsifies the formula: no
+    /// assignment in the cube's subspace satisfies it.
+    TriviallyUnsat,
+    /// The cube plus its unit-propagation consequences satisfy every clause:
+    /// any assignment extending [`CubeRestriction::fixed`] is a model.
+    TriviallySat,
+    /// A non-trivial residual formula remains to be solved.
+    Reduced,
+}
+
+/// Result of restricting a formula to a cube's subspace: the residual formula,
+/// the literals that became fixed, and an outcome classification.
+///
+/// Produced by [`CnfFormula::restrict`]. The residual formula lives over the
+/// *same* variable space as the original (variable indices are stable), but
+/// never mentions a fixed variable, so a model of the residual combined with
+/// `fixed` (via [`CubeRestriction::extend_model`]) is a model of the original
+/// formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeRestriction {
+    /// The residual formula: clauses not satisfied by the fixed literals, with
+    /// falsified literals removed. Contains a single empty clause when the
+    /// outcome is [`RestrictionOutcome::TriviallyUnsat`]; empty when
+    /// [`RestrictionOutcome::TriviallySat`].
+    pub formula: CnfFormula,
+    /// The cube's literals plus every literal implied by unit propagation,
+    /// one per variable, in variable order.
+    pub fixed: Vec<Literal>,
+    /// Classification of the restriction.
+    pub outcome: RestrictionOutcome,
+}
+
+impl CubeRestriction {
+    /// Lifts a model of the residual formula to a model of the original
+    /// formula by overwriting the fixed variables' phases.
+    ///
+    /// Sound because the residual never mentions a fixed variable: the
+    /// residual model's values for free variables are kept, and the fixed
+    /// literals (cube + implied units) satisfy every dropped clause.
+    pub fn extend_model(&self, model: &Assignment) -> Assignment {
+        let span = self
+            .fixed
+            .iter()
+            .map(|l| l.variable().index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(model.num_vars());
+        let mut values = model.values().to_vec();
+        values.resize(span, false);
+        let mut out = Assignment::from_bools(values);
+        for &lit in &self.fixed {
+            out.set(lit.variable(), lit.phase());
+        }
+        out
+    }
+
+    /// For a [`RestrictionOutcome::TriviallySat`] restriction, a model of the
+    /// original formula (free variables default to `false`).
+    pub fn trivial_model(&self, num_vars: usize) -> Assignment {
+        self.extend_model(&Assignment::all_false(num_vars))
+    }
+}
+
+impl CnfFormula {
+    /// Restricts the formula to the subspace of `cube`, applying unit
+    /// propagation to a fixed point.
+    ///
+    /// This is the cube-and-conquer work-splitting primitive: the returned
+    /// residual is equisatisfiable with the original formula *within the
+    /// cube's subspace*, and any residual model extends to a full model via
+    /// [`CubeRestriction::extend_model`].
+    ///
+    /// Edge cases never panic: a contradictory cube, a conflict found by
+    /// propagation, or a clause emptied by the restriction all yield
+    /// [`RestrictionOutcome::TriviallyUnsat`]; a restriction that satisfies
+    /// every clause yields [`RestrictionOutcome::TriviallySat`].
+    pub fn restrict(&self, cube: &Cube) -> CubeRestriction {
+        let span = cube
+            .iter()
+            .map(|l| l.variable().index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.num_vars());
+        let mut assignment = PartialAssignment::new(span);
+
+        let unsat = |fixed: Vec<Literal>| CubeRestriction {
+            formula: CnfFormula::from_clauses(self.num_vars(), vec![Clause::new()]),
+            fixed,
+            outcome: RestrictionOutcome::TriviallyUnsat,
+        };
+
+        for &lit in cube.iter() {
+            match assignment.value(lit.variable()) {
+                Some(v) if v != lit.phase() => {
+                    // The cube itself is contradictory (x and ¬x).
+                    return unsat(Vec::new());
+                }
+                _ => assignment.assign_literal(lit),
+            }
+        }
+
+        if let PropagationOutcome::Conflict { .. } = propagate_units(self, &mut assignment) {
+            let fixed = assignment
+                .assigned()
+                .map(|(v, b)| Variable::literal(v, b))
+                .collect();
+            return unsat(fixed);
+        }
+
+        let fixed: Vec<Literal> = assignment
+            .assigned()
+            .map(|(v, b)| Variable::literal(v, b))
+            .collect();
+
+        let mut residual = Vec::new();
+        for clause in self.iter() {
+            match clause.evaluate_partial(&assignment) {
+                Some(true) => {}
+                // Unreachable after consistent propagation (a fully falsified
+                // clause is a 0-unassigned conflict), but never panic on it.
+                Some(false) => return unsat(fixed),
+                None => {
+                    let reduced: Clause = clause
+                        .iter()
+                        .copied()
+                        .filter(|l| assignment.value(l.variable()).is_none())
+                        .collect();
+                    residual.push(reduced);
+                }
+            }
+        }
+
+        let outcome = if residual.is_empty() {
+            RestrictionOutcome::TriviallySat
+        } else {
+            RestrictionOutcome::Reduced
+        };
+        CubeRestriction {
+            formula: CnfFormula::from_clauses(self.num_vars(), residual),
+            fixed,
+            outcome,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +419,134 @@ mod tests {
         assert!(report.removed_clauses >= 1);
         // remaining clause gets solved by pure literals
         assert!(report.proved_sat || !reduced.is_empty());
+    }
+
+    #[test]
+    fn restrict_reduces_and_extends_models() {
+        // (x1 + x2)(x1' + x3)(x2 + x3') restricted to x1: UP forces x3 from
+        // the second clause, then x2 from the third.
+        let f = cnf_formula![[1, 2], [-1, 3], [2, -3]];
+        let cube = Cube::from_dimacs(&[1]).unwrap();
+        let r = f.restrict(&cube);
+        // x1 satisfies clause 0; UP forces x3 from clause 1, then x2 from
+        // clause 2 — everything is fixed, nothing residual.
+        assert_eq!(r.outcome, RestrictionOutcome::TriviallySat);
+        assert_eq!(r.fixed.len(), 3);
+        let model = r.trivial_model(f.num_vars());
+        assert!(f.evaluate(&model));
+    }
+
+    #[test]
+    fn restrict_keeps_variable_indices_stable() {
+        let f = cnf_formula![[1, 2], [-1, -2], [3, 4], [-3, -4]];
+        let cube = Cube::from_dimacs(&[1]).unwrap();
+        let r = f.restrict(&cube);
+        assert_eq!(r.outcome, RestrictionOutcome::Reduced);
+        assert_eq!(r.formula.num_vars(), f.num_vars());
+        // Clause (x1+x2) is satisfied and dropped; (-1,-2) reduces to (-2).
+        // UP then fires -2, so only the x3/x4 block remains.
+        for clause in r.formula.iter() {
+            for &lit in clause.iter() {
+                assert!(lit.variable().index() >= 2, "fixed var leaked: {lit}");
+            }
+        }
+        // A residual model extends to a model of the original formula.
+        let sub = Assignment::from_bools(vec![false, false, true, false]);
+        assert!(r.formula.evaluate(&sub));
+        let full = r.extend_model(&sub);
+        assert!(f.evaluate(&full));
+    }
+
+    #[test]
+    fn restrict_detects_trivial_unsat_via_propagation() {
+        // Restricting to x1 forces x2 and ¬x2 simultaneously.
+        let f = cnf_formula![[-1, 2], [-1, -2]];
+        let cube = Cube::from_dimacs(&[1]).unwrap();
+        let r = f.restrict(&cube);
+        assert_eq!(r.outcome, RestrictionOutcome::TriviallyUnsat);
+        assert!(r.formula.has_empty_clause());
+    }
+
+    #[test]
+    fn restrict_handles_contradictory_cube() {
+        let f = cnf_formula![[1, 2]];
+        let cube = Cube::from_dimacs(&[1, -1]).unwrap();
+        let r = f.restrict(&cube);
+        assert_eq!(r.outcome, RestrictionOutcome::TriviallyUnsat);
+    }
+
+    #[test]
+    fn restrict_empty_clause_input_is_trivially_unsat() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause(Vec::<Literal>::new());
+        let r = f.restrict(&Cube::from_dimacs(&[1]).unwrap());
+        assert_eq!(r.outcome, RestrictionOutcome::TriviallyUnsat);
+    }
+
+    #[test]
+    fn restrict_empty_formula_is_trivially_sat() {
+        let f = CnfFormula::new(3);
+        let r = f.restrict(&Cube::from_dimacs(&[-2]).unwrap());
+        assert_eq!(r.outcome, RestrictionOutcome::TriviallySat);
+        let model = r.trivial_model(3);
+        assert!(!model.value(Variable::new(1)));
+    }
+
+    #[test]
+    fn restrict_cube_beyond_formula_vars_does_not_panic() {
+        let f = cnf_formula![[1, 2]];
+        let cube = Cube::from_dimacs(&[5]).unwrap();
+        let r = f.restrict(&cube);
+        assert_eq!(r.outcome, RestrictionOutcome::Reduced);
+        assert_eq!(r.formula.num_vars(), f.num_vars());
+        let sub = Assignment::from_bools(vec![true, false]);
+        let full = r.extend_model(&sub);
+        assert!(full.value(Variable::new(4)));
+        assert!(f.evaluate(&full));
+    }
+
+    #[test]
+    fn restrict_agrees_with_brute_force_within_cube() {
+        let formulas = [
+            cnf_formula![[1, 2], [-1, -2]],
+            cnf_formula![[1, 2, 3], [-1, -2], [2, -3], [-1, 3]],
+            cnf_formula![[1], [-1, 2], [-2, 3], [-3, -1]],
+        ];
+        let cubes = [
+            Cube::from_dimacs(&[1]).unwrap(),
+            Cube::from_dimacs(&[-1]).unwrap(),
+            Cube::from_dimacs(&[1, -2]).unwrap(),
+            Cube::from_dimacs(&[-2, 3]).unwrap(),
+        ];
+        for f in &formulas {
+            for cube in &cubes {
+                // Enumerate over the joint variable span so cube variables
+                // beyond the formula's space range over both phases.
+                let n = f.num_vars().max(
+                    cube.iter()
+                        .map(|l| l.variable().index() + 1)
+                        .max()
+                        .unwrap_or(0),
+                );
+                let brute_sat =
+                    Assignment::enumerate_all(n).any(|a| cube.evaluate(&a) && f.evaluate(&a));
+                let r = f.restrict(cube);
+                let restricted_sat = match r.outcome {
+                    RestrictionOutcome::TriviallyUnsat => false,
+                    RestrictionOutcome::TriviallySat => true,
+                    RestrictionOutcome::Reduced => r.formula.count_satisfying_assignments() > 0,
+                };
+                assert_eq!(restricted_sat, brute_sat, "formula {f} cube {cube}");
+                // Every restricted model extends to a model inside the cube.
+                if let RestrictionOutcome::Reduced = r.outcome {
+                    for a in Assignment::enumerate_all(n).filter(|a| r.formula.evaluate(a)) {
+                        let full = r.extend_model(&a);
+                        assert!(f.evaluate(&full), "bad extension for {f} / {cube}");
+                        assert!(cube.evaluate(&full));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,8 +7,15 @@
 //! own outcomes concurrently. All waits are condition-variable based and are
 //! woken by connection loss, so a dying server answers every pending wait
 //! with [`NetError::ConnectionClosed`] instead of hanging.
+//!
+//! Deadlines are configurable via [`ClientConfig`]: a connect timeout bounds
+//! the TCP handshake, and a read timeout bounds every blocking wait (acks,
+//! control replies, [`RemoteJob::wait`]) with [`NetError::TimedOut`]. The
+//! read deadline is enforced on the waiting side — the reader thread keeps
+//! draining the socket, so a wait that times out abandons nothing and the
+//! frame is still collectable later.
 
-use crate::protocol::{Frame, SolveFrame, WireJobStatus, WireVerdict};
+use crate::protocol::{Frame, SolveFrame, WireJobStatus, WireStats, WireVerdict};
 use crate::server::shutdown_stream;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -26,6 +33,9 @@ pub enum NetError {
     /// The connection closed (EOF or protocol desync) before the awaited
     /// frame arrived.
     ConnectionClosed,
+    /// The configured read timeout elapsed before the awaited frame arrived.
+    /// The connection is still alive; the wait can be retried.
+    TimedOut,
     /// The server answered `ERR` for this request.
     Remote(String),
 }
@@ -35,6 +45,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::Io(e) => write!(f, "i/o error: {e}"),
             NetError::ConnectionClosed => write!(f, "connection closed"),
+            NetError::TimedOut => write!(f, "read timed out"),
             NetError::Remote(message) => write!(f, "server error: {message}"),
         }
     }
@@ -57,6 +68,8 @@ pub struct RemoteOutcome {
     /// The model `v`-line's literals (DIMACS-signed), when the job requested
     /// a model and was satisfiable.
     pub model: Option<Vec<i64>>,
+    /// The job's `STATS` counters, when the `SOLVE` asked `stats=true`.
+    pub stats: Option<WireStats>,
     /// 0-based rank of this completion among all completions this connection
     /// has received — lets callers observe out-of-order completion.
     pub arrival: u64,
@@ -80,6 +93,8 @@ struct ClientState {
     outcomes: HashMap<u64, RemoteOutcome>,
     /// Models staged until the job's `RESULT` (the completion marker) lands.
     staged_models: HashMap<u64, Vec<i64>>,
+    /// `STATS` counters staged until the job's `RESULT` lands.
+    staged_stats: HashMap<u64, WireStats>,
     /// `INFO` replies, by job id.
     infos: HashMap<u64, VecDeque<WireJobStatus>>,
     /// Job-scoped `ERR` frames, by job id.
@@ -104,11 +119,14 @@ impl ClientShared {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Blocks until `take` answers `Some` or the connection closes.
+    /// Blocks until `take` answers `Some`, the connection closes, or (with a
+    /// timeout) the deadline passes.
     fn wait_for<T>(
         &self,
+        timeout: Option<Duration>,
         mut take: impl FnMut(&mut ClientState) -> Option<Result<T, NetError>>,
     ) -> Result<T, NetError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut state = self.lock();
         loop {
             if let Some(result) = take(&mut state) {
@@ -117,11 +135,54 @@ impl ClientShared {
             if state.closed {
                 return Err(NetError::ConnectionClosed);
             }
-            state = self
-                .changed
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            state = match deadline {
+                None => self
+                    .changed
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(NetError::TimedOut);
+                    }
+                    self.changed
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+            };
         }
+    }
+}
+
+/// Connection deadlines for [`NblSatClient`]. The default has no deadlines,
+/// matching the pre-existing blocking behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientConfig {
+    /// Bounds the TCP handshake of [`NblSatClient::connect_with_config`].
+    pub connect_timeout: Option<Duration>,
+    /// Default deadline applied to every blocking wait on the connection
+    /// (submit acks, control replies, [`RemoteJob::wait`]); exceeded waits
+    /// answer [`NetError::TimedOut`].
+    pub read_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// A config with no deadlines.
+    pub fn new() -> Self {
+        ClientConfig::default()
+    }
+
+    /// Sets the connect timeout.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
     }
 }
 
@@ -149,6 +210,7 @@ pub struct NblSatClient {
     request_lock: Mutex<()>,
     shared: Arc<ClientShared>,
     reader_thread: Mutex<Option<ThreadHandle<()>>>,
+    read_timeout: Option<Duration>,
 }
 
 impl fmt::Debug for NblSatClient {
@@ -160,9 +222,19 @@ impl fmt::Debug for NblSatClient {
 }
 
 impl NblSatClient {
-    /// Connects to a running server.
+    /// Connects to a running server with no deadlines.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        Self::from_stream(TcpStream::connect(addr)?)
+        Self::connect_with_config(addr, ClientConfig::default())
+    }
+
+    /// Connects with the given deadlines: the handshake is bounded by
+    /// `config.connect_timeout`, and every later blocking wait on the
+    /// connection by `config.read_timeout`.
+    pub fn connect_with_config<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> std::io::Result<Self> {
+        Self::from_stream(open_stream(addr, config.connect_timeout)?, config)
     }
 
     /// Connects, retrying for up to `timeout` while the server is still
@@ -174,11 +246,22 @@ impl NblSatClient {
         addr: A,
         timeout: Duration,
     ) -> std::io::Result<Self> {
+        Self::connect_with_retries_and_config(addr, timeout, ClientConfig::default())
+    }
+
+    /// [`NblSatClient::connect_with_retries`] with explicit deadlines: each
+    /// attempt's handshake is bounded by `config.connect_timeout`, and the
+    /// retry loop as a whole by `timeout`.
+    pub fn connect_with_retries_and_config<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+        config: ClientConfig,
+    ) -> std::io::Result<Self> {
         use std::io::ErrorKind;
         let deadline = Instant::now() + timeout;
         loop {
-            match TcpStream::connect(addr.clone()) {
-                Ok(stream) => return Self::from_stream(stream),
+            match open_stream(addr.clone(), config.connect_timeout) {
+                Ok(stream) => return Self::from_stream(stream, config),
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -196,7 +279,7 @@ impl NblSatClient {
         }
     }
 
-    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+    fn from_stream(stream: TcpStream, config: ClientConfig) -> std::io::Result<Self> {
         stream.set_nodelay(true).ok();
         let reader_stream = stream.try_clone()?;
         let writer = Mutex::new(BufWriter::new(stream.try_clone()?));
@@ -214,6 +297,7 @@ impl NblSatClient {
             request_lock: Mutex::new(()),
             shared,
             reader_thread: Mutex::new(Some(reader_thread)),
+            read_timeout: config.read_timeout,
         })
     }
 
@@ -230,7 +314,7 @@ impl NblSatClient {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         self.send(&Frame::Solve(solve))?;
-        let id = self.shared.wait_for(|state| {
+        let id = self.shared.wait_for(self.read_timeout, |state| {
             if let Some(id) = state.queued.pop_front() {
                 return Some(Ok(id));
             }
@@ -286,7 +370,7 @@ impl NblSatClient {
     }
 
     fn wait_control(&self, expected: ControlReply) -> Result<(), NetError> {
-        self.shared.wait_for(|state| {
+        self.shared.wait_for(self.read_timeout, |state| {
             if let Some(reply) = state.control.pop_front() {
                 return Some(if reply == expected {
                     Ok(())
@@ -341,10 +425,22 @@ impl RemoteJob<'_> {
         self.id
     }
 
-    /// Blocks until the job's `RESULT` (or job-scoped `ERR`) arrives.
+    /// Blocks until the job's `RESULT` (or job-scoped `ERR`) arrives, bounded
+    /// by the connection's configured read timeout, if any.
     pub fn wait(&self) -> Result<RemoteOutcome, NetError> {
+        self.wait_bounded(self.client.read_timeout)
+    }
+
+    /// Blocks like [`RemoteJob::wait`], but with an explicit deadline that
+    /// overrides the connection's read timeout. On [`NetError::TimedOut`] the
+    /// job is still in flight and the wait can be retried.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<RemoteOutcome, NetError> {
+        self.wait_bounded(Some(timeout))
+    }
+
+    fn wait_bounded(&self, timeout: Option<Duration>) -> Result<RemoteOutcome, NetError> {
         let id = self.id;
-        self.client.shared.wait_for(|state| {
+        self.client.shared.wait_for(timeout, |state| {
             if let Some(outcome) = state.outcomes.remove(&id) {
                 return Some(Ok(outcome));
             }
@@ -382,17 +478,45 @@ impl RemoteJob<'_> {
     pub fn status(&self) -> Result<WireJobStatus, NetError> {
         self.client.send(&Frame::Status { job: self.id })?;
         let id = self.id;
-        self.client.shared.wait_for(|state| {
-            if let Some(info) = state.infos.get_mut(&id).and_then(VecDeque::pop_front) {
-                return Some(Ok(info));
+        self.client
+            .shared
+            .wait_for(self.client.read_timeout, |state| {
+                if let Some(info) = state.infos.get_mut(&id).and_then(VecDeque::pop_front) {
+                    return Some(Ok(info));
+                }
+                // Peek, don't consume: the job-scoped ERR also answers a later
+                // wait() on this ticket.
+                state
+                    .job_errors
+                    .get(&id)
+                    .map(|message| Err(NetError::Remote(message.clone())))
+            })
+    }
+}
+
+/// Opens the TCP stream, trying every resolved address; with a timeout each
+/// handshake attempt is individually bounded.
+fn open_stream<A: ToSocketAddrs>(
+    addr: A,
+    connect_timeout: Option<Duration>,
+) -> std::io::Result<TcpStream> {
+    match connect_timeout {
+        None => TcpStream::connect(addr),
+        Some(timeout) => {
+            let mut last_error = None;
+            for candidate in addr.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&candidate, timeout) {
+                    Ok(stream) => return Ok(stream),
+                    Err(e) => last_error = Some(e),
+                }
             }
-            // Peek, don't consume: the job-scoped ERR also answers a later
-            // wait() on this ticket.
-            state
-                .job_errors
-                .get(&id)
-                .map(|message| Err(NetError::Remote(message.clone())))
-        })
+            Err(last_error.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to no candidates",
+                )
+            }))
+        }
     }
 }
 
@@ -422,8 +546,12 @@ fn reader_loop(stream: TcpStream, shared: &ClientShared) {
             Frame::Model { job, literals } => {
                 state.staged_models.insert(job, literals);
             }
+            Frame::Stats { job, stats } => {
+                state.staged_stats.insert(job, stats);
+            }
             Frame::Result { job, verdict } => {
                 let model = state.staged_models.remove(&job);
+                let stats = state.staged_stats.remove(&job);
                 let arrival = state.arrivals;
                 state.arrivals += 1;
                 state.outcomes.insert(
@@ -431,6 +559,7 @@ fn reader_loop(stream: TcpStream, shared: &ClientShared) {
                     RemoteOutcome {
                         verdict,
                         model,
+                        stats,
                         arrival,
                     },
                 );

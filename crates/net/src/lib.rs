@@ -41,9 +41,9 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{NblSatClient, NetError, RemoteJob, RemoteOutcome};
+pub use client::{ClientConfig, NblSatClient, NetError, RemoteJob, RemoteOutcome};
 pub use protocol::{
     Frame, ProtocolError, SolveFrame, WireArtifacts, WireCause, WireJobStatus, WirePriority,
-    WireVerdict, MAX_BODY_LINES, MAX_LINE_BYTES,
+    WireStats, WireVerdict, MAX_BODY_LINES, MAX_LINE_BYTES,
 };
 pub use server::{NblSatServer, ServerConfig};

@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! SOLVE <backend> seed=<u64> priority=<low|normal|high> artifacts=<verdict|model>
-//!       [wall-ms=<u64>] [samples=<u64>] [checks=<u64>] body-lines=<n>
+//!       [wall-ms=<u64>] [samples=<u64>] [checks=<u64>] [stats=<true|false>]
+//!       body-lines=<n>
 //! <n raw DIMACS lines>
 //! CANCEL <job-id>
 //! STATUS <job-id>
@@ -28,6 +29,9 @@
 //! ```text
 //! QUEUED <job-id>
 //! v <job-id> [<lit> ...] 0
+//! STATS <job-id> decisions=<u64> conflicts=<u64> propagations=<u64>
+//!       restarts=<u64> learned=<u64> tried=<u64> flips=<u64> checks=<u64>
+//!       samples=<u64> wall-us=<u64>
 //! RESULT <job-id> s <SATISFIABLE|UNSATISFIABLE|UNKNOWN <cause>>
 //! INFO <job-id> <queued|running|finished>
 //! OK refill
@@ -37,10 +41,13 @@
 //! ```
 //!
 //! A job's model `v`-line (present only when the job requested
-//! `artifacts=model` and was satisfiable) is written *before* its `RESULT`
+//! `artifacts=model` and was satisfiable) and its `STATS` line (present only
+//! when the job asked `stats=true` — the frame is opt-in so pre-existing
+//! clients never see an unexpected verb) are written *before* its `RESULT`
 //! line, so the `RESULT` frame is always the completion marker of a job.
-//! Causes are `cancelled`, `incomplete`, `budget-wall-clock`,
-//! `budget-samples` and `budget-checks`.
+//! `STATS` keys may be any subset (absent counters read 0); the single-line
+//! wrap above is for readability. Causes are `cancelled`, `incomplete`,
+//! `budget-wall-clock`, `budget-samples` and `budget-checks`.
 //!
 //! # Strictness
 //!
@@ -52,7 +59,9 @@
 //! [`ProtocolError::Desync`] conditions (framing is lost, the connection
 //! should close).
 
-use nbl_sat_core::{Artifacts, Budget, ExhaustedResource, JobPriority, JobStatus, UnknownCause};
+use nbl_sat_core::{
+    Artifacts, Budget, ExhaustedResource, JobPriority, JobStatus, SolveStats, UnknownCause,
+};
 use std::fmt;
 use std::io::{BufRead, Read, Write};
 use std::time::Duration;
@@ -332,6 +341,69 @@ impl fmt::Display for WireVerdict {
     }
 }
 
+/// Search-statistics counters carried by a `STATS` frame. Mirrors the wire
+/// subset of [`SolveStats`] (the non-numeric fields — winner attribution, the
+/// sampled engine's estimate — stay server-side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WireStats {
+    /// `decisions=` — branching decisions.
+    pub decisions: u64,
+    /// `conflicts=` — conflicts hit.
+    pub conflicts: u64,
+    /// `propagations=` — unit propagations.
+    pub propagations: u64,
+    /// `restarts=` — restarts taken.
+    pub restarts: u64,
+    /// `learned=` — clauses learned.
+    pub learned: u64,
+    /// `tried=` — complete assignments tried.
+    pub tried: u64,
+    /// `flips=` — local-search flips.
+    pub flips: u64,
+    /// `checks=` — NBL coprocessor checks.
+    pub checks: u64,
+    /// `samples=` — noise samples drawn.
+    pub samples: u64,
+    /// `wall-us=` — wall-clock microseconds spent solving.
+    pub wall_us: u64,
+}
+
+impl WireStats {
+    /// Converts back into a [`SolveStats`] (non-wire fields default).
+    pub fn to_solve_stats(self) -> SolveStats {
+        SolveStats {
+            decisions: self.decisions,
+            conflicts: self.conflicts,
+            propagations: self.propagations,
+            restarts: self.restarts,
+            learned_clauses: self.learned,
+            assignments_tried: self.tried,
+            flips: self.flips,
+            coprocessor_checks: self.checks,
+            samples: self.samples,
+            wall_time: Duration::from_micros(self.wall_us),
+            ..SolveStats::default()
+        }
+    }
+}
+
+impl From<&SolveStats> for WireStats {
+    fn from(stats: &SolveStats) -> Self {
+        WireStats {
+            decisions: stats.decisions,
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+            restarts: stats.restarts,
+            learned: stats.learned_clauses,
+            tried: stats.assignments_tried,
+            flips: stats.flips,
+            checks: stats.coprocessor_checks,
+            samples: stats.samples,
+            wall_us: u64::try_from(stats.wall_time.as_micros()).unwrap_or(u64::MAX),
+        }
+    }
+}
+
 /// The payload of a `SOLVE` frame: everything a [`nbl_sat_core::SolveRequest`]
 /// needs, plus the inline DIMACS body.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -350,6 +422,9 @@ pub struct SolveFrame {
     pub max_samples: Option<u64>,
     /// Coprocessor-check budget cap, if any.
     pub max_checks: Option<u64>,
+    /// `stats=true` — ask the server to stream a `STATS` frame before this
+    /// job's `RESULT`. Off by default (the frame is opt-in on the wire).
+    pub stats: bool,
     /// The DIMACS body, one entry per raw line (no newlines inside).
     pub body: Vec<String>,
 }
@@ -426,6 +501,14 @@ pub enum Frame {
         /// DIMACS-signed literals, without the terminating `0`.
         literals: Vec<i64>,
     },
+    /// Server: a job's search statistics (precedes its `RESULT`; sent only
+    /// when the `SOLVE` asked `stats=true`).
+    Stats {
+        /// The job the statistics belong to.
+        job: u64,
+        /// The counters.
+        stats: WireStats,
+    },
     /// Server: a job's final verdict — the completion marker.
     Result {
         /// The finished job.
@@ -479,6 +562,9 @@ impl Frame {
                 if let Some(checks) = solve.max_checks {
                     let _ = write!(out, " checks={checks}");
                 }
+                if solve.stats {
+                    out.push_str(" stats=true");
+                }
                 let _ = writeln!(out, " body-lines={}", solve.body.len());
                 for line in &solve.body {
                     let _ = writeln!(out, "{line}");
@@ -518,6 +604,23 @@ impl Frame {
                     let _ = write!(out, " {lit}");
                 }
                 out.push_str(" 0\n");
+            }
+            Frame::Stats { job, stats } => {
+                let _ = writeln!(
+                    out,
+                    "STATS {job} decisions={} conflicts={} propagations={} restarts={} \
+                     learned={} tried={} flips={} checks={} samples={} wall-us={}",
+                    stats.decisions,
+                    stats.conflicts,
+                    stats.propagations,
+                    stats.restarts,
+                    stats.learned,
+                    stats.tried,
+                    stats.flips,
+                    stats.checks,
+                    stats.samples,
+                    stats.wall_us
+                );
             }
             Frame::Result { job, verdict } => {
                 let _ = writeln!(out, "RESULT {job} {verdict}");
@@ -732,6 +835,51 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
             expect_end(tokens, "the v-line terminator")?;
             Frame::Model { job, literals }
         }
+        "STATS" => {
+            let job = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("STATS needs a job id"))?,
+                "job id",
+            )?;
+            let mut slots: [Option<u64>; 10] = [None; 10];
+            const KEYS: [&str; 10] = [
+                "decisions",
+                "conflicts",
+                "propagations",
+                "restarts",
+                "learned",
+                "tried",
+                "flips",
+                "checks",
+                "samples",
+                "wall-us",
+            ];
+            for token in tokens {
+                let (key, value) = split_key_value(token)?;
+                let index = KEYS
+                    .iter()
+                    .position(|&k| k == key)
+                    .ok_or_else(|| malformed(format!("unknown STATS key '{key}'")))?;
+                store_once(&mut slots[index], key, parse_u64(value, key)?)?;
+            }
+            let counter = |index: usize| slots[index].unwrap_or(0);
+            Frame::Stats {
+                job,
+                stats: WireStats {
+                    decisions: counter(0),
+                    conflicts: counter(1),
+                    propagations: counter(2),
+                    restarts: counter(3),
+                    learned: counter(4),
+                    tried: counter(5),
+                    flips: counter(6),
+                    checks: counter(7),
+                    samples: counter(8),
+                    wall_us: counter(9),
+                },
+            }
+        }
         "RESULT" => {
             let job = parse_u64(
                 tokens
@@ -832,6 +980,7 @@ fn parse_solve<'a, R: BufRead, I: Iterator<Item = &'a str>>(
     let mut wall_ms = None;
     let mut max_samples = None;
     let mut max_checks = None;
+    let mut stats: Option<bool> = None;
     let mut body_lines: Option<usize> = None;
     for token in tokens {
         if body_lines.is_some() {
@@ -840,6 +989,16 @@ fn parse_solve<'a, R: BufRead, I: Iterator<Item = &'a str>>(
         let (key, value) = split_key_value(token)?;
         match key {
             "seed" => store_once(&mut seed, key, parse_u64(value, key)?)?,
+            "stats" => {
+                let value = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(malformed(format!("invalid stats value '{other}'"))),
+                };
+                if stats.replace(value).is_some() {
+                    return Err(malformed("duplicate key 'stats'"));
+                }
+            }
             "priority" => {
                 if priority.replace(WirePriority::parse(value)?).is_some() {
                     return Err(malformed("duplicate key 'priority'"));
@@ -883,6 +1042,7 @@ fn parse_solve<'a, R: BufRead, I: Iterator<Item = &'a str>>(
         wall_ms,
         max_samples,
         max_checks,
+        stats: stats.unwrap_or(false),
         body,
     }))
 }
@@ -917,6 +1077,7 @@ mod tests {
             wall_ms: Some(5000),
             max_samples: Some(0),
             max_checks: Some(64),
+            stats: true,
             body: vec![],
         }));
         roundtrip(Frame::Cancel { job: 7 });
@@ -936,6 +1097,25 @@ mod tests {
         roundtrip(Frame::Model {
             job: 9,
             literals: vec![],
+        });
+        roundtrip(Frame::Stats {
+            job: 6,
+            stats: WireStats {
+                decisions: 12,
+                conflicts: 3,
+                propagations: 40,
+                restarts: 1,
+                learned: 3,
+                tried: 0,
+                flips: 0,
+                checks: 9,
+                samples: 512,
+                wall_us: 1234,
+            },
+        });
+        roundtrip(Frame::Stats {
+            job: 0,
+            stats: WireStats::default(),
         });
         roundtrip(Frame::Result {
             job: 3,
@@ -1001,6 +1181,69 @@ mod tests {
         assert_eq!(budget.max_samples, Some(7));
         assert_eq!(budget.max_checks, None);
         assert!(SolveFrame::new("cdcl", "").budget().is_unlimited());
+    }
+
+    #[test]
+    fn stats_keys_may_be_any_subset_but_never_duplicate_or_unknown() {
+        let mut cursor = Cursor::new("STATS 4 flips=17 wall-us=9\n".to_string());
+        let frame = Frame::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            frame,
+            Frame::Stats {
+                job: 4,
+                stats: WireStats {
+                    flips: 17,
+                    wall_us: 9,
+                    ..WireStats::default()
+                },
+            }
+        );
+        let mut cursor = Cursor::new("STATS 4 flips=1 flips=2\n".to_string());
+        assert!(Frame::read_from(&mut cursor).is_err());
+        let mut cursor = Cursor::new("STATS 4 wat=1\n".to_string());
+        assert!(Frame::read_from(&mut cursor).is_err());
+        let mut cursor = Cursor::new("STATS 4 flips=-1\n".to_string());
+        assert!(Frame::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn solve_stats_key_is_strict_and_off_by_default() {
+        let plain = SolveFrame::new("cdcl", "p cnf 1 1\n1 0");
+        assert!(!plain.stats);
+        assert!(!Frame::Solve(plain).encode().contains("stats="));
+        let mut cursor = Cursor::new("SOLVE cdcl stats=true body-lines=0\n".to_string());
+        match Frame::read_from(&mut cursor).unwrap().unwrap() {
+            Frame::Solve(solve) => assert!(solve.stats),
+            other => panic!("expected SOLVE, got {other:?}"),
+        }
+        let mut cursor = Cursor::new("SOLVE cdcl stats=false body-lines=0\n".to_string());
+        match Frame::read_from(&mut cursor).unwrap().unwrap() {
+            Frame::Solve(solve) => assert!(!solve.stats),
+            other => panic!("expected SOLVE, got {other:?}"),
+        }
+        let mut cursor = Cursor::new("SOLVE cdcl stats=yes body-lines=0\n".to_string());
+        assert!(Frame::read_from(&mut cursor).is_err());
+        let mut cursor = Cursor::new("SOLVE cdcl stats=true stats=true body-lines=0\n".to_string());
+        assert!(Frame::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn wire_stats_round_trips_through_solve_stats() {
+        let stats = SolveStats {
+            decisions: 5,
+            conflicts: 2,
+            propagations: 11,
+            restarts: 1,
+            learned_clauses: 2,
+            assignments_tried: 64,
+            flips: 7,
+            coprocessor_checks: 3,
+            samples: 100,
+            wall_time: Duration::from_micros(4321),
+            ..SolveStats::default()
+        };
+        let wire = WireStats::from(&stats);
+        assert_eq!(wire.to_solve_stats(), stats);
     }
 
     #[test]

@@ -278,10 +278,16 @@ impl Connection {
         frame.write_to(&mut *writer)
     }
 
-    /// Writes a job's completion: the model `v`-line (when there is one)
-    /// immediately followed by the `RESULT` line, under one lock so the pair
-    /// never interleaves with another job's frames.
-    fn send_completion(&self, job: u64, outcome: &SolveOutcome) -> std::io::Result<()> {
+    /// Writes a job's completion: the model `v`-line (when there is one) and
+    /// the `STATS` line (when the job asked for it) immediately followed by
+    /// the `RESULT` line, under one lock so the group never interleaves with
+    /// another job's frames.
+    fn send_completion(
+        &self,
+        job: u64,
+        outcome: &SolveOutcome,
+        want_stats: bool,
+    ) -> std::io::Result<()> {
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(model) = &outcome.model {
             let literals = model
@@ -296,6 +302,13 @@ impl Connection {
                 })
                 .collect();
             Frame::Model { job, literals }.write_to(&mut *writer)?;
+        }
+        if want_stats {
+            Frame::Stats {
+                job,
+                stats: (&outcome.stats).into(),
+            }
+            .write_to(&mut *writer)?;
         }
         let verdict = match outcome.verdict {
             SolveVerdict::Satisfiable => WireVerdict::Satisfiable,
@@ -438,6 +451,7 @@ fn handle_frame(
         | Frame::Model { .. }
         | Frame::Result { .. }
         | Frame::Info { .. }
+        | Frame::Stats { .. }
         | Frame::OkRefill
         | Frame::Pong
         | Frame::Bye
@@ -469,6 +483,7 @@ fn handle_solve(
         solve.priority.into(),
     ));
     let job = handle.id();
+    let want_stats = solve.stats;
     connection
         .jobs
         .lock()
@@ -485,7 +500,7 @@ fn handle_solve(
     thread::spawn(move || {
         let result = handle.wait_ref();
         let written = match &result {
-            Ok(outcome) => connection.send_completion(job, outcome),
+            Ok(outcome) => connection.send_completion(job, outcome, want_stats),
             Err(error) => connection.send_error(Some(job), error.to_string()),
         };
         // A send failing means the client is gone; the reader thread notices

@@ -5,7 +5,7 @@
 
 use nbl_net::{
     Frame, ProtocolError, SolveFrame, WireArtifacts, WireCause, WireJobStatus, WirePriority,
-    WireVerdict,
+    WireStats, WireVerdict,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -92,6 +92,7 @@ fn build_frame(
             wall_ms: opt(wall),
             max_samples: opt(samples),
             max_checks: opt(checks),
+            stats: selector.is_multiple_of(3),
             body: body.iter().map(|&i| BODY_LINES[i].to_string()).collect(),
         }),
         1 => Frame::Cancel { job },
@@ -127,6 +128,21 @@ fn build_frame(
         10 => Frame::OkRefill,
         11 => Frame::Pong,
         12 => Frame::Bye,
+        13 => Frame::Stats {
+            job,
+            stats: WireStats {
+                decisions: seed % 1009,
+                conflicts: job % 97,
+                propagations: seed % 7919,
+                restarts: selector as u64,
+                learned: job % 13,
+                tried: seed % 65537,
+                flips: job % 29,
+                checks: seed % 3,
+                samples: job % 11,
+                wall_us: seed % 1_000_003,
+            },
+        },
         _ => Frame::Error {
             job: scoped.then_some(job),
             message: words
@@ -140,7 +156,7 @@ fn build_frame(
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (
-        (0u8..14, 0u64..10_000_000, 0u64..u64::MAX),
+        (0u8..15, 0u64..10_000_000, 0u64..u64::MAX),
         proptest::collection::vec((1u64..100, proptest::bool::ANY), 0..8),
         proptest::collection::vec(0usize..BODY_LINES.len(), 0..6),
         (
@@ -270,6 +286,37 @@ fn malformed_inputs_error_instead_of_panicking() {
         (
             "SOLVE bad artifacts",
             b"SOLVE cdcl artifacts=cube body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE bad stats value",
+            b"SOLVE cdcl stats=maybe body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "SOLVE duplicate stats key",
+            b"SOLVE cdcl stats=true stats=false body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        ("STATS without id", b"STATS\n".to_vec(), Recoverable),
+        (
+            "STATS unknown key",
+            b"STATS 3 frobs=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "STATS duplicate key",
+            b"STATS 3 flips=1 flips=2\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "STATS keyless token",
+            b"STATS 3 flips\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "STATS negative counter",
+            b"STATS 3 decisions=-4\n".to_vec(),
             Recoverable,
         ),
         (

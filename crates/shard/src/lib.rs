@@ -1,0 +1,41 @@
+//! `nbl-shard`: distributed cube-and-conquer over a fleet of `nbl-satd`
+//! servers.
+//!
+//! The paper's NBL engine is a per-instance coprocessor; this crate scales it
+//! *out* instead of up. A [`splitter`] partitions a formula's search space
+//! into a covering, pairwise-contradictory set of cubes (occurrence-ranked
+//! branching, unit-propagation pruning via [`cnf::CnfFormula::restrict`]),
+//! and a [`ShardCoordinator`] farms the cube-restricted residuals to N
+//! `nbl-satd` servers over the wire protocol of [`nbl_net`]:
+//!
+//! * the first remote model that *verifies against the original formula*
+//!   decides SAT and cancels the rest of the fleet over the wire;
+//! * UNSAT is claimed only when every cube of the partition is refuted;
+//! * slow shards get their cubes stolen and adaptively re-split, dead
+//!   connections get their cubes requeued, and an empty fleet degrades to
+//!   solving locally through a [`nbl_sat_core::BackendRegistry`].
+//!
+//! The `nbl-sat-shard` binary in `src/bin/` wraps the coordinator into a
+//! command-line tool following the SAT-competition exit-code convention.
+//!
+//! ```no_run
+//! use nbl_shard::{ShardConfig, ShardCoordinator};
+//!
+//! let formula = cnf::dimacs::parse_str("p cnf 2 2\n1 2 0\n-1 -2 0\n")?;
+//! let fleet = ShardCoordinator::connect(
+//!     &["127.0.0.1:7040".into(), "127.0.0.1:7041".into()],
+//!     ShardConfig::default(),
+//! )?;
+//! let outcome = fleet.solve(&formula);
+//! assert!(outcome.verdict.is_sat());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod coordinator;
+pub mod splitter;
+
+pub use coordinator::{FleetOutcome, FleetStats, ShardConfig, ShardCoordinator, ShardError};
+pub use splitter::{branch_variable, split, split_cube, CubeSplit, SplitConfig};

@@ -1,0 +1,259 @@
+//! The cube splitter: partitions a formula's search space into a covering,
+//! pairwise-contradictory set of [`Cube`]s.
+//!
+//! The splitter grows a branch tree breadth-first from the empty cube. At
+//! each expansion it restricts the formula to the frontier cube (reusing
+//! [`CnfFormula::restrict`]'s unit propagation), ranks the residual's
+//! variables by weighted occurrence counts (a cheap lookahead: short clauses
+//! weigh exponentially more, as splitting them fires the most propagation),
+//! and branches on the best variable. Branches that unit propagation refutes
+//! are pruned into [`CubeSplit::refuted`] instead of being farmed out.
+//!
+//! The construction is fully deterministic — the ranking breaks ties toward
+//! the lowest variable index — so the same formula and config always produce
+//! the same split, which keeps distributed runs reproducible.
+
+use cnf::{CnfFormula, Cube, RestrictionOutcome, Variable};
+use std::collections::VecDeque;
+
+/// Configuration of a [`split`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitConfig {
+    /// Stop splitting once this many cubes (open + refuted) exist. The
+    /// splitter may finish under the target when the branch tree bottoms out
+    /// and slightly over it when the final expansion adds two children.
+    pub target_cubes: usize,
+    /// Maximum number of branch literals per cube. Deeper frontier cubes are
+    /// emitted as-is instead of being expanded further.
+    pub max_depth: usize,
+}
+
+impl SplitConfig {
+    /// A config targeting `target_cubes` cubes with the default depth cap.
+    pub fn new(target_cubes: usize) -> Self {
+        SplitConfig {
+            target_cubes,
+            ..SplitConfig::default()
+        }
+    }
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            target_cubes: 16,
+            max_depth: 24,
+        }
+    }
+}
+
+/// The result of a [`split`]: a covering, pairwise-contradictory cube set.
+///
+/// Every minterm of the search space lies in exactly one cube of
+/// `open ∪ refuted`: any two distinct cubes disagree on the branch variable
+/// of their deepest common ancestor in the branch tree, and siblings cover
+/// their parent's subspace exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CubeSplit {
+    /// Cubes whose subproblems still need solving.
+    pub open: Vec<Cube>,
+    /// Cubes already refuted by unit propagation during splitting: the
+    /// formula is unsatisfiable everywhere inside them.
+    pub refuted: Vec<Cube>,
+}
+
+impl CubeSplit {
+    /// All cubes of the partition, open first.
+    pub fn all_cubes(&self) -> impl Iterator<Item = &Cube> {
+        self.open.iter().chain(self.refuted.iter())
+    }
+
+    /// Total number of cubes in the partition.
+    pub fn num_cubes(&self) -> usize {
+        self.open.len() + self.refuted.len()
+    }
+}
+
+/// Ranks the residual formula's variables and returns the best branch
+/// variable: the one with the highest weighted occurrence count (each
+/// occurrence in a clause of length `k` counts `2^-k`, so short clauses
+/// dominate), ties broken toward the lowest index. `None` when the formula
+/// mentions no variables.
+pub fn branch_variable(formula: &CnfFormula) -> Option<Variable> {
+    let mut scores = vec![0.0f64; formula.num_vars()];
+    let mut seen = vec![false; formula.num_vars()];
+    for clause in formula.iter() {
+        // Clauses longer than ~64 literals contribute ~0 either way.
+        let weight = 2.0f64.powi(-(clause.len().min(64) as i32));
+        for &lit in clause.iter() {
+            let index = lit.variable().index();
+            scores[index] += weight;
+            seen[index] = true;
+        }
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for (index, &score) in scores.iter().enumerate() {
+        if !seen[index] {
+            continue;
+        }
+        match best {
+            // Strict comparison keeps the lowest index on ties.
+            Some((_, best_score)) if score <= best_score => {}
+            _ => best = Some((index, score)),
+        }
+    }
+    best.map(|(index, _)| Variable::new(index))
+}
+
+/// Splits the full search space of `formula` into a covering,
+/// pairwise-contradictory set of cubes.
+pub fn split(formula: &CnfFormula, config: &SplitConfig) -> CubeSplit {
+    split_cube(formula, &Cube::new(), config)
+}
+
+/// Splits the subspace of `base` the same way [`split`] splits the full
+/// space: the returned cubes all extend `base` (its literals are their
+/// prefix), cover its subspace exactly, and are pairwise contradictory.
+///
+/// This is the adaptive re-split primitive: a coordinator stealing a slow
+/// shard's cube calls this with a small `target_cubes` to break the cube
+/// into finer work items.
+pub fn split_cube(formula: &CnfFormula, base: &Cube, config: &SplitConfig) -> CubeSplit {
+    let target = config.target_cubes.max(1);
+    let mut result = CubeSplit::default();
+
+    // Each frontier entry carries its cube and the formula restricted to it,
+    // so ranking and pruning work incrementally instead of re-propagating
+    // from scratch at every depth.
+    let root = formula.restrict(base);
+    match root.outcome {
+        RestrictionOutcome::TriviallyUnsat => {
+            result.refuted.push(base.clone());
+            return result;
+        }
+        RestrictionOutcome::TriviallySat | RestrictionOutcome::Reduced => {}
+    }
+    let mut frontier: VecDeque<(Cube, CnfFormula)> = VecDeque::new();
+    frontier.push_back((base.clone(), root.formula));
+
+    while let Some((cube, residual)) = frontier.pop_front() {
+        let done = result.num_cubes() + frontier.len() + 1 >= target;
+        let branch = if done || cube.len() >= base.len() + config.max_depth {
+            None
+        } else {
+            branch_variable(&residual)
+        };
+        let var = match branch {
+            Some(var) => var,
+            None => {
+                result.open.push(cube);
+                continue;
+            }
+        };
+        for phase in [true, false] {
+            let mut child = cube.clone();
+            child.push(var.literal(phase));
+            // Restrict incrementally against the parent's residual: the
+            // residual plus the parent's fixed literals is equisatisfiable
+            // with the original formula inside the parent cube, so a conflict
+            // here refutes the child subspace of the *original* formula too.
+            let restriction = residual.restrict(&Cube::from_literals([var.literal(phase)]));
+            match restriction.outcome {
+                RestrictionOutcome::TriviallyUnsat => result.refuted.push(child),
+                RestrictionOutcome::TriviallySat => result.open.push(child),
+                RestrictionOutcome::Reduced => frontier.push_back((child, restriction.formula)),
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::generators::{self, RandomKSatConfig};
+    use cnf::{cnf_formula, Assignment};
+
+    fn assert_partition(formula: &CnfFormula, split: &CubeSplit) {
+        let n = formula.num_vars();
+        // Exact cover: every minterm lies in exactly one cube.
+        let total: u64 = split.all_cubes().map(|c| c.num_minterms(n)).sum();
+        assert_eq!(total, 1u64 << n, "minterms must sum to 2^n");
+        for a in Assignment::enumerate_all(n) {
+            let hits = split.all_cubes().filter(|c| c.evaluate(&a)).count();
+            assert_eq!(hits, 1, "assignment {a:?} covered {hits} times");
+        }
+    }
+
+    #[test]
+    fn split_partitions_the_space() {
+        let f = cnf_formula![[1, 2, 3], [-1, -2], [2, -3], [-1, 3], [1, -2, -3]];
+        let split = split(&f, &SplitConfig::new(6));
+        assert!(split.num_cubes() >= 2);
+        assert_partition(&f, &split);
+    }
+
+    #[test]
+    fn refuted_cubes_really_are_unsat() {
+        let f = generators::example7_unsat();
+        let split = split(&f, &SplitConfig::new(8));
+        assert_partition(&f, &split);
+        let n = f.num_vars();
+        for cube in &split.refuted {
+            for a in Assignment::enumerate_all(n).filter(|a| cube.evaluate(a)) {
+                assert!(!f.evaluate(&a), "refuted cube {cube} contains a model");
+            }
+        }
+    }
+
+    #[test]
+    fn split_cube_extends_the_base() {
+        let f =
+            generators::random_ksat(&RandomKSatConfig::from_ratio(8, 3.5, 3).with_seed(7)).unwrap();
+        let whole = split(&f, &SplitConfig::new(4));
+        let base = whole.open.first().expect("an open cube").clone();
+        let finer = split_cube(&f, &base, &SplitConfig::new(4));
+        assert!(finer.num_cubes() >= 1);
+        let n = f.num_vars();
+        let base_size = base.num_minterms(n);
+        let total: u64 = finer.all_cubes().map(|c| c.num_minterms(n)).sum();
+        assert_eq!(total, base_size, "re-split must cover the base exactly");
+        for cube in finer.all_cubes() {
+            assert_eq!(&cube.literals()[..base.len()], base.literals());
+        }
+    }
+
+    #[test]
+    fn trivial_formulas_split_to_a_single_cube() {
+        let empty = CnfFormula::new(3);
+        let split_empty = split(&empty, &SplitConfig::new(8));
+        assert_eq!(split_empty.open, vec![Cube::new()]);
+        assert!(split_empty.refuted.is_empty());
+
+        let mut contradiction = CnfFormula::new(2);
+        contradiction.add_clause(Vec::<cnf::Literal>::new());
+        let split_unsat = split(&contradiction, &SplitConfig::new(8));
+        assert!(split_unsat.open.is_empty());
+        assert_eq!(split_unsat.refuted, vec![Cube::new()]);
+    }
+
+    #[test]
+    fn splitter_is_deterministic() {
+        let f = generators::random_ksat(&RandomKSatConfig::from_ratio(12, 4.0, 3).with_seed(42))
+            .unwrap();
+        let config = SplitConfig::new(10);
+        assert_eq!(split(&f, &config), split(&f, &config));
+    }
+
+    #[test]
+    fn branch_variable_prefers_short_clauses() {
+        // x3 occurs twice in 3-clauses; x1/x2 once in a 2-clause each. The
+        // 2-clause weight (2^-2 each) beats one 3-clause (2^-3) but not two.
+        let f = cnf_formula![[1, 2], [3, 4, 5], [3, -4, -5]];
+        // x1: 0.25, x2: 0.25, x3: 0.25 — tie broken to lowest index.
+        assert_eq!(branch_variable(&f), Some(Variable::new(0)));
+        let g = cnf_formula![[1, 2, 4], [3, 4], [5, 6, -4]];
+        // x4: 2^-3 + 2^-2 + 2^-3 = 0.5, the clear winner.
+        assert_eq!(branch_variable(&g), Some(Variable::new(3)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the cube splitter: over random formulas and split
+//! targets, the produced cube set is pairwise contradictory, covers the
+//! whole space exactly (minterms sum to 2^n), every refuted cube really is
+//! unsatisfiable, and the construction is deterministic per input.
+
+use cnf::{Assignment, CnfFormula, Literal, Variable};
+use nbl_shard::{split, split_cube, SplitConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random CNF formula with `1..=max_vars` variables and
+/// `1..=max_clauses` clauses of 1–3 literals each.
+fn arb_formula(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    (1..=max_vars).prop_flat_map(move |n| {
+        let clause = proptest::collection::vec((0..n, proptest::bool::ANY), 1..=3);
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |clauses| {
+            let mut formula = CnfFormula::new(n);
+            for lits in clauses {
+                formula.add_clause(
+                    lits.into_iter()
+                        .map(|(v, phase)| Literal::with_phase(Variable::new(v), phase)),
+                );
+            }
+            formula
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any two distinct cubes of a split contradict each other: they assign
+    /// opposite phases to some shared variable, so their subspaces are
+    /// disjoint.
+    #[test]
+    fn cubes_are_pairwise_contradictory((formula, target) in (arb_formula(8, 12), 2usize..24)) {
+        let split = split(&formula, &SplitConfig::new(target));
+        let cubes: Vec<_> = split.all_cubes().collect();
+        for (i, a) in cubes.iter().enumerate() {
+            for b in cubes.iter().skip(i + 1) {
+                let clash = a.iter().any(|&lit| b.phase_of(lit.variable()) == Some(!lit.phase()));
+                prop_assert!(clash, "cubes {a} and {b} overlap");
+            }
+        }
+    }
+
+    /// The split is a partition: minterm counts over open ∪ refuted sum to
+    /// exactly 2^n, so together with pairwise disjointness the cubes cover
+    /// the whole space.
+    #[test]
+    fn minterms_sum_to_two_to_the_n((formula, target) in (arb_formula(10, 14), 1usize..32)) {
+        let split = split(&formula, &SplitConfig::new(target));
+        let n = formula.num_vars();
+        let total: u64 = split.all_cubes().map(|c| c.num_minterms(n)).sum();
+        prop_assert_eq!(total, 1u64 << n);
+    }
+
+    /// Refuted cubes contain no model of the formula: pruning a branch can
+    /// never lose a satisfying assignment.
+    #[test]
+    fn refuted_cubes_contain_no_model((formula, target) in (arb_formula(7, 10), 2usize..16)) {
+        let split = split(&formula, &SplitConfig::new(target));
+        for a in Assignment::enumerate_all(formula.num_vars()) {
+            if formula.evaluate(&a) {
+                prop_assert!(
+                    !split.refuted.iter().any(|c| c.evaluate(&a)),
+                    "model {:?} sits inside a refuted cube", a
+                );
+            }
+        }
+    }
+
+    /// The splitter is a pure function of (formula, config): running it
+    /// twice — and re-splitting one of its own cubes — gives identical
+    /// results both times.
+    #[test]
+    fn splitting_is_deterministic((formula, target) in (arb_formula(9, 12), 1usize..24)) {
+        let config = SplitConfig::new(target);
+        let first = split(&formula, &config);
+        prop_assert_eq!(&first, &split(&formula, &config));
+        if let Some(base) = first.open.first() {
+            let finer = SplitConfig::new(4);
+            prop_assert_eq!(
+                split_cube(&formula, base, &finer),
+                split_cube(&formula, base, &finer)
+            );
+        }
+    }
+}

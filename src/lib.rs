@@ -16,6 +16,9 @@
 //! * [`solvers`] (crate `sat-solvers`) — DPLL / CDCL / WalkSAT / brute force
 //! * [`net`] (crate `nbl-net`) — the wire protocol, the `nbl-satd` TCP
 //!   server and the blocking client for out-of-process solving
+//! * [`shard`] (crate `nbl-shard`) — the cube splitter and the
+//!   cube-and-conquer coordinator distributing a solve over a fleet of
+//!   `nbl-satd` servers
 //!
 //! # The unified solving API
 //!
@@ -64,6 +67,7 @@ pub use nbl_logic as logic;
 pub use nbl_net as net;
 pub use nbl_noise as noise;
 pub use nbl_sat_core as nbl_sat;
+pub use nbl_shard as shard;
 pub use sat_solvers as solvers;
 
 /// Commonly used items, importable with a single `use nbl_sat_repro::prelude::*`.
@@ -73,8 +77,8 @@ pub mod prelude {
         Circuit, CircuitBuilder, GateKind, Simulator, StuckAtFault, TseitinEncoder,
     };
     pub use nbl_net::{
-        NblSatClient, NblSatServer, NetError, RemoteJob, RemoteOutcome, ServerConfig, SolveFrame,
-        WireVerdict,
+        ClientConfig, NblSatClient, NblSatServer, NetError, RemoteJob, RemoteOutcome, ServerConfig,
+        SolveFrame, WireStats, WireVerdict,
     };
     pub use nbl_noise::{CarrierKind, RunningStats};
     pub use nbl_sat_core::{
@@ -83,6 +87,9 @@ pub mod prelude {
         MeanEstimate, NblEngine, NblSatError, NblSatInstance, SampledEngine, SatBackend,
         SatChecker, ServiceBuilder, SharedBudget, SnrModel, SolveBatch, SolveOutcome, SolveRequest,
         SolveService, SolveStats, SolveVerdict, SymbolicEngine, UnknownCause, Verdict,
+    };
+    pub use nbl_shard::{
+        CubeSplit, FleetOutcome, FleetStats, ShardConfig, ShardCoordinator, ShardError, SplitConfig,
     };
     pub use sat_solvers::{
         BruteForceSolver, CdclSolver, DpllSolver, Gsat, MusExtractor, ParallelPortfolio, Portfolio,

@@ -1,0 +1,290 @@
+//! Acceptance suite for the `nbl-shard` cube-and-conquer subsystem: a real
+//! [`ShardCoordinator`] over real loopback `nbl-satd` servers.
+//!
+//! Proves the ISSUE 7 acceptance criteria end to end: the coordinator plus
+//! two real servers agree with the in-process oracle on SAT (with the model
+//! verified against the original formula) and on UNSAT (every cube refuted);
+//! the first SAT result cancels the rest of the fleet over the wire; a shard
+//! whose connection dies mid-solve gets its cubes re-solved elsewhere
+//! without changing the verdict; and an empty fleet degrades to solving
+//! locally.
+
+use nbl_sat_repro::net::{Frame, ServerConfig};
+use nbl_sat_repro::prelude::*;
+use nbl_sat_repro::shard::split;
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cnf::generators::{self, RandomKSatConfig};
+use cnf::RestrictionOutcome;
+
+/// Binds a default-registry server on an ephemeral loopback port.
+fn start_server() -> NblSatServer {
+    NblSatServer::bind("127.0.0.1:0", ServerConfig::new().workers(2))
+        .expect("bind ephemeral loopback port")
+}
+
+/// Whether `formula` has a model inside `cube`.
+fn sat_within(formula: &CnfFormula, cube: &Cube) -> bool {
+    Assignment::enumerate_all(formula.num_vars()).any(|a| cube.evaluate(&a) && formula.evaluate(&a))
+}
+
+#[test]
+fn sharded_sat_agrees_with_oracle_and_verifies_model() {
+    let formula =
+        generators::random_ksat(&RandomKSatConfig::from_ratio(12, 3.5, 3).with_seed(11)).unwrap();
+    let oracle = BackendRegistry::default()
+        .solve("cdcl", &SolveRequest::new(&formula))
+        .unwrap();
+    assert!(oracle.verdict.is_sat(), "test instance must be satisfiable");
+
+    let servers = [start_server(), start_server()];
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let config = ShardConfig {
+        target_cubes: Some(6),
+        ..ShardConfig::default()
+    };
+    let coordinator = ShardCoordinator::connect(&addrs, config).expect("connect fleet");
+    assert_eq!(coordinator.num_shards(), 2);
+
+    let outcome = coordinator.solve(&formula);
+    assert_eq!(outcome.verdict, SolveVerdict::Satisfiable);
+    let model = outcome.model.as_ref().expect("SAT must carry a model");
+    assert!(formula.evaluate(model), "model must satisfy the original");
+    assert_eq!(outcome.fleet.shards, 2);
+    for server in &servers {
+        server.stop();
+    }
+}
+
+#[test]
+fn sharded_unsat_refutes_every_cube() {
+    let formula = generators::pigeonhole(5, 4);
+    let oracle = BackendRegistry::default()
+        .solve("cdcl", &SolveRequest::new(&formula))
+        .unwrap();
+    assert_eq!(oracle.verdict, SolveVerdict::Unsatisfiable);
+
+    let servers = [start_server(), start_server()];
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let config = ShardConfig {
+        target_cubes: Some(8),
+        ..ShardConfig::default()
+    };
+    let coordinator = ShardCoordinator::connect(&addrs, config).expect("connect fleet");
+
+    let outcome = coordinator.solve(&formula);
+    assert_eq!(outcome.verdict, SolveVerdict::Unsatisfiable);
+    assert!(outcome.model.is_none());
+    assert!(
+        outcome.fleet.remote_unsat >= 1,
+        "the fleet must have refuted at least one cube remotely: {}",
+        outcome.fleet
+    );
+    // UNSAT is only ever claimed once every cube of the partition is
+    // accounted for; the merged stats prove the shards really searched.
+    assert!(outcome.stats.decisions + outcome.stats.conflicts > 0);
+    for server in &servers {
+        server.stop();
+    }
+}
+
+/// A backend that answers satisfiable cubes (after a short delay, so sibling
+/// jobs are reliably in flight) and hangs on unsatisfiable ones until the
+/// coordinator cancels it over the wire.
+#[derive(Debug)]
+struct Trickle;
+
+impl SatBackend for Trickle {
+    fn name(&self) -> &'static str {
+        "trickle"
+    }
+    fn is_complete(&self) -> bool {
+        false
+    }
+    fn solve(
+        &mut self,
+        request: &SolveRequest<'_>,
+    ) -> nbl_sat_repro::nbl_sat::Result<SolveOutcome> {
+        let formula = request.formula();
+        let mut outcome = SolveOutcome {
+            verdict: SolveVerdict::Unknown(UnknownCause::Incomplete),
+            model: None,
+            cube: None,
+            stats: SolveStats::default(),
+            trace: None,
+            exhausted: None,
+        };
+        match Assignment::enumerate_all(formula.num_vars()).find(|a| formula.evaluate(a)) {
+            Some(model) => {
+                thread::sleep(Duration::from_millis(100));
+                outcome.verdict = SolveVerdict::Satisfiable;
+                outcome.model = Some(model);
+            }
+            None => {
+                let start = Instant::now();
+                while start.elapsed() < Duration::from_secs(30) {
+                    if request.cancelled() {
+                        outcome.verdict = SolveVerdict::Unknown(UnknownCause::Cancelled);
+                        return Ok(outcome);
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[test]
+fn first_sat_cancels_the_rest_of_the_fleet_over_the_wire() {
+    // Find a deterministic instance whose first two cubes (the two the two
+    // pumps will claim) are one satisfiable and one unsatisfiable, both
+    // non-trivial — so one remote job returns a model while the other is
+    // still hanging and must be cancelled over the wire.
+    let target = 6usize;
+    let picked = (0..200u64).find_map(|seed| {
+        let formula =
+            generators::random_ksat(&RandomKSatConfig::from_ratio(10, 4.2, 3).with_seed(seed))
+                .ok()?;
+        let cubes = split(&formula, &SplitConfig::new(target));
+        let (first, second) = match &cubes.open[..] {
+            [first, second, ..] => (first, second),
+            _ => return None,
+        };
+        let both_reduced = [first, second]
+            .iter()
+            .all(|cube| formula.restrict(cube).outcome == RestrictionOutcome::Reduced);
+        (both_reduced && sat_within(&formula, first) && !sat_within(&formula, second))
+            .then_some(formula)
+    });
+    let formula = picked.expect("a seed with a SAT first cube and an UNSAT second cube");
+
+    let mut registry = BackendRegistry::default();
+    registry.register("trickle", || Box::new(Trickle));
+    let servers = [
+        NblSatServer::bind(
+            "127.0.0.1:0",
+            ServerConfig::new().registry(&registry).workers(1),
+        )
+        .unwrap(),
+        NblSatServer::bind(
+            "127.0.0.1:0",
+            ServerConfig::new().registry(&registry).workers(1),
+        )
+        .unwrap(),
+    ];
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let mut config = ShardConfig::new("trickle");
+    config.target_cubes = Some(target);
+    config.steal_after = Duration::from_secs(120); // no stealing in this test
+    config.local_fallback = false;
+    let coordinator = ShardCoordinator::connect(&addrs, config).expect("connect fleet");
+
+    let outcome = coordinator.solve(&formula);
+    assert_eq!(outcome.verdict, SolveVerdict::Satisfiable);
+    assert!(formula.evaluate(outcome.model.as_ref().unwrap()));
+    assert!(outcome.fleet.remote_sat >= 1, "fleet: {}", outcome.fleet);
+    assert!(
+        outcome.fleet.cancellations_sent >= 1,
+        "the hanging sibling job must have been cancelled over the wire: {}",
+        outcome.fleet
+    );
+    for server in &servers {
+        server.stop();
+    }
+}
+
+/// A fake shard that accepts one connection, acks the first `SOLVE` with
+/// `QUEUED`, then drops the socket — a server dying mid-solve.
+fn dying_shard() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let addr = listener.local_addr().unwrap().to_string();
+    thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept coordinator");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut stream = stream;
+        while let Ok(Some(frame)) = Frame::read_from(&mut reader) {
+            if matches!(frame, Frame::Solve(_)) {
+                let _ = Frame::Queued { job: 0 }.write_to(&mut stream);
+                break; // drop both handles: the connection dies mid-solve
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn killed_shard_requeues_its_cubes_without_changing_the_verdict() {
+    let formula = generators::pigeonhole(5, 4);
+
+    let server = start_server();
+    let addrs = vec![dying_shard(), server.local_addr().to_string()];
+    let config = ShardConfig {
+        target_cubes: Some(8),
+        ..ShardConfig::default()
+    };
+    let coordinator = ShardCoordinator::connect(&addrs, config).expect("connect fleet");
+    assert_eq!(coordinator.num_shards(), 2);
+
+    let outcome = coordinator.solve(&formula);
+    assert_eq!(outcome.verdict, SolveVerdict::Unsatisfiable);
+    assert!(
+        outcome.fleet.shard_deaths >= 1,
+        "the dying shard must be detected: {}",
+        outcome.fleet
+    );
+    assert!(
+        outcome.fleet.requeues >= 1,
+        "its cube must be requeued for the survivor: {}",
+        outcome.fleet
+    );
+    server.stop();
+}
+
+#[test]
+fn empty_fleet_degrades_to_local_solving() {
+    let sat = generators::section4_sat_instance();
+    let coordinator = ShardCoordinator::connect(&[], ShardConfig::default()).expect("no fleet");
+    assert_eq!(coordinator.num_shards(), 0);
+    let outcome = coordinator.solve(&sat);
+    assert_eq!(outcome.verdict, SolveVerdict::Satisfiable);
+    assert!(sat.evaluate(outcome.model.as_ref().unwrap()));
+    assert_eq!(outcome.fleet.shards, 0);
+    assert!(outcome.fleet.local_solves >= 1, "fleet: {}", outcome.fleet);
+
+    let unsat = generators::pigeonhole(5, 4);
+    let coordinator = ShardCoordinator::connect(&[], ShardConfig::default()).expect("no fleet");
+    assert_eq!(
+        coordinator.solve(&unsat).verdict,
+        SolveVerdict::Unsatisfiable
+    );
+}
+
+#[test]
+fn unreachable_fleet_is_an_error_but_partial_fleet_is_not() {
+    // A port from the ephemeral range nobody is listening on: binding and
+    // dropping a listener guarantees it was just free.
+    let free = TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .to_string();
+    let config = ShardConfig {
+        connect_timeout: Duration::from_millis(200),
+        ..ShardConfig::default()
+    };
+    let err = ShardCoordinator::connect(std::slice::from_ref(&free), config.clone());
+    assert!(matches!(err, Err(ShardError::NoShards { .. })));
+
+    // One live server among dead addresses is enough.
+    let server = start_server();
+    let addrs = vec![free, server.local_addr().to_string()];
+    let coordinator = ShardCoordinator::connect(&addrs, config).expect("partial fleet");
+    assert_eq!(coordinator.num_shards(), 1);
+    let outcome = coordinator.solve(&generators::section4_sat_instance());
+    assert_eq!(outcome.verdict, SolveVerdict::Satisfiable);
+    server.stop();
+}

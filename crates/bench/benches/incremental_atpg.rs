@@ -1,0 +1,52 @@
+//! Criterion bench for ISSUE 8: incremental ATPG under assumptions vs the
+//! from-scratch per-fault flow.
+//!
+//! Both sides sweep the complete single-stuck-at fault list of a ripple-carry
+//! adder and measure the **whole** flow. The incremental side Tseitin-encodes
+//! one shared multi-miter CNF, pushes it into a single [`CdclSolver`] and
+//! decides each fault with `solve_under_assumptions([fault_literal])`, so
+//! learned clauses persist across faults. The from-scratch side builds a
+//! fresh per-fault miter CNF and a fresh solver every time — the flow
+//! `examples/atpg.rs` demonstrates. CI's quick-mode bench job asserts the
+//! incremental mean lands strictly below the from-scratch mean.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbl_circuit::{atpg_check, atpg_sweep, fault_list, library};
+use sat_solvers::{CdclSolver, SearchLimits, Solver};
+
+fn incremental_vs_from_scratch(c: &mut Criterion) {
+    let adder = library::ripple_carry_adder(4);
+    let faults = fault_list(&adder);
+    let limits = SearchLimits::unlimited();
+    let mut group = c.benchmark_group("incremental_atpg");
+    group.sample_size(20);
+    group.bench_function("assumption_sweep_rca4", |b| {
+        b.iter(|| {
+            let sweep = atpg_sweep(&adder, &faults).unwrap();
+            let mut solver = CdclSolver::new();
+            solver.push(sweep.formula());
+            (0..sweep.num_faults())
+                .filter(|&index| {
+                    solver
+                        .solve_under_assumptions(&[sweep.fault_literal(index)], &limits)
+                        .is_sat()
+                })
+                .count()
+        })
+    });
+    group.bench_function("from_scratch_rca4", |b| {
+        b.iter(|| {
+            faults
+                .iter()
+                .filter(|&&fault| {
+                    let check = atpg_check(&adder, fault).unwrap();
+                    CdclSolver::new().solve(check.formula()).is_sat()
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, incremental_vs_from_scratch);
+criterion_main!(benches);

@@ -13,6 +13,8 @@ use crate::error::Result;
 use crate::miter::{equivalence_check, EquivalenceCheck};
 use crate::netlist::{Circuit, NodeId};
 use crate::sim::Simulator;
+use crate::tseitin::{CnfEncoding, TseitinEncoder};
+use cnf::{Assignment, CnfFormula, Literal};
 use std::fmt;
 
 /// A single stuck-at fault on the output line of a node.
@@ -119,6 +121,194 @@ pub fn inject(circuit: &Circuit, fault: StuckAtFault) -> Result<Circuit> {
 pub fn atpg_check(circuit: &Circuit, fault: StuckAtFault) -> Result<EquivalenceCheck> {
     let faulty = inject(circuit, fault)?;
     equivalence_check(circuit, &faulty)
+}
+
+/// The instrumented CNF for an *incremental* ATPG sweep: one good copy, one
+/// fault-instrumented shadow copy, one selector input per fault.
+///
+/// Instead of importing a separate faulty circuit per fault (which would make
+/// the clause database — and so every incremental call — grow linearly with
+/// the fault list), the shadow copy interposes a mux on each faulted line:
+/// stuck-at-1 becomes `OR(line, sel_i)`, stuck-at-0 becomes
+/// `AND(line, NOT sel_i)`, so the shadow equals the good circuit when every
+/// selector is off and equals the fault-`i` mutant when exactly `sel_i` is
+/// on. Pairwise at-most-one clauses over the selectors pin the single-fault
+/// model, and the good-vs-shadow miter output is asserted to 1. The formula
+/// therefore stays `O(circuit + faults)` instead of `O(circuit × faults)`.
+///
+/// Fault `i` is testable iff the shared [`AtpgSweep::formula`] is satisfiable
+/// under the single assumption [`AtpgSweep::fault_literal`]`(i)` (the
+/// selector literal), and the model decodes (via
+/// [`AtpgSweep::test_pattern`]) to a detecting input pattern. Compared with
+/// calling [`atpg_check`] per fault, nothing is re-encoded and every learned
+/// clause about the good circuit carries over from fault to fault — the
+/// IPASIR-style workload the paper's §V coprocessor deployment story implies.
+#[derive(Debug, Clone)]
+pub struct AtpgSweep {
+    formula: CnfFormula,
+    encoding: CnfEncoding,
+    selectors: Vec<Literal>,
+    faults: Vec<StuckAtFault>,
+    circuit_inputs: usize,
+}
+
+impl AtpgSweep {
+    /// The shared CNF; per-fault questions are asked via assumptions.
+    /// (Without any assumption it is satisfiable iff *some* listed fault is
+    /// testable: the asserted miter output forces one selector on.)
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    /// The fault list, aligned with the assumption literals.
+    pub fn faults(&self) -> &[StuckAtFault] {
+        &self.faults
+    }
+
+    /// Number of faults in the sweep.
+    pub fn num_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The assumption literal asking "is fault `i` testable": the positive
+    /// literal of fault `i`'s selector input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fault_literal(&self, i: usize) -> Literal {
+        self.selectors[i]
+    }
+
+    /// Decodes the model of a satisfiable fault check into the detecting
+    /// input pattern, in input declaration order (selector inputs excluded).
+    pub fn test_pattern(&self, model: &Assignment) -> Vec<bool> {
+        let mut inputs = self.encoding.decode_inputs(model);
+        inputs.truncate(self.circuit_inputs);
+        inputs
+    }
+
+    /// The raw Tseitin encoding of the instrumented miter (original inputs
+    /// first, then one `sel_f<i>` input per fault).
+    pub fn encoding(&self) -> &CnfEncoding {
+        &self.encoding
+    }
+}
+
+/// Builds the [`AtpgSweep`] instance for a circuit and fault list: the good
+/// circuit is imported once, a single shadow copy gets a selector-controlled
+/// mux per fault, and the good-vs-shadow miter output is asserted.
+///
+/// # Errors
+///
+/// * [`crate::CircuitError::NoOutputs`] for an empty fault list or a circuit
+///   without outputs.
+/// * [`crate::CircuitError::UnknownNode`] if a fault references a node that
+///   does not exist.
+/// * Propagates construction and encoding errors (e.g. name collisions with
+///   the generated `sel_f<i>` / `fx_*` signals).
+pub fn atpg_sweep(circuit: &Circuit, faults: &[StuckAtFault]) -> Result<AtpgSweep> {
+    use crate::gate::GateKind;
+    use crate::netlist::NodeKind;
+    use std::collections::HashMap;
+
+    if faults.is_empty() || circuit.num_outputs() == 0 {
+        return Err(crate::CircuitError::NoOutputs);
+    }
+    for fault in faults {
+        circuit
+            .node(fault.node)
+            .ok_or(crate::CircuitError::UnknownNode(fault.node.index()))?;
+    }
+
+    let mut m = Circuit::new(format!("atpg-sweep({})", circuit.name()));
+    let mut input_map = HashMap::new();
+    for name in circuit.input_names() {
+        let id = m.add_input(name)?;
+        input_map.insert(name.to_string(), id);
+    }
+    let selectors: Vec<NodeId> = (0..faults.len())
+        .map(|j| m.add_input(format!("sel_f{j}")))
+        .collect::<Result<_>>()?;
+    let good_out = m.import(circuit, "good_", &input_map)?;
+
+    // The shadow copy: every faulted line gets one mux per fault on it, and
+    // gates read the *muxed* versions of their fanins so an activated fault
+    // propagates exactly like the injected mutant.
+    let mut on_node: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (j, fault) in faults.iter().enumerate() {
+        on_node.entry(fault.node).or_default().push(j);
+    }
+    let mut shadow: HashMap<NodeId, NodeId> = HashMap::new();
+    for id in circuit.topological_order()? {
+        let node = circuit.node(id).expect("topological order yields live ids");
+        let mut signal = match node.kind() {
+            NodeKind::Input => input_map[node.name()],
+            NodeKind::Constant(value) => m.add_constant(format!("fx_{}", node.name()), value)?,
+            NodeKind::Gate(kind) => {
+                let fanin: Vec<NodeId> = node.fanin().iter().map(|f| shadow[f]).collect();
+                m.add_gate(format!("fx_{}", node.name()), kind, &fanin)?
+            }
+        };
+        if let Some(indices) = on_node.get(&id) {
+            for &j in indices {
+                signal = if faults[j].stuck_at {
+                    m.add_gate(format!("fx_sa1_{j}"), GateKind::Or, &[signal, selectors[j]])?
+                } else {
+                    let off = m.add_gate(format!("fx_off_{j}"), GateKind::Not, &[selectors[j]])?;
+                    m.add_gate(format!("fx_sa0_{j}"), GateKind::And, &[signal, off])?
+                };
+            }
+        }
+        shadow.insert(id, signal);
+    }
+
+    // Good-vs-shadow miter. A primary input marked directly as an output does
+    // not observe its own stuck-at fault at that output (the fault sits on
+    // the fan-out branches), matching [`inject`].
+    let mut diffs = Vec::with_capacity(circuit.num_outputs());
+    for &output in circuit.outputs() {
+        let node = circuit.node(output).expect("outputs are live ids");
+        let faulty_side = if node.is_input() {
+            input_map[node.name()]
+        } else {
+            shadow[&output]
+        };
+        diffs.push(m.add_gate(
+            format!("diff_{}", node.name()),
+            GateKind::Xor,
+            &[good_out[node.name()], faulty_side],
+        )?);
+    }
+    let differs = if diffs.len() == 1 {
+        m.add_gate("differs", GateKind::Buf, &[diffs[0]])?
+    } else {
+        m.add_gate("differs", GateKind::Or, &diffs)?
+    };
+    m.mark_output(differs)?;
+
+    let mut encoding = TseitinEncoder::new().encode(&m)?;
+    encoding.assert_output(0, true);
+    let circuit_inputs = circuit.num_inputs();
+    let selector_lits: Vec<Literal> = (0..faults.len())
+        .map(|j| encoding.input_var(circuit_inputs + j).positive())
+        .collect();
+    let mut formula = encoding.formula().clone();
+    // Pairwise at-most-one over the selectors: assuming `sel_i` immediately
+    // propagates every other selector to false, so each call decides the
+    // single-fault question.
+    for (a, &first) in selector_lits.iter().enumerate() {
+        for &second in &selector_lits[a + 1..] {
+            formula.add_clause([!first, !second]);
+        }
+    }
+    Ok(AtpgSweep {
+        formula,
+        encoding,
+        selectors: selector_lits,
+        faults: faults.to_vec(),
+        circuit_inputs,
+    })
 }
 
 /// Result of fault-simulating a set of test patterns.
@@ -324,6 +514,49 @@ mod tests {
         // patterns must detect all of them.
         assert_eq!(report.undetected.len(), 0, "{report}");
         assert!((report.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atpg_sweep_agrees_with_the_per_fault_oracle() {
+        use sat_solvers::{IncrementalResult, SearchLimits};
+        let c = library::majority3();
+        let faults = fault_list(&c);
+        let sweep = atpg_sweep(&c, &faults).unwrap();
+        assert_eq!(sweep.num_faults(), faults.len());
+
+        // One solver, one push, the whole fault list under assumptions.
+        let limits = SearchLimits::unlimited();
+        let mut incremental = CdclSolver::new();
+        incremental.push(sweep.formula());
+        for (i, &fault) in faults.iter().enumerate() {
+            // The from-scratch oracle: a fresh miter per fault.
+            let oracle = {
+                let check = atpg_check(&c, fault).unwrap();
+                let mut solver = CdclSolver::new();
+                solver.solve(check.formula()).is_sat()
+            };
+            match incremental.solve_under_assumptions(&[sweep.fault_literal(i)], &limits) {
+                IncrementalResult::Satisfiable(model) => {
+                    assert!(oracle, "sweep says testable, oracle says not: {fault}");
+                    let pattern = sweep.test_pattern(&model);
+                    let report = fault_simulate(&c, &[fault], &[pattern]).unwrap();
+                    assert_eq!(report.detected.len(), 1, "pattern must detect {fault}");
+                }
+                IncrementalResult::Unsatisfiable(_) => {
+                    assert!(!oracle, "sweep says untestable, oracle disagrees: {fault}");
+                }
+                other => panic!("unlimited search cannot be indeterminate: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn atpg_sweep_rejects_an_empty_fault_list() {
+        let c = library::majority3();
+        assert!(matches!(
+            atpg_sweep(&c, &[]).unwrap_err(),
+            crate::CircuitError::NoOutputs
+        ));
     }
 
     #[test]

@@ -54,10 +54,13 @@ pub mod tseitin;
 pub use bench_format::{parse_bench, write_bench};
 pub use builder::CircuitBuilder;
 pub use error::{CircuitError, Result};
-pub use fault::{atpg_check, fault_list, fault_simulate, inject, FaultSimReport, StuckAtFault};
+pub use fault::{
+    atpg_check, atpg_sweep, fault_list, fault_simulate, inject, AtpgSweep, FaultSimReport,
+    StuckAtFault,
+};
 pub use gate::{GateKind, ParseGateKindError};
 pub use library::standard_suite;
-pub use miter::{equivalence_check, miter, EquivalenceCheck};
+pub use miter::{equivalence_check, miter, miter_sweep, EquivalenceCheck, MiterSweep};
 pub use nbl_eval::{NblCircuitEvaluation, NblCircuitEvaluator, NBL_EVAL_INPUT_LIMIT};
 pub use netlist::{Circuit, CircuitStats, Node, NodeId, NodeKind};
 pub use sim::{

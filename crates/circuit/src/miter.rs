@@ -129,6 +129,126 @@ pub fn equivalence_check(a: &Circuit, b: &Circuit) -> Result<EquivalenceCheck> {
     Ok(EquivalenceCheck { formula, encoding })
 }
 
+/// A *batch* of equivalence checks sharing one CNF: the base circuit is
+/// imported (and Tseitin-encoded) once, and every alternative contributes one
+/// miter output.
+///
+/// Unlike [`equivalence_check`], no output is asserted — check `i` is decided
+/// by solving the shared formula under the single assumption
+/// [`MiterSweep::check_literal`]`(i)`: **SAT ⇔ alternative `i` differs** from
+/// the base, and the model decodes to a distinguishing input pattern. This is
+/// the shape an IPASIR-style incremental solver wants: one clause database,
+/// one solve call per check, every learned clause shared across the batch.
+#[derive(Debug, Clone)]
+pub struct MiterSweep {
+    encoding: CnfEncoding,
+}
+
+impl MiterSweep {
+    /// The shared CNF. Satisfiable on its own (no output is asserted); the
+    /// per-check question is asked via assumptions.
+    pub fn formula(&self) -> &CnfFormula {
+        self.encoding.formula()
+    }
+
+    /// The underlying Tseitin encoding of the batch miter circuit.
+    pub fn encoding(&self) -> &CnfEncoding {
+        &self.encoding
+    }
+
+    /// How many alternatives the sweep compares against the base.
+    pub fn num_checks(&self) -> usize {
+        self.encoding.output_literals().len()
+    }
+
+    /// The assumption literal that activates check `i`: assuming it asserts
+    /// "the `i`-th alternative disagrees with the base on some input".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn check_literal(&self, i: usize) -> cnf::Literal {
+        self.encoding.output_literal(i)
+    }
+
+    /// Decodes a model of a satisfiable check into named input values on
+    /// which the alternative disagrees with the base.
+    pub fn counterexample(&self, model: &Assignment) -> Vec<(String, bool)> {
+        self.encoding
+            .input_names()
+            .iter()
+            .cloned()
+            .zip(self.encoding.decode_inputs(model))
+            .collect()
+    }
+}
+
+/// Builds the shared miter of `base` against every circuit in `alternatives`:
+/// inputs are shared by name, the base is imported once as `base_*`, each
+/// alternative as `alt<i>_*`, and each alternative's pairwise output XORs are
+/// ORed into its own `miter_<i>` output.
+///
+/// # Errors
+///
+/// * [`CircuitError::InterfaceMismatch`] if any alternative's input or output
+///   name sets differ from the base's.
+/// * [`CircuitError::NoOutputs`] if the base has no outputs or `alternatives`
+///   is empty.
+/// * [`CircuitError::CombinationalLoop`] if any circuit is cyclic.
+pub fn miter_sweep(base: &Circuit, alternatives: &[Circuit]) -> Result<MiterSweep> {
+    if alternatives.is_empty() {
+        return Err(CircuitError::NoOutputs);
+    }
+    let mut base_inputs = base.input_names();
+    base_inputs.sort_unstable();
+    let mut base_outputs = base.output_names();
+    base_outputs.sort_unstable();
+    if base_outputs.is_empty() {
+        return Err(CircuitError::NoOutputs);
+    }
+    for alternative in alternatives {
+        let mut inputs = alternative.input_names();
+        inputs.sort_unstable();
+        if inputs != base_inputs {
+            return Err(CircuitError::InterfaceMismatch(format!(
+                "input names differ: {base_inputs:?} vs {inputs:?}"
+            )));
+        }
+        let mut outputs = alternative.output_names();
+        outputs.sort_unstable();
+        if outputs != base_outputs {
+            return Err(CircuitError::InterfaceMismatch(format!(
+                "output names differ: {base_outputs:?} vs {outputs:?}"
+            )));
+        }
+    }
+
+    let mut m = Circuit::new(format!("miter-sweep({})", base.name()));
+    let mut input_map = HashMap::new();
+    for name in base.input_names() {
+        let id = m.add_input(name)?;
+        input_map.insert(name.to_string(), id);
+    }
+    let base_out = m.import(base, "base_", &input_map)?;
+    for (i, alternative) in alternatives.iter().enumerate() {
+        let alt_out = m.import(alternative, &format!("alt{i}_"), &input_map)?;
+        let mut diffs = Vec::with_capacity(base_outputs.len());
+        for name in &base_outputs {
+            let xa = base_out[*name];
+            let xb = alt_out[*name];
+            diffs.push(m.add_gate(format!("diff{i}_{name}"), GateKind::Xor, &[xa, xb])?);
+        }
+        let miter_out = if diffs.len() == 1 {
+            m.add_gate(format!("miter_{i}"), GateKind::Buf, &[diffs[0]])?
+        } else {
+            m.add_gate(format!("miter_{i}"), GateKind::Or, &diffs)?
+        };
+        m.mark_output(miter_out)?;
+    }
+    let encoding = TseitinEncoder::new().encode(&m)?;
+    Ok(MiterSweep { encoding })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +309,71 @@ mod tests {
             let inputs: Vec<bool> = (0..4).map(|i| pattern >> i & 1 == 1).collect();
             assert_eq!(sim.run(&inputs).unwrap(), vec![false]);
         }
+    }
+
+    #[test]
+    fn miter_sweep_distinguishes_buggy_from_faithful_revisions() {
+        use sat_solvers::{CdclSolver, IncrementalResult, SearchLimits};
+        let golden = library::ripple_carry_adder(3);
+        let alternatives = vec![
+            library::ripple_carry_adder(3),          // faithful
+            library::buggy_ripple_carry_adder(3, 1), // differs
+            library::buggy_ripple_carry_adder(3, 2), // differs
+        ];
+        let sweep = miter_sweep(&golden, &alternatives).unwrap();
+        assert_eq!(sweep.num_checks(), 3);
+
+        let limits = SearchLimits::unlimited();
+        let mut solver = CdclSolver::new();
+        solver.push(sweep.formula());
+        let expect_differs = [false, true, true];
+        for (i, &differs) in expect_differs.iter().enumerate() {
+            match solver.solve_under_assumptions(&[sweep.check_literal(i)], &limits) {
+                IncrementalResult::Satisfiable(model) => {
+                    assert!(
+                        differs,
+                        "alternative {i} is equivalent yet the sweep differs"
+                    );
+                    // The counterexample must actually distinguish the pair.
+                    let cex = sweep.counterexample(&model);
+                    let order: Vec<bool> = golden
+                        .input_names()
+                        .iter()
+                        .map(|name| {
+                            cex.iter()
+                                .find(|(n, _)| n == name)
+                                .map(|&(_, v)| v)
+                                .unwrap()
+                        })
+                        .collect();
+                    let golden_out = Simulator::new(&golden).unwrap().run(&order).unwrap();
+                    let alt_out = Simulator::new(&alternatives[i])
+                        .unwrap()
+                        .run(&order)
+                        .unwrap();
+                    assert_ne!(golden_out, alt_out, "alternative {i}");
+                }
+                IncrementalResult::Unsatisfiable(core) => {
+                    assert!(!differs, "alternative {i} differs yet the sweep says UNSAT");
+                    // The core can only mention this check's assumption.
+                    assert!(core.iter().all(|&lit| lit == sweep.check_literal(i)));
+                }
+                other => panic!("unlimited search cannot be indeterminate: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn miter_sweep_rejects_empty_and_mismatched_batches() {
+        let golden = library::parity_tree(4);
+        assert!(matches!(
+            miter_sweep(&golden, &[]).unwrap_err(),
+            CircuitError::NoOutputs
+        ));
+        assert!(matches!(
+            miter_sweep(&golden, &[library::parity_tree(5)]).unwrap_err(),
+            CircuitError::InterfaceMismatch(_)
+        ));
     }
 
     #[test]

@@ -151,6 +151,34 @@ impl Cube {
         })
     }
 
+    /// Returns the cube as a deduplicated assumption list for an
+    /// incremental solve-under-assumptions call.
+    ///
+    /// A cube *is* a conjunction of literals, which is exactly what an
+    /// IPASIR-style `assume` takes: solving a formula under the returned
+    /// assumptions decides satisfiability restricted to the cube's subspace
+    /// without re-encoding the cube as unit clauses. Duplicates are dropped
+    /// (first occurrence wins, preserving order); contradictory cubes are
+    /// returned as-is — the solver reports them unsatisfiable with a failed
+    /// core inside the cube.
+    ///
+    /// ```
+    /// use cnf::Cube;
+    /// let cube = Cube::from_dimacs(&[-1, 2, -1]).unwrap();
+    /// let assumptions = cube.to_assumptions();
+    /// let dimacs: Vec<i64> = assumptions.iter().map(|l| l.to_dimacs()).collect();
+    /// assert_eq!(dimacs, vec![-1, 2]);
+    /// ```
+    pub fn to_assumptions(&self) -> Vec<Literal> {
+        let mut assumptions = Vec::with_capacity(self.literals.len());
+        for &lit in &self.literals {
+            if !assumptions.contains(&lit) {
+                assumptions.push(lit);
+            }
+        }
+        assumptions
+    }
+
     /// Enumerates all assignments (minterms) contained in the cube's subspace
     /// over `num_vars` variables. Contradictory cubes yield nothing.
     pub fn expand(&self, num_vars: usize) -> Vec<Assignment> {
@@ -279,6 +307,17 @@ mod tests {
                 "cube {cube}"
             );
         }
+    }
+
+    #[test]
+    fn assumptions_deduplicate_and_preserve_order() {
+        let c = Cube::from_dimacs(&[3, -1, 3, 2, -1]).unwrap();
+        let dimacs: Vec<i64> = c.to_assumptions().iter().map(|l| l.to_dimacs()).collect();
+        assert_eq!(dimacs, vec![3, -1, 2]);
+        assert!(Cube::new().to_assumptions().is_empty());
+        // Contradictory cubes keep both phases for the solver to refute.
+        let bad = Cube::from_dimacs(&[1, -1]).unwrap();
+        assert_eq!(bad.to_assumptions().len(), 2);
     }
 
     #[test]

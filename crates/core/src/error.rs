@@ -66,6 +66,13 @@ pub enum NblSatError {
     /// The job was submitted to a solve service that had already been shut
     /// down or aborted.
     ServiceStopped,
+    /// An operation reached a service session whose pinned solver is gone —
+    /// explicitly closed, evicted after its idle timeout, or dead after a
+    /// backend panic.
+    SessionClosed {
+        /// Why the session ended.
+        reason: String,
+    },
     /// An error bubbled up from the CNF substrate.
     Cnf(cnf::CnfError),
 }
@@ -103,6 +110,9 @@ impl fmt::Display for NblSatError {
             }
             NblSatError::ServiceStopped => {
                 write!(f, "the solve service is no longer accepting jobs")
+            }
+            NblSatError::SessionClosed { reason } => {
+                write!(f, "the solve session is closed: {reason}")
             }
             NblSatError::Cnf(e) => write!(f, "cnf error: {e}"),
         }

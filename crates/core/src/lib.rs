@@ -125,9 +125,10 @@ pub use hybrid::{HybridSolver, HybridStats};
 pub use sampled::SampledEngine;
 pub use snr::SnrModel;
 pub use solve::{
-    Artifacts, BackendRegistry, ClassicalBackend, HybridBackend, JobHandle, JobPriority, JobStatus,
-    NblCheckBackend, SatBackend, ServiceBuilder, SolveBatch, SolveOutcome, SolveRequest,
-    SolveService, SolveStats, SolveVerdict, UnknownCause,
+    Artifacts, BackendRegistry, CdclSessionBackend, ClassicalBackend, HybridBackend,
+    IncrementalBackend, JobHandle, JobPriority, JobStatus, NblCheckBackend, SatBackend,
+    ServiceBuilder, SessionCall, SessionHandle, SessionSolve, SolveBatch, SolveOutcome,
+    SolveRequest, SolveService, SolveSession, SolveStats, SolveVerdict, UnknownCause,
 };
 pub use symbolic::SymbolicEngine;
 pub use transform::{NblSatInstance, SourceIndex};

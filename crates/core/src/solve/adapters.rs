@@ -126,6 +126,10 @@ impl<S: Solver> SatBackend for ClassicalBackend<S> {
     }
 
     fn solve(&mut self, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
+        if !request.requested_assumptions().is_empty() {
+            let augmented = request.formula_with_assumptions();
+            return self.solve(&request.reborrow(&augmented));
+        }
         if let Some(limit) = self.var_limit {
             if request.formula().num_vars() > limit {
                 return Err(NblSatError::InstanceTooLarge {
@@ -258,6 +262,10 @@ impl<E: NblEngine> SatBackend for NblCheckBackend<E> {
     }
 
     fn solve(&mut self, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
+        if !request.requested_assumptions().is_empty() {
+            let augmented = request.formula_with_assumptions();
+            return self.solve(&request.reborrow(&augmented));
+        }
         let started = Instant::now();
         if let Some(mut outcome) = degenerate_outcome(request) {
             outcome.stats.wall_time = started.elapsed();
@@ -394,6 +402,10 @@ impl<E: NblEngine> SatBackend for HybridBackend<E> {
     }
 
     fn solve(&mut self, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
+        if !request.requested_assumptions().is_empty() {
+            let augmented = request.formula_with_assumptions();
+            return self.solve(&request.reborrow(&augmented));
+        }
         let started = Instant::now();
         let mut meter = metered_cancel(BudgetMeter::start(request.requested_budget()), request);
         let mut solver = (self.factory)(request.requested_seed());

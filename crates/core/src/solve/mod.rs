@@ -55,6 +55,7 @@ pub mod outcome;
 pub mod registry;
 pub mod request;
 pub mod service;
+pub mod session;
 
 pub use adapters::{ClassicalBackend, HybridBackend, NblCheckBackend};
 pub use backend::SatBackend;
@@ -62,4 +63,7 @@ pub use batch::SolveBatch;
 pub use outcome::{SolveOutcome, SolveStats, SolveVerdict, UnknownCause};
 pub use registry::BackendRegistry;
 pub use request::{Artifacts, SolveRequest};
-pub use service::{JobHandle, JobPriority, JobStatus, ServiceBuilder, SolveService};
+pub use service::{
+    JobHandle, JobPriority, JobStatus, ServiceBuilder, SessionHandle, SessionSolve, SolveService,
+};
+pub use session::{CdclSessionBackend, IncrementalBackend, SessionCall, SolveSession};

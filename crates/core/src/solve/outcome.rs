@@ -4,7 +4,7 @@ use crate::budget::ExhaustedResource;
 use crate::convergence::ConvergenceTrace;
 use crate::engine::MeanEstimate;
 use crate::hybrid::HybridStats;
-use cnf::{Assignment, Cube};
+use cnf::{Assignment, Cube, Literal};
 use sat_solvers::SolverStats;
 use std::fmt;
 use std::time::Duration;
@@ -189,6 +189,12 @@ pub struct SolveOutcome {
     /// extraction after a definitive verdict, in which case the verdict is
     /// still definitive but the artifact is missing.
     pub exhausted: Option<ExhaustedResource>,
+    /// The failed-assumption core of an incremental solve: a subset of the
+    /// call's assumption literals already inconsistent with the formula.
+    /// `Some` only when an assumption-aware backend answered
+    /// [`SolveVerdict::Unsatisfiable`] under assumptions; an empty vector
+    /// means the formula is unsatisfiable regardless of the assumptions.
+    pub failed_assumptions: Option<Vec<Literal>>,
 }
 
 impl SolveOutcome {
@@ -201,6 +207,7 @@ impl SolveOutcome {
             stats: SolveStats::default(),
             trace: None,
             exhausted: None,
+            failed_assumptions: None,
         }
     }
 }
@@ -213,6 +220,16 @@ impl fmt::Display for SolveOutcome {
         }
         if let Some(cube) = &self.cube {
             write!(f, " cube {cube}")?;
+        }
+        if let Some(core) = &self.failed_assumptions {
+            write!(f, " failed-assumptions {{")?;
+            for (i, lit) in core.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{lit}")?;
+            }
+            write!(f, "}}")?;
         }
         write!(f, " [{}]", self.stats)
     }

@@ -9,6 +9,7 @@ use crate::solve::adapters::{ClassicalBackend, HybridBackend, NblCheckBackend};
 use crate::solve::backend::SatBackend;
 use crate::solve::outcome::SolveOutcome;
 use crate::solve::request::SolveRequest;
+use crate::solve::session::{CdclSessionBackend, IncrementalBackend, SolveSession};
 use crate::symbolic::SymbolicEngine;
 use cnf::EvalMode;
 use sat_solvers::{
@@ -23,6 +24,7 @@ use std::sync::Arc;
 const TRACE_POINTS_PER_DECADE: u32 = 4;
 
 type BackendFactory = Arc<dyn Fn() -> Box<dyn SatBackend> + Send + Sync>;
+type SessionFactory = Arc<dyn Fn() -> Box<dyn IncrementalBackend> + Send + Sync>;
 
 /// A registry mapping backend names to factories, with enumeration in
 /// registration order.
@@ -59,12 +61,14 @@ type BackendFactory = Arc<dyn Fn() -> Box<dyn SatBackend> + Send + Sync>;
 #[derive(Clone)]
 pub struct BackendRegistry {
     entries: Vec<(&'static str, BackendFactory)>,
+    session_entries: Vec<(&'static str, SessionFactory)>,
 }
 
 impl fmt::Debug for BackendRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BackendRegistry")
             .field("backends", &self.names())
+            .field("session_backends", &self.session_names())
             .finish()
     }
 }
@@ -74,6 +78,7 @@ impl BackendRegistry {
     pub fn empty() -> Self {
         BackendRegistry {
             entries: Vec::new(),
+            session_entries: Vec::new(),
         }
     }
 
@@ -102,6 +107,45 @@ impl BackendRegistry {
             .find(|(n, _)| *n == name)
             .map(|(_, factory)| factory())
             .ok_or_else(|| NblSatError::UnknownBackend(name.to_string()))
+    }
+
+    /// Registers (or replaces) an incremental session factory under `name`.
+    /// A session factory is independent of the one-shot factory registered
+    /// under the same name; most backends only have the latter.
+    pub fn register_session(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn() -> Box<dyn IncrementalBackend> + Send + Sync + 'static,
+    ) {
+        if let Some(entry) = self.session_entries.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = Arc::new(factory);
+        } else {
+            self.session_entries.push((name, Arc::new(factory)));
+        }
+    }
+
+    /// Opens a fresh incremental [`SolveSession`] on the named backend.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::UnknownBackend`] if no *session-capable* backend is
+    /// registered under `name` (a name may support one-shot solves only).
+    pub fn open_session(&self, name: &str) -> Result<SolveSession> {
+        self.session_entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, factory)| SolveSession::new(factory()))
+            .ok_or_else(|| NblSatError::UnknownBackend(name.to_string()))
+    }
+
+    /// Returns `true` if the named backend can host incremental sessions.
+    pub fn supports_sessions(&self, name: &str) -> bool {
+        self.session_entries.iter().any(|(n, _)| *n == name)
+    }
+
+    /// The session-capable backend names, in registration order.
+    pub fn session_names(&self) -> Vec<&'static str> {
+        self.session_entries.iter().map(|(name, _)| *name).collect()
     }
 
     /// The registered backend names, in registration order.
@@ -246,6 +290,10 @@ impl BackendRegistry {
                 ))
             }))
         });
+        // CDCL is the one engine with true incremental state worth keeping
+        // between calls; it doubles as the session backend under its one-shot
+        // name.
+        registry.register_session("cdcl", || Box::new(CdclSessionBackend::new()));
         registry
     }
 
@@ -296,6 +344,23 @@ mod tests {
             let backend = registry.create(name).unwrap();
             assert_eq!(backend.name(), name);
         }
+    }
+
+    #[test]
+    fn session_support_is_advertised_and_opens() {
+        let registry = BackendRegistry::default();
+        assert!(registry.supports_sessions("cdcl"));
+        assert!(!registry.supports_sessions("dpll"));
+        assert_eq!(registry.session_names(), vec!["cdcl"]);
+        let mut session = registry.open_session("cdcl").unwrap();
+        assert_eq!(session.backend_name(), "cdcl");
+        session.push(&generators::example7_unsat());
+        let outcome = session
+            .solve(&crate::solve::session::SessionCall::new())
+            .unwrap();
+        assert!(outcome.verdict.is_unsat());
+        let err = registry.open_session("walksat").unwrap_err();
+        assert!(matches!(err, NblSatError::UnknownBackend(ref n) if n == "walksat"));
     }
 
     #[test]

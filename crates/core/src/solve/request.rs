@@ -1,7 +1,7 @@
 //! The unified solve request.
 
 use crate::budget::Budget;
-use cnf::CnfFormula;
+use cnf::{Clause, CnfFormula, Literal};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -58,6 +58,7 @@ impl Artifacts {
 #[derive(Debug, Clone)]
 pub struct SolveRequest<'a> {
     formula: &'a CnfFormula,
+    assumptions: Vec<Literal>,
     artifacts: Artifacts,
     seed: u64,
     budget: Budget,
@@ -70,6 +71,7 @@ impl<'a> SolveRequest<'a> {
     pub fn new(formula: &'a CnfFormula) -> Self {
         SolveRequest {
             formula,
+            assumptions: Vec::new(),
             artifacts: Artifacts::default(),
             seed: 0,
             budget: Budget::unlimited(),
@@ -81,6 +83,16 @@ impl<'a> SolveRequest<'a> {
     /// Selects the desired artifacts.
     pub fn artifacts(mut self, artifacts: Artifacts) -> Self {
         self.artifacts = artifacts;
+        self
+    }
+
+    /// Sets assumption literals the solve must honour: the backend answers
+    /// for `formula ∧ assumptions`. One-shot backends fold them in as unit
+    /// clauses; incremental backends (see [`crate::SolveSession`]) enqueue
+    /// them as IPASIR-style assumption decisions and can report a
+    /// failed-assumption core on the outcome.
+    pub fn assumptions<I: IntoIterator<Item = Literal>>(mut self, assumptions: I) -> Self {
+        self.assumptions = assumptions.into_iter().collect();
         self
     }
 
@@ -117,6 +129,43 @@ impl<'a> SolveRequest<'a> {
     /// The formula to solve.
     pub fn formula(&self) -> &'a CnfFormula {
         self.formula
+    }
+
+    /// The assumption literals, in the order they were given.
+    pub fn requested_assumptions(&self) -> &[Literal] {
+        &self.assumptions
+    }
+
+    /// The formula with every assumption folded in as a unit clause — how a
+    /// one-shot backend honours [`SolveRequest::assumptions`].
+    pub fn formula_with_assumptions(&self) -> CnfFormula {
+        let mut augmented = self.formula.clone();
+        let max_var = self
+            .assumptions
+            .iter()
+            .map(|l| l.variable().index() + 1)
+            .max()
+            .unwrap_or(0);
+        augmented.ensure_vars(max_var);
+        for &a in &self.assumptions {
+            augmented.push_clause(Clause::from_literals([a]));
+        }
+        augmented
+    }
+
+    /// Clones this request against a different (borrowed) formula, dropping
+    /// the assumptions. Used by the backend adapters to re-enter their solve
+    /// path with the assumption-augmented formula.
+    pub(crate) fn reborrow<'b>(&self, formula: &'b CnfFormula) -> SolveRequest<'b> {
+        SolveRequest {
+            formula,
+            assumptions: Vec::new(),
+            artifacts: self.artifacts,
+            seed: self.seed,
+            budget: self.budget,
+            trace: self.trace,
+            cancel: self.cancel.clone(),
+        }
     }
 
     /// The requested artifacts.
@@ -200,6 +249,24 @@ mod tests {
         assert_eq!(request.requested_seed(), 0);
         assert!(request.requested_budget().is_unlimited());
         assert!(!request.wants_trace());
+    }
+
+    #[test]
+    fn assumptions_fold_into_unit_clauses() {
+        let f = cnf_formula![[1, 2]];
+        let a3 = Literal::from_dimacs(-3).unwrap();
+        let a1 = Literal::from_dimacs(1).unwrap();
+        let request = SolveRequest::new(&f).assumptions([a1, a3]);
+        assert_eq!(request.requested_assumptions(), &[a1, a3]);
+        let augmented = request.formula_with_assumptions();
+        // The augmented formula covers the assumption variables and carries
+        // one extra unit clause per assumption.
+        assert_eq!(augmented.num_vars(), 3);
+        assert_eq!(augmented.num_clauses(), f.num_clauses() + 2);
+        // Reborrowing against the augmented formula drops the assumptions.
+        let inner = request.reborrow(&augmented);
+        assert!(inner.requested_assumptions().is_empty());
+        assert_eq!(inner.formula(), &augmented);
     }
 
     #[test]

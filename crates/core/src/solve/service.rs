@@ -34,6 +34,19 @@
 //! job's [`NblSatError::BackendPanicked`]; the worker thread survives and the
 //! sibling jobs keep their outcomes.
 //!
+//! # Incremental sessions
+//!
+//! Next to the one-shot queue, [`SolveService::open_session`] pins a
+//! persistent [`SolveSession`] to a dedicated thread and
+//! hands back a [`SessionHandle`]: push/pop clause frames and solve under
+//! per-call assumptions, with learned clauses surviving between calls. Every
+//! session solve is charged against the same [`SharedBudget`] pool as the
+//! queued jobs and observes the service-wide abort token, so the service
+//! remains the single resource authority. A session thread that sits idle
+//! longer than [`ServiceBuilder::session_idle_timeout`] evicts itself
+//! (releasing the pinned solver); subsequent operations answer
+//! [`NblSatError::SessionClosed`].
+//!
 //! ```
 //! use cnf::cnf_formula;
 //! use nbl_sat_core::{BackendRegistry, JobPriority, SolveRequest, SolveService};
@@ -60,6 +73,7 @@ use crate::error::{NblSatError, Result};
 use crate::solve::outcome::{SolveOutcome, SolveVerdict, UnknownCause};
 use crate::solve::registry::BackendRegistry;
 use crate::solve::request::{Artifacts, SolveRequest};
+use crate::solve::session::{SessionCall, SolveSession};
 use cnf::CnfFormula;
 use std::any::Any;
 use std::collections::BinaryHeap;
@@ -67,6 +81,7 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -338,6 +353,9 @@ struct ServiceInner {
     abort: Arc<AtomicBool>,
     queue: Mutex<QueueState>,
     work_ready: Condvar,
+    /// How long a pinned session thread waits for its next operation before
+    /// evicting itself.
+    session_idle_timeout: Duration,
 }
 
 fn lock_queue(inner: &ServiceInner) -> MutexGuard<'_, QueueState> {
@@ -434,11 +452,288 @@ fn run_job(inner: &ServiceInner, job: &QueuedJob) -> Result<SolveOutcome> {
     }
 }
 
+/// One operation travelling from a [`SessionHandle`] to its pinned session
+/// thread; each carries a one-shot reply channel.
+enum SessionOp {
+    Push(CnfFormula, Sender<usize>),
+    Pop(Sender<bool>),
+    Depth(Sender<usize>),
+    Solve(Box<SessionCall>, Sender<Result<SolveOutcome>>),
+    Close,
+}
+
+/// State shared between a session handle and its thread: why the thread
+/// exited, once it has.
+struct SessionShared {
+    closed: Mutex<Option<String>>,
+}
+
+impl SessionShared {
+    fn mark_closed(&self, reason: &str) {
+        let mut closed = self.closed.lock().unwrap_or_else(PoisonError::into_inner);
+        if closed.is_none() {
+            *closed = Some(reason.to_string());
+        }
+    }
+
+    fn close_reason(&self) -> String {
+        self.closed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+            .unwrap_or_else(|| "the session channel is closed".to_string())
+    }
+
+    fn is_open(&self) -> bool {
+        self.closed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_none()
+    }
+}
+
+/// The pinned session thread: serve operations in arrival order until the
+/// handle closes, every handle is dropped, the idle timeout fires, or the
+/// backend panics mid-solve.
+fn session_loop(
+    inner: &ServiceInner,
+    shared: &SessionShared,
+    ops: &Receiver<SessionOp>,
+    mut session: SolveSession,
+) {
+    let reason = loop {
+        let op = match ops.recv_timeout(inner.session_idle_timeout) {
+            Ok(op) => op,
+            Err(RecvTimeoutError::Timeout) => break "evicted after the idle timeout",
+            Err(RecvTimeoutError::Disconnected) => break "every handle was dropped",
+        };
+        match op {
+            SessionOp::Push(formula, reply) => {
+                let _ = reply.send(session.push(&formula));
+            }
+            SessionOp::Pop(reply) => {
+                let _ = reply.send(session.pop());
+            }
+            SessionOp::Depth(reply) => {
+                let _ = reply.send(session.depth());
+            }
+            SessionOp::Solve(call, reply) => {
+                let (result, panicked) = run_session_call(inner, &mut session, &call);
+                let _ = reply.send(result);
+                if panicked {
+                    // A panicking backend may have left the solver's internal
+                    // state inconsistent; the session dies with the call.
+                    break "the session backend panicked";
+                }
+            }
+            SessionOp::Close => break "closed",
+        }
+    };
+    shared.mark_closed(reason);
+}
+
+/// Runs one session solve under the service's resource authority: answer
+/// immediately when the service is aborting or the pool is spent, otherwise
+/// solve under the pool's current slice (with the service-wide abort token
+/// chained onto the call) and charge the actual spend back. The second
+/// element reports whether the backend panicked.
+fn run_session_call(
+    inner: &ServiceInner,
+    session: &mut SolveSession,
+    call: &SessionCall,
+) -> (Result<SolveOutcome>, bool) {
+    if inner.abort.load(Ordering::Relaxed) || call.cancelled() {
+        return (Ok(cancelled_outcome()), false);
+    }
+    if let Some(resource) = inner.pool.exhausted() {
+        let mut outcome = SolveOutcome::of_verdict(SolveVerdict::Unknown(
+            UnknownCause::BudgetExhausted(resource),
+        ));
+        outcome.exhausted = Some(resource);
+        return (Ok(outcome), false);
+    }
+    let slice = inner.pool.slice(call.requested_budget());
+    let metered = call
+        .clone()
+        .budget(slice)
+        .cancel_token(Arc::clone(&inner.abort));
+    let solved = catch_unwind(AssertUnwindSafe(|| session.solve(&metered)));
+    match solved {
+        Ok(Ok(outcome)) => {
+            inner
+                .pool
+                .charge(outcome.stats.samples, outcome.stats.coprocessor_checks);
+            (Ok(outcome), false)
+        }
+        Ok(Err(error)) => (Err(error), false),
+        Err(payload) => (
+            Err(NblSatError::BackendPanicked {
+                backend: session.backend_name().to_string(),
+                message: panic_message(payload.as_ref()),
+            }),
+            true,
+        ),
+    }
+}
+
+/// A handle on one pinned incremental solving session, obtained from
+/// [`SolveService::open_session`].
+///
+/// Operations are serviced in submission order by the session's dedicated
+/// thread; [`SessionHandle::solve`] blocks until the call's outcome lands
+/// (chain a cancellation token onto the [`SessionCall`] to interrupt it from
+/// another thread). Once the session ends — [`SessionHandle::close`], idle
+/// eviction, a backend panic, or dropping the handle — every further
+/// operation answers [`NblSatError::SessionClosed`] with the reason.
+pub struct SessionHandle {
+    backend: String,
+    ops: Sender<SessionOp>,
+    shared: Arc<SessionShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("backend", &self.backend)
+            .field("open", &self.is_open())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionHandle {
+    /// The backend name the session was opened against.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Whether the session thread is still alive. A `true` answer can go
+    /// stale (the idle timeout may fire right after); a `false` answer is
+    /// definitive.
+    pub fn is_open(&self) -> bool {
+        self.shared.is_open()
+    }
+
+    fn closed_error(&self) -> NblSatError {
+        NblSatError::SessionClosed {
+            reason: self.shared.close_reason(),
+        }
+    }
+
+    /// Sends one operation and blocks for its reply.
+    fn roundtrip<T>(&self, op: SessionOp, reply: Receiver<T>) -> Result<T> {
+        self.ops.send(op).map_err(|_| self.closed_error())?;
+        reply.recv().map_err(|_| self.closed_error())
+    }
+
+    /// Pushes a frame of clauses; returns the new push depth (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::SessionClosed`] once the session ended.
+    pub fn push(&self, formula: &CnfFormula) -> Result<usize> {
+        let (tx, rx) = mpsc::channel();
+        self.roundtrip(SessionOp::Push(formula.clone(), tx), rx)
+    }
+
+    /// Pops the most recent frame; `false` when no frame is open.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::SessionClosed`] once the session ended.
+    pub fn pop(&self) -> Result<bool> {
+        let (tx, rx) = mpsc::channel();
+        self.roundtrip(SessionOp::Pop(tx), rx)
+    }
+
+    /// The number of currently open frames.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::SessionClosed`] once the session ended.
+    pub fn depth(&self) -> Result<usize> {
+        let (tx, rx) = mpsc::channel();
+        self.roundtrip(SessionOp::Depth(tx), rx)
+    }
+
+    /// Solves the pushed clauses under the call's assumptions, blocking until
+    /// the outcome lands. The call's budget is sliced against the service's
+    /// [`SharedBudget`] pool and the actual spend charged back, exactly like
+    /// a queued job.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::SessionClosed`] once the session ended;
+    /// [`NblSatError::BackendPanicked`] when the solver panicked (which also
+    /// closes the session).
+    pub fn solve(&self, call: &SessionCall) -> Result<SolveOutcome> {
+        self.start_solve(call)?.wait()
+    }
+
+    /// Enqueues a solve without blocking on it: the returned
+    /// [`SessionSolve`] ticket is redeemed with [`SessionSolve::wait`]
+    /// (possibly on another thread). Operations sent after this one queue
+    /// behind the solve in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::SessionClosed`] once the session ended.
+    pub fn start_solve(&self, call: &SessionCall) -> Result<SessionSolve> {
+        let (tx, rx) = mpsc::channel();
+        self.ops
+            .send(SessionOp::Solve(Box::new(call.clone()), tx))
+            .map_err(|_| self.closed_error())?;
+        Ok(SessionSolve {
+            reply: rx,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Closes the session gracefully and joins its thread. Dropping the
+    /// handle closes the session too (the thread notices the disconnected
+    /// channel), but without the join.
+    pub fn close(mut self) {
+        let _ = self.ops.send(SessionOp::Close);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A pending session solve started with [`SessionHandle::start_solve`];
+/// redeem it with [`SessionSolve::wait`].
+pub struct SessionSolve {
+    reply: Receiver<Result<SolveOutcome>>,
+    shared: Arc<SessionShared>,
+}
+
+impl fmt::Debug for SessionSolve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionSolve").finish_non_exhaustive()
+    }
+}
+
+impl SessionSolve {
+    /// Blocks until the solve's outcome lands.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::SessionClosed`] when the session died before answering
+    /// (eviction racing the solve, or the service tearing down); otherwise
+    /// exactly what [`SessionHandle::solve`] would have returned.
+    pub fn wait(self) -> Result<SolveOutcome> {
+        self.reply.recv().map_err(|_| NblSatError::SessionClosed {
+            reason: self.shared.close_reason(),
+        })?
+    }
+}
+
 /// Configures and starts a [`SolveService`].
 pub struct ServiceBuilder {
     registry: BackendRegistry,
     workers: usize,
     budget: Budget,
+    session_idle_timeout: Duration,
 }
 
 impl fmt::Debug for ServiceBuilder {
@@ -446,6 +741,7 @@ impl fmt::Debug for ServiceBuilder {
         f.debug_struct("ServiceBuilder")
             .field("workers", &self.workers)
             .field("budget", &self.budget)
+            .field("session_idle_timeout", &self.session_idle_timeout)
             .finish_non_exhaustive()
     }
 }
@@ -466,6 +762,15 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets how long a session thread opened through
+    /// [`SolveService::open_session`] waits for its next operation before
+    /// evicting itself and releasing the pinned solver. Defaults to five
+    /// minutes.
+    pub fn session_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.session_idle_timeout = timeout;
+        self
+    }
+
     /// Spawns the worker threads and starts the service. The shared budget's
     /// wall-clock deadline is fixed now.
     pub fn start(self) -> SolveService {
@@ -478,6 +783,7 @@ impl ServiceBuilder {
                 closed: false,
             }),
             work_ready: Condvar::new(),
+            session_idle_timeout: self.session_idle_timeout,
         });
         let workers: Vec<JoinHandle<()>> = (0..self.workers)
             .map(|_| {
@@ -546,6 +852,7 @@ impl SolveService {
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
             budget: Budget::unlimited(),
+            session_idle_timeout: Duration::from_secs(300),
         }
     }
 
@@ -620,6 +927,38 @@ impl SolveService {
         }
         self.inner.work_ready.notify_one();
         handle
+    }
+
+    /// Opens a persistent incremental solving session against `backend`,
+    /// pinned to its own dedicated thread (separate from the one-shot worker
+    /// pool, so a long-lived session never starves queued jobs). The session
+    /// shares the service's budget pool and abort token; it evicts itself
+    /// after [`ServiceBuilder::session_idle_timeout`] without an operation.
+    ///
+    /// # Errors
+    ///
+    /// [`NblSatError::UnknownBackend`] when `backend` has no registered
+    /// session factory, [`NblSatError::ServiceStopped`] after
+    /// [`SolveService::shutdown`] or [`SolveService::abort`].
+    pub fn open_session(&self, backend: &str) -> Result<SessionHandle> {
+        if !self.is_accepting() {
+            return Err(NblSatError::ServiceStopped);
+        }
+        let session = self.inner.registry.open_session(backend)?;
+        let (ops, receiver) = mpsc::channel();
+        let shared = Arc::new(SessionShared {
+            closed: Mutex::new(None),
+        });
+        let inner = Arc::clone(&self.inner);
+        let thread_shared = Arc::clone(&shared);
+        let thread =
+            thread::spawn(move || session_loop(&inner, &thread_shared, &receiver, session));
+        Ok(SessionHandle {
+            backend: backend.to_string(),
+            ops,
+            shared,
+            thread: Some(thread),
+        })
     }
 
     /// Number of worker threads the service was started with.
@@ -957,6 +1296,126 @@ mod tests {
             outcome.verdict
         );
         assert!(started.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn session_coexists_with_the_one_shot_queue() {
+        use cnf::{cnf_formula, Literal};
+        let lit = |i: i64| Literal::from_dimacs(i).unwrap();
+        let service = service(2);
+        let session = service.open_session("cdcl").expect("open session");
+        assert_eq!(session.backend(), "cdcl");
+        assert!(session.is_open());
+        assert_eq!(session.push(&cnf_formula![[1, 2], [-1, 2]]).unwrap(), 1);
+        assert_eq!(session.depth().unwrap(), 1);
+
+        // A one-shot job runs through the worker pool while the session is
+        // pinned to its own thread.
+        let sat = generators::example6_sat();
+        let job = service.submit("cdcl", &SolveRequest::new(&sat));
+
+        let unsat = session
+            .solve(&crate::SessionCall::new().assumptions([lit(-2)]))
+            .unwrap();
+        assert!(unsat.verdict.is_unsat());
+        assert_eq!(
+            unsat.failed_assumptions.as_deref(),
+            Some([lit(-2)].as_slice())
+        );
+        let sat_call = session
+            .solve(&crate::SessionCall::new().assumptions([lit(1)]))
+            .unwrap();
+        assert!(sat_call.verdict.is_sat());
+        assert!(job.wait().unwrap().verdict.is_sat());
+
+        assert!(session.pop().unwrap());
+        assert_eq!(session.depth().unwrap(), 0);
+        session.close();
+        service.shutdown();
+    }
+
+    #[test]
+    fn idle_session_is_evicted_and_answers_session_closed() {
+        let service = SolveService::builder(&BackendRegistry::default())
+            .workers(1)
+            .session_idle_timeout(Duration::from_millis(20))
+            .start();
+        let session = service.open_session("cdcl").expect("open session");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while session.is_open() {
+            assert!(Instant::now() < deadline, "session never evicted");
+            thread::sleep(Duration::from_millis(5));
+        }
+        let err = session.push(&generators::example6_sat()).unwrap_err();
+        assert!(
+            matches!(&err, NblSatError::SessionClosed { reason } if reason.contains("idle")),
+            "unexpected {err:?}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn open_session_rejects_unknown_backends_and_stopped_services() {
+        let service = service(1);
+        assert!(matches!(
+            service.open_session("walksat").unwrap_err(),
+            NblSatError::UnknownBackend(name) if name == "walksat"
+        ));
+        service.shutdown();
+        assert!(matches!(
+            service.open_session("cdcl").unwrap_err(),
+            NblSatError::ServiceStopped
+        ));
+    }
+
+    #[test]
+    fn abort_interrupts_a_running_session_solve() {
+        let service = service(1);
+        let session = service.open_session("cdcl").expect("open session");
+        session.push(&generators::pigeonhole(8, 7)).unwrap();
+        let started = Instant::now();
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                thread::sleep(Duration::from_millis(50));
+                service.abort();
+            });
+            let outcome = session.solve(&crate::SessionCall::new()).unwrap();
+            assert!(
+                outcome.verdict.is_cancelled() || outcome.verdict.is_definitive(),
+                "unexpected {:?}",
+                outcome.verdict
+            );
+        });
+        assert!(started.elapsed() < Duration::from_secs(30));
+        // After the abort token is raised, further session solves answer
+        // cancelled without running.
+        let outcome = session.solve(&crate::SessionCall::new()).unwrap();
+        assert!(outcome.verdict.is_cancelled());
+        session.close();
+    }
+
+    #[test]
+    fn session_solves_are_charged_against_the_shared_pool() {
+        let service = SolveService::builder(&BackendRegistry::default())
+            .workers(1)
+            .shared_budget(Budget::unlimited().with_wall_time(Duration::ZERO))
+            .start();
+        let session = service.open_session("cdcl").expect("open session");
+        session.push(&generators::example6_sat()).unwrap();
+        let outcome = session.solve(&crate::SessionCall::new()).unwrap();
+        assert_eq!(
+            outcome.verdict.exhausted_resource(),
+            Some(ExhaustedResource::WallClock)
+        );
+        // Refilling the pool revives the session, like a queued job.
+        service.extend_deadline(Duration::from_secs(3600));
+        assert!(session
+            .solve(&crate::SessionCall::new())
+            .unwrap()
+            .verdict
+            .is_sat());
+        session.close();
+        service.shutdown();
     }
 
     #[test]

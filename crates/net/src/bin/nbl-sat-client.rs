@@ -3,6 +3,7 @@
 //! ```text
 //! nbl-sat-client [--addr HOST:PORT] [--backend NAME] [--seed N]
 //!                [--wall-ms N] [--samples N] [--checks N]
+//!                [--session] [--assume L1,L2,...]
 //!                [--shutdown] [FILE.cnf]
 //! ```
 //!
@@ -12,6 +13,13 @@
 //! SATISFIABLE, 20 for UNSATISFIABLE, 0 for UNKNOWN. With `--shutdown` the
 //! server is asked to drain and exit after the solve (or immediately when no
 //! file is given).
+//!
+//! With `--session` the file is solved through the incremental `SESSION`
+//! extension instead of a one-shot `SOLVE`: the client probes `HELLO`,
+//! opens a session, pushes the file as one clause frame, solves it under
+//! the `--assume` literals (UNSAT answers also print the failed-assumption
+//! core as an `f`-line), then pops the frame and closes the session — a
+//! full `OPEN → ADDCLAUSES → ASSUME → POP → CLOSE` round trip.
 
 use nbl_net::{NblSatClient, SolveFrame, WireArtifacts, WireVerdict};
 use std::time::Duration;
@@ -22,7 +30,8 @@ const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 fn usage() -> ! {
     eprintln!(
         "usage: nbl-sat-client [--addr HOST:PORT] [--backend NAME] [--seed N] \
-         [--wall-ms N] [--samples N] [--checks N] [--shutdown] [FILE.cnf]"
+         [--wall-ms N] [--samples N] [--checks N] [--session] [--assume L1,L2,...] \
+         [--shutdown] [FILE.cnf]"
     );
     std::process::exit(2);
 }
@@ -46,6 +55,8 @@ fn run() -> i32 {
     let mut samples = None;
     let mut checks = None;
     let mut shutdown = false;
+    let mut session = false;
+    let mut assumptions: Vec<i64> = Vec::new();
     let mut file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +73,18 @@ fn run() -> i32 {
             "--wall-ms" => wall_ms = Some(parse_u64_arg(args.next())),
             "--samples" => samples = Some(parse_u64_arg(args.next())),
             "--checks" => checks = Some(parse_u64_arg(args.next())),
+            "--session" => session = true,
+            "--assume" => match args.next() {
+                Some(value) => {
+                    for token in value.split(',').filter(|t| !t.is_empty()) {
+                        match token.parse::<i64>() {
+                            Ok(lit) if lit != 0 => assumptions.push(lit),
+                            _ => usage(),
+                        }
+                    }
+                }
+                None => usage(),
+            },
             "--shutdown" => shutdown = true,
             "--help" | "-h" => usage(),
             _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
@@ -86,6 +109,17 @@ fn run() -> i32 {
                 return 1;
             }
         };
+        if session {
+            let exit = run_session(&client, &addr, &backend, &dimacs, &assumptions);
+            if shutdown {
+                if let Err(e) = client.shutdown_server() {
+                    eprintln!("nbl-sat-client: shutdown failed: {e}");
+                } else {
+                    println!("c server acknowledged shutdown");
+                }
+            }
+            return exit;
+        }
         println!("c solving {path} remotely on {addr} with backend {backend}");
         let mut frame = SolveFrame::new(&backend, &dimacs);
         frame.seed = seed;
@@ -134,4 +168,72 @@ fn run() -> i32 {
         }
     }
     exit
+}
+
+/// Solves `dimacs` through a full incremental round trip:
+/// `HELLO` → `SESSION OPEN` → `ADDCLAUSES` → `ASSUME` → `POP` → `CLOSE`.
+fn run_session(
+    client: &NblSatClient,
+    addr: &str,
+    backend: &str,
+    dimacs: &str,
+    assumptions: &[i64],
+) -> i32 {
+    macro_rules! try_net {
+        ($step:literal, $expr:expr) => {
+            match $expr {
+                Ok(value) => value,
+                Err(e) => {
+                    eprintln!("nbl-sat-client: {}: {e}", $step);
+                    return 1;
+                }
+            }
+        };
+    }
+    match try_net!("hello", client.hello()) {
+        true => println!("c {addr} speaks the SESSION extension"),
+        false => {
+            eprintln!("nbl-sat-client: {addr} does not support sessions");
+            return 1;
+        }
+    }
+    let session = try_net!("open session", client.open_session(backend));
+    println!("c session {} open on backend {backend}", session.id());
+    let depth = try_net!("push clauses", session.add_clauses(dimacs));
+    println!("c pushed one clause frame, depth {depth}");
+    print!("c assuming");
+    for lit in assumptions {
+        print!(" {lit}");
+    }
+    println!();
+    let job = try_net!("queue assume", session.assume(assumptions));
+    println!("c queued as job {}", job.id());
+    let outcome = try_net!("wait", job.wait());
+    match outcome.verdict {
+        WireVerdict::Satisfiable => println!("s SATISFIABLE"),
+        WireVerdict::Unsatisfiable => println!("s UNSATISFIABLE"),
+        WireVerdict::Unknown(cause) => {
+            println!("c verdict cause: {cause:?}");
+            println!("s UNKNOWN");
+        }
+    }
+    if let Some(model) = &outcome.model {
+        print!("v");
+        for lit in model {
+            print!(" {lit}");
+        }
+        println!(" 0");
+    }
+    if let Some(core) = &outcome.failed {
+        print!("f");
+        for lit in core {
+            print!(" {lit}");
+        }
+        println!(" 0");
+    }
+    let depth = try_net!("pop", session.pop());
+    println!("c popped back to depth {depth}");
+    try_net!("close", session.close());
+    println!("c session closed");
+    outcome.verdict.exit_code()
 }

@@ -70,6 +70,10 @@ pub struct RemoteOutcome {
     pub model: Option<Vec<i64>>,
     /// The job's `STATS` counters, when the `SOLVE` asked `stats=true`.
     pub stats: Option<WireStats>,
+    /// The `f`-line's failed-assumption core (DIMACS-signed), when a
+    /// `SESSION ASSUME` answered UNSAT under its assumptions. An empty
+    /// vector means the session's clause database is UNSAT on its own.
+    pub failed: Option<Vec<i64>>,
     /// 0-based rank of this completion among all completions this connection
     /// has received — lets callers observe out-of-order completion.
     pub arrival: u64,
@@ -95,6 +99,14 @@ struct ClientState {
     staged_models: HashMap<u64, Vec<i64>>,
     /// `STATS` counters staged until the job's `RESULT` lands.
     staged_stats: HashMap<u64, WireStats>,
+    /// Failed-assumption cores staged until the job's `RESULT` lands.
+    staged_failed: HashMap<u64, Vec<i64>>,
+    /// `SESSIONOK` acks as `(session, depth)`, FIFO — like `queued`, exact
+    /// pairing holds because session requests are serialised under the
+    /// request lock.
+    session_oks: VecDeque<(u64, u64)>,
+    /// `CAPS` replies (the `sessions` flag), FIFO.
+    caps: VecDeque<bool>,
     /// `INFO` replies, by job id.
     infos: HashMap<u64, VecDeque<WireJobStatus>>,
     /// Job-scoped `ERR` frames, by job id.
@@ -387,6 +399,67 @@ impl NblSatClient {
         })
     }
 
+    /// Capability probe: sends `HELLO`, blocks for `CAPS`, and returns
+    /// whether the server speaks the `SESSION` extension. Servers predating
+    /// `HELLO` answer `ERR -`, which surfaces as `Ok(false)` — so this is
+    /// safe to use as a feature probe against any protocol generation.
+    pub fn hello(&self) -> Result<bool, NetError> {
+        let _serialised = self
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.send(&Frame::Hello)?;
+        self.shared.wait_for(self.read_timeout, |state| {
+            if let Some(sessions) = state.caps.pop_front() {
+                return Some(Ok(sessions));
+            }
+            state.connection_errors.pop_front().map(|_| Ok(false))
+        })
+    }
+
+    /// Opens an incremental solving session pinned to `backend` on the
+    /// server; blocks for the `SESSIONOK` ack that assigns the session id.
+    pub fn open_session(&self, backend: &str) -> Result<RemoteSession<'_>, NetError> {
+        let _serialised = self
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.send(&Frame::SessionOpen {
+            backend: backend.to_owned(),
+        })?;
+        let (id, _depth) = self.shared.wait_for(self.read_timeout, |state| {
+            if let Some(ack) = state.session_oks.pop_front() {
+                return Some(Ok(ack));
+            }
+            state
+                .connection_errors
+                .pop_front()
+                .map(|message| Err(NetError::Remote(message)))
+        })?;
+        Ok(RemoteSession { client: self, id })
+    }
+
+    /// Blocks for the `SESSIONOK` ack of a session operation and returns the
+    /// acked depth. Callers hold the request lock, so FIFO pairing is exact;
+    /// the session id is still verified defensively.
+    fn wait_session_ok(&self, session: u64) -> Result<u64, NetError> {
+        self.shared.wait_for(self.read_timeout, |state| {
+            if let Some((sid, depth)) = state.session_oks.pop_front() {
+                return Some(if sid == session {
+                    Ok(depth)
+                } else {
+                    Err(NetError::Remote(format!(
+                        "SESSIONOK for unexpected session {sid}"
+                    )))
+                });
+            }
+            state
+                .connection_errors
+                .pop_front()
+                .map(|message| Err(NetError::Remote(message)))
+        })
+    }
+
     /// Pops the oldest unconsumed connection-scoped `ERR -` message, if any.
     pub fn take_connection_error(&self) -> Option<String> {
         self.shared.lock().connection_errors.pop_front()
@@ -494,6 +567,129 @@ impl RemoteJob<'_> {
     }
 }
 
+/// A handle on one incremental solving session of a [`NblSatClient`]
+/// connection, mirroring the in-process
+/// [`SessionHandle`](nbl_sat_core::SessionHandle) over the wire.
+///
+/// Clause pushes and pops are blocking round-trips ([`SESSIONOK` acks
+/// carry the new depth), while [`RemoteSession::assume`] queues a solve and
+/// hands back a [`RemoteJob`] ticket like [`NblSatClient::submit`] does —
+/// so a slow solve never blocks interleaved one-shot traffic. Dropping the
+/// handle without [`RemoteSession::close`] leaves the session open on the
+/// server until the connection closes.
+///
+/// ```no_run
+/// use nbl_net::NblSatClient;
+///
+/// let client = NblSatClient::connect("127.0.0.1:7878")?;
+/// let session = client.open_session("cdcl")?;
+/// session.add_clauses("1 2 0\n-1 -2 0\n")?;
+/// let outcome = session.assume(&[1])?.wait()?;
+/// assert!(outcome.verdict.is_sat());
+/// session.close()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct RemoteSession<'a> {
+    client: &'a NblSatClient,
+    id: u64,
+}
+
+impl<'a> RemoteSession<'a> {
+    /// The server-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Pushes one frame of clauses (raw DIMACS clause lines; the `p cnf`
+    /// header is optional) and returns the session's new push depth.
+    pub fn add_clauses(&self, dimacs: &str) -> Result<u64, NetError> {
+        let _serialised = self
+            .client
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.client.send(&Frame::SessionAddClauses {
+            session: self.id,
+            body: dimacs.lines().map(str::to_owned).collect(),
+        })?;
+        self.client.wait_session_ok(self.id)
+    }
+
+    /// Queues a solve of the session under the given DIMACS-signed assumption
+    /// literals with no per-call budget caps; blocks only for the `QUEUED`
+    /// ack. The outcome's [`RemoteOutcome::failed`] carries the
+    /// failed-assumption core on UNSAT answers.
+    pub fn assume(&self, literals: &[i64]) -> Result<RemoteJob<'a>, NetError> {
+        self.assume_with_budget(literals, None, None, None)
+    }
+
+    /// [`RemoteSession::assume`] with per-call budget caps (wall-clock
+    /// milliseconds, noise samples, coprocessor checks).
+    pub fn assume_with_budget(
+        &self,
+        literals: &[i64],
+        wall_ms: Option<u64>,
+        max_samples: Option<u64>,
+        max_checks: Option<u64>,
+    ) -> Result<RemoteJob<'a>, NetError> {
+        let _serialised = self
+            .client
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.client.send(&Frame::SessionAssume {
+            session: self.id,
+            literals: literals.to_vec(),
+            wall_ms,
+            max_samples,
+            max_checks,
+        })?;
+        let id = self
+            .client
+            .shared
+            .wait_for(self.client.read_timeout, |state| {
+                if let Some(id) = state.queued.pop_front() {
+                    return Some(Ok(id));
+                }
+                state
+                    .connection_errors
+                    .pop_front()
+                    .map(|message| Err(NetError::Remote(message)))
+            })?;
+        Ok(RemoteJob {
+            client: self.client,
+            id,
+        })
+    }
+
+    /// Pops the most recent clause frame and returns the new depth. Popping
+    /// an empty session is a remote error.
+    pub fn pop(&self) -> Result<u64, NetError> {
+        let _serialised = self
+            .client
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.client.send(&Frame::SessionPop { session: self.id })?;
+        self.client.wait_session_ok(self.id)
+    }
+
+    /// Closes the session, releasing its pinned solver on the server; blocks
+    /// for the ack. A still-running `assume` of this session finishes (and
+    /// its completion streams) before the ack arrives.
+    pub fn close(self) -> Result<(), NetError> {
+        let _serialised = self
+            .client
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.client
+            .send(&Frame::SessionClose { session: self.id })?;
+        self.client.wait_session_ok(self.id).map(|_depth| ())
+    }
+}
+
 /// Opens the TCP stream, trying every resolved address; with a timeout each
 /// handshake attempt is individually bounded.
 fn open_stream<A: ToSocketAddrs>(
@@ -552,6 +748,7 @@ fn reader_loop(stream: TcpStream, shared: &ClientShared) {
             Frame::Result { job, verdict } => {
                 let model = state.staged_models.remove(&job);
                 let stats = state.staged_stats.remove(&job);
+                let failed = state.staged_failed.remove(&job);
                 let arrival = state.arrivals;
                 state.arrivals += 1;
                 state.outcomes.insert(
@@ -560,13 +757,21 @@ fn reader_loop(stream: TcpStream, shared: &ClientShared) {
                         verdict,
                         model,
                         stats,
+                        failed,
                         arrival,
                     },
                 );
             }
+            Frame::FailedAssumptions { job, literals } => {
+                state.staged_failed.insert(job, literals);
+            }
             Frame::Info { job, status } => {
                 state.infos.entry(job).or_default().push_back(status);
             }
+            Frame::SessionOk { session, depth } => {
+                state.session_oks.push_back((session, depth));
+            }
+            Frame::Caps { sessions } => state.caps.push_back(sessions),
             Frame::Pong => state.control.push_back(ControlReply::Pong),
             Frame::OkRefill => state.control.push_back(ControlReply::OkRefill),
             Frame::Bye => state.control.push_back(ControlReply::Bye),
@@ -586,6 +791,12 @@ fn reader_loop(stream: TcpStream, shared: &ClientShared) {
             | Frame::Status { .. }
             | Frame::Refill { .. }
             | Frame::Ping
+            | Frame::Hello
+            | Frame::SessionOpen { .. }
+            | Frame::SessionAddClauses { .. }
+            | Frame::SessionAssume { .. }
+            | Frame::SessionPop { .. }
+            | Frame::SessionClose { .. }
             | Frame::Shutdown => {}
         }
         shared.changed.notify_all();

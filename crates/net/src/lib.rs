@@ -19,6 +19,12 @@
 //!   reader demultiplexes the response stream into per-job mailboxes
 //!   ([`RemoteJob`] tickets), usable from many threads over one connection.
 //!
+//! The protocol also speaks IPASIR-style *incremental sessions*: `SESSION
+//! OPEN/ADDCLAUSES/ASSUME/POP/CLOSE` verbs pin one solver per session on the
+//! server ([`nbl_sat_core::SessionHandle`]) and [`RemoteSession`] drives it
+//! from the client, with failed-assumption cores streamed back as `f`-lines.
+//! `HELLO` → `CAPS` lets clients probe for the extension before using it.
+//!
 //! The `nbl-satd` and `nbl-sat-client` binaries in `src/bin/` wrap the two
 //! ends into runnable processes; both follow the SAT-competition exit-code
 //! convention (10 satisfiable, 20 unsatisfiable, 0 unknown).
@@ -41,7 +47,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ClientConfig, NblSatClient, NetError, RemoteJob, RemoteOutcome};
+pub use client::{ClientConfig, NblSatClient, NetError, RemoteJob, RemoteOutcome, RemoteSession};
 pub use protocol::{
     Frame, ProtocolError, SolveFrame, WireArtifacts, WireCause, WireJobStatus, WirePriority,
     WireStats, WireVerdict, MAX_BODY_LINES, MAX_LINE_BYTES,

@@ -18,27 +18,55 @@
 //! STATUS <job-id>
 //! REFILL [samples=<u64>] [checks=<u64>] [wall-ms=<u64>]     (at least one key)
 //! PING
+//! HELLO
 //! SHUTDOWN
+//! SESSION OPEN backend=<name>
+//! SESSION ADDCLAUSES <session-id> body-lines=<n>
+//! <n raw DIMACS lines>
+//! SESSION ASSUME <session-id> [lits=<l1,l2,...>] [wall-ms=<u64>]
+//!         [samples=<u64>] [checks=<u64>]
+//! SESSION POP <session-id>
+//! SESSION CLOSE <session-id>
 //! ```
 //!
 //! (The `SOLVE` header is a single line; it is wrapped above for readability.
-//! `body-lines` is mandatory and must be the last key.)
+//! `body-lines` is mandatory and must be the last key. The same rule applies
+//! to `SESSION ADDCLAUSES`. `SESSION ASSUME` literals are DIMACS-signed,
+//! comma-separated, never zero; an absent `lits` key means no assumptions.)
 //!
 //! Server → client:
 //!
 //! ```text
 //! QUEUED <job-id>
 //! v <job-id> [<lit> ...] 0
+//! f <job-id> [<lit> ...] 0
 //! STATS <job-id> decisions=<u64> conflicts=<u64> propagations=<u64>
 //!       restarts=<u64> learned=<u64> tried=<u64> flips=<u64> checks=<u64>
 //!       samples=<u64> wall-us=<u64>
 //! RESULT <job-id> s <SATISFIABLE|UNSATISFIABLE|UNKNOWN <cause>>
 //! INFO <job-id> <queued|running|finished>
+//! SESSIONOK <session-id> depth=<u64>
+//! CAPS sessions=<true|false>
 //! OK refill
 //! PONG
 //! BYE
 //! ERR <job-id|-> <message>
 //! ```
+//!
+//! # Incremental sessions
+//!
+//! `SESSION OPEN` pins a persistent incremental solver to the connection and
+//! answers `SESSIONOK` with the server-assigned session id. `ADDCLAUSES`
+//! pushes a frame of clauses (acked by `SESSIONOK` carrying the new depth),
+//! `POP` retracts the most recent frame, `CLOSE` releases the solver.
+//! `ASSUME` queues one solve under the given assumption literals and is
+//! answered like `SOLVE`: a `QUEUED` ack (session jobs draw ids from a
+//! dedicated high range so they never collide with one-shot jobs), then the
+//! completion group — the model `v`-line when satisfiable, the
+//! failed-assumption-core `f`-line when unsatisfiable under assumptions
+//! (empty core = the clause database itself is unsatisfiable), then
+//! `RESULT`. `HELLO` lets a client probe whether the server speaks this
+//! extension before relying on it (`CAPS sessions=true`).
 //!
 //! A job's model `v`-line (present only when the job requested
 //! `artifacts=model` and was satisfiable) and its `STATS` line (present only
@@ -487,8 +515,47 @@ pub enum Frame {
     },
     /// Client: liveness probe.
     Ping,
+    /// Client: capability probe, answered by `CAPS`.
+    Hello,
     /// Client: wind the server down gracefully (drain, then exit).
     Shutdown,
+    /// Client: open an incremental solving session.
+    SessionOpen {
+        /// Registry name of the incremental backend to pin.
+        backend: String,
+    },
+    /// Client: push a frame of clauses into a session; the header line
+    /// announces how many raw DIMACS body lines follow, like `SOLVE`.
+    SessionAddClauses {
+        /// The session to push into.
+        session: u64,
+        /// The DIMACS body, one entry per raw line.
+        body: Vec<String>,
+    },
+    /// Client: solve a session under assumption literals. Queued like
+    /// `SOLVE`; the completion frames reference the `QUEUED` job id.
+    SessionAssume {
+        /// The session to solve.
+        session: u64,
+        /// DIMACS-signed assumption literals, in decision order (never 0).
+        literals: Vec<i64>,
+        /// Wall-clock budget cap in milliseconds for this call, if any.
+        wall_ms: Option<u64>,
+        /// Noise-sample budget cap for this call, if any.
+        max_samples: Option<u64>,
+        /// Coprocessor-check budget cap for this call, if any.
+        max_checks: Option<u64>,
+    },
+    /// Client: pop the most recent clause frame of a session.
+    SessionPop {
+        /// The session to pop.
+        session: u64,
+    },
+    /// Client: close a session, releasing its pinned solver.
+    SessionClose {
+        /// The session to close.
+        session: u64,
+    },
     /// Server: the job was accepted under this id.
     Queued {
         /// The service-assigned job id.
@@ -516,12 +583,34 @@ pub enum Frame {
         /// Its verdict.
         verdict: WireVerdict,
     },
+    /// Server: an UNSAT-under-assumptions job's failed-assumption core
+    /// (precedes its `RESULT`). An empty core means the session's clause
+    /// database is unsatisfiable on its own.
+    FailedAssumptions {
+        /// The job the core belongs to.
+        job: u64,
+        /// DIMACS-signed assumption literals, without the terminating `0`.
+        literals: Vec<i64>,
+    },
     /// Server: answer to `STATUS`.
     Info {
         /// The queried job.
         job: u64,
         /// Its lifecycle stage.
         status: WireJobStatus,
+    },
+    /// Server: a session operation was applied; reports the session's
+    /// current push depth.
+    SessionOk {
+        /// The session the acknowledged operation targeted.
+        session: u64,
+        /// The session's push depth after the operation.
+        depth: u64,
+    },
+    /// Server: capability summary answering `HELLO`.
+    Caps {
+        /// Whether the server speaks the `SESSION` extension.
+        sessions: bool,
     },
     /// Server: `REFILL` was applied.
     OkRefill,
@@ -594,7 +683,55 @@ impl Frame {
                 out.push('\n');
             }
             Frame::Ping => out.push_str("PING\n"),
+            Frame::Hello => out.push_str("HELLO\n"),
             Frame::Shutdown => out.push_str("SHUTDOWN\n"),
+            Frame::SessionOpen { backend } => {
+                let _ = writeln!(out, "SESSION OPEN backend={backend}");
+            }
+            Frame::SessionAddClauses { session, body } => {
+                let _ = writeln!(
+                    out,
+                    "SESSION ADDCLAUSES {session} body-lines={}",
+                    body.len()
+                );
+                for line in body {
+                    let _ = writeln!(out, "{line}");
+                }
+            }
+            Frame::SessionAssume {
+                session,
+                literals,
+                wall_ms,
+                max_samples,
+                max_checks,
+            } => {
+                let _ = write!(out, "SESSION ASSUME {session}");
+                if !literals.is_empty() {
+                    let _ = write!(out, " lits=");
+                    for (index, lit) in literals.iter().enumerate() {
+                        if index > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{lit}");
+                    }
+                }
+                if let Some(ms) = wall_ms {
+                    let _ = write!(out, " wall-ms={ms}");
+                }
+                if let Some(samples) = max_samples {
+                    let _ = write!(out, " samples={samples}");
+                }
+                if let Some(checks) = max_checks {
+                    let _ = write!(out, " checks={checks}");
+                }
+                out.push('\n');
+            }
+            Frame::SessionPop { session } => {
+                let _ = writeln!(out, "SESSION POP {session}");
+            }
+            Frame::SessionClose { session } => {
+                let _ = writeln!(out, "SESSION CLOSE {session}");
+            }
             Frame::Queued { job } => {
                 let _ = writeln!(out, "QUEUED {job}");
             }
@@ -625,8 +762,21 @@ impl Frame {
             Frame::Result { job, verdict } => {
                 let _ = writeln!(out, "RESULT {job} {verdict}");
             }
+            Frame::FailedAssumptions { job, literals } => {
+                let _ = write!(out, "f {job}");
+                for lit in literals {
+                    let _ = write!(out, " {lit}");
+                }
+                out.push_str(" 0\n");
+            }
             Frame::Info { job, status } => {
                 let _ = writeln!(out, "INFO {job} {}", status.token());
+            }
+            Frame::SessionOk { session, depth } => {
+                let _ = writeln!(out, "SESSIONOK {session} depth={depth}");
+            }
+            Frame::Caps { sessions } => {
+                let _ = writeln!(out, "CAPS sessions={sessions}");
             }
             Frame::OkRefill => out.push_str("OK refill\n"),
             Frame::Pong => out.push_str("PONG\n"),
@@ -800,10 +950,15 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
             expect_end(tokens, "PING")?;
             Frame::Ping
         }
+        "HELLO" => {
+            expect_end(tokens, "HELLO")?;
+            Frame::Hello
+        }
         "SHUTDOWN" => {
             expect_end(tokens, "SHUTDOWN")?;
             Frame::Shutdown
         }
+        "SESSION" => return parse_session(tokens, reader).map(Some),
         "QUEUED" => {
             let job = parse_u64(
                 tokens
@@ -834,6 +989,63 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
             }
             expect_end(tokens, "the v-line terminator")?;
             Frame::Model { job, literals }
+        }
+        "f" => {
+            let job = parse_u64(
+                tokens.next().ok_or_else(|| malformed("f needs a job id"))?,
+                "job id",
+            )?;
+            let mut literals = Vec::new();
+            let mut terminated = false;
+            for token in tokens.by_ref() {
+                let lit = parse_i64(token)?;
+                if lit == 0 {
+                    terminated = true;
+                    break;
+                }
+                literals.push(lit);
+            }
+            if !terminated {
+                return Err(malformed("f-line missing terminating 0"));
+            }
+            expect_end(tokens, "the f-line terminator")?;
+            Frame::FailedAssumptions { job, literals }
+        }
+        "SESSIONOK" => {
+            let session = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("SESSIONOK needs a session id"))?,
+                "session id",
+            )?;
+            let (key, value) = split_key_value(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("SESSIONOK needs a depth key"))?,
+            )?;
+            if key != "depth" {
+                return Err(malformed(format!("unknown SESSIONOK key '{key}'")));
+            }
+            let depth = parse_u64(value, key)?;
+            expect_end(tokens, "SESSIONOK")?;
+            Frame::SessionOk { session, depth }
+        }
+        "CAPS" => {
+            let (key, value) = split_key_value(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("CAPS needs a sessions key"))?,
+            )?;
+            if key != "sessions" {
+                return Err(malformed(format!("unknown CAPS key '{key}'")));
+            }
+            let sessions = match value {
+                "true" => true,
+                "false" => false,
+                other => return Err(malformed(format!("invalid sessions value '{other}'"))),
+            };
+            expect_end(tokens, "CAPS")?;
+            Frame::Caps { sessions }
         }
         "STATS" => {
             let job = parse_u64(
@@ -1047,6 +1259,136 @@ fn parse_solve<'a, R: BufRead, I: Iterator<Item = &'a str>>(
     }))
 }
 
+/// Parses the comma-separated DIMACS literals of a `lits=` value.
+fn parse_lit_list(value: &str) -> Result<Vec<i64>, ProtocolError> {
+    let mut literals = Vec::new();
+    for token in value.split(',') {
+        let lit = parse_i64(token)?;
+        if lit == 0 {
+            return Err(malformed("assumption literal must be non-zero"));
+        }
+        literals.push(lit);
+    }
+    Ok(literals)
+}
+
+fn parse_session<'a, R: BufRead, I: Iterator<Item = &'a str>>(
+    mut tokens: I,
+    reader: &mut R,
+) -> Result<Frame, ProtocolError> {
+    let subverb = tokens
+        .next()
+        .ok_or_else(|| malformed("SESSION needs a subverb"))?;
+    let frame = match subverb {
+        "OPEN" => {
+            let (key, value) = split_key_value(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("SESSION OPEN needs a backend key"))?,
+            )?;
+            if key != "backend" {
+                return Err(malformed(format!("unknown SESSION OPEN key '{key}'")));
+            }
+            if !valid_backend_name(value) {
+                return Err(malformed(format!("invalid backend name '{value}'")));
+            }
+            expect_end(tokens, "SESSION OPEN")?;
+            Frame::SessionOpen {
+                backend: value.to_string(),
+            }
+        }
+        "ADDCLAUSES" => {
+            let session = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("SESSION ADDCLAUSES needs a session id"))?,
+                "session id",
+            )?;
+            let (key, value) = split_key_value(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("SESSION ADDCLAUSES needs a body-lines key"))?,
+            )?;
+            if key != "body-lines" {
+                return Err(malformed(format!("unknown SESSION ADDCLAUSES key '{key}'")));
+            }
+            let count = parse_u64(value, key)?;
+            if count > MAX_BODY_LINES as u64 {
+                return Err(ProtocolError::Desync(format!(
+                    "body-lines={count} exceeds the {MAX_BODY_LINES}-line cap"
+                )));
+            }
+            expect_end(tokens, "SESSION ADDCLAUSES")?;
+            let count = count as usize;
+            let mut body = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let line = read_limited_line(reader)?.ok_or_else(|| {
+                    ProtocolError::Desync("connection closed inside an ADDCLAUSES body".into())
+                })?;
+                body.push(decode_utf8(line)?);
+            }
+            Frame::SessionAddClauses { session, body }
+        }
+        "ASSUME" => {
+            let session = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("SESSION ASSUME needs a session id"))?,
+                "session id",
+            )?;
+            let mut literals: Option<Vec<i64>> = None;
+            let mut wall_ms = None;
+            let mut max_samples = None;
+            let mut max_checks = None;
+            for token in tokens {
+                let (key, value) = split_key_value(token)?;
+                match key {
+                    "lits" => {
+                        if literals.replace(parse_lit_list(value)?).is_some() {
+                            return Err(malformed("duplicate key 'lits'"));
+                        }
+                    }
+                    "wall-ms" => store_once(&mut wall_ms, key, parse_u64(value, key)?)?,
+                    "samples" => store_once(&mut max_samples, key, parse_u64(value, key)?)?,
+                    "checks" => store_once(&mut max_checks, key, parse_u64(value, key)?)?,
+                    other => {
+                        return Err(malformed(format!("unknown SESSION ASSUME key '{other}'")))
+                    }
+                }
+            }
+            Frame::SessionAssume {
+                session,
+                literals: literals.unwrap_or_default(),
+                wall_ms,
+                max_samples,
+                max_checks,
+            }
+        }
+        "POP" => {
+            let session = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("SESSION POP needs a session id"))?,
+                "session id",
+            )?;
+            expect_end(tokens, "SESSION POP")?;
+            Frame::SessionPop { session }
+        }
+        "CLOSE" => {
+            let session = parse_u64(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("SESSION CLOSE needs a session id"))?,
+                "session id",
+            )?;
+            expect_end(tokens, "SESSION CLOSE")?;
+            Frame::SessionClose { session }
+        }
+        other => return Err(malformed(format!("unknown SESSION subverb '{other}'"))),
+    };
+    Ok(frame)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1140,6 +1482,105 @@ mod tests {
             job: None,
             message: "unknown verb 'FROB'".into(),
         });
+    }
+
+    #[test]
+    fn session_frames_round_trip() {
+        roundtrip(Frame::Hello);
+        roundtrip(Frame::Caps { sessions: true });
+        roundtrip(Frame::Caps { sessions: false });
+        roundtrip(Frame::SessionOpen {
+            backend: "cdcl".into(),
+        });
+        roundtrip(Frame::SessionAddClauses {
+            session: 3,
+            body: vec!["p cnf 2 2".into(), "1 2 0".into(), "-1 -2 0".into()],
+        });
+        roundtrip(Frame::SessionAddClauses {
+            session: 0,
+            body: vec![],
+        });
+        roundtrip(Frame::SessionAssume {
+            session: 3,
+            literals: vec![1, -2, 7],
+            wall_ms: Some(250),
+            max_samples: None,
+            max_checks: Some(9),
+        });
+        roundtrip(Frame::SessionAssume {
+            session: 3,
+            literals: vec![],
+            wall_ms: None,
+            max_samples: None,
+            max_checks: None,
+        });
+        roundtrip(Frame::SessionPop { session: 3 });
+        roundtrip(Frame::SessionClose { session: 3 });
+        roundtrip(Frame::SessionOk {
+            session: 3,
+            depth: 2,
+        });
+        roundtrip(Frame::FailedAssumptions {
+            job: 9,
+            literals: vec![-2, 7],
+        });
+        roundtrip(Frame::FailedAssumptions {
+            job: 9,
+            literals: vec![],
+        });
+    }
+
+    #[test]
+    fn session_parser_is_strict() {
+        let bad = [
+            "SESSION\n",
+            "SESSION FROB 1\n",
+            "SESSION OPEN\n",
+            "SESSION OPEN cdcl\n",
+            "SESSION OPEN backend=bad name\n",
+            "SESSION OPEN backend=\n",
+            "SESSION ADDCLAUSES 1\n",
+            "SESSION ADDCLAUSES 1 lines=0\n",
+            "SESSION ADDCLAUSES x body-lines=0\n",
+            "SESSION ASSUME\n",
+            "SESSION ASSUME 1 lits=0\n",
+            "SESSION ASSUME 1 lits=1,,2\n",
+            "SESSION ASSUME 1 lits=1 lits=2\n",
+            "SESSION ASSUME 1 wall-ms=1 wall-ms=2\n",
+            "SESSION ASSUME 1 frobs=2\n",
+            "SESSION POP\n",
+            "SESSION POP 1 2\n",
+            "SESSION CLOSE -1\n",
+            "SESSIONOK 1\n",
+            "SESSIONOK 1 depth=x\n",
+            "SESSIONOK 1 depth=0 extra\n",
+            "CAPS\n",
+            "CAPS sessions=maybe\n",
+            "CAPS frobs=true\n",
+            "HELLO there\n",
+            "f 1 2 3\n",
+            "f 1 2 0 4\n",
+        ];
+        for text in bad {
+            let mut cursor = Cursor::new(text.to_string());
+            let error = Frame::read_from(&mut cursor)
+                .err()
+                .unwrap_or_else(|| panic!("{text:?} must not parse"));
+            assert!(error.is_recoverable(), "{text:?} should stay synchronised");
+        }
+        // An over-long ADDCLAUSES body declaration loses framing.
+        let text = format!("SESSION ADDCLAUSES 1 body-lines={}\n", MAX_BODY_LINES + 1);
+        let mut cursor = Cursor::new(text);
+        assert!(matches!(
+            Frame::read_from(&mut cursor),
+            Err(ProtocolError::Desync(_))
+        ));
+        // A body cut off by EOF loses framing too.
+        let mut cursor = Cursor::new("SESSION ADDCLAUSES 1 body-lines=2\np cnf 1 1\n".to_string());
+        assert!(matches!(
+            Frame::read_from(&mut cursor),
+            Err(ProtocolError::Desync(_))
+        ));
     }
 
     #[test]

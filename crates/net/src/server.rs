@@ -19,22 +19,41 @@
 //! an I/O error closes the connection. A closing connection cancels its still
 //! unfinished jobs — an out-of-process client that vanishes must not keep
 //! burning the pool's budget.
+//!
+//! # Sessions
+//!
+//! `SESSION OPEN` maps onto [`SolveService::open_session`]: the connection
+//! owns a map of [`SessionHandle`]s keyed by server-assigned session ids.
+//! Structural operations (`ADDCLAUSES`, `POP`, `CLOSE`) are served on the
+//! reader thread — they queue behind any in-flight solve of the same session
+//! and are acked with `SESSIONOK` carrying the new depth. `ASSUME` queues a
+//! solve like `SOLVE` does: the `QUEUED` ack assigns a job id from a
+//! dedicated high range (so one-shot ids never collide), a waiter thread
+//! streams the completion (`v`-line, failed-assumption `f`-line, `RESULT`),
+//! and `CANCEL` of that id raises the call's cancellation token. A closing
+//! connection drops its sessions, which releases each pinned solver.
 
 use crate::protocol::{Frame, SolveFrame, WireVerdict};
-use cnf::dimacs;
+use cnf::{dimacs, Literal};
 use nbl_sat_core::{
-    BackendRegistry, Budget, JobHandle, SolveOutcome, SolveRequest, SolveService, SolveVerdict,
+    BackendRegistry, Budget, JobHandle, SessionCall, SessionHandle, SolveOutcome, SolveRequest,
+    SolveService, SolveVerdict,
 };
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle as ThreadHandle};
 use std::time::Duration;
 
 /// How often the accept loop polls the stop flag between accepts.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// First job id handed to `SESSION ASSUME` solves. One-shot ids count up from
+/// 0 and session ids count up from here, so the two ranges cannot collide on
+/// a connection's wire.
+const SESSION_JOB_BASE: u64 = 1 << 63;
 
 /// Configuration of a [`NblSatServer`].
 #[derive(Debug)]
@@ -244,6 +263,15 @@ struct Connection {
     /// Every job this connection submitted, by id; entries live until the
     /// connection closes so `STATUS`/`CANCEL` keep working after completion.
     jobs: Mutex<HashMap<u64, Arc<JobHandle>>>,
+    /// Every session this connection opened, by server-assigned id.
+    sessions: Mutex<HashMap<u64, SessionHandle>>,
+    /// Cancellation flags of `SESSION ASSUME` solves, by job id; `CANCEL`
+    /// falls through to this map when the id is not a one-shot job.
+    session_cancels: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    /// The next `SESSION OPEN` ack's session id.
+    next_session: AtomicU64,
+    /// Offset above [`SESSION_JOB_BASE`] of the next `SESSION ASSUME` job id.
+    next_session_job: AtomicU64,
     /// Jobs whose completion frame has not been written yet. `SHUTDOWN`
     /// drains this to zero before answering `BYE`, so `BYE` really is the
     /// connection's last frame.
@@ -310,6 +338,10 @@ impl Connection {
             }
             .write_to(&mut *writer)?;
         }
+        if let Some(core) = &outcome.failed_assumptions {
+            let literals = core.iter().map(|lit| lit.to_dimacs()).collect();
+            Frame::FailedAssumptions { job, literals }.write_to(&mut *writer)?;
+        }
         let verdict = match outcome.verdict {
             SolveVerdict::Satisfiable => WireVerdict::Satisfiable,
             SolveVerdict::Unsatisfiable => WireVerdict::Unsatisfiable,
@@ -335,6 +367,10 @@ fn serve_connection(stream: TcpStream, shared: &Arc<ServerShared>) -> std::io::R
     let connection = Arc::new(Connection {
         writer: Mutex::new(BufWriter::new(stream)),
         jobs: Mutex::new(HashMap::new()),
+        sessions: Mutex::new(HashMap::new()),
+        session_cancels: Mutex::new(HashMap::new()),
+        next_session: AtomicU64::new(1),
+        next_session_job: AtomicU64::new(0),
         inflight: Mutex::new(0),
         drained: Condvar::new(),
     });
@@ -351,6 +387,23 @@ fn serve_connection(stream: TcpStream, shared: &Arc<ServerShared>) -> std::io::R
             handle.cancel();
         }
     }
+    drop(jobs);
+    // Same for sessions: raise every in-flight ASSUME's cancel flag, then
+    // drop the handles without joining — the pinned solver threads notice
+    // the disconnect and release themselves.
+    for flag in connection
+        .session_cancels
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .values()
+    {
+        flag.store(true, Ordering::Relaxed);
+    }
+    connection
+        .sessions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
     served
 }
 
@@ -397,7 +450,17 @@ fn handle_frame(
                 Some(handle) => handle.cancel(),
                 None => {
                     drop(jobs);
-                    connection.send_error(Some(job), format!("unknown job {job}"))?;
+                    let cancels = connection
+                        .session_cancels
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    match cancels.get(&job) {
+                        Some(flag) => flag.store(true, Ordering::Relaxed),
+                        None => {
+                            drop(cancels);
+                            connection.send_error(Some(job), format!("unknown job {job}"))?;
+                        }
+                    }
                 }
             }
         }
@@ -435,6 +498,48 @@ fn handle_frame(
             connection.send(&Frame::OkRefill)?;
         }
         Frame::Ping => connection.send(&Frame::Pong)?,
+        Frame::Hello => connection.send(&Frame::Caps { sessions: true })?,
+        Frame::SessionOpen { backend } => handle_session_open(&backend, connection, shared)?,
+        Frame::SessionAddClauses { session, body } => {
+            handle_session_add(session, &body, connection)?;
+        }
+        Frame::SessionAssume {
+            session,
+            literals,
+            wall_ms,
+            max_samples,
+            max_checks,
+        } => {
+            let mut budget = Budget::unlimited();
+            if let Some(ms) = wall_ms {
+                budget = budget.with_wall_time(Duration::from_millis(ms));
+            }
+            if let Some(samples) = max_samples {
+                budget = budget.with_max_samples(samples);
+            }
+            if let Some(checks) = max_checks {
+                budget = budget.with_max_checks(checks);
+            }
+            handle_session_assume(session, &literals, budget, connection)?;
+        }
+        Frame::SessionPop { session } => handle_session_pop(session, connection)?,
+        Frame::SessionClose { session } => {
+            let handle = connection
+                .sessions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&session);
+            match handle {
+                // `close` joins the pinned solver thread, so the ack really
+                // means the solver is gone. An in-flight ASSUME of the same
+                // session finishes (and streams its completion) first.
+                Some(handle) => {
+                    handle.close();
+                    connection.send(&Frame::SessionOk { session, depth: 0 })?;
+                }
+                None => connection.send_error(None, format!("unknown session {session}"))?,
+            }
+        }
         Frame::Shutdown => {
             // Graceful drain: every job this connection already submitted
             // still streams its completion, then BYE closes the exchange.
@@ -452,6 +557,9 @@ fn handle_frame(
         | Frame::Result { .. }
         | Frame::Info { .. }
         | Frame::Stats { .. }
+        | Frame::FailedAssumptions { .. }
+        | Frame::SessionOk { .. }
+        | Frame::Caps { .. }
         | Frame::OkRefill
         | Frame::Pong
         | Frame::Bye
@@ -505,6 +613,139 @@ fn handle_solve(
         };
         // A send failing means the client is gone; the reader thread notices
         // the same condition and cleans up, nothing to do here.
+        let _ = written;
+        connection.completion_written();
+    });
+    Ok(())
+}
+
+fn handle_session_open(
+    backend: &str,
+    connection: &Arc<Connection>,
+    shared: &Arc<ServerShared>,
+) -> std::io::Result<()> {
+    let handle = match shared.service.open_session(backend) {
+        Ok(handle) => handle,
+        Err(e) => return connection.send_error(None, e.to_string()),
+    };
+    let session = connection.next_session.fetch_add(1, Ordering::Relaxed);
+    connection
+        .sessions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(session, handle);
+    connection.send(&Frame::SessionOk { session, depth: 0 })
+}
+
+fn handle_session_add(
+    session: u64,
+    body: &[String],
+    connection: &Arc<Connection>,
+) -> std::io::Result<()> {
+    // The body is raw DIMACS clause lines; the `p cnf` header is optional.
+    let formula = match dimacs::parse_str(&body.join("\n")) {
+        Ok(formula) => formula,
+        Err(e) => return connection.send_error(None, format!("dimacs: {e}")),
+    };
+    let sessions = connection
+        .sessions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let Some(handle) = sessions.get(&session) else {
+        drop(sessions);
+        return connection.send_error(None, format!("unknown session {session}"));
+    };
+    let pushed = handle.push(&formula);
+    drop(sessions);
+    match pushed {
+        Ok(depth) => connection.send(&Frame::SessionOk {
+            session,
+            depth: depth as u64,
+        }),
+        Err(e) => connection.send_error(None, e.to_string()),
+    }
+}
+
+fn handle_session_pop(session: u64, connection: &Arc<Connection>) -> std::io::Result<()> {
+    let sessions = connection
+        .sessions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let Some(handle) = sessions.get(&session) else {
+        drop(sessions);
+        return connection.send_error(None, format!("unknown session {session}"));
+    };
+    let popped = handle.pop();
+    let depth = handle.depth();
+    drop(sessions);
+    match (popped, depth) {
+        (Ok(true), Ok(depth)) => connection.send(&Frame::SessionOk {
+            session,
+            depth: depth as u64,
+        }),
+        (Ok(false), _) => {
+            connection.send_error(None, format!("session {session} has no frame to pop"))
+        }
+        (Err(e), _) | (_, Err(e)) => connection.send_error(None, e.to_string()),
+    }
+}
+
+fn handle_session_assume(
+    session: u64,
+    literals: &[i64],
+    budget: Budget,
+    connection: &Arc<Connection>,
+) -> std::io::Result<()> {
+    let mut assumptions = Vec::with_capacity(literals.len());
+    for &value in literals {
+        match Literal::from_dimacs(value) {
+            Ok(lit) => assumptions.push(lit),
+            Err(e) => return connection.send_error(None, format!("lits: {e}")),
+        }
+    }
+    let cancel = Arc::new(AtomicBool::new(false));
+    let call = SessionCall::new()
+        .assumptions(assumptions)
+        .budget(budget)
+        .cancel_token(Arc::clone(&cancel));
+    let sessions = connection
+        .sessions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let Some(handle) = sessions.get(&session) else {
+        drop(sessions);
+        return connection.send_error(None, format!("unknown session {session}"));
+    };
+    // `start_solve` only enqueues, so the reader thread stays responsive
+    // even while the pinned solver is busy; the waiter thread below blocks.
+    let solve = match handle.start_solve(&call) {
+        Ok(solve) => solve,
+        Err(e) => {
+            drop(sessions);
+            return connection.send_error(None, e.to_string());
+        }
+    };
+    drop(sessions);
+    let job = SESSION_JOB_BASE + connection.next_session_job.fetch_add(1, Ordering::Relaxed);
+    connection
+        .session_cancels
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(job, cancel);
+    *connection
+        .inflight
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) += 1;
+    connection.send(&Frame::Queued { job })?;
+    let connection = Arc::clone(connection);
+    thread::spawn(move || {
+        let result = solve.wait();
+        let written = match &result {
+            // Session solves always report stats: incremental clients (the
+            // shard coordinator in particular) merge them fleet-wide.
+            Ok(outcome) => connection.send_completion(job, outcome, true),
+            Err(error) => connection.send_error(Some(job), error.to_string()),
+        };
         let _ = written;
         connection.completion_written();
     });

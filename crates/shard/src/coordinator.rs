@@ -16,10 +16,21 @@
 //! finer cubes; a shard connection dying mid-solve requeues its cube for the
 //! survivors; and when the whole fleet is gone the coordinator degrades to
 //! solving the leftover cubes locally through its [`BackendRegistry`].
+//!
+//! Shards that answer the `HELLO` probe with `CAPS sessions=true` are driven
+//! through the incremental `SESSION` extension instead of per-cube `SOLVE`
+//! frames: the pump pushes the full formula once at startup and each cube
+//! then ships as a [`Cube::to_assumptions`] list on a `SESSION ASSUME`
+//! frame, so the shard's solver keeps its learned clauses (and its clause
+//! database) across the whole cube stream. Legacy shards keep the original
+//! restrict-and-re-encode dispatch.
 
 use crate::splitter::{split_cube, SplitConfig};
 use cnf::{dimacs, Assignment, CnfFormula, Cube, CubeRestriction, RestrictionOutcome, Variable};
-use nbl_net::{ClientConfig, NblSatClient, NetError, SolveFrame, WireCause, WireVerdict};
+use nbl_net::{
+    ClientConfig, NblSatClient, NetError, RemoteJob, RemoteSession, SolveFrame, WireCause,
+    WireVerdict,
+};
 use nbl_sat_core::{
     Artifacts, BackendRegistry, Budget, ExhaustedResource, SolveRequest, SolveStats, SolveVerdict,
     UnknownCause,
@@ -142,6 +153,9 @@ pub struct FleetStats {
     pub steals: usize,
     /// Adaptive re-splits performed on stolen cubes.
     pub resplits: usize,
+    /// Cubes dispatched as `SESSION ASSUME` assumption lists instead of
+    /// re-encoded `SOLVE` frames.
+    pub assumption_dispatches: usize,
     /// Shard connections lost mid-solve.
     pub shard_deaths: usize,
     /// `CANCEL` frames sent to abandon moot in-flight jobs.
@@ -154,7 +168,7 @@ impl fmt::Display for FleetStats {
             f,
             "shards={} cubes={} splitter-refuted={} remote sat/unsat/unknown={}/{}/{} \
              trivial sat/unsat={}/{} local={} requeues={} steals={} resplits={} \
-             deaths={} cancels={}",
+             assume-dispatches={} deaths={} cancels={}",
             self.shards,
             self.cubes_split,
             self.splitter_refuted,
@@ -167,6 +181,7 @@ impl fmt::Display for FleetStats {
             self.requeues,
             self.steals,
             self.resplits,
+            self.assumption_dispatches,
             self.shard_deaths,
             self.cancellations_sent,
         )
@@ -204,12 +219,16 @@ impl FleetOutcome {
 struct ShardConnection {
     addr: String,
     client: NblSatClient,
+    /// `true` when the shard answered the `HELLO` probe with
+    /// `CAPS sessions=true`; its pump then dispatches cubes as assumptions.
+    sessions: bool,
 }
 
 impl fmt::Debug for ShardConnection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardConnection")
             .field("addr", &self.addr)
+            .field("sessions", &self.sessions)
             .finish_non_exhaustive()
     }
 }
@@ -419,11 +438,9 @@ fn cause_from_wire(cause: WireCause) -> UnknownCause {
     }
 }
 
-/// Lifts a remote `v`-line (DIMACS-signed literals) into a full assignment
-/// over `num_vars` variables, then overwrites the cube's fixed literals. The
-/// residual never mentions fixed variables, so the remote solver's choices
-/// for them (absent or arbitrary) must be corrected here.
-fn model_from_lits(lits: &[i64], restriction: &CubeRestriction, num_vars: usize) -> Assignment {
+/// Lifts a remote `v`-line (DIMACS-signed literals) into an assignment
+/// spanning at least `num_vars` variables; unmentioned variables are false.
+fn assignment_from_lits(lits: &[i64], num_vars: usize) -> Assignment {
     let span = lits
         .iter()
         .map(|&l| l.unsigned_abs() as usize)
@@ -436,7 +453,14 @@ fn model_from_lits(lits: &[i64], restriction: &CubeRestriction, num_vars: usize)
             model.set(Variable::new(lit.unsigned_abs() as usize - 1), lit > 0);
         }
     }
-    restriction.extend_model(&model)
+    model
+}
+
+/// [`assignment_from_lits`] followed by overwriting the cube's fixed
+/// literals. The residual never mentions fixed variables, so the remote
+/// solver's choices for them (absent or arbitrary) must be corrected here.
+fn model_from_lits(lits: &[i64], restriction: &CubeRestriction, num_vars: usize) -> Assignment {
+    restriction.extend_model(&assignment_from_lits(lits, num_vars))
 }
 
 impl ShardCoordinator {
@@ -445,7 +469,12 @@ impl ShardCoordinator {
     /// could be reached. An empty `addrs` is fine — the coordinator then
     /// solves everything through the local fallback.
     pub fn connect(addrs: &[String], config: ShardConfig) -> Result<Self, ShardError> {
-        let client_config = ClientConfig::new().with_connect_timeout(config.connect_timeout);
+        // The read timeout bounds the request acks (the `HELLO` capability
+        // probe in particular, which a wedged or frozen server may never
+        // answer); in-flight solves poll with their own explicit timeouts.
+        let client_config = ClientConfig::new()
+            .with_connect_timeout(config.connect_timeout)
+            .with_read_timeout(config.connect_timeout);
         let mut shards = Vec::new();
         let mut errors = Vec::new();
         for addr in addrs {
@@ -454,10 +483,16 @@ impl ShardCoordinator {
                 config.connect_timeout,
                 client_config,
             ) {
-                Ok(client) => shards.push(ShardConnection {
-                    addr: addr.clone(),
-                    client,
-                }),
+                Ok(client) => {
+                    // Legacy servers answer the probe with an error line,
+                    // which `hello` already maps to `Ok(false)`.
+                    let sessions = client.hello().unwrap_or(false);
+                    shards.push(ShardConnection {
+                        addr: addr.clone(),
+                        client,
+                        sessions,
+                    });
+                }
                 Err(e) => errors.push((addr.clone(), e)),
             }
         }
@@ -530,7 +565,16 @@ impl ShardCoordinator {
             for (index, shard) in self.shards.iter().enumerate() {
                 let shared = &shared;
                 let config = &self.config;
-                scope.spawn(move || pump(index, &shard.client, formula, config, shared));
+                scope.spawn(move || {
+                    pump(
+                        index,
+                        &shard.client,
+                        shard.sessions,
+                        formula,
+                        config,
+                        shared,
+                    )
+                });
             }
         });
 
@@ -670,13 +714,25 @@ fn next_step(shard: usize, config: &ShardConfig, shared: &Shared) -> PumpStep {
 
 /// One shard's pump: claims cubes, ships them, handles the answers. Exits
 /// when the fleet is done or this shard's connection dies.
+///
+/// Session-capable shards get the formula pushed once up front; every cube
+/// then dispatches as a `SESSION ASSUME` over the cube's literals, keeping
+/// the remote solver's learned clauses across the whole stream. When the
+/// session cannot be established the pump silently falls back to the
+/// restrict-and-re-encode `SOLVE` path.
 fn pump(
     shard: usize,
     client: &NblSatClient,
+    use_sessions: bool,
     formula: &CnfFormula,
     config: &ShardConfig,
     shared: &Shared,
 ) {
+    let session = if use_sessions {
+        open_shard_session(client, formula, config)
+    } else {
+        None
+    };
     loop {
         let (id, cube) = match next_step(shard, config, shared) {
             PumpStep::Stop => return,
@@ -686,6 +742,12 @@ fn pump(
             }
             PumpStep::Solve(id, cube) => (id, cube),
         };
+        if let Some(session) = &session {
+            if !solve_session(id, &cube, session, shard, formula, config, shared) {
+                return; // the connection is gone; the cube was requeued
+            }
+            continue;
+        }
         let restriction = formula.restrict(&cube);
         match restriction.outcome {
             RestrictionOutcome::TriviallyUnsat => {
@@ -736,6 +798,51 @@ fn resplit(id: usize, cube: &Cube, formula: &CnfFormula, config: &ShardConfig, s
     }
 }
 
+/// Opens one incremental session on a shard and pushes the whole formula as
+/// its base clause frame. `None` (fall back to one-shot dispatch) when any
+/// step fails.
+fn open_shard_session<'a>(
+    client: &'a NblSatClient,
+    formula: &CnfFormula,
+    config: &ShardConfig,
+) -> Option<RemoteSession<'a>> {
+    let session = client.open_session(&config.backend).ok()?;
+    session.add_clauses(&dimacs::to_string(formula)).ok()?;
+    Some(session)
+}
+
+/// Ships one cube as an assumption list on the shard's standing session and
+/// handles the answer. Returns `false` when the connection died and the pump
+/// must exit.
+fn solve_session(
+    id: usize,
+    cube: &Cube,
+    session: &RemoteSession<'_>,
+    shard: usize,
+    formula: &CnfFormula,
+    config: &ShardConfig,
+    shared: &Shared,
+) -> bool {
+    let assumptions: Vec<i64> = cube
+        .to_assumptions()
+        .iter()
+        .map(|l| l.to_dimacs())
+        .collect();
+    let job = match session.assume_with_budget(&assumptions, config.cube_wall_ms, None, None) {
+        Ok(job) => job,
+        Err(e) => return shard_died(id, shard, e, shared),
+    };
+    {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.fleet.assumption_dispatches += 1;
+    }
+    // The session solver saw the full formula, so its model already covers
+    // the cube's variables — no restriction lift needed.
+    await_remote(id, job, shard, formula, config, shared, |lits| {
+        assignment_from_lits(lits, formula.num_vars())
+    })
+}
+
 /// Ships one cube-restricted residual to the shard and handles the answer.
 /// Returns `false` when the connection died and the pump must exit.
 fn solve_remote(
@@ -755,6 +862,24 @@ fn solve_remote(
         Ok(job) => job,
         Err(e) => return shard_died(id, shard, e, shared),
     };
+    await_remote(id, job, shard, formula, config, shared, |lits| {
+        model_from_lits(lits, restriction, formula.num_vars())
+    })
+}
+
+/// Polls one in-flight remote job (one-shot or session) to completion and
+/// merges its answer into the fleet state. `lift` turns the remote `v`-line
+/// into a full assignment over the original formula's variables. Returns
+/// `false` when the connection died and the pump must exit.
+fn await_remote(
+    id: usize,
+    job: RemoteJob<'_>,
+    shard: usize,
+    formula: &CnfFormula,
+    config: &ShardConfig,
+    shared: &Shared,
+    lift: impl Fn(&[i64]) -> Assignment,
+) -> bool {
     let dispatched = Instant::now();
     loop {
         match job.wait_timeout(POLL_INTERVAL) {
@@ -774,7 +899,7 @@ fn solve_remote(
                     WireVerdict::Satisfiable => {
                         state.fleet.remote_sat += 1;
                         let lits = outcome.model.unwrap_or_default();
-                        let model = model_from_lits(&lits, restriction, formula.num_vars());
+                        let model = lift(&lits);
                         if formula.evaluate(&model) {
                             state.record_sat(model);
                         } else {

@@ -32,7 +32,59 @@ impl VarValue {
 struct DbClause {
     literals: Vec<Literal>,
     learned: bool,
+    /// The deepest push frame this clause depends on: the frame an original
+    /// clause was pushed in, or — for a learned clause — the maximum frame of
+    /// every clause resolved while deriving it. [`CdclSolver::pop`] keeps
+    /// exactly the clauses whose `push_level` survives, so learned clauses
+    /// derived from lower frames stay sound across pops.
+    push_level: usize,
 }
+
+/// The result of one [`CdclSolver::solve_under_assumptions`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrementalResult {
+    /// The pushed clauses are satisfiable with every assumption holding; the
+    /// model covers all variables the solver has seen.
+    Satisfiable(Assignment),
+    /// Unsatisfiable under the assumptions. The payload is the
+    /// *failed-assumption core*: a subset of the call's assumption literals
+    /// that is already inconsistent with the pushed clauses. An **empty** core
+    /// means the clauses are unsatisfiable regardless of any assumptions.
+    Unsatisfiable(Vec<Literal>),
+    /// The search limits expired before a verdict was reached.
+    Unknown,
+}
+
+impl IncrementalResult {
+    /// `true` for [`IncrementalResult::Satisfiable`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, IncrementalResult::Satisfiable(_))
+    }
+
+    /// `true` for [`IncrementalResult::Unsatisfiable`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, IncrementalResult::Unsatisfiable(_))
+    }
+
+    /// The model, when satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            IncrementalResult::Satisfiable(model) => Some(model),
+            _ => None,
+        }
+    }
+
+    /// The failed-assumption core, when unsatisfiable.
+    pub fn failed_assumptions(&self) -> Option<&[Literal]> {
+        match self {
+            IncrementalResult::Unsatisfiable(core) => Some(core),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel for a variable currently absent from the VSIDS order heap.
+const NOT_IN_HEAP: usize = usize::MAX;
 
 /// Conflict-driven clause-learning SAT solver.
 ///
@@ -52,13 +104,35 @@ pub struct CdclSolver {
     reasons: Vec<Option<usize>>, // clause index that implied the variable
     activity: Vec<f64>,
     saved_phase: Vec<bool>,
+    // VSIDS order heap: a binary max-heap over variable activities so each
+    // branching decision costs O(log n) instead of a linear scan. Assigned
+    // variables are deleted lazily on pop; backjumping re-inserts what it
+    // unassigns.
+    heap: Vec<usize>,
+    heap_pos: Vec<usize>, // position of each variable in `heap`, or NOT_IN_HEAP
     // Clause database and watches.
     clauses: Vec<DbClause>,
     watches: Vec<Vec<usize>>, // indexed by literal code
+    units: Vec<usize>,        // indices of single-literal clauses
     // Trail.
     trail: Vec<Literal>,
     trail_limits: Vec<usize>, // trail length at each decision level
     propagation_head: usize,
+    // Incremental state.
+    push_depth: usize,
+    /// Deepest root-level derivation frame per variable: the maximum
+    /// `push_level` over the clause chain that forced the variable (0 for
+    /// decisions). Only consulted for root-level literals dropped during
+    /// conflict analysis, where the chain is decision-free.
+    var_push: Vec<usize>,
+    /// The push frame that contributed an empty clause, if any (the whole
+    /// database is unsatisfiable until that frame is popped).
+    empty_clause_level: Option<usize>,
+    /// `true` while `values` holds a complete model of the current clause
+    /// database (the previous call answered SAT and no clauses were pushed or
+    /// popped since). Lets a later call whose assumptions the model already
+    /// satisfies answer without searching.
+    model_cached: bool,
     // Heuristic parameters.
     activity_increment: f64,
     activity_decay: f64,
@@ -82,11 +156,18 @@ impl CdclSolver {
             reasons: Vec::new(),
             activity: Vec::new(),
             saved_phase: Vec::new(),
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
             clauses: Vec::new(),
             watches: Vec::new(),
+            units: Vec::new(),
             trail: Vec::new(),
             trail_limits: Vec::new(),
             propagation_head: 0,
+            push_depth: 0,
+            var_push: Vec::new(),
+            empty_clause_level: None,
+            model_cached: false,
             activity_increment: 1.0,
             activity_decay: 0.95,
             restart_base: 100,
@@ -107,13 +188,88 @@ impl CdclSolver {
         self.reasons = vec![None; n];
         self.activity = vec![0.0; n];
         self.saved_phase = vec![false; n];
+        self.heap.clear();
+        self.heap_pos = vec![NOT_IN_HEAP; n];
+        self.rebuild_heap();
         self.clauses.clear();
         self.watches = vec![Vec::new(); 2 * n];
+        self.units.clear();
         self.trail.clear();
         self.trail_limits.clear();
         self.propagation_head = 0;
+        self.push_depth = 0;
+        self.var_push = vec![0; n];
+        self.empty_clause_level = None;
+        self.model_cached = false;
         self.activity_increment = 1.0;
         self.stats = SolverStats::default();
+    }
+
+    /// Grows every per-variable array to cover at least `n` variables.
+    fn ensure_vars(&mut self, n: usize) {
+        if n <= self.values.len() {
+            return;
+        }
+        let old = self.values.len();
+        self.values.resize(n, VarValue::Unassigned);
+        self.levels.resize(n, 0);
+        self.reasons.resize(n, None);
+        self.activity.resize(n, 0.0);
+        self.saved_phase.resize(n, false);
+        self.var_push.resize(n, 0);
+        self.watches.resize(2 * n, Vec::new());
+        self.heap_pos.resize(n, NOT_IN_HEAP);
+        for var in old..n {
+            self.heap_insert(var);
+        }
+    }
+
+    /// Clears the trail and every per-variable assignment, keeping the clause
+    /// database, activities and saved phases — the state that makes repeated
+    /// incremental calls cheaper than solving from scratch.
+    fn reset_search_state(&mut self) {
+        for value in &mut self.values {
+            *value = VarValue::Unassigned;
+        }
+        for reason in &mut self.reasons {
+            *reason = None;
+        }
+        for dep in &mut self.var_push {
+            *dep = 0;
+        }
+        self.trail.clear();
+        self.trail_limits.clear();
+        self.propagation_head = 0;
+        self.rebuild_heap();
+    }
+
+    /// Refills the order heap with every variable (all unassigned after a
+    /// search-state reset).
+    fn rebuild_heap(&mut self) {
+        self.heap.clear();
+        for pos in &mut self.heap_pos {
+            *pos = NOT_IN_HEAP;
+        }
+        for var in 0..self.values.len() {
+            self.heap_insert(var);
+        }
+    }
+
+    /// Rebuilds the watch lists and the unit-clause index from the current
+    /// clause database.
+    fn rebuild_watches(&mut self) {
+        for watch in &mut self.watches {
+            watch.clear();
+        }
+        self.units.clear();
+        for (i, clause) in self.clauses.iter().enumerate() {
+            self.watches[clause.literals[0].code()].push(i);
+            if clause.literals.len() > 1 {
+                self.watches[clause.literals[1].code()].push(i);
+            } else {
+                self.units.push(i);
+            }
+        }
     }
 
     fn literal_value(&self, lit: Literal) -> VarValue {
@@ -147,12 +303,33 @@ impl CdclSolver {
         self.levels[var] = self.decision_level();
         self.reasons[var] = reason;
         self.saved_phase[var] = lit.is_positive();
+        // Track the deepest push frame this assignment transitively depends
+        // on, so [`Self::analyze`] can tag learned clauses that silently
+        // resolve against root-level literals. Only needed under push frames.
+        let dep = match reason {
+            Some(clause) if self.push_depth > 0 => {
+                let mut dep = self.clauses[clause].push_level;
+                for &q in &self.clauses[clause].literals {
+                    if q != lit {
+                        dep = dep.max(self.var_push[q.variable().index()]);
+                    }
+                }
+                dep
+            }
+            _ => 0,
+        };
+        self.var_push[var] = dep;
         self.trail.push(lit);
     }
 
     /// Adds a clause to the database and registers watches.
     /// Returns `None` if the clause is empty (immediate conflict at level 0).
-    fn add_clause(&mut self, literals: Vec<Literal>, learned: bool) -> Option<usize> {
+    fn add_clause(
+        &mut self,
+        literals: Vec<Literal>,
+        learned: bool,
+        push_level: usize,
+    ) -> Option<usize> {
         if literals.is_empty() {
             return None;
         }
@@ -161,8 +338,14 @@ impl CdclSolver {
         self.watches[literals[0].code()].push(index);
         if literals.len() > 1 {
             self.watches[literals[1].code()].push(index);
+        } else {
+            self.units.push(index);
         }
-        self.clauses.push(DbClause { literals, learned });
+        self.clauses.push(DbClause {
+            literals,
+            learned,
+            push_level,
+        });
         Some(index)
     }
 
@@ -254,11 +437,82 @@ impl CdclSolver {
     fn bump_activity(&mut self, var: usize) {
         self.activity[var] += self.activity_increment;
         if self.activity[var] > 1e100 {
+            // Rescaling multiplies every activity by the same factor, so the
+            // heap order is untouched.
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
             self.activity_increment *= 1e-100;
         }
+        // A bump only ever raises an activity, so restoring the heap
+        // invariant is a single sift towards the root.
+        if self.heap_pos[var] != NOT_IN_HEAP {
+            self.heap_sift_up(self.heap_pos[var]);
+        }
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        let var = self.heap[i];
+        let activity = self.activity[var];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[parent]] >= activity {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.heap_pos[self.heap[i]] = i;
+            i = parent;
+        }
+        self.heap[i] = var;
+        self.heap_pos[var] = i;
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        let var = self.heap[i];
+        let activity = self.activity[var];
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < self.heap.len()
+                && self.activity[self.heap[right]] > self.activity[self.heap[left]]
+            {
+                right
+            } else {
+                left
+            };
+            if activity >= self.activity[self.heap[child]] {
+                break;
+            }
+            self.heap[i] = self.heap[child];
+            self.heap_pos[self.heap[i]] = i;
+            i = child;
+        }
+        self.heap[i] = var;
+        self.heap_pos[var] = i;
+    }
+
+    fn heap_insert(&mut self, var: usize) {
+        if self.heap_pos[var] != NOT_IN_HEAP {
+            return;
+        }
+        self.heap_pos[var] = self.heap.len();
+        self.heap.push(var);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<usize> {
+        let top = *self.heap.first()?;
+        self.heap_pos[top] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("heap non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
     }
 
     fn decay_activities(&mut self) {
@@ -266,8 +520,9 @@ impl CdclSolver {
     }
 
     /// First-UIP conflict analysis. Returns the learned clause (with the
-    /// asserting literal in position 0) and the backjump level.
-    fn analyze(&mut self, conflict: usize) -> (Vec<Literal>, usize) {
+    /// asserting literal in position 0), the backjump level, and the deepest
+    /// push frame the derivation depends on.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Literal>, usize, usize) {
         let current_level = self.decision_level();
         let mut learned: Vec<Literal> = Vec::new();
         let mut seen = vec![false; self.values.len()];
@@ -275,15 +530,24 @@ impl CdclSolver {
         let mut trail_index = self.trail.len();
         let mut resolve_literal: Option<Literal> = None;
         let mut reason_clause = conflict;
+        let mut max_push = self.clauses[conflict].push_level;
 
         loop {
+            max_push = max_push.max(self.clauses[reason_clause].push_level);
             let reason_literals = self.clauses[reason_clause].literals.clone();
             for lit in reason_literals {
                 if Some(lit) == resolve_literal {
                     continue;
                 }
                 let var = lit.variable().index();
-                if seen[var] || self.levels[var] == 0 {
+                if seen[var] {
+                    continue;
+                }
+                if self.levels[var] == 0 {
+                    // Dropping a root-level-falsified literal resolves against
+                    // the clause chain that fixed it; the learned clause
+                    // inherits that chain's push dependency.
+                    max_push = max_push.max(self.var_push[var]);
                     continue;
                 }
                 seen[var] = true;
@@ -333,7 +597,7 @@ impl CdclSolver {
                 .unwrap_or(1);
             learned.swap(1, pos);
         }
-        (learned, backjump)
+        (learned, backjump, max_push)
     }
 
     fn backjump(&mut self, level: usize) {
@@ -344,23 +608,23 @@ impl CdclSolver {
                 let var = lit.variable().index();
                 self.values[var] = VarValue::Unassigned;
                 self.reasons[var] = None;
+                self.heap_insert(var);
             }
         }
         self.propagation_head = self.trail.len().min(self.propagation_head);
         self.propagation_head = self.trail.len();
     }
 
-    fn pick_branch_variable(&self) -> Option<usize> {
-        self.values
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v == VarValue::Unassigned)
-            .max_by(|a, b| {
-                self.activity[a.0]
-                    .partial_cmp(&self.activity[b.0])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(i, _)| i)
+    fn pick_branch_variable(&mut self) -> Option<usize> {
+        // Lazy deletion: variables assigned by propagation (or as
+        // assumptions) linger in the heap and are skipped here; backjumping
+        // re-inserts whatever it unassigns.
+        while let Some(var) = self.heap_pop() {
+            if self.values[var] == VarValue::Unassigned {
+                return Some(var);
+            }
+        }
+        None
     }
 
     fn reduce_learned_clauses(&mut self) {
@@ -399,15 +663,7 @@ impl CdclSolver {
             new_clauses.push(clause);
         }
         self.clauses = new_clauses;
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for (i, clause) in self.clauses.iter().enumerate() {
-            self.watches[clause.literals[0].code()].push(i);
-            if clause.literals.len() > 1 {
-                self.watches[clause.literals[1].code()].push(i);
-            }
-        }
+        self.rebuild_watches();
         for r in &mut self.reasons {
             if let Some(old) = *r {
                 *r = if remap[old] == usize::MAX {
@@ -426,6 +682,259 @@ impl CdclSolver {
                 .map(|v| matches!(v, VarValue::True))
                 .collect(),
         )
+    }
+
+    /// Loads a formula's clauses into the database, tagged with `push_level`.
+    /// Tautologies are skipped; an empty clause marks the frame as
+    /// unconditionally unsatisfiable instead of entering the database.
+    fn load_frame(&mut self, formula: &CnfFormula, push_level: usize) {
+        for clause in formula.iter() {
+            let mut lits: Vec<Literal> = clause.literals().to_vec();
+            lits.sort();
+            lits.dedup();
+            if lits.iter().any(|&l| lits.binary_search(&!l).is_ok()) {
+                continue;
+            }
+            if lits.is_empty() {
+                if self.empty_clause_level.is_none() {
+                    self.empty_clause_level = Some(push_level);
+                }
+                continue;
+            }
+            self.add_clause(lits, false, push_level);
+        }
+    }
+
+    /// Final-conflict analysis for a falsified assumption `p`: walks the
+    /// implication graph backwards from `p` and collects the assumption
+    /// decisions it transitively rests on. The returned literals are a subset
+    /// of the current call's assumptions that is already inconsistent with
+    /// the clause database.
+    fn analyze_final(&self, p: Literal) -> Vec<Literal> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        let mut seen = vec![false; self.values.len()];
+        seen[p.variable().index()] = true;
+        for i in (self.trail_limits[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let var = lit.variable().index();
+            if !seen[var] {
+                continue;
+            }
+            match self.reasons[var] {
+                // Every decision above level 0 at this point is an assumption.
+                None => core.push(lit),
+                Some(clause) => {
+                    for &q in &self.clauses[clause].literals {
+                        if self.levels[q.variable().index()] > 0 {
+                            seen[q.variable().index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        core
+    }
+
+    /// The CDCL main loop over the current clause database, with
+    /// `assumptions` enqueued as the first decisions (in order).
+    fn search(&mut self, assumptions: &[Literal], limits: &SearchLimits) -> IncrementalResult {
+        if self.empty_clause_level.is_some() {
+            return IncrementalResult::Unsatisfiable(Vec::new());
+        }
+        // (Re-)assert stored unit clauses at level 0. Single-literal clauses
+        // only watch their own literal, so they never self-propagate at the
+        // start of a call.
+        for i in 0..self.units.len() {
+            let idx = self.units[i];
+            let only = self.clauses[idx].literals[0];
+            match self.literal_value(only) {
+                VarValue::False => return IncrementalResult::Unsatisfiable(Vec::new()),
+                VarValue::True => {}
+                VarValue::Unassigned => self.enqueue(only, Some(idx)),
+            }
+        }
+        if self.propagate().is_some() {
+            return IncrementalResult::Unsatisfiable(Vec::new());
+        }
+
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_count = 0u64;
+        loop {
+            // One deadline check per conflict/decision iteration: each
+            // iteration performs a full propagation pass, so the check is
+            // amortized noise yet bounds the reaction latency to one
+            // propagation.
+            if limits.expired() {
+                return IncrementalResult::Unknown;
+            }
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return IncrementalResult::Unsatisfiable(Vec::new());
+                }
+                let (learned, backjump_level, depends_on) = self.analyze(conflict);
+                self.decay_activities();
+                self.backjump(backjump_level);
+                let asserting = learned[0];
+                let unit = learned.len() == 1;
+                let idx = self
+                    .add_clause(learned, true, depends_on)
+                    .expect("non-empty");
+                self.stats.learned_clauses += 1;
+                if unit {
+                    // Unit learned clause: assert at level 0.
+                    match self.literal_value(asserting) {
+                        VarValue::Unassigned => self.enqueue(asserting, Some(idx)),
+                        VarValue::False => return IncrementalResult::Unsatisfiable(Vec::new()),
+                        VarValue::True => {}
+                    }
+                } else {
+                    self.enqueue(asserting, Some(idx));
+                }
+                self.reduce_learned_clauses();
+            } else {
+                // Restart check.
+                let limit = self.restart_base * luby(restart_count);
+                if conflicts_since_restart >= limit {
+                    restart_count += 1;
+                    conflicts_since_restart = 0;
+                    self.stats.restarts += 1;
+                    self.backjump(0);
+                    continue;
+                }
+                // Establish the assumptions as the first decisions, in order.
+                // A restart backjumps to level 0, so this loop re-establishes
+                // them afterwards; already-satisfied assumptions get a dummy
+                // decision level so level indices stay aligned.
+                let mut next_assumption = None;
+                while self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.literal_value(p) {
+                        VarValue::True => self.trail_limits.push(self.trail.len()),
+                        VarValue::False => {
+                            return IncrementalResult::Unsatisfiable(self.analyze_final(p))
+                        }
+                        VarValue::Unassigned => {
+                            next_assumption = Some(p);
+                            break;
+                        }
+                    }
+                }
+                if let Some(p) = next_assumption {
+                    self.stats.decisions += 1;
+                    self.trail_limits.push(self.trail.len());
+                    self.enqueue(p, None);
+                    continue;
+                }
+                // Branch.
+                match self.pick_branch_variable() {
+                    None => return IncrementalResult::Satisfiable(self.extract_model()),
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        self.trail_limits.push(self.trail.len());
+                        let phase = self.saved_phase[var];
+                        self.enqueue(Literal::with_phase(Variable::new(var), phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pushes a frame of clauses onto the solver. Returns the new push depth.
+    ///
+    /// The frame's clauses stay active until a matching [`Self::pop`]; learned
+    /// clauses derived from them are tagged so the pop removes exactly the
+    /// learned clauses whose derivation touched the frame.
+    pub fn push(&mut self, formula: &CnfFormula) -> usize {
+        self.push_depth += 1;
+        self.model_cached = false;
+        self.ensure_vars(formula.num_vars());
+        self.load_frame(formula, self.push_depth);
+        self.push_depth
+    }
+
+    /// Pops the most recent frame, dropping its clauses and every learned
+    /// clause that depends on it. Returns `false` when no frame is open.
+    pub fn pop(&mut self) -> bool {
+        if self.push_depth == 0 {
+            return false;
+        }
+        self.push_depth -= 1;
+        self.model_cached = false;
+        // The trail may rest on clauses about to be dropped: discard it
+        // entirely (activities and phases survive, which is where the
+        // incremental speedup lives anyway).
+        self.reset_search_state();
+        let depth = self.push_depth;
+        self.clauses.retain(|c| c.push_level <= depth);
+        self.rebuild_watches();
+        if self.empty_clause_level.is_some_and(|l| l > depth) {
+            self.empty_clause_level = None;
+        }
+        true
+    }
+
+    /// The number of currently open push frames.
+    pub fn push_depth(&self) -> usize {
+        self.push_depth
+    }
+
+    /// The number of variables the solver currently tracks.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Solves the pushed clauses under `assumptions`, IPASIR-style.
+    ///
+    /// Assumption literals are enqueued as the first decisions; when the
+    /// database is unsatisfiable under them, the result carries a
+    /// failed-assumption core (see [`IncrementalResult::Unsatisfiable`]).
+    /// Learned clauses, variable activities and saved phases persist across
+    /// calls, which is what makes a sweep of near-identical queries cheaper
+    /// than re-solving each from scratch.
+    ///
+    /// ```
+    /// use cnf::{cnf_formula, Literal};
+    /// use sat_solvers::{CdclSolver, IncrementalResult, SearchLimits};
+    /// let mut solver = CdclSolver::new();
+    /// solver.push(&cnf_formula![[1, 2], [-1, 2]]);
+    /// let limits = SearchLimits::unlimited();
+    /// let lit = |i| Literal::from_dimacs(i).unwrap();
+    /// assert!(solver.solve_under_assumptions(&[lit(-2)], &limits).is_unsat());
+    /// assert!(solver.solve_under_assumptions(&[lit(2)], &limits).is_sat());
+    /// ```
+    pub fn solve_under_assumptions(
+        &mut self,
+        assumptions: &[Literal],
+        limits: &SearchLimits,
+    ) -> IncrementalResult {
+        self.stats = SolverStats::default();
+        // Model reuse: the previous call's complete model is still a model of
+        // the unchanged clause database, so if it happens to satisfy every
+        // new assumption the answer needs no search at all. Sweep workloads
+        // hit this constantly — one test pattern detects many faults.
+        if self.model_cached
+            && assumptions.iter().all(|&l| {
+                l.variable().index() < self.values.len() && self.literal_value(l) == VarValue::True
+            })
+        {
+            return IncrementalResult::Satisfiable(self.extract_model());
+        }
+        self.model_cached = false;
+        self.reset_search_state();
+        let max_var = assumptions
+            .iter()
+            .map(|l| l.variable().index() + 1)
+            .max()
+            .unwrap_or(0);
+        self.ensure_vars(max_var);
+        let result = self.search(assumptions, limits);
+        self.model_cached = result.is_sat();
+        result
     }
 }
 
@@ -448,95 +957,14 @@ fn luby(i: u64) -> u64 {
 impl Solver for CdclSolver {
     fn solve_limited(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         self.init(formula);
-        // Load original clauses; handle empty and unit clauses up front.
-        for clause in formula.iter() {
-            let mut lits: Vec<Literal> = clause.literals().to_vec();
-            lits.sort();
-            lits.dedup();
-            // Skip tautologies.
-            if lits.iter().any(|&l| lits.binary_search(&!l).is_ok()) {
-                continue;
+        self.load_frame(formula, 0);
+        match self.search(&[], limits) {
+            IncrementalResult::Satisfiable(model) => {
+                debug_assert!(formula.evaluate(&model));
+                SolveResult::Satisfiable(model)
             }
-            if lits.is_empty() {
-                return SolveResult::Unsatisfiable;
-            }
-            if lits.len() == 1 {
-                match self.literal_value(lits[0]) {
-                    VarValue::False => return SolveResult::Unsatisfiable,
-                    VarValue::True => continue,
-                    VarValue::Unassigned => {
-                        let idx = self.add_clause(lits.clone(), false).expect("non-empty");
-                        self.enqueue(lits[0], Some(idx));
-                        continue;
-                    }
-                }
-            }
-            self.add_clause(lits, false);
-        }
-        if self.propagate().is_some() {
-            return SolveResult::Unsatisfiable;
-        }
-
-        let mut conflicts_since_restart = 0u64;
-        let mut restart_count = 0u64;
-        loop {
-            // One deadline check per conflict/decision iteration: each
-            // iteration performs a full propagation pass, so the check is
-            // amortized noise yet bounds the reaction latency to one
-            // propagation.
-            if limits.expired() {
-                return SolveResult::Unknown;
-            }
-            if let Some(conflict) = self.propagate() {
-                self.stats.conflicts += 1;
-                conflicts_since_restart += 1;
-                if self.decision_level() == 0 {
-                    return SolveResult::Unsatisfiable;
-                }
-                let (learned, backjump_level) = self.analyze(conflict);
-                self.decay_activities();
-                self.backjump(backjump_level);
-                let asserting = learned[0];
-                if learned.len() == 1 {
-                    // Unit learned clause: assert at level 0.
-                    let idx = self.add_clause(learned, true).expect("non-empty");
-                    self.stats.learned_clauses += 1;
-                    if self.literal_value(asserting) == VarValue::Unassigned {
-                        self.enqueue(asserting, Some(idx));
-                    } else if self.literal_value(asserting) == VarValue::False {
-                        return SolveResult::Unsatisfiable;
-                    }
-                } else {
-                    let idx = self.add_clause(learned, true).expect("non-empty");
-                    self.stats.learned_clauses += 1;
-                    self.enqueue(asserting, Some(idx));
-                }
-                self.reduce_learned_clauses();
-            } else {
-                // Restart check.
-                let limit = self.restart_base * luby(restart_count);
-                if conflicts_since_restart >= limit {
-                    restart_count += 1;
-                    conflicts_since_restart = 0;
-                    self.stats.restarts += 1;
-                    self.backjump(0);
-                    continue;
-                }
-                // Branch.
-                match self.pick_branch_variable() {
-                    None => {
-                        let model = self.extract_model();
-                        debug_assert!(formula.evaluate(&model));
-                        return SolveResult::Satisfiable(model);
-                    }
-                    Some(var) => {
-                        self.stats.decisions += 1;
-                        self.trail_limits.push(self.trail.len());
-                        let phase = self.saved_phase[var];
-                        self.enqueue(Literal::with_phase(Variable::new(var), phase), None);
-                    }
-                }
-            }
+            IncrementalResult::Unsatisfiable(_) => SolveResult::Unsatisfiable,
+            IncrementalResult::Unknown => SolveResult::Unknown,
         }
     }
 
@@ -666,5 +1094,217 @@ mod tests {
         assert!(solver.stats().restarts > 0);
         assert!(solver.stats().learned_clauses > 0);
         assert_eq!(solver.name(), "cdcl");
+    }
+
+    fn lit(i: i64) -> Literal {
+        Literal::from_dimacs(i).expect("nonzero dimacs literal")
+    }
+
+    /// Checks an incremental verdict against solving `formula` plus the
+    /// assumptions as unit clauses from scratch, and — on UNSAT — that the
+    /// returned core is a subset of the assumptions and itself inconsistent
+    /// with the formula.
+    fn check_incremental_against_oracle(
+        solver: &mut CdclSolver,
+        formula: &CnfFormula,
+        assumptions: &[Literal],
+    ) {
+        let limits = SearchLimits::unlimited();
+        let result = solver.solve_under_assumptions(assumptions, &limits);
+        let mut augmented = formula.clone();
+        augmented.ensure_vars(solver.num_vars());
+        for &a in assumptions {
+            augmented.push_clause(cnf::Clause::from_literals(vec![a]));
+        }
+        let oracle = CdclSolver::new().solve(&augmented);
+        match &result {
+            IncrementalResult::Satisfiable(model) => {
+                assert!(oracle.is_sat(), "incremental SAT but oracle UNSAT");
+                assert!(formula.evaluate(model));
+                for &a in assumptions {
+                    assert!(model.satisfies(a), "assumption {a} not honoured by model");
+                }
+            }
+            IncrementalResult::Unsatisfiable(core) => {
+                assert!(oracle.is_unsat(), "incremental UNSAT but oracle SAT");
+                for c in core {
+                    assert!(assumptions.contains(c), "core literal {c} not assumed");
+                }
+                let mut with_core = formula.clone();
+                with_core.ensure_vars(solver.num_vars());
+                for &c in core {
+                    with_core.push_clause(cnf::Clause::from_literals(vec![c]));
+                }
+                assert!(
+                    CdclSolver::new().solve(&with_core).is_unsat(),
+                    "core {core:?} is not inconsistent with the formula"
+                );
+            }
+            IncrementalResult::Unknown => panic!("unlimited search returned Unknown"),
+        }
+    }
+
+    #[test]
+    fn incremental_agrees_with_unit_clause_oracle() {
+        for seed in 0..25 {
+            let cfg = RandomKSatConfig::new(8, 30, 3).with_seed(seed + 7000);
+            let f = generators::random_ksat(&cfg).unwrap();
+            let mut solver = CdclSolver::new();
+            solver.push(&f);
+            // Several calls against the same persistent solver.
+            for call in 0..4u64 {
+                let a = ((seed + call) % 8) as i64 + 1;
+                let b = ((seed + 3 * call + 2) % 8) as i64 + 1;
+                let assumptions = [
+                    lit(if call % 2 == 0 { a } else { -a }),
+                    lit(if call % 3 == 0 { b } else { -b }),
+                ];
+                let assumptions: Vec<Literal> =
+                    if assumptions[0].variable() == assumptions[1].variable() {
+                        assumptions[..1].to_vec()
+                    } else {
+                        assumptions.to_vec()
+                    };
+                check_incremental_against_oracle(&mut solver, &f, &assumptions);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_assumption_core_on_chain() {
+        // 1 → 2 → 3; assuming 1 and ¬3 is inconsistent.
+        let f = cnf_formula![[-1, 2], [-2, 3]];
+        let mut solver = CdclSolver::new();
+        solver.push(&f);
+        let limits = SearchLimits::unlimited();
+        let result = solver.solve_under_assumptions(&[lit(1), lit(-3)], &limits);
+        let core = result
+            .failed_assumptions()
+            .expect("UNSAT under assumptions");
+        assert!(!core.is_empty());
+        check_incremental_against_oracle(&mut solver, &f, &[lit(1), lit(-3)]);
+        // Same solver answers SAT afterwards.
+        assert!(solver.solve_under_assumptions(&[lit(1)], &limits).is_sat());
+    }
+
+    #[test]
+    fn contradictory_assumptions_yield_core() {
+        let f = cnf_formula![[1, 2]];
+        let mut solver = CdclSolver::new();
+        solver.push(&f);
+        let limits = SearchLimits::unlimited();
+        let result = solver.solve_under_assumptions(&[lit(3), lit(-3)], &limits);
+        let core = result
+            .failed_assumptions()
+            .expect("contradictory assumptions");
+        assert!(core.contains(&lit(3)) && core.contains(&lit(-3)));
+    }
+
+    #[test]
+    fn formula_unsat_core_is_subset_of_assumptions() {
+        let f = generators::pigeonhole(4, 3);
+        let mut solver = CdclSolver::new();
+        solver.push(&f);
+        // With no assumptions the core must be empty (a subset of nothing)...
+        let limits = SearchLimits::unlimited();
+        match solver.solve_under_assumptions(&[], &limits) {
+            IncrementalResult::Unsatisfiable(core) => assert!(core.is_empty()),
+            other => panic!("expected UNSAT, got {other:?}"),
+        }
+        // ...and with an irrelevant assumption the core stays a valid subset
+        // (it may name the assumption: formula ∧ core is still UNSAT).
+        check_incremental_against_oracle(&mut solver, &f, &[lit(1)]);
+    }
+
+    #[test]
+    fn pop_restores_satisfiability() {
+        let base = cnf_formula![[1, 2], [-1, 2]];
+        let contradiction = cnf_formula![[-2]];
+        let mut solver = CdclSolver::new();
+        let limits = SearchLimits::unlimited();
+        solver.push(&base);
+        assert_eq!(solver.push_depth(), 1);
+        assert!(solver.solve_under_assumptions(&[], &limits).is_sat());
+        solver.push(&contradiction);
+        assert_eq!(solver.push_depth(), 2);
+        match solver.solve_under_assumptions(&[], &limits) {
+            IncrementalResult::Unsatisfiable(core) => assert!(core.is_empty()),
+            other => panic!("expected UNSAT, got {other:?}"),
+        }
+        assert!(solver.pop());
+        assert_eq!(solver.push_depth(), 1);
+        // Any learned clause depending on the popped frame is gone: the base
+        // frame is satisfiable again, with 2 forced true.
+        let result = solver.solve_under_assumptions(&[], &limits);
+        let model = result.model().expect("base frame is SAT");
+        assert!(model.satisfies(lit(2)));
+        assert!(solver.pop());
+        assert!(!solver.pop());
+    }
+
+    #[test]
+    fn learned_clauses_survive_unrelated_pops() {
+        // Frame 1: a hard UNSAT core teaches the solver plenty. Frame 2 is
+        // independent; popping it must not forget frame 1's lessons or break
+        // later calls.
+        let hard = generators::pigeonhole(4, 3);
+        let mut solver = CdclSolver::new();
+        let limits = SearchLimits::unlimited();
+        solver.push(&hard);
+        assert!(solver.solve_under_assumptions(&[], &limits).is_unsat());
+        let learned_after_first = solver.clauses.iter().filter(|c| c.learned).count();
+        assert!(learned_after_first > 0);
+        let mut side = CnfFormula::new(solver.num_vars());
+        side.push_clause(cnf::Clause::from_literals(vec![lit(1)]));
+        solver.push(&side);
+        solver.pop();
+        // Learned clauses tagged with frame 1 survive the pop of frame 2.
+        let learned_after_pop = solver.clauses.iter().filter(|c| c.learned).count();
+        assert_eq!(learned_after_pop, learned_after_first);
+        assert!(solver.solve_under_assumptions(&[], &limits).is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_in_frame_pops_cleanly() {
+        let mut with_empty = CnfFormula::new(2);
+        with_empty.push_clause(cnf::Clause::new());
+        let mut solver = CdclSolver::new();
+        let limits = SearchLimits::unlimited();
+        solver.push(&cnf_formula![[1, 2]]);
+        solver.push(&with_empty);
+        match solver.solve_under_assumptions(&[lit(1)], &limits) {
+            IncrementalResult::Unsatisfiable(core) => assert!(core.is_empty()),
+            other => panic!("expected UNSAT, got {other:?}"),
+        }
+        solver.pop();
+        assert!(solver.solve_under_assumptions(&[lit(1)], &limits).is_sat());
+    }
+
+    #[test]
+    fn assumptions_widen_the_variable_range() {
+        let mut solver = CdclSolver::new();
+        let limits = SearchLimits::unlimited();
+        solver.push(&cnf_formula![[1]]);
+        // Variable 5 is unknown to the clause database; assuming it must
+        // still be honoured in the model.
+        let result = solver.solve_under_assumptions(&[lit(-5)], &limits);
+        let model = result.model().expect("SAT");
+        assert!(model.satisfies(lit(-5)));
+        assert!(solver.num_vars() >= 5);
+    }
+
+    #[test]
+    fn incremental_deadline_returns_unknown() {
+        let mut solver = CdclSolver::new();
+        solver.push(&generators::pigeonhole(7, 6));
+        let limits = SearchLimits::deadline_in(std::time::Duration::ZERO);
+        assert_eq!(
+            solver.solve_under_assumptions(&[], &limits),
+            IncrementalResult::Unknown
+        );
+        // The solver remains usable after an interrupted call.
+        assert!(solver
+            .solve_under_assumptions(&[], &SearchLimits::unlimited())
+            .is_unsat());
     }
 }

@@ -62,7 +62,7 @@ pub mod two_sat;
 pub mod walksat;
 
 pub use brute::BruteForceSolver;
-pub use cdcl::CdclSolver;
+pub use cdcl::{CdclSolver, IncrementalResult};
 pub use dpll::DpllSolver;
 pub use gsat::{Gsat, GsatConfig};
 pub use limits::SearchLimits;

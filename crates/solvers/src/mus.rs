@@ -8,9 +8,10 @@
 //! *minimal* unsatisfiable subset — every clause that remains is necessary
 //! (removing any single one makes the rest satisfiable).
 
-use crate::cdcl::CdclSolver;
-use crate::solver::{SolveResult, Solver};
-use cnf::{Clause, CnfFormula};
+use crate::cdcl::{CdclSolver, IncrementalResult};
+use crate::limits::SearchLimits;
+use cnf::{CnfFormula, Literal, Variable};
+use std::collections::HashSet;
 use std::fmt;
 
 /// Statistics of a MUS extraction run.
@@ -62,6 +63,15 @@ impl MusOutcome {
 /// necessary. One complete-solver call per clause gives a *minimal* (though
 /// not necessarily minimum-cardinality) core.
 ///
+/// The checks run on **one** incremental [`CdclSolver`]: every original
+/// clause `C_i` is augmented once with a fresh *selector* variable
+/// (`C_i ∨ ¬s_i`) and pushed up front, and each membership question is then a
+/// [`CdclSolver::solve_under_assumptions`] call over the active selectors —
+/// no per-candidate formula rebuild, and learned clauses carry over between
+/// checks. Failed-assumption cores double as *clause-set refinement*: when a
+/// deletion keeps the set unsatisfiable, every clause outside the returned
+/// core is discarded in the same stroke.
+///
 /// ```
 /// use cnf::cnf_formula;
 /// use sat_solvers::{MusExtractor, MusOutcome};
@@ -90,54 +100,79 @@ impl MusExtractor {
         self.stats
     }
 
-    fn is_unsat(&mut self, num_vars: usize, clauses: &[&Clause]) -> bool {
-        self.stats.solver_calls += 1;
-        let formula = CnfFormula::from_clauses(num_vars, clauses.iter().map(|&c| c.clone()));
-        let mut solver = CdclSolver::new();
-        matches!(solver.solve(&formula), SolveResult::Unsatisfiable)
-    }
-
     /// Extracts a minimal unsatisfiable subset of `formula`'s clauses.
     ///
     /// Returns [`MusOutcome::Satisfiable`] if the formula has a model. The
-    /// work is one complete-solver call to classify the formula plus one call
-    /// per clause of the shrinking working set, so it is intended for the
-    /// small-to-medium instances this workspace's experiments use.
+    /// work is one incremental-solver call to classify the formula plus one
+    /// call per clause of the shrinking working set — the selector-augmented
+    /// formula is encoded and pushed exactly once, so the per-candidate cost
+    /// is an assumption-driven re-search, not a solver rebuild.
     pub fn extract(&mut self, formula: &CnfFormula) -> MusOutcome {
+        let num_vars = formula.num_vars();
+        let num_clauses = formula.num_clauses();
         self.stats = MusStats {
-            original_clauses: formula.num_clauses(),
+            original_clauses: num_clauses,
             ..MusStats::default()
         };
-        let all: Vec<&Clause> = formula.clauses().iter().collect();
-        if !self.is_unsat(formula.num_vars(), &all) {
-            return MusOutcome::Satisfiable;
+        // Guard clause `i` with selector variable `s_i = num_vars + i`:
+        // assuming `s_i` activates the clause, omitting it disables it.
+        let mut augmented = CnfFormula::new(num_vars + num_clauses);
+        for (index, clause) in formula.clauses().iter().enumerate() {
+            let guard = Variable::new(num_vars + index).negative();
+            augmented.add_clause(clause.iter().copied().chain([guard]));
         }
-        // Working set of original indices, shrunk in place.
-        let mut working: Vec<usize> = (0..formula.num_clauses()).collect();
-        let mut i = 0;
-        while i < working.len() {
-            let candidate: Vec<&Clause> = working
+        let mut solver = CdclSolver::new();
+        solver.push(&augmented);
+        let limits = SearchLimits::unlimited();
+        let selector_of = |index: usize| Variable::new(num_vars + index).positive();
+        let index_of = |literal: Literal| literal.variable().index() - num_vars;
+
+        // Classify the formula with every clause active; the failed core
+        // already discards clauses the refutation never touched.
+        let assume_all: Vec<Literal> = (0..num_clauses).map(selector_of).collect();
+        self.stats.solver_calls += 1;
+        let mut pending = match solver.solve_under_assumptions(&assume_all, &limits) {
+            IncrementalResult::Satisfiable(_) => return MusOutcome::Satisfiable,
+            IncrementalResult::Unsatisfiable(core) => {
+                let mut indices: Vec<usize> = core.iter().map(|&lit| index_of(lit)).collect();
+                indices.sort_unstable();
+                indices
+            }
+            IncrementalResult::Unknown => unreachable!("unlimited search reported a timeout"),
+        };
+
+        // Deletion loop: try each remaining clause without its selector.
+        let mut necessary: Vec<usize> = Vec::new();
+        while !pending.is_empty() {
+            let candidate = pending.remove(0);
+            let assumptions: Vec<Literal> = necessary
                 .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, &idx)| &formula.clauses()[idx])
+                .chain(pending.iter())
+                .map(|&index| selector_of(index))
                 .collect();
-            if self.is_unsat(formula.num_vars(), &candidate) {
-                // The clause is redundant for unsatisfiability; drop it.
-                working.remove(i);
-            } else {
-                // The clause is necessary; keep it and move on.
-                i += 1;
+            self.stats.solver_calls += 1;
+            match solver.solve_under_assumptions(&assumptions, &limits) {
+                IncrementalResult::Satisfiable(_) => necessary.push(candidate),
+                IncrementalResult::Unsatisfiable(core) => {
+                    // Still unsatisfiable without the candidate: drop it, and
+                    // drop every other pending clause outside the new core in
+                    // the same stroke.
+                    let keep: HashSet<usize> = core.iter().map(|&lit| index_of(lit)).collect();
+                    pending.retain(|index| keep.contains(index));
+                }
+                IncrementalResult::Unknown => unreachable!("unlimited search reported a timeout"),
             }
         }
-        self.stats.core_clauses = working.len();
-        MusOutcome::Core(working)
+        necessary.sort_unstable();
+        self.stats.core_clauses = necessary.len();
+        MusOutcome::Core(necessary)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::Solver;
     use cnf::generators;
     use cnf::{cnf_formula, CnfFormula};
 
@@ -215,6 +250,39 @@ mod tests {
         assert!(cdcl.solve(&subset_formula(&formula, &core)).is_unsat());
         assert!(core.len() <= formula.num_clauses());
         assert_eq!(extractor.stats().original_clauses, formula.num_clauses());
+    }
+
+    #[test]
+    fn overlapping_cores_yield_one_minimal_core() {
+        // Two independent contradictions plus glue clauses belonging to
+        // neither; a minimal core is either {0, 1} or {2, 3}, never a mix.
+        let formula = cnf_formula![[1], [-1], [2], [-2], [1, 2, 3], [-3, 4]];
+        let mut extractor = MusExtractor::new();
+        let MusOutcome::Core(core) = extractor.extract(&formula) else {
+            panic!("formula is unsatisfiable");
+        };
+        assert!(
+            core == vec![0, 1] || core == vec![2, 3],
+            "core {core:?} mixes independent contradictions"
+        );
+        // Minimality: dropping any single core clause flips the verdict.
+        for skip in 0..core.len() {
+            let reduced: Vec<usize> = core
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &idx)| idx)
+                .collect();
+            let mut solver = crate::CdclSolver::new();
+            assert!(
+                solver.solve(&subset_formula(&formula, &reduced)).is_sat(),
+                "core is not minimal: position {skip} is redundant"
+            );
+        }
+        // One classification call plus at most one deletion attempt per
+        // clause; clause-set refinement can only lower the count.
+        assert!(extractor.stats().solver_calls <= 1 + formula.num_clauses() as u64);
+        assert_eq!(extractor.stats().core_clauses, 2);
     }
 
     #[test]

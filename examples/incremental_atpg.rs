@@ -1,0 +1,101 @@
+//! Incremental ATPG: one solver, one clause database, one assumption per
+//! fault.
+//!
+//! The classic SAT-based ATPG flow (see `examples/atpg.rs`) builds and solves
+//! a fresh miter CNF per fault. The incremental flow instead Tseitin-encodes
+//! a single selector-instrumented miter — the good design next to one shadow
+//! copy whose faulted lines carry selector muxes — pushes it into a CDCL
+//! solver **once**, and decides each fault with
+//! `solve_under_assumptions([fault_literal])`, so conflict clauses learned on
+//! one fault (and the model found for it) carry over to every later fault.
+//!
+//! This doubles as a CI smoke: the process exits non-zero if the incremental
+//! sweep's fault coverage disagrees with the from-scratch per-fault oracle on
+//! a single fault.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example incremental_atpg
+//! ```
+
+use nbl_sat_repro::circuit::{atpg_check, atpg_sweep, fault_list, fault_simulate, library};
+use nbl_sat_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let adder = library::ripple_carry_adder(3);
+    println!("{adder}");
+    let faults = fault_list(&adder);
+    println!("single stuck-at fault list: {} faults", faults.len());
+
+    // --- Incremental sweep: encode once, assume per fault.
+    let sweep = atpg_sweep(&adder, &faults)?;
+    println!(
+        "shared instrumented CNF: {} variables, {} clauses for {} checks",
+        sweep.formula().num_vars(),
+        sweep.formula().num_clauses(),
+        sweep.num_faults()
+    );
+    let limits = SearchLimits::unlimited();
+    let mut solver = CdclSolver::new();
+    solver.push(sweep.formula());
+    let mut testable = Vec::new();
+    let mut patterns: Vec<Vec<bool>> = Vec::new();
+    for (index, &fault) in faults.iter().enumerate() {
+        match solver.solve_under_assumptions(&[sweep.fault_literal(index)], &limits) {
+            IncrementalResult::Satisfiable(model) => {
+                testable.push(true);
+                patterns.push(sweep.test_pattern(&model));
+            }
+            IncrementalResult::Unsatisfiable(_) => {
+                testable.push(false);
+                println!("  untestable: {}", fault.describe(&adder));
+            }
+            IncrementalResult::Unknown => unreachable!("unlimited CDCL is complete"),
+        }
+    }
+    let stats = solver.stats();
+    println!(
+        "incremental sweep: {} testable / {} faults on ONE solver \
+         ({} conflicts, {} learned clauses total)",
+        testable.iter().filter(|&&t| t).count(),
+        faults.len(),
+        stats.conflicts,
+        stats.learned_clauses
+    );
+
+    // --- Oracle: the from-scratch flow, one fresh CNF + solver per fault.
+    let mut mismatches = 0usize;
+    for (index, &fault) in faults.iter().enumerate() {
+        let check = atpg_check(&adder, fault)?;
+        let mut oracle = CdclSolver::new();
+        let expected = oracle.solve(check.formula()).is_sat();
+        if expected != testable[index] {
+            eprintln!(
+                "COVERAGE MISMATCH on {}: incremental={} oracle={}",
+                fault.describe(&adder),
+                testable[index],
+                expected
+            );
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("{mismatches} coverage mismatches — incremental ATPG is wrong");
+        std::process::exit(1);
+    }
+    println!("from-scratch oracle agrees on all {} faults", faults.len());
+
+    // --- The generated patterns really detect the testable faults.
+    let report = fault_simulate(&adder, &faults, &patterns)?;
+    println!("replaying the incremental patterns: {report}");
+    let testable_count = testable.iter().filter(|&&t| t).count();
+    if report.detected.len() != testable_count {
+        eprintln!(
+            "pattern replay detected {} faults but {} are testable",
+            report.detected.len(),
+            testable_count
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -77,23 +77,25 @@ pub mod prelude {
         Circuit, CircuitBuilder, GateKind, Simulator, StuckAtFault, TseitinEncoder,
     };
     pub use nbl_net::{
-        ClientConfig, NblSatClient, NblSatServer, NetError, RemoteJob, RemoteOutcome, ServerConfig,
-        SolveFrame, WireStats, WireVerdict,
+        ClientConfig, NblSatClient, NblSatServer, NetError, RemoteJob, RemoteOutcome,
+        RemoteSession, ServerConfig, SolveFrame, WireStats, WireVerdict,
     };
     pub use nbl_noise::{CarrierKind, RunningStats};
     pub use nbl_sat_core::{
         AlgebraicEngine, Artifacts, AssignmentExtractor, BackendRegistry, Budget, BudgetMeter,
-        EngineConfig, ExhaustedResource, HybridSolver, JobHandle, JobPriority, JobStatus,
-        MeanEstimate, NblEngine, NblSatError, NblSatInstance, SampledEngine, SatBackend,
-        SatChecker, ServiceBuilder, SharedBudget, SnrModel, SolveBatch, SolveOutcome, SolveRequest,
-        SolveService, SolveStats, SolveVerdict, SymbolicEngine, UnknownCause, Verdict,
+        EngineConfig, ExhaustedResource, HybridSolver, IncrementalBackend, JobHandle, JobPriority,
+        JobStatus, MeanEstimate, NblEngine, NblSatError, NblSatInstance, SampledEngine, SatBackend,
+        SatChecker, ServiceBuilder, SessionCall, SessionHandle, SharedBudget, SnrModel, SolveBatch,
+        SolveOutcome, SolveRequest, SolveService, SolveSession, SolveStats, SolveVerdict,
+        SymbolicEngine, UnknownCause, Verdict,
     };
     pub use nbl_shard::{
         CubeSplit, FleetOutcome, FleetStats, ShardConfig, ShardCoordinator, ShardError, SplitConfig,
     };
     pub use sat_solvers::{
-        BruteForceSolver, CdclSolver, DpllSolver, Gsat, MusExtractor, ParallelPortfolio, Portfolio,
-        Schoening, SearchLimits, SolveResult, Solver, SolverStats, TwoSatSolver, WalkSat,
+        BruteForceSolver, CdclSolver, DpllSolver, Gsat, IncrementalResult, MusExtractor,
+        MusOutcome, ParallelPortfolio, Portfolio, Schoening, SearchLimits, SolveResult, Solver,
+        SolverStats, TwoSatSolver, WalkSat,
     };
 }
 

@@ -1,0 +1,121 @@
+//! Differential acceptance suite for the incremental circuit workloads:
+//! ATPG fault sweeps and miter equivalence batches driven through
+//! IPASIR-style sessions must return verdicts **identical** to the
+//! from-scratch per-instance oracle.
+//!
+//! Two session layers are exercised: [`BackendRegistry::open_session`]
+//! (an in-process [`SolveSession`]) and [`SolveService::open_session`]
+//! (a [`SessionHandle`] pinning the solver to a dedicated service thread).
+
+use nbl_sat_repro::prelude::*;
+
+use nbl_sat_repro::circuit::{
+    atpg_check, atpg_sweep, equivalence_check, fault_list, fault_simulate, library, miter_sweep,
+    Simulator,
+};
+
+/// From-scratch oracle: is this fault testable, per its own CNF instance?
+fn oracle_testable(circuit: &nbl_sat_repro::circuit::Circuit, fault: StuckAtFault) -> bool {
+    let check = atpg_check(circuit, fault).expect("build per-fault instance");
+    let mut solver = CdclSolver::new();
+    solver.solve(check.formula()).is_sat()
+}
+
+#[test]
+fn atpg_sweep_through_a_registry_session_matches_the_oracle() {
+    let circuit = library::majority3();
+    let faults = fault_list(&circuit);
+    assert!(faults.len() >= 4, "fault list unexpectedly small");
+    let sweep = atpg_sweep(&circuit, &faults).expect("build sweep");
+
+    let registry = BackendRegistry::default();
+    let mut session = registry.open_session("cdcl").expect("cdcl is incremental");
+    session.push(sweep.formula());
+
+    for (index, &fault) in faults.iter().enumerate() {
+        let call = SessionCall::new().assumptions([sweep.fault_literal(index)]);
+        let outcome = session.solve(&call).expect("session solve");
+        let expected = oracle_testable(&circuit, fault);
+        assert_eq!(
+            outcome.verdict.is_sat(),
+            expected,
+            "fault {fault}: session verdict diverged from the oracle"
+        );
+        if let Some(model) = &outcome.model {
+            // The decoded pattern must actually detect exactly this fault's
+            // output divergence when replayed through the fault simulator.
+            let pattern = sweep.test_pattern(model);
+            let report = fault_simulate(&circuit, &[fault], &[pattern]).expect("fault sim");
+            assert_eq!(
+                report.detected,
+                vec![fault],
+                "pattern fails to detect {fault}"
+            );
+        } else {
+            // UNSAT under one assumption must name it in the failed core.
+            let core = outcome
+                .failed_assumptions
+                .as_ref()
+                .expect("assumption-aware UNSAT carries a core");
+            assert!(core.iter().all(|&l| l == sweep.fault_literal(index)));
+        }
+    }
+    assert_eq!(session.calls(), faults.len() as u64);
+    // The frame pops off cleanly, leaving an empty session.
+    assert!(session.pop());
+    assert_eq!(session.depth(), 0);
+}
+
+#[test]
+fn miter_sweep_through_a_service_session_matches_the_oracle() {
+    let base = library::ripple_carry_adder(3);
+    let alternatives = [
+        library::ripple_carry_adder(3),
+        library::buggy_ripple_carry_adder(3, 1),
+        library::buggy_ripple_carry_adder(3, 2),
+    ];
+    let sweep = miter_sweep(&base, &alternatives).expect("build miter sweep");
+
+    let registry = BackendRegistry::default();
+    let service = SolveService::builder(&registry).workers(2).start();
+    let session = service.open_session("cdcl").expect("open service session");
+    session.push(sweep.formula()).expect("push sweep formula");
+
+    for (index, alternative) in alternatives.iter().enumerate() {
+        // Oracle: a fresh one-shot equivalence check for this pair alone.
+        let check = equivalence_check(&base, alternative).expect("build pairwise miter");
+        let mut oracle = CdclSolver::new();
+        let differs = oracle.solve(check.formula()).is_sat();
+
+        let call = SessionCall::new().assumptions([sweep.check_literal(index)]);
+        let outcome = session.solve(&call).expect("session solve");
+        assert_eq!(
+            outcome.verdict.is_sat(),
+            differs,
+            "alternative {index}: session verdict diverged from the oracle"
+        );
+        if let Some(model) = &outcome.model {
+            // The distinguishing pattern must actually split the two
+            // circuits when simulated.
+            let cex = sweep.counterexample(model);
+            let pattern: Vec<bool> = base
+                .input_names()
+                .iter()
+                .map(|name| {
+                    cex.iter()
+                        .find(|(n, _)| n == name)
+                        .map(|&(_, v)| v)
+                        .expect("counterexample covers every input")
+                })
+                .collect();
+            let base_out = Simulator::new(&base).unwrap().run(&pattern).unwrap();
+            let alt_out = Simulator::new(alternative).unwrap().run(&pattern).unwrap();
+            assert_ne!(
+                base_out, alt_out,
+                "counterexample does not distinguish alternative {index}"
+            );
+        }
+    }
+    session.close();
+    service.shutdown();
+}

@@ -83,6 +83,13 @@ fn sharded_unsat_refutes_every_cube() {
         "the fleet must have refuted at least one cube remotely: {}",
         outcome.fleet
     );
+    // Both shards are current-generation servers, so every cube must have
+    // shipped as a `SESSION ASSUME` assumption list, not a re-encoded SOLVE.
+    assert!(
+        outcome.fleet.assumption_dispatches >= 1,
+        "session-capable shards must get assumption dispatch: {}",
+        outcome.fleet
+    );
     // UNSAT is only ever claimed once every cube of the partition is
     // accounted for; the merged stats prove the shards really searched.
     assert!(outcome.stats.decisions + outcome.stats.conflicts > 0);
@@ -109,14 +116,7 @@ impl SatBackend for Trickle {
         request: &SolveRequest<'_>,
     ) -> nbl_sat_repro::nbl_sat::Result<SolveOutcome> {
         let formula = request.formula();
-        let mut outcome = SolveOutcome {
-            verdict: SolveVerdict::Unknown(UnknownCause::Incomplete),
-            model: None,
-            cube: None,
-            stats: SolveStats::default(),
-            trace: None,
-            exhausted: None,
-        };
+        let mut outcome = SolveOutcome::of_verdict(SolveVerdict::Unknown(UnknownCause::Incomplete));
         match Assignment::enumerate_all(formula.num_vars()).find(|a| formula.evaluate(a)) {
             Some(model) => {
                 thread::sleep(Duration::from_millis(100));

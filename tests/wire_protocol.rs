@@ -433,6 +433,110 @@ fn status_reports_the_job_lifecycle_and_unknown_jobs_err() {
 }
 
 #[test]
+fn incremental_sessions_over_the_wire() {
+    let server = start_server(ServerConfig::new().workers(1));
+    let client = NblSatClient::connect(server.local_addr()).expect("connect");
+    assert!(
+        client.hello().expect("CAPS reply"),
+        "server must advertise session support"
+    );
+
+    let session = client.open_session("cdcl").expect("open session");
+    // Frame 1: (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2) — SAT, an exclusive-or core.
+    assert_eq!(session.add_clauses("1 2 0\n-1 -2 0\n").expect("push"), 1);
+
+    let outcome = session.assume(&[1]).expect("queue").wait().expect("solve");
+    assert!(outcome.verdict.is_sat());
+    let model = outcome.model.expect("session solves stream their model");
+    assert!(model.contains(&1), "assumption must hold in the model");
+    assert!(model.contains(&-2), "the xor clause forces ¬x2");
+    assert!(outcome.failed.is_none());
+
+    // Frame 2 pins x2, contradicting x1 under the xor: UNSAT with a core
+    // drawn from the assumptions.
+    assert_eq!(session.add_clauses("2 0\n").expect("push"), 2);
+    let outcome = session.assume(&[1]).expect("queue").wait().expect("solve");
+    assert!(outcome.verdict.is_unsat());
+    let failed = outcome.failed.expect("UNSAT under assumptions has a core");
+    assert_eq!(failed, vec![1]);
+
+    // Popping frame 2 restores satisfiability under the same assumption —
+    // the state the wire protocol must round-trip is the *stack*, not one
+    // formula.
+    assert_eq!(session.pop().expect("pop"), 1);
+    let outcome = session.assume(&[1]).expect("queue").wait().expect("solve");
+    assert!(outcome.verdict.is_sat());
+
+    session.close().expect("close ack");
+
+    // Sessions coexist with one-shot traffic on the same connection.
+    let outcome = client
+        .submit(SolveFrame::new(
+            "cdcl",
+            &cnf::dimacs::to_string(&cnf::generators::example7_unsat()),
+        ))
+        .expect("submit")
+        .wait()
+        .expect("outcome");
+    assert!(outcome.verdict.is_unsat());
+    server.stop();
+}
+
+#[test]
+fn session_errors_and_raw_framing_over_the_wire() {
+    let server = start_server(ServerConfig::new().workers(1));
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect raw");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    stream.write_all(b"HELLO\n").unwrap();
+    assert_eq!(read_line(&mut reader), "CAPS sessions=true");
+
+    // Ops on a session id never opened.
+    stream.write_all(b"SESSION POP 7\n").unwrap();
+    assert!(read_line(&mut reader).contains("unknown session"));
+    // Unknown backends and backends without session support refuse to open.
+    stream
+        .write_all(b"SESSION OPEN backend=frobnicator\n")
+        .unwrap();
+    assert!(read_line(&mut reader).starts_with("ERR - "));
+    stream.write_all(b"SESSION OPEN backend=dpll\n").unwrap();
+    assert!(read_line(&mut reader).starts_with("ERR - "));
+
+    // A real session: an empty pop errs without killing the session, and the
+    // ASSUME completion group is QUEUED → f-line → RESULT with job ids from
+    // the dedicated high range.
+    stream.write_all(b"SESSION OPEN backend=cdcl\n").unwrap();
+    assert_eq!(read_line(&mut reader), "SESSIONOK 1 depth=0");
+    stream.write_all(b"SESSION POP 1\n").unwrap();
+    assert!(read_line(&mut reader).contains("no frame to pop"));
+    stream
+        .write_all(b"SESSION ADDCLAUSES 1 body-lines=1\n1 0\n")
+        .unwrap();
+    assert_eq!(read_line(&mut reader), "SESSIONOK 1 depth=1");
+    let job = 1u64 << 63;
+    stream.write_all(b"SESSION ASSUME 1 lits=-1\n").unwrap();
+    assert_eq!(read_line(&mut reader), format!("QUEUED {job}"));
+    // Session completions always carry stats, then the failed core.
+    let stats = read_line(&mut reader);
+    assert!(
+        stats.starts_with(&format!("STATS {job} ")),
+        "expected a stats line, got {stats:?}"
+    );
+    assert_eq!(read_line(&mut reader), format!("f {job} -1 0"));
+    assert_eq!(
+        read_line(&mut reader),
+        format!("RESULT {job} s UNSATISFIABLE")
+    );
+
+    // CLOSE acks once; the id is then gone.
+    stream.write_all(b"SESSION CLOSE 1\n").unwrap();
+    assert_eq!(read_line(&mut reader), "SESSIONOK 1 depth=0");
+    stream.write_all(b"SESSION CLOSE 1\n").unwrap();
+    assert!(read_line(&mut reader).contains("unknown session"));
+    server.stop();
+}
+
+#[test]
 fn shutdown_verb_drains_the_server() {
     let server = start_server(ServerConfig::new().workers(2));
     let addr = server.local_addr();

@@ -7,7 +7,9 @@
 use cnf::generators::{self, RandomKSatConfig};
 use cnf::CnfFormula;
 use criterion::{criterion_group, criterion_main, Criterion};
-use nbl_sat_core::{BackendRegistry, JobPriority, SolveBatch, SolveRequest, SolveService};
+use nbl_sat_core::{
+    Artifacts, BackendRegistry, JobPriority, SolveBatch, SolveRequest, SolveService,
+};
 
 /// A mixed 16-instance workload around the 3-SAT phase transition.
 fn workload() -> Vec<CnfFormula> {
@@ -58,6 +60,57 @@ fn service_vs_batch_throughput(c: &mut Criterion) {
     }
 }
 
+fn service_cache_hit_vs_miss(c: &mut Criterion) {
+    let registry = BackendRegistry::default();
+    // One over-constrained UNSAT instance resubmitted over and over: with
+    // the verdict cache every submission after the first answers straight
+    // from the canonical-key lookup, without the cache each one pays the
+    // full cdcl refutation. The ladder (4 and 16 repeats) shows the gap
+    // widening with re-solve traffic. A *random* instance matters here:
+    // its automorphism group is trivial, so the per-lookup canonical form
+    // is cheap — symmetric families like pigeonhole spend as long
+    // canonicalizing as solving and would bury the cache win.
+    let formula =
+        generators::random_ksat(&RandomKSatConfig::from_ratio(60, 5.0, 3).with_seed(1)).unwrap();
+    let mut group = c.benchmark_group("service_throughput_cache");
+    group.sample_size(10);
+    for repeats in [4usize, 16] {
+        for (suffix, cached) in [("miss", false), ("hit", true)] {
+            group.bench_function(format!("repeat{repeats}_{suffix}"), |b| {
+                b.iter(|| {
+                    let mut builder = SolveService::builder(&registry).workers(2);
+                    if cached {
+                        builder = builder.cache_capacity(64);
+                    }
+                    let service = builder.start();
+                    // `Artifacts::Model` keeps SAT outcomes cacheable too
+                    // (the cache only stores SAT answers whose model it
+                    // could verify), so the workload generalizes.
+                    let handles: Vec<_> = (0..repeats)
+                        .map(|_| {
+                            service.submit(
+                                "cdcl",
+                                &SolveRequest::new(&formula)
+                                    .seed(7)
+                                    .artifacts(Artifacts::Model),
+                            )
+                        })
+                        .collect();
+                    let definitive = handles
+                        .into_iter()
+                        .map(|h| h.wait().unwrap())
+                        .filter(|o| o.verdict.is_definitive())
+                        .count();
+                    let hits = service.metrics_snapshot().cache_hits;
+                    service.shutdown();
+                    (definitive, hits)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn service_priority_scheduling_overhead(c: &mut Criterion) {
     let registry = BackendRegistry::default();
     let instances = workload();
@@ -93,6 +146,7 @@ fn service_priority_scheduling_overhead(c: &mut Criterion) {
 criterion_group!(
     service_throughput,
     service_vs_batch_throughput,
+    service_cache_hit_vs_miss,
     service_priority_scheduling_overhead
 );
 criterion_main!(service_throughput);

@@ -1,0 +1,582 @@
+//! Canonical preprocessing for the solve pipeline: deterministic
+//! normalization, unit/pure reduction with an invertible [`ReductionTrace`],
+//! and a renaming-invariant canonical form usable as a cache key.
+//!
+//! The NBL engines of the paper scale exponentially in *live* variables, so
+//! every variable removed before dispatch widens the range the stack can
+//! serve. This module is the front half of that story:
+//!
+//! 1. [`normalize`] — a deterministic, idempotent cleanup (sort literals
+//!    within clauses, drop duplicate literals, duplicate clauses and
+//!    tautologies) that never changes the set of models.
+//! 2. [`preprocess`] — normalization followed by the unit-propagation /
+//!    pure-literal fixpoint of [`mod@crate::simplify`], then a renaming of the
+//!    surviving variables to a dense canonical order. The result is either an
+//!    outright verdict (with a model in the caller's variable space when
+//!    satisfiable) or a reduced formula plus the [`ReductionTrace`] that maps
+//!    models and literals back.
+//! 3. [`canonicalize`] / [`fingerprint`] — a canonical variable order
+//!    computed by iterative signature refinement (with a budgeted
+//!    individualize-and-refine tie-break), so two formulas that differ only
+//!    by a variable renaming and clause/literal permutations map to the
+//!    *same* reduced formula and therefore the same fingerprint. A verdict
+//!    cache keyed this way answers renamed resubmissions without a solve.
+
+use crate::assignment::Assignment;
+use crate::clause::Clause;
+use crate::formula::CnfFormula;
+use crate::simplify::simplify;
+use crate::var::{Literal, Variable};
+
+/// Leaf budget of the individualize-and-refine tie-break search: how many
+/// complete candidate orderings [`canonicalize`] may encode before falling
+/// back to the deterministic (but not renaming-invariant) input-order
+/// tie-break. Highly symmetric formulas are the only way to exceed it, and
+/// the fallback only costs cache hit rate, never correctness.
+const CANONICAL_LEAF_BUDGET: usize = 64;
+
+/// Returns a deterministic, idempotent normal form of `formula`: literals
+/// sorted and deduplicated within each clause, tautological clauses dropped,
+/// clauses sorted lexicographically and deduplicated. The variable count is
+/// preserved, so `normalize(normalize(f)) == normalize(f)` and the set of
+/// satisfying assignments is unchanged.
+pub fn normalize(formula: &CnfFormula) -> CnfFormula {
+    let mut clauses: Vec<Clause> = formula
+        .iter()
+        .filter(|clause| !clause.is_tautology())
+        .map(Clause::normalized)
+        .collect();
+    clauses.sort_by(|a, b| {
+        a.iter()
+            .map(|lit| lit.code())
+            .cmp(b.iter().map(|lit| lit.code()))
+    });
+    clauses.dedup();
+    CnfFormula::from_clauses(formula.num_vars(), clauses)
+}
+
+/// The invertible record of one [`preprocess`] reduction: which literals were
+/// forced (unit propagation, pure literals) in the *original* variable space,
+/// and how the surviving variables were renamed to the dense canonical order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionTrace {
+    original_vars: usize,
+    /// Literals fixed during simplification, in the original variable space.
+    forced: Vec<Literal>,
+    /// Canonical index → original variable, for every surviving variable.
+    kept: Vec<Variable>,
+}
+
+impl ReductionTrace {
+    /// Number of variables the caller's formula had.
+    pub fn original_vars(&self) -> usize {
+        self.original_vars
+    }
+
+    /// Number of variables surviving in the reduced formula.
+    pub fn reduced_vars(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// How many of the caller's variables the reduction eliminated.
+    pub fn vars_removed(&self) -> usize {
+        self.original_vars - self.kept.len()
+    }
+
+    /// The literals fixed by simplification, in the original variable space.
+    pub fn forced(&self) -> &[Literal] {
+        &self.forced
+    }
+
+    /// The original variable behind a canonical one, or `None` when the
+    /// canonical index is out of range.
+    pub fn original_variable(&self, canonical: Variable) -> Option<Variable> {
+        self.kept.get(canonical.index()).copied()
+    }
+
+    /// Maps a literal of the reduced formula back to the caller's variable
+    /// space (the polarity is preserved; only variables are renamed).
+    pub fn lift_literal(&self, lit: Literal) -> Option<Literal> {
+        self.original_variable(lit.variable())
+            .map(|var| var.literal(lit.phase()))
+    }
+
+    /// Lifts a model of the reduced formula to a complete assignment in the
+    /// caller's variable space: forced literals take their forced value,
+    /// surviving variables take the model's value, and variables eliminated
+    /// as unconstrained default to `false`.
+    pub fn lift_model(&self, model: &Assignment) -> Assignment {
+        let mut lifted = Assignment::all_false(self.original_vars);
+        for &lit in &self.forced {
+            lifted.set(lit.variable(), lit.is_positive());
+        }
+        for (canonical, &original) in self.kept.iter().enumerate() {
+            lifted.set(original, model.value(Variable::new(canonical)));
+        }
+        lifted
+    }
+}
+
+/// What [`preprocess`] decided about a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreprocessOutcome {
+    /// Simplification satisfied every clause; the model is in the caller's
+    /// variable space (unconstrained variables default to `false`).
+    Satisfiable(Assignment),
+    /// Simplification derived the empty clause: unsatisfiable.
+    Unsatisfiable,
+    /// A non-trivial residual remains: the reduced formula, renamed to the
+    /// dense canonical order, plus the trace mapping back.
+    Reduced {
+        /// The reduced formula over the dense canonical variables.
+        formula: CnfFormula,
+        /// The invertible record mapping models and literals back to the
+        /// caller's variable space.
+        trace: ReductionTrace,
+    },
+}
+
+/// Size telemetry of one [`preprocess`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreprocessReport {
+    /// Variables in the caller's formula.
+    pub original_vars: usize,
+    /// Clauses in the caller's formula.
+    pub original_clauses: usize,
+    /// Variables in the reduced formula (0 when solved outright).
+    pub reduced_vars: usize,
+    /// Clauses in the reduced formula (0 when solved outright).
+    pub reduced_clauses: usize,
+    /// Literals fixed by unit propagation and pure-literal elimination.
+    pub forced_literals: usize,
+}
+
+impl PreprocessReport {
+    /// Variables eliminated by the reduction.
+    pub fn vars_removed(&self) -> usize {
+        self.original_vars.saturating_sub(self.reduced_vars)
+    }
+
+    /// Clauses eliminated by the reduction.
+    pub fn clauses_removed(&self) -> usize {
+        self.original_clauses.saturating_sub(self.reduced_clauses)
+    }
+}
+
+/// The result of [`preprocess`]: the decision plus size telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Preprocessed {
+    /// What preprocessing decided.
+    pub outcome: PreprocessOutcome,
+    /// Size telemetry of the reduction.
+    pub report: PreprocessReport,
+}
+
+/// Runs the full preprocessing stage: [`normalize`], the unit-propagation /
+/// pure-literal fixpoint of [`simplify`], a second normalization of the
+/// residual, then [`canonicalize`] to the dense canonical variable order.
+///
+/// The reduction is verdict-preserving: the reduced formula is satisfiable
+/// exactly when the caller's formula is, and
+/// [`ReductionTrace::lift_model`] turns any model of the reduced formula
+/// into a model of the caller's formula.
+pub fn preprocess(formula: &CnfFormula) -> Preprocessed {
+    let mut report = PreprocessReport {
+        original_vars: formula.num_vars(),
+        original_clauses: formula.num_clauses(),
+        ..PreprocessReport::default()
+    };
+    let normalized = normalize(formula);
+    if normalized.has_empty_clause() {
+        return Preprocessed {
+            outcome: PreprocessOutcome::Unsatisfiable,
+            report,
+        };
+    }
+    let (residual, simplified) = simplify(&normalized);
+    report.forced_literals = simplified.fixed.len();
+    if simplified.proved_unsat {
+        return Preprocessed {
+            outcome: PreprocessOutcome::Unsatisfiable,
+            report,
+        };
+    }
+    if simplified.proved_sat {
+        let mut model = Assignment::all_false(formula.num_vars());
+        for lit in &simplified.fixed {
+            model.set(lit.variable(), lit.is_positive());
+        }
+        return Preprocessed {
+            outcome: PreprocessOutcome::Satisfiable(model),
+            report,
+        };
+    }
+    // Literal removal can leave equal clauses behind; normalize again so the
+    // canonical form never depends on the order simplification visited them.
+    let residual = normalize(&residual);
+    let (reduced, kept) = canonicalize(&residual);
+    report.reduced_vars = reduced.num_vars();
+    report.reduced_clauses = reduced.num_clauses();
+    let trace = ReductionTrace {
+        original_vars: formula.num_vars(),
+        forced: simplified.fixed,
+        kept,
+    };
+    Preprocessed {
+        outcome: PreprocessOutcome::Reduced {
+            formula: reduced,
+            trace,
+        },
+        report,
+    }
+}
+
+/// Renames the occurring variables of `formula` to a dense canonical order
+/// and returns the renamed formula together with the order (new index →
+/// original variable).
+///
+/// The order is computed by iterative signature refinement over the
+/// variable–clause incidence structure (a Weisfeiler–Lehman-style coloring
+/// that is invariant under variable renaming and clause/literal
+/// permutations); remaining ties are broken by a budgeted
+/// individualize-and-refine search for the lexicographically minimal
+/// encoding. Within the budget, two formulas differing only by a renaming
+/// produce the *same* canonical formula. Beyond it (pathologically symmetric
+/// inputs), the tie-break degrades to input order — still deterministic,
+/// merely not renaming-invariant.
+pub fn canonicalize(formula: &CnfFormula) -> (CnfFormula, Vec<Variable>) {
+    let vars = formula.occurring_variables();
+    if vars.is_empty() {
+        return (CnfFormula::new(0), Vec::new());
+    }
+    let mut local = vec![usize::MAX; formula.num_vars()];
+    for (i, var) in vars.iter().enumerate() {
+        local[var.index()] = i;
+    }
+    // Clauses as (local var, phase) pairs.
+    let clauses: Vec<Vec<(usize, bool)>> = formula
+        .iter()
+        .map(|clause| {
+            clause
+                .iter()
+                .map(|lit| (local[lit.variable().index()], lit.phase()))
+                .collect()
+        })
+        .collect();
+    let mut occurrences: Vec<Vec<(usize, bool)>> = vec![Vec::new(); vars.len()];
+    for (c, clause) in clauses.iter().enumerate() {
+        for &(v, phase) in clause {
+            occurrences[v].push((c, phase));
+        }
+    }
+    let colors = refine(&clauses, &occurrences, vec![0; vars.len()]);
+    let order = if distinct(&colors) == vars.len() {
+        order_by_color(&colors)
+    } else {
+        let mut budget = CANONICAL_LEAF_BUDGET;
+        match lex_min_order(&clauses, &occurrences, &colors, &mut budget) {
+            Some((_, order)) => order,
+            // Budget exhausted: deterministic fallback by (color, input
+            // index). Loses renaming invariance, never correctness.
+            None => order_by_color(&colors),
+        }
+    };
+    // `order[new] = local var index`; build the renamed formula.
+    let mut rename = vec![0usize; vars.len()];
+    for (new, &old_local) in order.iter().enumerate() {
+        rename[old_local] = new;
+    }
+    let renamed: Vec<Clause> = clauses
+        .iter()
+        .map(|clause| {
+            clause
+                .iter()
+                .map(|&(v, phase)| Variable::new(rename[v]).literal(phase))
+                .collect()
+        })
+        .collect();
+    let canonical = normalize(&CnfFormula::from_clauses(vars.len(), renamed));
+    let kept: Vec<Variable> = order.iter().map(|&local| vars[local]).collect();
+    (canonical, kept)
+}
+
+/// A renaming-invariant fingerprint of a formula: FNV-1a over its exact
+/// encoding *after* the caller put it in canonical form. Two canonical
+/// formulas are equal exactly when their encodings are, so this is a sound
+/// cache key as long as entries also compare the formula itself (the cache
+/// does: a 64-bit hash alone could collide).
+pub fn fingerprint(formula: &CnfFormula) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(formula.num_vars() as u64);
+    eat(formula.num_clauses() as u64);
+    for clause in formula.iter() {
+        eat(clause.len() as u64);
+        for lit in clause.iter() {
+            eat(lit.code() as u64);
+        }
+    }
+    hash
+}
+
+/// Number of distinct values in a color vector.
+fn distinct(colors: &[usize]) -> usize {
+    let mut seen: Vec<usize> = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Stable variable order sorted by (color, input index).
+fn order_by_color(colors: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..colors.len()).collect();
+    order.sort_by_key(|&v| (colors[v], v));
+    order
+}
+
+/// One round of signature refinement, iterated to fixpoint: clause colors
+/// from the multiset of (variable color, phase) pairs, then variable colors
+/// from the old color plus the multiset of (clause color, phase) pairs. Both
+/// ranking steps use sorted signatures, so the result is invariant under any
+/// renaming of variables or reordering of clauses and literals.
+fn refine(
+    clauses: &[Vec<(usize, bool)>],
+    occurrences: &[Vec<(usize, bool)>],
+    mut colors: Vec<usize>,
+) -> Vec<usize> {
+    let mut classes = distinct(&colors);
+    loop {
+        // Clause signatures → dense clause colors.
+        let mut clause_sigs: Vec<Vec<(usize, bool)>> = clauses
+            .iter()
+            .map(|clause| {
+                let mut sig: Vec<(usize, bool)> = clause
+                    .iter()
+                    .map(|&(v, phase)| (colors[v], phase))
+                    .collect();
+                sig.sort_unstable();
+                sig
+            })
+            .collect();
+        let clause_colors = rank(&mut clause_sigs);
+        // Variable signatures → dense variable colors.
+        let mut var_sigs: Vec<(usize, Vec<(usize, bool)>)> = occurrences
+            .iter()
+            .enumerate()
+            .map(|(v, occ)| {
+                let mut sig: Vec<(usize, bool)> = occ
+                    .iter()
+                    .map(|&(c, phase)| (clause_colors[c], phase))
+                    .collect();
+                sig.sort_unstable();
+                (colors[v], sig)
+            })
+            .collect();
+        colors = rank(&mut var_sigs);
+        let refined = distinct(&colors);
+        if refined == classes {
+            return colors;
+        }
+        classes = refined;
+    }
+}
+
+/// Replaces each signature with its dense rank among the sorted distinct
+/// signatures. The input is taken by mutable reference only to avoid an
+/// extra clone for sorting.
+fn rank<T: Ord + Clone>(sigs: &mut [T]) -> Vec<usize> {
+    let mut sorted: Vec<T> = sigs.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    sigs.iter()
+        .map(|sig| sorted.binary_search(sig).expect("signature present"))
+        .collect()
+}
+
+/// Budgeted individualize-and-refine: returns the lexicographically minimal
+/// formula encoding over all tie-break branches, or `None` once `budget`
+/// complete encodings have been spent.
+fn lex_min_order(
+    clauses: &[Vec<(usize, bool)>],
+    occurrences: &[Vec<(usize, bool)>],
+    colors: &[usize],
+    budget: &mut usize,
+) -> Option<(Vec<u64>, Vec<usize>)> {
+    // Find the first (smallest-color) non-singleton class.
+    let mut counts = vec![0usize; colors.len() + 1];
+    for &color in colors {
+        counts[color] += 1;
+    }
+    let split = colors
+        .iter()
+        .copied()
+        .filter(|&color| counts[color] > 1)
+        .min();
+    let Some(split) = split else {
+        // Discrete coloring: one leaf.
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let order = order_by_color(colors);
+        return Some((encode_under(clauses, &order), order));
+    };
+    let mut best: Option<(Vec<u64>, Vec<usize>)> = None;
+    for v in 0..colors.len() {
+        if colors[v] != split {
+            continue;
+        }
+        // Individualize v: give it a color just below its class, shifting
+        // everything at or above the class up by one to stay dense enough.
+        let mut branched: Vec<usize> = colors
+            .iter()
+            .map(|&color| if color >= split { color + 1 } else { color })
+            .collect();
+        branched[v] = split;
+        let refined = refine(clauses, occurrences, branched);
+        let candidate = lex_min_order(clauses, occurrences, &refined, budget)?;
+        best = match best {
+            Some(current) if current.0 <= candidate.0 => Some(current),
+            _ => Some(candidate),
+        };
+    }
+    best
+}
+
+/// Encodes the formula under a candidate variable order (new index per
+/// variable) as a flat word sequence comparable lexicographically: sorted
+/// renamed clauses, each as its sorted literal codes.
+fn encode_under(clauses: &[Vec<(usize, bool)>], order: &[usize]) -> Vec<u64> {
+    let mut rename = vec![0usize; order.len()];
+    for (new, &old) in order.iter().enumerate() {
+        rename[old] = new;
+    }
+    let mut encoded: Vec<Vec<u64>> = clauses
+        .iter()
+        .map(|clause| {
+            let mut lits: Vec<u64> = clause
+                .iter()
+                .map(|&(v, phase)| Variable::new(rename[v]).literal(phase).code() as u64)
+                .collect();
+            lits.sort_unstable();
+            lits.dedup();
+            lits
+        })
+        .collect();
+    encoded.sort();
+    encoded.dedup();
+    let mut flat = Vec::with_capacity(encoded.iter().map(|c| c.len() + 1).sum());
+    for clause in encoded {
+        flat.push(clause.len() as u64);
+        flat.extend(clause);
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf_formula;
+
+    /// Applies a variable permutation (old index → new index) to a formula,
+    /// keeping polarities.
+    fn rename_formula(formula: &CnfFormula, perm: &[usize]) -> CnfFormula {
+        let clauses: Vec<Clause> = formula
+            .iter()
+            .map(|clause| {
+                clause
+                    .iter()
+                    .map(|lit| Variable::new(perm[lit.variable().index()]).literal(lit.phase()))
+                    .collect()
+            })
+            .collect();
+        CnfFormula::from_clauses(formula.num_vars(), clauses)
+    }
+
+    #[test]
+    fn normalize_sorts_dedups_and_drops_tautologies() {
+        let messy = cnf_formula![[2, 1, 2], [1, -1, 3], [1, 2], [3]];
+        let normal = normalize(&messy);
+        assert_eq!(normal.num_clauses(), 2);
+        assert_eq!(normal, normalize(&normal));
+        // Models unchanged: check satisfiability-preserving on all points.
+        for assignment in Assignment::enumerate_all(3) {
+            assert_eq!(messy.evaluate(&assignment), normal.evaluate(&assignment));
+        }
+    }
+
+    #[test]
+    fn preprocess_decides_trivial_formulas() {
+        let unsat = cnf_formula![[1], [-1]];
+        assert_eq!(preprocess(&unsat).outcome, PreprocessOutcome::Unsatisfiable);
+        let sat = cnf_formula![[1], [1, 2]];
+        match preprocess(&sat).outcome {
+            PreprocessOutcome::Satisfiable(model) => assert!(sat.evaluate(&model)),
+            other => panic!("expected satisfiable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preprocess_reduces_and_lifts_models() {
+        // Unit clause [3] fires, pure literal 4 fires; vars 1,2 survive.
+        let formula = cnf_formula![[3], [-3, 4], [1, 2], [-1, -2]];
+        let pre = preprocess(&formula);
+        let PreprocessOutcome::Reduced {
+            formula: reduced,
+            trace,
+        } = pre.outcome
+        else {
+            panic!("expected a residual, got {:?}", pre.outcome);
+        };
+        assert_eq!(reduced.num_vars(), 2);
+        assert_eq!(trace.vars_removed(), 2);
+        assert_eq!(pre.report.vars_removed(), 2);
+        // Any model of the residual lifts to a model of the original.
+        for candidate in Assignment::enumerate_all(reduced.num_vars()) {
+            if reduced.evaluate(&candidate) {
+                assert!(formula.evaluate(&trace.lift_model(&candidate)));
+            }
+        }
+    }
+
+    #[test]
+    fn renamed_formulas_share_a_canonical_form() {
+        let formula = cnf_formula![[1, 2, -3], [-1, 3], [2, 3], [-2, -3]];
+        let renamed = rename_formula(&formula, &[2, 0, 1]);
+        let a = preprocess(&formula);
+        let b = preprocess(&renamed);
+        let (fa, fb) = match (a.outcome, b.outcome) {
+            (
+                PreprocessOutcome::Reduced { formula: fa, .. },
+                PreprocessOutcome::Reduced { formula: fb, .. },
+            ) => (fa, fb),
+            other => panic!("expected residuals, got {other:?}"),
+        };
+        assert_eq!(fa, fb);
+        assert_eq!(fingerprint(&fa), fingerprint(&fb));
+    }
+
+    #[test]
+    fn automorphic_variables_still_canonicalize() {
+        // x1 and x2 are fully symmetric; the individualize-and-refine
+        // tie-break must terminate and pick one order deterministically.
+        let formula = cnf_formula![[1, 2], [-1, -2]];
+        let (canonical, kept) = canonicalize(&formula);
+        assert_eq!(canonical.num_vars(), 2);
+        assert_eq!(kept.len(), 2);
+        let again = canonicalize(&formula);
+        assert_eq!(canonical, again.0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_formulas() {
+        let a = normalize(&cnf_formula![[1, 2], [-1, -2]]);
+        let b = normalize(&cnf_formula![[1, 2], [-1, 2]]);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod assignment;
 pub mod bits;
+pub mod canonical;
 pub mod clause;
 pub mod cube;
 pub mod dimacs;
@@ -50,6 +51,10 @@ pub mod var;
 
 pub use assignment::{Assignment, PartialAssignment};
 pub use bits::{BitMatrix, BitVector, Word};
+pub use canonical::{
+    canonicalize, fingerprint, normalize, preprocess, PreprocessOutcome, PreprocessReport,
+    Preprocessed, ReductionTrace,
+};
 pub use clause::Clause;
 pub use cube::Cube;
 pub use error::{CnfError, Result};

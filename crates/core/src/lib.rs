@@ -125,10 +125,12 @@ pub use hybrid::{HybridSolver, HybridStats};
 pub use sampled::SampledEngine;
 pub use snr::SnrModel;
 pub use solve::{
-    Artifacts, BackendRegistry, CdclSessionBackend, ClassicalBackend, HybridBackend,
-    IncrementalBackend, JobHandle, JobPriority, JobStatus, NblCheckBackend, SatBackend,
-    ServiceBuilder, SessionCall, SessionHandle, SessionSolve, SolveBatch, SolveOutcome,
-    SolveRequest, SolveService, SolveSession, SolveStats, SolveVerdict, UnknownCause,
+    Artifacts, BackendLatency, BackendRegistry, CacheStats, CachedAnswer, CdclSessionBackend,
+    ClassicalBackend, HybridBackend, IncrementalBackend, JobHandle, JobPriority, JobStatus,
+    MetricsRegistry, MetricsSnapshot, NblCheckBackend, PipelineConfig, PipelineDecision,
+    PreparedRequest, SatBackend, ServiceBuilder, SessionCall, SessionHandle, SessionSolve,
+    SolveBatch, SolveOutcome, SolvePipeline, SolveRequest, SolveService, SolveSession, SolveStats,
+    SolveVerdict, UnknownCause, VerdictCache, DEFAULT_CACHE_CAPACITY, LATENCY_BUCKETS,
 };
 pub use symbolic::SymbolicEngine;
 pub use transform::{NblSatInstance, SourceIndex};

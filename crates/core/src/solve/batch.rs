@@ -265,7 +265,9 @@ mod tests {
     #[test]
     fn shared_check_pool_is_charged_across_jobs() {
         let registry = BackendRegistry::default();
-        let f = generators::example7_unsat();
+        // Irreducible under preprocessing (no units, no pure literals), so
+        // every job actually reaches the backend.
+        let f = generators::section4_unsat_instance();
         // Each nbl-symbolic verdict costs exactly 1 check; a pool of 2 admits
         // two jobs and starves the rest.
         let outcomes = SolveBatch::new(&registry)

@@ -1,0 +1,327 @@
+//! Canonical-key verdict/model cache.
+//!
+//! The pipeline canonicalizes every submission (dense variable renaming in a
+//! structure-derived order), so two formulas differing only by a variable
+//! renaming and clause/literal permutations reduce to one canonical formula
+//! and hash to one key. The cache maps that key to a definitive verdict and,
+//! for satisfiable entries, a *verified* model in canonical variable space;
+//! callers lift cached models back through their own
+//! [`ReductionTrace`](cnf::ReductionTrace).
+//!
+//! Design points:
+//!
+//! - **Exact compare on hit.** The 64-bit key is only a bucket index; each
+//!   entry stores its canonical formula and a lookup must match it exactly,
+//!   so a hash collision can never smuggle a wrong verdict.
+//! - **Verification on insert.** A satisfiable entry is only accepted with a
+//!   model that evaluates to true on the canonical formula; unverifiable
+//!   insertions are counted and dropped, never stored.
+//! - **Definitive only.** `Unknown` verdicts are never cached — a budget
+//!   failure on one submission must not poison a later, better-funded one.
+//! - **LRU by tick.** Every hit stamps the entry with a monotonic tick; when
+//!   the configurable capacity is exceeded the stalest entry goes first.
+
+use crate::solve::outcome::SolveVerdict;
+use cnf::{Assignment, CnfFormula};
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Default number of entries a cache holds before evicting.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// A cached answer in canonical variable space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedAnswer {
+    /// The definitive verdict.
+    pub verdict: SolveVerdict,
+    /// The verified model (canonical space), present iff the verdict is SAT.
+    pub model: Option<Assignment>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    formula: CnfFormula,
+    answer: CachedAnswer,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    entries: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+/// Counter snapshot of a [`VerdictCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a cached answer.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Insertions accepted.
+    pub insertions: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Insertions rejected (non-definitive verdict, missing or failing model).
+    pub rejected: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// A bounded, thread-safe LRU cache from canonical formulas to verified
+/// definitive answers.
+#[derive(Debug)]
+pub struct VerdictCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        VerdictCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl VerdictCache {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        VerdictCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up the canonical `formula` under `key`. A hit requires an exact
+    /// formula match (the key alone is never trusted) and refreshes the
+    /// entry's recency.
+    pub fn lookup(&self, key: u64, formula: &CnfFormula) -> Option<CachedAnswer> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.tick += 1;
+        let tick = state.tick;
+        let found = state
+            .buckets
+            .get_mut(&key)
+            .and_then(|bucket| bucket.iter_mut().find(|entry| entry.formula == *formula))
+            .map(|entry| {
+                entry.tick = tick;
+                entry.answer.clone()
+            });
+        match &found {
+            Some(_) => state.hits += 1,
+            None => state.misses += 1,
+        }
+        found
+    }
+
+    /// Inserts a definitive answer for the canonical `formula` under `key`.
+    ///
+    /// Satisfiable answers must carry a model that satisfies `formula`;
+    /// anything else (non-definitive verdict, missing model, failing model)
+    /// is rejected and counted. Returns the number of entries evicted to
+    /// make room (also visible via [`CacheStats::evictions`]).
+    pub fn insert(
+        &self,
+        key: u64,
+        formula: CnfFormula,
+        verdict: SolveVerdict,
+        model: Option<Assignment>,
+    ) -> u64 {
+        let verified = match verdict {
+            SolveVerdict::Satisfiable => model
+                .as_ref()
+                .is_some_and(|candidate| formula.evaluate(candidate)),
+            SolveVerdict::Unsatisfiable => model.is_none(),
+            SolveVerdict::Unknown(_) => false,
+        };
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !verified {
+            state.rejected += 1;
+            return 0;
+        }
+        state.tick += 1;
+        let tick = state.tick;
+        let bucket = state.buckets.entry(key).or_default();
+        if let Some(entry) = bucket.iter_mut().find(|entry| entry.formula == formula) {
+            // Refresh rather than duplicate: the answer is already verified.
+            entry.tick = tick;
+            return 0;
+        }
+        bucket.push(CacheEntry {
+            formula,
+            answer: CachedAnswer { verdict, model },
+            tick,
+        });
+        state.entries += 1;
+        state.insertions += 1;
+        let mut evicted = 0;
+        while state.entries > self.capacity {
+            evict_stalest(&mut state);
+            evicted += 1;
+        }
+        state.evictions += evicted;
+        evicted
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/insertion/eviction/rejection counters.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            insertions: state.insertions,
+            evictions: state.evictions,
+            rejected: state.rejected,
+            entries: state.entries as u64,
+        }
+    }
+}
+
+/// Removes the least-recently-used entry. Linear in resident entries, which
+/// is fine for the capacities this cache is built for (hundreds to a few
+/// thousand) and only runs when the cache is over capacity.
+fn evict_stalest(state: &mut CacheState) {
+    let stalest = state
+        .buckets
+        .iter()
+        .filter_map(|(key, bucket)| {
+            bucket
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, entry)| entry.tick)
+                .map(|(index, entry)| (*key, index, entry.tick))
+        })
+        .min_by_key(|&(_, _, tick)| tick);
+    if let Some((key, index, _)) = stalest {
+        let bucket = state.buckets.get_mut(&key).expect("bucket exists");
+        bucket.remove(index);
+        if bucket.is_empty() {
+            state.buckets.remove(&key);
+        }
+        state.entries -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::outcome::UnknownCause;
+    use cnf::{cnf_formula, fingerprint};
+
+    fn sat_entry() -> (u64, CnfFormula, Assignment) {
+        let formula = cnf_formula![[1, 2], [-1, -2]];
+        let model = Assignment::from_bools(vec![true, false]);
+        (fingerprint(&formula), formula, model)
+    }
+
+    #[test]
+    fn hit_requires_exact_formula_match() {
+        let cache = VerdictCache::new(4);
+        let (key, formula, model) = sat_entry();
+        cache.insert(key, formula.clone(), SolveVerdict::Satisfiable, Some(model));
+        assert!(cache.lookup(key, &formula).is_some());
+        // Same key, different formula: a simulated hash collision must miss.
+        let other = cnf_formula![[1], [2]];
+        assert!(cache.lookup(key, &other).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn unverified_models_are_rejected() {
+        let cache = VerdictCache::new(4);
+        let (key, formula, _) = sat_entry();
+        let bogus = Assignment::from_bools(vec![true, true]);
+        cache.insert(key, formula.clone(), SolveVerdict::Satisfiable, Some(bogus));
+        cache.insert(key, formula.clone(), SolveVerdict::Satisfiable, None);
+        cache.insert(
+            key,
+            formula.clone(),
+            SolveVerdict::Unknown(UnknownCause::Incomplete),
+            None,
+        );
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().rejected, 3);
+        assert!(cache.lookup(key, &formula).is_none());
+    }
+
+    #[test]
+    fn unsat_entries_cache_without_models() {
+        let cache = VerdictCache::new(4);
+        let formula = cnf_formula![[1], [-1]];
+        let key = fingerprint(&formula);
+        cache.insert(key, formula.clone(), SolveVerdict::Unsatisfiable, None);
+        let answer = cache.lookup(key, &formula).expect("cached");
+        assert_eq!(answer.verdict, SolveVerdict::Unsatisfiable);
+        assert!(answer.model.is_none());
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let cache = VerdictCache::new(2);
+        let a = cnf_formula![[1], [-1]];
+        let b = cnf_formula![[1], [2], [-1, -2]];
+        let c = cnf_formula![[1, 2], [-1], [-2]];
+        for formula in [&a, &b] {
+            cache.insert(
+                fingerprint(formula),
+                formula.clone(),
+                SolveVerdict::Unsatisfiable,
+                None,
+            );
+        }
+        // Touch `a` so `b` becomes the stalest, then overflow with `c`.
+        assert!(cache.lookup(fingerprint(&a), &a).is_some());
+        let evicted = cache.insert(
+            fingerprint(&c),
+            c.clone(),
+            SolveVerdict::Unsatisfiable,
+            None,
+        );
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(fingerprint(&a), &a).is_some());
+        assert!(cache.lookup(fingerprint(&b), &b).is_none());
+        assert!(cache.lookup(fingerprint(&c), &c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsertion_refreshes_instead_of_duplicating() {
+        let cache = VerdictCache::new(4);
+        let (key, formula, model) = sat_entry();
+        cache.insert(
+            key,
+            formula.clone(),
+            SolveVerdict::Satisfiable,
+            Some(model.clone()),
+        );
+        cache.insert(key, formula.clone(), SolveVerdict::Satisfiable, Some(model));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+}

@@ -51,7 +51,10 @@
 pub mod adapters;
 pub mod backend;
 pub mod batch;
+pub mod cache;
+pub mod metrics;
 pub mod outcome;
+pub mod pipeline;
 pub mod registry;
 pub mod request;
 pub mod service;
@@ -60,7 +63,10 @@ pub mod session;
 pub use adapters::{ClassicalBackend, HybridBackend, NblCheckBackend};
 pub use backend::SatBackend;
 pub use batch::SolveBatch;
+pub use cache::{CacheStats, CachedAnswer, VerdictCache, DEFAULT_CACHE_CAPACITY};
+pub use metrics::{BackendLatency, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS};
 pub use outcome::{SolveOutcome, SolveStats, SolveVerdict, UnknownCause};
+pub use pipeline::{PipelineConfig, PipelineDecision, PreparedRequest, SolvePipeline};
 pub use registry::BackendRegistry;
 pub use request::{Artifacts, SolveRequest};
 pub use service::{

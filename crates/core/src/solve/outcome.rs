@@ -120,6 +120,12 @@ pub struct SolveStats {
     pub winner: Option<&'static str>,
     /// Wall-clock time the solve took.
     pub wall_time: Duration,
+    /// Answers served from the pipeline's verdict/model cache (1 for a
+    /// single solve answered with zero backend dispatch; summed across jobs
+    /// by aggregating front ends).
+    pub cache_hits: u64,
+    /// Variables the pipeline's preprocessing stage removed before dispatch.
+    pub preprocessed_vars_removed: u64,
 }
 
 impl SolveStats {
@@ -162,6 +168,12 @@ impl fmt::Display for SolveStats {
             self.samples,
             self.wall_time,
         )?;
+        if self.cache_hits > 0 {
+            write!(f, " cache_hits={}", self.cache_hits)?;
+        }
+        if self.preprocessed_vars_removed > 0 {
+            write!(f, " pre_vars_removed={}", self.preprocessed_vars_removed)?;
+        }
         if let Some(winner) = self.winner {
             write!(f, " winner={winner}")?;
         }

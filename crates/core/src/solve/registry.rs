@@ -8,6 +8,7 @@ use crate::sampled::SampledEngine;
 use crate::solve::adapters::{ClassicalBackend, HybridBackend, NblCheckBackend};
 use crate::solve::backend::SatBackend;
 use crate::solve::outcome::SolveOutcome;
+use crate::solve::pipeline::SolvePipeline;
 use crate::solve::request::SolveRequest;
 use crate::solve::session::{CdclSessionBackend, IncrementalBackend, SolveSession};
 use crate::symbolic::SymbolicEngine;
@@ -297,14 +298,20 @@ impl BackendRegistry {
         registry
     }
 
-    /// Convenience: create the named backend and solve one request with it.
+    /// Convenience: solve one request with the named backend through an
+    /// ephemeral preprocessing pipeline (no cache — one-shot callers have no
+    /// re-solve traffic to hit it with). The request's formula is normalized,
+    /// unit-propagated and canonicalized before dispatch, and any model is
+    /// mapped back to the caller's variable space; requests carrying
+    /// assumptions, or asking for a convergence trace or prime-implicant
+    /// cube, are dispatched untouched.
     ///
     /// # Errors
     ///
     /// [`NblSatError::UnknownBackend`] for unregistered names, plus whatever
     /// the backend's [`SatBackend::solve`] returns.
     pub fn solve(&self, name: &str, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
-        self.create(name)?.solve(request)
+        SolvePipeline::default().solve(self, name, request)
     }
 }
 

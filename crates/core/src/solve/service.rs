@@ -70,7 +70,9 @@
 
 use crate::budget::{Budget, SharedBudget};
 use crate::error::{NblSatError, Result};
+use crate::solve::metrics::MetricsSnapshot;
 use crate::solve::outcome::{SolveOutcome, SolveVerdict, UnknownCause};
+use crate::solve::pipeline::{PipelineConfig, PipelineDecision, SolvePipeline};
 use crate::solve::registry::BackendRegistry;
 use crate::solve::request::{Artifacts, SolveRequest};
 use crate::solve::session::{SessionCall, SolveSession};
@@ -84,7 +86,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Scheduling priority of a submitted job. Workers always pull the highest
 /// priority available; within one class, jobs run in submission order.
@@ -349,6 +351,9 @@ struct QueueState {
 struct ServiceInner {
     registry: BackendRegistry,
     pool: SharedBudget,
+    /// The shared pre-dispatch pipeline (preprocessing, optional cache,
+    /// metrics) every queued job flows through.
+    pipeline: SolvePipeline,
     /// The service-wide abort token, chained onto every job's request.
     abort: Arc<AtomicBool>,
     queue: Mutex<QueueState>,
@@ -434,15 +439,25 @@ fn run_job(inner: &ServiceInner, job: &QueuedJob) -> Result<SolveOutcome> {
     for token in &job.caller_cancels {
         request = request.cancel_token(Arc::clone(token));
     }
+    let prepared = match inner.pipeline.prepare(&request) {
+        // Preprocessing or the cache answered: no backend runs, nothing is
+        // charged (the pipeline spent no metered resource).
+        PipelineDecision::Resolved(outcome) => return Ok(outcome),
+        PipelineDecision::Dispatch(prepared) => prepared,
+    };
+    let started = Instant::now();
     let solved = catch_unwind(AssertUnwindSafe(|| {
-        inner.registry.create(&job.backend)?.solve(&request)
+        let dispatch = prepared.request(&request);
+        inner.registry.create(&job.backend)?.solve(&dispatch)
     }));
     match solved {
         Ok(Ok(outcome)) => {
             inner
                 .pool
                 .charge(outcome.stats.samples, outcome.stats.coprocessor_checks);
-            Ok(outcome)
+            Ok(inner
+                .pipeline
+                .complete(prepared, outcome, &job.backend, started.elapsed()))
         }
         Ok(Err(error)) => Err(error),
         Err(payload) => Err(NblSatError::BackendPanicked {
@@ -734,6 +749,7 @@ pub struct ServiceBuilder {
     workers: usize,
     budget: Budget,
     session_idle_timeout: Duration,
+    pipeline: PipelineConfig,
 }
 
 impl fmt::Debug for ServiceBuilder {
@@ -742,6 +758,7 @@ impl fmt::Debug for ServiceBuilder {
             .field("workers", &self.workers)
             .field("budget", &self.budget)
             .field("session_idle_timeout", &self.session_idle_timeout)
+            .field("pipeline", &self.pipeline)
             .finish_non_exhaustive()
     }
 }
@@ -771,12 +788,28 @@ impl ServiceBuilder {
         self
     }
 
+    /// Replaces the pre-dispatch pipeline configuration wholesale. Defaults
+    /// to preprocessing on, cache off.
+    pub fn pipeline(mut self, config: PipelineConfig) -> Self {
+        self.pipeline = config;
+        self
+    }
+
+    /// Enables the canonical-key verdict/model cache with the given entry
+    /// capacity: isomorphic resubmissions are then answered with zero backend
+    /// dispatch. Off by default.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.pipeline = self.pipeline.with_cache(capacity);
+        self
+    }
+
     /// Spawns the worker threads and starts the service. The shared budget's
     /// wall-clock deadline is fixed now.
     pub fn start(self) -> SolveService {
         let inner = Arc::new(ServiceInner {
             registry: self.registry,
             pool: SharedBudget::start(&self.budget),
+            pipeline: SolvePipeline::new(self.pipeline),
             abort: Arc::new(AtomicBool::new(false)),
             queue: Mutex::new(QueueState {
                 heap: BinaryHeap::new(),
@@ -853,6 +886,7 @@ impl SolveService {
                 .unwrap_or(1),
             budget: Budget::unlimited(),
             session_idle_timeout: Duration::from_secs(300),
+            pipeline: PipelineConfig::default(),
         }
     }
 
@@ -975,6 +1009,35 @@ impl SolveService {
             .iter()
             .filter(|job| matches!(*lock_state(&job.shared), JobState::Queued))
             .count()
+    }
+
+    /// Waiting jobs broken down by priority class, as
+    /// `[high, normal, low]` — the live backlog the wire server's `INFO`
+    /// frame and the `METRICS` verb report.
+    pub fn pending_by_priority(&self) -> [usize; 3] {
+        let mut backlog = [0usize; 3];
+        for job in lock_queue(&self.inner).heap.iter() {
+            if matches!(*lock_state(&job.shared), JobState::Queued) {
+                match job.priority {
+                    JobPriority::High => backlog[0] += 1,
+                    JobPriority::Normal => backlog[1] += 1,
+                    JobPriority::Low => backlog[2] += 1,
+                }
+            }
+        }
+        backlog
+    }
+
+    /// A point-in-time metrics snapshot: the pipeline's cache/preprocessing/
+    /// latency counters with the live queue gauges overlaid.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.inner.pipeline.snapshot();
+        let [high, normal, low] = self.pending_by_priority();
+        snapshot.backlog_high = high as u64;
+        snapshot.backlog_normal = normal as u64;
+        snapshot.backlog_low = low as u64;
+        snapshot.queue_depth = (high + normal + low) as u64;
+        snapshot
     }
 
     /// Returns `true` while the service accepts new submissions.
@@ -1416,6 +1479,81 @@ mod tests {
             .is_sat());
         session.close();
         service.shutdown();
+    }
+
+    #[test]
+    fn isomorphic_resubmission_is_served_from_the_service_cache() {
+        use crate::solve::request::Artifacts;
+        use cnf::cnf_formula;
+        let service = SolveService::builder(&BackendRegistry::default())
+            .workers(2)
+            .cache_capacity(16)
+            .start();
+        // Irreducible under UP/pure literals, so a backend must run once.
+        let original = cnf_formula![[1, 2], [-1, -2], [1, -2]];
+        let first = service
+            .submit(
+                "cdcl",
+                &SolveRequest::new(&original).artifacts(Artifacts::Model),
+            )
+            .wait()
+            .unwrap();
+        assert!(first.verdict.is_sat());
+        assert!(original.evaluate(first.model.as_ref().unwrap()));
+        // The same instance with x1 <-> x2 renamed and clauses/literals
+        // permuted: answered from cache with zero additional dispatch, and
+        // the model verifies against *this* formula's variable space.
+        let renamed = cnf_formula![[-2, -1], [-1, 2], [1, 2]];
+        let second = service
+            .submit(
+                "cdcl",
+                &SolveRequest::new(&renamed).artifacts(Artifacts::Model),
+            )
+            .wait()
+            .unwrap();
+        assert!(second.verdict.is_sat());
+        assert!(renamed.evaluate(second.model.as_ref().unwrap()));
+        assert_eq!(second.stats.cache_hits, 1);
+        let snapshot = service.metrics_snapshot();
+        assert_eq!(snapshot.dispatches, 1);
+        assert_eq!(snapshot.cache_hits, 1);
+        assert_eq!(snapshot.queue_depth, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pending_by_priority_reports_the_live_backlog() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+        let registry = recording_registry(&log, &gate);
+        let service = SolveService::builder(&registry).workers(1).start();
+        let f = generators::example6_sat();
+        let blocker = service.submit("gated-recorder", &SolveRequest::new(&f).seed(99));
+        while blocker.status() != JobStatus::Running {
+            thread::yield_now();
+        }
+        let handles: Vec<JobHandle> = [
+            JobPriority::High,
+            JobPriority::Normal,
+            JobPriority::Normal,
+            JobPriority::Low,
+        ]
+        .iter()
+        .map(|&priority| service.submit_with_priority("recorder", &SolveRequest::new(&f), priority))
+        .collect();
+        assert_eq!(service.pending_by_priority(), [1, 2, 1]);
+        let snapshot = service.metrics_snapshot();
+        assert_eq!(snapshot.queue_depth, 4);
+        assert_eq!(snapshot.backlog_high, 1);
+        assert_eq!(snapshot.backlog_normal, 2);
+        assert_eq!(snapshot.backlog_low, 1);
+        gate.store(true, Ordering::Relaxed);
+        for handle in handles {
+            assert!(handle.wait().unwrap().verdict.is_sat());
+        }
+        assert!(blocker.wait().unwrap().verdict.is_sat());
+        service.shutdown();
+        assert_eq!(service.pending_by_priority(), [0, 0, 0]);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! nbl-sat-client [--addr HOST:PORT] [--backend NAME] [--seed N]
 //!                [--wall-ms N] [--samples N] [--checks N]
 //!                [--session] [--assume L1,L2,...]
-//!                [--shutdown] [FILE.cnf]
+//!                [--metrics] [--shutdown] [FILE.cnf]
 //! ```
 //!
 //! Connects (retrying for a few seconds so scripts can race the server's
@@ -20,8 +20,13 @@
 //! the `--assume` literals (UNSAT answers also print the failed-assumption
 //! core as an `f`-line), then pops the frame and closes the session — a
 //! full `OPEN → ADDCLAUSES → ASSUME → POP → CLOSE` round trip.
+//!
+//! With `--metrics` the client asks the server for its pipeline metrics
+//! snapshot after any solve and prints the raw `METRICS` response frame to
+//! stdout (machine-parseable: feed it back through the codec, or scrape the
+//! `key=value` gauges directly).
 
-use nbl_net::{NblSatClient, SolveFrame, WireArtifacts, WireVerdict};
+use nbl_net::{Frame, NblSatClient, SolveFrame, WireArtifacts, WireVerdict};
 use std::time::Duration;
 
 /// How long connect attempts retry before giving up.
@@ -31,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: nbl-sat-client [--addr HOST:PORT] [--backend NAME] [--seed N] \
          [--wall-ms N] [--samples N] [--checks N] [--session] [--assume L1,L2,...] \
-         [--shutdown] [FILE.cnf]"
+         [--metrics] [--shutdown] [FILE.cnf]"
     );
     std::process::exit(2);
 }
@@ -56,6 +61,7 @@ fn run() -> i32 {
     let mut checks = None;
     let mut shutdown = false;
     let mut session = false;
+    let mut metrics = false;
     let mut assumptions: Vec<i64> = Vec::new();
     let mut file: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -85,6 +91,7 @@ fn run() -> i32 {
                 }
                 None => usage(),
             },
+            "--metrics" => metrics = true,
             "--shutdown" => shutdown = true,
             "--help" | "-h" => usage(),
             _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
@@ -110,7 +117,10 @@ fn run() -> i32 {
             }
         };
         if session {
-            let exit = run_session(&client, &addr, &backend, &dimacs, &assumptions);
+            let mut exit = run_session(&client, &addr, &backend, &dimacs, &assumptions);
+            if metrics && !print_metrics(&client) && exit == 0 {
+                exit = 1;
+            }
             if shutdown {
                 if let Err(e) = client.shutdown_server() {
                     eprintln!("nbl-sat-client: shutdown failed: {e}");
@@ -157,6 +167,9 @@ fn run() -> i32 {
             }
         };
     }
+    if metrics && !print_metrics(&client) && exit == 0 {
+        exit = 1;
+    }
     if shutdown {
         if let Err(e) = client.shutdown_server() {
             eprintln!("nbl-sat-client: shutdown failed: {e}");
@@ -168,6 +181,22 @@ fn run() -> i32 {
         }
     }
     exit
+}
+
+/// Fetches the server's pipeline metrics snapshot and prints the raw
+/// `METRICS` response frame (header plus per-backend body lines) to stdout.
+/// Returns `false` when the request failed.
+fn print_metrics(client: &NblSatClient) -> bool {
+    match client.metrics() {
+        Ok(metrics) => {
+            print!("{}", Frame::Metrics(metrics).encode());
+            true
+        }
+        Err(e) => {
+            eprintln!("nbl-sat-client: metrics failed: {e}");
+            false
+        }
+    }
 }
 
 /// Solves `dimacs` through a full incremental round trip:

@@ -15,7 +15,9 @@
 //! draining the socket, so a wait that times out abandons nothing and the
 //! frame is still collectable later.
 
-use crate::protocol::{Frame, SolveFrame, WireJobStatus, WireStats, WireVerdict};
+use crate::protocol::{
+    Frame, SolveFrame, WireBacklog, WireJobStatus, WireMetrics, WireStats, WireVerdict,
+};
 use crate::server::shutdown_stream;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -107,8 +109,11 @@ struct ClientState {
     session_oks: VecDeque<(u64, u64)>,
     /// `CAPS` replies (the `sessions` flag), FIFO.
     caps: VecDeque<bool>,
-    /// `INFO` replies, by job id.
-    infos: HashMap<u64, VecDeque<WireJobStatus>>,
+    /// `INFO` replies, by job id, with the server's live queue gauges.
+    infos: HashMap<u64, VecDeque<(WireJobStatus, Option<WireBacklog>)>>,
+    /// `METRICS` snapshot replies, FIFO — exact pairing holds because
+    /// metrics requests are serialised under the request lock.
+    metrics: VecDeque<WireMetrics>,
     /// Job-scoped `ERR` frames, by job id.
     job_errors: HashMap<u64, String>,
     /// Connection-scoped `ERR -` frames.
@@ -417,6 +422,27 @@ impl NblSatClient {
         })
     }
 
+    /// Asks the server for a point-in-time snapshot of its solve-pipeline
+    /// metrics (queue gauges, verdict-cache and preprocessing counters,
+    /// per-backend latency aggregates); sends `METRICS`, blocks for the
+    /// `METRICS` response frame.
+    pub fn metrics(&self) -> Result<WireMetrics, NetError> {
+        let _serialised = self
+            .request_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.send(&Frame::MetricsRequest)?;
+        self.shared.wait_for(self.read_timeout, |state| {
+            if let Some(metrics) = state.metrics.pop_front() {
+                return Some(Ok(metrics));
+            }
+            state
+                .connection_errors
+                .pop_front()
+                .map(|message| Err(NetError::Remote(message)))
+        })
+    }
+
     /// Opens an incremental solving session pinned to `backend` on the
     /// server; blocks for the `SESSIONOK` ack that assigns the session id.
     pub fn open_session(&self, backend: &str) -> Result<RemoteSession<'_>, NetError> {
@@ -549,6 +575,13 @@ impl RemoteJob<'_> {
 
     /// Queries the job's lifecycle stage over the wire (`STATUS` → `INFO`).
     pub fn status(&self) -> Result<WireJobStatus, NetError> {
+        self.status_detailed().map(|(status, _backlog)| status)
+    }
+
+    /// Like [`RemoteJob::status`], but also returns the server's live queue
+    /// gauges from the `INFO` answer (`None` when talking to a server that
+    /// predates them).
+    pub fn status_detailed(&self) -> Result<(WireJobStatus, Option<WireBacklog>), NetError> {
         self.client.send(&Frame::Status { job: self.id })?;
         let id = self.id;
         self.client
@@ -765,9 +798,18 @@ fn reader_loop(stream: TcpStream, shared: &ClientShared) {
             Frame::FailedAssumptions { job, literals } => {
                 state.staged_failed.insert(job, literals);
             }
-            Frame::Info { job, status } => {
-                state.infos.entry(job).or_default().push_back(status);
+            Frame::Info {
+                job,
+                status,
+                backlog,
+            } => {
+                state
+                    .infos
+                    .entry(job)
+                    .or_default()
+                    .push_back((status, backlog));
             }
+            Frame::Metrics(metrics) => state.metrics.push_back(metrics),
             Frame::SessionOk { session, depth } => {
                 state.session_oks.push_back((session, depth));
             }
@@ -797,6 +839,7 @@ fn reader_loop(stream: TcpStream, shared: &ClientShared) {
             | Frame::SessionAssume { .. }
             | Frame::SessionPop { .. }
             | Frame::SessionClose { .. }
+            | Frame::MetricsRequest
             | Frame::Shutdown => {}
         }
         shared.changed.notify_all();

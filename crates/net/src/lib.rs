@@ -9,8 +9,8 @@
 //!   strict parser and an exact encoder. `SOLVE` frames carry the backend
 //!   name, seed, budget caps, priority and an inline DIMACS body; responses
 //!   stream `QUEUED`, `v`-model lines and `RESULT` verdicts, plus
-//!   `CANCEL`/`STATUS`/`REFILL`/`SHUTDOWN` control verbs mapping 1:1 onto
-//!   the service API.
+//!   `CANCEL`/`STATUS`/`REFILL`/`METRICS`/`SHUTDOWN` control verbs mapping
+//!   1:1 onto the service API.
 //! * [`server`] — [`NblSatServer`]: a [`std::net::TcpListener`] accept loop;
 //!   each connection runs a reader thread plus one waiter thread per
 //!   in-flight job, so a single connection multiplexes many jobs and streams
@@ -49,7 +49,8 @@ pub mod server;
 
 pub use client::{ClientConfig, NblSatClient, NetError, RemoteJob, RemoteOutcome, RemoteSession};
 pub use protocol::{
-    Frame, ProtocolError, SolveFrame, WireArtifacts, WireCause, WireJobStatus, WirePriority,
-    WireStats, WireVerdict, MAX_BODY_LINES, MAX_LINE_BYTES,
+    Frame, ProtocolError, SolveFrame, WireArtifacts, WireBackendLatency, WireBacklog, WireCause,
+    WireJobStatus, WireMetrics, WirePriority, WireStats, WireVerdict, MAX_BODY_LINES,
+    MAX_LINE_BYTES,
 };
 pub use server::{NblSatServer, ServerConfig};

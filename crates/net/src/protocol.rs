@@ -27,6 +27,7 @@
 //!         [samples=<u64>] [checks=<u64>]
 //! SESSION POP <session-id>
 //! SESSION CLOSE <session-id>
+//! METRICS
 //! ```
 //!
 //! (The `SOLVE` header is a single line; it is wrapped above for readability.
@@ -42,16 +43,35 @@
 //! f <job-id> [<lit> ...] 0
 //! STATS <job-id> decisions=<u64> conflicts=<u64> propagations=<u64>
 //!       restarts=<u64> learned=<u64> tried=<u64> flips=<u64> checks=<u64>
-//!       samples=<u64> wall-us=<u64>
+//!       samples=<u64> wall-us=<u64> cache-hits=<u64> pre-vars-removed=<u64>
 //! RESULT <job-id> s <SATISFIABLE|UNSATISFIABLE|UNKNOWN <cause>>
-//! INFO <job-id> <queued|running|finished>
+//! INFO <job-id> <queued|running|finished> [queue-depth=<u64>
+//!      backlog-high=<u64> backlog-normal=<u64> backlog-low=<u64>]
 //! SESSIONOK <session-id> depth=<u64>
 //! CAPS sessions=<true|false>
 //! OK refill
 //! PONG
 //! BYE
 //! ERR <job-id|-> <message>
+//! METRICS queue-depth=<u64> backlog-high=<u64> backlog-normal=<u64>
+//!         backlog-low=<u64> cache-hits=<u64> cache-misses=<u64>
+//!         cache-evictions=<u64> cache-entries=<u64> pre-vars-removed=<u64>
+//!         pre-clauses-removed=<u64> pre-solved=<u64>
+//!         budget-samples-spent=<u64> budget-checks-spent=<u64> body-lines=<n>
+//! <n lines: backend <name> count=<u64> total-us=<u64> max-us=<u64>>
 //! ```
+//!
+//! # Observability
+//!
+//! A bare `METRICS` line from the client asks the server for a point-in-time
+//! snapshot of its solve pipeline; the server answers with the `METRICS`
+//! response frame above (the verb is shared — direction disambiguates: the
+//! request carries no keys, the response always does). The header gauges are
+//! the live queue depth and per-priority backlog plus the verdict-cache and
+//! preprocessing counters; each body line carries one backend's dispatch
+//! count and latency aggregate. `INFO` answers append the same queue gauges
+//! after the lifecycle token; the keys are optional on the wire, so `INFO`
+//! frames from servers predating them still parse (the backlog reads absent).
 //!
 //! # Incremental sessions
 //!
@@ -88,7 +108,8 @@
 //! should close).
 
 use nbl_sat_core::{
-    Artifacts, Budget, ExhaustedResource, JobPriority, JobStatus, SolveStats, UnknownCause,
+    Artifacts, Budget, ExhaustedResource, JobPriority, JobStatus, MetricsSnapshot, SolveStats,
+    UnknownCause,
 };
 use std::fmt;
 use std::io::{BufRead, Read, Write};
@@ -394,6 +415,11 @@ pub struct WireStats {
     pub samples: u64,
     /// `wall-us=` — wall-clock microseconds spent solving.
     pub wall_us: u64,
+    /// `cache-hits=` — verdict-cache hits that answered this job.
+    pub cache_hits: u64,
+    /// `pre-vars-removed=` — variables the preprocessor eliminated before
+    /// dispatch.
+    pub pre_vars_removed: u64,
 }
 
 impl WireStats {
@@ -410,6 +436,8 @@ impl WireStats {
             coprocessor_checks: self.checks,
             samples: self.samples,
             wall_time: Duration::from_micros(self.wall_us),
+            cache_hits: self.cache_hits,
+            preprocessed_vars_removed: self.pre_vars_removed,
             ..SolveStats::default()
         }
     }
@@ -428,6 +456,113 @@ impl From<&SolveStats> for WireStats {
             checks: stats.coprocessor_checks,
             samples: stats.samples,
             wall_us: u64::try_from(stats.wall_time.as_micros()).unwrap_or(u64::MAX),
+            cache_hits: stats.cache_hits,
+            pre_vars_removed: stats.preprocessed_vars_removed,
+        }
+    }
+}
+
+/// One queried job's live queue gauges, appended to `INFO` answers. The keys
+/// are optional on the wire (frames from servers predating them parse to
+/// `None`); current servers always send all four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WireBacklog {
+    /// `queue-depth=` — jobs queued and not yet picked up, all priorities.
+    pub queue_depth: u64,
+    /// `backlog-high=` — queued high-priority jobs.
+    pub high: u64,
+    /// `backlog-normal=` — queued normal-priority jobs.
+    pub normal: u64,
+    /// `backlog-low=` — queued low-priority jobs.
+    pub low: u64,
+}
+
+/// One backend's dispatch-latency aggregate, carried as a `METRICS` body
+/// line: `backend <name> count=<u64> total-us=<u64> max-us=<u64>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct WireBackendLatency {
+    /// The backend's registry name.
+    pub name: String,
+    /// Jobs dispatched to this backend.
+    pub count: u64,
+    /// Total wall-clock microseconds spent in this backend.
+    pub total_us: u64,
+    /// Slowest single dispatch, in microseconds.
+    pub max_us: u64,
+}
+
+impl WireBackendLatency {
+    /// Mean dispatch latency in microseconds (0 when nothing ran).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The server's point-in-time pipeline snapshot answering a `METRICS`
+/// request: queue gauges, verdict-cache and preprocessing counters, budget
+/// spend, and one [`WireBackendLatency`] body line per backend that has
+/// dispatched at least one job. Mirrors the wire subset of
+/// [`MetricsSnapshot`] (latency histograms stay server-side; the body lines
+/// carry the count/total/max aggregate).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireMetrics {
+    /// `queue-depth=` — jobs queued and not yet picked up.
+    pub queue_depth: u64,
+    /// `backlog-high=` — queued high-priority jobs.
+    pub backlog_high: u64,
+    /// `backlog-normal=` — queued normal-priority jobs.
+    pub backlog_normal: u64,
+    /// `backlog-low=` — queued low-priority jobs.
+    pub backlog_low: u64,
+    /// `cache-hits=` — verdict-cache hits.
+    pub cache_hits: u64,
+    /// `cache-misses=` — verdict-cache misses.
+    pub cache_misses: u64,
+    /// `cache-evictions=` — entries evicted to stay under capacity.
+    pub cache_evictions: u64,
+    /// `cache-entries=` — entries currently resident.
+    pub cache_entries: u64,
+    /// `pre-vars-removed=` — variables eliminated by preprocessing.
+    pub pre_vars_removed: u64,
+    /// `pre-clauses-removed=` — clauses eliminated by preprocessing.
+    pub pre_clauses_removed: u64,
+    /// `pre-solved=` — submissions preprocessing answered outright.
+    pub pre_solved: u64,
+    /// `budget-samples-spent=` — noise samples charged across all dispatches.
+    pub budget_samples_spent: u64,
+    /// `budget-checks-spent=` — coprocessor checks charged across all
+    /// dispatches.
+    pub budget_checks_spent: u64,
+    /// Per-backend dispatch-latency aggregates (the body lines).
+    pub backends: Vec<WireBackendLatency>,
+}
+
+impl From<&MetricsSnapshot> for WireMetrics {
+    fn from(snapshot: &MetricsSnapshot) -> Self {
+        WireMetrics {
+            queue_depth: snapshot.queue_depth,
+            backlog_high: snapshot.backlog_high,
+            backlog_normal: snapshot.backlog_normal,
+            backlog_low: snapshot.backlog_low,
+            cache_hits: snapshot.cache_hits,
+            cache_misses: snapshot.cache_misses,
+            cache_evictions: snapshot.cache_evictions,
+            cache_entries: snapshot.cache_entries,
+            pre_vars_removed: snapshot.pre_vars_removed,
+            pre_clauses_removed: snapshot.pre_clauses_removed,
+            pre_solved: snapshot.pre_solved,
+            budget_samples_spent: snapshot.budget_samples_spent,
+            budget_checks_spent: snapshot.budget_checks_spent,
+            backends: snapshot
+                .backends
+                .iter()
+                .map(|(name, latency)| WireBackendLatency {
+                    name: name.clone(),
+                    count: latency.count,
+                    total_us: latency.total_us,
+                    max_us: latency.max_us,
+                })
+                .collect(),
         }
     }
 }
@@ -556,6 +691,9 @@ pub enum Frame {
         /// The session to close.
         session: u64,
     },
+    /// Client: ask for the server's pipeline metrics snapshot, answered by
+    /// the `Metrics` response frame. A bare `METRICS` line on the wire.
+    MetricsRequest,
     /// Server: the job was accepted under this id.
     Queued {
         /// The service-assigned job id.
@@ -598,7 +736,15 @@ pub enum Frame {
         job: u64,
         /// Its lifecycle stage.
         status: WireJobStatus,
+        /// The service's live queue gauges at answer time. Optional on the
+        /// wire for compatibility with older servers; always sent by this
+        /// one.
+        backlog: Option<WireBacklog>,
     },
+    /// Server: pipeline metrics snapshot answering `METRICS`. The header
+    /// line carries the gauges and counters; `body-lines=<n>` announces the
+    /// per-backend latency lines that follow.
+    Metrics(WireMetrics),
     /// Server: a session operation was applied; reports the session's
     /// current push depth.
     SessionOk {
@@ -732,6 +878,37 @@ impl Frame {
             Frame::SessionClose { session } => {
                 let _ = writeln!(out, "SESSION CLOSE {session}");
             }
+            Frame::MetricsRequest => out.push_str("METRICS\n"),
+            Frame::Metrics(metrics) => {
+                let _ = writeln!(
+                    out,
+                    "METRICS queue-depth={} backlog-high={} backlog-normal={} backlog-low={} \
+                     cache-hits={} cache-misses={} cache-evictions={} cache-entries={} \
+                     pre-vars-removed={} pre-clauses-removed={} pre-solved={} \
+                     budget-samples-spent={} budget-checks-spent={} body-lines={}",
+                    metrics.queue_depth,
+                    metrics.backlog_high,
+                    metrics.backlog_normal,
+                    metrics.backlog_low,
+                    metrics.cache_hits,
+                    metrics.cache_misses,
+                    metrics.cache_evictions,
+                    metrics.cache_entries,
+                    metrics.pre_vars_removed,
+                    metrics.pre_clauses_removed,
+                    metrics.pre_solved,
+                    metrics.budget_samples_spent,
+                    metrics.budget_checks_spent,
+                    metrics.backends.len()
+                );
+                for backend in &metrics.backends {
+                    let _ = writeln!(
+                        out,
+                        "backend {} count={} total-us={} max-us={}",
+                        backend.name, backend.count, backend.total_us, backend.max_us
+                    );
+                }
+            }
             Frame::Queued { job } => {
                 let _ = writeln!(out, "QUEUED {job}");
             }
@@ -746,7 +923,8 @@ impl Frame {
                 let _ = writeln!(
                     out,
                     "STATS {job} decisions={} conflicts={} propagations={} restarts={} \
-                     learned={} tried={} flips={} checks={} samples={} wall-us={}",
+                     learned={} tried={} flips={} checks={} samples={} wall-us={} \
+                     cache-hits={} pre-vars-removed={}",
                     stats.decisions,
                     stats.conflicts,
                     stats.propagations,
@@ -756,7 +934,9 @@ impl Frame {
                     stats.flips,
                     stats.checks,
                     stats.samples,
-                    stats.wall_us
+                    stats.wall_us,
+                    stats.cache_hits,
+                    stats.pre_vars_removed
                 );
             }
             Frame::Result { job, verdict } => {
@@ -769,8 +949,20 @@ impl Frame {
                 }
                 out.push_str(" 0\n");
             }
-            Frame::Info { job, status } => {
-                let _ = writeln!(out, "INFO {job} {}", status.token());
+            Frame::Info {
+                job,
+                status,
+                backlog,
+            } => {
+                let _ = write!(out, "INFO {job} {}", status.token());
+                if let Some(backlog) = backlog {
+                    let _ = write!(
+                        out,
+                        " queue-depth={} backlog-high={} backlog-normal={} backlog-low={}",
+                        backlog.queue_depth, backlog.high, backlog.normal, backlog.low
+                    );
+                }
+                out.push('\n');
             }
             Frame::SessionOk { session, depth } => {
                 let _ = writeln!(out, "SESSIONOK {session} depth={depth}");
@@ -959,6 +1151,7 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
             Frame::Shutdown
         }
         "SESSION" => return parse_session(tokens, reader).map(Some),
+        "METRICS" => return parse_metrics(tokens, reader).map(Some),
         "QUEUED" => {
             let job = parse_u64(
                 tokens
@@ -1054,8 +1247,8 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
                     .ok_or_else(|| malformed("STATS needs a job id"))?,
                 "job id",
             )?;
-            let mut slots: [Option<u64>; 10] = [None; 10];
-            const KEYS: [&str; 10] = [
+            let mut slots: [Option<u64>; 12] = [None; 12];
+            const KEYS: [&str; 12] = [
                 "decisions",
                 "conflicts",
                 "propagations",
@@ -1066,6 +1259,8 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
                 "checks",
                 "samples",
                 "wall-us",
+                "cache-hits",
+                "pre-vars-removed",
             ];
             for token in tokens {
                 let (key, value) = split_key_value(token)?;
@@ -1089,6 +1284,8 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
                     checks: counter(7),
                     samples: counter(8),
                     wall_us: counter(9),
+                    cache_hits: counter(10),
+                    pre_vars_removed: counter(11),
                 },
             }
         }
@@ -1131,8 +1328,33 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
                     .next()
                     .ok_or_else(|| malformed("INFO needs a status"))?,
             )?;
-            expect_end(tokens, "INFO")?;
-            Frame::Info { job, status }
+            let mut queue_depth = None;
+            let mut high = None;
+            let mut normal = None;
+            let mut low = None;
+            for token in tokens {
+                let (key, value) = split_key_value(token)?;
+                match key {
+                    "queue-depth" => store_once(&mut queue_depth, key, parse_u64(value, key)?)?,
+                    "backlog-high" => store_once(&mut high, key, parse_u64(value, key)?)?,
+                    "backlog-normal" => store_once(&mut normal, key, parse_u64(value, key)?)?,
+                    "backlog-low" => store_once(&mut low, key, parse_u64(value, key)?)?,
+                    other => return Err(malformed(format!("unknown INFO key '{other}'"))),
+                }
+            }
+            let any_gauge =
+                queue_depth.is_some() || high.is_some() || normal.is_some() || low.is_some();
+            let backlog = any_gauge.then(|| WireBacklog {
+                queue_depth: queue_depth.unwrap_or(0),
+                high: high.unwrap_or(0),
+                normal: normal.unwrap_or(0),
+                low: low.unwrap_or(0),
+            });
+            Frame::Info {
+                job,
+                status,
+                backlog,
+            }
         }
         "OK" => {
             match tokens.next() {
@@ -1257,6 +1479,125 @@ fn parse_solve<'a, R: BufRead, I: Iterator<Item = &'a str>>(
         stats: stats.unwrap_or(false),
         body,
     }))
+}
+
+/// Parses a `METRICS` line: bare (the client's request) or keyed (the
+/// server's snapshot response, whose `body-lines=` count announces the
+/// per-backend latency lines that follow).
+fn parse_metrics<'a, R: BufRead, I: Iterator<Item = &'a str>>(
+    tokens: I,
+    reader: &mut R,
+) -> Result<Frame, ProtocolError> {
+    // Counter keys may be any subset (absent reads 0), like STATS; only the
+    // trailing body-lines key distinguishes the response and is mandatory
+    // there.
+    let mut slots: [Option<u64>; 13] = [None; 13];
+    const KEYS: [&str; 13] = [
+        "queue-depth",
+        "backlog-high",
+        "backlog-normal",
+        "backlog-low",
+        "cache-hits",
+        "cache-misses",
+        "cache-evictions",
+        "cache-entries",
+        "pre-vars-removed",
+        "pre-clauses-removed",
+        "pre-solved",
+        "budget-samples-spent",
+        "budget-checks-spent",
+    ];
+    let mut body_lines: Option<usize> = None;
+    let mut any_key = false;
+    for token in tokens {
+        if body_lines.is_some() {
+            return Err(malformed("body-lines must be the last METRICS key"));
+        }
+        any_key = true;
+        let (key, value) = split_key_value(token)?;
+        if key == "body-lines" {
+            let count = parse_u64(value, key)?;
+            if count > MAX_BODY_LINES as u64 {
+                return Err(ProtocolError::Desync(format!(
+                    "body-lines={count} exceeds the {MAX_BODY_LINES}-line cap"
+                )));
+            }
+            body_lines = Some(count as usize);
+            continue;
+        }
+        let index = KEYS
+            .iter()
+            .position(|&k| k == key)
+            .ok_or_else(|| malformed(format!("unknown METRICS key '{key}'")))?;
+        store_once(&mut slots[index], key, parse_u64(value, key)?)?;
+    }
+    if !any_key {
+        return Ok(Frame::MetricsRequest);
+    }
+    let body_lines =
+        body_lines.ok_or_else(|| malformed("METRICS response needs a trailing body-lines key"))?;
+    let mut backends = Vec::with_capacity(body_lines.min(1024));
+    for _ in 0..body_lines {
+        let line = read_limited_line(reader)?.ok_or_else(|| {
+            ProtocolError::Desync("connection closed inside a METRICS body".into())
+        })?;
+        backends.push(parse_metrics_backend(&decode_utf8(line)?)?);
+    }
+    let counter = |index: usize| slots[index].unwrap_or(0);
+    Ok(Frame::Metrics(WireMetrics {
+        queue_depth: counter(0),
+        backlog_high: counter(1),
+        backlog_normal: counter(2),
+        backlog_low: counter(3),
+        cache_hits: counter(4),
+        cache_misses: counter(5),
+        cache_evictions: counter(6),
+        cache_entries: counter(7),
+        pre_vars_removed: counter(8),
+        pre_clauses_removed: counter(9),
+        pre_solved: counter(10),
+        budget_samples_spent: counter(11),
+        budget_checks_spent: counter(12),
+        backends,
+    }))
+}
+
+/// Parses one `METRICS` body line:
+/// `backend <name> count=<u64> total-us=<u64> max-us=<u64>`.
+fn parse_metrics_backend(line: &str) -> Result<WireBackendLatency, ProtocolError> {
+    let mut tokens = line.split_ascii_whitespace();
+    match tokens.next() {
+        Some("backend") => {}
+        other => {
+            return Err(malformed(format!(
+                "METRICS body line must start with 'backend', got {other:?}"
+            )))
+        }
+    }
+    let name = tokens
+        .next()
+        .ok_or_else(|| malformed("METRICS body line needs a backend name"))?;
+    if !valid_backend_name(name) {
+        return Err(malformed(format!("invalid backend name '{name}'")));
+    }
+    let mut count = None;
+    let mut total_us = None;
+    let mut max_us = None;
+    for token in tokens {
+        let (key, value) = split_key_value(token)?;
+        match key {
+            "count" => store_once(&mut count, key, parse_u64(value, key)?)?,
+            "total-us" => store_once(&mut total_us, key, parse_u64(value, key)?)?,
+            "max-us" => store_once(&mut max_us, key, parse_u64(value, key)?)?,
+            other => return Err(malformed(format!("unknown METRICS body key '{other}'"))),
+        }
+    }
+    Ok(WireBackendLatency {
+        name: name.to_string(),
+        count: count.unwrap_or(0),
+        total_us: total_us.unwrap_or(0),
+        max_us: max_us.unwrap_or(0),
+    })
 }
 
 /// Parses the comma-separated DIMACS literals of a `lits=` value.
@@ -1453,6 +1794,8 @@ mod tests {
                 checks: 9,
                 samples: 512,
                 wall_us: 1234,
+                cache_hits: 1,
+                pre_vars_removed: 4,
             },
         });
         roundtrip(Frame::Stats {
@@ -1470,6 +1813,17 @@ mod tests {
         roundtrip(Frame::Info {
             job: 5,
             status: WireJobStatus::Running,
+            backlog: None,
+        });
+        roundtrip(Frame::Info {
+            job: 5,
+            status: WireJobStatus::Queued,
+            backlog: Some(WireBacklog {
+                queue_depth: 6,
+                high: 1,
+                normal: 4,
+                low: 1,
+            }),
         });
         roundtrip(Frame::OkRefill);
         roundtrip(Frame::Pong);
@@ -1681,10 +2035,124 @@ mod tests {
             coprocessor_checks: 3,
             samples: 100,
             wall_time: Duration::from_micros(4321),
+            cache_hits: 1,
+            preprocessed_vars_removed: 6,
             ..SolveStats::default()
         };
         let wire = WireStats::from(&stats);
+        assert_eq!(wire.cache_hits, 1);
+        assert_eq!(wire.pre_vars_removed, 6);
         assert_eq!(wire.to_solve_stats(), stats);
+    }
+
+    #[test]
+    fn metrics_frames_round_trip() {
+        // A bare METRICS line is the client's request...
+        roundtrip(Frame::MetricsRequest);
+        // ...and a keyed one is the server's snapshot response.
+        roundtrip(Frame::Metrics(WireMetrics {
+            queue_depth: 6,
+            backlog_high: 1,
+            backlog_normal: 4,
+            backlog_low: 1,
+            cache_hits: 17,
+            cache_misses: 40,
+            cache_evictions: 2,
+            cache_entries: 38,
+            pre_vars_removed: 120,
+            pre_clauses_removed: 64,
+            pre_solved: 9,
+            budget_samples_spent: 100_000,
+            budget_checks_spent: 4_096,
+            backends: vec![
+                WireBackendLatency {
+                    name: "cdcl".into(),
+                    count: 31,
+                    total_us: 88_000,
+                    max_us: 12_000,
+                },
+                WireBackendLatency {
+                    name: "nbl-sampled".into(),
+                    count: 9,
+                    total_us: 4_500,
+                    max_us: 900,
+                },
+            ],
+        }));
+        roundtrip(Frame::Metrics(WireMetrics::default()));
+    }
+
+    #[test]
+    fn metrics_parser_is_strict() {
+        let bad = [
+            // Counter keys without the mandatory trailing body-lines.
+            "METRICS cache-hits=3\n",
+            // body-lines must come last.
+            "METRICS body-lines=0 cache-hits=3\n",
+            "METRICS wat=1 body-lines=0\n",
+            "METRICS cache-hits=1 cache-hits=2 body-lines=0\n",
+            "METRICS cache-hits=-1 body-lines=0\n",
+            // Malformed body lines.
+            "METRICS body-lines=1\nfrob cdcl count=1\n",
+            "METRICS body-lines=1\nbackend\n",
+            "METRICS body-lines=1\nbackend bad name count=1\n",
+            "METRICS body-lines=1\nbackend cdcl count=1 count=2\n",
+            "METRICS body-lines=1\nbackend cdcl wat=1\n",
+        ];
+        for text in bad {
+            let mut cursor = Cursor::new(text.to_string());
+            assert!(
+                Frame::read_from(&mut cursor).is_err(),
+                "{text:?} must not parse"
+            );
+        }
+        // Body-line counter keys may be any subset; absent counters read 0.
+        let mut cursor = Cursor::new("METRICS body-lines=1\nbackend cdcl count=5\n".to_string());
+        match Frame::read_from(&mut cursor).unwrap().unwrap() {
+            Frame::Metrics(metrics) => {
+                assert_eq!(metrics.backends.len(), 1);
+                assert_eq!(metrics.backends[0].count, 5);
+                assert_eq!(metrics.backends[0].total_us, 0);
+                assert_eq!(metrics.cache_hits, 0);
+            }
+            other => panic!("expected METRICS, got {other:?}"),
+        }
+        // A body cut off by EOF loses framing.
+        let mut cursor = Cursor::new("METRICS body-lines=2\nbackend cdcl count=1\n".to_string());
+        assert!(matches!(
+            Frame::read_from(&mut cursor),
+            Err(ProtocolError::Desync(_))
+        ));
+    }
+
+    #[test]
+    fn info_backlog_keys_are_optional_and_strict() {
+        // A bare INFO (an older server) parses with no backlog.
+        let mut cursor = Cursor::new("INFO 5 running\n".to_string());
+        assert_eq!(
+            Frame::read_from(&mut cursor).unwrap().unwrap(),
+            Frame::Info {
+                job: 5,
+                status: WireJobStatus::Running,
+                backlog: None,
+            }
+        );
+        // Any gauge key present yields a backlog (absent gauges read 0).
+        let mut cursor = Cursor::new("INFO 5 queued backlog-normal=3\n".to_string());
+        match Frame::read_from(&mut cursor).unwrap().unwrap() {
+            Frame::Info {
+                backlog: Some(backlog),
+                ..
+            } => {
+                assert_eq!(backlog.normal, 3);
+                assert_eq!(backlog.queue_depth, 0);
+            }
+            other => panic!("expected INFO with backlog, got {other:?}"),
+        }
+        let mut cursor = Cursor::new("INFO 5 running wat=1\n".to_string());
+        assert!(Frame::read_from(&mut cursor).is_err());
+        let mut cursor = Cursor::new("INFO 5 running queue-depth=1 queue-depth=2\n".to_string());
+        assert!(Frame::read_from(&mut cursor).is_err());
     }
 
     #[test]

@@ -33,11 +33,11 @@
 //! and `CANCEL` of that id raises the call's cancellation token. A closing
 //! connection drops its sessions, which releases each pinned solver.
 
-use crate::protocol::{Frame, SolveFrame, WireVerdict};
+use crate::protocol::{Frame, SolveFrame, WireBacklog, WireVerdict};
 use cnf::{dimacs, Literal};
 use nbl_sat_core::{
     BackendRegistry, Budget, JobHandle, SessionCall, SessionHandle, SolveOutcome, SolveRequest,
-    SolveService, SolveVerdict,
+    SolveService, SolveVerdict, DEFAULT_CACHE_CAPACITY,
 };
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
@@ -61,6 +61,7 @@ pub struct ServerConfig {
     registry: BackendRegistry,
     workers: Option<usize>,
     budget: Budget,
+    cache_capacity: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -69,13 +70,15 @@ impl Default for ServerConfig {
             registry: BackendRegistry::default(),
             workers: None,
             budget: Budget::unlimited(),
+            cache_capacity: Some(DEFAULT_CACHE_CAPACITY),
         }
     }
 }
 
 impl ServerConfig {
-    /// A configuration with the default backend registry, one worker per CPU
-    /// and an unlimited shared budget.
+    /// A configuration with the default backend registry, one worker per
+    /// CPU, an unlimited shared budget, and the verdict cache enabled at
+    /// [`DEFAULT_CACHE_CAPACITY`] entries.
     pub fn new() -> Self {
         ServerConfig::default()
     }
@@ -97,6 +100,20 @@ impl ServerConfig {
     /// (refillable over the wire via `REFILL`).
     pub fn shared_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Resizes the verdict/model cache isomorphic resubmissions are answered
+    /// from (default [`DEFAULT_CACHE_CAPACITY`] entries).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Disables the verdict/model cache: every submission dispatches to a
+    /// backend (preprocessing still runs).
+    pub fn no_cache(mut self) -> Self {
+        self.cache_capacity = None;
         self
     }
 }
@@ -158,6 +175,9 @@ impl NblSatServer {
         let mut builder = SolveService::builder(&config.registry).shared_budget(config.budget);
         if let Some(workers) = config.workers {
             builder = builder.workers(workers);
+        }
+        if let Some(capacity) = config.cache_capacity {
+            builder = builder.cache_capacity(capacity);
         }
         let shared = Arc::new(ServerShared {
             service: builder.start(),
@@ -473,13 +493,21 @@ fn handle_frame(
                 Some(handle) => {
                     let status = handle.status().into();
                     drop(jobs);
-                    connection.send(&Frame::Info { job, status })?;
+                    connection.send(&Frame::Info {
+                        job,
+                        status,
+                        backlog: Some(live_backlog(&shared.service)),
+                    })?;
                 }
                 None => {
                     drop(jobs);
                     connection.send_error(Some(job), format!("unknown job {job}"))?;
                 }
             }
+        }
+        Frame::MetricsRequest => {
+            let snapshot = shared.service.metrics_snapshot();
+            connection.send(&Frame::Metrics((&snapshot).into()))?;
         }
         Frame::Refill {
             samples,
@@ -560,6 +588,7 @@ fn handle_frame(
         | Frame::FailedAssumptions { .. }
         | Frame::SessionOk { .. }
         | Frame::Caps { .. }
+        | Frame::Metrics(_)
         | Frame::OkRefill
         | Frame::Pong
         | Frame::Bye
@@ -750,6 +779,17 @@ fn handle_session_assume(
         connection.completion_written();
     });
     Ok(())
+}
+
+/// The service's live queue gauges, for `INFO` answers.
+fn live_backlog(service: &SolveService) -> WireBacklog {
+    let [high, normal, low] = service.pending_by_priority();
+    WireBacklog {
+        queue_depth: (high + normal + low) as u64,
+        high: high as u64,
+        normal: normal as u64,
+        low: low as u64,
+    }
 }
 
 /// Closes both directions of a stream, tolerating already-closed sockets.

@@ -4,8 +4,8 @@
 //! frames, oversized bodies, bad verbs and non-UTF-8 input.
 
 use nbl_net::{
-    Frame, ProtocolError, SolveFrame, WireArtifacts, WireCause, WireJobStatus, WirePriority,
-    WireStats, WireVerdict,
+    Frame, ProtocolError, SolveFrame, WireArtifacts, WireBackendLatency, WireBacklog, WireCause,
+    WireJobStatus, WireMetrics, WirePriority, WireStats, WireVerdict,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -124,6 +124,12 @@ fn build_frame(
         9 => Frame::Info {
             job,
             status: STATUSES[selector % STATUSES.len()],
+            backlog: selector.is_multiple_of(2).then_some(WireBacklog {
+                queue_depth: seed % 64,
+                high: job % 8,
+                normal: seed % 32,
+                low: job % 5,
+            }),
         },
         10 => Frame::OkRefill,
         11 => Frame::Pong,
@@ -141,8 +147,36 @@ fn build_frame(
                 checks: seed % 3,
                 samples: job % 11,
                 wall_us: seed % 1_000_003,
+                cache_hits: job % 2,
+                pre_vars_removed: seed % 17,
             },
         },
+        14 => Frame::MetricsRequest,
+        15 => Frame::Metrics(WireMetrics {
+            queue_depth: seed % 128,
+            backlog_high: job % 8,
+            backlog_normal: seed % 64,
+            backlog_low: job % 5,
+            cache_hits: seed % 1009,
+            cache_misses: job % 997,
+            cache_evictions: seed % 31,
+            cache_entries: job % 1024,
+            pre_vars_removed: seed % 211,
+            pre_clauses_removed: job % 499,
+            pre_solved: seed % 23,
+            budget_samples_spent: seed % 1_000_003,
+            budget_checks_spent: job % 65_537,
+            backends: body
+                .iter()
+                .enumerate()
+                .map(|(rank, &i)| WireBackendLatency {
+                    name: format!("{}-{rank}", BACKENDS[i % BACKENDS.len()]),
+                    count: seed % 100,
+                    total_us: seed % 50_000,
+                    max_us: job % 9_000,
+                })
+                .collect(),
+        }),
         _ => Frame::Error {
             job: scoped.then_some(job),
             message: words
@@ -156,7 +190,7 @@ fn build_frame(
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (
-        (0u8..15, 0u64..10_000_000, 0u64..u64::MAX),
+        (0u8..17, 0u64..10_000_000, 0u64..u64::MAX),
         proptest::collection::vec((1u64..100, proptest::bool::ANY), 0..8),
         proptest::collection::vec(0usize..BODY_LINES.len(), 0..6),
         (
@@ -410,6 +444,61 @@ fn malformed_inputs_error_instead_of_panicking() {
             "INFO unknown status",
             b"INFO 3 paused\n".to_vec(),
             Recoverable,
+        ),
+        (
+            "INFO unknown gauge key",
+            b"INFO 3 running frob=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "INFO duplicate gauge key",
+            b"INFO 3 running backlog-low=1 backlog-low=2\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "INFO negative gauge",
+            b"INFO 3 running queue-depth=-1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "METRICS response without body-lines",
+            b"METRICS cache-hits=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "METRICS body-lines not last",
+            b"METRICS body-lines=0 cache-hits=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "METRICS unknown key",
+            b"METRICS frob=1 body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "METRICS duplicate key",
+            b"METRICS cache-hits=1 cache-hits=2 body-lines=0\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "METRICS bad body line verb",
+            b"METRICS body-lines=1\nfrob cdcl count=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "METRICS body line unknown key",
+            b"METRICS body-lines=1\nbackend cdcl frob=1\n".to_vec(),
+            Recoverable,
+        ),
+        (
+            "METRICS truncated body",
+            b"METRICS body-lines=2\nbackend cdcl count=1\n".to_vec(),
+            Fatal,
+        ),
+        (
+            "METRICS oversized body declaration",
+            b"METRICS body-lines=99999999\n".to_vec(),
+            Fatal,
         ),
         ("OK without payload", b"OK\n".to_vec(), Recoverable),
         ("OK unknown payload", b"OK frob\n".to_vec(), Recoverable),

@@ -26,7 +26,10 @@
 //! restrict-and-re-encode dispatch.
 
 use crate::splitter::{split_cube, SplitConfig};
-use cnf::{dimacs, Assignment, CnfFormula, Cube, CubeRestriction, RestrictionOutcome, Variable};
+use cnf::{
+    dimacs, preprocess, Assignment, CnfFormula, Cube, CubeRestriction, PreprocessOutcome,
+    RestrictionOutcome, Variable,
+};
 use nbl_net::{
     ClientConfig, NblSatClient, NetError, RemoteJob, RemoteSession, SolveFrame, WireCause,
     WireVerdict,
@@ -160,6 +163,11 @@ pub struct FleetStats {
     pub shard_deaths: usize,
     /// `CANCEL` frames sent to abandon moot in-flight jobs.
     pub cancellations_sent: usize,
+    /// Pipeline cache hits reported by remote shards and the local fallback.
+    pub cache_hits: u64,
+    /// Variables eliminated by preprocessing: the coordinator's own
+    /// front-of-fleet pass plus any reported by sub-solves.
+    pub pre_vars_removed: u64,
 }
 
 impl fmt::Display for FleetStats {
@@ -168,7 +176,7 @@ impl fmt::Display for FleetStats {
             f,
             "shards={} cubes={} splitter-refuted={} remote sat/unsat/unknown={}/{}/{} \
              trivial sat/unsat={}/{} local={} requeues={} steals={} resplits={} \
-             assume-dispatches={} deaths={} cancels={}",
+             assume-dispatches={} deaths={} cancels={} cache-hits={} pre-vars-removed={}",
             self.shards,
             self.cubes_split,
             self.splitter_refuted,
@@ -184,6 +192,8 @@ impl fmt::Display for FleetStats {
             self.assumption_dispatches,
             self.shard_deaths,
             self.cancellations_sent,
+            self.cache_hits,
+            self.pre_vars_removed,
         )
     }
 }
@@ -423,6 +433,8 @@ fn absorb_stats(total: &mut SolveStats, part: &SolveStats) {
     total.flips += part.flips;
     total.coprocessor_checks += part.coprocessor_checks;
     total.samples += part.samples;
+    total.cache_hits += part.cache_hits;
+    total.preprocessed_vars_removed += part.preprocessed_vars_removed;
     total.wall_time += part.wall_time;
 }
 
@@ -515,7 +527,67 @@ impl ShardCoordinator {
     /// Solves `formula` across the fleet. See the module docs for the
     /// protocol; this never panics on fleet failure — it degrades to local
     /// solving (when enabled) and reports `Unknown` rather than guessing.
+    ///
+    /// The formula runs through the shared preprocessing pass before any
+    /// cube is split: unit propagation and pure-literal elimination may
+    /// settle the verdict outright (no shard sees a frame), and otherwise
+    /// the fleet conquers the *reduced* formula while the winning model is
+    /// lifted back through the [`cnf::ReductionTrace`] and verified against
+    /// the original before it is reported.
     pub fn solve(&self, formula: &CnfFormula) -> FleetOutcome {
+        let pre = preprocess(formula);
+        let vars_removed = pre.report.vars_removed() as u64;
+        let immediate = |verdict, model: Option<Assignment>| FleetOutcome {
+            verdict,
+            model,
+            stats: SolveStats {
+                preprocessed_vars_removed: vars_removed,
+                ..SolveStats::default()
+            },
+            fleet: FleetStats {
+                shards: self.shards.len(),
+                pre_vars_removed: vars_removed,
+                ..FleetStats::default()
+            },
+        };
+        match pre.outcome {
+            PreprocessOutcome::Satisfiable(model) => {
+                debug_assert!(formula.evaluate(&model));
+                if formula.evaluate(&model) {
+                    immediate(SolveVerdict::Satisfiable, Some(model))
+                } else {
+                    // Defensive: a preprocessor bug must not fabricate SAT.
+                    immediate(SolveVerdict::Unknown(UnknownCause::Incomplete), None)
+                }
+            }
+            PreprocessOutcome::Unsatisfiable => immediate(SolveVerdict::Unsatisfiable, None),
+            PreprocessOutcome::Reduced {
+                formula: reduced,
+                trace,
+            } => {
+                let mut outcome = self.solve_fleet(&reduced);
+                outcome.stats.preprocessed_vars_removed += vars_removed;
+                outcome.fleet.pre_vars_removed += vars_removed;
+                if let Some(model) = outcome.model.take() {
+                    let lifted = trace.lift_model(&model);
+                    if formula.evaluate(&lifted) {
+                        outcome.model = Some(lifted);
+                    } else {
+                        // Defensive: never report a model that fails the
+                        // original formula, even if the reduced solve's
+                        // model checked out downstream.
+                        debug_assert!(false, "lifted model failed original formula");
+                        outcome.verdict = SolveVerdict::Unknown(UnknownCause::Incomplete);
+                    }
+                }
+                outcome
+            }
+        }
+    }
+
+    /// Splits, dispatches and merges: the cube-and-conquer engine proper,
+    /// running on the (already preprocessed) formula it is handed.
+    fn solve_fleet(&self, formula: &CnfFormula) -> FleetOutcome {
         let target = self
             .config
             .target_cubes
@@ -645,6 +717,8 @@ impl ShardCoordinator {
                     match self.config.registry.solve(&self.config.backend, &request) {
                         Ok(outcome) => {
                             absorb_stats(&mut state.stats, &outcome.stats);
+                            state.fleet.cache_hits += outcome.stats.cache_hits;
+                            state.fleet.pre_vars_removed += outcome.stats.preprocessed_vars_removed;
                             match outcome.verdict {
                                 SolveVerdict::Satisfiable => {
                                     let model = outcome
@@ -886,7 +960,10 @@ fn await_remote(
             Ok(outcome) => {
                 let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
                 if let Some(stats) = outcome.stats {
-                    absorb_stats(&mut state.stats, &stats.to_solve_stats());
+                    let stats = stats.to_solve_stats();
+                    absorb_stats(&mut state.stats, &stats);
+                    state.fleet.cache_hits += stats.cache_hits;
+                    state.fleet.pre_vars_removed += stats.preprocessed_vars_removed;
                 }
                 state.tasks[id].inflight = None;
                 if state.tasks[id].resolved || state.done {

@@ -123,9 +123,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cancelled_at.elapsed()
     );
 
-    // 4. The service's check pool (6 checks) is nearly spent by the
-    //    nbl-symbolic job above; starve it fully, then refill.
-    let unsat = cnf::generators::example7_unsat();
+    // 4. Starve the service's check pool (6 checks), then refill it. The
+    //    workload must be a formula preprocessing cannot resolve — example 7
+    //    is refuted by unit propagation before it ever reaches a backend, so
+    //    it would spend nothing — and the §IV UNSAT instance (no units, no
+    //    pure literals) costs one coprocessor check per nbl-symbolic solve.
+    let unsat = cnf::generators::section4_unsat_instance();
     loop {
         let outcome = service
             .submit("nbl-symbolic", &SolveRequest::new(&unsat))

@@ -53,6 +53,16 @@
 //! *stream* of requests: non-blocking submission, priorities, per-job
 //! cancellation, refillable budgets, and drain-vs-abort shutdown.
 //!
+//! Every entry point — registry, service, wire server, fleet coordinator —
+//! routes through the shared [`SolvePipeline`](prelude::SolvePipeline):
+//! canonicalizing preprocessing (unit propagation, pure literals), an
+//! optional verdict/model cache keyed on canonical fingerprints so
+//! isomorphic resubmissions answer without dispatch, and a
+//! [`MetricsRegistry`](prelude::MetricsRegistry) whose
+//! [`MetricsSnapshot`](prelude::MetricsSnapshot) (queue depth, cache hit
+//! rates, per-backend latency) is also served as the `METRICS` wire frame
+//! by `nbl-satd`.
+//!
 //! The lower-level building blocks ([`SatChecker`](prelude::SatChecker),
 //! [`AssignmentExtractor`](prelude::AssignmentExtractor),
 //! [`HybridSolver`](prelude::HybridSolver), the [`Solver`](prelude::Solver)
@@ -78,16 +88,17 @@ pub mod prelude {
     };
     pub use nbl_net::{
         ClientConfig, NblSatClient, NblSatServer, NetError, RemoteJob, RemoteOutcome,
-        RemoteSession, ServerConfig, SolveFrame, WireStats, WireVerdict,
+        RemoteSession, ServerConfig, SolveFrame, WireBacklog, WireMetrics, WireStats, WireVerdict,
     };
     pub use nbl_noise::{CarrierKind, RunningStats};
     pub use nbl_sat_core::{
         AlgebraicEngine, Artifacts, AssignmentExtractor, BackendRegistry, Budget, BudgetMeter,
         EngineConfig, ExhaustedResource, HybridSolver, IncrementalBackend, JobHandle, JobPriority,
-        JobStatus, MeanEstimate, NblEngine, NblSatError, NblSatInstance, SampledEngine, SatBackend,
-        SatChecker, ServiceBuilder, SessionCall, SessionHandle, SharedBudget, SnrModel, SolveBatch,
-        SolveOutcome, SolveRequest, SolveService, SolveSession, SolveStats, SolveVerdict,
-        SymbolicEngine, UnknownCause, Verdict,
+        JobStatus, MeanEstimate, MetricsRegistry, MetricsSnapshot, NblEngine, NblSatError,
+        NblSatInstance, PipelineConfig, SampledEngine, SatBackend, SatChecker, ServiceBuilder,
+        SessionCall, SessionHandle, SharedBudget, SnrModel, SolveBatch, SolveOutcome,
+        SolvePipeline, SolveRequest, SolveService, SolveSession, SolveStats, SolveVerdict,
+        SymbolicEngine, UnknownCause, Verdict, VerdictCache,
     };
     pub use nbl_shard::{
         CubeSplit, FleetOutcome, FleetStats, ShardConfig, ShardCoordinator, ShardError, SplitConfig,

@@ -199,7 +199,10 @@ fn batch_under_contention_starves_but_never_hangs() {
 #[test]
 fn batch_shared_sample_pool_is_shared_across_requests() {
     let registry = BackendRegistry::default();
-    let f = cnf::generators::example7_unsat();
+    // Irreducible under the pipeline's preprocessing (no units, no pure
+    // literals), so every request reaches the sampled backend and draws real
+    // samples from the pool.
+    let f = cnf::generators::section4_unsat_instance();
     // A pool of 300 samples cannot fund many sampled checks (each needs more
     // than that to converge); at least one request must be starved and none
     // may exceed the pool by more than the per-request slice semantics allow.

@@ -233,13 +233,15 @@ fn cancelling_queued_jobs_answers_all_backends_without_running() {
 #[test]
 fn refilled_budget_revives_a_starved_service() {
     // Each nbl-symbolic verdict costs exactly 1 check; a pool of 2 admits two
-    // jobs, starves the third, and a refill admits the fourth.
+    // jobs, starves the third, and a refill admits the fourth. The instance
+    // is irreducible under the pipeline's preprocessing (no units, no pure
+    // literals), so every job actually reaches the backend.
     let registry = BackendRegistry::default();
     let service = SolveService::builder(&registry)
         .workers(1)
         .shared_budget(Budget::unlimited().with_max_checks(2))
         .start();
-    let f = cnf::generators::example7_unsat();
+    let f = cnf::generators::section4_unsat_instance();
     for _ in 0..2 {
         let outcome = service
             .submit("nbl-symbolic", &SolveRequest::new(&f))

@@ -557,3 +557,57 @@ fn shutdown_verb_drains_the_server() {
                    // The listener is gone: new connections are refused.
     assert!(TcpStream::connect(addr).is_err());
 }
+
+#[test]
+fn cache_metrics_and_backlog_over_the_wire() {
+    // Default server config: verdict/model cache ON. The second submission
+    // is a variable-swapped isomorphic twin of the first, so it must answer
+    // from the cache — hit counter up, zero extra backend dispatch — with a
+    // model mapped into *its* variable space, not the first formula's.
+    let server = start_server(ServerConfig::new());
+    let client = NblSatClient::connect(server.local_addr()).expect("connect");
+
+    let first = cnf::cnf_formula![[1, 2], [-1, -2], [1, -2]];
+    let mut frame = SolveFrame::new("cdcl", &cnf::dimacs::to_string(&first));
+    frame.artifacts = WireArtifacts::Model;
+    frame.stats = true;
+    let job = client.submit(frame).expect("submit");
+    let (_status, backlog) = job.status_detailed().expect("status");
+    assert!(backlog.is_some(), "STATUS must carry live queue gauges");
+    let outcome = job.wait().expect("first outcome");
+    assert!(outcome.verdict.is_sat());
+    assert_eq!(
+        outcome.stats.as_ref().expect("stats requested").cache_hits,
+        0
+    );
+
+    let second = cnf::cnf_formula![[2, 1], [-2, -1], [2, -1]];
+    let mut frame = SolveFrame::new("cdcl", &cnf::dimacs::to_string(&second));
+    frame.artifacts = WireArtifacts::Model;
+    frame.stats = true;
+    let outcome = client
+        .submit(frame)
+        .expect("submit")
+        .wait()
+        .expect("second outcome");
+    assert!(outcome.verdict.is_sat());
+    assert_eq!(
+        outcome.stats.as_ref().expect("stats requested").cache_hits,
+        1,
+        "isomorphic resubmission missed the server cache"
+    );
+    let model = assignment_from_lits(outcome.model.as_ref().expect("model"), second.num_vars());
+    assert!(
+        second.evaluate(&model),
+        "cached model was not lifted into the resubmission's variable space"
+    );
+
+    let metrics = client.metrics().expect("METRICS round trip");
+    assert_eq!(metrics.cache_hits, 1);
+    assert_eq!(metrics.cache_misses, 1);
+    assert_eq!(metrics.cache_entries, 1);
+    assert_eq!(metrics.queue_depth, 0, "both jobs drained");
+    let dispatched: u64 = metrics.backends.iter().map(|b| b.count).sum();
+    assert_eq!(dispatched, 1, "the cache hit must not dispatch a backend");
+    server.stop();
+}

@@ -61,6 +61,8 @@ struct MetricsInner {
     pre_solved: AtomicU64,
     budget_samples_spent: AtomicU64,
     budget_checks_spent: AtomicU64,
+    clauses_exported: AtomicU64,
+    clauses_imported: AtomicU64,
     latencies: Mutex<BTreeMap<String, BackendLatency>>,
 }
 
@@ -135,6 +137,17 @@ impl MetricsRegistry {
             .fetch_add(checks, Ordering::Relaxed);
     }
 
+    /// Records clause-sharing traffic observed on a completed dispatch (the
+    /// cooperative portfolio's pool exports and imports).
+    pub fn record_sharing(&self, exported: u64, imported: u64) {
+        self.inner
+            .clauses_exported
+            .fetch_add(exported, Ordering::Relaxed);
+        self.inner
+            .clauses_imported
+            .fetch_add(imported, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time snapshot of every counter and histogram. The
     /// queue gauges are zero here; front ends that own a queue (the solve
     /// service) fill them in.
@@ -161,6 +174,8 @@ impl MetricsRegistry {
             pre_solved: self.inner.pre_solved.load(Ordering::Relaxed),
             budget_samples_spent: self.inner.budget_samples_spent.load(Ordering::Relaxed),
             budget_checks_spent: self.inner.budget_checks_spent.load(Ordering::Relaxed),
+            clauses_exported: self.inner.clauses_exported.load(Ordering::Relaxed),
+            clauses_imported: self.inner.clauses_imported.load(Ordering::Relaxed),
             backends: latencies,
         }
     }
@@ -200,6 +215,12 @@ pub struct MetricsSnapshot {
     pub budget_samples_spent: u64,
     /// Coprocessor checks charged by completed dispatches.
     pub budget_checks_spent: u64,
+    /// Clauses exported into cooperative-portfolio pools, summed over
+    /// completed dispatches.
+    pub clauses_exported: u64,
+    /// Clauses imported from cooperative-portfolio pools, summed over
+    /// completed dispatches.
+    pub clauses_imported: u64,
     /// Per-backend latency histograms, keyed by backend name.
     pub backends: BTreeMap<String, BackendLatency>,
 }
@@ -223,7 +244,8 @@ impl fmt::Display for MetricsSnapshot {
             "queue-depth={} backlog-high={} backlog-normal={} backlog-low={} dispatches={} \
              cache-hits={} cache-misses={} cache-evictions={} cache-insertions={} \
              cache-entries={} pre-vars-removed={} pre-clauses-removed={} pre-solved={} \
-             budget-samples-spent={} budget-checks-spent={}",
+             budget-samples-spent={} budget-checks-spent={} clauses-exported={} \
+             clauses-imported={}",
             self.queue_depth,
             self.backlog_high,
             self.backlog_normal,
@@ -239,6 +261,8 @@ impl fmt::Display for MetricsSnapshot {
             self.pre_solved,
             self.budget_samples_spent,
             self.budget_checks_spent,
+            self.clauses_exported,
+            self.clauses_imported,
         )?;
         for (name, latency) in &self.backends {
             write!(
@@ -267,6 +291,7 @@ mod tests {
         metrics.record_preprocess(3, 2, false);
         metrics.record_preprocess(1, 1, true);
         metrics.record_budget_spend(100, 4);
+        metrics.record_sharing(12, 5);
         metrics.record_dispatch("cdcl", Duration::from_micros(900));
         metrics.record_dispatch("cdcl", Duration::from_micros(100));
         let snapshot = metrics.snapshot();
@@ -279,6 +304,8 @@ mod tests {
         assert_eq!(snapshot.pre_solved, 1);
         assert_eq!(snapshot.budget_samples_spent, 100);
         assert_eq!(snapshot.budget_checks_spent, 4);
+        assert_eq!(snapshot.clauses_exported, 12);
+        assert_eq!(snapshot.clauses_imported, 5);
         assert_eq!(snapshot.dispatches, 2);
         let cdcl = &snapshot.backends["cdcl"];
         assert_eq!(cdcl.count, 2);

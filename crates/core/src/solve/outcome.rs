@@ -126,6 +126,12 @@ pub struct SolveStats {
     pub cache_hits: u64,
     /// Variables the pipeline's preprocessing stage removed before dispatch.
     pub preprocessed_vars_removed: u64,
+    /// Learned clauses published into a cooperative portfolio's shared
+    /// clause pool, summed over every member.
+    pub clauses_exported: u64,
+    /// Clauses consumed from a cooperative portfolio's shared clause pool,
+    /// summed over every member.
+    pub clauses_imported: u64,
 }
 
 impl SolveStats {
@@ -138,6 +144,8 @@ impl SolveStats {
         self.learned_clauses += stats.learned_clauses;
         self.assignments_tried += stats.assignments_tried;
         self.flips += stats.flips;
+        self.clauses_exported += stats.clauses_exported;
+        self.clauses_imported += stats.clauses_imported;
         if stats.winner.is_some() {
             self.winner = stats.winner;
         }
@@ -173,6 +181,13 @@ impl fmt::Display for SolveStats {
         }
         if self.preprocessed_vars_removed > 0 {
             write!(f, " pre_vars_removed={}", self.preprocessed_vars_removed)?;
+        }
+        if self.clauses_exported > 0 || self.clauses_imported > 0 {
+            write!(
+                f,
+                " exported={} imported={}",
+                self.clauses_exported, self.clauses_imported
+            )?;
         }
         if let Some(winner) = self.winner {
             write!(f, " winner={winner}")?;

@@ -268,6 +268,12 @@ impl SolvePipeline {
         self.metrics.record_dispatch(backend, latency);
         self.metrics
             .record_budget_spend(outcome.stats.samples, outcome.stats.coprocessor_checks);
+        if outcome.stats.clauses_exported > 0 || outcome.stats.clauses_imported > 0 {
+            self.metrics.record_sharing(
+                outcome.stats.clauses_exported,
+                outcome.stats.clauses_imported,
+            );
+        }
         let PreparedRequest {
             formula,
             trace,

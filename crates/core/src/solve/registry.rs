@@ -15,7 +15,7 @@ use crate::symbolic::SymbolicEngine;
 use cnf::EvalMode;
 use sat_solvers::{
     BruteForceSolver, CdclSolver, DpllSolver, Gsat, GsatConfig, ParallelPortfolio, Portfolio,
-    Schoening, SchoeningConfig, TwoSatSolver, WalkSat, WalkSatConfig,
+    Schoening, SchoeningConfig, SharingConfig, TwoSatSolver, WalkSat, WalkSatConfig,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -175,8 +175,18 @@ impl BackendRegistry {
     /// portfolios), and the Monte-Carlo NBL engines. Backends without a
     /// packed/scalar distinction (DPLL, CDCL, 2-SAT, the exact NBL engines)
     /// are registered unchanged. `BackendRegistry::default()` is
-    /// `with_eval_mode(EvalMode::default())`.
+    /// `with_eval_mode(EvalMode::default())`, which in turn is
+    /// [`BackendRegistry::with_modes`] under the default cooperative
+    /// [`SharingConfig`].
     pub fn with_eval_mode(eval_mode: EvalMode) -> Self {
+        BackendRegistry::with_modes(eval_mode, SharingConfig::default())
+    }
+
+    /// [`BackendRegistry::with_eval_mode`] plus an explicit clause-sharing
+    /// configuration for the `parallel-portfolio` backend (cooperative by
+    /// default; pass [`SharingConfig::racing_only`] for the pure racing
+    /// ensemble).
+    pub fn with_modes(eval_mode: EvalMode, sharing: SharingConfig) -> Self {
         let mut registry = BackendRegistry::empty();
         registry.register("brute-force", move || {
             Box::new(
@@ -238,7 +248,11 @@ impl BackendRegistry {
             Box::new(ClassicalBackend::new(
                 "parallel-portfolio",
                 true,
-                move |seed| ParallelPortfolio::new_with_eval_mode(eval_mode).with_seed(seed),
+                move |seed| {
+                    ParallelPortfolio::new_with_eval_mode(eval_mode)
+                        .with_seed(seed)
+                        .with_sharing(sharing)
+                },
             ))
         });
         registry.register("nbl-symbolic", || {
@@ -409,6 +423,27 @@ mod tests {
             let outcome = registry.solve(name, &request).unwrap();
             assert!(outcome.verdict.is_unsat(), "{name}");
         }
+    }
+
+    #[test]
+    fn parallel_portfolio_sharing_is_on_by_default_and_opts_out() {
+        let f = generators::pigeonhole(5, 4);
+        // Default registry: cooperative portfolio, counters flow into the
+        // unified stats (CDCL must decide, so exports are guaranteed).
+        let cooperative = BackendRegistry::default();
+        let outcome = cooperative
+            .solve("parallel-portfolio", &SolveRequest::new(&f).seed(1))
+            .unwrap();
+        assert!(outcome.verdict.is_unsat());
+        assert!(outcome.stats.clauses_exported > 0);
+        // Racing-only registry: same verdict, zero sharing traffic.
+        let racing = BackendRegistry::with_modes(EvalMode::default(), SharingConfig::racing_only());
+        let outcome = racing
+            .solve("parallel-portfolio", &SolveRequest::new(&f).seed(1))
+            .unwrap();
+        assert!(outcome.verdict.is_unsat());
+        assert_eq!(outcome.stats.clauses_exported, 0);
+        assert_eq!(outcome.stats.clauses_imported, 0);
     }
 
     #[test]

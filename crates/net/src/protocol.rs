@@ -44,6 +44,7 @@
 //! STATS <job-id> decisions=<u64> conflicts=<u64> propagations=<u64>
 //!       restarts=<u64> learned=<u64> tried=<u64> flips=<u64> checks=<u64>
 //!       samples=<u64> wall-us=<u64> cache-hits=<u64> pre-vars-removed=<u64>
+//!       clauses-exported=<u64> clauses-imported=<u64>
 //! RESULT <job-id> s <SATISFIABLE|UNSATISFIABLE|UNKNOWN <cause>>
 //! INFO <job-id> <queued|running|finished> [queue-depth=<u64>
 //!      backlog-high=<u64> backlog-normal=<u64> backlog-low=<u64>]
@@ -57,7 +58,8 @@
 //!         backlog-low=<u64> cache-hits=<u64> cache-misses=<u64>
 //!         cache-evictions=<u64> cache-entries=<u64> pre-vars-removed=<u64>
 //!         pre-clauses-removed=<u64> pre-solved=<u64>
-//!         budget-samples-spent=<u64> budget-checks-spent=<u64> body-lines=<n>
+//!         budget-samples-spent=<u64> budget-checks-spent=<u64>
+//!         clauses-exported=<u64> clauses-imported=<u64> body-lines=<n>
 //! <n lines: backend <name> count=<u64> total-us=<u64> max-us=<u64>>
 //! ```
 //!
@@ -420,6 +422,12 @@ pub struct WireStats {
     /// `pre-vars-removed=` — variables the preprocessor eliminated before
     /// dispatch.
     pub pre_vars_removed: u64,
+    /// `clauses-exported=` — clauses published into the cooperative
+    /// portfolio's shared pool.
+    pub clauses_exported: u64,
+    /// `clauses-imported=` — clauses consumed from the cooperative
+    /// portfolio's shared pool.
+    pub clauses_imported: u64,
 }
 
 impl WireStats {
@@ -438,6 +446,8 @@ impl WireStats {
             wall_time: Duration::from_micros(self.wall_us),
             cache_hits: self.cache_hits,
             preprocessed_vars_removed: self.pre_vars_removed,
+            clauses_exported: self.clauses_exported,
+            clauses_imported: self.clauses_imported,
             ..SolveStats::default()
         }
     }
@@ -458,6 +468,8 @@ impl From<&SolveStats> for WireStats {
             wall_us: u64::try_from(stats.wall_time.as_micros()).unwrap_or(u64::MAX),
             cache_hits: stats.cache_hits,
             pre_vars_removed: stats.preprocessed_vars_removed,
+            clauses_exported: stats.clauses_exported,
+            clauses_imported: stats.clauses_imported,
         }
     }
 }
@@ -533,6 +545,12 @@ pub struct WireMetrics {
     /// `budget-checks-spent=` — coprocessor checks charged across all
     /// dispatches.
     pub budget_checks_spent: u64,
+    /// `clauses-exported=` — clauses published into cooperative-portfolio
+    /// pools across all dispatches.
+    pub clauses_exported: u64,
+    /// `clauses-imported=` — clauses consumed from cooperative-portfolio
+    /// pools across all dispatches.
+    pub clauses_imported: u64,
     /// Per-backend dispatch-latency aggregates (the body lines).
     pub backends: Vec<WireBackendLatency>,
 }
@@ -553,6 +571,8 @@ impl From<&MetricsSnapshot> for WireMetrics {
             pre_solved: snapshot.pre_solved,
             budget_samples_spent: snapshot.budget_samples_spent,
             budget_checks_spent: snapshot.budget_checks_spent,
+            clauses_exported: snapshot.clauses_exported,
+            clauses_imported: snapshot.clauses_imported,
             backends: snapshot
                 .backends
                 .iter()
@@ -885,7 +905,8 @@ impl Frame {
                     "METRICS queue-depth={} backlog-high={} backlog-normal={} backlog-low={} \
                      cache-hits={} cache-misses={} cache-evictions={} cache-entries={} \
                      pre-vars-removed={} pre-clauses-removed={} pre-solved={} \
-                     budget-samples-spent={} budget-checks-spent={} body-lines={}",
+                     budget-samples-spent={} budget-checks-spent={} \
+                     clauses-exported={} clauses-imported={} body-lines={}",
                     metrics.queue_depth,
                     metrics.backlog_high,
                     metrics.backlog_normal,
@@ -899,6 +920,8 @@ impl Frame {
                     metrics.pre_solved,
                     metrics.budget_samples_spent,
                     metrics.budget_checks_spent,
+                    metrics.clauses_exported,
+                    metrics.clauses_imported,
                     metrics.backends.len()
                 );
                 for backend in &metrics.backends {
@@ -924,7 +947,8 @@ impl Frame {
                     out,
                     "STATS {job} decisions={} conflicts={} propagations={} restarts={} \
                      learned={} tried={} flips={} checks={} samples={} wall-us={} \
-                     cache-hits={} pre-vars-removed={}",
+                     cache-hits={} pre-vars-removed={} clauses-exported={} \
+                     clauses-imported={}",
                     stats.decisions,
                     stats.conflicts,
                     stats.propagations,
@@ -936,7 +960,9 @@ impl Frame {
                     stats.samples,
                     stats.wall_us,
                     stats.cache_hits,
-                    stats.pre_vars_removed
+                    stats.pre_vars_removed,
+                    stats.clauses_exported,
+                    stats.clauses_imported
                 );
             }
             Frame::Result { job, verdict } => {
@@ -1247,8 +1273,8 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
                     .ok_or_else(|| malformed("STATS needs a job id"))?,
                 "job id",
             )?;
-            let mut slots: [Option<u64>; 12] = [None; 12];
-            const KEYS: [&str; 12] = [
+            let mut slots: [Option<u64>; 14] = [None; 14];
+            const KEYS: [&str; 14] = [
                 "decisions",
                 "conflicts",
                 "propagations",
@@ -1261,6 +1287,8 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
                 "wall-us",
                 "cache-hits",
                 "pre-vars-removed",
+                "clauses-exported",
+                "clauses-imported",
             ];
             for token in tokens {
                 let (key, value) = split_key_value(token)?;
@@ -1286,6 +1314,8 @@ fn parse_header<R: BufRead>(line: &str, reader: &mut R) -> Result<Option<Frame>,
                     wall_us: counter(9),
                     cache_hits: counter(10),
                     pre_vars_removed: counter(11),
+                    clauses_exported: counter(12),
+                    clauses_imported: counter(13),
                 },
             }
         }
@@ -1491,8 +1521,8 @@ fn parse_metrics<'a, R: BufRead, I: Iterator<Item = &'a str>>(
     // Counter keys may be any subset (absent reads 0), like STATS; only the
     // trailing body-lines key distinguishes the response and is mandatory
     // there.
-    let mut slots: [Option<u64>; 13] = [None; 13];
-    const KEYS: [&str; 13] = [
+    let mut slots: [Option<u64>; 15] = [None; 15];
+    const KEYS: [&str; 15] = [
         "queue-depth",
         "backlog-high",
         "backlog-normal",
@@ -1506,6 +1536,8 @@ fn parse_metrics<'a, R: BufRead, I: Iterator<Item = &'a str>>(
         "pre-solved",
         "budget-samples-spent",
         "budget-checks-spent",
+        "clauses-exported",
+        "clauses-imported",
     ];
     let mut body_lines: Option<usize> = None;
     let mut any_key = false;
@@ -1558,6 +1590,8 @@ fn parse_metrics<'a, R: BufRead, I: Iterator<Item = &'a str>>(
         pre_solved: counter(10),
         budget_samples_spent: counter(11),
         budget_checks_spent: counter(12),
+        clauses_exported: counter(13),
+        clauses_imported: counter(14),
         backends,
     }))
 }
@@ -1796,6 +1830,8 @@ mod tests {
                 wall_us: 1234,
                 cache_hits: 1,
                 pre_vars_removed: 4,
+                clauses_exported: 7,
+                clauses_imported: 2,
             },
         });
         roundtrip(Frame::Stats {
@@ -2037,11 +2073,15 @@ mod tests {
             wall_time: Duration::from_micros(4321),
             cache_hits: 1,
             preprocessed_vars_removed: 6,
+            clauses_exported: 9,
+            clauses_imported: 4,
             ..SolveStats::default()
         };
         let wire = WireStats::from(&stats);
         assert_eq!(wire.cache_hits, 1);
         assert_eq!(wire.pre_vars_removed, 6);
+        assert_eq!(wire.clauses_exported, 9);
+        assert_eq!(wire.clauses_imported, 4);
         assert_eq!(wire.to_solve_stats(), stats);
     }
 
@@ -2064,6 +2104,8 @@ mod tests {
             pre_solved: 9,
             budget_samples_spent: 100_000,
             budget_checks_spent: 4_096,
+            clauses_exported: 512,
+            clauses_imported: 301,
             backends: vec![
                 WireBackendLatency {
                     name: "cdcl".into(),

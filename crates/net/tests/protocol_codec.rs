@@ -149,6 +149,8 @@ fn build_frame(
                 wall_us: seed % 1_000_003,
                 cache_hits: job % 2,
                 pre_vars_removed: seed % 17,
+                clauses_exported: seed % 257,
+                clauses_imported: job % 127,
             },
         },
         14 => Frame::MetricsRequest,
@@ -166,6 +168,8 @@ fn build_frame(
             pre_solved: seed % 23,
             budget_samples_spent: seed % 1_000_003,
             budget_checks_spent: job % 65_537,
+            clauses_exported: seed % 4099,
+            clauses_imported: job % 2053,
             backends: body
                 .iter()
                 .enumerate()

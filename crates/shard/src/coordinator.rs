@@ -168,6 +168,12 @@ pub struct FleetStats {
     /// Variables eliminated by preprocessing: the coordinator's own
     /// front-of-fleet pass plus any reported by sub-solves.
     pub pre_vars_removed: u64,
+    /// Clauses exported into cooperative-portfolio pools, summed over every
+    /// remote shard and local fallback solve.
+    pub clauses_exported: u64,
+    /// Clauses imported from cooperative-portfolio pools, summed over every
+    /// remote shard and local fallback solve.
+    pub clauses_imported: u64,
 }
 
 impl fmt::Display for FleetStats {
@@ -176,7 +182,8 @@ impl fmt::Display for FleetStats {
             f,
             "shards={} cubes={} splitter-refuted={} remote sat/unsat/unknown={}/{}/{} \
              trivial sat/unsat={}/{} local={} requeues={} steals={} resplits={} \
-             assume-dispatches={} deaths={} cancels={} cache-hits={} pre-vars-removed={}",
+             assume-dispatches={} deaths={} cancels={} cache-hits={} pre-vars-removed={} \
+             clauses-exported={} clauses-imported={}",
             self.shards,
             self.cubes_split,
             self.splitter_refuted,
@@ -194,6 +201,8 @@ impl fmt::Display for FleetStats {
             self.cancellations_sent,
             self.cache_hits,
             self.pre_vars_removed,
+            self.clauses_exported,
+            self.clauses_imported,
         )
     }
 }
@@ -435,6 +444,8 @@ fn absorb_stats(total: &mut SolveStats, part: &SolveStats) {
     total.samples += part.samples;
     total.cache_hits += part.cache_hits;
     total.preprocessed_vars_removed += part.preprocessed_vars_removed;
+    total.clauses_exported += part.clauses_exported;
+    total.clauses_imported += part.clauses_imported;
     total.wall_time += part.wall_time;
 }
 
@@ -719,6 +730,8 @@ impl ShardCoordinator {
                             absorb_stats(&mut state.stats, &outcome.stats);
                             state.fleet.cache_hits += outcome.stats.cache_hits;
                             state.fleet.pre_vars_removed += outcome.stats.preprocessed_vars_removed;
+                            state.fleet.clauses_exported += outcome.stats.clauses_exported;
+                            state.fleet.clauses_imported += outcome.stats.clauses_imported;
                             match outcome.verdict {
                                 SolveVerdict::Satisfiable => {
                                     let model = outcome
@@ -964,6 +977,8 @@ fn await_remote(
                     absorb_stats(&mut state.stats, &stats);
                     state.fleet.cache_hits += stats.cache_hits;
                     state.fleet.pre_vars_removed += stats.preprocessed_vars_removed;
+                    state.fleet.clauses_exported += stats.clauses_exported;
+                    state.fleet.clauses_imported += stats.clauses_imported;
                 }
                 state.tasks[id].inflight = None;
                 if state.tasks[id].resolved || state.done {

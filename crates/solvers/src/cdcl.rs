@@ -6,6 +6,7 @@
 //! phase saving and Luby restarts.
 
 use crate::limits::SearchLimits;
+use crate::share::ShareHandle;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, CnfFormula, Literal, Variable};
 
@@ -38,6 +39,10 @@ struct DbClause {
     /// exactly the clauses whose `push_level` survives, so learned clauses
     /// derived from lower frames stay sound across pops.
     push_level: usize,
+    /// `true` for clauses that arrived through a shared clause pool. Imports
+    /// are tagged with the push depth at import time, so a pop drops every
+    /// import taken inside the popped frame.
+    imported: bool,
 }
 
 /// The result of one [`CdclSolver::solve_under_assumptions`] call.
@@ -133,6 +138,10 @@ pub struct CdclSolver {
     /// popped since). Lets a later call whose assumptions the model already
     /// satisfies answer without searching.
     model_cached: bool,
+    /// The cooperative-portfolio share handle, when attached: learned
+    /// clauses are exported on learn, foreign clauses imported at restart
+    /// boundaries. Survives [`Self::init`] — attachment outlives one solve.
+    share: Option<ShareHandle>,
     // Heuristic parameters.
     activity_increment: f64,
     activity_decay: f64,
@@ -168,6 +177,7 @@ impl CdclSolver {
             var_push: Vec::new(),
             empty_clause_level: None,
             model_cached: false,
+            share: None,
             activity_increment: 1.0,
             activity_decay: 0.95,
             restart_base: 100,
@@ -345,6 +355,7 @@ impl CdclSolver {
             literals,
             learned,
             push_level,
+            imported: false,
         });
         Some(index)
     }
@@ -740,6 +751,118 @@ impl CdclSolver {
 
     /// The CDCL main loop over the current clause database, with
     /// `assumptions` enqueued as the first decisions (in order).
+    /// Literal block distance of a clause: the number of distinct decision
+    /// levels among its literals. Must run before the post-conflict backjump,
+    /// while the levels of the learned literals are still current.
+    fn clause_lbd(&self, literals: &[Literal]) -> u32 {
+        let mut levels: Vec<usize> = literals
+            .iter()
+            .map(|l| self.levels[l.variable().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Drains every unseen foreign clause from the attached share pool into
+    /// the clause database. Must be called at decision level 0 (a restart
+    /// boundary). Returns `true` when an import is falsified outright by the
+    /// level-0 trail, which proves the database unsatisfiable.
+    fn import_shared_clauses(&mut self) -> bool {
+        let Some(mut share) = self.share.take() else {
+            return false;
+        };
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut incoming: Vec<Vec<Literal>> = Vec::new();
+        share.import(|lits| incoming.push(lits.to_vec()));
+        self.share = Some(share);
+        let mut conflict = false;
+        for literals in incoming {
+            self.stats.clauses_imported += 1;
+            if self.integrate_import(literals) {
+                conflict = true;
+            }
+        }
+        conflict
+    }
+
+    /// Adds one imported clause to the database, re-establishing the watch
+    /// invariant against the current level-0 trail. Returns `true` when the
+    /// clause is falsified at level 0 (the database is unsatisfiable — every
+    /// import is implied by the shared base formula).
+    fn integrate_import(&mut self, mut literals: Vec<Literal>) -> bool {
+        literals.sort_unstable();
+        literals.dedup();
+        if literals.is_empty() {
+            return true;
+        }
+        if literals
+            .iter()
+            .any(|&l| literals.binary_search(&!l).is_ok())
+        {
+            // Tautology: true under every assignment, nothing to learn.
+            return false;
+        }
+        let max_var = literals
+            .iter()
+            .map(|l| l.variable().index() + 1)
+            .max()
+            .unwrap_or(0);
+        self.ensure_vars(max_var);
+        if literals
+            .iter()
+            .any(|&l| self.literal_value(l) == VarValue::True)
+        {
+            // Already satisfied at level 0 for the rest of this frame — the
+            // clause cannot prune anything, skip it.
+            return false;
+        }
+        // Move non-false literals to the front so the watched positions 0/1
+        // hold literals that are unassigned under the level-0 trail.
+        literals.sort_by_key(|&l| self.literal_value(l) == VarValue::False);
+        let non_false = literals
+            .iter()
+            .take_while(|&&l| self.literal_value(l) != VarValue::False)
+            .count();
+        if non_false == 0 {
+            // Falsified by the level-0 trail: since the import is implied by
+            // the base formula, the database itself is unsatisfiable.
+            if self.empty_clause_level.is_none() {
+                self.empty_clause_level = Some(self.push_depth);
+            }
+            return true;
+        }
+        let unit = (non_false == 1).then(|| literals[0]);
+        let idx = self
+            .add_clause(literals, true, self.push_depth)
+            .expect("non-empty");
+        self.clauses[idx].imported = true;
+        if let Some(lit) = unit {
+            // Exactly one watchable literal: the clause propagates it at
+            // level 0 right away (the false watch at position 1 never wakes
+            // again, but the clause stays satisfied for the whole frame).
+            self.enqueue(lit, Some(idx));
+        }
+        false
+    }
+
+    /// Number of clauses in the database that arrived through the shared
+    /// clause pool (exposed for the clause-sharing invariant suites).
+    pub fn imported_clause_count(&self) -> usize {
+        self.clauses.iter().filter(|c| c.imported).count()
+    }
+
+    /// The literals of every clause currently in the database that arrived
+    /// through the shared clause pool (exposed for the clause-sharing
+    /// invariant suites, which check each one is implied by the input).
+    pub fn imported_clauses(&self) -> Vec<Vec<Literal>> {
+        self.clauses
+            .iter()
+            .filter(|c| c.imported)
+            .map(|c| c.literals.clone())
+            .collect()
+    }
+
     fn search(&mut self, assumptions: &[Literal], limits: &SearchLimits) -> IncrementalResult {
         if self.empty_clause_level.is_some() {
             return IncrementalResult::Unsatisfiable(Vec::new());
@@ -777,6 +900,21 @@ impl CdclSolver {
                     return IncrementalResult::Unsatisfiable(Vec::new());
                 }
                 let (learned, backjump_level, depends_on) = self.analyze(conflict);
+                // Export before backjumping: the LBD needs the decision levels
+                // of the learned literals, which go stale once we backjump.
+                // Only frame-0 derivations leave the solver — those are the
+                // clauses implied by the base formula alone, so a foreign
+                // member may adopt them regardless of its own frame stack.
+                if depends_on == 0 && self.share.is_some() {
+                    let lbd = self.clause_lbd(&learned);
+                    let accepted = self
+                        .share
+                        .as_ref()
+                        .is_some_and(|share| share.export(&learned, lbd));
+                    if accepted {
+                        self.stats.clauses_exported += 1;
+                    }
+                }
                 self.decay_activities();
                 self.backjump(backjump_level);
                 let asserting = learned[0];
@@ -804,6 +942,12 @@ impl CdclSolver {
                     conflicts_since_restart = 0;
                     self.stats.restarts += 1;
                     self.backjump(0);
+                    // Restart boundary: the trail is back at level 0, which is
+                    // the only point where a foreign clause can be integrated
+                    // with the two-watched-literal invariant intact.
+                    if self.import_shared_clauses() {
+                        return IncrementalResult::Unsatisfiable(Vec::new());
+                    }
                     continue;
                 }
                 // Establish the assumptions as the first decisions, in order.
@@ -966,6 +1110,14 @@ impl Solver for CdclSolver {
             IncrementalResult::Unsatisfiable(_) => SolveResult::Unsatisfiable,
             IncrementalResult::Unknown => SolveResult::Unknown,
         }
+    }
+
+    fn attach_share(&mut self, handle: ShareHandle) {
+        self.share = Some(handle);
+    }
+
+    fn detach_share(&mut self) {
+        self.share = None;
     }
 
     fn stats(&self) -> SolverStats {
@@ -1306,5 +1458,123 @@ mod tests {
         assert!(solver
             .solve_under_assumptions(&[], &SearchLimits::unlimited())
             .is_unsat());
+    }
+
+    #[test]
+    fn exports_flow_between_cooperating_solvers() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+
+        let pool = Arc::new(SharedClausePool::default());
+        let formula = generators::pigeonhole(5, 4);
+
+        let mut exporter = CdclSolver::new().with_restart_base(1);
+        exporter.attach_share(ShareHandle::new(Arc::clone(&pool), 0));
+        assert!(exporter.solve(&formula).is_unsat());
+        assert!(exporter.stats().clauses_exported > 0);
+        // A member never re-imports its own exports.
+        assert_eq!(exporter.stats().clauses_imported, 0);
+
+        let mut importer = CdclSolver::new().with_restart_base(1);
+        importer.attach_share(ShareHandle::new(Arc::clone(&pool), 1));
+        assert!(importer.solve(&formula).is_unsat());
+        assert!(importer.stats().clauses_imported > 0);
+        assert!(importer.imported_clause_count() > 0);
+        // Every clause in the pool came from frame-0 derivations on the same
+        // formula, so each one is implied by it: any model of the formula
+        // satisfies every imported clause. (UNSAT here, so spot-check on the
+        // SAT sibling below instead.)
+    }
+
+    #[test]
+    fn imported_clauses_satisfy_models() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+
+        let pool = Arc::new(SharedClausePool::default());
+        for seed in 0..5 {
+            let cfg = RandomKSatConfig::new(9, 30, 3).with_seed(seed + 4200);
+            let formula = generators::random_ksat(&cfg).unwrap();
+            let mut exporter = CdclSolver::new().with_restart_base(1);
+            exporter.attach_share(ShareHandle::new(Arc::clone(&pool), 0));
+            let baseline = exporter.solve(&formula);
+
+            let mut importer = CdclSolver::new().with_restart_base(1);
+            importer.attach_share(ShareHandle::new(Arc::clone(&pool), 1));
+            let shared = importer.solve(&formula);
+            assert_eq!(baseline.is_sat(), shared.is_sat(), "seed {seed}");
+            if let SolveResult::Satisfiable(model) = &shared {
+                for clause in importer.imported_clauses() {
+                    assert!(
+                        clause.iter().any(|&l| model.satisfies(l)),
+                        "imported clause {clause:?} not satisfied by model (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pop_drops_imports_taken_inside_the_frame() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+
+        let pool = Arc::new(SharedClausePool::default());
+        // A foreign member seeds the pool before our solver ever searches.
+        let foreign = ShareHandle::new(Arc::clone(&pool), 1);
+        assert!(foreign.export(&[lit(1), lit(2)], 2));
+        assert!(foreign.export(&[lit(-1), lit(3)], 2));
+
+        let mut solver = CdclSolver::new().with_restart_base(1);
+        solver.attach_share(ShareHandle::new(Arc::clone(&pool), 0));
+        solver.push(&generators::pigeonhole(4, 3));
+        let limits = SearchLimits::unlimited();
+        assert!(solver.solve_under_assumptions(&[], &limits).is_unsat());
+        assert!(solver.imported_clause_count() > 0);
+        solver.pop();
+        // Imports were tagged with the frame they arrived in; the pop drops
+        // every one of them.
+        assert_eq!(solver.imported_clause_count(), 0);
+    }
+
+    #[test]
+    fn falsified_import_reports_unsat() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+
+        // The exporter contract guarantees pooled clauses are implied by the
+        // shared formula; this test bypasses it to exercise the level-0
+        // falsification path: a clause contradicting the root trail proves
+        // the database unsatisfiable.
+        let pool = Arc::new(SharedClausePool::default());
+        let foreign = ShareHandle::new(Arc::clone(&pool), 1);
+        assert!(foreign.export(&[lit(-1)], 1));
+
+        // One conflict then a restart (base 1), at which point the import of
+        // ¬x1 clashes with the level-0 unit x1.
+        let mut solver = CdclSolver::new().with_restart_base(1);
+        solver.attach_share(ShareHandle::new(Arc::clone(&pool), 0));
+        let formula = cnf_formula![[1, 2], [1, -2], [-1, 2]];
+        assert!(solver.solve(&formula).is_unsat());
+        assert!(solver.stats().clauses_imported > 0);
+    }
+
+    #[test]
+    fn detached_solver_matches_baseline() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+
+        let pool = Arc::new(SharedClausePool::default());
+        let formula = generators::pigeonhole(4, 3);
+        let mut solver = CdclSolver::new().with_restart_base(1);
+        solver.attach_share(ShareHandle::new(Arc::clone(&pool), 0));
+        solver.detach_share();
+        assert!(solver.solve(&formula).is_unsat());
+        assert_eq!(solver.stats().clauses_exported, 0);
+        assert_eq!(solver.stats().clauses_imported, 0);
+
+        let mut baseline = CdclSolver::new().with_restart_base(1);
+        assert!(baseline.solve(&formula).is_unsat());
+        assert_eq!(solver.stats().conflicts, baseline.stats().conflicts);
     }
 }

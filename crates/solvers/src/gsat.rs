@@ -2,6 +2,7 @@
 
 use crate::limits::SearchLimits;
 use crate::score::{self, FlipScorer};
+use crate::share::ShareHandle;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, BitVector, CnfFormula, EvalMode, Variable};
 use rand::rngs::StdRng;
@@ -53,10 +54,14 @@ impl Default for GsatConfig {
 /// let mut solver = Gsat::new();
 /// assert!(solver.solve(&cnf_formula![[1, 2], [-1, -2], [1, -2]]).is_sat());
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Gsat {
     config: GsatConfig,
     stats: SolverStats,
+    /// Cooperative-portfolio pool handle. Imported clauses become *soft*
+    /// scoring constraints: they join the gain computation but never decide
+    /// the verdict, which is only declared on the hard input formula.
+    share: Option<ShareHandle>,
 }
 
 impl Gsat {
@@ -70,7 +75,27 @@ impl Gsat {
         Gsat {
             config,
             stats: SolverStats::default(),
+            share: None,
         }
+    }
+
+    /// Pulls unseen pool clauses into the soft formula (called at restart
+    /// boundaries). Clauses mentioning variables beyond the current instance
+    /// are skipped — they cannot score against this assignment.
+    fn import_soft(&mut self, soft: &mut CnfFormula) {
+        let Some(mut share) = self.share.take() else {
+            return;
+        };
+        let num_vars = soft.num_vars();
+        let mut imported = 0u64;
+        share.import(|lits| {
+            if lits.iter().all(|l| l.variable().index() < num_vars) {
+                soft.push_clause(cnf::Clause::from_literals(lits.to_vec()));
+                imported += 1;
+            }
+        });
+        self.share = Some(share);
+        self.stats.clauses_imported += imported;
     }
 
     /// Net change in the number of satisfied clauses if `var` were flipped.
@@ -81,7 +106,9 @@ impl Gsat {
     /// The scalar reference search: gains recomputed one variable at a time.
     fn solve_scalar(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut soft = CnfFormula::new(formula.num_vars());
         for _ in 0..self.config.max_restarts.max(1) {
+            self.import_soft(&mut soft);
             self.stats.restarts += 1;
             let mut assignment =
                 Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
@@ -97,7 +124,10 @@ impl Gsat {
                 let mut best_gain = i64::MIN;
                 let mut best_vars: Vec<Variable> = Vec::new();
                 for var in formula.variables() {
-                    let gain = Self::flip_gain(formula, &assignment, var);
+                    // The empty soft formula contributes zero gain, so the
+                    // baseline (racing) search is untouched without imports.
+                    let gain = Self::flip_gain(formula, &assignment, var)
+                        + score::flip_gain(&soft, &assignment, var);
                     if gain > best_gain {
                         best_gain = gain;
                         best_vars.clear();
@@ -126,7 +156,18 @@ impl Gsat {
     fn solve_packed(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         let mut scorer = FlipScorer::new(formula);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut soft = CnfFormula::new(formula.num_vars());
+        // A second scorer covers the imported soft clauses; it only exists
+        // once imports arrive, so the empty-pool search stays byte-identical
+        // to the racing baseline.
+        let mut soft_scorer: Option<FlipScorer> = None;
+        let mut combined: Vec<i64> = Vec::new();
         for _ in 0..self.config.max_restarts.max(1) {
+            let before = soft.num_clauses();
+            self.import_soft(&mut soft);
+            if soft.num_clauses() > before {
+                soft_scorer = Some(FlipScorer::new(&soft));
+            }
             self.stats.restarts += 1;
             let mut assignment =
                 Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
@@ -142,7 +183,22 @@ impl Gsat {
                 }
                 // Greedy step over the packed gain sweep; the tie list is
                 // built in the same variable order as the scalar path.
-                let gains = scorer.gains(&assignment);
+                let gains = match &mut soft_scorer {
+                    None => scorer.gains(&assignment),
+                    Some(soft_scorer) => {
+                        // Hard + soft gains, variable-wise. The hard slice
+                        // borrows the scorer's buffer, so copy it out before
+                        // sweeping the soft side.
+                        combined.clear();
+                        combined.extend_from_slice(scorer.gains(&assignment));
+                        for (acc, soft_gain) in
+                            combined.iter_mut().zip(soft_scorer.gains(&assignment))
+                        {
+                            *acc += soft_gain;
+                        }
+                        &combined[..]
+                    }
+                };
                 let mut best_gain = i64::MIN;
                 let mut best_vars: Vec<Variable> = Vec::new();
                 for (v, &gain) in gains.iter().enumerate() {
@@ -198,6 +254,14 @@ impl Solver for Gsat {
 
     fn reseed(&mut self, seed: u64) {
         self.config.seed = seed;
+    }
+
+    fn attach_share(&mut self, handle: ShareHandle) {
+        self.share = Some(handle);
+    }
+
+    fn detach_share(&mut self) {
+        self.share = None;
     }
 }
 
@@ -269,6 +333,64 @@ mod tests {
             if let SolveResult::Satisfiable(model) = solver.solve(&formula) {
                 assert!(formula.evaluate(&model));
             }
+        }
+    }
+
+    #[test]
+    fn soft_imports_bias_but_never_decide() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+        for mode in [EvalMode::Scalar, EvalMode::Packed] {
+            for seed in 0..5 {
+                let formula = generators::random_ksat(
+                    &RandomKSatConfig::from_ratio(12, 2.0, 3).with_seed(seed),
+                )
+                .unwrap();
+                let pool = Arc::new(SharedClausePool::default());
+                let foreign = ShareHandle::new(Arc::clone(&pool), 1);
+                // Original clauses are trivially implied by the formula, so
+                // they make a sound pool seed.
+                for clause in formula.iter().take(4) {
+                    assert!(foreign.export(clause.literals(), 2));
+                }
+                let mut solver = Gsat::with_config(GsatConfig {
+                    eval_mode: mode,
+                    seed: 7,
+                    ..GsatConfig::default()
+                });
+                solver.attach_share(ShareHandle::new(Arc::clone(&pool), 0));
+                let result = solver.solve(&formula);
+                assert!(solver.stats().clauses_imported > 0);
+                // Soft clauses only bias scoring: any SAT answer still
+                // carries a model of the *hard* formula.
+                if let Some(model) = result.model() {
+                    assert!(formula.evaluate(model));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pool_matches_racing_baseline() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+        let formula =
+            generators::random_ksat(&RandomKSatConfig::new(12, 40, 3).with_seed(7)).unwrap();
+        for mode in [EvalMode::Scalar, EvalMode::Packed] {
+            let config = GsatConfig {
+                eval_mode: mode,
+                seed: 11,
+                ..GsatConfig::default()
+            };
+            let mut baseline = Gsat::with_config(config);
+            let expected = baseline.solve(&formula);
+            let mut cooperative = Gsat::with_config(config);
+            let pool = Arc::new(SharedClausePool::default());
+            cooperative.attach_share(ShareHandle::new(pool, 0));
+            // Nothing to import: the search must be byte-identical.
+            assert_eq!(cooperative.solve(&formula), expected);
+            assert_eq!(cooperative.stats().clauses_imported, 0);
+            assert_eq!(cooperative.stats().flips, baseline.stats().flips);
         }
     }
 

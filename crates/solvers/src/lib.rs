@@ -57,6 +57,7 @@ pub mod parallel;
 pub mod portfolio;
 pub mod schoening;
 pub mod score;
+pub mod share;
 pub mod solver;
 pub mod two_sat;
 pub mod walksat;
@@ -71,6 +72,7 @@ pub use parallel::ParallelPortfolio;
 pub use portfolio::Portfolio;
 pub use schoening::{Schoening, SchoeningConfig};
 pub use score::FlipScorer;
+pub use share::{PoolStats, ShareHandle, SharedClausePool, SharingConfig};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use two_sat::TwoSatSolver;
 pub use walksat::{WalkSat, WalkSatConfig};

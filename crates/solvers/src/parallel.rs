@@ -9,6 +9,7 @@
 
 use crate::limits::SearchLimits;
 use crate::portfolio::{accumulate, default_members, default_members_with, member_seed};
+use crate::share::{ShareHandle, SharedClausePool, SharingConfig};
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{CnfFormula, EvalMode};
 use std::fmt;
@@ -35,16 +36,30 @@ use std::thread;
 /// [`crate::CdclSolver`] — so the racing portfolio is complete as long as
 /// the instance is in scope for at least one complete member.
 ///
+/// # Cooperation
+///
+/// By default the members don't just race, they *cooperate*: every solve
+/// builds a [`SharedClausePool`] and hands each member a [`ShareHandle`].
+/// CDCL members export short learned clauses on learn and import foreign
+/// ones at restart boundaries; the local searches consume imports as soft
+/// scoring constraints. [`ParallelPortfolio::with_sharing`] tunes the pool
+/// ([`SharingConfig`]); [`SharingConfig::racing_only`] disables it entirely.
+/// The per-member export/import traffic is accumulated into
+/// [`SolverStats::clauses_exported`] / [`SolverStats::clauses_imported`].
+///
 /// # Determinism
 ///
 /// Member searches are individually deterministic for a fixed portfolio seed
 /// ([`ParallelPortfolio::with_seed`] reseeds every stochastic member per
-/// solve, exactly like the sequential portfolio). The *verdict* is therefore
-/// deterministic, because all members are sound: no race can turn SAT into
-/// UNSAT. Which member wins the race — and hence which model and
-/// [`SolverStats::winner`] are reported — depends on OS scheduling, so two
-/// runs may return different (but always valid) models of a satisfiable
-/// instance.
+/// solve, exactly like the sequential portfolio). The *verdict* is
+/// deterministic, because all members are sound and every shared clause is
+/// implied by the input formula (only frame-0 CDCL derivations are exported,
+/// and local searches treat imports as soft constraints that never decide a
+/// verdict): no race and no import can turn SAT into UNSAT. Which member
+/// wins the race — and hence which model and [`SolverStats::winner`] are
+/// reported — depends on OS scheduling, and under sharing the members'
+/// search *trajectories* (conflict/flip counts, export/import totals) are
+/// race-dependent too; only the verdict is contractual.
 ///
 /// ```
 /// use cnf::cnf_formula;
@@ -59,6 +74,7 @@ pub struct ParallelPortfolio {
     members: Vec<Box<dyn Solver + Send>>,
     stats: SolverStats,
     seed: u64,
+    sharing: SharingConfig,
 }
 
 impl fmt::Debug for ParallelPortfolio {
@@ -67,6 +83,7 @@ impl fmt::Debug for ParallelPortfolio {
             .field("members", &self.member_names())
             .field("stats", &self.stats)
             .field("seed", &self.seed)
+            .field("sharing", &self.sharing)
             .finish()
     }
 }
@@ -109,6 +126,7 @@ impl ParallelPortfolio {
             members,
             stats: SolverStats::default(),
             seed: 0,
+            sharing: SharingConfig::default(),
         }
     }
 
@@ -117,6 +135,18 @@ impl ParallelPortfolio {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Sets the clause-sharing configuration. Sharing is on by default;
+    /// [`SharingConfig::racing_only`] restores the pure racing portfolio.
+    pub fn with_sharing(mut self, sharing: SharingConfig) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// The active clause-sharing configuration.
+    pub fn sharing(&self) -> &SharingConfig {
+        &self.sharing
     }
 
     /// The name of the member that won the last race, if any. Also surfaced
@@ -140,6 +170,16 @@ impl Solver for ParallelPortfolio {
         let seed = self.seed;
         for (index, member) in self.members.iter_mut().enumerate() {
             member.reseed(member_seed(seed, index));
+        }
+
+        // Cooperative mode: a fresh shared clause pool per solve, one handle
+        // per member. A single member has nobody to cooperate with, so it
+        // races (the pool would only cost overhead).
+        if self.sharing.enabled && self.members.len() > 1 {
+            let pool = Arc::new(SharedClausePool::new(self.sharing));
+            for (index, member) in self.members.iter_mut().enumerate() {
+                member.attach_share(ShareHandle::new(Arc::clone(&pool), index));
+            }
         }
 
         // The race flag is raised by the collector on the first definitive
@@ -208,6 +248,12 @@ impl Solver for ParallelPortfolio {
             // `scope` joins all member threads here; every member has already
             // returned (its report was received or the channel disconnected).
         });
+
+        // The pool dies with the solve: handles must not leak into the next
+        // request (each solve builds a fresh pool with fresh cursors).
+        for member in self.members.iter_mut() {
+            member.detach_share();
+        }
 
         match winner {
             Some(report) => {
@@ -396,5 +442,70 @@ mod tests {
         let mut a = ParallelPortfolio::new().with_seed(9);
         let mut b = ParallelPortfolio::new().with_seed(9);
         assert_eq!(a.solve(&formula).is_sat(), b.solve(&formula).is_sat());
+    }
+
+    #[test]
+    fn cooperating_cdcl_members_export_clauses() {
+        use crate::CdclSolver;
+        // Two CDCL members with aggressive restarts on a conflict-rich
+        // instance: both publish learned clauses into the shared pool.
+        let mut portfolio = ParallelPortfolio::with_members(vec![
+            Box::new(CdclSolver::new().with_restart_base(1)),
+            Box::new(CdclSolver::new().with_restart_base(1)),
+        ]);
+        assert!(portfolio.sharing().enabled);
+        assert!(portfolio.solve(&generators::pigeonhole(5, 4)).is_unsat());
+        assert!(portfolio.stats().clauses_exported > 0);
+    }
+
+    #[test]
+    fn racing_only_disables_the_pool() {
+        use crate::share::SharingConfig;
+        use crate::CdclSolver;
+        let mut portfolio = ParallelPortfolio::with_members(vec![
+            Box::new(CdclSolver::new().with_restart_base(1)),
+            Box::new(CdclSolver::new().with_restart_base(1)),
+        ])
+        .with_sharing(SharingConfig::racing_only());
+        assert!(portfolio.solve(&generators::pigeonhole(5, 4)).is_unsat());
+        assert_eq!(portfolio.stats().clauses_exported, 0);
+        assert_eq!(portfolio.stats().clauses_imported, 0);
+    }
+
+    #[test]
+    fn losing_members_stats_reach_the_outcome() {
+        // Regression guard: the collector must merge *every* member's stats,
+        // not just the winner's. GSAT cannot refute a pigeonhole instance, so
+        // CDCL wins — yet GSAT's tried assignments and CDCL's conflicts and
+        // exports must all land in the portfolio totals.
+        let mut portfolio = ParallelPortfolio::with_members(vec![
+            Box::new(Gsat::new()),
+            Box::new(crate::CdclSolver::new().with_restart_base(1)),
+        ]);
+        assert!(portfolio.solve(&generators::pigeonhole(4, 3)).is_unsat());
+        assert_eq!(portfolio.winner(), Some("cdcl"));
+        let stats = portfolio.stats();
+        assert!(stats.assignments_tried >= 1, "loser (GSAT) stats missing");
+        assert!(stats.conflicts > 0, "winner (CDCL) stats missing");
+        assert!(stats.clauses_exported > 0, "sharing counters missing");
+    }
+
+    #[test]
+    fn shared_and_racing_verdicts_agree() {
+        use crate::share::SharingConfig;
+        for seed in 0..10u64 {
+            let formula =
+                generators::random_ksat(&RandomKSatConfig::new(9, 36, 3).with_seed(300 + seed))
+                    .unwrap();
+            let mut shared = ParallelPortfolio::new().with_seed(seed);
+            let mut racing = ParallelPortfolio::new()
+                .with_seed(seed)
+                .with_sharing(SharingConfig::racing_only());
+            assert_eq!(
+                shared.solve(&formula).is_sat(),
+                racing.solve(&formula).is_sat(),
+                "seed {seed}"
+            );
+        }
     }
 }

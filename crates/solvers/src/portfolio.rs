@@ -152,6 +152,8 @@ pub(crate) fn accumulate(total: &mut SolverStats, part: SolverStats) {
     total.learned_clauses += part.learned_clauses;
     total.assignments_tried += part.assignments_tried;
     total.flips += part.flips;
+    total.clauses_exported += part.clauses_exported;
+    total.clauses_imported += part.clauses_imported;
 }
 
 impl Solver for Portfolio {

@@ -1,6 +1,7 @@
 //! The common solver interface.
 
 use crate::limits::SearchLimits;
+use crate::share::ShareHandle;
 use cnf::{Assignment, CnfFormula};
 use std::fmt;
 
@@ -62,6 +63,12 @@ pub struct SolverStats {
     pub assignments_tried: u64,
     /// Number of local-search flips performed (WalkSAT only).
     pub flips: u64,
+    /// Learned clauses this solver published into a shared clause pool
+    /// (cooperative portfolio members only).
+    pub clauses_exported: u64,
+    /// Clauses this solver consumed from a shared clause pool (cooperative
+    /// portfolio members only).
+    pub clauses_imported: u64,
     /// Name of the member that produced the definitive answer (meta-solvers
     /// such as [`crate::Portfolio`] only; `None` for direct solvers).
     pub winner: Option<&'static str>,
@@ -80,6 +87,13 @@ impl fmt::Display for SolverStats {
             self.assignments_tried,
             self.flips
         )?;
+        if self.clauses_exported > 0 || self.clauses_imported > 0 {
+            write!(
+                f,
+                " exported={} imported={}",
+                self.clauses_exported, self.clauses_imported
+            )?;
+        }
         if let Some(winner) = self.winner {
             write!(f, " winner={winner}")?;
         }
@@ -114,6 +128,20 @@ pub trait Solver {
     fn reseed(&mut self, seed: u64) {
         let _ = seed;
     }
+
+    /// Attaches a shared-clause-pool handle for the next solve.
+    ///
+    /// Cooperative meta-solvers ([`crate::ParallelPortfolio`] with sharing
+    /// enabled) call this on every member before a solve; members that can
+    /// exploit the pool (CDCL exports and imports, the local searches import
+    /// as soft constraints) override it, everyone else keeps the default
+    /// no-op. The handle stays attached until [`Solver::detach_share`].
+    fn attach_share(&mut self, handle: ShareHandle) {
+        let _ = handle;
+    }
+
+    /// Drops any attached shared-clause-pool handle (default no-op).
+    fn detach_share(&mut self) {}
 
     /// Statistics of the most recent [`Solver::solve`] call.
     fn stats(&self) -> SolverStats;

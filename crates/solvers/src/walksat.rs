@@ -2,6 +2,7 @@
 
 use crate::limits::SearchLimits;
 use crate::score::{self, FlipScorer};
+use crate::share::ShareHandle;
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Assignment, BitVector, CnfFormula, EvalMode, Variable};
 use rand::rngs::StdRng;
@@ -50,10 +51,14 @@ impl Default for WalkSatConfig {
 /// let mut solver = WalkSat::new();
 /// assert!(solver.solve(&cnf_formula![[1, 2], [-1, -2]]).is_sat());
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct WalkSat {
     config: WalkSatConfig,
     stats: SolverStats,
+    /// Cooperative-portfolio pool handle. Imported clauses become *soft*
+    /// scoring constraints: they bias the greedy flip choice but never decide
+    /// the verdict, which is only declared on the hard input formula.
+    share: Option<ShareHandle>,
 }
 
 impl WalkSat {
@@ -67,7 +72,27 @@ impl WalkSat {
         WalkSat {
             config,
             stats: SolverStats::default(),
+            share: None,
         }
+    }
+
+    /// Pulls unseen pool clauses into the soft formula (called at restart
+    /// boundaries). Clauses mentioning variables beyond the current instance
+    /// are skipped — they cannot score against this assignment.
+    fn import_soft(&mut self, soft: &mut CnfFormula) {
+        let Some(mut share) = self.share.take() else {
+            return;
+        };
+        let num_vars = soft.num_vars();
+        let mut imported = 0u64;
+        share.import(|lits| {
+            if lits.iter().all(|l| l.variable().index() < num_vars) {
+                soft.push_clause(cnf::Clause::from_literals(lits.to_vec()));
+                imported += 1;
+            }
+        });
+        self.share = Some(share);
+        self.stats.clauses_imported += imported;
     }
 
     /// Number of clauses that would become unsatisfied by flipping `var`.
@@ -79,7 +104,9 @@ impl WalkSat {
     /// a time over `Vec<bool>` structures.
     fn solve_scalar(&mut self, formula: &CnfFormula, limits: &SearchLimits) -> SolveResult {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut soft = CnfFormula::new(formula.num_vars());
         for _ in 0..self.config.max_restarts.max(1) {
+            self.import_soft(&mut soft);
             // Random initial assignment.
             let mut assignment =
                 Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
@@ -104,10 +131,17 @@ impl WalkSat {
                 let var = if rng.gen_bool(self.config.noise) {
                     clause.literals()[rng.gen_range(0..clause.len())].variable()
                 } else {
+                    // Imported soft clauses join the break score: a flip that
+                    // would violate shared knowledge is penalized, but the
+                    // empty soft formula contributes zero and leaves the
+                    // baseline search untouched.
                     clause
                         .iter()
                         .map(|l| l.variable())
-                        .min_by_key(|&v| Self::break_count(formula, &assignment, v))
+                        .min_by_key(|&v| {
+                            Self::break_count(formula, &assignment, v)
+                                + score::break_count(&soft, &assignment, v)
+                        })
                         .expect("clause non-empty")
                 };
                 assignment.set(var, !assignment.value(var));
@@ -124,7 +158,18 @@ impl WalkSat {
         let mut scorer = FlipScorer::new(formula);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut candidates: Vec<Variable> = Vec::new();
+        let mut soft = CnfFormula::new(formula.num_vars());
+        // A second scorer covers the imported soft clauses; it only exists
+        // once imports arrive, so the empty-pool search stays byte-identical
+        // to the racing baseline.
+        let mut soft_scorer: Option<FlipScorer> = None;
+        let mut combined: Vec<u32> = Vec::new();
         for _ in 0..self.config.max_restarts.max(1) {
+            let before = soft.num_clauses();
+            self.import_soft(&mut soft);
+            if soft.num_clauses() > before {
+                soft_scorer = Some(FlipScorer::new(&soft));
+            }
             let mut assignment =
                 Assignment::from_bools((0..formula.num_vars()).map(|_| rng.gen()).collect());
             let mut bits = BitVector::from(&assignment);
@@ -150,7 +195,24 @@ impl WalkSat {
                     // the first minimum matches `min_by_key` tie-breaking.
                     candidates.clear();
                     candidates.extend(clause.iter().map(|l| l.variable()));
-                    let breaks = scorer.break_counts(&assignment, &candidates);
+                    let breaks = match &mut soft_scorer {
+                        None => scorer.break_counts(&assignment, &candidates),
+                        Some(soft_scorer) => {
+                            // Hard + soft break counts, lane-wise. The hard
+                            // slice borrows the scorer's buffer, so copy it
+                            // out before scoring the soft side.
+                            combined.clear();
+                            combined
+                                .extend_from_slice(scorer.break_counts(&assignment, &candidates));
+                            for (acc, soft_breaks) in combined
+                                .iter_mut()
+                                .zip(soft_scorer.break_counts(&assignment, &candidates))
+                            {
+                                *acc += soft_breaks;
+                            }
+                            &combined[..]
+                        }
+                    };
                     let best = breaks
                         .iter()
                         .enumerate()
@@ -163,7 +225,10 @@ impl WalkSat {
                     clause
                         .iter()
                         .map(|l| l.variable())
-                        .min_by_key(|&v| Self::break_count(formula, &assignment, v))
+                        .min_by_key(|&v| {
+                            Self::break_count(formula, &assignment, v)
+                                + score::break_count(&soft, &assignment, v)
+                        })
                         .expect("clause non-empty")
                 };
                 let flipped = !assignment.value(var);
@@ -203,6 +268,14 @@ impl Solver for WalkSat {
 
     fn reseed(&mut self, seed: u64) {
         self.config.seed = seed;
+    }
+
+    fn attach_share(&mut self, handle: ShareHandle) {
+        self.share = Some(handle);
+    }
+
+    fn detach_share(&mut self) {
+        self.share = None;
     }
 }
 
@@ -300,6 +373,63 @@ mod tests {
         solver.reseed(1);
         assert_eq!(solver.solve(&f), first);
         assert_eq!(solver.stats(), first_stats);
+    }
+
+    #[test]
+    fn soft_imports_bias_but_never_decide() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+        for mode in [EvalMode::Scalar, EvalMode::Packed] {
+            for seed in 0..5 {
+                let f = generators::random_ksat(
+                    &RandomKSatConfig::from_ratio(12, 2.0, 3).with_seed(seed),
+                )
+                .unwrap();
+                let pool = Arc::new(SharedClausePool::default());
+                let foreign = ShareHandle::new(Arc::clone(&pool), 1);
+                // Original clauses are trivially implied by the formula, so
+                // they make a sound pool seed.
+                for clause in f.iter().take(4) {
+                    assert!(foreign.export(clause.literals(), 2));
+                }
+                let mut solver = WalkSat::with_config(WalkSatConfig {
+                    eval_mode: mode,
+                    seed: 7,
+                    ..WalkSatConfig::default()
+                });
+                solver.attach_share(ShareHandle::new(Arc::clone(&pool), 0));
+                let result = solver.solve(&f);
+                assert!(solver.stats().clauses_imported > 0);
+                // Soft clauses only bias scoring: any SAT answer still
+                // carries a model of the *hard* formula.
+                if let Some(model) = result.model() {
+                    assert!(f.evaluate(model));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pool_matches_racing_baseline() {
+        use crate::share::{ShareHandle, SharedClausePool};
+        use std::sync::Arc;
+        let f = generators::random_ksat(&RandomKSatConfig::new(12, 40, 3).with_seed(3)).unwrap();
+        for mode in [EvalMode::Scalar, EvalMode::Packed] {
+            let config = WalkSatConfig {
+                eval_mode: mode,
+                seed: 11,
+                ..WalkSatConfig::default()
+            };
+            let mut baseline = WalkSat::with_config(config);
+            let expected = baseline.solve(&f);
+            let mut cooperative = WalkSat::with_config(config);
+            let pool = Arc::new(SharedClausePool::default());
+            cooperative.attach_share(ShareHandle::new(pool, 0));
+            // Nothing to import: the search must be byte-identical.
+            assert_eq!(cooperative.solve(&f), expected);
+            assert_eq!(cooperative.stats().clauses_imported, 0);
+            assert_eq!(cooperative.stats().flips, baseline.stats().flips);
+        }
     }
 
     #[test]

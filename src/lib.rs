@@ -105,8 +105,8 @@ pub mod prelude {
     };
     pub use sat_solvers::{
         BruteForceSolver, CdclSolver, DpllSolver, Gsat, IncrementalResult, MusExtractor,
-        MusOutcome, ParallelPortfolio, Portfolio, Schoening, SearchLimits, SolveResult, Solver,
-        SolverStats, TwoSatSolver, WalkSat,
+        MusOutcome, ParallelPortfolio, Portfolio, Schoening, SearchLimits, ShareHandle,
+        SharedClausePool, SharingConfig, SolveResult, Solver, SolverStats, TwoSatSolver, WalkSat,
     };
 }
 
